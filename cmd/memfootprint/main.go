@@ -1,0 +1,37 @@
+// Command memfootprint reproduces Figure 9 (right) of the paper: the total
+// memory allocated for records by the BST under a 50% insert / 50% delete
+// workload on key range [0, 10^4), as the number of threads grows past the
+// number of hardware threads. Once threads are preempted mid-operation,
+// DEBRA cannot advance its epoch and its footprint explodes; DEBRA+
+// neutralizes the preempted threads and keeps the footprint bounded, close
+// to hazard pointers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		duration   = flag.Duration("duration", 1*time.Second, "duration of each trial")
+		maxThreads = flag.Int("threads", 0, "maximum thread count (0 = 4 x NumCPU to force oversubscription)")
+	)
+	flag.Parse()
+	max := *maxThreads
+	if max == 0 {
+		max = 4 * runtime.NumCPU()
+	}
+	rows, schemes, err := bench.MemoryExperiment(bench.Options{Duration: *duration, MaxThreads: max, Seed: 1})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memfootprint:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("GOMAXPROCS=%d, hardware threads=%d\n\n", runtime.GOMAXPROCS(0), runtime.NumCPU())
+	fmt.Print(bench.RenderMemoryTable(rows, schemes))
+}

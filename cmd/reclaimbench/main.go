@@ -1,0 +1,75 @@
+// Command reclaimbench regenerates the paper's evaluation: it runs the
+// requested experiment (1, 2 or 3), the Figure 9 memory-footprint
+// measurement, or the headline summary, and prints one throughput table per
+// figure panel.
+//
+// Examples:
+//
+//	reclaimbench -experiment 1                 # Figure 8 (left)
+//	reclaimbench -experiment 2 -threads 64     # Figure 8 (right) + Figure 9 (left) sweep
+//	reclaimbench -experiment 3 -duration 2s    # Figure 10
+//	reclaimbench -experiment memory            # Figure 9 (right)
+//	reclaimbench -experiment summary           # headline ratios from Experiment 2
+//	reclaimbench -experiment 2 -csv            # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "2", "experiment to run: 1, 2, 3, memory, or summary")
+		duration   = flag.Duration("duration", 500*time.Millisecond, "duration of each trial")
+		maxThreads = flag.Int("threads", 0, "maximum thread count of the sweep (0 = 2 x NumCPU)")
+		quick      = flag.Bool("quick", false, "shrink key ranges and the thread sweep for a fast smoke run")
+		csv        = flag.Bool("csv", false, "emit CSV instead of text tables")
+		seed       = flag.Int64("seed", 1, "workload random seed")
+	)
+	flag.Parse()
+
+	opts := bench.Options{Duration: *duration, MaxThreads: *maxThreads, Quick: *quick, Seed: *seed}
+
+	switch *experiment {
+	case "1", "2", "3":
+		exp := int((*experiment)[0] - '0')
+		results, err := bench.RunExperiment(exp, opts)
+		if err != nil {
+			fatal(err)
+		}
+		for i, pr := range results {
+			if *csv {
+				fmt.Print(bench.RenderCSV(pr, i == 0))
+			} else {
+				fmt.Println(bench.RenderThroughputTable(pr))
+			}
+		}
+		if !*csv {
+			fmt.Println(bench.RenderSummary(bench.Summarize(results)))
+		}
+	case "memory":
+		rows, schemes, err := bench.MemoryExperiment(opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.RenderMemoryTable(rows, schemes))
+	case "summary":
+		results, err := bench.RunExperiment(bench.Experiment2, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.RenderSummary(bench.Summarize(results)))
+	default:
+		fatal(fmt.Errorf("unknown experiment %q (want 1, 2, 3, memory or summary)", *experiment))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "reclaimbench:", err)
+	os.Exit(1)
+}

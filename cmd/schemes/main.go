@@ -1,0 +1,20 @@
+// Command schemes prints the qualitative comparison of reclamation schemes
+// (the paper's Figure 2): which code modifications each scheme needs, its
+// timing assumptions, fault tolerance, termination guarantee and whether it
+// supports traversing pointers between retired records. Rows for the schemes
+// implemented in this module come from their Props(); rows for surveyed-only
+// schemes come from the reference table.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/recordmgr"
+)
+
+func main() {
+	fmt.Println("Figure 2: summary of reclamation schemes")
+	fmt.Println()
+	fmt.Print(core.RenderFigureTwo(recordmgr.Properties()))
+}

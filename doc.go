@@ -1,0 +1,11 @@
+// Package repro is a Go reproduction of "Reclaiming Memory for Lock-Free
+// Data Structures: There has to be a Better Way" (Trevor Brown, PODC 2015):
+// DEBRA, DEBRA+, the Record Manager abstraction, the competing reclamation
+// schemes the paper evaluates against, the data structures used in its
+// evaluation, and a benchmark harness that regenerates every table and
+// figure of the paper's evaluation section.
+//
+// The implementation lives under internal/ (see DESIGN.md for the map);
+// runnable entry points are the programs under cmd/ and examples/, and the
+// benchmarks in bench_test.go.
+package repro

@@ -1,0 +1,149 @@
+package arena
+
+import (
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+type node struct {
+	key   int64
+	value int64
+	left  *node
+	right *node
+}
+
+func TestBumpAllocateDistinctRecords(t *testing.T) {
+	b := NewBump[node](2, 8)
+	seen := map[*node]bool{}
+	for i := 0; i < 100; i++ {
+		r := b.Allocate(0)
+		if r == nil {
+			t.Fatal("Allocate returned nil")
+		}
+		if seen[r] {
+			t.Fatalf("record %p handed out twice", r)
+		}
+		seen[r] = true
+	}
+	if got := b.Stats().Allocated; got != 100 {
+		t.Fatalf("Allocated=%d want 100", got)
+	}
+}
+
+func TestBumpRecordsAreZeroed(t *testing.T) {
+	b := NewBump[node](1, 4)
+	for i := 0; i < 20; i++ {
+		r := b.Allocate(0)
+		if r.key != 0 || r.value != 0 || r.left != nil || r.right != nil {
+			t.Fatalf("record %d not zeroed: %+v", i, *r)
+		}
+		r.key = int64(i)
+		r.left = r
+	}
+}
+
+func TestBumpAllocatedBytesTracksBumpMovement(t *testing.T) {
+	b := NewBump[node](1, 16)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		b.Allocate(0)
+	}
+	want := int64(n) * int64(unsafe.Sizeof(node{}))
+	if got := b.Stats().AllocatedBytes; got != want {
+		t.Fatalf("AllocatedBytes=%d want %d", got, want)
+	}
+}
+
+func TestBumpDeallocateOnlyCounts(t *testing.T) {
+	b := NewBump[node](1, 8)
+	r := b.Allocate(0)
+	b.Deallocate(0, r)
+	b.Deallocate(0, nil) // must be a no-op, not a panic
+	s := b.Stats()
+	if s.Deallocated != 1 {
+		t.Fatalf("Deallocated=%d want 1", s.Deallocated)
+	}
+	if s.Allocated != 1 {
+		t.Fatalf("Allocated=%d want 1", s.Allocated)
+	}
+}
+
+func TestBumpPerThreadIsolation(t *testing.T) {
+	const threads = 4
+	const perThread = 5000
+	b := NewBump[node](threads, 64)
+	var wg sync.WaitGroup
+	results := make([]map[*node]bool, threads)
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			m := map[*node]bool{}
+			for i := 0; i < perThread; i++ {
+				m[b.Allocate(tid)] = true
+			}
+			results[tid] = m
+		}(tid)
+	}
+	wg.Wait()
+	all := map[*node]bool{}
+	total := 0
+	for _, m := range results {
+		for r := range m {
+			if all[r] {
+				t.Fatalf("record %p handed out by two threads", r)
+			}
+			all[r] = true
+			total++
+		}
+	}
+	if total != threads*perThread {
+		t.Fatalf("total distinct records %d want %d", total, threads*perThread)
+	}
+	if got := b.Stats().Allocated; got != int64(threads*perThread) {
+		t.Fatalf("Allocated=%d want %d", got, threads*perThread)
+	}
+}
+
+func TestBumpPanicsOnZeroThreads(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBump[node](0, 8)
+}
+
+func TestHeapAllocate(t *testing.T) {
+	h := NewHeap[node](2)
+	seen := map[*node]bool{}
+	for i := 0; i < 50; i++ {
+		r := h.Allocate(i % 2)
+		if r == nil || seen[r] {
+			t.Fatalf("bad record %p at %d", r, i)
+		}
+		seen[r] = true
+	}
+	h.Deallocate(0, nil)
+	h.Deallocate(0, &node{})
+	s := h.Stats()
+	if s.Allocated != 50 {
+		t.Fatalf("Allocated=%d want 50", s.Allocated)
+	}
+	if s.Deallocated != 1 {
+		t.Fatalf("Deallocated=%d want 1", s.Deallocated)
+	}
+	if s.AllocatedBytes != 50*int64(unsafe.Sizeof(node{})) {
+		t.Fatalf("AllocatedBytes=%d", s.AllocatedBytes)
+	}
+}
+
+func TestHeapPanicsOnZeroThreads(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHeap[node](0)
+}

@@ -1,0 +1,289 @@
+// Package bench is the experiment harness that regenerates the tables and
+// figures of the paper's evaluation (Section 7): throughput of a lock-free
+// BST and a lock-based skip list under different reclamation schemes, thread
+// counts, operation mixes, key ranges and allocation regimes, plus the
+// memory-footprint measurement of Figure 9 and the qualitative scheme
+// comparison of Figure 2.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ds/bst"
+	"repro/internal/ds/skiplist"
+	"repro/internal/neutralize"
+	"repro/internal/recordmgr"
+)
+
+// Data structure names accepted by Config.DataStructure.
+const (
+	DSBST      = "bst"
+	DSSkipList = "skiplist"
+)
+
+// Workload describes the operation mix and key range of a trial.
+type Workload struct {
+	// InsertPct and DeletePct are percentages; the remainder are searches.
+	InsertPct int
+	DeletePct int
+	// KeyRange is the size of the uniform key universe [0, KeyRange).
+	KeyRange int64
+	// PrefillFraction is the fraction of KeyRange inserted before the
+	// timed phase (the paper prefills to half the key range).
+	PrefillFraction float64
+}
+
+// String renders the mix the way the paper labels it (e.g. "50i-50d").
+func (w Workload) String() string {
+	return fmt.Sprintf("%di-%dd-%ds range %d", w.InsertPct, w.DeletePct, 100-w.InsertPct-w.DeletePct, w.KeyRange)
+}
+
+// Standard mixes from the paper.
+var (
+	// MixUpdateHeavy is 50% inserts, 50% deletes.
+	MixUpdateHeavy = Workload{InsertPct: 50, DeletePct: 50, PrefillFraction: 0.5}
+	// MixReadHeavy is 25% inserts, 25% deletes, 50% searches.
+	MixReadHeavy = Workload{InsertPct: 25, DeletePct: 25, PrefillFraction: 0.5}
+)
+
+// Config describes one trial.
+type Config struct {
+	DataStructure string
+	Scheme        string
+	Threads       int
+	Duration      time.Duration
+	Workload      Workload
+	Allocator     recordmgr.AllocatorKind
+	UsePool       bool
+	Seed          int64
+}
+
+// Result is the outcome of one trial.
+type Result struct {
+	Config Config
+	// Ops is the total number of completed operations in the timed phase.
+	Ops int64
+	// Throughput is operations per second.
+	Throughput float64
+	// MopsPerSec is Throughput in millions, the unit the paper plots.
+	MopsPerSec float64
+	// AllocatedBytes is the total memory handed out for records (the bump
+	// pointer movement the paper reports in Figure 9 right).
+	AllocatedBytes int64
+	// AllocatedRecords is the number of records handed out.
+	AllocatedRecords int64
+	// Reclaimer is the reclaimer's counter snapshot at the end.
+	Reclaimer core.Stats
+	// PoolReused counts allocations served from the pool.
+	PoolReused int64
+	// Elapsed is the measured duration of the timed phase.
+	Elapsed time.Duration
+}
+
+// set is the minimal data structure interface the harness drives.
+type set interface {
+	insert(tid int, key int64) bool
+	delete(tid int, key int64) bool
+	contains(tid int, key int64) bool
+	stats() core.ManagerStats
+}
+
+// bstSet adapts bst.Tree to the harness interface.
+type bstSet struct{ t *bst.Tree[int64] }
+
+func (s bstSet) insert(tid int, key int64) bool   { return s.t.Insert(tid, key, key) }
+func (s bstSet) delete(tid int, key int64) bool   { return s.t.Delete(tid, key) }
+func (s bstSet) contains(tid int, key int64) bool { return s.t.Contains(tid, key) }
+func (s bstSet) stats() core.ManagerStats         { return s.t.Manager().Stats() }
+
+// skipSet adapts skiplist.List to the harness interface.
+type skipSet struct{ l *skiplist.List[int64] }
+
+func (s skipSet) insert(tid int, key int64) bool   { return s.l.Insert(tid, key, key) }
+func (s skipSet) delete(tid int, key int64) bool   { return s.l.Delete(tid, key) }
+func (s skipSet) contains(tid int, key int64) bool { return s.l.Contains(tid, key) }
+func (s skipSet) stats() core.ManagerStats         { return s.l.Manager().Stats() }
+
+// SupportedSchemes returns the reclamation schemes the given data structure
+// can run with (the skip list's updates take locks, so it cannot use the
+// neutralizing DEBRA+).
+func SupportedSchemes(ds string) []string {
+	switch ds {
+	case DSSkipList:
+		return []string{recordmgr.SchemeNone, recordmgr.SchemeDEBRA, recordmgr.SchemeHP}
+	default:
+		return []string{recordmgr.SchemeNone, recordmgr.SchemeDEBRA, recordmgr.SchemeDEBRAPlus, recordmgr.SchemeHP}
+	}
+}
+
+// buildSet constructs the requested data structure and record manager.
+func buildSet(cfg Config) (set, error) {
+	switch cfg.DataStructure {
+	case DSBST, "":
+		mgr, err := recordmgr.Build[bst.Record[int64]](recordmgr.Config{
+			Scheme:    cfg.Scheme,
+			Threads:   cfg.Threads,
+			Allocator: cfg.Allocator,
+			UsePool:   cfg.UsePool,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return bstSet{t: bst.New(mgr)}, nil
+	case DSSkipList:
+		mgr, err := recordmgr.Build[skiplist.Node[int64]](recordmgr.Config{
+			Scheme:    cfg.Scheme,
+			Threads:   cfg.Threads,
+			Allocator: cfg.Allocator,
+			UsePool:   cfg.UsePool,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return skipSet{l: skiplist.New(mgr, cfg.Threads)}, nil
+	default:
+		return nil, fmt.Errorf("bench: unknown data structure %q", cfg.DataStructure)
+	}
+}
+
+// RunTrial prefills the data structure and runs one timed trial, returning
+// its measurements.
+func RunTrial(cfg Config) (Result, error) {
+	if cfg.Threads <= 0 {
+		return Result{}, fmt.Errorf("bench: Threads must be >= 1")
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 200 * time.Millisecond
+	}
+	if cfg.Workload.KeyRange <= 0 {
+		return Result{}, fmt.Errorf("bench: KeyRange must be >= 1")
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	s, err := buildSet(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	prefill(s, cfg)
+
+	var (
+		stop     atomic.Bool
+		totalOps atomic.Int64
+		wg       sync.WaitGroup
+	)
+	start := time.Now()
+	for tid := 0; tid < cfg.Threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(tid)*104729))
+			w := cfg.Workload
+			ops := int64(0)
+			for !stop.Load() {
+				key := rng.Int63n(w.KeyRange)
+				p := rng.Intn(100)
+				switch {
+				case p < w.InsertPct:
+					s.insert(tid, key)
+				case p < w.InsertPct+w.DeletePct:
+					s.delete(tid, key)
+				default:
+					s.contains(tid, key)
+				}
+				ops++
+			}
+			totalOps.Add(ops)
+		}(tid)
+	}
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	st := s.stats()
+	ops := totalOps.Load()
+	res := Result{
+		Config:           cfg,
+		Ops:              ops,
+		Throughput:       float64(ops) / elapsed.Seconds(),
+		AllocatedBytes:   st.Alloc.AllocatedBytes,
+		AllocatedRecords: st.Alloc.Allocated,
+		Reclaimer:        st.Reclaimer,
+		PoolReused:       st.Pool.Reused,
+		Elapsed:          elapsed,
+	}
+	res.MopsPerSec = res.Throughput / 1e6
+	return res, nil
+}
+
+// prefill inserts keys until the structure holds PrefillFraction*KeyRange
+// elements, splitting the work across the trial's threads exactly as the
+// paper does before starting the timed phase.
+func prefill(s set, cfg Config) {
+	target := int64(float64(cfg.Workload.KeyRange) * cfg.Workload.PrefillFraction)
+	if target <= 0 {
+		return
+	}
+	var inserted atomic.Int64
+	var wg sync.WaitGroup
+	workers := cfg.Threads
+	if workers > runtime.NumCPU() {
+		workers = runtime.NumCPU()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	for tid := 0; tid < workers; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed*31 + int64(tid)))
+			for inserted.Load() < target {
+				key := rng.Int63n(cfg.Workload.KeyRange)
+				if s.insert(tid, key) {
+					inserted.Add(1)
+				}
+			}
+		}(tid)
+	}
+	wg.Wait()
+}
+
+// DefaultThreadCounts returns the thread counts used by the experiments on
+// this machine: 1, 2, 4, ... up to max (the paper sweeps 1..16 on an
+// 8-hardware-thread machine, i.e. up to 2x oversubscription).
+func DefaultThreadCounts(max int) []int {
+	if max <= 0 {
+		max = 2 * runtime.NumCPU()
+	}
+	var out []int
+	for t := 1; t <= max; t *= 2 {
+		out = append(out, t)
+	}
+	if len(out) == 0 || out[len(out)-1] != max {
+		out = append(out, max)
+	}
+	return out
+}
+
+// Recover converts panics from misconfigured trials into errors (used by the
+// CLI so one bad configuration does not abort a whole sweep).
+func runSafely(cfg Config) (res Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			if n, ok := v.(neutralize.Neutralized); ok {
+				err = fmt.Errorf("bench: unexpected neutralization escaped to the harness: %v", n)
+				return
+			}
+			err = fmt.Errorf("bench: trial panicked: %v", v)
+		}
+	}()
+	return RunTrial(cfg)
+}

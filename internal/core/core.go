@@ -1,0 +1,171 @@
+// Package core defines the Record Manager abstraction from Section 6 of the
+// paper: the first Allocator-style abstraction suitable for lock-free
+// programming. A data structure is written once against the Reclaimer,
+// Pool and Allocator interfaces and any safe-memory-reclamation scheme
+// (hazard pointers, classical EBR, DEBRA, DEBRA+, ...) can be plugged in by
+// changing a single constructor call.
+//
+// Terminology follows the paper's record lifecycle (Figure 1):
+//
+//	unallocated -> allocate -> uninitialized -> insert -> in data structure
+//	            -> remove (retire) -> retired -> safe to free -> reclaimed
+//
+// A Reclaimer decides when a retired record is safe to free; a Pool decides
+// whether a freed record is reused or handed back to the Allocator; the
+// Allocator is the ultimate source and sink of records.
+package core
+
+import "repro/internal/blockbag"
+
+// Reclaimer is the safe-memory-reclamation component of a Record Manager.
+// All methods are invoked with the dense thread id (0 <= tid < n) of the
+// calling worker; a Reclaimer instance serves a fixed set of n threads.
+//
+// The operation set is the union of what the schemes discussed in the paper
+// need (Section 6): epoch-style quiescence (LeaveQstate/EnterQstate),
+// hazard-pointer-style per-record protection (Protect/Unprotect/IsProtected),
+// retiring (Retire), and the recovery protection used by DEBRA+
+// (RProtect/RUnprotectAll/IsRProtected). Schemes implement unused operations
+// as cheap no-ops so that data-structure code can call them unconditionally,
+// or consult Props() once and skip the per-record calls entirely.
+type Reclaimer[T any] interface {
+	// Name returns a short identifier such as "debra", "debra+", "hp".
+	Name() string
+
+	// Props describes the scheme's qualitative properties (Figure 2).
+	Props() Properties
+
+	// LeaveQstate announces that thread tid is starting a data structure
+	// operation (leaving its quiescent state). It must be called at the
+	// beginning of every operation. The return value reports whether the
+	// thread observed (and announced) a new epoch, which some callers use
+	// for instrumentation; most ignore it.
+	LeaveQstate(tid int) bool
+
+	// EnterQstate announces that thread tid has finished its operation and
+	// holds no pointers to records of the data structure.
+	EnterQstate(tid int)
+
+	// IsQuiescent reports whether thread tid is currently quiescent.
+	IsQuiescent(tid int) bool
+
+	// Retire hands the reclaimer a record that has been removed from the
+	// data structure by thread tid. The record will be freed (passed to the
+	// free sink) once no thread can be holding a pointer to it.
+	Retire(tid int, rec *T)
+
+	// Protect announces that thread tid may access rec. For hazard-pointer
+	// style schemes this publishes an announcement and issues the required
+	// fence; the caller must afterwards validate that rec is still
+	// reachable (e.g. by re-reading the pointer it was loaded from) and
+	// call Unprotect/restart if not. Epoch-based schemes return true
+	// without doing anything. The bool result is false only when the
+	// scheme itself can already tell the protection failed.
+	Protect(tid int, rec *T) bool
+
+	// Unprotect revokes a previous Protect of rec by thread tid.
+	Unprotect(tid int, rec *T)
+
+	// IsProtected reports whether thread tid currently protects rec.
+	IsProtected(tid int, rec *T) bool
+
+	// RProtect announces a recovery hazard pointer to rec (DEBRA+ only;
+	// a no-op for other schemes). Recovery protections survive
+	// neutralization and are released with RUnprotectAll.
+	RProtect(tid int, rec *T)
+
+	// RUnprotectAll releases all recovery protections held by thread tid.
+	RUnprotectAll(tid int)
+
+	// IsRProtected reports whether thread tid holds a recovery protection
+	// for rec. Schemes without crash recovery always return false.
+	IsRProtected(tid int, rec *T) bool
+
+	// SupportsCrashRecovery reports whether the scheme neutralizes stalled
+	// threads and therefore requires the data structure to provide recovery
+	// code (the paper's supportsCrashRecovery predicate). It mirrors
+	// Props().FaultTolerant for the schemes in this module but is kept as a
+	// separate method because data-structure fast paths branch on it.
+	SupportsCrashRecovery() bool
+
+	// Checkpoint gives the reclaimer an opportunity to deliver a pending
+	// neutralization signal to thread tid. Data structure bodies call it at
+	// least once per search-loop iteration. It is a no-op for every scheme
+	// except DEBRA+, where it may panic with a neutralization token that
+	// the operation wrapper recovers (the Go analogue of siglongjmp).
+	Checkpoint(tid int)
+
+	// Stats returns a snapshot of the reclaimer's counters.
+	Stats() Stats
+}
+
+// FreeSink receives records that a Reclaimer has determined are safe to
+// free. An object Pool is the usual sink (records get reused); experiment 1
+// of the paper uses a counting sink that discards records to measure
+// reclamation overhead in isolation.
+type FreeSink[T any] interface {
+	// Free hands a single reclaimed record to the sink.
+	Free(tid int, rec *T)
+}
+
+// BlockFreeSink is an optional optimisation interface: sinks that store
+// records in block bags can accept whole detached blocks in O(1), which is
+// how DEBRA moves the contents of a limbo bag to the pool without touching
+// individual records.
+type BlockFreeSink[T any] interface {
+	FreeSink[T]
+	// FreeBlocks accepts a detached chain of full blocks.
+	FreeBlocks(tid int, chain *blockbag.Block[T])
+}
+
+// Allocator is the component that ultimately creates and destroys records.
+type Allocator[T any] interface {
+	// Allocate returns a new, zeroed record for thread tid.
+	Allocate(tid int) *T
+	// Deallocate returns a record to the operating system / runtime.
+	Deallocate(tid int, rec *T)
+	// Stats returns allocation counters (total records and bytes handed
+	// out), which the harness uses to reproduce the paper's Figure 9
+	// memory-footprint measurement.
+	Stats() AllocStats
+}
+
+// Pool sits between the Reclaimer and the Allocator: freed records are
+// recycled through the pool and reused by subsequent Allocate calls, and the
+// pool decides when to fall back to (or unload records onto) the Allocator.
+type Pool[T any] interface {
+	FreeSink[T]
+	// Allocate returns a record for thread tid, reusing a pooled record
+	// when one is available and calling the Allocator otherwise.
+	Allocate(tid int) *T
+	// Stats returns pool counters.
+	Stats() PoolStats
+}
+
+// Stats is a snapshot of a Reclaimer's counters. All values are cumulative
+// since construction except Limbo, which is instantaneous.
+type Stats struct {
+	Retired         int64 // records passed to Retire
+	Freed           int64 // records handed to the free sink
+	Limbo           int64 // records currently retired but not yet freed
+	EpochAdvances   int64 // successful epoch CASes (epoch-based schemes)
+	Scans           int64 // full scans of announcements / hazard pointers
+	Neutralizations int64 // signals sent (DEBRA+ only)
+	Restarts        int64 // operations restarted because of the scheme (HP)
+}
+
+// AllocStats is a snapshot of an Allocator's counters.
+type AllocStats struct {
+	Allocated      int64 // records handed out
+	Deallocated    int64 // records returned
+	AllocatedBytes int64 // bytes handed out (bump-pointer movement)
+}
+
+// PoolStats is a snapshot of a Pool's counters.
+type PoolStats struct {
+	Reused        int64 // Allocate calls served from the pool
+	FromAllocator int64 // Allocate calls that fell through to the Allocator
+	Freed         int64 // records received via Free/FreeBlocks
+	ToShared      int64 // records moved to the shared bag
+	FromShared    int64 // records taken from the shared bag
+}

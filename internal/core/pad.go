@@ -1,0 +1,7 @@
+package core
+
+// PadBytes is the number of padding bytes appended to per-thread slots of
+// shared arrays to keep them on separate cache lines (two lines, to defeat
+// adjacent-line prefetching). Getting this wrong only costs performance,
+// never correctness.
+const PadBytes = 128

@@ -1,0 +1,139 @@
+package core
+
+// RecordManager composes an Allocator, a Pool and a Reclaimer into the
+// single object a data structure programs against (the paper's Record
+// Manager, Figure 7). It exposes the union of their operations; the
+// data structure never needs to know which concrete scheme is behind it,
+// so interchanging reclamation, pooling and allocation strategies is a
+// one-line change at construction time.
+//
+// The type parameter T is the record type managed (for example a tree node).
+// Data structures that use several record types create one RecordManager per
+// type, or fold the types into a single record with a kind discriminator;
+// the reclaimers in this module are cheap enough that either choice works.
+type RecordManager[T any] struct {
+	alloc     Allocator[T]
+	pool      Pool[T]
+	reclaimer Reclaimer[T]
+
+	// perRecord caches Props().PerRecordProtection so hot paths can branch
+	// on a plain bool field.
+	perRecord bool
+	// crashRecovery caches SupportsCrashRecovery().
+	crashRecovery bool
+}
+
+// NewRecordManager assembles a Record Manager from its three components.
+// pool may be nil, in which case Allocate goes straight to the allocator and
+// freed records are discarded (the configuration of the paper's Experiment 1,
+// where reclamation work is performed but records are not reused).
+func NewRecordManager[T any](alloc Allocator[T], pool Pool[T], rec Reclaimer[T]) *RecordManager[T] {
+	if alloc == nil {
+		panic("core: NewRecordManager requires an Allocator")
+	}
+	if rec == nil {
+		panic("core: NewRecordManager requires a Reclaimer")
+	}
+	return &RecordManager[T]{
+		alloc:         alloc,
+		pool:          pool,
+		reclaimer:     rec,
+		perRecord:     rec.Props().PerRecordProtection,
+		crashRecovery: rec.SupportsCrashRecovery(),
+	}
+}
+
+// Allocator returns the underlying allocator.
+func (m *RecordManager[T]) Allocator() Allocator[T] { return m.alloc }
+
+// Pool returns the underlying pool (nil when records are not reused).
+func (m *RecordManager[T]) Pool() Pool[T] { return m.pool }
+
+// Reclaimer returns the underlying reclaimer.
+func (m *RecordManager[T]) Reclaimer() Reclaimer[T] { return m.reclaimer }
+
+// Allocate returns a record for thread tid, preferring the pool.
+func (m *RecordManager[T]) Allocate(tid int) *T {
+	if m.pool != nil {
+		return m.pool.Allocate(tid)
+	}
+	return m.alloc.Allocate(tid)
+}
+
+// Deallocate returns an unused (never inserted or already reclaimed) record
+// directly to the pool or allocator. Records that were inserted into the
+// data structure must be Retired instead.
+func (m *RecordManager[T]) Deallocate(tid int, rec *T) {
+	if m.pool != nil {
+		m.pool.Free(tid, rec)
+		return
+	}
+	m.alloc.Deallocate(tid, rec)
+}
+
+// Retire hands a removed record to the reclaimer.
+func (m *RecordManager[T]) Retire(tid int, rec *T) { m.reclaimer.Retire(tid, rec) }
+
+// LeaveQstate marks the start of an operation by thread tid.
+func (m *RecordManager[T]) LeaveQstate(tid int) bool { return m.reclaimer.LeaveQstate(tid) }
+
+// EnterQstate marks the end of an operation by thread tid.
+func (m *RecordManager[T]) EnterQstate(tid int) { m.reclaimer.EnterQstate(tid) }
+
+// IsQuiescent reports whether thread tid is quiescent.
+func (m *RecordManager[T]) IsQuiescent(tid int) bool { return m.reclaimer.IsQuiescent(tid) }
+
+// NeedsPerRecordProtection reports whether the reclaimer requires Protect to
+// be called (and validated) for every record accessed. Data structures read
+// this once and skip the protection path entirely for epoch-based schemes,
+// mirroring the paper's compile-time elimination of no-op protect calls.
+func (m *RecordManager[T]) NeedsPerRecordProtection() bool { return m.perRecord }
+
+// SupportsCrashRecovery reports whether the reclaimer neutralizes stalled
+// threads, in which case operations must be wrapped in recovery code.
+func (m *RecordManager[T]) SupportsCrashRecovery() bool { return m.crashRecovery }
+
+// Protect announces that thread tid may access rec (see Reclaimer.Protect).
+func (m *RecordManager[T]) Protect(tid int, rec *T) bool { return m.reclaimer.Protect(tid, rec) }
+
+// Unprotect revokes a Protect.
+func (m *RecordManager[T]) Unprotect(tid int, rec *T) { m.reclaimer.Unprotect(tid, rec) }
+
+// IsProtected reports whether rec is protected by thread tid.
+func (m *RecordManager[T]) IsProtected(tid int, rec *T) bool {
+	return m.reclaimer.IsProtected(tid, rec)
+}
+
+// RProtect announces a recovery protection (DEBRA+).
+func (m *RecordManager[T]) RProtect(tid int, rec *T) { m.reclaimer.RProtect(tid, rec) }
+
+// RUnprotectAll releases all recovery protections held by thread tid.
+func (m *RecordManager[T]) RUnprotectAll(tid int) { m.reclaimer.RUnprotectAll(tid) }
+
+// IsRProtected reports whether thread tid holds a recovery protection of rec.
+func (m *RecordManager[T]) IsRProtected(tid int, rec *T) bool {
+	return m.reclaimer.IsRProtected(tid, rec)
+}
+
+// Checkpoint delivers a pending neutralization signal, if any (DEBRA+).
+func (m *RecordManager[T]) Checkpoint(tid int) { m.reclaimer.Checkpoint(tid) }
+
+// Stats aggregates the statistics of all three components.
+func (m *RecordManager[T]) Stats() ManagerStats {
+	s := ManagerStats{
+		Reclaimer: m.reclaimer.Stats(),
+		Alloc:     m.alloc.Stats(),
+	}
+	if m.pool != nil {
+		s.Pool = m.pool.Stats()
+	}
+	return s
+}
+
+// ManagerStats bundles the statistics of the three Record Manager
+// components.
+type ManagerStats struct {
+	Reclaimer Stats
+	Alloc     AllocStats
+	Pool      PoolStats
+}

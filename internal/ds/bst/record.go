@@ -1,0 +1,232 @@
+// Package bst implements the lock-free external (leaf-oriented) binary
+// search tree of Ellen, Fatourou, Ruppert and van Breugel, programmed
+// against the Record Manager abstraction so that any reclamation scheme can
+// be plugged in. It is the primary data structure of the paper's evaluation
+// (the paper uses Brown's balanced chromatic tree, which has the same
+// reclamation-relevant structure: searches traverse marked/retired nodes,
+// updates synchronise through flag/mark descriptors, and helping uses those
+// descriptors — see DESIGN.md for the substitution argument).
+//
+// # Memory layout
+//
+// All records managed by the tree — internal nodes, leaves and operation
+// descriptors (Info records) — are folded into a single Record type with a
+// kind discriminator, so one Record Manager instance serves the whole tree.
+//
+// The (state, Info*) pairs that Ellen et al. store in each internal node's
+// update field are represented without pointer tagging (which would hide
+// pointers from Go's garbage collector): every Info record embeds three
+// UpdateCell values — a flag cell, a mark cell and a clean cell — and a
+// node's update field points at one of those cells. Which cell it points at
+// encodes the state; the cell's owner pointer leads back to the Info record.
+// Cells are part of the Info record's allocation, so protecting the Info
+// protects the cells, and the unique cell addresses preserve the
+// ABA-prevention role the original algorithm assigns to the Info pointer.
+//
+// # Reclamation protocol
+//
+// Nodes are retired by the operation that unlinks them (delete retires the
+// spliced-out internal node and the removed leaf; insert retires the leaf it
+// replaces with a copy). Info records are retired by the thread whose CAS
+// removes the last tree-internal reference to them: every successful CAS of
+// an update field from a Clean cell of Info A to a cell of Info B retires A.
+// This "retire on replace" rule is what lets readers validate that a cell
+// they loaded still belongs to a live Info simply by re-reading the update
+// field.
+package bst
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Kind discriminates the role a Record is currently playing.
+type Kind uint8
+
+// Record kinds.
+const (
+	// KindFree marks a record that is not currently in use (fresh from the
+	// allocator or recycled through the pool).
+	KindFree Kind = iota
+	// KindInternal is a routing node with a key and two children.
+	KindInternal
+	// KindLeaf holds a key/value pair.
+	KindLeaf
+	// KindIInfo is an insertion descriptor.
+	KindIInfo
+	// KindDInfo is a deletion descriptor.
+	KindDInfo
+)
+
+// State is the update-field state encoded by which cell of an Info record a
+// node's update field points to.
+type State uint8
+
+// Update states from the original algorithm.
+const (
+	StateClean State = iota
+	StateIFlag
+	StateDFlag
+	StateMark
+)
+
+// UpdateCell is one of the addresses an internal node's update field can
+// hold. Cells are embedded in Info records (and one process-wide initial
+// cell represents "clean, no operation yet").
+type UpdateCell[V any] struct {
+	state State
+	info  *Record[V] // owning Info record; nil only for the initial cell
+}
+
+// State returns the update state this cell encodes.
+func (c *UpdateCell[V]) State() State { return c.state }
+
+// Info returns the Info record owning this cell (nil for the initial cell).
+func (c *UpdateCell[V]) Info() *Record[V] { return c.info }
+
+// Record is the single managed record type of the tree: internal node, leaf
+// or operation descriptor, discriminated by kind. Folding the roles into one
+// type lets a single Record Manager (and therefore a single reclaimer
+// instance with one epoch announcement per operation) manage every
+// allocation the tree makes.
+type Record[V any] struct {
+	kind Kind
+
+	// Node fields (internal and leaf).
+	key    int64
+	value  V
+	left   atomic.Pointer[Record[V]]
+	right  atomic.Pointer[Record[V]]
+	update atomic.Pointer[UpdateCell[V]]
+
+	// Info fields (insertion and deletion descriptors).
+	gp       *Record[V]     // grandparent of the leaf (delete only)
+	p        *Record[V]     // parent of the leaf
+	l        *Record[V]     // the leaf the operation applies to
+	newChild *Record[V]     // replacement internal node (insert only)
+	pupdate  *UpdateCell[V] // p's update value observed by the search (delete)
+	gpupdate *UpdateCell[V] // gp's update value observed by the search (delete)
+	searchK  int64          // the key the operation searched for
+
+	// outcome records whether a published operation succeeded (1) or was
+	// backtracked (2); 0 while undecided. It makes the owner's help
+	// procedure idempotent across neutralization and recovery.
+	outcome atomic.Int32
+
+	// The three update-cell addresses this record provides when acting as
+	// an Info record.
+	flagCell  UpdateCell[V]
+	markCell  UpdateCell[V]
+	cleanCell UpdateCell[V]
+}
+
+// Operation outcomes stored in Record.outcome.
+const (
+	outcomePending   = 0
+	outcomeSucceeded = 1
+	outcomeFailed    = 2
+)
+
+// Kind returns the record's current role.
+func (r *Record[V]) Kind() Kind { return r.kind }
+
+// Key returns the record's key (meaningful for nodes).
+func (r *Record[V]) Key() int64 { return r.key }
+
+// Value returns the record's value (meaningful for leaves).
+func (r *Record[V]) Value() V { return r.value }
+
+// IsLeaf reports whether the record is currently a leaf node.
+func (r *Record[V]) IsLeaf() bool { return r.kind == KindLeaf }
+
+// initLeaf (re)initialises a record as a leaf.
+func initLeaf[V any](r *Record[V], key int64, value V) *Record[V] {
+	r.kind = KindLeaf
+	r.key = key
+	r.value = value
+	r.left.Store(nil)
+	r.right.Store(nil)
+	r.update.Store(nil)
+	r.resetInfoFields()
+	return r
+}
+
+// initInternal (re)initialises a record as an internal node with the given
+// children and a clean update field.
+func initInternal[V any](r *Record[V], key int64, left, right *Record[V], clean *UpdateCell[V]) *Record[V] {
+	var zero V
+	r.kind = KindInternal
+	r.key = key
+	r.value = zero
+	r.left.Store(left)
+	r.right.Store(right)
+	r.update.Store(clean)
+	r.resetInfoFields()
+	return r
+}
+
+// initIInfo (re)initialises a record as an insertion descriptor.
+func initIInfo[V any](r *Record[V], key int64, p, l, newChild *Record[V], pupdate *UpdateCell[V]) *Record[V] {
+	var zero V
+	r.kind = KindIInfo
+	r.key = key
+	r.value = zero
+	r.left.Store(nil)
+	r.right.Store(nil)
+	r.update.Store(nil)
+	r.gp = nil
+	r.p = p
+	r.l = l
+	r.newChild = newChild
+	r.pupdate = pupdate
+	r.gpupdate = nil
+	r.searchK = key
+	r.outcome.Store(outcomePending)
+	r.flagCell = UpdateCell[V]{state: StateIFlag, info: r}
+	r.markCell = UpdateCell[V]{state: StateMark, info: r}
+	r.cleanCell = UpdateCell[V]{state: StateClean, info: r}
+	return r
+}
+
+// initDInfo (re)initialises a record as a deletion descriptor.
+func initDInfo[V any](r *Record[V], key int64, gp, p, l *Record[V], pupdate, gpupdate *UpdateCell[V]) *Record[V] {
+	var zero V
+	r.kind = KindDInfo
+	r.key = key
+	r.value = zero
+	r.left.Store(nil)
+	r.right.Store(nil)
+	r.update.Store(nil)
+	r.gp = gp
+	r.p = p
+	r.l = l
+	r.newChild = nil
+	r.pupdate = pupdate
+	r.gpupdate = gpupdate
+	r.searchK = key
+	r.outcome.Store(outcomePending)
+	r.flagCell = UpdateCell[V]{state: StateDFlag, info: r}
+	r.markCell = UpdateCell[V]{state: StateMark, info: r}
+	r.cleanCell = UpdateCell[V]{state: StateClean, info: r}
+	return r
+}
+
+// resetInfoFields clears descriptor fields so recycled records do not pin
+// stale references.
+func (r *Record[V]) resetInfoFields() {
+	r.gp = nil
+	r.p = nil
+	r.l = nil
+	r.newChild = nil
+	r.pupdate = nil
+	r.gpupdate = nil
+	r.searchK = 0
+	r.outcome.Store(outcomePending)
+	r.flagCell = UpdateCell[V]{}
+	r.markCell = UpdateCell[V]{}
+	r.cleanCell = UpdateCell[V]{}
+}
+
+// Manager is the Record Manager type the tree programs against.
+type Manager[V any] = core.RecordManager[Record[V]]

@@ -1,0 +1,300 @@
+package bst
+
+import (
+	"math"
+	"sync/atomic"
+
+	"repro/internal/neutralize"
+)
+
+// Sentinel keys: user keys must be strictly smaller than Infinity1.
+const (
+	// Infinity2 is the key of the root and of the right sentinel leaf.
+	Infinity2 = math.MaxInt64
+	// Infinity1 is the key of the left sentinel leaf; the largest key any
+	// user-supplied key must stay below.
+	Infinity1 = math.MaxInt64 - 1
+)
+
+// Tree is a lock-free external binary search tree storing int64 keys and
+// values of type V. All concurrent operations take the dense thread id of
+// the calling worker, which must be in [0, n) for the Record Manager the
+// tree was built with.
+type Tree[V any] struct {
+	mgr  *Manager[V]
+	root *Record[V]
+
+	// initialClean is the shared "clean, no operation" update cell used by
+	// freshly created internal nodes.
+	initialClean UpdateCell[V]
+
+	// perRecord caches whether the reclaimer needs Protect/validate per
+	// record (hazard-pointer style schemes).
+	perRecord bool
+	// crashRecovery caches whether the reclaimer neutralizes threads and
+	// therefore requires the recovery path (DEBRA+).
+	crashRecovery bool
+
+	stats opStats
+}
+
+// opStats tracks data structure level counters (not reclamation counters).
+type opStats struct {
+	restarts atomic.Int64 // operation restarts (CAS failures, HP validation failures)
+	helps    atomic.Int64 // help calls on other operations' descriptors
+	recov    atomic.Int64 // recovery executions after neutralization
+}
+
+// Stats is a snapshot of the tree's operation counters.
+type Stats struct {
+	Restarts   int64
+	Helps      int64
+	Recoveries int64
+}
+
+// New creates an empty tree whose records are managed by mgr. The Record
+// Manager must have been built for the same number of threads that will
+// operate on the tree.
+func New[V any](mgr *Manager[V]) *Tree[V] {
+	if mgr == nil {
+		panic("bst: New requires a RecordManager")
+	}
+	t := &Tree[V]{
+		mgr:           mgr,
+		perRecord:     mgr.NeedsPerRecordProtection(),
+		crashRecovery: mgr.SupportsCrashRecovery(),
+	}
+	t.initialClean = UpdateCell[V]{state: StateClean, info: nil}
+	// The initial tree: a root with key Infinity2 whose children are the
+	// two sentinel leaves. These records are allocated from the manager
+	// (thread 0) but never retired.
+	var zero V
+	left := initLeaf(mgr.Allocate(0), Infinity1, zero)
+	right := initLeaf(mgr.Allocate(0), Infinity2, zero)
+	t.root = initInternal(mgr.Allocate(0), Infinity2, left, right, &t.initialClean)
+	return t
+}
+
+// Manager returns the tree's Record Manager (for instrumentation).
+func (t *Tree[V]) Manager() *Manager[V] { return t.mgr }
+
+// Stats returns a snapshot of the tree's operation counters.
+func (t *Tree[V]) Stats() Stats {
+	return Stats{
+		Restarts:   t.stats.restarts.Load(),
+		Helps:      t.stats.helps.Load(),
+		Recoveries: t.stats.recov.Load(),
+	}
+}
+
+// searchResult carries the outcome of one tree search: the leaf, its parent
+// and grandparent, the update values observed at the parent and grandparent,
+// and (under per-record protection) which Info records the search protected.
+type searchResult[V any] struct {
+	gp, p, l           *Record[V]
+	pupdate, gpupdate  *UpdateCell[V]
+	ok                 bool // false: protection validation failed, restart
+	gpInfoP, pInfoProt *Record[V]
+}
+
+// child returns p's child on the side key routes to.
+func child[V any](p *Record[V], key int64) *Record[V] {
+	if key < p.key {
+		return p.left.Load()
+	}
+	return p.right.Load()
+}
+
+// search descends from the root to the leaf where key belongs, returning the
+// leaf, its parent and grandparent together with the update values read at
+// the parent and grandparent (the standard Ellen et al. search). Under
+// per-record protection schemes it maintains hazard pointers on gp, p and l,
+// validating each step and reporting ok=false when the caller must restart.
+// It also protects the Info records owning the returned update cells so they
+// can safely be used as CAS expected values and dereferenced.
+func (t *Tree[V]) search(tid int, key int64) searchResult[V] {
+	m := t.mgr
+	var res searchResult[V]
+	var gp, p *Record[V]
+	var gpupdate, pupdate *UpdateCell[V]
+	l := t.root
+	if t.perRecord {
+		m.Protect(tid, l)
+	}
+	for !l.IsLeaf() {
+		m.Checkpoint(tid)
+		if t.perRecord && gp != nil {
+			// gp is about to become unreachable from our working set.
+			m.Unprotect(tid, gp)
+		}
+		gp = p
+		gpupdate = pupdate
+		p = l
+		pupdate = p.update.Load()
+		l = child(p, key)
+		if l == nil {
+			// A node is being initialised concurrently in a way we can no
+			// longer trust (can only happen if protection failed); restart.
+			res.ok = false
+			t.releaseSearchProtection(tid, gp, p, nil)
+			return res
+		}
+		if t.perRecord {
+			if !m.Protect(tid, l) {
+				res.ok = false
+				t.releaseSearchProtection(tid, gp, p, nil)
+				return res
+			}
+			if child(p, key) != l {
+				// p's child changed under us: l may already be retired.
+				m.Unprotect(tid, l)
+				res.ok = false
+				t.releaseSearchProtection(tid, gp, p, nil)
+				return res
+			}
+		}
+	}
+	res.gp, res.p, res.l = gp, p, l
+	res.pupdate, res.gpupdate = pupdate, gpupdate
+	res.ok = true
+	if t.perRecord {
+		// Protect the Info records owning the observed update cells so that
+		// (a) dereferencing their state remains safe and (b) they cannot be
+		// reused while we hold them as CAS expected values. The validation
+		// relies on the retire-on-replace rule: an Info is only retired once
+		// its cell is no longer installed, so "still installed" implies
+		// "not retired when the protection was announced".
+		if !t.protectCellInfo(tid, p, pupdate) {
+			res.ok = false
+			t.releaseSearchProtection(tid, gp, p, l)
+			return res
+		}
+		res.pInfoProt = cellInfo(pupdate)
+		if gp != nil && !t.protectCellInfo(tid, gp, gpupdate) {
+			if res.pInfoProt != nil {
+				m.Unprotect(tid, res.pInfoProt)
+			}
+			res.ok = false
+			t.releaseSearchProtection(tid, gp, p, l)
+			return res
+		}
+		if gp != nil {
+			res.gpInfoP = cellInfo(gpupdate)
+		}
+	}
+	return res
+}
+
+// cellInfo returns the Info record owning a cell (nil for the initial cell
+// or a nil cell).
+func cellInfo[V any](c *UpdateCell[V]) *Record[V] {
+	if c == nil {
+		return nil
+	}
+	return c.info
+}
+
+// protectCellInfo announces a hazard pointer to the Info record owning cell
+// (if any) and validates that node's update field still holds the cell.
+func (t *Tree[V]) protectCellInfo(tid int, node *Record[V], cell *UpdateCell[V]) bool {
+	info := cellInfo(cell)
+	if info == nil {
+		return true
+	}
+	m := t.mgr
+	if !m.Protect(tid, info) {
+		return false
+	}
+	if node.update.Load() != cell {
+		m.Unprotect(tid, info)
+		return false
+	}
+	return true
+}
+
+// releaseSearchProtection drops the sliding hazard pointers held by search.
+func (t *Tree[V]) releaseSearchProtection(tid int, gp, p, l *Record[V]) {
+	if !t.perRecord {
+		return
+	}
+	m := t.mgr
+	if gp != nil {
+		m.Unprotect(tid, gp)
+	}
+	if p != nil {
+		m.Unprotect(tid, p)
+	}
+	if l != nil {
+		m.Unprotect(tid, l)
+	}
+}
+
+// releaseAll drops every protection the operation still holds (cheap: only
+// per-record schemes track any).
+func (t *Tree[V]) releaseAllProtection(tid int, res searchResult[V]) {
+	if !t.perRecord {
+		return
+	}
+	m := t.mgr
+	if res.pInfoProt != nil {
+		m.Unprotect(tid, res.pInfoProt)
+	}
+	if res.gpInfoP != nil {
+		m.Unprotect(tid, res.gpInfoP)
+	}
+	t.releaseSearchProtection(tid, res.gp, res.p, res.l)
+}
+
+// Get returns the value associated with key and whether it is present.
+func (t *Tree[V]) Get(tid int, key int64) (V, bool) {
+	var zero V
+	if key >= Infinity1 {
+		return zero, false
+	}
+	for {
+		v, ok, done := t.getAttempt(tid, key)
+		if done {
+			return v, ok
+		}
+		t.stats.restarts.Add(1)
+	}
+}
+
+// getAttempt performs one attempt of Get. done=false means restart (hazard
+// pointer validation failed or the attempt was neutralized).
+func (t *Tree[V]) getAttempt(tid int, key int64) (val V, found, done bool) {
+	m := t.mgr
+	if t.crashRecovery {
+		defer func() {
+			if v := recover(); v != nil {
+				if _, ok := neutralize.Recover(v); ok {
+					// Read-only operations have trivial recovery: discard
+					// and retry.
+					t.stats.recov.Add(1)
+					m.RUnprotectAll(tid)
+					done = false
+					return
+				}
+			}
+		}()
+	}
+	m.LeaveQstate(tid)
+	res := t.search(tid, key)
+	if !res.ok {
+		m.EnterQstate(tid)
+		return val, false, false
+	}
+	found = res.l.key == key
+	if found {
+		val = res.l.value
+	}
+	m.EnterQstate(tid)
+	t.releaseAllProtection(tid, res)
+	return val, found, true
+}
+
+// Contains reports whether key is in the set.
+func (t *Tree[V]) Contains(tid int, key int64) bool {
+	_, ok := t.Get(tid, key)
+	return ok
+}

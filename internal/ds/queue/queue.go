@@ -1,0 +1,155 @@
+// Package queue implements the Michael-Scott lock-free FIFO queue against
+// the Record Manager abstraction. It is not part of the paper's evaluation
+// but serves as the canonical "small" client of safe memory reclamation
+// (hazard pointers were originally presented with this queue), and is used
+// by the example programs.
+package queue
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Node is the queue's managed record type.
+type Node[V any] struct {
+	value V
+	next  atomic.Pointer[Node[V]]
+}
+
+// Manager is the Record Manager type the queue programs against.
+type Manager[V any] = core.RecordManager[Node[V]]
+
+// Queue is a lock-free multi-producer multi-consumer FIFO queue.
+type Queue[V any] struct {
+	mgr  *Manager[V]
+	head atomic.Pointer[Node[V]]
+	tail atomic.Pointer[Node[V]]
+
+	perRecord bool
+}
+
+// New creates an empty queue managed by mgr.
+func New[V any](mgr *Manager[V]) *Queue[V] {
+	if mgr == nil {
+		panic("queue: New requires a RecordManager")
+	}
+	q := &Queue[V]{mgr: mgr, perRecord: mgr.NeedsPerRecordProtection()}
+	dummy := mgr.Allocate(0)
+	var zero V
+	dummy.value = zero
+	dummy.next.Store(nil)
+	q.head.Store(dummy)
+	q.tail.Store(dummy)
+	return q
+}
+
+// Manager returns the queue's Record Manager.
+func (q *Queue[V]) Manager() *Manager[V] { return q.mgr }
+
+// Enqueue appends value to the tail of the queue.
+func (q *Queue[V]) Enqueue(tid int, value V) {
+	m := q.mgr
+	node := m.Allocate(tid)
+	node.value = value
+	node.next.Store(nil)
+	m.LeaveQstate(tid)
+	for {
+		m.Checkpoint(tid)
+		tail := q.tail.Load()
+		if q.perRecord {
+			if !m.Protect(tid, tail) || q.tail.Load() != tail {
+				m.Unprotect(tid, tail)
+				continue
+			}
+		}
+		next := tail.next.Load()
+		if next != nil {
+			// Tail is lagging; help advance it.
+			q.tail.CompareAndSwap(tail, next)
+			if q.perRecord {
+				m.Unprotect(tid, tail)
+			}
+			continue
+		}
+		if tail.next.CompareAndSwap(nil, node) {
+			q.tail.CompareAndSwap(tail, node)
+			if q.perRecord {
+				m.Unprotect(tid, tail)
+			}
+			break
+		}
+		if q.perRecord {
+			m.Unprotect(tid, tail)
+		}
+	}
+	m.EnterQstate(tid)
+}
+
+// Dequeue removes and returns the value at the head of the queue; ok is
+// false when the queue is empty.
+func (q *Queue[V]) Dequeue(tid int) (value V, ok bool) {
+	m := q.mgr
+	m.LeaveQstate(tid)
+	defer m.EnterQstate(tid)
+	for {
+		m.Checkpoint(tid)
+		head := q.head.Load()
+		if q.perRecord {
+			if !m.Protect(tid, head) || q.head.Load() != head {
+				m.Unprotect(tid, head)
+				continue
+			}
+		}
+		tail := q.tail.Load()
+		next := head.next.Load()
+		if q.perRecord && next != nil {
+			if !m.Protect(tid, next) || head.next.Load() != next {
+				m.Unprotect(tid, head)
+				m.Unprotect(tid, next)
+				continue
+			}
+		}
+		if head == q.head.Load() {
+			if head == tail {
+				if next == nil {
+					q.releasePair(tid, head, next)
+					var zero V
+					return zero, false
+				}
+				// Tail lagging behind; help it forward.
+				q.tail.CompareAndSwap(tail, next)
+			} else {
+				value = next.value
+				if q.head.CompareAndSwap(head, next) {
+					q.releasePair(tid, head, next)
+					// The old dummy head is unreachable for new operations.
+					m.Retire(tid, head)
+					return value, true
+				}
+			}
+		}
+		q.releasePair(tid, head, next)
+	}
+}
+
+// releasePair drops the hazard pointers acquired by Dequeue.
+func (q *Queue[V]) releasePair(tid int, head, next *Node[V]) {
+	if !q.perRecord {
+		return
+	}
+	q.mgr.Unprotect(tid, head)
+	if next != nil {
+		q.mgr.Unprotect(tid, next)
+	}
+}
+
+// Len returns the number of elements currently in the queue (quiescent use
+// only: it walks the list without protection).
+func (q *Queue[V]) Len() int {
+	n := 0
+	for node := q.head.Load().next.Load(); node != nil; node = node.next.Load() {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,200 @@
+// Package pool implements the object pools of the paper's Record Manager
+// (Section 4, "Object pool"): each thread has a private pool bag of freed
+// records; overflow is pushed, whole blocks at a time, onto a shared
+// lock-free bag; allocation prefers the private bag, then the shared bag,
+// and finally falls through to the Allocator.
+//
+// The package also provides Discard, the counting sink used by the paper's
+// Experiment 1, where reclaimers perform all the work of reclamation but
+// records are never reused.
+package pool
+
+import (
+	"sync/atomic"
+
+	"repro/internal/blockbag"
+	"repro/internal/core"
+)
+
+// DefaultMaxPrivateBlocks is the number of full blocks a private pool bag
+// may hold before overflow blocks are pushed to the shared bag.
+const DefaultMaxPrivateBlocks = 8
+
+// Pool is the standard Record Manager pool. It implements core.Pool,
+// core.FreeSink and core.BlockFreeSink.
+type Pool[T any] struct {
+	alloc  core.Allocator[T]
+	shared blockbag.SharedStack[T]
+
+	threads []poolThread[T]
+
+	maxPrivateBlocks int
+}
+
+type poolThread[T any] struct {
+	bag       *blockbag.Bag[T]
+	blockPool *blockbag.BlockPool[T]
+
+	reused        atomic.Int64
+	fromAllocator atomic.Int64
+	freed         atomic.Int64
+	toShared      atomic.Int64
+	fromShared    atomic.Int64
+	_             [core.PadBytes]byte
+}
+
+// Option configures a Pool.
+type Option func(*config)
+
+type config struct {
+	maxPrivateBlocks int
+	blockPoolCap     int
+}
+
+// WithMaxPrivateBlocks bounds the number of full blocks kept in each
+// thread's private pool bag before overflow is pushed to the shared bag.
+func WithMaxPrivateBlocks(n int) Option {
+	return func(c *config) { c.maxPrivateBlocks = n }
+}
+
+// WithBlockPoolCap bounds the per-thread cache of empty blocks.
+func WithBlockPoolCap(n int) Option {
+	return func(c *config) { c.blockPoolCap = n }
+}
+
+// New creates a pool for n threads backed by alloc.
+func New[T any](n int, alloc core.Allocator[T], opts ...Option) *Pool[T] {
+	if n <= 0 {
+		panic("pool: New requires n >= 1")
+	}
+	if alloc == nil {
+		panic("pool: New requires an Allocator")
+	}
+	cfg := config{maxPrivateBlocks: DefaultMaxPrivateBlocks, blockPoolCap: blockbag.DefaultBlockPoolCap}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	p := &Pool[T]{
+		alloc:            alloc,
+		threads:          make([]poolThread[T], n),
+		maxPrivateBlocks: cfg.maxPrivateBlocks,
+	}
+	for i := range p.threads {
+		bp := blockbag.NewBlockPool[T](cfg.blockPoolCap)
+		p.threads[i].blockPool = bp
+		p.threads[i].bag = blockbag.New(bp)
+	}
+	return p
+}
+
+// BlockPool exposes thread tid's block pool so that reclaimers owned by the
+// same thread can share it (blocks then circulate between limbo bags and the
+// pool bag without ever being reallocated).
+func (p *Pool[T]) BlockPool(tid int) *blockbag.BlockPool[T] { return p.threads[tid].blockPool }
+
+// Allocate returns a record for thread tid: private pool bag first, then the
+// shared bag (whole blocks at a time), then the Allocator.
+func (p *Pool[T]) Allocate(tid int) *T {
+	t := &p.threads[tid]
+	if rec, ok := t.bag.Remove(); ok {
+		t.reused.Add(1)
+		return rec
+	}
+	// Try to refill from the shared bag.
+	if blk := p.shared.Pop(); blk != nil {
+		n := int64(blk.Len())
+		t.bag.AddBlock(blk)
+		t.fromShared.Add(n)
+		if rec, ok := t.bag.Remove(); ok {
+			t.reused.Add(1)
+			return rec
+		}
+	}
+	t.fromAllocator.Add(1)
+	return p.alloc.Allocate(tid)
+}
+
+// Free returns a reclaimed record to thread tid's private pool bag,
+// spilling whole blocks to the shared bag when the private bag grows beyond
+// its bound.
+func (p *Pool[T]) Free(tid int, rec *T) {
+	t := &p.threads[tid]
+	t.bag.Add(rec)
+	t.freed.Add(1)
+	p.spill(tid)
+}
+
+// FreeBlocks accepts a detached chain of full blocks (core.BlockFreeSink).
+func (p *Pool[T]) FreeBlocks(tid int, chain *blockbag.Block[T]) {
+	if chain == nil {
+		return
+	}
+	t := &p.threads[tid]
+	n := int64(0)
+	for blk := chain; blk != nil; {
+		next := blk.Next()
+		n += int64(blk.Len())
+		// AddBlock rewrites the block's chain pointer, so no explicit
+		// detaching is needed; the loop variable already captured next.
+		t.bag.AddBlock(blk)
+		blk = next
+	}
+	t.freed.Add(n)
+	p.spill(tid)
+}
+
+// spill pushes full blocks beyond the private bound onto the shared bag.
+func (p *Pool[T]) spill(tid int) {
+	t := &p.threads[tid]
+	for t.bag.FullBlocks() > p.maxPrivateBlocks {
+		blk := t.bag.TakeFullBlock()
+		if blk == nil {
+			return
+		}
+		t.toShared.Add(int64(blk.Len()))
+		p.shared.Push(blk)
+	}
+}
+
+// Stats sums the per-thread counters.
+func (p *Pool[T]) Stats() core.PoolStats {
+	var s core.PoolStats
+	for i := range p.threads {
+		t := &p.threads[i]
+		s.Reused += t.reused.Load()
+		s.FromAllocator += t.fromAllocator.Load()
+		s.Freed += t.freed.Load()
+		s.ToShared += t.toShared.Load()
+		s.FromShared += t.fromShared.Load()
+	}
+	return s
+}
+
+// SharedBlocks returns the number of blocks currently on the shared bag
+// (instrumentation for tests and the harness).
+func (p *Pool[T]) SharedBlocks() int64 { return p.shared.Blocks() }
+
+// Discard is a free sink that drops records, merely counting them. It is the
+// configuration of the paper's Experiment 1: the data structure pays the
+// cost of reclamation but does not enjoy its benefits (no reuse, growing
+// footprint).
+type Discard[T any] struct {
+	freed atomic.Int64
+}
+
+// NewDiscard creates a discarding sink.
+func NewDiscard[T any]() *Discard[T] { return &Discard[T]{} }
+
+// Free drops rec.
+func (d *Discard[T]) Free(tid int, rec *T) { d.freed.Add(1) }
+
+// Freed returns the number of records dropped.
+func (d *Discard[T]) Freed() int64 { return d.freed.Load() }
+
+// Compile-time interface checks.
+var (
+	_ core.Pool[int]          = (*Pool[int])(nil)
+	_ core.FreeSink[int]      = (*Pool[int])(nil)
+	_ core.BlockFreeSink[int] = (*Pool[int])(nil)
+	_ core.FreeSink[int]      = (*Discard[int])(nil)
+)

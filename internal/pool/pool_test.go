@@ -1,0 +1,177 @@
+package pool
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/arena"
+	"repro/internal/blockbag"
+)
+
+type rec struct {
+	id      int
+	payload [4]int64
+}
+
+func newPool(threads int, opts ...Option) (*Pool[rec], *arena.Bump[rec]) {
+	alloc := arena.NewBump[rec](threads, 256)
+	return New(threads, alloc, opts...), alloc
+}
+
+func TestPoolAllocateFallsThroughToAllocator(t *testing.T) {
+	p, alloc := newPool(1)
+	r := p.Allocate(0)
+	if r == nil {
+		t.Fatal("nil record")
+	}
+	if alloc.Stats().Allocated != 1 {
+		t.Fatalf("allocator served %d records, want 1", alloc.Stats().Allocated)
+	}
+	if p.Stats().FromAllocator != 1 {
+		t.Fatalf("FromAllocator=%d want 1", p.Stats().FromAllocator)
+	}
+}
+
+func TestPoolReusesFreedRecords(t *testing.T) {
+	p, alloc := newPool(1)
+	r1 := p.Allocate(0)
+	p.Free(0, r1)
+	r2 := p.Allocate(0)
+	if r1 != r2 {
+		t.Fatalf("expected pooled record %p to be reused, got %p", r1, r2)
+	}
+	s := p.Stats()
+	if s.Reused != 1 || s.Freed != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	if alloc.Stats().Allocated != 1 {
+		t.Fatalf("allocator allocated %d records, want 1", alloc.Stats().Allocated)
+	}
+}
+
+func TestPoolSpillsToSharedBagAndRefills(t *testing.T) {
+	p, _ := newPool(2, WithMaxPrivateBlocks(1))
+	// Thread 0 frees enough records to overflow its private bag.
+	n := 4 * blockbag.BlockSize
+	recs := make([]*rec, 0, n)
+	for i := 0; i < n; i++ {
+		recs = append(recs, p.Allocate(0))
+	}
+	for _, r := range recs {
+		p.Free(0, r)
+	}
+	if p.SharedBlocks() == 0 {
+		t.Fatal("expected overflow blocks on the shared bag")
+	}
+	if p.Stats().ToShared == 0 {
+		t.Fatal("ToShared counter did not move")
+	}
+	// Thread 1 should be able to reuse records that thread 0 freed.
+	before := p.Stats().FromShared
+	seen := map[*rec]bool{}
+	for _, r := range recs {
+		seen[r] = true
+	}
+	reusedFromOther := false
+	for i := 0; i < n; i++ {
+		r := p.Allocate(1)
+		if seen[r] {
+			reusedFromOther = true
+			break
+		}
+	}
+	if !reusedFromOther {
+		t.Fatal("thread 1 never reused a record freed by thread 0")
+	}
+	if p.Stats().FromShared == before {
+		t.Fatal("FromShared counter did not move")
+	}
+}
+
+func TestPoolFreeBlocks(t *testing.T) {
+	p, _ := newPool(1, WithMaxPrivateBlocks(100))
+	// Build a detached chain of two full blocks using a scratch bag.
+	bp := blockbag.NewBlockPool[rec](4)
+	bag := blockbag.New(bp)
+	n := 2*blockbag.BlockSize + 3
+	for i := 0; i < n; i++ {
+		bag.Add(&rec{id: i})
+	}
+	it := bag.Begin() // keep the first record, detach full blocks after it
+	chain := bag.DetachFullBlocksAfter(it)
+	if chain == nil {
+		t.Fatal("expected a detached chain")
+	}
+	moved := blockbag.ChainLen(chain)
+	p.FreeBlocks(0, chain)
+	p.FreeBlocks(0, nil) // no-op
+	if got := p.Stats().Freed; got != int64(moved) {
+		t.Fatalf("Freed=%d want %d", got, moved)
+	}
+	// All the freed records must now be allocatable before the allocator is
+	// consulted again.
+	reused := 0
+	for i := 0; i < moved; i++ {
+		p.Allocate(0)
+		reused++
+	}
+	if got := p.Stats().Reused; got != int64(reused) {
+		t.Fatalf("Reused=%d want %d", got, reused)
+	}
+}
+
+func TestPoolConcurrentFreeAllocate(t *testing.T) {
+	const threads = 8
+	const iters = 3000
+	p, _ := newPool(threads, WithMaxPrivateBlocks(1))
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			local := make([]*rec, 0, 64)
+			for i := 0; i < iters; i++ {
+				local = append(local, p.Allocate(tid))
+				if len(local) > 32 {
+					for _, r := range local {
+						p.Free(tid, r)
+					}
+					local = local[:0]
+				}
+			}
+			for _, r := range local {
+				p.Free(tid, r)
+			}
+		}(tid)
+	}
+	wg.Wait()
+	s := p.Stats()
+	if s.Freed == 0 || s.Reused == 0 {
+		t.Fatalf("expected reuse under concurrency, got %+v", s)
+	}
+}
+
+func TestDiscardCountsOnly(t *testing.T) {
+	d := NewDiscard[rec]()
+	for i := 0; i < 10; i++ {
+		d.Free(0, &rec{id: i})
+	}
+	if d.Freed() != 10 {
+		t.Fatalf("Freed=%d want 10", d.Freed())
+	}
+}
+
+func TestNewPoolValidation(t *testing.T) {
+	if !panics(func() { New[rec](0, arena.NewBump[rec](1, 8)) }) {
+		t.Fatal("expected panic for n=0")
+	}
+	if !panics(func() { New[rec](1, nil) }) {
+		t.Fatal("expected panic for nil allocator")
+	}
+}
+
+func panics(fn func()) (p bool) {
+	defer func() { p = recover() != nil }()
+	fn()
+	return false
+}

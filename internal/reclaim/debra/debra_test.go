@@ -1,0 +1,242 @@
+package debra_test
+
+import (
+	"testing"
+
+	"repro/internal/blockbag"
+	"repro/internal/core"
+	"repro/internal/reclaim/debra"
+	"repro/internal/reclaimtest"
+)
+
+// fast returns options that make epochs advance quickly in unit tests.
+func fast() []debra.Option {
+	return []debra.Option{debra.WithCheckThresh(1), debra.WithIncrThresh(1)}
+}
+
+func factory(n int, sink core.FreeSink[reclaimtest.Record]) core.Reclaimer[reclaimtest.Record] {
+	return debra.New(n, sink, fast()...)
+}
+
+func factoryDefault(n int, sink core.FreeSink[reclaimtest.Record]) core.Reclaimer[reclaimtest.Record] {
+	return debra.New(n, sink)
+}
+
+func TestConformance(t *testing.T)         { reclaimtest.Conformance(t, factory) }
+func TestConformanceDefault(t *testing.T)  { reclaimtest.Conformance(t, factoryDefault) }
+func TestStressFastEpochs(t *testing.T)    { reclaimtest.Stress(t, factory, reclaimtest.DefaultStressOptions()) }
+func TestStressDefaultPacing(t *testing.T) { reclaimtest.Stress(t, factoryDefault, reclaimtest.DefaultStressOptions()) }
+
+// retireMany drives tid through ops, retiring fresh records, and returns them.
+func retireMany(r *debra.Reclaimer[reclaimtest.Record], tid, n int) []*reclaimtest.Record {
+	recs := make([]*reclaimtest.Record, 0, n)
+	for i := 0; i < n; i++ {
+		r.LeaveQstate(tid)
+		rec := &reclaimtest.Record{ID: int64(i)}
+		r.Retire(tid, rec)
+		recs = append(recs, rec)
+		r.EnterQstate(tid)
+	}
+	return recs
+}
+
+// TestSingleThreadReclaims checks that a single thread reclaims its own
+// retired records once enough operations (and therefore epochs) pass. Only
+// full blocks move to the pool, so we retire several blocks' worth.
+func TestSingleThreadReclaims(t *testing.T) {
+	sink := reclaimtest.NewRecordingSink()
+	r := debra.New(1, sink, fast()...)
+	n := 4 * blockbag.BlockSize
+	retireMany(r, 0, n)
+	// A few empty operations to advance epochs and rotate bags.
+	for i := 0; i < 10; i++ {
+		r.LeaveQstate(0)
+		r.EnterQstate(0)
+	}
+	if sink.Freed() == 0 {
+		t.Fatalf("no records freed after %d retires (stats=%+v epoch=%d)", n, r.Stats(), r.Epoch())
+	}
+	s := r.Stats()
+	if s.Freed > s.Retired {
+		t.Fatalf("freed %d > retired %d", s.Freed, s.Retired)
+	}
+	// At most 3 partial head blocks (one per limbo bag) may be withheld.
+	if s.Limbo > 3*int64(blockbag.BlockSize) {
+		t.Fatalf("limbo=%d exceeds the 3 partial-block bound", s.Limbo)
+	}
+}
+
+// TestRecordNotFreedBeforeTwoEpochs checks the core epoch-safety property:
+// a retired record is not handed to the sink until the epoch has advanced at
+// least twice past its retirement.
+func TestRecordNotFreedBeforeTwoEpochs(t *testing.T) {
+	sink := reclaimtest.NewRecordingSink()
+	r := debra.New(2, sink, fast()...)
+
+	// Thread 1 is in the middle of an operation: it announced the current
+	// epoch and holds (conceptually) pointers into the structure.
+	r.LeaveQstate(1)
+
+	// Thread 0 retires many records; thread 1 never finishes its operation,
+	// so no record may be freed.
+	for i := 0; i < 3*blockbag.BlockSize; i++ {
+		r.LeaveQstate(0)
+		r.Retire(0, &reclaimtest.Record{ID: int64(i)})
+		r.EnterQstate(0)
+	}
+	if got := sink.Freed(); got != 0 {
+		t.Fatalf("%d records freed while thread 1 was still in its operation", got)
+	}
+
+	// Thread 1 finishes; after thread 0 performs more operations the epoch
+	// advances and reclamation proceeds.
+	r.EnterQstate(1)
+	for i := 0; i < 20; i++ {
+		r.LeaveQstate(0)
+		r.EnterQstate(0)
+	}
+	if sink.Freed() == 0 {
+		t.Fatal("records never freed after thread 1 became quiescent")
+	}
+}
+
+// TestQuiescentThreadDoesNotBlock demonstrates DEBRA's partial fault
+// tolerance: threads that are quiescent (crashed or descheduled BETWEEN
+// operations) never delay reclamation.
+func TestQuiescentThreadDoesNotBlock(t *testing.T) {
+	sink := reclaimtest.NewRecordingSink()
+	r := debra.New(8, sink, fast()...) // threads 1..7 never run at all
+	// With fast epochs the retires are spread across the three limbo bags,
+	// and only full blocks are ever moved to the sink, so retire enough to
+	// fill several blocks per bag.
+	retireMany(r, 0, 12*blockbag.BlockSize)
+	for i := 0; i < 10; i++ {
+		r.LeaveQstate(0)
+		r.EnterQstate(0)
+	}
+	if sink.Freed() == 0 {
+		t.Fatal("quiescent threads blocked reclamation (they must not)")
+	}
+}
+
+// TestStalledOperationBlocksReclamation is the flip side: DEBRA alone is NOT
+// fault tolerant, so a thread stalled inside an operation stops everyone
+// from freeing memory (this is what DEBRA+ fixes).
+func TestStalledOperationBlocksReclamation(t *testing.T) {
+	sink := reclaimtest.NewRecordingSink()
+	r := debra.New(2, sink, fast()...)
+	r.LeaveQstate(1) // stalled mid-operation
+	retireMany(r, 0, 4*blockbag.BlockSize)
+	if got := sink.Freed(); got != 0 {
+		t.Fatalf("%d records freed despite a thread stalled mid-operation", got)
+	}
+	if r.Stats().Limbo == 0 {
+		t.Fatal("expected records to accumulate in limbo")
+	}
+}
+
+// TestEpochAdvancesRequireFullScan checks that the epoch only advances after
+// the incremental scan has covered every thread.
+func TestEpochAdvancesRequireFullScan(t *testing.T) {
+	sink := reclaimtest.NewRecordingSink()
+	const n = 5
+	r := debra.New(n, sink, fast()...)
+	start := r.Epoch()
+	// All threads must participate (or be quiescent); with every thread
+	// quiescent except thread 0, thread 0 still needs at least n checks.
+	for i := 0; i < n-1; i++ {
+		r.LeaveQstate(0)
+		r.EnterQstate(0)
+	}
+	if r.Epoch() != start {
+		t.Fatalf("epoch advanced after only %d operations (scan cannot have covered all %d threads)", n-1, n)
+	}
+	for i := 0; i < n+2; i++ {
+		r.LeaveQstate(0)
+		r.EnterQstate(0)
+	}
+	if r.Epoch() == start {
+		t.Fatal("epoch never advanced even though all other threads are quiescent")
+	}
+}
+
+// TestIncrThreshDelaysAdvance checks the INCR_THRESH pacing: with the
+// default threshold of 100, a lone thread does not advance the epoch on
+// every operation.
+func TestIncrThreshDelaysAdvance(t *testing.T) {
+	sink := reclaimtest.NewRecordingSink()
+	r := debra.New(1, sink, debra.WithCheckThresh(1), debra.WithIncrThresh(100))
+	start := r.Epoch()
+	for i := 0; i < 50; i++ {
+		r.LeaveQstate(0)
+		r.EnterQstate(0)
+	}
+	if r.Epoch() != start {
+		t.Fatal("epoch advanced before INCR_THRESH operations")
+	}
+	for i := 0; i < 200; i++ {
+		r.LeaveQstate(0)
+		r.EnterQstate(0)
+	}
+	if r.Epoch() == start {
+		t.Fatal("epoch never advanced after INCR_THRESH operations")
+	}
+}
+
+// TestBlockSinkReceivesWholeBlocks verifies the O(1) block transfer path:
+// when the sink supports blocks, records arrive in multiples of BlockSize.
+func TestBlockSinkReceivesWholeBlocks(t *testing.T) {
+	sink := &blockRecordingSink{}
+	r := debra.New[reclaimtest.Record](1, sink, fast()...)
+	retireMany2(r, 0, 3*blockbag.BlockSize)
+	for i := 0; i < 10; i++ {
+		r.LeaveQstate(0)
+		r.EnterQstate(0)
+	}
+	if sink.blocks == 0 {
+		t.Fatal("block sink never received a block")
+	}
+	if sink.singles != 0 {
+		t.Fatalf("block sink received %d individual records; expected whole blocks only", sink.singles)
+	}
+}
+
+func retireMany2(r *debra.Reclaimer[reclaimtest.Record], tid, n int) {
+	for i := 0; i < n; i++ {
+		r.LeaveQstate(tid)
+		r.Retire(tid, &reclaimtest.Record{ID: int64(i)})
+		r.EnterQstate(tid)
+	}
+}
+
+// blockRecordingSink counts whole-block versus individual frees.
+type blockRecordingSink struct {
+	blocks  int
+	singles int
+}
+
+func (s *blockRecordingSink) Free(tid int, rec *reclaimtest.Record) { s.singles++ }
+
+func (s *blockRecordingSink) FreeBlocks(tid int, chain *blockbag.Block[reclaimtest.Record]) {
+	for blk := chain; blk != nil; blk = blk.Next() {
+		s.blocks++
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if !panics(func() { debra.New[reclaimtest.Record](0, reclaimtest.NewRecordingSink()) }) {
+		t.Fatal("expected panic for n=0")
+	}
+	if !panics(func() { debra.New[reclaimtest.Record](1, nil) }) {
+		t.Fatal("expected panic for nil sink")
+	}
+	if !panics(func() { debra.New[reclaimtest.Record](1, reclaimtest.NewRecordingSink()).Retire(0, nil) }) {
+		t.Fatal("expected panic for Retire(nil)")
+	}
+}
+
+func panics(fn func()) (p bool) {
+	defer func() { p = recover() != nil }()
+	fn()
+	return false
+}

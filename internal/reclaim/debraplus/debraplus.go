@@ -1,0 +1,488 @@
+// Package debraplus implements DEBRA+, the fault-tolerant distributed epoch
+// based reclamation scheme of Section 5 of the paper (Figure 6 pseudocode).
+//
+// DEBRA+ extends DEBRA with neutralization: a thread that cannot advance the
+// epoch because another thread has been non-quiescent for too long sends
+// that thread a signal and then treats it as quiescent. The signalled thread
+// delivers the signal at its next checkpoint, enters a quiescent state and
+// jumps (via a typed panic recovered by the operation wrapper) into recovery
+// code. Recovery uses a limited form of hazard pointers — RProtect /
+// RUnprotectAll / IsRProtected — so that a neutralized thread can still help
+// its own announced operation to completion even though other threads have
+// stopped waiting for it.
+//
+// Consequences reproduced here:
+//
+//   - reclamation continues even if a thread stalls or crashes in the middle
+//     of an operation (fault tolerance);
+//   - at any time O(n·(n·m + c)) records are waiting to be freed, where m is
+//     the largest number of records retired by one operation and c is the
+//     suspicion threshold;
+//   - freeing a record costs O(1) expected amortised time: limbo bags are
+//     scanned against the RProtect table only once they hold at least
+//     scanThreshold blocks, protected records are swapped to the front of
+//     the bag, and everything behind them is moved to the pool in whole
+//     blocks.
+//
+// See internal/neutralize and DESIGN.md for how POSIX signal delivery and
+// siglongjmp are simulated, and for the argument that the weaker
+// "delivery at the next checkpoint" guarantee preserves safety.
+package debraplus
+
+import (
+	"sync/atomic"
+
+	"repro/internal/blockbag"
+	"repro/internal/core"
+	"repro/internal/neutralize"
+	"repro/internal/reclaim/debra"
+)
+
+// Defaults for the DEBRA+ specific thresholds. The DEBRA pacing constants
+// (CHECK_THRESH, INCR_THRESH) are reused from the debra package.
+const (
+	// DefaultSuspectThresholdBlocks is the number of blocks the caller's
+	// current limbo bag must reach before it suspects (and neutralizes) a
+	// thread that is holding the epoch back.
+	DefaultSuspectThresholdBlocks = 4
+	// DefaultMaxRProtect is the number of recovery hazard pointer slots per
+	// thread (the paper's k); data structure operations protect a small
+	// constant number of records plus one descriptor.
+	DefaultMaxRProtect = 32
+)
+
+// Option configures the reclaimer.
+type Option func(*config)
+
+type config struct {
+	checkThresh           int64
+	incrThresh            int64
+	suspectThresholdBlks  int
+	scanThresholdBlks     int
+	maxRProtect           int
+	domain                *neutralize.Domain
+	disableNeutralization bool
+}
+
+// WithCheckThresh sets the announcement-check pacing (CHECK_THRESH).
+func WithCheckThresh(v int) Option { return func(c *config) { c.checkThresh = int64(v) } }
+
+// WithIncrThresh sets the epoch-advance pacing (INCR_THRESH).
+func WithIncrThresh(v int) Option { return func(c *config) { c.incrThresh = int64(v) } }
+
+// WithSuspectThresholdBlocks sets how large (in blocks) a thread's current
+// limbo bag must grow before it starts neutralizing laggards.
+func WithSuspectThresholdBlocks(v int) Option {
+	return func(c *config) { c.suspectThresholdBlks = v }
+}
+
+// WithScanThresholdBlocks sets how large (in blocks) a rotated limbo bag must
+// be before it is scanned against the RProtect table and reclaimed. The
+// default is derived from n and the RProtect capacity so that each scan frees
+// Omega(nk) records, giving O(1) amortised cost per record.
+func WithScanThresholdBlocks(v int) Option { return func(c *config) { c.scanThresholdBlks = v } }
+
+// WithMaxRProtect sets the number of recovery hazard pointer slots per
+// thread.
+func WithMaxRProtect(v int) Option { return func(c *config) { c.maxRProtect = v } }
+
+// WithDomain supplies an externally created neutralization domain so that
+// several reclaimers (or the test harness) can share one set of signal
+// words. By default each reclaimer creates its own domain.
+func WithDomain(d *neutralize.Domain) Option { return func(c *config) { c.domain = d } }
+
+// WithNeutralizationDisabled turns off signalling entirely (the reclaimer
+// then degrades to DEBRA's behaviour); used by ablation benchmarks.
+func WithNeutralizationDisabled() Option { return func(c *config) { c.disableNeutralization = true } }
+
+// Reclaimer implements core.Reclaimer with DEBRA+.
+type Reclaimer[T any] struct {
+	sink      core.FreeSink[T]
+	blockSink core.BlockFreeSink[T]
+	cfg       config
+	domain    *neutralize.Domain
+
+	epoch   atomic.Int64
+	shared  []announceSlot
+	rprot   []rprotectSlots[T]
+	threads []thread[T]
+}
+
+type announceSlot struct {
+	v atomic.Int64
+	_ [core.PadBytes]byte
+}
+
+// rprotectSlots is one thread's recovery-hazard-pointer table: written only
+// by its owner, read by every thread that scans before freeing.
+type rprotectSlots[T any] struct {
+	count atomic.Int32
+	slots []atomic.Pointer[T]
+	_     [core.PadBytes]byte
+}
+
+type thread[T any] struct {
+	bags       [3]*blockbag.Bag[T]
+	currentBag *blockbag.Bag[T]
+	index      int
+
+	checkNext     int64
+	opsSinceCheck int64
+	opsSinceIncr  int64
+
+	blockPool *blockbag.BlockPool[T]
+	scanSet   map[*T]struct{} // scratch hash table reused across scans
+
+	retired         atomic.Int64
+	freed           atomic.Int64
+	epochAdvances   atomic.Int64
+	scans           atomic.Int64
+	neutralizations atomic.Int64
+	selfNeutralized atomic.Int64
+
+	_ [core.PadBytes]byte
+}
+
+const (
+	epochInc     = 2
+	quiescentBit = 1
+)
+
+// New creates a DEBRA+ reclaimer for n threads. Reclaimed records are handed
+// to sink (whole blocks when it implements core.BlockFreeSink).
+func New[T any](n int, sink core.FreeSink[T], opts ...Option) *Reclaimer[T] {
+	if n <= 0 {
+		panic("debraplus: New requires n >= 1")
+	}
+	if sink == nil {
+		panic("debraplus: New requires a FreeSink")
+	}
+	cfg := config{
+		checkThresh:          debra.DefaultCheckThresh,
+		incrThresh:           debra.DefaultIncrThresh,
+		suspectThresholdBlks: DefaultSuspectThresholdBlocks,
+		maxRProtect:          DefaultMaxRProtect,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.checkThresh < 1 {
+		cfg.checkThresh = 1
+	}
+	if cfg.incrThresh < 1 {
+		cfg.incrThresh = 1
+	}
+	if cfg.maxRProtect < 1 {
+		cfg.maxRProtect = 1
+	}
+	if cfg.suspectThresholdBlks < 1 {
+		cfg.suspectThresholdBlks = 1
+	}
+	if cfg.scanThresholdBlks <= 0 {
+		// Scan once the bag holds at least n*k records (rounded up to
+		// blocks) plus one block, so each scan can free Omega(nk) records.
+		cfg.scanThresholdBlks = (n*cfg.maxRProtect)/blockbag.BlockSize + 2
+	}
+	dom := cfg.domain
+	if dom == nil {
+		dom = neutralize.NewDomain(n)
+	}
+	r := &Reclaimer[T]{
+		sink:    sink,
+		cfg:     cfg,
+		domain:  dom,
+		shared:  make([]announceSlot, n),
+		rprot:   make([]rprotectSlots[T], n),
+		threads: make([]thread[T], n),
+	}
+	if bs, ok := sink.(core.BlockFreeSink[T]); ok {
+		r.blockSink = bs
+	}
+	r.epoch.Store(epochInc)
+	for i := range r.threads {
+		t := &r.threads[i]
+		t.blockPool = blockbag.NewBlockPool[T](blockbag.DefaultBlockPoolCap)
+		for j := range t.bags {
+			t.bags[j] = blockbag.New(t.blockPool)
+		}
+		t.currentBag = t.bags[0]
+		t.scanSet = make(map[*T]struct{}, n*cfg.maxRProtect)
+		r.shared[i].v.Store(quiescentBit)
+		r.rprot[i].slots = make([]atomic.Pointer[T], cfg.maxRProtect)
+	}
+	return r
+}
+
+// Name implements core.Reclaimer.
+func (r *Reclaimer[T]) Name() string { return "debra+" }
+
+// Props implements core.Reclaimer.
+func (r *Reclaimer[T]) Props() core.Properties {
+	return core.Properties{
+		Scheme:                   "DEBRA+",
+		ModPerOperation:          true,
+		ModPerRetiredRecord:      true,
+		ModOther:                 "write crash recovery code (trivial for descriptor-based operations)",
+		Termination:              core.ProgressWaitFreeSignal,
+		TraverseRetiredToRetired: true,
+		FaultTolerant:            true,
+		BoundedGarbage:           true,
+	}
+}
+
+// Domain returns the neutralization domain used by this reclaimer.
+func (r *Reclaimer[T]) Domain() *neutralize.Domain { return r.domain }
+
+func isEqual(readEpoch, ann int64) bool { return readEpoch == ann&^quiescentBit }
+
+// deliver performs the signal-handler action for a non-quiescent thread:
+// enter the quiescent state and jump (panic) to recovery.
+func (r *Reclaimer[T]) deliver(tid int) {
+	s := &r.shared[tid]
+	s.v.Store(s.v.Load() | quiescentBit)
+	r.domain.Consume(tid)
+	r.threads[tid].selfNeutralized.Add(1)
+	panic(neutralize.Neutralized{Tid: tid})
+}
+
+// LeaveQstate implements core.Reclaimer (Figure 6, leaveQstate).
+func (r *Reclaimer[T]) LeaveQstate(tid int) bool {
+	t := &r.threads[tid]
+	// Signals that arrived while we were quiescent are ignored, exactly as
+	// the paper's signal handler returns immediately for quiescent threads.
+	r.domain.Consume(tid)
+
+	result := false
+	readEpoch := r.epoch.Load()
+	if !isEqual(readEpoch, r.shared[tid].v.Load()) {
+		t.opsSinceCheck = 0
+		t.checkNext = 0
+		t.opsSinceIncr = 0
+		r.rotateAndReclaim(tid)
+		result = true
+	}
+	t.opsSinceCheck++
+	t.opsSinceIncr++
+	if t.opsSinceCheck >= r.cfg.checkThresh {
+		t.opsSinceCheck = 0
+		other := int(t.checkNext) % len(r.threads)
+		ann := r.shared[other].v.Load()
+		if isEqual(readEpoch, ann) || ann&quiescentBit != 0 || r.suspectNeutralized(tid, other) {
+			t.checkNext++
+			if t.checkNext >= int64(len(r.threads)) && t.opsSinceIncr >= r.cfg.incrThresh {
+				if r.epoch.CompareAndSwap(readEpoch, readEpoch+epochInc) {
+					t.epochAdvances.Add(1)
+				}
+			}
+		}
+	}
+	r.shared[tid].v.Store(readEpoch)
+	return result
+}
+
+// suspectNeutralized neutralizes thread other if the caller's current limbo
+// bag has grown past the suspicion threshold. Returns true when a signal was
+// sent, in which case the caller may treat other as quiescent.
+func (r *Reclaimer[T]) suspectNeutralized(tid, other int) bool {
+	if r.cfg.disableNeutralization || other == tid {
+		return false
+	}
+	t := &r.threads[tid]
+	if t.currentBag.LenBlocks() < r.cfg.suspectThresholdBlks {
+		return false
+	}
+	if r.domain.Pending(other) {
+		// A signal we (or someone else) already sent has not been consumed
+		// yet; the thread is as good as neutralized, so there is no need to
+		// send another one (real signals are not free).
+		return true
+	}
+	r.domain.Signal(other)
+	t.neutralizations.Add(1)
+	return true
+}
+
+// EnterQstate implements core.Reclaimer. A signal that is pending when the
+// body finishes is delivered rather than swallowed, so an operation never
+// returns a result computed from records that may have been reclaimed behind
+// its back (see DESIGN.md, "Neutralization window").
+func (r *Reclaimer[T]) EnterQstate(tid int) {
+	s := &r.shared[tid]
+	if s.v.Load()&quiescentBit == 0 && r.domain.Pending(tid) {
+		r.deliver(tid)
+	}
+	s.v.Store(s.v.Load() | quiescentBit)
+}
+
+// IsQuiescent implements core.Reclaimer.
+func (r *Reclaimer[T]) IsQuiescent(tid int) bool {
+	return r.shared[tid].v.Load()&quiescentBit != 0
+}
+
+// Checkpoint implements core.Reclaimer: deliver a pending signal to a
+// non-quiescent thread. Data structure bodies call this once per search-loop
+// iteration.
+func (r *Reclaimer[T]) Checkpoint(tid int) {
+	if r.shared[tid].v.Load()&quiescentBit != 0 {
+		return
+	}
+	if r.domain.Pending(tid) {
+		r.deliver(tid)
+	}
+}
+
+// Retire implements core.Reclaimer.
+func (r *Reclaimer[T]) Retire(tid int, rec *T) {
+	if rec == nil {
+		panic("debraplus: Retire(nil)")
+	}
+	t := &r.threads[tid]
+	t.currentBag.Add(rec)
+	t.retired.Add(1)
+}
+
+// Protect implements core.Reclaimer (epoch protection; nothing per record).
+func (r *Reclaimer[T]) Protect(tid int, rec *T) bool { return true }
+
+// Unprotect implements core.Reclaimer (no-op).
+func (r *Reclaimer[T]) Unprotect(tid int, rec *T) {}
+
+// IsProtected implements core.Reclaimer.
+func (r *Reclaimer[T]) IsProtected(tid int, rec *T) bool { return true }
+
+// RProtect implements core.Reclaimer: announce a recovery hazard pointer to
+// rec. RProtect is called in the non-quiescent body, so it may deliver a
+// pending neutralization; in that case the protections announced so far are
+// withdrawn before jumping to recovery, which guarantees that recovery never
+// relies on a protection a concurrent scanner might have missed (the
+// announce-then-recheck handshake described in DESIGN.md).
+func (r *Reclaimer[T]) RProtect(tid int, rec *T) {
+	if rec == nil {
+		return
+	}
+	rp := &r.rprot[tid]
+	n := rp.count.Load()
+	if int(n) >= len(rp.slots) {
+		panic("debraplus: RProtect capacity exceeded; raise WithMaxRProtect")
+	}
+	rp.slots[n].Store(rec)
+	rp.count.Store(n + 1)
+	if r.domain.Pending(tid) && r.shared[tid].v.Load()&quiescentBit == 0 {
+		r.RUnprotectAll(tid)
+		r.deliver(tid)
+	}
+}
+
+// RUnprotectAll implements core.Reclaimer.
+func (r *Reclaimer[T]) RUnprotectAll(tid int) {
+	r.rprot[tid].count.Store(0)
+}
+
+// IsRProtected implements core.Reclaimer.
+func (r *Reclaimer[T]) IsRProtected(tid int, rec *T) bool {
+	rp := &r.rprot[tid]
+	n := int(rp.count.Load())
+	for i := 0; i < n; i++ {
+		if rp.slots[i].Load() == rec {
+			return true
+		}
+	}
+	return false
+}
+
+// SupportsCrashRecovery implements core.Reclaimer.
+func (r *Reclaimer[T]) SupportsCrashRecovery() bool { return true }
+
+// rotateAndReclaim implements Figure 6's rotateAndReclaim: rotate the limbo
+// bags and, once the rotated bag is large enough to amortise the scan, free
+// every record in it that is not RProtected, moving whole blocks to the free
+// sink after swapping protected records to the front of the bag.
+func (r *Reclaimer[T]) rotateAndReclaim(tid int) {
+	t := &r.threads[tid]
+	t.index = (t.index + 1) % 3
+	t.currentBag = t.bags[t.index]
+	bag := t.currentBag
+	if bag.LenBlocks() < r.cfg.scanThresholdBlks {
+		return
+	}
+	t.scans.Add(1)
+	// Hash every announced recovery protection.
+	set := t.scanSet
+	clear(set)
+	for i := range r.rprot {
+		rp := &r.rprot[i]
+		n := int(rp.count.Load())
+		if n > len(rp.slots) {
+			n = len(rp.slots)
+		}
+		for j := 0; j < n; j++ {
+			if rec := rp.slots[j].Load(); rec != nil {
+				set[rec] = struct{}{}
+			}
+		}
+	}
+	// Swap protected records to the front of the bag.
+	it1 := bag.Begin()
+	it2 := bag.Begin()
+	for ; !it1.Done(); it1.Next() {
+		if _, ok := set[it1.Get()]; ok {
+			it1.Swap(&it2)
+			it2.Next()
+		}
+	}
+	// Everything after it2 is unprotected; move its full blocks to the sink.
+	chain := bag.DetachFullBlocksAfter(it2)
+	if chain == nil {
+		return
+	}
+	n := int64(blockbag.ChainLen(chain))
+	if r.blockSink != nil {
+		r.blockSink.FreeBlocks(tid, chain)
+	} else {
+		for blk := chain; blk != nil; {
+			next := blk.Next()
+			for i := 0; i < blk.Len(); i++ {
+				r.sink.Free(tid, blk.Record(i))
+			}
+			t.blockPool.Put(blk)
+			blk = next
+		}
+	}
+	t.freed.Add(n)
+}
+
+// Epoch returns the current global epoch (instrumentation).
+func (r *Reclaimer[T]) Epoch() int64 { return r.epoch.Load() }
+
+// LimboSize returns the number of records waiting in thread tid's limbo bags.
+func (r *Reclaimer[T]) LimboSize(tid int) int {
+	t := &r.threads[tid]
+	total := 0
+	for _, b := range t.bags {
+		total += b.Len()
+	}
+	return total
+}
+
+// Stats implements core.Reclaimer.
+func (r *Reclaimer[T]) Stats() core.Stats {
+	var s core.Stats
+	for i := range r.threads {
+		t := &r.threads[i]
+		s.Retired += t.retired.Load()
+		s.Freed += t.freed.Load()
+		s.EpochAdvances += t.epochAdvances.Load()
+		s.Scans += t.scans.Load()
+		s.Neutralizations += t.neutralizations.Load()
+	}
+	s.Limbo = s.Retired - s.Freed
+	return s
+}
+
+// SelfNeutralizations returns how many times thread tid delivered a signal
+// to itself (jumped to recovery); instrumentation for tests.
+func (r *Reclaimer[T]) SelfNeutralizations(tid int) int64 {
+	return r.threads[tid].selfNeutralized.Load()
+}
+
+var _ core.Reclaimer[int] = (*Reclaimer[int])(nil)

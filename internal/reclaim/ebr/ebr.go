@@ -1,0 +1,188 @@
+// Package ebr implements classical epoch based reclamation as described by
+// Fraser and summarised in Section 3 of the paper ("Epochs"). It is the
+// baseline that DEBRA improves upon and is included for the ablation
+// benchmarks:
+//
+//   - a single global epoch counter;
+//   - an announcement per process, re-read and re-published at the start of
+//     every operation;
+//   - every operation scans the announcements of ALL processes (O(n) per
+//     operation, versus DEBRA's amortised O(1));
+//   - three SHARED limbo bags, one per recent epoch, that all processes
+//     synchronise on (versus DEBRA's private per-process bags);
+//   - no quiescent bit: a process that is between operations (or asleep, or
+//     crashed) still blocks the epoch from advancing, so classical EBR is
+//     not fault tolerant and has no bound on unreclaimed garbage.
+//
+// The shared limbo bags are protected by a mutex; this is faithful to the
+// "shared bags" cost model the paper contrasts DEBRA against (Fraser's
+// original used per-CPU lists with a lock per list).
+package ebr
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Reclaimer implements core.Reclaimer with classical EBR.
+type Reclaimer[T any] struct {
+	sink core.FreeSink[T]
+
+	epoch   atomic.Int64
+	threads []thread
+
+	mu    sync.Mutex
+	limbo [3][]*T // shared limbo bags indexed by epoch modulo 3
+
+	retired       atomic.Int64
+	freed         atomic.Int64
+	epochAdvances atomic.Int64
+	scans         atomic.Int64
+}
+
+type thread struct {
+	announce atomic.Int64
+	active   atomic.Bool
+	_        [core.PadBytes]byte
+}
+
+// New creates a classical EBR reclaimer for n threads whose reclaimed
+// records are passed to sink.
+func New[T any](n int, sink core.FreeSink[T]) *Reclaimer[T] {
+	if n <= 0 {
+		panic("ebr: New requires n >= 1")
+	}
+	if sink == nil {
+		panic("ebr: New requires a FreeSink")
+	}
+	r := &Reclaimer[T]{sink: sink, threads: make([]thread, n)}
+	r.epoch.Store(1)
+	return r
+}
+
+// Name implements core.Reclaimer.
+func (r *Reclaimer[T]) Name() string { return "ebr" }
+
+// Props implements core.Reclaimer.
+func (r *Reclaimer[T]) Props() core.Properties {
+	return core.Properties{
+		Scheme:                   "EBR",
+		ModPerOperation:          true,
+		ModPerRetiredRecord:      true,
+		Termination:              core.ProgressLockFree,
+		TraverseRetiredToRetired: true,
+		FaultTolerant:            false,
+		BoundedGarbage:           false,
+	}
+}
+
+// LeaveQstate implements core.Reclaimer: announce the current epoch and scan
+// every other announcement; if all active processes announced the current
+// epoch, advance it and free the oldest limbo bag.
+func (r *Reclaimer[T]) LeaveQstate(tid int) bool {
+	t := &r.threads[tid]
+	e := r.epoch.Load()
+	changed := t.announce.Load() != e
+	t.announce.Store(e)
+	t.active.Store(true)
+
+	// Classical EBR scans all announcements on every operation.
+	canAdvance := true
+	for i := range r.threads {
+		if i == tid {
+			continue
+		}
+		other := &r.threads[i]
+		if other.active.Load() && other.announce.Load() != e {
+			canAdvance = false
+			break
+		}
+	}
+	r.scans.Add(1)
+	if canAdvance && r.epoch.CompareAndSwap(e, e+1) {
+		r.epochAdvances.Add(1)
+		r.reclaimEpoch(tid, e+1)
+	}
+	return changed
+}
+
+// reclaimEpoch frees the limbo bag that is now two epochs old.
+func (r *Reclaimer[T]) reclaimEpoch(tid int, newEpoch int64) {
+	idx := int((newEpoch + 1) % 3) // the bag that will be reused for newEpoch+1
+	r.mu.Lock()
+	bag := r.limbo[idx]
+	r.limbo[idx] = nil
+	r.mu.Unlock()
+	for _, rec := range bag {
+		r.sink.Free(tid, rec)
+	}
+	r.freed.Add(int64(len(bag)))
+}
+
+// EnterQstate implements core.Reclaimer. Classical EBR has no quiescent bit,
+// but we record inactivity so that threads which never perform another
+// operation do not block the epoch forever in long-running processes; a
+// thread that stalls *inside* an operation still blocks reclamation, which
+// is the failure mode the paper highlights.
+func (r *Reclaimer[T]) EnterQstate(tid int) { r.threads[tid].active.Store(false) }
+
+// IsQuiescent implements core.Reclaimer.
+func (r *Reclaimer[T]) IsQuiescent(tid int) bool { return !r.threads[tid].active.Load() }
+
+// Retire implements core.Reclaimer: append to the shared limbo bag of the
+// current epoch.
+func (r *Reclaimer[T]) Retire(tid int, rec *T) {
+	if rec == nil {
+		panic("ebr: Retire(nil)")
+	}
+	e := r.epoch.Load()
+	idx := int(e % 3)
+	r.mu.Lock()
+	r.limbo[idx] = append(r.limbo[idx], rec)
+	r.mu.Unlock()
+	r.retired.Add(1)
+}
+
+// Protect implements core.Reclaimer (no per-record work for EBR).
+func (r *Reclaimer[T]) Protect(tid int, rec *T) bool { return true }
+
+// Unprotect implements core.Reclaimer (no-op).
+func (r *Reclaimer[T]) Unprotect(tid int, rec *T) {}
+
+// IsProtected implements core.Reclaimer.
+func (r *Reclaimer[T]) IsProtected(tid int, rec *T) bool { return true }
+
+// RProtect implements core.Reclaimer (no-op).
+func (r *Reclaimer[T]) RProtect(tid int, rec *T) {}
+
+// RUnprotectAll implements core.Reclaimer (no-op).
+func (r *Reclaimer[T]) RUnprotectAll(tid int) {}
+
+// IsRProtected implements core.Reclaimer.
+func (r *Reclaimer[T]) IsRProtected(tid int, rec *T) bool { return false }
+
+// SupportsCrashRecovery implements core.Reclaimer.
+func (r *Reclaimer[T]) SupportsCrashRecovery() bool { return false }
+
+// Checkpoint implements core.Reclaimer (no-op).
+func (r *Reclaimer[T]) Checkpoint(tid int) {}
+
+// Epoch returns the current global epoch (instrumentation).
+func (r *Reclaimer[T]) Epoch() int64 { return r.epoch.Load() }
+
+// Stats implements core.Reclaimer.
+func (r *Reclaimer[T]) Stats() core.Stats {
+	retired := r.retired.Load()
+	freed := r.freed.Load()
+	return core.Stats{
+		Retired:       retired,
+		Freed:         freed,
+		Limbo:         retired - freed,
+		EpochAdvances: r.epochAdvances.Load(),
+		Scans:         r.scans.Load(),
+	}
+}
+
+var _ core.Reclaimer[int] = (*Reclaimer[int])(nil)

@@ -1,0 +1,299 @@
+// Package hp implements Michael-style hazard pointers (Section 3 of the
+// paper, "Hazard Pointers"), the main non-automatic competitor the paper
+// evaluates DEBRA and DEBRA+ against.
+//
+// Before accessing a record (or using its address as the expected value of a
+// CAS), a thread must Protect it, which publishes an announcement that other
+// threads consult before freeing. Go's sync/atomic operations are
+// sequentially consistent, so the announcement store itself provides the
+// store-load barrier that the paper identifies as the dominant per-record
+// cost of hazard pointers; no additional fence is needed (or possible) here,
+// and the cost model therefore matches the original scheme: one fence per
+// record visited, versus DEBRA's one announcement per operation.
+//
+// After announcing, the caller must validate that the record is still
+// reachable (for example by re-reading the pointer it was loaded from) and
+// restart if not; the Record Manager exposes this through the data
+// structure's own validation step, exactly as the paper describes (and with
+// the same caveat: for structures whose searches traverse retired records,
+// restarting on suspicion forfeits lock-freedom).
+//
+// Retired records accumulate in a per-thread bag; once the bag holds
+// retireThreshold records the thread hashes every announced hazard pointer
+// and frees the records that are not announced, giving O(1) expected
+// amortised cost per retired record and an O(k·n²) bound on unreclaimed
+// garbage.
+package hp
+
+import (
+	"sync/atomic"
+
+	"repro/internal/blockbag"
+	"repro/internal/core"
+)
+
+// DefaultSlots is the default number of hazard pointer slots per thread (the
+// paper's k). The BST needs a handful for its search path and helping; the
+// skip list protects its whole predecessor/successor arrays (up to two per
+// level), so the default leaves room for both.
+const DefaultSlots = 48
+
+// Option configures the reclaimer.
+type Option func(*config)
+
+type config struct {
+	slots           int
+	retireThreshold int
+}
+
+// WithSlots sets the number of hazard pointer slots per thread.
+func WithSlots(k int) Option { return func(c *config) { c.slots = k } }
+
+// WithRetireThreshold sets the number of retired records a thread
+// accumulates before scanning hazard pointers. The default is
+// 2·n·k + BlockSize, which makes each scan free Omega(n·k) records (the
+// paper's tuning for performance rather than space).
+func WithRetireThreshold(v int) Option { return func(c *config) { c.retireThreshold = v } }
+
+// Reclaimer implements core.Reclaimer with hazard pointers.
+type Reclaimer[T any] struct {
+	sink core.FreeSink[T]
+	cfg  config
+
+	slots   []hpSlots[T]
+	threads []thread[T]
+}
+
+// hpSlots is one thread's hazard pointer array: single writer (the owner),
+// many readers (threads performing scans).
+type hpSlots[T any] struct {
+	ptrs []atomic.Pointer[T]
+	_    [core.PadBytes]byte
+}
+
+type thread[T any] struct {
+	retireBag *blockbag.Bag[T]
+	blockPool *blockbag.BlockPool[T]
+	scanSet   map[*T]struct{}
+	keep      []*T // scratch buffer reused across scans
+
+	retired atomic.Int64
+	freed   atomic.Int64
+	scans   atomic.Int64
+
+	_ [core.PadBytes]byte
+}
+
+// New creates a hazard pointer reclaimer for n threads; reclaimed records
+// are handed to sink.
+func New[T any](n int, sink core.FreeSink[T], opts ...Option) *Reclaimer[T] {
+	if n <= 0 {
+		panic("hp: New requires n >= 1")
+	}
+	if sink == nil {
+		panic("hp: New requires a FreeSink")
+	}
+	cfg := config{slots: DefaultSlots}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.slots < 1 {
+		cfg.slots = 1
+	}
+	if cfg.retireThreshold <= 0 {
+		cfg.retireThreshold = 2*n*cfg.slots + blockbag.BlockSize
+	}
+	r := &Reclaimer[T]{
+		sink:    sink,
+		cfg:     cfg,
+		slots:   make([]hpSlots[T], n),
+		threads: make([]thread[T], n),
+	}
+	for i := range r.threads {
+		t := &r.threads[i]
+		t.blockPool = blockbag.NewBlockPool[T](blockbag.DefaultBlockPoolCap)
+		t.retireBag = blockbag.New(t.blockPool)
+		t.scanSet = make(map[*T]struct{}, n*cfg.slots)
+		r.slots[i].ptrs = make([]atomic.Pointer[T], cfg.slots)
+	}
+	return r
+}
+
+// Name implements core.Reclaimer.
+func (r *Reclaimer[T]) Name() string { return "hp" }
+
+// Props implements core.Reclaimer.
+func (r *Reclaimer[T]) Props() core.Properties {
+	return core.Properties{
+		Scheme:               "HP",
+		ModPerAccessedRecord: true,
+		ModPerRetiredRecord:  true,
+		ModOther:             "recovery code for failed hazard pointer acquisition",
+		Termination:          core.ProgressWaitFree,
+		FaultTolerant:        true,
+		BoundedGarbage:       true,
+		// Hazard pointers cannot be used (without losing lock-freedom) by
+		// data structures whose operations traverse pointers from retired
+		// records to other retired records.
+		TraverseRetiredToRetired: false,
+		PerRecordProtection:      true,
+	}
+}
+
+// LeaveQstate implements core.Reclaimer (nothing to do for HP).
+func (r *Reclaimer[T]) LeaveQstate(tid int) bool { return false }
+
+// EnterQstate implements core.Reclaimer: release every hazard pointer held
+// by the thread.
+func (r *Reclaimer[T]) EnterQstate(tid int) {
+	ptrs := r.slots[tid].ptrs
+	for i := range ptrs {
+		if ptrs[i].Load() != nil {
+			ptrs[i].Store(nil)
+		}
+	}
+}
+
+// IsQuiescent implements core.Reclaimer. Hazard pointers have no notion of
+// quiescence; a thread is "quiescent" when it holds no announcements.
+func (r *Reclaimer[T]) IsQuiescent(tid int) bool {
+	for i := range r.slots[tid].ptrs {
+		if r.slots[tid].ptrs[i].Load() != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Protect implements core.Reclaimer: announce a hazard pointer to rec. The
+// sequentially consistent store doubles as the required memory barrier. The
+// caller must validate reachability afterwards.
+func (r *Reclaimer[T]) Protect(tid int, rec *T) bool {
+	if rec == nil {
+		return true
+	}
+	ptrs := r.slots[tid].ptrs
+	free := -1
+	for i := range ptrs {
+		switch ptrs[i].Load() {
+		case rec:
+			// Already announced (data structures may legitimately protect a
+			// record they reach through several paths); keep a single slot.
+			return true
+		case nil:
+			if free < 0 {
+				free = i
+			}
+		}
+	}
+	if free < 0 {
+		panic("hp: out of hazard pointer slots; raise WithSlots")
+	}
+	ptrs[free].Store(rec)
+	return true
+}
+
+// Unprotect implements core.Reclaimer: release the hazard pointer to rec.
+func (r *Reclaimer[T]) Unprotect(tid int, rec *T) {
+	if rec == nil {
+		return
+	}
+	ptrs := r.slots[tid].ptrs
+	for i := range ptrs {
+		if ptrs[i].Load() == rec {
+			ptrs[i].Store(nil)
+			return
+		}
+	}
+}
+
+// IsProtected implements core.Reclaimer.
+func (r *Reclaimer[T]) IsProtected(tid int, rec *T) bool {
+	ptrs := r.slots[tid].ptrs
+	for i := range ptrs {
+		if ptrs[i].Load() == rec {
+			return true
+		}
+	}
+	return false
+}
+
+// RProtect implements core.Reclaimer (no crash recovery for HP; no-op).
+func (r *Reclaimer[T]) RProtect(tid int, rec *T) {}
+
+// RUnprotectAll implements core.Reclaimer (no-op).
+func (r *Reclaimer[T]) RUnprotectAll(tid int) {}
+
+// IsRProtected implements core.Reclaimer.
+func (r *Reclaimer[T]) IsRProtected(tid int, rec *T) bool { return false }
+
+// SupportsCrashRecovery implements core.Reclaimer.
+func (r *Reclaimer[T]) SupportsCrashRecovery() bool { return false }
+
+// Checkpoint implements core.Reclaimer (no-op).
+func (r *Reclaimer[T]) Checkpoint(tid int) {}
+
+// Retire implements core.Reclaimer: buffer the record and scan once the
+// buffer is large enough to amortise the cost.
+func (r *Reclaimer[T]) Retire(tid int, rec *T) {
+	if rec == nil {
+		panic("hp: Retire(nil)")
+	}
+	t := &r.threads[tid]
+	t.retireBag.Add(rec)
+	t.retired.Add(1)
+	if t.retireBag.Len() >= r.cfg.retireThreshold {
+		r.scanAndFree(tid)
+	}
+}
+
+// scanAndFree hashes every announced hazard pointer, frees every record in
+// the caller's retire bag that is not announced, and keeps the announced
+// ones for a later scan. This is Michael's amortised scheme: the scan costs
+// O(R + nk) for R retired records but frees Omega(R - nk) of them.
+func (r *Reclaimer[T]) scanAndFree(tid int) {
+	t := &r.threads[tid]
+	t.scans.Add(1)
+	set := t.scanSet
+	clear(set)
+	for i := range r.slots {
+		ptrs := r.slots[i].ptrs
+		for j := range ptrs {
+			if rec := ptrs[j].Load(); rec != nil {
+				set[rec] = struct{}{}
+			}
+		}
+	}
+	freed := int64(0)
+	t.keep = t.keep[:0]
+	t.retireBag.Drain(func(rec *T) {
+		if _, ok := set[rec]; ok {
+			t.keep = append(t.keep, rec)
+			return
+		}
+		r.sink.Free(tid, rec)
+		freed++
+	})
+	for _, rec := range t.keep {
+		t.retireBag.Add(rec)
+	}
+	t.freed.Add(freed)
+}
+
+// Slots returns the per-thread hazard pointer capacity (instrumentation).
+func (r *Reclaimer[T]) Slots() int { return r.cfg.slots }
+
+// Stats implements core.Reclaimer.
+func (r *Reclaimer[T]) Stats() core.Stats {
+	var s core.Stats
+	for i := range r.threads {
+		t := &r.threads[i]
+		s.Retired += t.retired.Load()
+		s.Freed += t.freed.Load()
+		s.Scans += t.scans.Load()
+	}
+	s.Limbo = s.Retired - s.Freed
+	return s
+}
+
+var _ core.Reclaimer[int] = (*Reclaimer[int])(nil)

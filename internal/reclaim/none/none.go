@@ -1,0 +1,99 @@
+// Package none provides the "no reclamation" baseline used throughout the
+// paper's experiments ("None"): retired records are counted but never freed,
+// so the data structure pays no reclamation overhead and its memory
+// footprint grows without bound.
+package none
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Reclaimer is the no-op reclaimer. It is safe (it never frees anything) but
+// leaks every retired record.
+type Reclaimer[T any] struct {
+	threads []thread
+}
+
+type thread struct {
+	retired atomic.Int64
+	_       [core.PadBytes]byte
+}
+
+// New creates a no-op reclaimer for n threads.
+func New[T any](n int) *Reclaimer[T] {
+	if n <= 0 {
+		panic("none: New requires n >= 1")
+	}
+	return &Reclaimer[T]{threads: make([]thread, n)}
+}
+
+// Name implements core.Reclaimer.
+func (r *Reclaimer[T]) Name() string { return "none" }
+
+// Props implements core.Reclaimer.
+func (r *Reclaimer[T]) Props() core.Properties {
+	return core.Properties{
+		Scheme:                   "None",
+		Termination:              core.ProgressWaitFree,
+		TraverseRetiredToRetired: true,
+		// Leaking is trivially "fault tolerant" in the sense that a crashed
+		// process cannot make things worse, but garbage is unbounded.
+		FaultTolerant:  true,
+		BoundedGarbage: false,
+	}
+}
+
+// LeaveQstate implements core.Reclaimer (no-op).
+func (r *Reclaimer[T]) LeaveQstate(tid int) bool { return false }
+
+// EnterQstate implements core.Reclaimer (no-op).
+func (r *Reclaimer[T]) EnterQstate(tid int) {}
+
+// IsQuiescent implements core.Reclaimer.
+func (r *Reclaimer[T]) IsQuiescent(tid int) bool { return true }
+
+// Retire implements core.Reclaimer; the record is counted and leaked.
+func (r *Reclaimer[T]) Retire(tid int, rec *T) {
+	if rec == nil {
+		panic("none: Retire(nil)")
+	}
+	r.threads[tid].retired.Add(1)
+}
+
+// Protect implements core.Reclaimer (always succeeds).
+func (r *Reclaimer[T]) Protect(tid int, rec *T) bool { return true }
+
+// Unprotect implements core.Reclaimer (no-op).
+func (r *Reclaimer[T]) Unprotect(tid int, rec *T) {}
+
+// IsProtected implements core.Reclaimer.
+func (r *Reclaimer[T]) IsProtected(tid int, rec *T) bool { return true }
+
+// RProtect implements core.Reclaimer (no-op).
+func (r *Reclaimer[T]) RProtect(tid int, rec *T) {}
+
+// RUnprotectAll implements core.Reclaimer (no-op).
+func (r *Reclaimer[T]) RUnprotectAll(tid int) {}
+
+// IsRProtected implements core.Reclaimer.
+func (r *Reclaimer[T]) IsRProtected(tid int, rec *T) bool { return false }
+
+// SupportsCrashRecovery implements core.Reclaimer.
+func (r *Reclaimer[T]) SupportsCrashRecovery() bool { return false }
+
+// Checkpoint implements core.Reclaimer (no-op).
+func (r *Reclaimer[T]) Checkpoint(tid int) {}
+
+// Stats implements core.Reclaimer.
+func (r *Reclaimer[T]) Stats() core.Stats {
+	var s core.Stats
+	for i := range r.threads {
+		s.Retired += r.threads[i].retired.Load()
+	}
+	s.Limbo = s.Retired
+	return s
+}
+
+var _ core.Reclaimer[int] = (*Reclaimer[int])(nil)

@@ -1,0 +1,212 @@
+// Package qsbr implements quiescent-state-based reclamation (McKenney and
+// Slingwine), the generalisation of epoch based reclamation mentioned in
+// Section 3 of the paper. Where EBR infers quiescence from operation
+// boundaries, QSBR relies on the application explicitly announcing quiescent
+// states; in the Record Manager interface that announcement is EnterQstate,
+// so for the data structures in this module QSBR behaves like an epoch
+// scheme whose bookkeeping happens at the end of operations rather than the
+// beginning.
+//
+// The implementation mirrors DEBRA's distributed structure (per-thread limbo
+// bags, no shared bags) but performs its announcement scan at each quiescent
+// state, so its per-operation cost sits between classical EBR and DEBRA.
+// Like both, it is not fault tolerant: a thread that stops announcing
+// quiescent states while non-quiescent halts reclamation for everyone.
+package qsbr
+
+import (
+	"sync/atomic"
+
+	"repro/internal/blockbag"
+	"repro/internal/core"
+)
+
+// Reclaimer implements core.Reclaimer with QSBR.
+type Reclaimer[T any] struct {
+	sink      core.FreeSink[T]
+	blockSink core.BlockFreeSink[T]
+
+	// grace is the global grace-period counter.
+	grace   atomic.Int64
+	shared  []announceSlot
+	threads []thread[T]
+}
+
+type announceSlot struct {
+	// v holds the last grace period this thread has passed through, with
+	// the low bit set while the thread is offline (quiescent between
+	// operations, not blocking grace periods).
+	v atomic.Int64
+	_ [core.PadBytes]byte
+}
+
+const offlineBit = 1
+
+type thread[T any] struct {
+	bags      [3]*blockbag.Bag[T]
+	current   int
+	blockPool *blockbag.BlockPool[T]
+
+	retired atomic.Int64
+	freed   atomic.Int64
+	grace   atomic.Int64
+
+	_ [core.PadBytes]byte
+}
+
+// New creates a QSBR reclaimer for n threads; reclaimed records go to sink.
+func New[T any](n int, sink core.FreeSink[T]) *Reclaimer[T] {
+	if n <= 0 {
+		panic("qsbr: New requires n >= 1")
+	}
+	if sink == nil {
+		panic("qsbr: New requires a FreeSink")
+	}
+	r := &Reclaimer[T]{sink: sink, shared: make([]announceSlot, n), threads: make([]thread[T], n)}
+	if bs, ok := sink.(core.BlockFreeSink[T]); ok {
+		r.blockSink = bs
+	}
+	r.grace.Store(2)
+	for i := range r.threads {
+		t := &r.threads[i]
+		t.blockPool = blockbag.NewBlockPool[T](blockbag.DefaultBlockPoolCap)
+		for j := range t.bags {
+			t.bags[j] = blockbag.New(t.blockPool)
+		}
+		r.shared[i].v.Store(2 | offlineBit)
+	}
+	return r
+}
+
+// Name implements core.Reclaimer.
+func (r *Reclaimer[T]) Name() string { return "qsbr" }
+
+// Props implements core.Reclaimer.
+func (r *Reclaimer[T]) Props() core.Properties {
+	return core.Properties{
+		Scheme:                   "QSBR",
+		ModPerOperation:          true,
+		ModPerRetiredRecord:      true,
+		ModOther:                 "identify quiescent states manually",
+		Termination:              core.ProgressWaitFree,
+		TraverseRetiredToRetired: true,
+		FaultTolerant:            false,
+		BoundedGarbage:           false,
+	}
+}
+
+// LeaveQstate implements core.Reclaimer: mark the thread online for the
+// current grace period.
+func (r *Reclaimer[T]) LeaveQstate(tid int) bool {
+	g := r.grace.Load()
+	prev := r.shared[tid].v.Load()
+	r.shared[tid].v.Store(g &^ offlineBit)
+	return prev&^offlineBit != g
+}
+
+// EnterQstate implements core.Reclaimer: announce a quiescent state, try to
+// advance the grace period, and reclaim the oldest local bag when the thread
+// observes a new grace period.
+func (r *Reclaimer[T]) EnterQstate(tid int) {
+	t := &r.threads[tid]
+	g := r.grace.Load()
+	// Announce that we have passed through a quiescent state in period g,
+	// and mark ourselves offline so we do not hold up future periods while
+	// we are between operations.
+	r.shared[tid].v.Store(g | offlineBit)
+
+	// Try to advance the grace period: every thread must be offline or have
+	// announced period g.
+	advance := true
+	for i := range r.shared {
+		v := r.shared[i].v.Load()
+		if v&offlineBit == 0 && v&^offlineBit != g {
+			advance = false
+			break
+		}
+	}
+	if advance {
+		r.grace.CompareAndSwap(g, g+2)
+	}
+	// Reclaim locally once per observed grace period.
+	if t.grace.Load() != g {
+		t.grace.Store(g)
+		t.current = (t.current + 1) % 3
+		r.freeFullBlocks(tid, t.bags[t.current])
+	}
+}
+
+func (r *Reclaimer[T]) freeFullBlocks(tid int, bag *blockbag.Bag[T]) {
+	t := &r.threads[tid]
+	chain := bag.DetachAllFullBlocks()
+	if chain == nil {
+		return
+	}
+	n := int64(blockbag.ChainLen(chain))
+	if r.blockSink != nil {
+		r.blockSink.FreeBlocks(tid, chain)
+	} else {
+		for blk := chain; blk != nil; {
+			next := blk.Next()
+			for i := 0; i < blk.Len(); i++ {
+				r.sink.Free(tid, blk.Record(i))
+			}
+			t.blockPool.Put(blk)
+			blk = next
+		}
+	}
+	t.freed.Add(n)
+}
+
+// IsQuiescent implements core.Reclaimer.
+func (r *Reclaimer[T]) IsQuiescent(tid int) bool {
+	return r.shared[tid].v.Load()&offlineBit != 0
+}
+
+// Retire implements core.Reclaimer.
+func (r *Reclaimer[T]) Retire(tid int, rec *T) {
+	if rec == nil {
+		panic("qsbr: Retire(nil)")
+	}
+	t := &r.threads[tid]
+	t.bags[t.current].Add(rec)
+	t.retired.Add(1)
+}
+
+// Protect implements core.Reclaimer (no per-record work).
+func (r *Reclaimer[T]) Protect(tid int, rec *T) bool { return true }
+
+// Unprotect implements core.Reclaimer (no-op).
+func (r *Reclaimer[T]) Unprotect(tid int, rec *T) {}
+
+// IsProtected implements core.Reclaimer.
+func (r *Reclaimer[T]) IsProtected(tid int, rec *T) bool { return true }
+
+// RProtect implements core.Reclaimer (no-op).
+func (r *Reclaimer[T]) RProtect(tid int, rec *T) {}
+
+// RUnprotectAll implements core.Reclaimer (no-op).
+func (r *Reclaimer[T]) RUnprotectAll(tid int) {}
+
+// IsRProtected implements core.Reclaimer.
+func (r *Reclaimer[T]) IsRProtected(tid int, rec *T) bool { return false }
+
+// SupportsCrashRecovery implements core.Reclaimer.
+func (r *Reclaimer[T]) SupportsCrashRecovery() bool { return false }
+
+// Checkpoint implements core.Reclaimer (no-op).
+func (r *Reclaimer[T]) Checkpoint(tid int) {}
+
+// Stats implements core.Reclaimer.
+func (r *Reclaimer[T]) Stats() core.Stats {
+	var s core.Stats
+	for i := range r.threads {
+		t := &r.threads[i]
+		s.Retired += t.retired.Load()
+		s.Freed += t.freed.Load()
+	}
+	s.Limbo = s.Retired - s.Freed
+	return s
+}
+
+var _ core.Reclaimer[int] = (*Reclaimer[int])(nil)

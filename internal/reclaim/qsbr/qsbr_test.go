@@ -1,0 +1,73 @@
+package qsbr_test
+
+import (
+	"testing"
+
+	"repro/internal/blockbag"
+	"repro/internal/core"
+	"repro/internal/reclaim/qsbr"
+	"repro/internal/reclaimtest"
+)
+
+func factory(n int, sink core.FreeSink[reclaimtest.Record]) core.Reclaimer[reclaimtest.Record] {
+	return qsbr.New[reclaimtest.Record](n, sink)
+}
+
+func TestConformance(t *testing.T) { reclaimtest.Conformance(t, factory) }
+
+func TestStress(t *testing.T) { reclaimtest.Stress(t, factory, reclaimtest.DefaultStressOptions()) }
+
+func TestSingleThreadReclaims(t *testing.T) {
+	sink := reclaimtest.NewRecordingSink()
+	r := qsbr.New[reclaimtest.Record](1, sink)
+	for i := 0; i < 6*blockbag.BlockSize; i++ {
+		r.LeaveQstate(0)
+		r.Retire(0, &reclaimtest.Record{ID: int64(i)})
+		r.EnterQstate(0)
+	}
+	if sink.Freed() == 0 {
+		t.Fatalf("no records freed: %+v", r.Stats())
+	}
+}
+
+func TestStalledThreadBlocksReclamation(t *testing.T) {
+	sink := reclaimtest.NewRecordingSink()
+	r := qsbr.New[reclaimtest.Record](2, sink)
+	r.LeaveQstate(1) // stalled inside an operation, never announces quiescence
+	for i := 0; i < 6*blockbag.BlockSize; i++ {
+		r.LeaveQstate(0)
+		r.Retire(0, &reclaimtest.Record{ID: int64(i)})
+		r.EnterQstate(0)
+	}
+	if sink.Freed() != 0 {
+		t.Fatal("QSBR freed records while a thread never passed a quiescent state")
+	}
+}
+
+func TestOfflineThreadDoesNotBlock(t *testing.T) {
+	sink := reclaimtest.NewRecordingSink()
+	r := qsbr.New[reclaimtest.Record](4, sink) // threads 1..3 never run
+	for i := 0; i < 6*blockbag.BlockSize; i++ {
+		r.LeaveQstate(0)
+		r.Retire(0, &reclaimtest.Record{ID: int64(i)})
+		r.EnterQstate(0)
+	}
+	if sink.Freed() == 0 {
+		t.Fatal("offline threads blocked reclamation")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if !panics(func() { qsbr.New[reclaimtest.Record](0, reclaimtest.NewRecordingSink()) }) {
+		t.Fatal("expected panic for n=0")
+	}
+	if !panics(func() { qsbr.New[reclaimtest.Record](1, nil) }) {
+		t.Fatal("expected panic for nil sink")
+	}
+}
+
+func panics(fn func()) (p bool) {
+	defer func() { p = recover() != nil }()
+	fn()
+	return false
+}

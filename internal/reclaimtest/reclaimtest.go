@@ -1,0 +1,295 @@
+// Package reclaimtest provides shared test scaffolding for the reclamation
+// schemes: a recording free sink, a poisoning sink that detects
+// use-after-free at the logical level, and a generic concurrent stress
+// harness (a tiny lock-free "data structure" of atomic slots) that exercises
+// any core.Reclaimer implementation and checks the fundamental safety
+// property — a record is never handed to the free sink while a protected /
+// epoch-covered reader can still reach it.
+package reclaimtest
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/neutralize"
+)
+
+// Record is the record type used by the shared tests.
+type Record struct {
+	ID int64
+	// poisoned is set by the PoisonSink when the record is freed; readers
+	// that still hold the record under protection must never observe it.
+	poisoned atomic.Bool
+	// birth distinguishes reuse generations when a pool recycles records.
+	birth atomic.Int64
+	pad   [4]int64
+}
+
+// RecordingSink collects every freed record (thread safe).
+type RecordingSink struct {
+	mu    sync.Mutex
+	freed []*Record
+	count atomic.Int64
+}
+
+// NewRecordingSink creates an empty recording sink.
+func NewRecordingSink() *RecordingSink { return &RecordingSink{} }
+
+// Free implements core.FreeSink.
+func (s *RecordingSink) Free(tid int, rec *Record) {
+	s.mu.Lock()
+	s.freed = append(s.freed, rec)
+	s.mu.Unlock()
+	s.count.Add(1)
+}
+
+// Freed returns the number of records freed so far.
+func (s *RecordingSink) Freed() int64 { return s.count.Load() }
+
+// Records returns a snapshot of the freed records.
+func (s *RecordingSink) Records() []*Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Record, len(s.freed))
+	copy(out, s.freed)
+	return out
+}
+
+// Contains reports whether rec has been freed.
+func (s *RecordingSink) Contains(rec *Record) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range s.freed {
+		if r == rec {
+			return true
+		}
+	}
+	return false
+}
+
+// PoisonSink marks freed records as poisoned and detects double frees.
+type PoisonSink struct {
+	count       atomic.Int64
+	doubleFrees atomic.Int64
+}
+
+// NewPoisonSink creates a poisoning sink.
+func NewPoisonSink() *PoisonSink { return &PoisonSink{} }
+
+// Free implements core.FreeSink.
+func (s *PoisonSink) Free(tid int, rec *Record) {
+	if rec.poisoned.Swap(true) {
+		s.doubleFrees.Add(1)
+	}
+	s.count.Add(1)
+}
+
+// Freed returns the number of records freed.
+func (s *PoisonSink) Freed() int64 { return s.count.Load() }
+
+// DoubleFrees returns the number of records freed more than once.
+func (s *PoisonSink) DoubleFrees() int64 { return s.doubleFrees.Load() }
+
+// Factory constructs the reclaimer under test for n threads with the given
+// free sink.
+type Factory func(n int, sink core.FreeSink[Record]) core.Reclaimer[Record]
+
+// StressOptions tunes the concurrent safety stress.
+type StressOptions struct {
+	Threads  int
+	Slots    int
+	Duration time.Duration
+	// OpsPerEpoch is the number of slot operations performed per
+	// leaveQstate/enterQstate pair (simulating one data structure
+	// operation touching a few records).
+	OpsPerEpoch int
+}
+
+// DefaultStressOptions returns options suitable for `go test`.
+func DefaultStressOptions() StressOptions {
+	return StressOptions{Threads: 6, Slots: 64, Duration: 150 * time.Millisecond, OpsPerEpoch: 3}
+}
+
+// Stress runs the generic safety stress against the reclaimer produced by
+// factory and fails the test if a protected reader ever observes a poisoned
+// (freed) record, or if any record is freed twice.
+//
+// The "data structure" is an array of atomic slots, each holding a pointer
+// to a live record. A writer replaces a slot's record with CAS and retires
+// the old one. A reader loads a slot, protects the record (validating the
+// slot still holds it when the scheme requires per-record protection), and
+// then asserts the record is not poisoned. Retired records can still be
+// observed by readers that obtained them before the retire — exactly the
+// window safe memory reclamation must keep open — but freed records must
+// never be observed by an operation that completes.
+//
+// Operations that are neutralized (DEBRA+) have their observations
+// discarded, mirroring the scheme's contract that a neutralized operation's
+// results are thrown away and the operation retried.
+func Stress(t *testing.T, factory Factory, opts StressOptions) {
+	t.Helper()
+	if opts.Threads <= 0 {
+		opts = DefaultStressOptions()
+	}
+	sink := NewPoisonSink()
+	rec := factory(opts.Threads, sink)
+	perRecord := rec.Props().PerRecordProtection
+
+	slots := make([]atomic.Pointer[Record], opts.Slots)
+	var nextID atomic.Int64
+	for i := range slots {
+		slots[i].Store(&Record{ID: nextID.Add(1)})
+	}
+
+	var (
+		violations atomic.Int64
+		totalOps   atomic.Int64
+		stop       atomic.Bool
+		wg         sync.WaitGroup
+	)
+	for tid := 0; tid < opts.Threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(tid)*7919 + 13))
+			for !stop.Load() {
+				completed, observedFreed := runStressOp(rec, slots, &nextID, rng, tid, opts.OpsPerEpoch, perRecord)
+				if completed {
+					totalOps.Add(1)
+					violations.Add(observedFreed)
+				}
+			}
+		}(tid)
+	}
+	time.Sleep(opts.Duration)
+	stop.Store(true)
+	wg.Wait()
+
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("use-after-free: %d protected reads observed a freed record", v)
+	}
+	if d := sink.DoubleFrees(); d != 0 {
+		t.Fatalf("%d records were freed more than once", d)
+	}
+	stats := rec.Stats()
+	if stats.Freed > stats.Retired {
+		t.Fatalf("freed (%d) exceeds retired (%d)", stats.Freed, stats.Retired)
+	}
+	if stats.Limbo < 0 {
+		t.Fatalf("negative limbo count: %d", stats.Limbo)
+	}
+	if totalOps.Load() == 0 {
+		t.Fatal("stress performed no operations")
+	}
+}
+
+// runStressOp performs one leaveQstate/enterQstate cycle of slot operations.
+// It returns whether the operation completed (was not neutralized) and the
+// number of freed-record observations made during it.
+func runStressOp(rec core.Reclaimer[Record], slots []atomic.Pointer[Record], nextID *atomic.Int64,
+	rng *rand.Rand, tid, opsPerEpoch int, perRecord bool) (completed bool, observedFreed int64) {
+	defer func() {
+		if v := recover(); v != nil {
+			if _, ok := neutralize.Recover(v); ok {
+				// Neutralized: the operation's observations are discarded
+				// and it is simply retried, exactly as a data structure
+				// using DEBRA+ would do.
+				completed = false
+				observedFreed = 0
+				return
+			}
+		}
+	}()
+	rec.LeaveQstate(tid)
+	for k := 0; k < opsPerEpoch; k++ {
+		rec.Checkpoint(tid)
+		idx := rng.Intn(len(slots))
+		cur := slots[idx].Load()
+		if cur == nil {
+			continue
+		}
+		if perRecord {
+			if !rec.Protect(tid, cur) {
+				continue
+			}
+			if slots[idx].Load() != cur {
+				// The record may already be retired; abandon it.
+				rec.Unprotect(tid, cur)
+				continue
+			}
+		}
+		// The record is now safe to access: it must not have been freed.
+		if cur.poisoned.Load() {
+			observedFreed++
+		}
+		if rng.Intn(3) == 0 {
+			// Replace the record and retire the old one.
+			repl := &Record{ID: nextID.Add(1)}
+			if slots[idx].CompareAndSwap(cur, repl) {
+				rec.Retire(tid, cur)
+			}
+		}
+		if perRecord {
+			rec.Unprotect(tid, cur)
+		}
+	}
+	rec.EnterQstate(tid)
+	return true, observedFreed
+}
+
+// Conformance runs quick single-threaded sanity checks every reclaimer must
+// pass: retiring is counted, quiescence toggles, protect/unprotect and the
+// recovery-protection calls do not panic, and stats are consistent.
+func Conformance(t *testing.T, factory Factory) {
+	t.Helper()
+	sink := NewRecordingSink()
+	rec := factory(2, sink)
+
+	if got := rec.Name(); got == "" {
+		t.Fatal("Name returned an empty string")
+	}
+	props := rec.Props()
+	if props.Scheme == "" {
+		t.Fatal("Props().Scheme is empty")
+	}
+	if len(props.Row()) != len(core.FigureTwoHeader()) {
+		t.Fatal("Properties.Row length does not match FigureTwoHeader")
+	}
+
+	rec.LeaveQstate(0)
+	r1 := &Record{ID: 1}
+	r2 := &Record{ID: 2}
+	if !rec.Protect(0, r1) {
+		t.Fatal("Protect returned false for a live record")
+	}
+	if !rec.IsProtected(0, r1) {
+		t.Fatal("IsProtected returned false right after Protect")
+	}
+	rec.Retire(0, r2)
+	rec.Unprotect(0, r1)
+	rec.RProtect(0, r1)
+	if rec.SupportsCrashRecovery() && !rec.IsRProtected(0, r1) {
+		t.Fatal("IsRProtected returned false right after RProtect on a crash-recovery scheme")
+	}
+	rec.RUnprotectAll(0)
+	rec.Checkpoint(0)
+	rec.EnterQstate(0)
+	if !rec.IsQuiescent(0) {
+		t.Fatal("thread 0 not quiescent after EnterQstate")
+	}
+
+	s := rec.Stats()
+	if s.Retired != 1 {
+		t.Fatalf("Retired=%d want 1", s.Retired)
+	}
+	if s.Freed < 0 || s.Freed > 1 {
+		t.Fatalf("Freed=%d out of range", s.Freed)
+	}
+	if s.Limbo != s.Retired-s.Freed {
+		t.Fatalf("Limbo=%d inconsistent with Retired-Freed=%d", s.Limbo, s.Retired-s.Freed)
+	}
+}

@@ -1,0 +1,104 @@
+package recordmgr_test
+
+import (
+	"testing"
+
+	"repro/internal/neutralize"
+	"repro/internal/pool"
+	"repro/internal/recordmgr"
+)
+
+type node struct {
+	key   int64
+	value int64
+}
+
+func TestBuildEveryScheme(t *testing.T) {
+	for _, scheme := range recordmgr.Schemes() {
+		for _, usePool := range []bool{false, true} {
+			for _, alloc := range []recordmgr.AllocatorKind{recordmgr.AllocBump, recordmgr.AllocHeap} {
+				m, err := recordmgr.Build[node](recordmgr.Config{
+					Scheme:    scheme,
+					Threads:   3,
+					Allocator: alloc,
+					UsePool:   usePool,
+				})
+				if err != nil {
+					t.Fatalf("Build(%s, pool=%v, alloc=%s): %v", scheme, usePool, alloc, err)
+				}
+				if got := m.Reclaimer().Name(); got != scheme {
+					t.Fatalf("built %q, reclaimer reports %q", scheme, got)
+				}
+				if usePool && m.Pool() == nil {
+					t.Fatalf("Build(%s) with UsePool did not attach a pool", scheme)
+				}
+				if !usePool && m.Pool() != nil {
+					t.Fatalf("Build(%s) without UsePool attached a pool", scheme)
+				}
+				// Smoke: one allocate/retire cycle.
+				m.LeaveQstate(0)
+				r := m.Allocate(0)
+				m.Retire(0, r)
+				m.EnterQstate(0)
+			}
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := recordmgr.Build[node](recordmgr.Config{Scheme: "nope", Threads: 1}); err == nil {
+		t.Fatal("expected error for unknown scheme")
+	}
+	if _, err := recordmgr.Build[node](recordmgr.Config{Scheme: recordmgr.SchemeDEBRA, Threads: 0}); err == nil {
+		t.Fatal("expected error for zero threads")
+	}
+	if _, err := recordmgr.Build[node](recordmgr.Config{Scheme: recordmgr.SchemeDEBRA, Threads: 1, Allocator: "weird"}); err == nil {
+		t.Fatal("expected error for unknown allocator kind")
+	}
+}
+
+func TestMustBuildPanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	recordmgr.MustBuild[node](recordmgr.Config{Scheme: "nope", Threads: 1})
+}
+
+func TestNewReclaimerSharedDomain(t *testing.T) {
+	dom := neutralize.NewDomain(2)
+	r, err := recordmgr.NewReclaimer[node](recordmgr.SchemeDEBRAPlus, 2, pool.NewDiscard[node](), dom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.SupportsCrashRecovery() {
+		t.Fatal("DEBRA+ must support crash recovery")
+	}
+}
+
+func TestDefaultSchemeIsNone(t *testing.T) {
+	r, err := recordmgr.NewReclaimer[node]("", 1, pool.NewDiscard[node](), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != recordmgr.SchemeNone {
+		t.Fatalf("default scheme = %q, want none", r.Name())
+	}
+}
+
+func TestPropertiesCoversAllSchemesAndReferences(t *testing.T) {
+	props := recordmgr.Properties()
+	if len(props) < len(recordmgr.Schemes()) {
+		t.Fatalf("Properties returned %d rows, want at least %d", len(props), len(recordmgr.Schemes()))
+	}
+	seen := map[string]bool{}
+	for _, p := range props {
+		seen[p.Scheme] = true
+	}
+	for _, want := range []string{"DEBRA", "DEBRA+", "HP", "EBR", "None", "RC", "TS", "OA"} {
+		if !seen[want] {
+			t.Fatalf("Properties missing scheme %q", want)
+		}
+	}
+}
