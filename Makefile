@@ -1,0 +1,46 @@
+# Local development and CI run the exact same targets (.github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: all build vet fmt fmt-check test race bench-smoke bench check
+
+all: check
+
+## build: compile every package and binary
+build:
+	$(GO) build ./...
+
+## vet: static analysis
+vet:
+	$(GO) vet ./...
+
+## fmt: rewrite sources with gofmt
+fmt:
+	gofmt -w .
+
+## fmt-check: fail if any file is not gofmt-clean
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+## test: full test suite
+test:
+	$(GO) test ./...
+
+## race: test suite under the race detector (short mode, as in CI)
+race:
+	$(GO) test -race -short ./...
+
+## bench-smoke: tiny experiment run, JSON report to bench-smoke.json (CI artifact)
+bench-smoke: build
+	$(GO) run ./cmd/reclaimbench -experiment hashmap -quick -duration 30ms -json > bench-smoke.json
+	@grep -q '"row_count"' bench-smoke.json
+	@echo "wrote bench-smoke.json"
+
+## bench: the full benchmark suite through the testing.B interface
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+## check: everything CI checks, in one shot
+check: build vet fmt-check test race

@@ -189,6 +189,53 @@ func BenchmarkFig9_MemoryFootprint(b *testing.B) {
 	}
 }
 
+// --- Hash map panels (beyond the paper): every scheme, incl. EBR/QSBR ---
+
+func BenchmarkHashMap_LargeRange_Update50(b *testing.B) {
+	runCells(b, bench.DSHashMap, benchKeyRangeLarge, bench.MixUpdateHeavy, recordmgr.AllocBump, true)
+}
+
+func BenchmarkHashMap_SmallRange_Update50(b *testing.B) {
+	runCells(b, bench.DSHashMap, benchKeyRangeSmall, bench.MixUpdateHeavy, recordmgr.AllocBump, true)
+}
+
+func BenchmarkHashMap_SmallRange_Read50(b *testing.B) {
+	runCells(b, bench.DSHashMap, benchKeyRangeSmall, bench.MixReadHeavy, recordmgr.AllocBump, true)
+}
+
+// BenchmarkHashMap_GrowFromDefault measures the incremental-resize regime:
+// the table starts at the package default and doubles its way up (with lazy
+// dummy splicing) inside the measured phase. No prefill — prefilling would
+// grow the table before the clock starts.
+func BenchmarkHashMap_GrowFromDefault(b *testing.B) {
+	for _, scheme := range bench.SupportedSchemes(bench.DSHashMap) {
+		b.Run(scheme, func(b *testing.B) {
+			var totalOps int64
+			var elapsed time.Duration
+			for i := 0; i < b.N; i++ {
+				res, err := bench.RunTrial(bench.Config{
+					DataStructure: bench.DSHashMap,
+					Scheme:        scheme,
+					Threads:       runtime.NumCPU(),
+					Duration:      benchDuration,
+					Workload:      bench.Workload{InsertPct: 50, DeletePct: 50, KeyRange: benchKeyRangeLarge, PrefillFraction: 0},
+					Allocator:     recordmgr.AllocBump,
+					UsePool:       true,
+					Seed:          int64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				totalOps += res.Ops
+				elapsed += res.Elapsed
+			}
+			if elapsed > 0 {
+				b.ReportMetric(float64(totalOps)/elapsed.Seconds()/1e6, "Mops/s")
+			}
+		})
+	}
+}
+
 // --- Figure 2: qualitative scheme comparison ---
 
 func BenchmarkFigure2SchemesTable(b *testing.B) {

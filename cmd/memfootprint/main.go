@@ -21,17 +21,20 @@ func main() {
 	var (
 		duration   = flag.Duration("duration", 1*time.Second, "duration of each trial")
 		maxThreads = flag.Int("threads", 0, "maximum thread count (0 = 4 x NumCPU to force oversubscription)")
+		ds         = flag.String("ds", bench.DSBST, "data structure to drive: bst (the paper's setup) or hashmap")
 	)
 	flag.Parse()
 	max := *maxThreads
 	if max == 0 {
 		max = 4 * runtime.NumCPU()
 	}
-	rows, schemes, err := bench.MemoryExperiment(bench.Options{Duration: *duration, MaxThreads: max, Seed: 1})
+	rows, schemes, err := bench.MemoryExperiment(bench.Options{
+		Duration: *duration, MaxThreads: max, Seed: 1, DataStructure: *ds,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "memfootprint:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("GOMAXPROCS=%d, hardware threads=%d\n\n", runtime.GOMAXPROCS(0), runtime.NumCPU())
-	fmt.Print(bench.RenderMemoryTable(rows, schemes))
+	fmt.Print(bench.RenderMemoryTable(rows, schemes, *ds))
 }

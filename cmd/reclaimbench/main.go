@@ -1,16 +1,18 @@
 // Command reclaimbench regenerates the paper's evaluation: it runs the
-// requested experiment (1, 2 or 3), the Figure 9 memory-footprint
-// measurement, or the headline summary, and prints one throughput table per
-// figure panel.
+// requested experiment (1, 2 or 3), the hash map panels (4), the Figure 9
+// memory-footprint measurement, or the headline summary, and prints one
+// throughput table per figure panel.
 //
 // Examples:
 //
 //	reclaimbench -experiment 1                 # Figure 8 (left)
 //	reclaimbench -experiment 2 -threads 64     # Figure 8 (right) + Figure 9 (left) sweep
 //	reclaimbench -experiment 3 -duration 2s    # Figure 10
+//	reclaimbench -experiment hashmap           # hash map panels, all six schemes
 //	reclaimbench -experiment memory            # Figure 9 (right)
 //	reclaimbench -experiment summary           # headline ratios from Experiment 2
-//	reclaimbench -experiment 2 -csv            # machine-readable output
+//	reclaimbench -experiment 2 -csv            # machine-readable CSV
+//	reclaimbench -experiment hashmap -json     # machine-readable JSON (CI artifact)
 package main
 
 import (
@@ -24,11 +26,12 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "2", "experiment to run: 1, 2, 3, memory, or summary")
+		experiment = flag.String("experiment", "2", "experiment to run: 1, 2, 3, 4|hashmap, memory, or summary")
 		duration   = flag.Duration("duration", 500*time.Millisecond, "duration of each trial")
 		maxThreads = flag.Int("threads", 0, "maximum thread count of the sweep (0 = 2 x NumCPU)")
 		quick      = flag.Bool("quick", false, "shrink key ranges and the thread sweep for a fast smoke run")
 		csv        = flag.Bool("csv", false, "emit CSV instead of text tables")
+		jsonOut    = flag.Bool("json", false, "emit JSON instead of text tables")
 		seed       = flag.Int64("seed", 1, "workload random seed")
 	)
 	flag.Parse()
@@ -36,11 +39,31 @@ func main() {
 	opts := bench.Options{Duration: *duration, MaxThreads: *maxThreads, Quick: *quick, Seed: *seed}
 
 	switch *experiment {
-	case "1", "2", "3":
-		exp := int((*experiment)[0] - '0')
+	case "1", "2", "3", "4", "hashmap":
+		exp := bench.ExperimentHashMap
+		if *experiment != "hashmap" {
+			exp = int((*experiment)[0] - '0')
+		}
 		results, err := bench.RunExperiment(exp, opts)
 		if err != nil {
 			fatal(err)
+		}
+		if *jsonOut {
+			rep := bench.BuildJSONReport(results)
+			out, err := rep.Render()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(out)
+			// The JSON mode is the CI gate: an empty or error-carrying
+			// report must fail the job, not archive a green artifact.
+			if rep.RowCount == 0 {
+				fatal(fmt.Errorf("no cells were measured"))
+			}
+			if len(rep.Errors) > 0 {
+				fatal(fmt.Errorf("%d trials failed (see the errors field)", len(rep.Errors)))
+			}
+			return
 		}
 		for i, pr := range results {
 			if *csv {
@@ -49,7 +72,9 @@ func main() {
 				fmt.Println(bench.RenderThroughputTable(pr))
 			}
 		}
-		if !*csv {
+		if !*csv && exp != bench.ExperimentHashMap {
+			// The headline summary compares the paper's schemes; the hash
+			// map panels include schemes the paper does not quote ratios for.
 			fmt.Println(bench.RenderSummary(bench.Summarize(results)))
 		}
 	case "memory":
@@ -57,7 +82,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Println(bench.RenderMemoryTable(rows, schemes))
+		fmt.Println(bench.RenderMemoryTable(rows, schemes, ""))
 	case "summary":
 		results, err := bench.RunExperiment(bench.Experiment2, opts)
 		if err != nil {
@@ -65,7 +90,7 @@ func main() {
 		}
 		fmt.Println(bench.RenderSummary(bench.Summarize(results)))
 	default:
-		fatal(fmt.Errorf("unknown experiment %q (want 1, 2, 3, memory or summary)", *experiment))
+		fatal(fmt.Errorf("unknown experiment %q (want 1, 2, 3, 4, hashmap, memory or summary)", *experiment))
 	}
 }
 

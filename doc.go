@@ -5,7 +5,18 @@
 // evaluation, and a benchmark harness that regenerates every table and
 // figure of the paper's evaluation section.
 //
+// Beyond the paper's own benchmarks, internal/ds/hashmap adds a lock-free
+// split-ordered hash map with incremental resizing as the first structure
+// demonstrating that the Record Manager generalises: it is programmed once
+// against the abstraction and runs with all six reclamation schemes (none,
+// ebr, qsbr, debra, debra+, hp), including hazard-pointer traversal with
+// validation and DEBRA+ neutralization-safe operation bodies. Its panels are
+// experiment 4 of cmd/reclaimbench.
+//
 // The implementation lives under internal/ (see DESIGN.md for the map);
 // runnable entry points are the programs under cmd/ and examples/, and the
-// benchmarks in bench_test.go.
+// benchmarks in bench_test.go. CI (.github/workflows/ci.yml) and local
+// development share the Makefile targets: build, vet, gofmt check, the test
+// suite, the race-detector run (`make race`) and a benchmark smoke run whose
+// JSON report is archived per commit (`make bench-smoke`).
 package repro

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ds/bst"
+	"repro/internal/ds/hashmap"
 	"repro/internal/ds/skiplist"
 	"repro/internal/neutralize"
 	"repro/internal/recordmgr"
@@ -25,6 +26,7 @@ import (
 const (
 	DSBST      = "bst"
 	DSSkipList = "skiplist"
+	DSHashMap  = "hashmap"
 )
 
 // Workload describes the operation mix and key range of a trial.
@@ -62,6 +64,11 @@ type Config struct {
 	Allocator     recordmgr.AllocatorKind
 	UsePool       bool
 	Seed          int64
+	// InitialBuckets pre-sizes the hash map's table (hashmap only; 0 uses
+	// the package default, which grows incrementally under load). Pre-sizing
+	// to KeyRange/2 removes resizing from the measurement; the default
+	// regime includes it.
+	InitialBuckets int
 }
 
 // Result is the outcome of one trial.
@@ -110,13 +117,28 @@ func (s skipSet) delete(tid int, key int64) bool   { return s.l.Delete(tid, key)
 func (s skipSet) contains(tid int, key int64) bool { return s.l.Contains(tid, key) }
 func (s skipSet) stats() core.ManagerStats         { return s.l.Manager().Stats() }
 
+// hashSet adapts hashmap.Map to the harness interface.
+type hashSet struct{ m *hashmap.Map[int64] }
+
+func (s hashSet) insert(tid int, key int64) bool   { return s.m.Insert(tid, key, key) }
+func (s hashSet) delete(tid int, key int64) bool   { return s.m.Delete(tid, key) }
+func (s hashSet) contains(tid int, key int64) bool { return s.m.Contains(tid, key) }
+func (s hashSet) stats() core.ManagerStats         { return s.m.Manager().Stats() }
+
 // SupportedSchemes returns the reclamation schemes the given data structure
-// can run with (the skip list's updates take locks, so it cannot use the
-// neutralizing DEBRA+).
+// can run with. The figure panels mirror the paper's scheme selection for
+// its own structures (the skip list's updates take locks, so it cannot use
+// the neutralizing DEBRA+); the hash map is the module's generality proof
+// and runs every implemented scheme.
 func SupportedSchemes(ds string) []string {
 	switch ds {
 	case DSSkipList:
 		return []string{recordmgr.SchemeNone, recordmgr.SchemeDEBRA, recordmgr.SchemeHP}
+	case DSHashMap:
+		return []string{
+			recordmgr.SchemeNone, recordmgr.SchemeEBR, recordmgr.SchemeQSBR,
+			recordmgr.SchemeDEBRA, recordmgr.SchemeDEBRAPlus, recordmgr.SchemeHP,
+		}
 	default:
 		return []string{recordmgr.SchemeNone, recordmgr.SchemeDEBRA, recordmgr.SchemeDEBRAPlus, recordmgr.SchemeHP}
 	}
@@ -147,6 +169,21 @@ func buildSet(cfg Config) (set, error) {
 			return nil, err
 		}
 		return skipSet{l: skiplist.New(mgr, cfg.Threads)}, nil
+	case DSHashMap:
+		mgr, err := recordmgr.Build[hashmap.Node[int64]](recordmgr.Config{
+			Scheme:    cfg.Scheme,
+			Threads:   cfg.Threads,
+			Allocator: cfg.Allocator,
+			UsePool:   cfg.UsePool,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var opts []hashmap.Option
+		if cfg.InitialBuckets > 0 {
+			opts = append(opts, hashmap.WithInitialBuckets(cfg.InitialBuckets))
+		}
+		return hashSet{m: hashmap.New(mgr, cfg.Threads, opts...)}, nil
 	default:
 		return nil, fmt.Errorf("bench: unknown data structure %q", cfg.DataStructure)
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 	"time"
@@ -57,6 +58,116 @@ func TestRunTrialSkipListSchemes(t *testing.T) {
 		if res.Ops == 0 {
 			t.Fatalf("%s: no operations", scheme)
 		}
+	}
+}
+
+func TestRunTrialHashMapAllSchemes(t *testing.T) {
+	schemes := SupportedSchemes(DSHashMap)
+	if len(schemes) != 6 {
+		t.Fatalf("hash map must support all six schemes, got %v", schemes)
+	}
+	for _, scheme := range schemes {
+		t.Run(scheme, func(t *testing.T) {
+			res, err := RunTrial(Config{
+				DataStructure:  DSHashMap,
+				Scheme:         scheme,
+				Threads:        2,
+				Duration:       30 * time.Millisecond,
+				Workload:       withRange(MixUpdateHeavy, 1024),
+				Allocator:      recordmgr.AllocBump,
+				UsePool:        true,
+				InitialBuckets: 8,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Ops == 0 || res.Throughput <= 0 {
+				t.Fatalf("no work performed: %+v", res)
+			}
+			if scheme != recordmgr.SchemeNone && res.Reclaimer.Retired == 0 {
+				t.Fatal("nothing retired during an update-heavy trial")
+			}
+		})
+	}
+}
+
+func TestHashMapPanels(t *testing.T) {
+	panels, err := ExperimentPanels(ExperimentHashMap, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(panels) != 6 {
+		t.Fatalf("%d hash map panels, want 6 (3 shapes x 2 mixes)", len(panels))
+	}
+	sawGrow, sawPresized := false, false
+	for _, p := range panels {
+		if p.DataStructure != DSHashMap {
+			t.Fatalf("panel %q has wrong structure %q", p.Title, p.DataStructure)
+		}
+		if len(p.Schemes) != 6 {
+			t.Fatalf("panel %q runs %d schemes, want all 6", p.Title, len(p.Schemes))
+		}
+		if p.InitialBuckets == 0 {
+			sawGrow = true
+		} else {
+			sawPresized = true
+		}
+	}
+	if !sawGrow || !sawPresized {
+		t.Fatal("panel family must cover both table-sizing regimes")
+	}
+}
+
+func TestRenderJSON(t *testing.T) {
+	opts := tinyOptions()
+	p := Panel{
+		Figure:        "smoke",
+		Title:         "hashmap tiny",
+		DataStructure: DSHashMap,
+		Workload:      withRange(MixUpdateHeavy, 512),
+		Allocator:     recordmgr.AllocBump,
+		UsePool:       true,
+		Schemes:       SupportedSchemes(DSHashMap),
+		Threads:       []int{1, 2},
+	}
+	pr := RunPanel(p, opts)
+	if len(pr.Errors) != 0 {
+		t.Fatalf("panel errors: %v", pr.Errors)
+	}
+	rep := BuildJSONReport([]PanelResult{pr})
+	if rep.RowCount != len(p.Schemes)*len(p.Threads) || len(rep.Rows) != rep.RowCount {
+		t.Fatalf("report has %d rows, want %d", rep.RowCount, len(p.Schemes)*len(p.Threads))
+	}
+	if rep.NumCPU <= 0 || rep.GOOS == "" {
+		t.Fatalf("report missing environment: %+v", rep)
+	}
+	out, err := RenderJSON([]PanelResult{pr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded JSONReport
+	if err := json.Unmarshal([]byte(out), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if decoded.RowCount != rep.RowCount {
+		t.Fatalf("decoded row count %d != %d", decoded.RowCount, rep.RowCount)
+	}
+	for _, row := range decoded.Rows {
+		if row.Scheme == "" || row.Threads == 0 || row.Ops == 0 {
+			t.Fatalf("incomplete row: %+v", row)
+		}
+	}
+}
+
+func TestMemoryExperimentHashMap(t *testing.T) {
+	opts := tinyOptions()
+	opts.DataStructure = DSHashMap
+	rows, schemes, err := MemoryExperiment(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 || len(schemes) != 3 {
+		t.Fatalf("rows=%d schemes=%v", len(rows), schemes)
 	}
 }
 
@@ -158,8 +269,8 @@ func TestMemoryExperiment(t *testing.T) {
 			}
 		}
 	}
-	out := RenderMemoryTable(rows, schemes)
-	if !strings.Contains(out, "Figure 9") || !strings.Contains(out, "neutralizations") {
+	out := RenderMemoryTable(rows, schemes, "")
+	if !strings.Contains(out, "Figure 9") || !strings.Contains(out, "neutralizations") || !strings.Contains(out, DSBST) {
 		t.Fatalf("memory table incomplete:\n%s", out)
 	}
 }

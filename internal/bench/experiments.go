@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/ds/hashmap"
 	"repro/internal/recordmgr"
 )
 
@@ -26,6 +27,9 @@ type Panel struct {
 	// Schemes are the columns; Threads are the rows.
 	Schemes []string
 	Threads []int
+	// InitialBuckets pre-sizes the hash map's table (hashmap panels only;
+	// 0 uses the package default and exercises incremental resizing).
+	InitialBuckets int
 }
 
 // PanelResult holds the measured cells of a panel.
@@ -46,6 +50,10 @@ type Options struct {
 	Quick bool
 	// Seed for workload generators.
 	Seed int64
+	// DataStructure selects the structure driven by MemoryExperiment
+	// (default DSBST, the paper's configuration; DSHashMap is also
+	// supported since it runs every scheme the experiment compares).
+	DataStructure string
 }
 
 // DefaultOptions returns options that mirror the paper's setup (scaled to
@@ -83,6 +91,11 @@ const (
 	Experiment1 = 1 // reclamation overhead without reuse (Figure 8 left)
 	Experiment2 = 2 // bump allocator + pool (Figure 8 right, Figure 9 left)
 	Experiment3 = 3 // heap allocator + pool (Figure 10)
+	// ExperimentHashMap is not a paper figure: it runs the lock-free hash
+	// map — the module's proof that the Record Manager generalises beyond
+	// the paper's own benchmarks — across all six schemes, several key
+	// ranges and two table-sizing regimes.
+	ExperimentHashMap = 4
 )
 
 // ExperimentPanels returns the panels of the given experiment, mirroring the
@@ -99,6 +112,8 @@ func ExperimentPanels(experiment int, opts Options) ([]Panel, error) {
 		alloc, usePool, figure = recordmgr.AllocBump, true, "Figure 8 (right) / Figure 9 (left), Experiment 2"
 	case Experiment3:
 		alloc, usePool, figure = recordmgr.AllocHeap, true, "Figure 10, Experiment 3"
+	case ExperimentHashMap:
+		return HashMapPanels(opts), nil
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %d", experiment)
 	}
@@ -131,6 +146,55 @@ func ExperimentPanels(experiment int, opts Options) ([]Panel, error) {
 	return panels, nil
 }
 
+// HashMapPanels returns the hash map panel family (beyond the paper): the
+// update-heavy and read-heavy mixes over a large and a small key range with
+// the table pre-sized to the expected population, plus a grow-from-default
+// regime on the small range where incremental resizing (dummy splicing and
+// table doubling) happens inside the measured phase. The grow regime skips
+// the prefill: prefilling would grow the table to its final size before the
+// clock starts, which is exactly the pre-sized regime again.
+func HashMapPanels(opts Options) []Panel {
+	const figure = "Hash map panels (beyond the paper), Experiment 4"
+	type shape struct {
+		keyRange int64
+		presize  bool
+		label    string
+	}
+	shapes := []shape{
+		{1_000_000, true, "pre-sized"},
+		{10_000, true, "pre-sized"},
+		{10_000, false, "grow-from-default"},
+	}
+	mixes := []Workload{MixUpdateHeavy, MixReadHeavy}
+	var panels []Panel
+	for _, sh := range shapes {
+		for _, mix := range mixes {
+			w := withRange(mix, opts.scaleRange(sh.keyRange))
+			initial := 0
+			if sh.presize {
+				// Half the key range is resident after prefill; size the
+				// table for it at the default load factor.
+				initial = int(w.KeyRange / 2 / hashmap.DefaultMaxLoad)
+			} else {
+				w.PrefillFraction = 0
+			}
+			panels = append(panels, Panel{
+				Figure: figure,
+				Title: fmt.Sprintf("%s range [0,%d) %di-%dd %s",
+					DSHashMap, w.KeyRange, w.InsertPct, w.DeletePct, sh.label),
+				DataStructure:  DSHashMap,
+				Workload:       w,
+				Allocator:      recordmgr.AllocBump,
+				UsePool:        true,
+				Schemes:        SupportedSchemes(DSHashMap),
+				Threads:        opts.threads(),
+				InitialBuckets: initial,
+			})
+		}
+	}
+	return panels
+}
+
 // RunPanel measures every cell of a panel.
 func RunPanel(p Panel, opts Options) PanelResult {
 	out := PanelResult{Panel: p, Results: map[string]map[int]Result{}}
@@ -138,14 +202,15 @@ func RunPanel(p Panel, opts Options) PanelResult {
 		out.Results[scheme] = map[int]Result{}
 		for _, threads := range p.Threads {
 			cfg := Config{
-				DataStructure: p.DataStructure,
-				Scheme:        scheme,
-				Threads:       threads,
-				Duration:      opts.Duration,
-				Workload:      p.Workload,
-				Allocator:     p.Allocator,
-				UsePool:       p.UsePool,
-				Seed:          opts.Seed,
+				DataStructure:  p.DataStructure,
+				Scheme:         scheme,
+				Threads:        threads,
+				Duration:       opts.Duration,
+				Workload:       p.Workload,
+				Allocator:      p.Allocator,
+				UsePool:        p.UsePool,
+				Seed:           opts.Seed,
+				InitialBuckets: p.InitialBuckets,
 			}
 			res, err := runSafely(cfg)
 			if err != nil {
@@ -245,12 +310,24 @@ type MemoryFootprintRow struct {
 func MemoryExperiment(opts Options) ([]MemoryFootprintRow, []string, error) {
 	schemes := []string{recordmgr.SchemeDEBRA, recordmgr.SchemeDEBRAPlus, recordmgr.SchemeHP}
 	keyRange := opts.scaleRange(10_000)
+	ds := opts.DataStructure
+	if ds == "" {
+		ds = DSBST
+	}
+	switch ds {
+	case DSBST, DSHashMap:
+	default:
+		// The experiment compares DEBRA, DEBRA+ and HP, so the structure
+		// must support all three (the lock-based skip list cannot run the
+		// neutralizing DEBRA+).
+		return nil, nil, fmt.Errorf("bench: MemoryExperiment supports %s and %s, got %q", DSBST, DSHashMap, ds)
+	}
 	var rows []MemoryFootprintRow
 	for _, threads := range opts.threads() {
 		row := MemoryFootprintRow{Threads: threads, Bytes: map[string]int64{}, Neut: map[string]int64{}}
 		for _, scheme := range schemes {
 			cfg := Config{
-				DataStructure: DSBST,
+				DataStructure: ds,
 				Scheme:        scheme,
 				Threads:       threads,
 				Duration:      opts.Duration,
@@ -271,10 +348,15 @@ func MemoryExperiment(opts Options) ([]MemoryFootprintRow, []string, error) {
 	return rows, schemes, nil
 }
 
-// RenderMemoryTable renders the Figure 9 (right) reproduction.
-func RenderMemoryTable(rows []MemoryFootprintRow, schemes []string) string {
+// RenderMemoryTable renders the Figure 9 (right) reproduction. ds names the
+// data structure the rows were measured with ("" defaults to the paper's
+// BST).
+func RenderMemoryTable(rows []MemoryFootprintRow, schemes []string, ds string) string {
+	if ds == "" {
+		ds = DSBST
+	}
 	var sb strings.Builder
-	sb.WriteString("Figure 9 (right): memory allocated for records (MB), BST range [0,1e4), 50i-50d\n")
+	fmt.Fprintf(&sb, "Figure 9 (right): memory allocated for records (MB), %s range [0,1e4), 50i-50d\n", ds)
 	fmt.Fprintf(&sb, "%8s", "threads")
 	for _, s := range schemes {
 		fmt.Fprintf(&sb, "%12s", s)

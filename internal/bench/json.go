@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"encoding/json"
+	"runtime"
+)
+
+// JSONRow is one measured cell of a panel in the machine-readable report
+// consumed by the CI benchmark-smoke job (and any external trend tracking).
+type JSONRow struct {
+	Figure         string  `json:"figure"`
+	Title          string  `json:"title"`
+	DataStructure  string  `json:"data_structure"`
+	Workload       string  `json:"workload"`
+	Allocator      string  `json:"allocator"`
+	UsePool        bool    `json:"use_pool"`
+	Scheme         string  `json:"scheme"`
+	Threads        int     `json:"threads"`
+	Ops            int64   `json:"ops"`
+	MopsPerSec     float64 `json:"mops_per_sec"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	AllocatedBytes int64   `json:"allocated_bytes"`
+	AllocatedRecs  int64   `json:"allocated_records"`
+	PoolReused     int64   `json:"pool_reused"`
+	Retired        int64   `json:"retired"`
+	Freed          int64   `json:"freed"`
+	Limbo          int64   `json:"limbo"`
+	Neutralization int64   `json:"neutralizations"`
+	EpochAdvances  int64   `json:"epoch_advances"`
+	Scans          int64   `json:"scans"`
+}
+
+// JSONReport is the top-level machine-readable result document.
+type JSONReport struct {
+	GOOS     string    `json:"goos"`
+	GOARCH   string    `json:"goarch"`
+	NumCPU   int       `json:"num_cpu"`
+	Rows     []JSONRow `json:"rows"`
+	Errors   []string  `json:"errors,omitempty"`
+	RowCount int       `json:"row_count"`
+}
+
+// BuildJSONReport flattens panel results into a JSONReport.
+func BuildJSONReport(results []PanelResult) JSONReport {
+	rep := JSONReport{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, NumCPU: runtime.NumCPU()}
+	for _, pr := range results {
+		for _, scheme := range pr.Panel.Schemes {
+			for _, threads := range pr.Panel.Threads {
+				r, ok := pr.Results[scheme][threads]
+				if !ok {
+					continue
+				}
+				rep.Rows = append(rep.Rows, JSONRow{
+					Figure:         pr.Panel.Figure,
+					Title:          pr.Panel.Title,
+					DataStructure:  pr.Panel.DataStructure,
+					Workload:       pr.Panel.Workload.String(),
+					Allocator:      allocName(pr.Panel.Allocator),
+					UsePool:        pr.Panel.UsePool,
+					Scheme:         scheme,
+					Threads:        threads,
+					Ops:            r.Ops,
+					MopsPerSec:     r.MopsPerSec,
+					ElapsedSeconds: r.Elapsed.Seconds(),
+					AllocatedBytes: r.AllocatedBytes,
+					AllocatedRecs:  r.AllocatedRecords,
+					PoolReused:     r.PoolReused,
+					Retired:        r.Reclaimer.Retired,
+					Freed:          r.Reclaimer.Freed,
+					Limbo:          r.Reclaimer.Limbo,
+					Neutralization: r.Reclaimer.Neutralizations,
+					EpochAdvances:  r.Reclaimer.EpochAdvances,
+					Scans:          r.Reclaimer.Scans,
+				})
+			}
+		}
+		for _, err := range pr.Errors {
+			rep.Errors = append(rep.Errors, err.Error())
+		}
+	}
+	rep.RowCount = len(rep.Rows)
+	return rep
+}
+
+// Render renders the report as an indented JSON document.
+func (r JSONReport) Render() (string, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(out) + "\n", nil
+}
+
+// RenderJSON renders panel results as an indented JSON document.
+func RenderJSON(results []PanelResult) (string, error) {
+	return BuildJSONReport(results).Render()
+}

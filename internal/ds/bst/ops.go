@@ -417,7 +417,7 @@ func (t *Tree[V]) helpMarked(tid int, desc *Record[V]) {
 // discussed in the paper; under DEBRA+ helping happens only before the
 // operation announces its own recovery protections).
 func (t *Tree[V]) help(tid int, node *Record[V], cell *UpdateCell[V]) {
-	if cell == nil || cell.info == nil || node == nil {
+	if cell == nil || node == nil || cellInfo(cell) == nil {
 		return
 	}
 	// Delivering a pending neutralization signal here (rather than inside
@@ -434,7 +434,7 @@ func (t *Tree[V]) help(tid int, node *Record[V], cell *UpdateCell[V]) {
 		return
 	}
 	t.stats.helps.Add(1)
-	info := cell.info
+	info := cellInfo(cell)
 	switch cell.state {
 	case StateIFlag:
 		t.helpInsert(tid, info)

@@ -74,16 +74,31 @@ const (
 // UpdateCell is one of the addresses an internal node's update field can
 // hold. Cells are embedded in Info records (and one process-wide initial
 // cell represents "clean, no operation yet").
+//
+// The owner pointer is atomic because it is the one field a reader must
+// load before it can protect (and only then validate) the owning Info
+// record: that load can race with the re-initialisation of a recycled
+// record, and its value is discarded when the subsequent validation fails.
+// state, by contrast, is only read after validation (or under epoch cover),
+// where the protection scheme's synchronisation already orders it against
+// recycling.
 type UpdateCell[V any] struct {
 	state State
-	info  *Record[V] // owning Info record; nil only for the initial cell
+	info  atomic.Pointer[Record[V]] // owning Info record; nil only for the initial cell
 }
 
 // State returns the update state this cell encodes.
 func (c *UpdateCell[V]) State() State { return c.state }
 
 // Info returns the Info record owning this cell (nil for the initial cell).
-func (c *UpdateCell[V]) Info() *Record[V] { return c.info }
+func (c *UpdateCell[V]) Info() *Record[V] { return c.info.Load() }
+
+// set initialises a cell in place (cells cannot be copy-assigned once they
+// contain an atomic pointer).
+func (c *UpdateCell[V]) set(state State, info *Record[V]) {
+	c.state = state
+	c.info.Store(info)
+}
 
 // Record is the single managed record type of the tree: internal node, leaf
 // or operation descriptor, discriminated by kind. Folding the roles into one
@@ -183,9 +198,9 @@ func initIInfo[V any](r *Record[V], key int64, p, l, newChild *Record[V], pupdat
 	r.gpupdate = nil
 	r.searchK = key
 	r.outcome.Store(outcomePending)
-	r.flagCell = UpdateCell[V]{state: StateIFlag, info: r}
-	r.markCell = UpdateCell[V]{state: StateMark, info: r}
-	r.cleanCell = UpdateCell[V]{state: StateClean, info: r}
+	r.flagCell.set(StateIFlag, r)
+	r.markCell.set(StateMark, r)
+	r.cleanCell.set(StateClean, r)
 	return r
 }
 
@@ -206,9 +221,9 @@ func initDInfo[V any](r *Record[V], key int64, gp, p, l *Record[V], pupdate, gpu
 	r.gpupdate = gpupdate
 	r.searchK = key
 	r.outcome.Store(outcomePending)
-	r.flagCell = UpdateCell[V]{state: StateDFlag, info: r}
-	r.markCell = UpdateCell[V]{state: StateMark, info: r}
-	r.cleanCell = UpdateCell[V]{state: StateClean, info: r}
+	r.flagCell.set(StateDFlag, r)
+	r.markCell.set(StateMark, r)
+	r.cleanCell.set(StateClean, r)
 	return r
 }
 
@@ -223,9 +238,9 @@ func (r *Record[V]) resetInfoFields() {
 	r.gpupdate = nil
 	r.searchK = 0
 	r.outcome.Store(outcomePending)
-	r.flagCell = UpdateCell[V]{}
-	r.markCell = UpdateCell[V]{}
-	r.cleanCell = UpdateCell[V]{}
+	r.flagCell.set(StateClean, nil)
+	r.markCell.set(StateClean, nil)
+	r.cleanCell.set(StateClean, nil)
 }
 
 // Manager is the Record Manager type the tree programs against.

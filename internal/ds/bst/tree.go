@@ -64,7 +64,7 @@ func New[V any](mgr *Manager[V]) *Tree[V] {
 		perRecord:     mgr.NeedsPerRecordProtection(),
 		crashRecovery: mgr.SupportsCrashRecovery(),
 	}
-	t.initialClean = UpdateCell[V]{state: StateClean, info: nil}
+	t.initialClean.set(StateClean, nil)
 	// The initial tree: a root with key Infinity2 whose children are the
 	// two sentinel leaves. These records are allocated from the manager
 	// (thread 0) but never retired.
@@ -152,6 +152,23 @@ func (t *Tree[V]) search(tid int, key int64) searchResult[V] {
 				t.releaseSearchProtection(tid, gp, p, nil)
 				return res
 			}
+			if p.update.Load() != pupdate {
+				// A deleted internal node keeps its stale child pointers, so
+				// the check above alone cannot prove l is still reachable.
+				// But removal marks p first (its update field moves to a mark
+				// cell and never moves back), so p's update still holding the
+				// value read before l was loaded proves p was unmarked — and
+				// therefore still in the tree — when child(p) == l held,
+				// which makes the protection announcement in time. Restart
+				// when it moved. (This hardens the paper's HP compromise; the
+				// residual window — stepping through a node that was already
+				// marked when pupdate was read — remains, as the paper
+				// concedes for hazard pointers on this tree.)
+				m.Unprotect(tid, l)
+				res.ok = false
+				t.releaseSearchProtection(tid, gp, p, nil)
+				return res
+			}
 		}
 	}
 	res.gp, res.p, res.l = gp, p, l
@@ -191,7 +208,7 @@ func cellInfo[V any](c *UpdateCell[V]) *Record[V] {
 	if c == nil {
 		return nil
 	}
-	return c.info
+	return c.info.Load()
 }
 
 // protectCellInfo announces a hazard pointer to the Info record owning cell

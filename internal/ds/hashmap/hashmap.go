@@ -1,0 +1,825 @@
+// Package hashmap implements a lock-free hash map over the Record Manager
+// abstraction: a split-ordered list (Shalev and Shavit's recursive
+// split-ordering) of Michael-style lock-free bucket lists, with lock-free
+// incremental resizing. It is the first data structure of this module that
+// is not part of the paper's own evaluation, added to demonstrate that the
+// Record Manager generalises beyond the paper's benchmarks: the map is
+// programmed once against core.RecordManager and every reclamation scheme in
+// the module (none, ebr, qsbr, debra, debra+, hp) drops in unchanged.
+//
+// Reclamation-relevant structure:
+//
+//   - All nodes — key/value nodes, bucket sentinels ("dummies") and deletion
+//     markers — are allocated, retired and recycled through one Record
+//     Manager, so retired nodes may be reused while slow readers still hold
+//     references to them: exactly the situation safe memory reclamation must
+//     make survivable.
+//   - Under hazard-pointer style schemes (NeedsPerRecordProtection) the
+//     traversal maintains a sliding pred/curr/next window of protections,
+//     validating each announcement against the link it was read from and
+//     restarting the operation when validation fails.
+//   - Under DEBRA+ (SupportsCrashRecovery) every operation body is wrapped
+//     in a neutralization recovery: allocation happens in a quiescent
+//     preamble, the linearizing CAS result is captured in a local before any
+//     further checkpoint, and recovery inspects only that local state — it
+//     never touches shared records, so it needs no recovery protections.
+//   - Dummy nodes are never retired; they are the stable re-entry points
+//     that let a restarted traversal re-enter its bucket without re-running
+//     the whole operation from a global head.
+//
+// Resizing is incremental and lock-free: the bucket table is a lazily
+// allocated two-level segment directory, growing the table is a single CAS
+// on the bucket count, and new buckets splice their dummy node into the
+// split-ordered list on first access (no node is ever rehashed or moved).
+package hashmap
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/neutralize"
+)
+
+// maxSegments bounds the segment directory. Segment p holds the buckets
+// [2^p, 2^(p+1)), so the directory supports 2^maxSegments buckets — far
+// beyond anything the benchmarks reach.
+const maxSegments = 40
+
+// Defaults for the tuning options.
+const (
+	// DefaultInitialBuckets is the bucket count a map starts with.
+	DefaultInitialBuckets = 8
+	// DefaultMaxLoad is the mean nodes-per-bucket threshold above which the
+	// table doubles.
+	DefaultMaxLoad = 4
+	// DefaultMaxBuckets caps table growth.
+	DefaultMaxBuckets = 1 << 26
+)
+
+// Option tunes a Map at construction time.
+type Option func(*config)
+
+type config struct {
+	initialBuckets uint64
+	maxLoad        int64
+	maxBuckets     uint64
+}
+
+// WithInitialBuckets sets the initial bucket count (rounded up to a power of
+// two). Pre-sizing to the expected element count divided by the load factor
+// removes the resize phase from a workload; the default grows from
+// DefaultInitialBuckets and exercises incremental resizing instead.
+func WithInitialBuckets(n int) Option {
+	return func(c *config) {
+		if n < 1 {
+			n = 1
+		}
+		c.initialBuckets = ceilPow2(uint64(n))
+	}
+}
+
+// WithMaxLoad sets the load factor (mean chain length) that triggers a table
+// doubling.
+func WithMaxLoad(l int) Option {
+	return func(c *config) {
+		if l < 1 {
+			l = 1
+		}
+		c.maxLoad = int64(l)
+	}
+}
+
+// WithMaxBuckets caps the table size (rounded up to a power of two).
+func WithMaxBuckets(n int) Option {
+	return func(c *config) {
+		if n < 1 {
+			n = 1
+		}
+		c.maxBuckets = ceilPow2(uint64(n))
+	}
+}
+
+func ceilPow2(v uint64) uint64 {
+	if v <= 1 {
+		return 1
+	}
+	return 1 << bits.Len64(v-1)
+}
+
+// segment is one lazily allocated block of the bucket directory. Entries
+// hold the bucket's dummy node once the bucket has been initialised.
+type segment[V any] struct {
+	buckets []atomic.Pointer[Node[V]]
+}
+
+// spareSlot is a per-thread scratch holding a pre-allocated dummy node
+// across neutralization retries (allocation must not happen inside a
+// restartable body, so bucket initialisation parks its dummy here until the
+// splice succeeds). Padded to keep the single-writer slots off each other's
+// cache lines.
+type spareSlot[V any] struct {
+	node *Node[V]
+	_    [core.PadBytes]byte
+}
+
+// opStats tracks data structure level counters (not reclamation counters).
+type opStats struct {
+	restarts atomic.Int64 // operation restarts (CAS failures, HP validation failures)
+	unlinks  atomic.Int64 // marked pairs physically unlinked by traversals
+	resizes  atomic.Int64 // successful table doublings
+	dummies  atomic.Int64 // bucket sentinels spliced into the list
+}
+
+// Stats is a snapshot of the map's operation counters.
+type Stats struct {
+	Restarts int64
+	Unlinks  int64
+	Resizes  int64
+	Dummies  int64
+}
+
+// Map is a lock-free hash map from int64 keys to values of type V. All
+// concurrent operations take the dense thread id of the calling worker,
+// which must be in [0, n) for the Record Manager the map was built with.
+// The whole int64 key range is usable (the split-ordered list needs no
+// sentinel keys).
+type Map[V any] struct {
+	mgr  *Manager[V]
+	head *Node[V] // bucket 0's dummy: the head of the split-ordered list
+
+	size  atomic.Uint64 // current bucket count (power of two)
+	count atomic.Int64  // regular nodes inserted minus logically deleted
+
+	maxLoad    int64
+	maxBuckets uint64
+
+	segments [maxSegments]atomic.Pointer[segment[V]]
+	spares   []spareSlot[V]
+
+	// perRecord caches whether the reclaimer needs Protect/validate per
+	// record; crashRecovery caches whether bodies can be neutralized.
+	perRecord     bool
+	crashRecovery bool
+
+	// visit, when non-nil, is called for every node a traversal has made
+	// safe to access (set before concurrent use; see SetVisitHook).
+	visit func(tid int, n *Node[V])
+
+	stats opStats
+}
+
+// New creates an empty map whose records are managed by mgr, for the given
+// number of worker threads (which must match the manager's).
+func New[V any](mgr *Manager[V], threads int, opts ...Option) *Map[V] {
+	if mgr == nil {
+		panic("hashmap: New requires a RecordManager")
+	}
+	if threads <= 0 {
+		panic("hashmap: New requires threads >= 1")
+	}
+	cfg := config{
+		initialBuckets: DefaultInitialBuckets,
+		maxLoad:        DefaultMaxLoad,
+		maxBuckets:     DefaultMaxBuckets,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.maxBuckets < cfg.initialBuckets {
+		cfg.maxBuckets = cfg.initialBuckets
+	}
+	if cfg.maxBuckets > 1<<(maxSegments-1) {
+		cfg.maxBuckets = 1 << (maxSegments - 1)
+	}
+	h := &Map[V]{
+		mgr:           mgr,
+		maxLoad:       cfg.maxLoad,
+		maxBuckets:    cfg.maxBuckets,
+		spares:        make([]spareSlot[V], threads),
+		perRecord:     mgr.NeedsPerRecordProtection(),
+		crashRecovery: mgr.SupportsCrashRecovery(),
+	}
+	h.head = mgr.Allocate(0)
+	initDummy(h.head, dummySoKey(0))
+	h.size.Store(cfg.initialBuckets)
+	return h
+}
+
+// Manager returns the map's Record Manager (for instrumentation).
+func (h *Map[V]) Manager() *Manager[V] { return h.mgr }
+
+// Stats returns a snapshot of the map's operation counters.
+func (h *Map[V]) Stats() Stats {
+	return Stats{
+		Restarts: h.stats.restarts.Load(),
+		Unlinks:  h.stats.unlinks.Load(),
+		Resizes:  h.stats.resizes.Load(),
+		Dummies:  h.stats.dummies.Load(),
+	}
+}
+
+// Buckets returns the current bucket count.
+func (h *Map[V]) Buckets() int { return int(h.size.Load()) }
+
+// Count returns the map's element count (maintained with atomic counters;
+// exact when quiescent).
+func (h *Map[V]) Count() int { return int(h.count.Load()) }
+
+// SetVisitHook installs fn to be called for every node a traversal has made
+// safe to access (after protection and validation under per-record schemes).
+// It exists for the reclaimtest safety harness, which uses it to assert that
+// no traversal ever observes a freed record. It must be set before any
+// concurrent use of the map and costs one predictable branch per visited
+// node when unset. Note for neutralizing schemes (DEBRA+): a visit made
+// while the thread has a neutralization signal pending belongs to a doomed
+// attempt whose observations are discarded, and the hook must account for
+// that (see the scheme's Domain.Pending).
+func (h *Map[V]) SetVisitHook(fn func(tid int, n *Node[V])) { h.visit = fn }
+
+func (h *Map[V]) observe(tid int, n *Node[V]) {
+	if h.visit != nil {
+		h.visit(tid, n)
+	}
+}
+
+// --- Bucket directory -------------------------------------------------------
+
+// bucketLoc returns the directory slot of bucket b >= 1, allocating the
+// owning segment on first touch.
+func (h *Map[V]) bucketLoc(b uint64) *atomic.Pointer[Node[V]] {
+	p := bits.Len64(b) - 1 // segment p covers [2^p, 2^(p+1))
+	seg := h.segments[p].Load()
+	if seg == nil {
+		ns := &segment[V]{buckets: make([]atomic.Pointer[Node[V]], 1<<p)}
+		h.segments[p].CompareAndSwap(nil, ns)
+		seg = h.segments[p].Load()
+	}
+	return &seg.buckets[b-1<<p]
+}
+
+// bucketDummy returns the dummy node of bucket b, initialising the bucket
+// (and, recursively, its parents) on first access. It is called inside an
+// operation body: the thread is not quiescent, and ok=false propagates a
+// per-record protection failure to the body, which restarts.
+func (h *Map[V]) bucketDummy(tid int, b uint64) (*Node[V], bool) {
+	if b == 0 {
+		return h.head, true
+	}
+	loc := h.bucketLoc(b)
+	if d := loc.Load(); d != nil {
+		return d, true
+	}
+	parent, ok := h.bucketDummy(tid, parentBucket(b))
+	if !ok {
+		return nil, false
+	}
+	// The spare slot carries the pre-allocated dummy across neutralization
+	// retries so a restarted body does not allocate again.
+	spare := h.spares[tid].node
+	if spare == nil {
+		spare = h.mgr.Allocate(tid)
+		h.spares[tid].node = spare
+	}
+	initDummy(spare, dummySoKey(b))
+	d, ok := h.insertDummy(tid, parent, spare)
+	if !ok {
+		return nil, false
+	}
+	if d == spare {
+		// Published: the slot no longer owns it. No checkpoint can run
+		// between the winning CAS (inside insertDummy) and this line.
+		h.spares[tid].node = nil
+		h.stats.dummies.Add(1)
+	}
+	loc.CompareAndSwap(nil, d)
+	return d, true
+}
+
+// insertDummy splices dummy into the list starting at the parent dummy,
+// returning the list's sentinel for that split-order key: dummy itself when
+// our splice won, or the already-present sentinel when another initialiser
+// beat us (in which case the caller keeps its spare for later reuse).
+func (h *Map[V]) insertDummy(tid int, start, dummy *Node[V]) (*Node[V], bool) {
+	for {
+		pos, ok := h.find(tid, start, dummy.sokey, dummy.key)
+		if !ok {
+			return nil, false
+		}
+		if pos.found {
+			d := pos.curr
+			h.releasePos(tid, pos)
+			return d, true
+		}
+		dummy.next.Store(pos.curr)
+		if pos.pred.next.CompareAndSwap(pos.curr, dummy) {
+			h.releasePos(tid, pos)
+			return dummy, true
+		}
+		h.releasePos(tid, pos)
+	}
+}
+
+// startBucket locates the dummy node heading the bucket key hashes to under
+// the current table size.
+func (h *Map[V]) startBucket(tid int, hash uint64) (*Node[V], bool) {
+	return h.bucketDummy(tid, hash&(h.size.Load()-1))
+}
+
+// maybeGrow doubles the table when the load factor is exceeded. A single CAS
+// publishes the new size; the new buckets initialise lazily on first access,
+// so growth is incremental and never moves a node. Touches no records, so it
+// is safe to call at any point of an operation (including recovery).
+func (h *Map[V]) maybeGrow() {
+	size := h.size.Load()
+	if size >= h.maxBuckets {
+		return
+	}
+	if h.count.Load() > h.maxLoad*int64(size) {
+		if h.size.CompareAndSwap(size, size*2) {
+			h.stats.resizes.Add(1)
+		}
+	}
+}
+
+// --- Traversal --------------------------------------------------------------
+
+// findPos is a position in the list: curr is the first node at or past the
+// search key (nil at the end of the list), pred its predecessor. Under
+// per-record protection the recorded nodes are protected as flagged.
+type findPos[V any] struct {
+	pred, curr *Node[V]
+	predProt   bool
+	currProt   bool
+	found      bool
+}
+
+// releasePos drops the protections recorded in pos.
+func (h *Map[V]) releasePos(tid int, pos findPos[V]) {
+	if !h.perRecord {
+		return
+	}
+	if pos.predProt {
+		h.mgr.Unprotect(tid, pos.pred)
+	}
+	if pos.currProt && pos.curr != nil {
+		h.mgr.Unprotect(tid, pos.curr)
+	}
+}
+
+// find walks the bucket list from start to the position of (sokey, key),
+// physically unlinking any marked node it passes (Michael's find). ok=false
+// means a protection validation or an unlink CAS failed and the operation
+// must restart; every protection has been released in that case.
+//
+// On ok=true the returned position holds: pred protected (unless it is
+// start, which is a dummy and never retired), curr protected (when non-nil),
+// and found reporting whether curr's (sokey, key) equals the search key.
+// The caller must eventually releasePos.
+func (h *Map[V]) find(tid int, start *Node[V], sokey uint64, key int64) (findPos[V], bool) {
+	m := h.mgr
+	pos := findPos[V]{pred: start}
+	curr := start.next.Load()
+	if h.perRecord && curr != nil {
+		if !m.Protect(tid, curr) {
+			return pos, false
+		}
+		if start.next.Load() != curr {
+			m.Unprotect(tid, curr)
+			return pos, false
+		}
+	}
+	for {
+		m.Checkpoint(tid)
+		if curr == nil {
+			return pos, true
+		}
+		h.observe(tid, curr)
+		next := curr.next.Load()
+		if next != nil {
+			if h.perRecord {
+				if !m.Protect(tid, next) {
+					h.failFind(tid, pos, curr, nil)
+					return pos, false
+				}
+				if curr.next.Load() != next {
+					h.failFind(tid, pos, curr, next)
+					return pos, false
+				}
+				if pos.pred.next.Load() != curr {
+					// If next is a marker, curr.next froze when curr was
+					// marked, so the validation above cannot prove the
+					// (curr, marker) pair has not already been unlinked and
+					// reclaimed — and telling markers apart would itself
+					// dereference next. curr still being reachable from the
+					// protected pred proves the pair is not yet retired,
+					// making the announcement in time for any kind of next.
+					h.failFind(tid, pos, curr, next)
+					return pos, false
+				}
+			}
+			h.observe(tid, next)
+			if next.kind == kindMarker {
+				// curr is logically deleted; unlink the (curr, marker) pair.
+				// Only the winning CAS retires: curr leaves the list exactly
+				// once, and its next field froze at the marker when it was
+				// marked, so the pair cannot be unlinked twice.
+				succ := next.next.Load()
+				if pos.pred.next.CompareAndSwap(curr, succ) {
+					m.Retire(tid, curr)
+					m.Retire(tid, next)
+					h.stats.unlinks.Add(1)
+					if h.perRecord {
+						m.Unprotect(tid, curr)
+						m.Unprotect(tid, next)
+					}
+					curr = succ
+					if h.perRecord && curr != nil {
+						if !m.Protect(tid, curr) {
+							h.failFind(tid, pos, nil, nil)
+							return pos, false
+						}
+						if pos.pred.next.Load() != curr {
+							h.failFind(tid, pos, curr, nil)
+							return pos, false
+						}
+					}
+					continue
+				}
+				h.failFind(tid, pos, curr, next)
+				return pos, false
+			}
+		}
+		if !soLess(curr.sokey, curr.key, sokey, key) {
+			if h.perRecord && next != nil {
+				m.Unprotect(tid, next)
+			}
+			pos.curr = curr
+			pos.currProt = h.perRecord
+			pos.found = curr.sokey == sokey && curr.key == key
+			return pos, true
+		}
+		// Advance the window: curr's protection slides to the pred slot,
+		// next's (acquired above) to the curr slot.
+		if h.perRecord && pos.predProt {
+			m.Unprotect(tid, pos.pred)
+		}
+		pos.pred = curr
+		pos.predProt = h.perRecord
+		curr = next
+	}
+}
+
+// failFind releases the protections held by an aborted find: the sliding
+// pred plus whichever of curr/next the failing iteration still holds.
+func (h *Map[V]) failFind(tid int, pos findPos[V], curr, next *Node[V]) {
+	if !h.perRecord {
+		return
+	}
+	m := h.mgr
+	if next != nil {
+		m.Unprotect(tid, next)
+	}
+	if curr != nil {
+		m.Unprotect(tid, curr)
+	}
+	if pos.predProt {
+		m.Unprotect(tid, pos.pred)
+	}
+}
+
+// --- Operations -------------------------------------------------------------
+
+// Body outcomes.
+const (
+	opRetry = iota
+	opTrue
+	opFalse
+)
+
+// Insert adds key with the given value to the map. It returns true if the
+// key was inserted and false if it was already present (the value is not
+// replaced, matching the set semantics of the module's other structures).
+func (h *Map[V]) Insert(tid int, key int64, value V) bool {
+	m := h.mgr
+	// Quiescent preamble: allocate the node the body may publish.
+	// Allocation is not re-entrant, so it must not happen inside the body
+	// (which can be neutralized and re-run).
+	node := m.Allocate(tid)
+	for {
+		switch h.insertBody(tid, key, value, node) {
+		case opTrue:
+			return true
+		case opFalse:
+			m.Deallocate(tid, node)
+			return false
+		default:
+			h.stats.restarts.Add(1)
+		}
+	}
+}
+
+// insertBody is one execution of the insert body. The linearizing CAS result
+// is captured in published before EnterQstate (which can deliver a pending
+// neutralization), so recovery decides retry-vs-success from local state
+// alone and never touches shared records.
+func (h *Map[V]) insertBody(tid int, key int64, value V, node *Node[V]) (outcome int) {
+	m := h.mgr
+	published := false
+	if h.crashRecovery {
+		defer neutralize.OnNeutralized(m, tid, func(neutralize.Neutralized) {
+			if published {
+				outcome = opTrue
+			} else {
+				outcome = opRetry
+			}
+		})
+	}
+	m.LeaveQstate(tid)
+	hash := hashOf(key)
+	sokey := regularSoKey(hash)
+	start, ok := h.startBucket(tid, hash)
+	if !ok {
+		m.EnterQstate(tid)
+		return opRetry
+	}
+	pos, ok := h.find(tid, start, sokey, key)
+	if !ok {
+		m.EnterQstate(tid)
+		return opRetry
+	}
+	if pos.found {
+		m.EnterQstate(tid)
+		h.releasePos(tid, pos)
+		return opFalse
+	}
+	initRegular(node, key, value, sokey, pos.curr)
+	if pos.pred.next.CompareAndSwap(pos.curr, node) {
+		published = true
+		h.count.Add(1)
+		h.maybeGrow()
+		m.EnterQstate(tid)
+		h.releasePos(tid, pos)
+		return opTrue
+	}
+	m.EnterQstate(tid)
+	h.releasePos(tid, pos)
+	return opRetry
+}
+
+// Delete removes key from the map, returning true if it was present.
+func (h *Map[V]) Delete(tid int, key int64) bool {
+	m := h.mgr
+	// Quiescent preamble: allocate the marker the body may publish.
+	marker := m.Allocate(tid)
+	for {
+		outcome, unlinkedN, unlinkedM := h.deleteBody(tid, key, marker)
+		switch outcome {
+		case opTrue:
+			// Quiescent postamble: if our own unlink CAS won, the node and
+			// its marker are unreachable and it is on us to retire them
+			// (otherwise a later traversal unlinks and retires the pair).
+			if unlinkedN != nil {
+				m.Retire(tid, unlinkedN)
+				m.Retire(tid, unlinkedM)
+			}
+			return true
+		case opFalse:
+			m.Deallocate(tid, marker)
+			return false
+		default:
+			h.stats.restarts.Add(1)
+		}
+	}
+}
+
+// deleteBody is one execution of the delete body. Linearization is the
+// marker CAS on the victim's next field; its result is captured in marked
+// before any further checkpoint, so neutralization recovery never has to
+// guess whether the delete took effect.
+func (h *Map[V]) deleteBody(tid int, key int64, marker *Node[V]) (outcome int, unlinkedN, unlinkedM *Node[V]) {
+	m := h.mgr
+	marked := false
+	if h.crashRecovery {
+		defer neutralize.OnNeutralized(m, tid, func(neutralize.Neutralized) {
+			if marked {
+				// The named unlinked pair (set before EnterQstate) rides
+				// out through the named returns.
+				outcome = opTrue
+			} else {
+				outcome = opRetry
+				unlinkedN, unlinkedM = nil, nil
+			}
+		})
+	}
+	m.LeaveQstate(tid)
+	hash := hashOf(key)
+	sokey := regularSoKey(hash)
+	start, ok := h.startBucket(tid, hash)
+	if !ok {
+		m.EnterQstate(tid)
+		return opRetry, nil, nil
+	}
+	pos, ok := h.find(tid, start, sokey, key)
+	if !ok {
+		m.EnterQstate(tid)
+		return opRetry, nil, nil
+	}
+	if !pos.found {
+		m.EnterQstate(tid)
+		h.releasePos(tid, pos)
+		return opFalse, nil, nil
+	}
+	n := pos.curr
+	s := n.next.Load()
+	if s != nil {
+		// s must be inspected (is n already marked?) and is dereferenced as
+		// the marker's frozen successor, so protect-and-validate it first.
+		// As in find, validating through n.next alone is not enough when s
+		// is a marker (the field froze at the mark), so n's own continued
+		// reachability from the protected pred completes the proof that s
+		// has not been reclaimed.
+		if h.perRecord {
+			if !m.Protect(tid, s) {
+				m.EnterQstate(tid)
+				h.releasePos(tid, pos)
+				return opRetry, nil, nil
+			}
+			if n.next.Load() != s || pos.pred.next.Load() != n {
+				m.EnterQstate(tid)
+				m.Unprotect(tid, s)
+				h.releasePos(tid, pos)
+				return opRetry, nil, nil
+			}
+		}
+		h.observe(tid, s)
+		if s.kind == kindMarker {
+			// Another delete already marked n: this delete linearizes after
+			// it and finds the key absent. The retry's find unlinks the pair
+			// and reports not-found.
+			m.EnterQstate(tid)
+			if h.perRecord {
+				m.Unprotect(tid, s)
+			}
+			h.releasePos(tid, pos)
+			return opRetry, nil, nil
+		}
+	}
+	initMarker(marker, s)
+	if n.next.CompareAndSwap(s, marker) {
+		// Linearized: key removed. Try to unlink the pair ourselves; on
+		// failure a later traversal's find will (helping is cheap here —
+		// unlinking needs no descriptor, just the pair itself).
+		marked = true
+		h.count.Add(-1)
+		if pos.pred.next.CompareAndSwap(n, s) {
+			unlinkedN, unlinkedM = n, marker
+			h.stats.unlinks.Add(1)
+		}
+		m.EnterQstate(tid)
+		if h.perRecord && s != nil {
+			m.Unprotect(tid, s)
+		}
+		h.releasePos(tid, pos)
+		return opTrue, unlinkedN, unlinkedM
+	}
+	m.EnterQstate(tid)
+	if h.perRecord && s != nil {
+		m.Unprotect(tid, s)
+	}
+	h.releasePos(tid, pos)
+	return opRetry, nil, nil
+}
+
+// Get returns the value associated with key and whether it is present.
+func (h *Map[V]) Get(tid int, key int64) (V, bool) {
+	for {
+		v, ok, done := h.getBody(tid, key)
+		if done {
+			return v, ok
+		}
+		h.stats.restarts.Add(1)
+	}
+}
+
+// getBody is one attempt of Get. done=false means restart (protection
+// validation failed or the attempt was neutralized; read-only recovery is
+// trivially discard-and-retry).
+func (h *Map[V]) getBody(tid int, key int64) (val V, found, done bool) {
+	m := h.mgr
+	if h.crashRecovery {
+		defer neutralize.OnNeutralized(m, tid, func(neutralize.Neutralized) {
+			var zero V
+			val, found, done = zero, false, false
+		})
+	}
+	m.LeaveQstate(tid)
+	hash := hashOf(key)
+	sokey := regularSoKey(hash)
+	start, ok := h.startBucket(tid, hash)
+	if !ok {
+		m.EnterQstate(tid)
+		return val, false, false
+	}
+	pos, ok := h.find(tid, start, sokey, key)
+	if !ok {
+		m.EnterQstate(tid)
+		return val, false, false
+	}
+	if pos.found {
+		// Read the value while curr is still safe to access, before
+		// EnterQstate can deliver a neutralization that would invalidate it.
+		val = pos.curr.value
+		found = true
+	}
+	m.EnterQstate(tid)
+	h.releasePos(tid, pos)
+	return val, found, true
+}
+
+// Contains reports whether key is in the map.
+func (h *Map[V]) Contains(tid int, key int64) bool {
+	_, ok := h.Get(tid, key)
+	return ok
+}
+
+// --- Quiescent helpers ------------------------------------------------------
+
+// step follows a node's next link, skipping over a deletion marker.
+func step[V any](n *Node[V]) *Node[V] {
+	next := n.next.Load()
+	if next != nil && next.kind == kindMarker {
+		return next.next.Load()
+	}
+	return next
+}
+
+// isLive reports whether a node is an unmarked regular node.
+func isLive[V any](n *Node[V]) bool {
+	if n.kind != kindRegular {
+		return false
+	}
+	next := n.next.Load()
+	return next == nil || next.kind != kindMarker
+}
+
+// Len returns the number of live keys by walking the list (quiescent use
+// only; Count is the O(1) counter-based alternative).
+func (h *Map[V]) Len() int {
+	n := 0
+	for curr := h.head; curr != nil; curr = step(curr) {
+		if isLive(curr) {
+			n++
+		}
+	}
+	return n
+}
+
+// ForEach visits every live key/value pair (quiescent use only). The order
+// is split-order, not key order.
+func (h *Map[V]) ForEach(fn func(key int64, value V) bool) {
+	for curr := h.head; curr != nil; curr = step(curr) {
+		if isLive(curr) {
+			if !fn(curr.key, curr.value) {
+				return
+			}
+		}
+	}
+}
+
+// Validate checks the structural invariants (quiescent use only): the list
+// is strictly sorted by (sokey, key), markers only follow regular nodes, and
+// every initialised bucket's dummy is reachable.
+func (h *Map[V]) Validate() error {
+	// Order along the list.
+	prev := h.head
+	seen := map[*Node[V]]bool{h.head: true}
+	for curr := step(h.head); curr != nil; curr = step(curr) {
+		if curr.kind == kindMarker {
+			return fmt.Errorf("hashmap: marker reachable as a primary node")
+		}
+		if seen[curr] {
+			return fmt.Errorf("hashmap: cycle at sokey %#x", curr.sokey)
+		}
+		seen[curr] = true
+		if !soLess(prev.sokey, prev.key, curr.sokey, curr.key) {
+			return fmt.Errorf("hashmap: out of split order: (%#x,%d) before (%#x,%d)",
+				prev.sokey, prev.key, curr.sokey, curr.key)
+		}
+		prev = curr
+	}
+	// Every initialised bucket's dummy is on the list.
+	size := h.size.Load()
+	for b := uint64(1); b < size; b++ {
+		p := bits.Len64(b) - 1
+		seg := h.segments[p].Load()
+		if seg == nil {
+			continue
+		}
+		if d := seg.buckets[b-1<<p].Load(); d != nil && !seen[d] {
+			return fmt.Errorf("hashmap: bucket %d dummy not reachable", b)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,483 @@
+package hashmap_test
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/arena"
+	"repro/internal/core"
+	"repro/internal/ds/hashmap"
+	"repro/internal/neutralize"
+	"repro/internal/pool"
+	"repro/internal/raceenabled"
+	"repro/internal/reclaim/debraplus"
+	"repro/internal/reclaim/hp"
+	"repro/internal/reclaimtest"
+	"repro/internal/recordmgr"
+)
+
+func allSchemes() []string { return recordmgr.Schemes() }
+
+// newMap builds a map for the named scheme with a bump allocator and pool.
+func newMap(t testing.TB, scheme string, threads int, opts ...hashmap.Option) *hashmap.Map[int64] {
+	t.Helper()
+	mgr, err := recordmgr.Build[hashmap.Node[int64]](recordmgr.Config{
+		Scheme:    scheme,
+		Threads:   threads,
+		Allocator: recordmgr.AllocBump,
+		UsePool:   true,
+	})
+	if err != nil {
+		t.Fatalf("building record manager: %v", err)
+	}
+	return hashmap.New(mgr, threads, opts...)
+}
+
+func TestEmptyMap(t *testing.T) {
+	m := newMap(t, recordmgr.SchemeDEBRA, 1)
+	if m.Contains(0, 42) {
+		t.Fatal("empty map claims to contain a key")
+	}
+	if m.Delete(0, 42) {
+		t.Fatal("empty map deleted a key")
+	}
+	if _, ok := m.Get(0, 42); ok {
+		t.Fatal("empty map returned a value")
+	}
+	if m.Len() != 0 || m.Count() != 0 {
+		t.Fatalf("empty map has Len=%d Count=%d", m.Len(), m.Count())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertGetDelete(t *testing.T) {
+	for _, scheme := range allSchemes() {
+		t.Run(scheme, func(t *testing.T) {
+			m := newMap(t, scheme, 1)
+			if !m.Insert(0, 1, 100) {
+				t.Fatal("first insert failed")
+			}
+			if m.Insert(0, 1, 200) {
+				t.Fatal("duplicate insert succeeded")
+			}
+			if v, ok := m.Get(0, 1); !ok || v != 100 {
+				t.Fatalf("Get(1) = %d,%v want 100,true (duplicate insert must not replace)", v, ok)
+			}
+			if !m.Delete(0, 1) {
+				t.Fatal("delete of present key failed")
+			}
+			if m.Delete(0, 1) {
+				t.Fatal("delete of absent key succeeded")
+			}
+			if m.Contains(0, 1) {
+				t.Fatal("deleted key still present")
+			}
+			// Reinsertion after delete recycles through the pool.
+			if !m.Insert(0, 1, 300) {
+				t.Fatal("reinsert failed")
+			}
+			if v, _ := m.Get(0, 1); v != 300 {
+				t.Fatalf("reinserted value = %d want 300", v)
+			}
+			if err := m.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestFullKeyRange(t *testing.T) {
+	// The split-ordered list needs no sentinel keys: the extremes of int64
+	// are usable, including negatives.
+	m := newMap(t, recordmgr.SchemeDEBRA, 1)
+	keys := []int64{0, -1, 1, 1<<63 - 1, -1 << 63, 1234567890123456789}
+	for _, k := range keys {
+		if !m.Insert(0, k, k) {
+			t.Fatalf("insert %d failed", k)
+		}
+	}
+	for _, k := range keys {
+		if v, ok := m.Get(0, k); !ok || v != k {
+			t.Fatalf("Get(%d) = %d,%v", k, v, ok)
+		}
+	}
+	if m.Len() != len(keys) {
+		t.Fatalf("Len=%d want %d", m.Len(), len(keys))
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResizeGrowth(t *testing.T) {
+	for _, scheme := range allSchemes() {
+		t.Run(scheme, func(t *testing.T) {
+			m := newMap(t, scheme, 1, hashmap.WithInitialBuckets(2), hashmap.WithMaxLoad(2))
+			const n = 2000
+			for i := int64(0); i < n; i++ {
+				if !m.Insert(0, i, i*10) {
+					t.Fatalf("insert %d failed", i)
+				}
+			}
+			if got := m.Buckets(); got <= 2 {
+				t.Fatalf("table never grew: %d buckets", got)
+			}
+			if s := m.Stats(); s.Resizes == 0 || s.Dummies == 0 {
+				t.Fatalf("expected resizes and dummy splices, got %+v", s)
+			}
+			for i := int64(0); i < n; i++ {
+				if v, ok := m.Get(0, i); !ok || v != i*10 {
+					t.Fatalf("after resize Get(%d) = %d,%v", i, v, ok)
+				}
+			}
+			if m.Len() != n || m.Count() != n {
+				t.Fatalf("Len=%d Count=%d want %d", m.Len(), m.Count(), n)
+			}
+			if err := m.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestMaxBucketsCap(t *testing.T) {
+	m := newMap(t, recordmgr.SchemeNone, 1,
+		hashmap.WithInitialBuckets(2), hashmap.WithMaxLoad(1), hashmap.WithMaxBuckets(4))
+	for i := int64(0); i < 200; i++ {
+		m.Insert(0, i, i)
+	}
+	if got := m.Buckets(); got > 4 {
+		t.Fatalf("table grew past the cap: %d buckets", got)
+	}
+	if m.Len() != 200 {
+		t.Fatalf("Len=%d want 200", m.Len())
+	}
+}
+
+func TestForEachAndLen(t *testing.T) {
+	m := newMap(t, recordmgr.SchemeEBR, 1)
+	want := map[int64]int64{}
+	for i := int64(0); i < 300; i++ {
+		m.Insert(0, i, i*i)
+		want[i] = i * i
+	}
+	for i := int64(0); i < 300; i += 3 {
+		m.Delete(0, i)
+		delete(want, i)
+	}
+	got := map[int64]int64{}
+	m.ForEach(func(k, v int64) bool {
+		got[k] = v
+		return true
+	})
+	if len(got) != len(want) || m.Len() != len(want) {
+		t.Fatalf("iterated %d keys, Len=%d, want %d", len(got), m.Len(), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("key %d: got %d want %d", k, got[k], v)
+		}
+	}
+	// Early termination.
+	visits := 0
+	m.ForEach(func(int64, int64) bool {
+		visits++
+		return visits < 5
+	})
+	if visits != 5 {
+		t.Fatalf("ForEach visited %d after stop request", visits)
+	}
+}
+
+func TestAgainstModelSequential(t *testing.T) {
+	for _, scheme := range allSchemes() {
+		t.Run(scheme, func(t *testing.T) {
+			m := newMap(t, scheme, 1, hashmap.WithInitialBuckets(2), hashmap.WithMaxLoad(2))
+			model := map[int64]int64{}
+			rng := rand.New(rand.NewSource(7))
+			for i := 0; i < 20000; i++ {
+				key := rng.Int63n(512)
+				switch rng.Intn(3) {
+				case 0:
+					_, present := model[key]
+					if m.Insert(0, key, key) == present {
+						t.Fatalf("op %d: Insert(%d) disagrees with model (present=%v)", i, key, present)
+					}
+					model[key] = key
+				case 1:
+					_, present := model[key]
+					if m.Delete(0, key) != present {
+						t.Fatalf("op %d: Delete(%d) disagrees with model (present=%v)", i, key, present)
+					}
+					delete(model, key)
+				default:
+					_, present := model[key]
+					if m.Contains(0, key) != present {
+						t.Fatalf("op %d: Contains(%d) disagrees with model (present=%v)", i, key, present)
+					}
+				}
+			}
+			if m.Len() != len(model) {
+				t.Fatalf("final Len=%d want %d", m.Len(), len(model))
+			}
+			if err := m.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// --- reclaimtest wiring: poison-sink safety harness under every scheme ------
+
+// setAdapter adapts Map to the reclaimtest.Set surface.
+type setAdapter struct{ m *hashmap.Map[int64] }
+
+func (s setAdapter) Insert(tid int, key int64) bool   { return s.m.Insert(tid, key, key) }
+func (s setAdapter) Delete(tid int, key int64) bool   { return s.m.Delete(tid, key) }
+func (s setAdapter) Contains(tid int, key int64) bool { return s.m.Contains(tid, key) }
+
+// poisonedMapFactory builds a map whose pool poisons freed records and whose
+// visit hook counts observations of poisoned records, for the given
+// reclaimer constructor. The neutralization domain is created here and
+// handed to the constructor so the hook can discard observations made with a
+// signal pending: those belong to a doomed DEBRA+ attempt whose results are
+// thrown away, the same discard rule the raw-reclaimer Stress applies (for
+// non-neutralizing schemes Pending is always false and every observation
+// counts).
+func poisonedMapFactory(newReclaimer func(n int, sink core.FreeSink[hashmap.Node[int64]], dom *neutralize.Domain) core.Reclaimer[hashmap.Node[int64]]) reclaimtest.SetFactory {
+	return func(n int) reclaimtest.SetUnderTest {
+		type rec = hashmap.Node[int64]
+		alloc := arena.NewBump[rec](n, 0)
+		pp := reclaimtest.NewPoisonPool[rec, *rec](pool.New[rec](n, alloc))
+		dom := neutralize.NewDomain(n)
+		rcl := newReclaimer(n, pp, dom)
+		mgr := core.NewRecordManager[rec](alloc, pp, rcl)
+		// Start tiny with an aggressive load factor so the stress exercises
+		// incremental resizing and dummy splicing, not just list churn.
+		m := hashmap.New[int64](mgr, n, hashmap.WithInitialBuckets(2), hashmap.WithMaxLoad(2))
+		var violations atomic.Int64
+		m.SetVisitHook(func(tid int, nd *hashmap.Node[int64]) {
+			if nd.IsPoisoned() && !dom.Pending(tid) {
+				violations.Add(1)
+			}
+		})
+		return reclaimtest.SetUnderTest{
+			Set:         setAdapter{m},
+			Violations:  violations.Load,
+			DoubleFrees: pp.DoubleFrees,
+			Stats:       rcl.Stats,
+			Validate:    m.Validate,
+		}
+	}
+}
+
+// TestStressAllSchemes runs the poison-sink safety stress under all six
+// reclamation schemes: the tentpole claim of this data structure is that
+// every scheme drops in unchanged.
+func TestStressAllSchemes(t *testing.T) {
+	for _, scheme := range allSchemes() {
+		t.Run(scheme, func(t *testing.T) {
+			factory := poisonedMapFactory(func(n int, sink core.FreeSink[hashmap.Node[int64]], dom *neutralize.Domain) core.Reclaimer[hashmap.Node[int64]] {
+				rcl, err := recordmgr.NewReclaimer[hashmap.Node[int64]](scheme, n, sink, dom)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return rcl
+			})
+			reclaimtest.StressSet(t, factory, reclaimtest.DefaultSetStressOptions())
+		})
+	}
+}
+
+// TestStressAggressiveDebraPlus tunes DEBRA+ so epochs advance and
+// neutralization fires as often as possible, exercising the recovery paths
+// (retry-on-neutralize, publish-before-EnterQstate capture) rather than only
+// the happy path.
+func TestStressAggressiveDebraPlus(t *testing.T) {
+	if raceenabled.Enabled {
+		// Forced neutralization is not race-detector clean: a doomed
+		// (signal-pending) operation may read records being re-initialised
+		// after recycling, an artifact of simulating asynchronous signals
+		// cooperatively (see the note in recordmgr.NewReclaimer).
+		t.Skip("skipping forced-neutralization test under the race detector")
+	}
+	type rec = hashmap.Node[int64]
+	var rcl *debraplus.Reclaimer[rec]
+	factory := poisonedMapFactory(func(n int, sink core.FreeSink[rec], dom *neutralize.Domain) core.Reclaimer[rec] {
+		rcl = debraplus.New[rec](n, sink,
+			debraplus.WithDomain(dom),
+			debraplus.WithCheckThresh(1),
+			debraplus.WithIncrThresh(1),
+			debraplus.WithSuspectThresholdBlocks(1),
+			debraplus.WithScanThresholdBlocks(1),
+		)
+		return rcl
+	})
+	opts := reclaimtest.DefaultSetStressOptions()
+	opts.Duration = 300 * time.Millisecond
+	reclaimtest.StressSet(t, factory, opts)
+	if rcl.Stats().Neutralizations == 0 {
+		t.Log("warning: aggressive DEBRA+ stress saw no neutralizations (timing dependent)")
+	}
+}
+
+// TestStressAggressiveHP shrinks the HP retire threshold so hazard pointer
+// scans (and frees behind unprotected readers) happen constantly.
+func TestStressAggressiveHP(t *testing.T) {
+	type rec = hashmap.Node[int64]
+	factory := poisonedMapFactory(func(n int, sink core.FreeSink[rec], dom *neutralize.Domain) core.Reclaimer[rec] {
+		return hp.New[rec](n, sink, hp.WithRetireThreshold(32))
+	})
+	opts := reclaimtest.DefaultSetStressOptions()
+	opts.Duration = 300 * time.Millisecond
+	reclaimtest.StressSet(t, factory, opts)
+}
+
+// --- concurrent churn under the race detector -------------------------------
+
+// TestConcurrentChurn drives every scheme with plain goroutine churn and
+// per-thread disjoint final states, small enough to stay fast under
+// `go test -race -short`.
+func TestConcurrentChurn(t *testing.T) {
+	threads := 4
+	iters := int64(3000)
+	if testing.Short() {
+		iters = 800
+	}
+	for _, scheme := range allSchemes() {
+		t.Run(scheme, func(t *testing.T) {
+			m := newMap(t, scheme, threads, hashmap.WithInitialBuckets(2), hashmap.WithMaxLoad(2))
+			var wg sync.WaitGroup
+			for tid := 0; tid < threads; tid++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					base := int64(tid) * iters
+					// Insert a private band, churn a shared band, then
+					// delete every other private key.
+					for i := int64(0); i < iters; i++ {
+						if !m.Insert(tid, base+i, base+i) {
+							t.Errorf("tid %d: insert %d failed", tid, base+i)
+							return
+						}
+						shared := -1 - (i % 97) // negative: disjoint from bands
+						m.Insert(tid, shared, shared)
+						m.Contains(tid, shared)
+						m.Delete(tid, shared)
+					}
+					for i := int64(0); i < iters; i += 2 {
+						if !m.Delete(tid, base+i) {
+							t.Errorf("tid %d: delete %d failed", tid, base+i)
+							return
+						}
+					}
+				}(tid)
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			// Every thread's odd private keys survive.
+			for tid := 0; tid < threads; tid++ {
+				base := int64(tid) * iters
+				for i := int64(1); i < iters; i += 2 {
+					if !m.Contains(0, base+i) {
+						t.Fatalf("surviving key %d missing", base+i)
+					}
+				}
+				if m.Contains(0, base) {
+					t.Fatalf("deleted key %d still present", base)
+				}
+			}
+			if err := m.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			st := m.Manager().Stats()
+			if st.Reclaimer.Freed > st.Reclaimer.Retired {
+				t.Fatalf("freed %d > retired %d", st.Reclaimer.Freed, st.Reclaimer.Retired)
+			}
+		})
+	}
+}
+
+// TestConcurrentReaders checks lock-free readers against a steady writer.
+func TestConcurrentReaders(t *testing.T) {
+	threads := 4
+	m := newMap(t, recordmgr.SchemeHP, threads, hashmap.WithInitialBuckets(4))
+	const keys = 128
+	for i := int64(0); i < keys; i++ {
+		m.Insert(0, i, i)
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	// Writer flips keys in and out.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(1))
+		for !stop.Load() {
+			k := rng.Int63n(keys)
+			if !m.Delete(0, k) {
+				m.Insert(0, k, k)
+			}
+		}
+	}()
+	for tid := 1; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(tid)))
+			for !stop.Load() {
+				k := rng.Int63n(keys)
+				if v, ok := m.Get(tid, k); ok && v != k {
+					t.Errorf("Get(%d) returned foreign value %d", k, v)
+					return
+				}
+			}
+		}(tid)
+	}
+	time.Sleep(100 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+}
+
+func TestNewPanics(t *testing.T) {
+	if !panics(func() { hashmap.New[int64](nil, 1) }) {
+		t.Fatal("New(nil) did not panic")
+	}
+	mgr := recordmgr.MustBuild[hashmap.Node[int64]](recordmgr.Config{Scheme: recordmgr.SchemeNone, Threads: 1})
+	if !panics(func() { hashmap.New(mgr, 0) }) {
+		t.Fatal("New with 0 threads did not panic")
+	}
+}
+
+func panics(fn func()) (p bool) {
+	defer func() { p = recover() != nil }()
+	fn()
+	return false
+}
+
+// BenchmarkMapSequential is a quick single-thread sanity benchmark; the real
+// panels live in the repo-level bench_test.go.
+func BenchmarkMapSequential(b *testing.B) {
+	for _, scheme := range allSchemes() {
+		b.Run(scheme, func(b *testing.B) {
+			mgr := recordmgr.MustBuild[hashmap.Node[int64]](recordmgr.Config{
+				Scheme: scheme, Threads: 1, UsePool: true,
+			})
+			m := hashmap.New(mgr, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := int64(i % 4096)
+				m.Insert(0, k, k)
+				m.Contains(0, k)
+				m.Delete(0, k)
+			}
+		})
+	}
+}

@@ -1,0 +1,146 @@
+package hashmap
+
+import (
+	"math/bits"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Node kinds. A node's kind is assigned before it is published and never
+// changes while the node is reachable, so readers that hold a safe reference
+// (epoch-covered or hazard-protected) may read it without synchronisation.
+const (
+	// kindRegular is a key/value node inserted by Insert.
+	kindRegular uint8 = iota
+	// kindDummy is a bucket sentinel of the split-ordered list. Dummy nodes
+	// are never removed, so traversals may keep unprotected references to
+	// them (they are the stable re-entry points of every bucket).
+	kindDummy
+	// kindMarker is the logical-deletion marker spliced after a deleted node
+	// (the Harris/CSLM marker-node technique: Go has no pointer mark bits, so
+	// the mark is a one-shot successor node that makes a deleted node's next
+	// field CAS-incomparable to any plain successor).
+	kindMarker
+)
+
+// Node is the hash map's managed record type. One record type covers the
+// three roles (regular, dummy, marker) so a single Record Manager manages
+// every allocation of the structure, as the paper recommends for multi-role
+// structures (fold the types into one record with a kind discriminator).
+type Node[V any] struct {
+	key   int64
+	value V
+	// sokey is the split-order key: the bit-reversed mixed hash with the low
+	// bit set for regular nodes, or the bit-reversed bucket index (low bit
+	// clear) for dummy nodes. The list is sorted by (sokey, key).
+	sokey uint64
+	kind  uint8
+	next  atomic.Pointer[Node[V]]
+
+	// poisoned is test instrumentation: the reclaimtest poison wrappers set
+	// it when the record is handed to the free path and clear it on reuse,
+	// and the safety harness asserts through the map's visit hook that a
+	// traversal never observes it on a node protection made safe to access.
+	// It costs nothing on the hot path (nothing in this package reads it).
+	poisoned atomic.Bool
+}
+
+// Key returns the node's key (meaningful for regular nodes only).
+func (n *Node[V]) Key() int64 { return n.key }
+
+// Value returns the node's value (meaningful for regular nodes only).
+func (n *Node[V]) Value() V { return n.value }
+
+// SplitOrderKey returns the node's split-order key.
+func (n *Node[V]) SplitOrderKey() uint64 { return n.sokey }
+
+// IsDummy reports whether the node is a bucket sentinel.
+func (n *Node[V]) IsDummy() bool { return n.kind == kindDummy }
+
+// IsMarker reports whether the node is a logical-deletion marker.
+func (n *Node[V]) IsMarker() bool { return n.kind == kindMarker }
+
+// Poison implements the reclaimtest Poisonable contract: mark the record as
+// freed, reporting whether it already was (a double free).
+func (n *Node[V]) Poison() bool { return n.poisoned.Swap(true) }
+
+// Unpoison clears the freed mark (called by pool wrappers on reuse).
+func (n *Node[V]) Unpoison() { n.poisoned.Store(false) }
+
+// IsPoisoned reports whether the record is currently marked freed.
+func (n *Node[V]) IsPoisoned() bool { return n.poisoned.Load() }
+
+// Manager is the Record Manager type the hash map programs against.
+type Manager[V any] = core.RecordManager[Node[V]]
+
+// mix64 is the splitmix64 finalizer: a bijective scrambler that spreads
+// adjacent integer keys across the whole 64-bit hash space, so the uniform
+// integer workloads of the benchmarks do not degenerate into sequential
+// bucket probes.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// hashOf returns the mixed hash of a user key.
+func hashOf(key int64) uint64 { return mix64(uint64(key)) }
+
+// regularSoKey converts a mixed hash to a regular node's split-order key.
+// Setting the low bit sacrifices the hash's top bit (two hashes differing
+// only there share a sokey), which is why the list order and equality tests
+// tiebreak on the full user key.
+func regularSoKey(hash uint64) uint64 { return bits.Reverse64(hash) | 1 }
+
+// dummySoKey converts a bucket index to its dummy node's split-order key.
+// Bucket indexes are < 2^63, so the result always has the low bit clear and
+// sorts immediately before every regular key hashing into the bucket.
+func dummySoKey(bucket uint64) uint64 { return bits.Reverse64(bucket) }
+
+// soLess reports whether position a=(aSo,aKey) precedes b in split order.
+func soLess(aSo uint64, aKey int64, bSo uint64, bKey int64) bool {
+	if aSo != bSo {
+		return aSo < bSo
+	}
+	return aKey < bKey
+}
+
+// parentBucket returns the parent of bucket b in the split-order recursive
+// initialisation scheme: b with its most significant set bit cleared.
+func parentBucket(b uint64) uint64 {
+	return b &^ (1 << (bits.Len64(b) - 1))
+}
+
+// initRegular (re)initialises a recycled record as a key/value node.
+func initRegular[V any](n *Node[V], key int64, value V, sokey uint64, next *Node[V]) {
+	n.key = key
+	n.value = value
+	n.sokey = sokey
+	n.kind = kindRegular
+	n.next.Store(next)
+}
+
+// initDummy (re)initialises a recycled record as a bucket sentinel.
+func initDummy[V any](n *Node[V], sokey uint64) {
+	var zero V
+	n.key = 0
+	n.value = zero
+	n.sokey = sokey
+	n.kind = kindDummy
+	n.next.Store(nil)
+}
+
+// initMarker (re)initialises a recycled record as a deletion marker whose
+// frozen successor is next.
+func initMarker[V any](n *Node[V], next *Node[V]) {
+	var zero V
+	n.key = 0
+	n.value = zero
+	n.sokey = 0
+	n.kind = kindMarker
+	n.next.Store(next)
+}

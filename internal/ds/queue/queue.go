@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/neutralize"
 )
 
 // Node is the queue's managed record type.
@@ -26,7 +27,8 @@ type Queue[V any] struct {
 	head atomic.Pointer[Node[V]]
 	tail atomic.Pointer[Node[V]]
 
-	perRecord bool
+	perRecord     bool
+	crashRecovery bool
 }
 
 // New creates an empty queue managed by mgr.
@@ -34,7 +36,11 @@ func New[V any](mgr *Manager[V]) *Queue[V] {
 	if mgr == nil {
 		panic("queue: New requires a RecordManager")
 	}
-	q := &Queue[V]{mgr: mgr, perRecord: mgr.NeedsPerRecordProtection()}
+	q := &Queue[V]{
+		mgr:           mgr,
+		perRecord:     mgr.NeedsPerRecordProtection(),
+		crashRecovery: mgr.SupportsCrashRecovery(),
+	}
 	dummy := mgr.Allocate(0)
 	var zero V
 	dummy.value = zero
@@ -49,10 +55,28 @@ func (q *Queue[V]) Manager() *Manager[V] { return q.mgr }
 
 // Enqueue appends value to the tail of the queue.
 func (q *Queue[V]) Enqueue(tid int, value V) {
-	m := q.mgr
-	node := m.Allocate(tid)
+	// Quiescent preamble: allocate the node the body publishes (allocation
+	// is not re-entrant, so it must not happen inside a body that can be
+	// neutralized and re-run).
+	node := q.mgr.Allocate(tid)
 	node.value = value
 	node.next.Store(nil)
+	for !q.enqueueBody(tid, node) {
+	}
+}
+
+// enqueueBody is one execution of the enqueue body. The linearizing CAS
+// result is captured in published before EnterQstate (which can deliver a
+// pending neutralization), so recovery decides retry-vs-done from local
+// state alone.
+func (q *Queue[V]) enqueueBody(tid int, node *Node[V]) (done bool) {
+	m := q.mgr
+	published := false
+	if q.crashRecovery {
+		defer neutralize.OnNeutralized(m, tid, func(neutralize.Neutralized) {
+			done = published
+		})
+	}
 	m.LeaveQstate(tid)
 	for {
 		m.Checkpoint(tid)
@@ -73,6 +97,7 @@ func (q *Queue[V]) Enqueue(tid int, value V) {
 			continue
 		}
 		if tail.next.CompareAndSwap(nil, node) {
+			published = true
 			q.tail.CompareAndSwap(tail, node)
 			if q.perRecord {
 				m.Unprotect(tid, tail)
@@ -84,14 +109,36 @@ func (q *Queue[V]) Enqueue(tid int, value V) {
 		}
 	}
 	m.EnterQstate(tid)
+	return true
 }
 
 // Dequeue removes and returns the value at the head of the queue; ok is
 // false when the queue is empty.
-func (q *Queue[V]) Dequeue(tid int) (value V, ok bool) {
+func (q *Queue[V]) Dequeue(tid int) (V, bool) {
+	for {
+		value, ok, done := q.dequeueBody(tid)
+		if done {
+			return value, ok
+		}
+	}
+}
+
+// dequeueBody is one execution of the dequeue body. A successful head CAS is
+// durable (captured in the named returns before EnterQstate); an
+// empty-queue observation made by a neutralized attempt is discarded and
+// retried, because it may have been computed from reclaimed records.
+func (q *Queue[V]) dequeueBody(tid int) (value V, ok, done bool) {
 	m := q.mgr
+	if q.crashRecovery {
+		defer neutralize.OnNeutralized(m, tid, func(neutralize.Neutralized) {
+			if !done {
+				var zero V
+				value, ok = zero, false
+			}
+		})
+	}
 	m.LeaveQstate(tid)
-	defer m.EnterQstate(tid)
+	empty := false
 	for {
 		m.Checkpoint(tid)
 		head := q.head.Load()
@@ -114,23 +161,34 @@ func (q *Queue[V]) Dequeue(tid int) (value V, ok bool) {
 			if head == tail {
 				if next == nil {
 					q.releasePair(tid, head, next)
-					var zero V
-					return zero, false
+					empty = true
+					break
 				}
 				// Tail lagging behind; help it forward.
 				q.tail.CompareAndSwap(tail, next)
 			} else {
 				value = next.value
 				if q.head.CompareAndSwap(head, next) {
+					ok, done = true, true
 					q.releasePair(tid, head, next)
 					// The old dummy head is unreachable for new operations.
 					m.Retire(tid, head)
-					return value, true
+					break
 				}
+				var zero V
+				value = zero
 			}
 		}
 		q.releasePair(tid, head, next)
 	}
+	m.EnterQstate(tid)
+	if empty && !done {
+		// The empty observation commits only once EnterQstate returned
+		// without delivering a neutralization: a doomed attempt may have
+		// computed "empty" from reclaimed records, so it retries instead.
+		ok, done = false, true
+	}
+	return value, ok, done
 }
 
 // releasePair drops the hazard pointers acquired by Dequeue.

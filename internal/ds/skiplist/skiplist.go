@@ -141,6 +141,12 @@ func (l *List[V]) find(tid int, key int64, preds, succs *[MaxLevel]*Node[V]) (fo
 	for level := MaxLevel - 1; level >= 0; level-- {
 		curr := pred.next[level].Load()
 		for {
+			if curr == nil {
+				// Only reachable when a protection race let pred be recycled
+				// under us (initNode resets its next pointers to nil while we
+				// traverse): the traversal is broken, restart the operation.
+				return -1, false
+			}
 			if l.perRecord {
 				if !m.Protect(tid, curr) {
 					return -1, false

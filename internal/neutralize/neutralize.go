@@ -118,3 +118,34 @@ func Recover(v any) (Neutralized, bool) {
 	}
 	panic(v)
 }
+
+// RUnprotector is the slice of the Record Manager surface recovery needs
+// (satisfied by core.RecordManager and core.Reclaimer).
+type RUnprotector interface {
+	RUnprotectAll(tid int)
+}
+
+// OnNeutralized is the shared recovery wrapper for operation bodies. It must
+// be deferred directly (so its recover sees the body's panic):
+//
+//	defer neutralize.OnNeutralized(m, tid, func(neutralize.Neutralized) {
+//		// inspect locals captured before the panic point, set the
+//		// body's named results
+//	})
+//
+// A neutralization panic runs fn — which must only inspect local state, the
+// thread is quiescent — and then releases the thread's recovery
+// protections; any other panic is re-thrown, and a normal return does
+// nothing.
+func OnNeutralized(m RUnprotector, tid int, fn func(Neutralized)) {
+	v := recover()
+	if v == nil {
+		return
+	}
+	n, ok := Recover(v) // re-panics non-neutralization values
+	if !ok {
+		return
+	}
+	fn(n)
+	m.RUnprotectAll(tid)
+}

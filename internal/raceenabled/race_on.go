@@ -1,0 +1,6 @@
+//go:build race
+
+package raceenabled
+
+// Enabled reports whether the binary was built with the Go race detector.
+const Enabled = true

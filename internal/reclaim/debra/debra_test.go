@@ -22,10 +22,14 @@ func factoryDefault(n int, sink core.FreeSink[reclaimtest.Record]) core.Reclaime
 	return debra.New(n, sink)
 }
 
-func TestConformance(t *testing.T)         { reclaimtest.Conformance(t, factory) }
-func TestConformanceDefault(t *testing.T)  { reclaimtest.Conformance(t, factoryDefault) }
-func TestStressFastEpochs(t *testing.T)    { reclaimtest.Stress(t, factory, reclaimtest.DefaultStressOptions()) }
-func TestStressDefaultPacing(t *testing.T) { reclaimtest.Stress(t, factoryDefault, reclaimtest.DefaultStressOptions()) }
+func TestConformance(t *testing.T)        { reclaimtest.Conformance(t, factory) }
+func TestConformanceDefault(t *testing.T) { reclaimtest.Conformance(t, factoryDefault) }
+func TestStressFastEpochs(t *testing.T) {
+	reclaimtest.Stress(t, factory, reclaimtest.DefaultStressOptions())
+}
+func TestStressDefaultPacing(t *testing.T) {
+	reclaimtest.Stress(t, factoryDefault, reclaimtest.DefaultStressOptions())
+}
 
 // retireMany drives tid through ops, retiring fresh records, and returns them.
 func retireMany(r *debra.Reclaimer[reclaimtest.Record], tid, n int) []*reclaimtest.Record {

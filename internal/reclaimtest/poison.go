@@ -1,0 +1,108 @@
+package reclaimtest
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Poisonable is implemented (with pointer receivers) by managed record types
+// that carry a freed-mark for use-after-free detection. The poison wrappers
+// below set the mark on every record handed to the free path and clear it on
+// reuse; data structure instrumentation (for example the hash map's visit
+// hook) asserts that a traversal never observes the mark on a record its
+// protection has made safe to access.
+type Poisonable interface {
+	// Poison marks the record freed and reports whether it already was
+	// (a double free).
+	Poison() bool
+	// Unpoison clears the freed mark (the record is being reused).
+	Unpoison()
+	// IsPoisoned reports whether the record is currently marked freed.
+	IsPoisoned() bool
+}
+
+// PoisonPool wraps an object pool for any record type whose pointer type
+// implements Poisonable: records are poisoned when the reclaimer frees them
+// into the pool and unpoisoned when the pool hands them back out, so a
+// reader that still observes a poisoned record has, by construction, crossed
+// a free. It implements core.Pool and is installed both as the reclaimer's
+// free sink and as the Record Manager's pool.
+type PoisonPool[T any, PT interface {
+	*T
+	Poisonable
+}] struct {
+	inner       core.Pool[T]
+	frees       atomic.Int64
+	doubleFrees atomic.Int64
+}
+
+// NewPoisonPool wraps inner with poisoning instrumentation.
+func NewPoisonPool[T any, PT interface {
+	*T
+	Poisonable
+}](inner core.Pool[T]) *PoisonPool[T, PT] {
+	if inner == nil {
+		panic("reclaimtest: NewPoisonPool requires a pool")
+	}
+	return &PoisonPool[T, PT]{inner: inner}
+}
+
+// Allocate implements core.Pool: the record is unpoisoned before the caller
+// can see it, so a subsequent publish makes it observable only as live.
+func (p *PoisonPool[T, PT]) Allocate(tid int) *T {
+	rec := p.inner.Allocate(tid)
+	PT(rec).Unpoison()
+	return rec
+}
+
+// Free implements core.FreeSink.
+func (p *PoisonPool[T, PT]) Free(tid int, rec *T) {
+	if PT(rec).Poison() {
+		p.doubleFrees.Add(1)
+	}
+	p.frees.Add(1)
+	p.inner.Free(tid, rec)
+}
+
+// Stats implements core.Pool.
+func (p *PoisonPool[T, PT]) Stats() core.PoolStats { return p.inner.Stats() }
+
+// Freed returns the number of records freed through the wrapper.
+func (p *PoisonPool[T, PT]) Freed() int64 { return p.frees.Load() }
+
+// DoubleFrees returns the number of records freed more than once.
+func (p *PoisonPool[T, PT]) DoubleFrees() int64 { return p.doubleFrees.Load() }
+
+// PoisonDiscard is the no-reuse analogue of PoisonPool: a free sink that
+// poisons records and discards them (Experiment-1 style configurations,
+// where freed records are never recycled so the mark is permanent).
+type PoisonDiscard[T any, PT interface {
+	*T
+	Poisonable
+}] struct {
+	frees       atomic.Int64
+	doubleFrees atomic.Int64
+}
+
+// NewPoisonDiscard creates a poisoning, discarding free sink.
+func NewPoisonDiscard[T any, PT interface {
+	*T
+	Poisonable
+}]() *PoisonDiscard[T, PT] {
+	return &PoisonDiscard[T, PT]{}
+}
+
+// Free implements core.FreeSink.
+func (s *PoisonDiscard[T, PT]) Free(tid int, rec *T) {
+	if PT(rec).Poison() {
+		s.doubleFrees.Add(1)
+	}
+	s.frees.Add(1)
+}
+
+// Freed returns the number of records freed.
+func (s *PoisonDiscard[T, PT]) Freed() int64 { return s.frees.Load() }
+
+// DoubleFrees returns the number of records freed more than once.
+func (s *PoisonDiscard[T, PT]) DoubleFrees() int64 { return s.doubleFrees.Load() }

