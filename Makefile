@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench-smoke bench check
+.PHONY: all build vet fmt fmt-check test race bench-smoke bench-diff bench-baseline bench check
 
 all: check
 
@@ -32,11 +32,23 @@ test:
 race:
 	$(GO) test -race -short ./...
 
-## bench-smoke: tiny experiment run, JSON report to bench-smoke.json (CI artifact)
+## bench-smoke: tiny experiment run, JSON report to bench-smoke.json (CI artifact).
+## The thread sweep is pinned so the row set matches BENCH_baseline.json on any
+## machine; 75ms trials keep per-cell noise inside the bench-diff gate's margin.
 bench-smoke: build
-	$(GO) run ./cmd/reclaimbench -experiment hashmap -quick -duration 30ms -json > bench-smoke.json
+	$(GO) run ./cmd/reclaimbench -experiment hashmap -quick -threads 4 -duration 75ms -json > bench-smoke.json
 	@grep -q '"row_count"' bench-smoke.json
 	@echo "wrote bench-smoke.json"
+
+## bench-diff: compare the fresh bench-smoke artifact against the committed
+## baseline, failing on >30% (median-normalised) throughput regressions.
+bench-diff: bench-smoke
+	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json -current bench-smoke.json
+
+## bench-baseline: refresh the committed baseline from a fresh smoke run
+bench-baseline: bench-smoke
+	cp bench-smoke.json BENCH_baseline.json
+	@echo "updated BENCH_baseline.json; commit it"
 
 ## bench: the full benchmark suite through the testing.B interface
 bench:

@@ -1,0 +1,64 @@
+// Command benchdiff compares a fresh bench-smoke JSON report (produced by
+// `reclaimbench -json`) against a committed baseline and exits non-zero when
+// any cell's throughput regressed past the threshold. CI runs it after the
+// bench-smoke job with the repository's BENCH_baseline.json.
+//
+// By default the comparison is relative: each cell's current/baseline ratio
+// is normalised by the median ratio across all cells, so a uniformly slower
+// (or faster) CI machine cancels out and only cells that got slower
+// *relative to the rest of the suite* — the signature of a code-level
+// regression — trip the gate. Use -absolute for same-machine comparisons.
+//
+//	benchdiff -baseline BENCH_baseline.json -current bench-smoke.json
+//	benchdiff -baseline a.json -current b.json -threshold 0.2 -absolute
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_baseline.json", "baseline JSON report")
+		currentPath  = flag.String("current", "bench-smoke.json", "fresh JSON report to check")
+		threshold    = flag.Float64("threshold", 0.30, "fractional throughput drop that fails (0.30 = 30%)")
+		minMops      = flag.Float64("min-mops", 0.05, "ignore cells below this baseline throughput")
+		absolute     = flag.Bool("absolute", false, "compare raw Mops/s instead of median-normalised ratios")
+	)
+	flag.Parse()
+
+	baseline, err := readReport(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	current, err := readReport(*currentPath)
+	if err != nil {
+		fatal(err)
+	}
+	opts := bench.DiffOptions{Threshold: *threshold, MinMops: *minMops, Absolute: *absolute}
+	res := bench.DiffReports(baseline, current, opts)
+	fmt.Print(bench.RenderDiff(res, opts))
+	if res.Compared == 0 {
+		fatal(fmt.Errorf("no cells matched between %s and %s", *baselinePath, *currentPath))
+	}
+	if len(res.Regressions) > 0 {
+		fatal(fmt.Errorf("%d cells regressed more than %.0f%%", len(res.Regressions), *threshold*100))
+	}
+}
+
+func readReport(path string) (bench.JSONReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return bench.JSONReport{}, err
+	}
+	return bench.ParseReport(data)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

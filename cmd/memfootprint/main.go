@@ -15,21 +15,30 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/core"
 )
 
 func main() {
 	var (
-		duration   = flag.Duration("duration", 1*time.Second, "duration of each trial")
-		maxThreads = flag.Int("threads", 0, "maximum thread count (0 = 4 x NumCPU to force oversubscription)")
-		ds         = flag.String("ds", bench.DSBST, "data structure to drive: bst (the paper's setup) or hashmap")
+		duration    = flag.Duration("duration", 1*time.Second, "duration of each trial")
+		maxThreads  = flag.Int("threads", 0, "maximum thread count (0 = 4 x NumCPU to force oversubscription)")
+		ds          = flag.String("ds", bench.DSBST, "data structure to drive: bst (the paper's setup) or hashmap")
+		shards      = flag.Int("shards", 0, "sharded reclamation domains per trial (0/1 = one global domain)")
+		placement   = flag.String("placement", "", "tid->shard placement policy: block or stripe")
+		retireBatch = flag.Int("retirebatch", 0, "per-thread deferred-retire batch size (0 = direct retirement)")
 	)
 	flag.Parse()
+	if _, err := core.ParsePlacement(*placement); err != nil {
+		fmt.Fprintln(os.Stderr, "memfootprint:", err)
+		os.Exit(1)
+	}
 	max := *maxThreads
 	if max == 0 {
 		max = 4 * runtime.NumCPU()
 	}
 	rows, schemes, err := bench.MemoryExperiment(bench.Options{
 		Duration: *duration, MaxThreads: max, Seed: 1, DataStructure: *ds,
+		Shards: *shards, Placement: *placement, RetireBatch: *retireBatch,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "memfootprint:", err)

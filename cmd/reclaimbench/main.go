@@ -9,10 +9,16 @@
 //	reclaimbench -experiment 2 -threads 64     # Figure 8 (right) + Figure 9 (left) sweep
 //	reclaimbench -experiment 3 -duration 2s    # Figure 10
 //	reclaimbench -experiment hashmap           # hash map panels, all six schemes
+//	reclaimbench -experiment hashmap -shards 4 # ... over 4 sharded reclamation domains
+//	reclaimbench -experiment shards            # shard x batch ablation sweep
 //	reclaimbench -experiment memory            # Figure 9 (right)
 //	reclaimbench -experiment summary           # headline ratios from Experiment 2
 //	reclaimbench -experiment 2 -csv            # machine-readable CSV
 //	reclaimbench -experiment hashmap -json     # machine-readable JSON (CI artifact)
+//
+// The -shards, -placement and -retirebatch flags apply the sharded-domain
+// and deferred-retirement knobs to every trial of experiments 1-4 and
+// memory; the "shards" experiment sweeps them itself.
 package main
 
 import (
@@ -22,26 +28,40 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/core"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "2", "experiment to run: 1, 2, 3, 4|hashmap, memory, or summary")
-		duration   = flag.Duration("duration", 500*time.Millisecond, "duration of each trial")
-		maxThreads = flag.Int("threads", 0, "maximum thread count of the sweep (0 = 2 x NumCPU)")
-		quick      = flag.Bool("quick", false, "shrink key ranges and the thread sweep for a fast smoke run")
-		csv        = flag.Bool("csv", false, "emit CSV instead of text tables")
-		jsonOut    = flag.Bool("json", false, "emit JSON instead of text tables")
-		seed       = flag.Int64("seed", 1, "workload random seed")
+		experiment  = flag.String("experiment", "2", "experiment to run: 1, 2, 3, 4|hashmap, 5|shards, memory, or summary")
+		duration    = flag.Duration("duration", 500*time.Millisecond, "duration of each trial")
+		maxThreads  = flag.Int("threads", 0, "maximum thread count of the sweep (0 = 2 x NumCPU)")
+		quick       = flag.Bool("quick", false, "shrink key ranges and the thread sweep for a fast smoke run")
+		csv         = flag.Bool("csv", false, "emit CSV instead of text tables")
+		jsonOut     = flag.Bool("json", false, "emit JSON instead of text tables")
+		seed        = flag.Int64("seed", 1, "workload random seed")
+		shards      = flag.Int("shards", 0, "sharded reclamation domains per trial (0/1 = one global domain)")
+		placement   = flag.String("placement", "", "tid->shard placement policy: block or stripe")
+		retireBatch = flag.Int("retirebatch", 0, "per-thread deferred-retire batch size (0 = direct retirement)")
 	)
 	flag.Parse()
 
-	opts := bench.Options{Duration: *duration, MaxThreads: *maxThreads, Quick: *quick, Seed: *seed}
+	if _, err := core.ParsePlacement(*placement); err != nil {
+		fatal(err)
+	}
+	opts := bench.Options{
+		Duration: *duration, MaxThreads: *maxThreads, Quick: *quick, Seed: *seed,
+		Shards: *shards, Placement: *placement, RetireBatch: *retireBatch,
+	}
 
 	switch *experiment {
-	case "1", "2", "3", "4", "hashmap":
+	case "1", "2", "3", "4", "hashmap", "5", "shards":
 		exp := bench.ExperimentHashMap
-		if *experiment != "hashmap" {
+		switch *experiment {
+		case "hashmap":
+		case "shards":
+			exp = bench.ExperimentSharding
+		default:
 			exp = int((*experiment)[0] - '0')
 		}
 		results, err := bench.RunExperiment(exp, opts)
@@ -72,7 +92,7 @@ func main() {
 				fmt.Println(bench.RenderThroughputTable(pr))
 			}
 		}
-		if !*csv && exp != bench.ExperimentHashMap {
+		if !*csv && exp != bench.ExperimentHashMap && exp != bench.ExperimentSharding {
 			// The headline summary compares the paper's schemes; the hash
 			// map panels include schemes the paper does not quote ratios for.
 			fmt.Println(bench.RenderSummary(bench.Summarize(results)))
@@ -90,7 +110,7 @@ func main() {
 		}
 		fmt.Println(bench.RenderSummary(bench.Summarize(results)))
 	default:
-		fatal(fmt.Errorf("unknown experiment %q (want 1, 2, 3, 4, hashmap, memory or summary)", *experiment))
+		fatal(fmt.Errorf("unknown experiment %q (want 1, 2, 3, 4, hashmap, 5, shards, memory or summary)", *experiment))
 	}
 }
 

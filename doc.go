@@ -6,17 +6,48 @@
 // figure of the paper's evaluation section.
 //
 // Beyond the paper's own benchmarks, internal/ds/hashmap adds a lock-free
-// split-ordered hash map with incremental resizing as the first structure
-// demonstrating that the Record Manager generalises: it is programmed once
-// against the abstraction and runs with all six reclamation schemes (none,
-// ebr, qsbr, debra, debra+, hp), including hazard-pointer traversal with
-// validation and DEBRA+ neutralization-safe operation bodies. Its panels are
-// experiment 4 of cmd/reclaimbench.
+// split-ordered hash map with incremental resizing (and an Upsert/replace
+// operation) as the first structure demonstrating that the Record Manager
+// generalises: it is programmed once against the abstraction and runs with
+// all six reclamation schemes (none, ebr, qsbr, debra, debra+, hp). Its
+// panels are experiment 4 of cmd/reclaimbench.
+//
+// # Sharded reclamation domains and batched retirement
+//
+// The Record Manager stack scales past one global reclamation domain. A
+// core.ShardSpec partitions the dense thread ids of a Record Manager into N
+// shards (recordmgr.Config.Shards; -shards on the CLIs) under a tid→shard
+// placement policy (core.PlaceBlock keeps contiguous worker ids together,
+// the NUMA-style default; core.PlaceStripe round-robins — the
+// recordmgr.Config.Placement / -placement knob). Inside the epoch schemes
+// the per-operation announcement scan then covers only the caller's shard,
+// each shard publishes its verified epoch in a padded summary word, and the
+// global epoch advances once every summary matches — with a direct member
+// scan as the slow path for lagging or idle shards (in DEBRA+ that slow
+// path also neutralizes cross-shard laggards, preserving fault tolerance).
+// EBR's shared limbo bags and their lock are likewise per-shard. Safety is
+// unchanged: no record is freed until every thread in every shard has been
+// verified quiescent or at the current epoch; shards=1 reproduces the
+// classic single-domain behaviour exactly. Hazard pointers and the leaking
+// baseline are already fully distributed, so for them the spec is
+// informational.
+//
+// Retirement batches the same way: core.WithRetireBatching gives the Record
+// Manager per-thread deferred-retire buffers (recordmgr.Config.RetireBatch;
+// -retirebatch on the CLIs) that hand full blocks to the scheme through the
+// core.BlockReclaimer interface — an O(1) block splice per batch in EBR,
+// QSBR, DEBRA, DEBRA+ and HP, with a per-record fallback adapter
+// (core.RetireChain) for sub-block batch sizes or schemes without native
+// support. Experiment 5 of cmd/reclaimbench ("shards") sweeps the
+// shards × batch axes over the update-heavy hash map panel.
 //
 // The implementation lives under internal/ (see DESIGN.md for the map);
 // runnable entry points are the programs under cmd/ and examples/, and the
 // benchmarks in bench_test.go. CI (.github/workflows/ci.yml) and local
 // development share the Makefile targets: build, vet, gofmt check, the test
-// suite, the race-detector run (`make race`) and a benchmark smoke run whose
-// JSON report is archived per commit (`make bench-smoke`).
+// suite, the race-detector run (`make race`), a benchmark smoke run whose
+// JSON report is archived per commit (`make bench-smoke`), and a throughput
+// trend gate (`make bench-diff`) that compares the smoke report against the
+// committed BENCH_baseline.json with cmd/benchdiff, failing on >30%
+// median-normalised regressions.
 package repro

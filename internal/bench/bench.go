@@ -69,6 +69,14 @@ type Config struct {
 	// to KeyRange/2 removes resizing from the measurement; the default
 	// regime includes it.
 	InitialBuckets int
+	// Shards is the number of sharded reclamation domains (0/1 = one global
+	// domain).
+	Shards int
+	// Placement is the tid→shard placement policy name ("block"/"stripe").
+	Placement string
+	// RetireBatch is the per-thread deferred-retire batch size (0 = direct
+	// retirement).
+	RetireBatch int
 }
 
 // Result is the outcome of one trial.
@@ -89,6 +97,9 @@ type Result struct {
 	Reclaimer core.Stats
 	// PoolReused counts allocations served from the pool.
 	PoolReused int64
+	// RetirePending is the number of records parked in deferred-retire
+	// buffers at the end of the trial (0 unless RetireBatch is set).
+	RetirePending int64
 	// Elapsed is the measured duration of the timed phase.
 	Elapsed time.Duration
 }
@@ -126,21 +137,38 @@ func (s hashSet) contains(tid int, key int64) bool { return s.m.Contains(tid, ke
 func (s hashSet) stats() core.ManagerStats         { return s.m.Manager().Stats() }
 
 // SupportedSchemes returns the reclamation schemes the given data structure
-// can run with. The figure panels mirror the paper's scheme selection for
-// its own structures (the skip list's updates take locks, so it cannot use
-// the neutralizing DEBRA+); the hash map is the module's generality proof
-// and runs every implemented scheme.
+// can run with: every implemented scheme, except that the skip list's
+// lock-based updates cannot use the neutralizing DEBRA+ (interrupting a lock
+// holder is unsafe — the limitation the paper notes for lock-based
+// structures). The BST and skip list panels historically mirrored only the
+// paper's scheme selection; they now include the EBR and QSBR ablation
+// columns as well.
 func SupportedSchemes(ds string) []string {
 	switch ds {
 	case DSSkipList:
-		return []string{recordmgr.SchemeNone, recordmgr.SchemeDEBRA, recordmgr.SchemeHP}
-	case DSHashMap:
+		return []string{
+			recordmgr.SchemeNone, recordmgr.SchemeEBR, recordmgr.SchemeQSBR,
+			recordmgr.SchemeDEBRA, recordmgr.SchemeHP,
+		}
+	default:
 		return []string{
 			recordmgr.SchemeNone, recordmgr.SchemeEBR, recordmgr.SchemeQSBR,
 			recordmgr.SchemeDEBRA, recordmgr.SchemeDEBRAPlus, recordmgr.SchemeHP,
 		}
-	default:
-		return []string{recordmgr.SchemeNone, recordmgr.SchemeDEBRA, recordmgr.SchemeDEBRAPlus, recordmgr.SchemeHP}
+	}
+}
+
+// managerConfig translates a trial Config into the Record Manager
+// construction options shared by every data structure.
+func managerConfig(cfg Config) recordmgr.Config {
+	return recordmgr.Config{
+		Scheme:      cfg.Scheme,
+		Threads:     cfg.Threads,
+		Allocator:   cfg.Allocator,
+		UsePool:     cfg.UsePool,
+		Shards:      cfg.Shards,
+		Placement:   core.ShardPlacement(cfg.Placement),
+		RetireBatch: cfg.RetireBatch,
 	}
 }
 
@@ -148,34 +176,19 @@ func SupportedSchemes(ds string) []string {
 func buildSet(cfg Config) (set, error) {
 	switch cfg.DataStructure {
 	case DSBST, "":
-		mgr, err := recordmgr.Build[bst.Record[int64]](recordmgr.Config{
-			Scheme:    cfg.Scheme,
-			Threads:   cfg.Threads,
-			Allocator: cfg.Allocator,
-			UsePool:   cfg.UsePool,
-		})
+		mgr, err := recordmgr.Build[bst.Record[int64]](managerConfig(cfg))
 		if err != nil {
 			return nil, err
 		}
 		return bstSet{t: bst.New(mgr)}, nil
 	case DSSkipList:
-		mgr, err := recordmgr.Build[skiplist.Node[int64]](recordmgr.Config{
-			Scheme:    cfg.Scheme,
-			Threads:   cfg.Threads,
-			Allocator: cfg.Allocator,
-			UsePool:   cfg.UsePool,
-		})
+		mgr, err := recordmgr.Build[skiplist.Node[int64]](managerConfig(cfg))
 		if err != nil {
 			return nil, err
 		}
 		return skipSet{l: skiplist.New(mgr, cfg.Threads)}, nil
 	case DSHashMap:
-		mgr, err := recordmgr.Build[hashmap.Node[int64]](recordmgr.Config{
-			Scheme:    cfg.Scheme,
-			Threads:   cfg.Threads,
-			Allocator: cfg.Allocator,
-			UsePool:   cfg.UsePool,
-		})
+		mgr, err := recordmgr.Build[hashmap.Node[int64]](managerConfig(cfg))
 		if err != nil {
 			return nil, err
 		}
@@ -254,6 +267,7 @@ func RunTrial(cfg Config) (Result, error) {
 		AllocatedRecords: st.Alloc.Allocated,
 		Reclaimer:        st.Reclaimer,
 		PoolReused:       st.Pool.Reused,
+		RetirePending:    st.RetirePending,
 		Elapsed:          elapsed,
 	}
 	res.MopsPerSec = res.Throughput / 1e6

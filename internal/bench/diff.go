@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file implements the bench trend gate: comparing a fresh bench-smoke
+// JSON report against a committed baseline (BENCH_baseline.json) and failing
+// on throughput regressions. CI machines differ wildly in absolute speed, so
+// the default comparison is RELATIVE: each cell's current/baseline ratio is
+// normalised by the median ratio across all matched cells, cancelling the
+// machine-speed factor. A cell whose normalised ratio drops below
+// 1-Threshold regressed relative to the rest of the suite — which is what a
+// code-level regression looks like (one scheme/configuration got slower),
+// while a uniformly slower machine moves every ratio together and trips
+// nothing. Absolute mode is available for same-machine comparisons.
+
+// DiffOptions tunes DiffReports.
+type DiffOptions struct {
+	// Threshold is the fractional throughput drop that fails (0.30 = 30%).
+	Threshold float64
+	// MinMops ignores cells whose baseline throughput is below this floor
+	// (tiny cells are noise-dominated in 30ms smoke trials).
+	MinMops float64
+	// Absolute compares raw Mops/s instead of median-normalised ratios.
+	Absolute bool
+}
+
+// DefaultDiffOptions returns the CI gate configuration.
+func DefaultDiffOptions() DiffOptions {
+	return DiffOptions{Threshold: 0.30, MinMops: 0.05}
+}
+
+// DiffCell is one matched (baseline, current) measurement.
+type DiffCell struct {
+	Key      string  // title/scheme/threads/shards/batch identity
+	Baseline float64 // baseline Mops/s
+	Current  float64 // current Mops/s
+	Ratio    float64 // current / baseline
+	Norm     float64 // Ratio / median ratio (== Ratio in absolute mode)
+}
+
+// DiffResult is the outcome of comparing two reports.
+type DiffResult struct {
+	Compared          int
+	Skipped           int // cells under the MinMops floor
+	MissingInCurrent  int
+	MissingInBaseline int
+	MedianRatio       float64
+	Regressions       []DiffCell
+	Improvements      []DiffCell // informational: cells past the threshold upward
+}
+
+// rowKey identifies a cell across runs. The title already encodes the data
+// structure, key range, mix and table regime; scheme, threads and the
+// sharding/placement/batching axes complete the identity.
+func rowKey(r JSONRow) string {
+	return fmt.Sprintf("%s | %s | threads=%d shards=%d/%s batch=%d",
+		r.Title, r.Scheme, r.Threads, r.Shards, r.Placement, r.RetireBatch)
+}
+
+// ParseReport decodes a JSON report produced by reclaimbench -json.
+func ParseReport(data []byte) (JSONReport, error) {
+	var rep JSONReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("bench: parsing report: %w", err)
+	}
+	if rep.RowCount == 0 || len(rep.Rows) == 0 {
+		return rep, fmt.Errorf("bench: report contains no rows")
+	}
+	return rep, nil
+}
+
+// DiffReports compares current against baseline.
+func DiffReports(baseline, current JSONReport, opts DiffOptions) DiffResult {
+	if opts.Threshold <= 0 {
+		opts.Threshold = DefaultDiffOptions().Threshold
+	}
+	base := map[string]JSONRow{}
+	for _, r := range baseline.Rows {
+		base[rowKey(r)] = r
+	}
+	cur := map[string]JSONRow{}
+	for _, r := range current.Rows {
+		cur[rowKey(r)] = r
+	}
+
+	var res DiffResult
+	for k := range base {
+		if _, ok := cur[k]; !ok {
+			res.MissingInCurrent++
+		}
+	}
+	var cells []DiffCell
+	var ratios []float64
+	for k, c := range cur {
+		b, ok := base[k]
+		if !ok {
+			res.MissingInBaseline++
+			continue
+		}
+		if b.MopsPerSec < opts.MinMops || b.MopsPerSec == 0 {
+			res.Skipped++
+			continue
+		}
+		cell := DiffCell{Key: k, Baseline: b.MopsPerSec, Current: c.MopsPerSec}
+		cell.Ratio = c.MopsPerSec / b.MopsPerSec
+		cells = append(cells, cell)
+		ratios = append(ratios, cell.Ratio)
+	}
+	res.Compared = len(cells)
+	res.MedianRatio = median(ratios)
+	norm := res.MedianRatio
+	if opts.Absolute || norm <= 0 {
+		norm = 1
+	}
+	for i := range cells {
+		cells[i].Norm = cells[i].Ratio / norm
+		switch {
+		case cells[i].Norm < 1-opts.Threshold:
+			res.Regressions = append(res.Regressions, cells[i])
+		case cells[i].Norm > 1+opts.Threshold:
+			res.Improvements = append(res.Improvements, cells[i])
+		}
+	}
+	sort.Slice(res.Regressions, func(i, j int) bool { return res.Regressions[i].Norm < res.Regressions[j].Norm })
+	sort.Slice(res.Improvements, func(i, j int) bool { return res.Improvements[i].Norm > res.Improvements[j].Norm })
+	return res
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}
+
+// RenderDiff renders the comparison for humans (and the CI log).
+func RenderDiff(res DiffResult, opts DiffOptions) string {
+	var sb strings.Builder
+	mode := "relative (median-normalised)"
+	if opts.Absolute {
+		mode = "absolute"
+	}
+	fmt.Fprintf(&sb, "bench diff: %d cells compared, %d skipped (< %.2f Mops/s baseline), mode %s, threshold %.0f%%\n",
+		res.Compared, res.Skipped, opts.MinMops, mode, opts.Threshold*100)
+	fmt.Fprintf(&sb, "median current/baseline ratio: %.3f (machine-speed factor cancelled in relative mode)\n", res.MedianRatio)
+	if !opts.Absolute && res.MedianRatio > 0 && res.MedianRatio < 1-opts.Threshold {
+		// Relative mode cannot tell a slow machine from a uniform code-level
+		// slowdown (e.g. a shared Record Manager hot path getting slower
+		// everywhere) — both move every ratio together. Surface the shift
+		// loudly so a human (or a same-machine -absolute rerun) decides.
+		fmt.Fprintf(&sb, "WARNING: the whole suite runs at %.0f%% of baseline; relative mode cannot distinguish a slower machine from a uniform regression — rerun with -absolute on the baseline machine to rule one out\n",
+			res.MedianRatio*100)
+	}
+	if res.MissingInCurrent > 0 || res.MissingInBaseline > 0 {
+		fmt.Fprintf(&sb, "warning: %d baseline cells missing from current, %d current cells not in baseline\n",
+			res.MissingInCurrent, res.MissingInBaseline)
+	}
+	if len(res.Regressions) == 0 {
+		sb.WriteString("no regressions past the threshold\n")
+	}
+	for _, c := range res.Regressions {
+		fmt.Fprintf(&sb, "REGRESSION %5.1f%%  %s  (%.3f -> %.3f Mops/s)\n",
+			(1-c.Norm)*100, c.Key, c.Baseline, c.Current)
+	}
+	for _, c := range res.Improvements {
+		fmt.Fprintf(&sb, "improved  +%5.1f%%  %s  (%.3f -> %.3f Mops/s)\n",
+			(c.Norm-1)*100, c.Key, c.Baseline, c.Current)
+	}
+	return sb.String()
+}

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func mkRow(title, scheme string, threads, shards, batch int, mops float64) JSONRow {
+	return JSONRow{Title: title, Scheme: scheme, Threads: threads,
+		Shards: shards, RetireBatch: batch, MopsPerSec: mops}
+}
+
+func mkReport(rows ...JSONRow) JSONReport {
+	return JSONReport{Rows: rows, RowCount: len(rows)}
+}
+
+func TestDiffNoRegressionOnUniformSlowdown(t *testing.T) {
+	// A CI machine half the speed of the baseline machine: every cell's
+	// ratio moves together, the median normalisation cancels it.
+	base := mkReport(
+		mkRow("p", "debra", 1, 0, 0, 10),
+		mkRow("p", "debra", 2, 0, 0, 20),
+		mkRow("p", "hp", 1, 0, 0, 6),
+		mkRow("p", "hp", 2, 0, 0, 8),
+	)
+	cur := mkReport(
+		mkRow("p", "debra", 1, 0, 0, 5),
+		mkRow("p", "debra", 2, 0, 0, 10),
+		mkRow("p", "hp", 1, 0, 0, 3),
+		mkRow("p", "hp", 2, 0, 0, 4),
+	)
+	res := DiffReports(base, cur, DefaultDiffOptions())
+	if res.Compared != 4 {
+		t.Fatalf("Compared = %d want 4", res.Compared)
+	}
+	if len(res.Regressions) != 0 {
+		t.Fatalf("uniform slowdown flagged as regression: %+v", res.Regressions)
+	}
+}
+
+func TestDiffFlagsRelativeRegression(t *testing.T) {
+	base := mkReport(
+		mkRow("p", "debra", 1, 0, 0, 10),
+		mkRow("p", "debra", 2, 0, 0, 20),
+		mkRow("p", "ebr", 1, 0, 0, 10),
+		mkRow("p", "hp", 1, 0, 0, 6),
+		mkRow("p", "hp", 2, 0, 0, 8),
+	)
+	// ebr/1 collapses to a third while everything else holds.
+	cur := mkReport(
+		mkRow("p", "debra", 1, 0, 0, 10),
+		mkRow("p", "debra", 2, 0, 0, 20),
+		mkRow("p", "ebr", 1, 0, 0, 3.3),
+		mkRow("p", "hp", 1, 0, 0, 6),
+		mkRow("p", "hp", 2, 0, 0, 8),
+	)
+	res := DiffReports(base, cur, DefaultDiffOptions())
+	if len(res.Regressions) != 1 {
+		t.Fatalf("want exactly one regression, got %+v", res.Regressions)
+	}
+	if !strings.Contains(res.Regressions[0].Key, "ebr") {
+		t.Fatalf("wrong cell flagged: %s", res.Regressions[0].Key)
+	}
+	out := RenderDiff(res, DefaultDiffOptions())
+	if !strings.Contains(out, "REGRESSION") {
+		t.Fatalf("rendered diff lacks the regression line:\n%s", out)
+	}
+}
+
+func TestDiffAbsoluteMode(t *testing.T) {
+	base := mkReport(mkRow("p", "debra", 1, 0, 0, 10), mkRow("p", "hp", 1, 0, 0, 10))
+	cur := mkReport(mkRow("p", "debra", 1, 0, 0, 6), mkRow("p", "hp", 1, 0, 0, 6))
+	// Relative mode: both cells moved together, nothing flagged.
+	if res := DiffReports(base, cur, DefaultDiffOptions()); len(res.Regressions) != 0 {
+		t.Fatalf("relative mode flagged a uniform move: %+v", res.Regressions)
+	}
+	// Absolute mode: both dropped 40% > 30%.
+	opts := DiffOptions{Threshold: 0.30, Absolute: true}
+	if res := DiffReports(base, cur, opts); len(res.Regressions) != 2 {
+		t.Fatalf("absolute mode missed the drops: %+v", DiffReports(base, cur, opts))
+	}
+}
+
+func TestDiffShardAxisDistinguishesCells(t *testing.T) {
+	// Same title/scheme/threads but different shard counts are different
+	// cells and must not be cross-matched.
+	base := mkReport(mkRow("p", "ebr", 2, 1, 0, 5), mkRow("p", "ebr", 2, 4, 0, 10))
+	cur := mkReport(mkRow("p", "ebr", 2, 1, 0, 5), mkRow("p", "ebr", 2, 4, 0, 10))
+	res := DiffReports(base, cur, DefaultDiffOptions())
+	if res.Compared != 2 || len(res.Regressions) != 0 {
+		t.Fatalf("shard-axis cells mismatched: %+v", res)
+	}
+}
+
+func TestDiffMinMopsFloorAndMissing(t *testing.T) {
+	base := mkReport(mkRow("p", "a", 1, 0, 0, 0.01), mkRow("p", "b", 1, 0, 0, 5), mkRow("p", "gone", 1, 0, 0, 5))
+	cur := mkReport(mkRow("p", "a", 1, 0, 0, 0.001), mkRow("p", "b", 1, 0, 0, 5), mkRow("p", "new", 1, 0, 0, 5))
+	res := DiffReports(base, cur, DefaultDiffOptions())
+	if res.Skipped != 1 {
+		t.Fatalf("Skipped = %d want 1 (the sub-floor cell)", res.Skipped)
+	}
+	if res.MissingInCurrent != 1 || res.MissingInBaseline != 1 {
+		t.Fatalf("missing counts = %d/%d want 1/1", res.MissingInCurrent, res.MissingInBaseline)
+	}
+	if len(res.Regressions) != 0 {
+		t.Fatalf("noise cell flagged: %+v", res.Regressions)
+	}
+}
+
+func TestParseReportRejectsEmpty(t *testing.T) {
+	if _, err := ParseReport([]byte(`{"rows":[],"row_count":0}`)); err == nil {
+		t.Fatal("empty report accepted")
+	}
+	if _, err := ParseReport([]byte(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

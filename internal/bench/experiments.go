@@ -6,6 +6,8 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/blockbag"
+	"repro/internal/core"
 	"repro/internal/ds/hashmap"
 	"repro/internal/recordmgr"
 )
@@ -30,6 +32,11 @@ type Panel struct {
 	// InitialBuckets pre-sizes the hash map's table (hashmap panels only;
 	// 0 uses the package default and exercises incremental resizing).
 	InitialBuckets int
+	// Shards, Placement and RetireBatch configure the sharded reclamation
+	// domains and deferred-retire batching of every cell in the panel.
+	Shards      int
+	Placement   string
+	RetireBatch int
 }
 
 // PanelResult holds the measured cells of a panel.
@@ -54,6 +61,13 @@ type Options struct {
 	// (default DSBST, the paper's configuration; DSHashMap is also
 	// supported since it runs every scheme the experiment compares).
 	DataStructure string
+	// Shards, Placement and RetireBatch apply the sharded-domain and
+	// deferred-retire knobs to every trial of the run (the -shards,
+	// -placement and -retirebatch CLI flags). The sharding experiment
+	// sweeps these itself and ignores the Options values.
+	Shards      int
+	Placement   string
+	RetireBatch int
 }
 
 // DefaultOptions returns options that mirror the paper's setup (scaled to
@@ -96,6 +110,12 @@ const (
 	// the paper's own benchmarks — across all six schemes, several key
 	// ranges and two table-sizing regimes.
 	ExperimentHashMap = 4
+	// ExperimentSharding is the sharded-domain / batched-retirement
+	// ablation (beyond the paper): the update-heavy hash map panel repeated
+	// over a sweep of shard counts and retire-batch sizes, so the scaling
+	// effect of partitioning the reclamation domains is measurable per
+	// scheme and thread count.
+	ExperimentSharding = 5
 )
 
 // ExperimentPanels returns the panels of the given experiment, mirroring the
@@ -114,6 +134,8 @@ func ExperimentPanels(experiment int, opts Options) ([]Panel, error) {
 		alloc, usePool, figure = recordmgr.AllocHeap, true, "Figure 10, Experiment 3"
 	case ExperimentHashMap:
 		return HashMapPanels(opts), nil
+	case ExperimentSharding:
+		return ShardingPanels(opts), nil
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %d", experiment)
 	}
@@ -140,6 +162,9 @@ func ExperimentPanels(experiment int, opts Options) ([]Panel, error) {
 				UsePool:       usePool,
 				Schemes:       SupportedSchemes(sh.ds),
 				Threads:       opts.threads(),
+				Shards:        opts.Shards,
+				Placement:     opts.Placement,
+				RetireBatch:   opts.RetireBatch,
 			})
 		}
 	}
@@ -189,6 +214,50 @@ func HashMapPanels(opts Options) []Panel {
 				Schemes:        SupportedSchemes(DSHashMap),
 				Threads:        opts.threads(),
 				InitialBuckets: initial,
+				Shards:         opts.Shards,
+				Placement:      opts.Placement,
+				RetireBatch:    opts.RetireBatch,
+			})
+		}
+	}
+	return panels
+}
+
+// ShardingSweep returns the shard counts swept by ExperimentSharding on this
+// machine (see core.DefaultShardSweep).
+func ShardingSweep() []int { return core.DefaultShardSweep() }
+
+// ShardingPanels returns the sharded-domain / batched-retirement ablation:
+// the update-heavy hash map panel (pre-sized table, so reclamation — not
+// resizing — dominates) repeated for every (shards, retire batch) point of
+// the sweep. Schemes with shared reclamation state (EBR, QSBR) are where
+// sharding moves the needle; DEBRA and HP are included as the distributed
+// baselines the paper's argument predicts to be insensitive.
+func ShardingPanels(opts Options) []Panel {
+	const figure = "Sharded domains x batched retirement (beyond the paper), Experiment 5"
+	w := withRange(MixUpdateHeavy, opts.scaleRange(100_000))
+	initial := int(w.KeyRange / 2 / hashmap.DefaultMaxLoad)
+	schemes := []string{
+		recordmgr.SchemeEBR, recordmgr.SchemeQSBR, recordmgr.SchemeDEBRA, recordmgr.SchemeHP,
+	}
+	batches := []int{0, blockbag.BlockSize}
+	var panels []Panel
+	for _, shards := range ShardingSweep() {
+		for _, batch := range batches {
+			panels = append(panels, Panel{
+				Figure: figure,
+				Title: fmt.Sprintf("%s range [0,%d) %di-%dd shards=%d batch=%d",
+					DSHashMap, w.KeyRange, w.InsertPct, w.DeletePct, shards, batch),
+				DataStructure:  DSHashMap,
+				Workload:       w,
+				Allocator:      recordmgr.AllocBump,
+				UsePool:        true,
+				Schemes:        schemes,
+				Threads:        opts.threads(),
+				InitialBuckets: initial,
+				Shards:         shards,
+				Placement:      opts.Placement,
+				RetireBatch:    batch,
 			})
 		}
 	}
@@ -211,6 +280,9 @@ func RunPanel(p Panel, opts Options) PanelResult {
 				UsePool:        p.UsePool,
 				Seed:           opts.Seed,
 				InitialBuckets: p.InitialBuckets,
+				Shards:         p.Shards,
+				Placement:      p.Placement,
+				RetireBatch:    p.RetireBatch,
 			}
 			res, err := runSafely(cfg)
 			if err != nil {
@@ -241,8 +313,12 @@ func RunExperiment(experiment int, opts Options) ([]PanelResult, error) {
 // thread count and one column per scheme.
 func RenderThroughputTable(pr PanelResult) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%s\n%s  (Mops/s; allocator=%s pool=%v)\n",
+	fmt.Fprintf(&sb, "%s\n%s  (Mops/s; allocator=%s pool=%v",
 		pr.Panel.Figure, pr.Panel.Title, allocName(pr.Panel.Allocator), pr.Panel.UsePool)
+	if pr.Panel.Shards > 1 || pr.Panel.RetireBatch > 0 {
+		fmt.Fprintf(&sb, " shards=%d batch=%d", pr.Panel.Shards, pr.Panel.RetireBatch)
+	}
+	sb.WriteString(")\n")
 	fmt.Fprintf(&sb, "%8s", "threads")
 	for _, s := range pr.Panel.Schemes {
 		fmt.Fprintf(&sb, "%12s", s)
@@ -270,7 +346,7 @@ func RenderThroughputTable(pr PanelResult) string {
 func RenderCSV(pr PanelResult, includeHeader bool) string {
 	var sb strings.Builder
 	if includeHeader {
-		sb.WriteString("figure,title,scheme,threads,mops,allocated_bytes,retired,freed,limbo,neutralizations\n")
+		sb.WriteString("figure,title,scheme,threads,shards,retire_batch,mops,allocated_bytes,retired,freed,limbo,neutralizations\n")
 	}
 	for _, s := range pr.Panel.Schemes {
 		for _, th := range pr.Panel.Threads {
@@ -278,8 +354,9 @@ func RenderCSV(pr PanelResult, includeHeader bool) string {
 			if !ok {
 				continue
 			}
-			fmt.Fprintf(&sb, "%q,%q,%s,%d,%.4f,%d,%d,%d,%d,%d\n",
-				pr.Panel.Figure, pr.Panel.Title, s, th, r.MopsPerSec, r.AllocatedBytes,
+			fmt.Fprintf(&sb, "%q,%q,%s,%d,%d,%d,%.4f,%d,%d,%d,%d,%d\n",
+				pr.Panel.Figure, pr.Panel.Title, s, th, r.Config.Shards, r.Config.RetireBatch,
+				r.MopsPerSec, r.AllocatedBytes,
 				r.Reclaimer.Retired, r.Reclaimer.Freed, r.Reclaimer.Limbo, r.Reclaimer.Neutralizations)
 		}
 	}
@@ -335,6 +412,9 @@ func MemoryExperiment(opts Options) ([]MemoryFootprintRow, []string, error) {
 				Allocator:     recordmgr.AllocBump,
 				UsePool:       true,
 				Seed:          opts.Seed,
+				Shards:        opts.Shards,
+				Placement:     opts.Placement,
+				RetireBatch:   opts.RetireBatch,
 			}
 			res, err := runSafely(cfg)
 			if err != nil {

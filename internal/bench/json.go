@@ -16,6 +16,9 @@ type JSONRow struct {
 	UsePool        bool    `json:"use_pool"`
 	Scheme         string  `json:"scheme"`
 	Threads        int     `json:"threads"`
+	Shards         int     `json:"shards"`
+	Placement      string  `json:"placement,omitempty"`
+	RetireBatch    int     `json:"retire_batch"`
 	Ops            int64   `json:"ops"`
 	MopsPerSec     float64 `json:"mops_per_sec"`
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
@@ -25,6 +28,7 @@ type JSONRow struct {
 	Retired        int64   `json:"retired"`
 	Freed          int64   `json:"freed"`
 	Limbo          int64   `json:"limbo"`
+	RetirePending  int64   `json:"retire_pending"`
 	Neutralization int64   `json:"neutralizations"`
 	EpochAdvances  int64   `json:"epoch_advances"`
 	Scans          int64   `json:"scans"`
@@ -59,6 +63,9 @@ func BuildJSONReport(results []PanelResult) JSONReport {
 					UsePool:        pr.Panel.UsePool,
 					Scheme:         scheme,
 					Threads:        threads,
+					Shards:         r.Config.Shards,
+					Placement:      r.Config.Placement,
+					RetireBatch:    r.Config.RetireBatch,
 					Ops:            r.Ops,
 					MopsPerSec:     r.MopsPerSec,
 					ElapsedSeconds: r.Elapsed.Seconds(),
@@ -68,6 +75,7 @@ func BuildJSONReport(results []PanelResult) JSONReport {
 					Retired:        r.Reclaimer.Retired,
 					Freed:          r.Reclaimer.Freed,
 					Limbo:          r.Reclaimer.Limbo,
+					RetirePending:  r.RetirePending,
 					Neutralization: r.Reclaimer.Neutralizations,
 					EpochAdvances:  r.Reclaimer.EpochAdvances,
 					Scans:          r.Reclaimer.Scans,

@@ -99,6 +99,53 @@ type Reclaimer[T any] interface {
 	Stats() Stats
 }
 
+// BlockReclaimer is the optional batched-retirement extension of the
+// Reclaimer contract: schemes that keep their limbo state in block bags can
+// accept a whole detached full block of retired records in O(1) (a block
+// splice, cf. blockbag.Bag.AddBlock) instead of one Retire call per record.
+// The Record Manager's deferred-retire path hands over full blocks through
+// this interface when the scheme provides it and falls back to per-record
+// Retire calls otherwise (see RetireChain), so existing schemes compile and
+// run unchanged.
+type BlockReclaimer[T any] interface {
+	Reclaimer[T]
+	// RetireBlock hands the reclaimer one detached FULL block of records
+	// retired by thread tid; ownership of that block transfers to the
+	// reclaimer. In exchange the scheme returns an empty block from its own
+	// block caches when one is available (nil otherwise), which the caller
+	// recycles into the buffer the batch came from — at steady state blocks
+	// circulate between the retire buffers, the limbo bags and the free
+	// sink without ever being reallocated, preserving the blockbag design's
+	// zero-allocation property.
+	RetireBlock(tid int, blk *blockbag.Block[T]) *blockbag.Block[T]
+}
+
+// RetireChain retires every record of a detached block chain through r,
+// using the O(1) RetireBlock path for full blocks when the scheme supports
+// it and per-record Retire calls otherwise (and for any non-full block).
+// It returns the number of records retired. This is the default adapter for
+// callers without a block pool of their own; spare blocks the scheme hands
+// back are given to pool when non-nil and dropped otherwise.
+func RetireChain[T any](r Reclaimer[T], tid int, chain *blockbag.Block[T], pool *blockbag.BlockPool[T]) int {
+	br, native := r.(BlockReclaimer[T])
+	n := 0
+	for blk := chain; blk != nil; {
+		next := blk.Next()
+		n += blk.Len()
+		if native && blk.Full() {
+			if spare := br.RetireBlock(tid, blk); spare != nil && pool != nil {
+				pool.Put(spare)
+			}
+		} else {
+			for i := 0; i < blk.Len(); i++ {
+				r.Retire(tid, blk.Record(i))
+			}
+		}
+		blk = next
+	}
+	return n
+}
+
 // FreeSink receives records that a Reclaimer has determined are safe to
 // free. An object Pool is the usual sink (records get reused); experiment 1
 // of the paper uses a counting sink that discards records to measure

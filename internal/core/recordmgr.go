@@ -1,5 +1,7 @@
 package core
 
+import "repro/internal/blockbag"
+
 // RecordManager composes an Allocator, a Pool and a Reclaimer into the
 // single object a data structure programs against (the paper's Record
 // Manager, Figure 7). It exposes the union of their operations; the
@@ -21,26 +23,90 @@ type RecordManager[T any] struct {
 	perRecord bool
 	// crashRecovery caches SupportsCrashRecovery().
 	crashRecovery bool
+
+	// batch is the deferred-retire batch size; 0 disables batching and
+	// Retire goes straight to the reclaimer (the historical behaviour).
+	batch int
+	// bufs holds the per-thread deferred-retire buffers when batching is
+	// enabled. A retired record parks in its thread's buffer until the
+	// buffer reaches the batch size, then the whole batch is handed to the
+	// reclaimer — as an O(1) block splice when the scheme implements
+	// BlockReclaimer and the batch fills whole blocks.
+	bufs []retireBuf[T]
+}
+
+// retireBuf is one thread's deferred-retire buffer, padded so neighbouring
+// single-writer buffers do not share cache lines. The block pool is refilled
+// with the spare blocks the scheme hands back from RetireBlock, so at steady
+// state batches circulate existing blocks instead of allocating.
+type retireBuf[T any] struct {
+	bag     *blockbag.Bag[T]
+	pool    *blockbag.BlockPool[T]
+	pending int64
+	_       [PadBytes]byte
+}
+
+// ManagerOption configures a RecordManager at construction time.
+type ManagerOption func(*managerConfig)
+
+type managerConfig struct {
+	threads int
+	batch   int
+}
+
+// WithRetireBatching enables per-thread deferred retirement for the given
+// number of worker threads: Retire parks records in a thread-local buffer
+// and hands them to the reclaimer batch-at-a-time once the buffer holds
+// batch records. Batches of blockbag.BlockSize (or multiples) transfer as
+// whole detached blocks — O(1) per batch for schemes implementing
+// BlockReclaimer; other sizes fall back to one Retire call per record,
+// still amortising the per-call overhead over the batch.
+//
+// Deferring retirement is always safe (a retired record is already
+// unreachable; delaying the hand-off only delays its reuse) but parks up to
+// batch records per thread indefinitely if the thread stops operating; call
+// FlushRetired to force the hand-off (quiescent shutdown paths, tests).
+func WithRetireBatching(threads, batch int) ManagerOption {
+	return func(c *managerConfig) {
+		c.threads = threads
+		c.batch = batch
+	}
 }
 
 // NewRecordManager assembles a Record Manager from its three components.
 // pool may be nil, in which case Allocate goes straight to the allocator and
 // freed records are discarded (the configuration of the paper's Experiment 1,
 // where reclamation work is performed but records are not reused).
-func NewRecordManager[T any](alloc Allocator[T], pool Pool[T], rec Reclaimer[T]) *RecordManager[T] {
+func NewRecordManager[T any](alloc Allocator[T], pool Pool[T], rec Reclaimer[T], opts ...ManagerOption) *RecordManager[T] {
 	if alloc == nil {
 		panic("core: NewRecordManager requires an Allocator")
 	}
 	if rec == nil {
 		panic("core: NewRecordManager requires a Reclaimer")
 	}
-	return &RecordManager[T]{
+	var cfg managerConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	m := &RecordManager[T]{
 		alloc:         alloc,
 		pool:          pool,
 		reclaimer:     rec,
 		perRecord:     rec.Props().PerRecordProtection,
 		crashRecovery: rec.SupportsCrashRecovery(),
 	}
+	if cfg.batch > 0 {
+		if cfg.threads <= 0 {
+			panic("core: WithRetireBatching requires threads >= 1")
+		}
+		m.batch = cfg.batch
+		m.bufs = make([]retireBuf[T], cfg.threads)
+		for i := range m.bufs {
+			m.bufs[i].pool = blockbag.NewBlockPool[T](0)
+			m.bufs[i].bag = blockbag.New[T](m.bufs[i].pool)
+		}
+	}
+	return m
 }
 
 // Allocator returns the underlying allocator.
@@ -71,8 +137,44 @@ func (m *RecordManager[T]) Deallocate(tid int, rec *T) {
 	m.alloc.Deallocate(tid, rec)
 }
 
-// Retire hands a removed record to the reclaimer.
-func (m *RecordManager[T]) Retire(tid int, rec *T) { m.reclaimer.Retire(tid, rec) }
+// Retire hands a removed record to the reclaimer — directly, or through the
+// thread's deferred-retire buffer when batching is enabled.
+func (m *RecordManager[T]) Retire(tid int, rec *T) {
+	if m.batch == 0 {
+		m.reclaimer.Retire(tid, rec)
+		return
+	}
+	b := &m.bufs[tid]
+	b.bag.Add(rec)
+	b.pending++
+	if int(b.pending) >= m.batch {
+		m.FlushRetired(tid)
+	}
+}
+
+// FlushRetired hands every record parked in thread tid's deferred-retire
+// buffer to the reclaimer. Full blocks transfer as O(1) splices for schemes
+// implementing BlockReclaimer; the partial tail (always fewer than
+// blockbag.BlockSize records) is retired record-at-a-time. A no-op when
+// batching is disabled.
+func (m *RecordManager[T]) FlushRetired(tid int) {
+	if m.batch == 0 {
+		return
+	}
+	b := &m.bufs[tid]
+	if b.pending == 0 {
+		return
+	}
+	if chain := b.bag.DetachAllFullBlocks(); chain != nil {
+		RetireChain(m.reclaimer, tid, chain, b.pool)
+	}
+	b.bag.Drain(func(rec *T) { m.reclaimer.Retire(tid, rec) })
+	b.pending = 0
+}
+
+// RetireBatchSize returns the configured deferred-retire batch size (0 when
+// batching is disabled).
+func (m *RecordManager[T]) RetireBatchSize() int { return m.batch }
 
 // LeaveQstate marks the start of an operation by thread tid.
 func (m *RecordManager[T]) LeaveQstate(tid int) bool { return m.reclaimer.LeaveQstate(tid) }
@@ -118,7 +220,9 @@ func (m *RecordManager[T]) IsRProtected(tid int, rec *T) bool {
 // Checkpoint delivers a pending neutralization signal, if any (DEBRA+).
 func (m *RecordManager[T]) Checkpoint(tid int) { m.reclaimer.Checkpoint(tid) }
 
-// Stats aggregates the statistics of all three components.
+// Stats aggregates the statistics of all three components. RetirePending is
+// read from the single-writer deferred-retire buffers and is exact only when
+// the worker threads are quiescent (which is when the harnesses snapshot).
 func (m *RecordManager[T]) Stats() ManagerStats {
 	s := ManagerStats{
 		Reclaimer: m.reclaimer.Stats(),
@@ -126,6 +230,9 @@ func (m *RecordManager[T]) Stats() ManagerStats {
 	}
 	if m.pool != nil {
 		s.Pool = m.pool.Stats()
+	}
+	for i := range m.bufs {
+		s.RetirePending += m.bufs[i].pending
 	}
 	return s
 }
@@ -136,4 +243,7 @@ type ManagerStats struct {
 	Reclaimer Stats
 	Alloc     AllocStats
 	Pool      PoolStats
+	// RetirePending is the number of records parked in deferred-retire
+	// buffers (0 unless retire batching is enabled).
+	RetirePending int64
 }

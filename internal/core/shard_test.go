@@ -1,0 +1,186 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/arena"
+	"repro/internal/blockbag"
+	"repro/internal/core"
+	"repro/internal/pool"
+	"repro/internal/reclaim/debra"
+	"repro/internal/reclaim/ebr"
+)
+
+func TestShardMapBlockPlacement(t *testing.T) {
+	m := core.NewShardMap(8, core.ShardSpec{Shards: 4, Placement: core.PlaceBlock})
+	if m.Shards() != 4 {
+		t.Fatalf("Shards() = %d want 4", m.Shards())
+	}
+	// Block placement keeps contiguous tids together.
+	want := []int{0, 0, 1, 1, 2, 2, 3, 3}
+	for tid, s := range want {
+		if got := m.ShardOf(tid); got != s {
+			t.Fatalf("ShardOf(%d) = %d want %d", tid, got, s)
+		}
+	}
+	total := 0
+	for s := 0; s < m.Shards(); s++ {
+		members := m.Members(s)
+		total += len(members)
+		for _, tid := range members {
+			if m.ShardOf(tid) != s {
+				t.Fatalf("member %d of shard %d maps to shard %d", tid, s, m.ShardOf(tid))
+			}
+		}
+	}
+	if total != 8 {
+		t.Fatalf("members cover %d tids, want 8", total)
+	}
+}
+
+func TestShardMapStripePlacement(t *testing.T) {
+	m := core.NewShardMap(8, core.ShardSpec{Shards: 3, Placement: core.PlaceStripe})
+	for tid := 0; tid < 8; tid++ {
+		if got := m.ShardOf(tid); got != tid%3 {
+			t.Fatalf("ShardOf(%d) = %d want %d", tid, got, tid%3)
+		}
+	}
+}
+
+func TestShardMapUnevenBlockPlacementIsBalanced(t *testing.T) {
+	m := core.NewShardMap(7, core.ShardSpec{Shards: 3})
+	for s := 0; s < 3; s++ {
+		if l := len(m.Members(s)); l < 2 || l > 3 {
+			t.Fatalf("shard %d has %d members, want 2 or 3", s, l)
+		}
+	}
+}
+
+func TestShardMapClamping(t *testing.T) {
+	// Zero / oversized shard counts clamp to [1, n].
+	if got := core.NewShardMap(4, core.ShardSpec{}).Shards(); got != 1 {
+		t.Fatalf("zero spec: %d shards, want 1", got)
+	}
+	if got := core.NewShardMap(2, core.ShardSpec{Shards: 64}).Shards(); got != 2 {
+		t.Fatalf("oversized: %d shards, want 2", got)
+	}
+	if got := core.NewShardMap(3, core.ShardSpec{Shards: 2}).Spec().Placement; got != core.PlaceBlock {
+		t.Fatalf("default placement = %q want %q", got, core.PlaceBlock)
+	}
+}
+
+func TestParsePlacement(t *testing.T) {
+	for name, want := range map[string]core.ShardPlacement{
+		"": core.PlaceBlock, "block": core.PlaceBlock, "stripe": core.PlaceStripe,
+	} {
+		got, err := core.ParsePlacement(name)
+		if err != nil || got != want {
+			t.Fatalf("ParsePlacement(%q) = %q, %v", name, got, err)
+		}
+	}
+	if _, err := core.ParsePlacement("socket"); err == nil {
+		t.Fatal("ParsePlacement accepted an unknown policy")
+	}
+}
+
+// chainOf builds a detached chain of full blocks holding n*BlockSize records.
+func chainOf(t *testing.T, blocks int) *blockbag.Block[node] {
+	t.Helper()
+	bag := blockbag.New[node](nil)
+	for i := 0; i < blocks*blockbag.BlockSize; i++ {
+		bag.Add(&node{key: int64(i)})
+	}
+	chain := bag.DetachAllFullBlocks()
+	if blockbag.ChainLen(chain) != blocks*blockbag.BlockSize {
+		t.Fatalf("chain holds %d records", blockbag.ChainLen(chain))
+	}
+	return chain
+}
+
+func TestRetireChainNativeAndFallback(t *testing.T) {
+	// Native path: EBR implements BlockReclaimer.
+	sinkN := pool.NewDiscard[node]()
+	rN := ebr.New[node](1, sinkN)
+	if n := core.RetireChain[node](rN, 0, chainOf(t, 3), nil); n != 3*blockbag.BlockSize {
+		t.Fatalf("native RetireChain retired %d records", n)
+	}
+	if got := rN.Stats().Retired; got != int64(3*blockbag.BlockSize) {
+		t.Fatalf("native: Retired = %d", got)
+	}
+
+	// Fallback path: a reclaimer hidden behind a wrapper that strips the
+	// BlockReclaimer interface must still retire every record.
+	rF := ebr.New[node](1, pool.NewDiscard[node]())
+	wrapped := plainReclaimer{rF}
+	if n := core.RetireChain[node](wrapped, 0, chainOf(t, 2), nil); n != 2*blockbag.BlockSize {
+		t.Fatalf("fallback RetireChain retired %d records", n)
+	}
+	if got := rF.Stats().Retired; got != int64(2*blockbag.BlockSize) {
+		t.Fatalf("fallback: Retired = %d", got)
+	}
+}
+
+// plainReclaimer hides the concrete type so only core.Reclaimer is visible.
+type plainReclaimer struct{ core.Reclaimer[node] }
+
+func TestRecordManagerRetireBatching(t *testing.T) {
+	const n = 2
+	const batch = blockbag.BlockSize
+	alloc := arena.NewBump[node](n, 0)
+	p := pool.New[node](n, alloc)
+	rec := debra.New[node](n, p, debra.WithCheckThresh(1), debra.WithIncrThresh(1))
+	mgr := core.NewRecordManager[node](alloc, p, rec, core.WithRetireBatching(n, batch))
+	if mgr.RetireBatchSize() != batch {
+		t.Fatalf("RetireBatchSize = %d", mgr.RetireBatchSize())
+	}
+
+	// Retire batch-1 records: everything parks in the buffer, nothing
+	// reaches the reclaimer.
+	mgr.LeaveQstate(0)
+	for i := 0; i < batch-1; i++ {
+		mgr.Retire(0, mgr.Allocate(0))
+	}
+	if got := rec.Stats().Retired; got != 0 {
+		t.Fatalf("reclaimer saw %d retires before the batch filled", got)
+	}
+	if got := mgr.Stats().RetirePending; got != batch-1 {
+		t.Fatalf("RetirePending = %d want %d", got, batch-1)
+	}
+	// The batch-th retire hands the whole block over.
+	mgr.Retire(0, mgr.Allocate(0))
+	if got := rec.Stats().Retired; got != batch {
+		t.Fatalf("reclaimer saw %d retires after the batch filled, want %d", got, batch)
+	}
+	if got := mgr.Stats().RetirePending; got != 0 {
+		t.Fatalf("RetirePending = %d after flush", got)
+	}
+	mgr.EnterQstate(0)
+
+	// FlushRetired drains a partial buffer on demand.
+	mgr.LeaveQstate(1)
+	mgr.Retire(1, mgr.Allocate(1))
+	mgr.Retire(1, mgr.Allocate(1))
+	mgr.FlushRetired(1)
+	mgr.EnterQstate(1)
+	if got := rec.Stats().Retired; got != batch+2 {
+		t.Fatalf("after FlushRetired: reclaimer saw %d retires, want %d", got, batch+2)
+	}
+	if got := mgr.Stats().RetirePending; got != 0 {
+		t.Fatalf("RetirePending = %d after explicit flush", got)
+	}
+}
+
+func TestRecordManagerBatchingDisabledByDefault(t *testing.T) {
+	alloc := arena.NewBump[node](1, 0)
+	p := pool.New[node](1, alloc)
+	rec := debra.New[node](1, p)
+	mgr := core.NewRecordManager[node](alloc, p, rec)
+	mgr.LeaveQstate(0)
+	mgr.Retire(0, mgr.Allocate(0))
+	mgr.EnterQstate(0)
+	if got := rec.Stats().Retired; got != 1 {
+		t.Fatalf("direct retire did not reach the reclaimer (saw %d)", got)
+	}
+	// FlushRetired is a no-op without batching.
+	mgr.FlushRetired(0)
+}

@@ -1,0 +1,98 @@
+package bst_test
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/arena"
+	"repro/internal/core"
+	"repro/internal/ds/bst"
+	"repro/internal/neutralize"
+	"repro/internal/pool"
+	"repro/internal/reclaimtest"
+	"repro/internal/recordmgr"
+)
+
+// treeAdapter adapts Tree to the reclaimtest.Set surface.
+type treeAdapter struct{ t *bst.Tree[int64] }
+
+func (a treeAdapter) Insert(tid int, key int64) bool   { return a.t.Insert(tid, key, key) }
+func (a treeAdapter) Delete(tid int, key int64) bool   { return a.t.Delete(tid, key) }
+func (a treeAdapter) Contains(tid int, key int64) bool { return a.t.Contains(tid, key) }
+
+// poisonedTreeFactory builds a tree whose pool poisons freed records and
+// whose visit hook counts observations of poisoned records on the search
+// path. The neutralization domain is created here so the hook can discard
+// observations made with a signal pending (a doomed DEBRA+ attempt whose
+// results are thrown away). Under hazard pointers the violation check is
+// skipped: the tree's searches traverse retired-to-retired pointers, the
+// structural property the paper identifies as fundamentally incompatible
+// with HP's reachability proof (a narrow validated-but-stale window
+// remains); the double-free, semantic and structural checks still apply.
+func poisonedTreeFactory(t *testing.T, scheme string, spec core.ShardSpec, batch int) reclaimtest.SetFactory {
+	return func(n int) reclaimtest.SetUnderTest {
+		type rec = bst.Record[int64]
+		alloc := arena.NewBump[rec](n, 0)
+		pp := reclaimtest.NewPoisonPool[rec, *rec](pool.New[rec](n, alloc))
+		dom := neutralize.NewDomain(n)
+		rcl, err := recordmgr.NewShardedReclaimer[rec](scheme, n, pp, dom, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mopts []core.ManagerOption
+		if batch > 0 {
+			mopts = append(mopts, core.WithRetireBatching(n, batch))
+		}
+		mgr := core.NewRecordManager[rec](alloc, pp, rcl, mopts...)
+		tree := bst.New[int64](mgr)
+		su := reclaimtest.SetUnderTest{
+			Set:         treeAdapter{tree},
+			DoubleFrees: pp.DoubleFrees,
+			Stats:       rcl.Stats,
+			Validate:    tree.Validate,
+		}
+		if scheme != recordmgr.SchemeHP {
+			var violations atomic.Int64
+			tree.SetVisitHook(func(tid int, nd *bst.Record[int64]) {
+				if nd.IsPoisoned() && !dom.Pending(tid) {
+					violations.Add(1)
+				}
+			})
+			su.Violations = violations.Load
+		}
+		return su
+	}
+}
+
+// TestStressAllSchemes runs the poison-sink safety stress under all six
+// reclamation schemes and shard counts 1, 2 and NumCPU.
+func TestStressAllSchemes(t *testing.T) {
+	for _, scheme := range recordmgr.Schemes() {
+		for _, shards := range reclaimtest.ShardCounts() {
+			t.Run(fmt.Sprintf("%s/shards=%d", scheme, shards), func(t *testing.T) {
+				factory := poisonedTreeFactory(t, scheme, core.ShardSpec{Shards: shards}, 0)
+				opts := reclaimtest.DefaultSetStressOptions()
+				if shards > 1 {
+					opts.Duration = 80 * time.Millisecond
+				}
+				reclaimtest.StressSet(t, factory, opts)
+			})
+		}
+	}
+}
+
+// TestStressBatchedRetirement runs the stress with deferred-retire batching
+// over two striped domains.
+func TestStressBatchedRetirement(t *testing.T) {
+	for _, scheme := range recordmgr.Schemes() {
+		t.Run(scheme, func(t *testing.T) {
+			spec := core.ShardSpec{Shards: 2, Placement: core.PlaceStripe}
+			factory := poisonedTreeFactory(t, scheme, spec, 64)
+			opts := reclaimtest.DefaultSetStressOptions()
+			opts.Duration = 80 * time.Millisecond
+			reclaimtest.StressSet(t, factory, opts)
+		})
+	}
+}

@@ -134,7 +134,22 @@ type Record[V any] struct {
 	flagCell  UpdateCell[V]
 	markCell  UpdateCell[V]
 	cleanCell UpdateCell[V]
+
+	// poisoned is test instrumentation for the reclaimtest poison-sink
+	// harness (see the hash map's Node for the contract); nothing on the
+	// tree's hot path reads it.
+	poisoned atomic.Bool
 }
+
+// Poison implements the reclaimtest Poisonable contract: mark the record as
+// freed, reporting whether it already was (a double free).
+func (r *Record[V]) Poison() bool { return r.poisoned.Swap(true) }
+
+// Unpoison clears the freed mark (called by pool wrappers on reuse).
+func (r *Record[V]) Unpoison() { r.poisoned.Store(false) }
+
+// IsPoisoned reports whether the record is currently marked freed.
+func (r *Record[V]) IsPoisoned() bool { return r.poisoned.Load() }
 
 // Operation outcomes stored in Record.outcome.
 const (

@@ -35,7 +35,26 @@ type Tree[V any] struct {
 	// therefore requires the recovery path (DEBRA+).
 	crashRecovery bool
 
+	// visit, when non-nil, is called for every node the search path has
+	// made safe to access (set before concurrent use; see SetVisitHook).
+	visit func(tid int, r *Record[V])
+
 	stats opStats
+}
+
+// SetVisitHook installs fn to be called for every node the search path has
+// made safe to access (after protection and validation under per-record
+// schemes). It exists for the reclaimtest safety harness; it must be set
+// before any concurrent use of the tree. For neutralizing schemes (DEBRA+)
+// the hook must discard observations made with a signal pending (see the
+// scheme's Domain.Pending): they belong to a doomed attempt whose
+// observations are thrown away.
+func (t *Tree[V]) SetVisitHook(fn func(tid int, r *Record[V])) { t.visit = fn }
+
+func (t *Tree[V]) observe(tid int, r *Record[V]) {
+	if t.visit != nil {
+		t.visit(tid, r)
+	}
 }
 
 // opStats tracks data structure level counters (not reclamation counters).
@@ -170,6 +189,7 @@ func (t *Tree[V]) search(tid int, key int64) searchResult[V] {
 				return res
 			}
 		}
+		t.observe(tid, l)
 	}
 	res.gp, res.p, res.l = gp, p, l
 	res.pupdate, res.gpupdate = pupdate, gpupdate

@@ -692,6 +692,181 @@ func (h *Map[V]) deleteBody(tid int, key int64, marker *Node[V]) (outcome int, u
 	return opRetry, nil, nil
 }
 
+// Upsert outcomes beyond the shared opRetry/opTrue/opFalse (the body needs
+// to distinguish how far the replace protocol progressed).
+const (
+	// opUpsertInserted: the key was absent and node was spliced in.
+	opUpsertInserted = iota + 16
+	// opUpsertReplaced: the existing node was marked and replaced by node in
+	// the same attempt (the caller retires the unlinked pair).
+	opUpsertReplaced
+	// opUpsertMarkedOnly: the existing node was marked (the delete
+	// linearized and the marker is consumed) but the replace CAS lost; the
+	// caller retries, which will insert.
+	opUpsertMarkedOnly
+)
+
+// Upsert sets key to value: it inserts the key when absent and replaces the
+// existing binding otherwise, returning the previous value and whether the
+// key was present. A replacement is performed as a logical delete of the
+// current node (the linearization point of the removal) followed by the
+// insertion of the new node — when possible both happen in one window where
+// the second CAS simultaneously unlinks the marked pair and splices the new
+// node, but a concurrent reader may still observe the transient absence
+// between the two linearization points (Upsert is a Delete+Insert
+// composition, not a single atomic read-modify-write).
+func (h *Map[V]) Upsert(tid int, key int64, value V) (prev V, replaced bool) {
+	m := h.mgr
+	// Quiescent preamble: allocate the node the body publishes and the
+	// marker a replacement consumes (re-allocated when an attempt consumes
+	// it without finishing; allocation must not happen inside a body that
+	// can be neutralized and re-run).
+	node := m.Allocate(tid)
+	var marker *Node[V]
+	for {
+		if marker == nil {
+			marker = m.Allocate(tid)
+		}
+		outcome, pv, uN, uM := h.upsertBody(tid, key, value, node, marker)
+		switch outcome {
+		case opUpsertInserted:
+			// prev/replaced may have been set by an earlier attempt that
+			// marked the old node but lost the replace CAS.
+			m.Deallocate(tid, marker)
+			return prev, replaced
+		case opUpsertReplaced:
+			if uN != nil {
+				m.Retire(tid, uN)
+				m.Retire(tid, uM)
+			}
+			return pv, true
+		case opUpsertMarkedOnly:
+			prev, replaced = pv, true
+			marker = nil // published as the old node's mark; not reusable
+			h.stats.restarts.Add(1)
+		default:
+			h.stats.restarts.Add(1)
+		}
+	}
+}
+
+// upsertBody is one execution of the upsert body. Two linearizing CASes can
+// happen: the marker CAS (removal of the old binding, captured in marked)
+// and the splice CAS (publication of the new one, captured in published);
+// both locals are set before any further checkpoint so neutralization
+// recovery reconstructs the outcome from local state alone, exactly as in
+// insertBody/deleteBody.
+func (h *Map[V]) upsertBody(tid int, key int64, value V, node, marker *Node[V]) (outcome int, prevVal V, unlinkedN, unlinkedM *Node[V]) {
+	m := h.mgr
+	published := false
+	marked := false
+	if h.crashRecovery {
+		defer neutralize.OnNeutralized(m, tid, func(neutralize.Neutralized) {
+			switch {
+			case published && marked:
+				outcome = opUpsertReplaced // unlinked pair rides the named returns
+			case published:
+				outcome = opUpsertInserted
+				unlinkedN, unlinkedM = nil, nil
+			case marked:
+				outcome = opUpsertMarkedOnly
+				unlinkedN, unlinkedM = nil, nil
+			default:
+				outcome = opRetry
+				unlinkedN, unlinkedM = nil, nil
+			}
+		})
+	}
+	m.LeaveQstate(tid)
+	hash := hashOf(key)
+	sokey := regularSoKey(hash)
+	start, ok := h.startBucket(tid, hash)
+	if !ok {
+		m.EnterQstate(tid)
+		return opRetry, prevVal, nil, nil
+	}
+	pos, ok := h.find(tid, start, sokey, key)
+	if !ok {
+		m.EnterQstate(tid)
+		return opRetry, prevVal, nil, nil
+	}
+	if !pos.found {
+		// Absent: plain insert (cf. insertBody).
+		initRegular(node, key, value, sokey, pos.curr)
+		if pos.pred.next.CompareAndSwap(pos.curr, node) {
+			published = true
+			h.count.Add(1)
+			h.maybeGrow()
+			m.EnterQstate(tid)
+			h.releasePos(tid, pos)
+			return opUpsertInserted, prevVal, nil, nil
+		}
+		m.EnterQstate(tid)
+		h.releasePos(tid, pos)
+		return opRetry, prevVal, nil, nil
+	}
+	// Present: replace. Mark the current node first (cf. deleteBody), then
+	// try to swap the (node, marker) pair for the replacement in one CAS.
+	n := pos.curr
+	s := n.next.Load()
+	if s != nil {
+		if h.perRecord {
+			if !m.Protect(tid, s) {
+				m.EnterQstate(tid)
+				h.releasePos(tid, pos)
+				return opRetry, prevVal, nil, nil
+			}
+			if n.next.Load() != s || pos.pred.next.Load() != n {
+				m.EnterQstate(tid)
+				m.Unprotect(tid, s)
+				h.releasePos(tid, pos)
+				return opRetry, prevVal, nil, nil
+			}
+		}
+		h.observe(tid, s)
+		if s.kind == kindMarker {
+			// A concurrent delete marked n: retry; the next find unlinks the
+			// pair and reports the key absent.
+			m.EnterQstate(tid)
+			if h.perRecord {
+				m.Unprotect(tid, s)
+			}
+			h.releasePos(tid, pos)
+			return opRetry, prevVal, nil, nil
+		}
+	}
+	prevVal = n.value
+	initMarker(marker, s)
+	if n.next.CompareAndSwap(s, marker) {
+		// Removal linearized. Try to replace the pair with the new node:
+		// node takes n's place with n's frozen successor.
+		marked = true
+		h.count.Add(-1)
+		initRegular(node, key, value, sokey, s)
+		if pos.pred.next.CompareAndSwap(n, node) {
+			published = true
+			h.count.Add(1)
+			unlinkedN, unlinkedM = n, marker
+			h.stats.unlinks.Add(1)
+		}
+		m.EnterQstate(tid)
+		if h.perRecord && s != nil {
+			m.Unprotect(tid, s)
+		}
+		h.releasePos(tid, pos)
+		if published {
+			return opUpsertReplaced, prevVal, unlinkedN, unlinkedM
+		}
+		return opUpsertMarkedOnly, prevVal, nil, nil
+	}
+	m.EnterQstate(tid)
+	if h.perRecord && s != nil {
+		m.Unprotect(tid, s)
+	}
+	h.releasePos(tid, pos)
+	return opRetry, prevVal, nil, nil
+}
+
 // Get returns the value associated with key and whether it is present.
 func (h *Map[V]) Get(tid int, key int64) (V, bool) {
 	for {

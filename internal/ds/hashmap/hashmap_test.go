@@ -1,6 +1,7 @@
 package hashmap_test
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/arena"
+	"repro/internal/blockbag"
 	"repro/internal/core"
 	"repro/internal/ds/hashmap"
 	"repro/internal/neutralize"
@@ -250,13 +252,23 @@ func (s setAdapter) Contains(tid int, key int64) bool { return s.m.Contains(tid,
 // non-neutralizing schemes Pending is always false and every observation
 // counts).
 func poisonedMapFactory(newReclaimer func(n int, sink core.FreeSink[hashmap.Node[int64]], dom *neutralize.Domain) core.Reclaimer[hashmap.Node[int64]]) reclaimtest.SetFactory {
+	return poisonedBatchedMapFactory(0, newReclaimer)
+}
+
+// poisonedBatchedMapFactory additionally enables the Record Manager's
+// deferred-retire batching with the given batch size (0 = direct retirement).
+func poisonedBatchedMapFactory(batch int, newReclaimer func(n int, sink core.FreeSink[hashmap.Node[int64]], dom *neutralize.Domain) core.Reclaimer[hashmap.Node[int64]]) reclaimtest.SetFactory {
 	return func(n int) reclaimtest.SetUnderTest {
 		type rec = hashmap.Node[int64]
 		alloc := arena.NewBump[rec](n, 0)
 		pp := reclaimtest.NewPoisonPool[rec, *rec](pool.New[rec](n, alloc))
 		dom := neutralize.NewDomain(n)
 		rcl := newReclaimer(n, pp, dom)
-		mgr := core.NewRecordManager[rec](alloc, pp, rcl)
+		var mopts []core.ManagerOption
+		if batch > 0 {
+			mopts = append(mopts, core.WithRetireBatching(n, batch))
+		}
+		mgr := core.NewRecordManager[rec](alloc, pp, rcl, mopts...)
 		// Start tiny with an aggressive load factor so the stress exercises
 		// incremental resizing and dummy splicing, not just list churn.
 		m := hashmap.New[int64](mgr, n, hashmap.WithInitialBuckets(2), hashmap.WithMaxLoad(2))
@@ -277,20 +289,53 @@ func poisonedMapFactory(newReclaimer func(n int, sink core.FreeSink[hashmap.Node
 }
 
 // TestStressAllSchemes runs the poison-sink safety stress under all six
-// reclamation schemes: the tentpole claim of this data structure is that
-// every scheme drops in unchanged.
+// reclamation schemes and shard counts 1, 2 and NumCPU: the tentpole claim
+// of this data structure is that every scheme (and every domain
+// partitioning) drops in unchanged.
 func TestStressAllSchemes(t *testing.T) {
 	for _, scheme := range allSchemes() {
-		t.Run(scheme, func(t *testing.T) {
-			factory := poisonedMapFactory(func(n int, sink core.FreeSink[hashmap.Node[int64]], dom *neutralize.Domain) core.Reclaimer[hashmap.Node[int64]] {
-				rcl, err := recordmgr.NewReclaimer[hashmap.Node[int64]](scheme, n, sink, dom)
-				if err != nil {
-					t.Fatal(err)
+		for _, shards := range reclaimtest.ShardCounts() {
+			t.Run(fmt.Sprintf("%s/shards=%d", scheme, shards), func(t *testing.T) {
+				spec := core.ShardSpec{Shards: shards}
+				factory := poisonedMapFactory(func(n int, sink core.FreeSink[hashmap.Node[int64]], dom *neutralize.Domain) core.Reclaimer[hashmap.Node[int64]] {
+					rcl, err := recordmgr.NewShardedReclaimer[hashmap.Node[int64]](scheme, n, sink, dom, spec)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return rcl
+				})
+				opts := reclaimtest.DefaultSetStressOptions()
+				if shards > 1 {
+					opts.Duration = 80 * time.Millisecond
 				}
-				return rcl
+				reclaimtest.StressSet(t, factory, opts)
 			})
-			reclaimtest.StressSet(t, factory, reclaimtest.DefaultSetStressOptions())
-		})
+		}
+	}
+}
+
+// TestStressBatchedRetirement runs the same poison harness with the Record
+// Manager's deferred-retire batching enabled: one full-block batch size (the
+// O(1) splice path) and one sub-block size (the per-record fallback), each
+// over two sharded domains so the batch hand-off and the shard-local limbo
+// interact.
+func TestStressBatchedRetirement(t *testing.T) {
+	for _, scheme := range allSchemes() {
+		for _, batch := range []int{blockbag.BlockSize, 32} {
+			t.Run(fmt.Sprintf("%s/batch=%d", scheme, batch), func(t *testing.T) {
+				spec := core.ShardSpec{Shards: 2, Placement: core.PlaceStripe}
+				factory := poisonedBatchedMapFactory(batch, func(n int, sink core.FreeSink[hashmap.Node[int64]], dom *neutralize.Domain) core.Reclaimer[hashmap.Node[int64]] {
+					rcl, err := recordmgr.NewShardedReclaimer[hashmap.Node[int64]](scheme, n, sink, dom, spec)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return rcl
+				})
+				opts := reclaimtest.DefaultSetStressOptions()
+				opts.Duration = 80 * time.Millisecond
+				reclaimtest.StressSet(t, factory, opts)
+			})
+		}
 	}
 }
 
@@ -444,6 +489,112 @@ func TestConcurrentReaders(t *testing.T) {
 	time.Sleep(100 * time.Millisecond)
 	stop.Store(true)
 	wg.Wait()
+}
+
+// --- Upsert -----------------------------------------------------------------
+
+func TestUpsertSequential(t *testing.T) {
+	for _, scheme := range allSchemes() {
+		t.Run(scheme, func(t *testing.T) {
+			m := newMap(t, scheme, 1, hashmap.WithInitialBuckets(2), hashmap.WithMaxLoad(2))
+			model := map[int64]int64{}
+			rng := rand.New(rand.NewSource(11))
+			for i := 0; i < 10000; i++ {
+				key := rng.Int63n(256)
+				switch rng.Intn(4) {
+				case 0:
+					want, present := model[key]
+					prev, replaced := m.Upsert(0, key, int64(i))
+					if replaced != present || (present && prev != want) {
+						t.Fatalf("op %d: Upsert(%d) = (%d,%v), model (%d,%v)", i, key, prev, replaced, want, present)
+					}
+					model[key] = int64(i)
+				case 1:
+					_, present := model[key]
+					if m.Delete(0, key) != present {
+						t.Fatalf("op %d: Delete(%d) disagrees with model", i, key)
+					}
+					delete(model, key)
+				case 2:
+					_, present := model[key]
+					if m.Insert(0, key, int64(i)) == present {
+						t.Fatalf("op %d: Insert(%d) disagrees with model", i, key)
+					}
+					if !present {
+						model[key] = int64(i)
+					}
+				default:
+					want, present := model[key]
+					got, ok := m.Get(0, key)
+					if ok != present || (present && got != want) {
+						t.Fatalf("op %d: Get(%d) = (%d,%v), model (%d,%v)", i, key, got, ok, want, present)
+					}
+				}
+			}
+			if m.Len() != len(model) {
+				t.Fatalf("final Len=%d want %d", m.Len(), len(model))
+			}
+			if err := m.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestUpsertConcurrent hammers a small key set with concurrent upserts and
+// readers: every observed value must be one some thread actually wrote for
+// that key (values encode (key, writer) so cross-key leaks are caught), and
+// the final state must be consistent.
+func TestUpsertConcurrent(t *testing.T) {
+	threads := 4
+	const keys = 32
+	iters := int64(4000)
+	if testing.Short() {
+		iters = 1000
+	}
+	for _, scheme := range allSchemes() {
+		t.Run(scheme, func(t *testing.T) {
+			m := newMap(t, scheme, threads, hashmap.WithInitialBuckets(2), hashmap.WithMaxLoad(2))
+			var wg sync.WaitGroup
+			for tid := 0; tid < threads; tid++ {
+				wg.Add(1)
+				go func(tid int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(tid) + 99))
+					for i := int64(0); i < iters; i++ {
+						key := rng.Int63n(keys)
+						if rng.Intn(4) == 0 {
+							if v, ok := m.Get(tid, key); ok && v%keys != key {
+								t.Errorf("Get(%d) observed value %d written for key %d", key, v, v%keys)
+								return
+							}
+						} else {
+							// value encodes the key so readers can detect
+							// cross-key corruption.
+							m.Upsert(tid, key, key+keys*(int64(tid)*iters+i))
+						}
+					}
+				}(tid)
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			m.ForEach(func(k, v int64) bool {
+				if v%keys != k {
+					t.Errorf("final value %d does not belong to key %d", v, k)
+					return false
+				}
+				return true
+			})
+			if err := m.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if c, l := m.Count(), m.Len(); c != l {
+				t.Fatalf("Count=%d disagrees with Len=%d", c, l)
+			}
+		})
+	}
 }
 
 func TestNewPanics(t *testing.T) {

@@ -16,7 +16,22 @@ import (
 type Node[V any] struct {
 	value V
 	next  atomic.Pointer[Node[V]]
+
+	// poisoned is test instrumentation for the reclaimtest poison-sink
+	// harness (see the hash map's Node for the contract); nothing on the
+	// queue's hot path reads it.
+	poisoned atomic.Bool
 }
+
+// Poison implements the reclaimtest Poisonable contract: mark the record as
+// freed, reporting whether it already was (a double free).
+func (n *Node[V]) Poison() bool { return n.poisoned.Swap(true) }
+
+// Unpoison clears the freed mark (called by pool wrappers on reuse).
+func (n *Node[V]) Unpoison() { n.poisoned.Store(false) }
+
+// IsPoisoned reports whether the record is currently marked freed.
+func (n *Node[V]) IsPoisoned() bool { return n.poisoned.Load() }
 
 // Manager is the Record Manager type the queue programs against.
 type Manager[V any] = core.RecordManager[Node[V]]
@@ -29,6 +44,24 @@ type Queue[V any] struct {
 
 	perRecord     bool
 	crashRecovery bool
+
+	// visit, when non-nil, is called for every node an operation has made
+	// safe to access (set before concurrent use; see SetVisitHook).
+	visit func(tid int, n *Node[V])
+}
+
+// SetVisitHook installs fn to be called for every node an operation has made
+// safe to access (after protection and validation under per-record schemes).
+// It exists for the reclaimtest safety harness; it must be set before any
+// concurrent use. For neutralizing schemes the hook must discard
+// observations made with a signal pending (see the scheme's Domain.Pending),
+// as those belong to a doomed attempt.
+func (q *Queue[V]) SetVisitHook(fn func(tid int, n *Node[V])) { q.visit = fn }
+
+func (q *Queue[V]) observe(tid int, n *Node[V]) {
+	if q.visit != nil && n != nil {
+		q.visit(tid, n)
+	}
 }
 
 // New creates an empty queue managed by mgr.
@@ -87,6 +120,7 @@ func (q *Queue[V]) enqueueBody(tid int, node *Node[V]) (done bool) {
 				continue
 			}
 		}
+		q.observe(tid, tail)
 		next := tail.next.Load()
 		if next != nil {
 			// Tail is lagging; help advance it.
@@ -148,6 +182,7 @@ func (q *Queue[V]) dequeueBody(tid int) (value V, ok, done bool) {
 				continue
 			}
 		}
+		q.observe(tid, head)
 		tail := q.tail.Load()
 		next := head.next.Load()
 		if q.perRecord && next != nil {
@@ -158,6 +193,10 @@ func (q *Queue[V]) dequeueBody(tid int) (value V, ok, done bool) {
 			}
 		}
 		if head == q.head.Load() {
+			// Only now is next proven reachable (head is still the head, so
+			// next cannot have been retired): the announcement made above is
+			// in time, and the observation is of a live record.
+			q.observe(tid, next)
 			if head == tail {
 				if next == nil {
 					q.releasePair(tid, head, next)

@@ -1,0 +1,94 @@
+package queue_test
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/arena"
+	"repro/internal/core"
+	"repro/internal/ds/queue"
+	"repro/internal/neutralize"
+	"repro/internal/pool"
+	"repro/internal/reclaimtest"
+	"repro/internal/recordmgr"
+)
+
+// queueAdapter adapts Queue to the reclaimtest.QueueIface surface.
+type queueAdapter struct{ q *queue.Queue[int64] }
+
+func (a queueAdapter) Enqueue(tid int, v int64)      { a.q.Enqueue(tid, v) }
+func (a queueAdapter) Dequeue(tid int) (int64, bool) { return a.q.Dequeue(tid) }
+
+// poisonedQueueFactory builds a queue whose pool poisons freed records and
+// whose visit hook counts observations of poisoned records, mirroring the
+// hash map's poison-sink harness (see poisonedMapFactory there). The
+// neutralization domain is created here so the hook can discard observations
+// made with a signal pending (a doomed DEBRA+ attempt whose results are
+// thrown away).
+func poisonedQueueFactory(t *testing.T, scheme string, spec core.ShardSpec, batch int) reclaimtest.QueueFactory {
+	return func(n int) reclaimtest.QueueUnderTest {
+		type rec = queue.Node[int64]
+		alloc := arena.NewBump[rec](n, 0)
+		pp := reclaimtest.NewPoisonPool[rec, *rec](pool.New[rec](n, alloc))
+		dom := neutralize.NewDomain(n)
+		rcl, err := recordmgr.NewShardedReclaimer[rec](scheme, n, pp, dom, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mopts []core.ManagerOption
+		if batch > 0 {
+			mopts = append(mopts, core.WithRetireBatching(n, batch))
+		}
+		mgr := core.NewRecordManager[rec](alloc, pp, rcl, mopts...)
+		q := queue.New[int64](mgr)
+		var violations atomic.Int64
+		q.SetVisitHook(func(tid int, nd *queue.Node[int64]) {
+			if nd.IsPoisoned() && !dom.Pending(tid) {
+				violations.Add(1)
+			}
+		})
+		return reclaimtest.QueueUnderTest{
+			Queue:       queueAdapter{q},
+			Violations:  violations.Load,
+			DoubleFrees: pp.DoubleFrees,
+			Stats:       rcl.Stats,
+			Len:         q.Len,
+		}
+	}
+}
+
+// TestStressAllSchemes runs the poison-sink queue stress under all six
+// reclamation schemes and shard counts 1, 2 and NumCPU.
+func TestStressAllSchemes(t *testing.T) {
+	for _, scheme := range schemes() {
+		for _, shards := range reclaimtest.ShardCounts() {
+			t.Run(fmt.Sprintf("%s/shards=%d", scheme, shards), func(t *testing.T) {
+				factory := poisonedQueueFactory(t, scheme, core.ShardSpec{Shards: shards}, 0)
+				opts := reclaimtest.DefaultQueueStressOptions()
+				if shards > 1 {
+					opts.Duration = 80 * time.Millisecond
+				}
+				reclaimtest.StressQueue(t, factory, opts)
+			})
+		}
+	}
+}
+
+// TestStressBatchedRetirement runs the queue stress with deferred-retire
+// batching over two striped domains. The queue retires one record per
+// dequeue, so a batch parks up to the batch size per thread — the
+// conservation check still balances because parked records are already
+// dequeued (their values were delivered before retirement).
+func TestStressBatchedRetirement(t *testing.T) {
+	for _, scheme := range schemes() {
+		t.Run(scheme, func(t *testing.T) {
+			spec := core.ShardSpec{Shards: 2, Placement: core.PlaceStripe}
+			factory := poisonedQueueFactory(t, scheme, spec, 64)
+			opts := reclaimtest.DefaultQueueStressOptions()
+			opts.Duration = 80 * time.Millisecond
+			reclaimtest.StressQueue(t, factory, opts)
+		})
+	}
+}

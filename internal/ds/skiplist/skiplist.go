@@ -45,7 +45,22 @@ type Node[V any] struct {
 	mu          sync.Mutex
 	marked      atomic.Bool
 	fullyLinked atomic.Bool
+
+	// poisoned is test instrumentation for the reclaimtest poison-sink
+	// harness (see the hash map's Node for the contract); nothing on the
+	// list's hot path reads it.
+	poisoned atomic.Bool
 }
+
+// Poison implements the reclaimtest Poisonable contract: mark the record as
+// freed, reporting whether it already was (a double free).
+func (n *Node[V]) Poison() bool { return n.poisoned.Swap(true) }
+
+// Unpoison clears the freed mark (called by pool wrappers on reuse).
+func (n *Node[V]) Unpoison() { n.poisoned.Store(false) }
+
+// IsPoisoned reports whether the record is currently marked freed.
+func (n *Node[V]) IsPoisoned() bool { return n.poisoned.Load() }
 
 // Key returns the node's key.
 func (n *Node[V]) Key() int64 { return n.key }
@@ -65,6 +80,22 @@ type List[V any] struct {
 	perRecord bool
 
 	seeds []seedState
+
+	// visit, when non-nil, is called for every node a traversal has made
+	// safe to access (set before concurrent use; see SetVisitHook).
+	visit func(tid int, n *Node[V])
+}
+
+// SetVisitHook installs fn to be called for every node a traversal has made
+// safe to access (after protection and validation under per-record schemes).
+// It exists for the reclaimtest safety harness; it must be set before any
+// concurrent use of the list.
+func (l *List[V]) SetVisitHook(fn func(tid int, n *Node[V])) { l.visit = fn }
+
+func (l *List[V]) observe(tid int, n *Node[V]) {
+	if l.visit != nil {
+		l.visit(tid, n)
+	}
 }
 
 // seedState is a per-thread pseudo random generator used to pick node
@@ -157,6 +188,7 @@ func (l *List[V]) find(tid int, key int64, preds, succs *[MaxLevel]*Node[V]) (fo
 					return -1, false
 				}
 			}
+			l.observe(tid, curr)
 			if curr.key < key {
 				if l.perRecord && pred != l.head && !l.isRecorded(pred, preds, succs, level) {
 					m.Unprotect(tid, pred)

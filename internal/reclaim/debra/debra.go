@@ -57,7 +57,20 @@ type Option func(*config)
 type config struct {
 	checkThresh int64
 	incrThresh  int64
+	spec        core.ShardSpec
 }
+
+// WithShards partitions the incremental announcement scan into sharded
+// domains (core.ShardSpec): a thread's scan cycle covers its own shard's
+// members and then the per-shard summary words instead of all n
+// announcements, shortening the cycle from n checks to n/s + s and keeping
+// the checked cache lines shard-local (the NUMA motivation behind
+// CHECK_THRESH, taken further). Lagging shards — typically shards whose
+// members are all quiescent — are verified by a direct member scan, so the
+// epoch still never advances until every thread has been observed quiescent
+// or at the current epoch; with one shard the behaviour is the classic
+// DEBRA scan.
+func WithShards(spec core.ShardSpec) Option { return func(c *config) { c.spec = spec } }
 
 // WithCheckThresh sets how many operations pass between reads of another
 // thread's announcement (the paper's CHECK_THRESH, used to avoid cross-socket
@@ -74,10 +87,20 @@ type Reclaimer[T any] struct {
 	cfg  config
 
 	epoch   atomic.Int64 // always a multiple of epochInc
+	smap    *core.ShardMap
+	shards  []shardSummary
 	shared  []announceSlot
 	threads []thread[T]
 
 	blockSink core.BlockFreeSink[T] // sink if it supports whole blocks, else nil
+}
+
+// shardSummary is a shard's verified-epoch word, padded to its own cache
+// lines (stored by whichever member completes the member phase of its scan,
+// read by every thread's summary phase).
+type shardSummary struct {
+	v atomic.Int64
+	_ [core.PadBytes]byte
 }
 
 // announceSlot is a thread's announcement word (epoch | quiescent bit),
@@ -128,9 +151,12 @@ func New[T any](n int, sink core.FreeSink[T], opts ...Option) *Reclaimer[T] {
 	if cfg.incrThresh < 1 {
 		cfg.incrThresh = 1
 	}
+	smap := core.NewShardMap(n, cfg.spec)
 	r := &Reclaimer[T]{
 		sink:    sink,
 		cfg:     cfg,
+		smap:    smap,
+		shards:  make([]shardSummary, smap.Shards()),
 		shared:  make([]announceSlot, n),
 		threads: make([]thread[T], n),
 	}
@@ -192,20 +218,38 @@ func (r *Reclaimer[T]) LeaveQstate(tid int) bool {
 		r.rotateAndReclaim(tid)
 		result = true
 	}
-	// Incrementally scan announcements: one announcement every
-	// CHECK_THRESH operations.
+	// Incrementally scan: one check every CHECK_THRESH operations. The scan
+	// cycle first covers the caller's shard members (publishing the shard's
+	// verified epoch in its summary word once complete), then the other
+	// shards' summary words.
 	t.opsSinceCheck++
 	t.opsSinceIncr++
 	if t.opsSinceCheck >= r.cfg.checkThresh {
 		t.opsSinceCheck = 0
-		other := int(t.checkNext) % len(r.threads)
-		ann := r.shared[other].v.Load()
-		if isEqual(readEpoch, ann) || ann&quiescentBit != 0 {
-			t.checkNext++
-			if t.checkNext >= int64(len(r.threads)) && t.opsSinceIncr >= r.cfg.incrThresh {
-				if r.epoch.CompareAndSwap(readEpoch, readEpoch+epochInc) {
-					t.epochAdvances.Add(1)
+		self := r.smap.ShardOf(tid)
+		members := r.smap.Members(self)
+		nm := int64(len(members))
+		total := nm + int64(len(r.shards))
+		if t.checkNext < nm {
+			// Member phase: check one shard-local announcement.
+			ann := r.shared[members[t.checkNext]].v.Load()
+			if isEqual(readEpoch, ann) || ann&quiescentBit != 0 {
+				t.checkNext++
+				if t.checkNext == nm {
+					r.shards[self].v.Store(readEpoch)
 				}
+			}
+		} else {
+			// Summary phase: check one shard summary per operation,
+			// cycling while the epoch stands still.
+			s := int((t.checkNext - nm) % int64(len(r.shards)))
+			if r.shardAt(tid, s, readEpoch) {
+				t.checkNext++
+			}
+		}
+		if t.checkNext >= total && t.opsSinceIncr >= r.cfg.incrThresh {
+			if r.epoch.CompareAndSwap(readEpoch, readEpoch+epochInc) {
+				t.epochAdvances.Add(1)
 			}
 		}
 	}
@@ -213,6 +257,28 @@ func (r *Reclaimer[T]) LeaveQstate(tid int) bool {
 	r.shared[tid].v.Store(readEpoch)
 	return result
 }
+
+// shardAt reports whether shard s has been verified at epoch readEpoch:
+// its summary matches, or a direct scan of its members (the slow path for
+// lagging shards, typically shards that are entirely quiescent) passes, in
+// which case the summary is helped forward. tid is unused here but keeps
+// the signature shared with DEBRA+'s neutralizing override.
+func (r *Reclaimer[T]) shardAt(tid, s int, readEpoch int64) bool {
+	if r.shards[s].v.Load() == readEpoch {
+		return true
+	}
+	for _, m := range r.smap.Members(s) {
+		ann := r.shared[m].v.Load()
+		if !isEqual(readEpoch, ann) && ann&quiescentBit == 0 {
+			return false
+		}
+	}
+	r.shards[s].v.Store(readEpoch)
+	return true
+}
+
+// ShardMap implements core.Sharded.
+func (r *Reclaimer[T]) ShardMap() *core.ShardMap { return r.smap }
 
 // EnterQstate implements core.Reclaimer: set the quiescent bit.
 func (r *Reclaimer[T]) EnterQstate(tid int) {
@@ -232,6 +298,21 @@ func (r *Reclaimer[T]) Retire(tid int, rec *T) {
 	t := &r.threads[tid]
 	t.currentBag.Add(rec)
 	t.retired.Add(1)
+}
+
+// RetireBlock implements core.BlockReclaimer: splice one detached full block
+// into the caller's current limbo bag in O(1) (single-owner, so the batch
+// hand-off is synchronisation-free), returning a recycled empty block from
+// the thread's pool in exchange when one is cached.
+func (r *Reclaimer[T]) RetireBlock(tid int, blk *blockbag.Block[T]) *blockbag.Block[T] {
+	if blk == nil {
+		return nil
+	}
+	t := &r.threads[tid]
+	n := int64(blk.Len())
+	t.currentBag.AddBlock(blk)
+	t.retired.Add(n)
+	return t.blockPool.TryGet()
 }
 
 // rotateAndReclaim implements Figure 4's rotateAndReclaim: reuse the oldest
@@ -322,4 +403,8 @@ func (r *Reclaimer[T]) Stats() core.Stats {
 	return s
 }
 
-var _ core.Reclaimer[int] = (*Reclaimer[int])(nil)
+var (
+	_ core.Reclaimer[int]      = (*Reclaimer[int])(nil)
+	_ core.BlockReclaimer[int] = (*Reclaimer[int])(nil)
+	_ core.Sharded             = (*Reclaimer[int])(nil)
+)

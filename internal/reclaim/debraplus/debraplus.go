@@ -62,7 +62,19 @@ type config struct {
 	maxRProtect           int
 	domain                *neutralize.Domain
 	disableNeutralization bool
+	spec                  core.ShardSpec
 }
+
+// WithShards partitions the incremental announcement scan into sharded
+// domains, exactly as in DEBRA (see debra.WithShards): the fast path checks
+// only shard-local announcements plus per-shard summary words. Fault
+// tolerance is preserved across shard boundaries: when a lagging shard
+// blocks the summary phase, the scanning thread falls back to that shard's
+// members directly and neutralizes the laggards once its own limbo bag has
+// grown past the suspicion threshold — so a thread stalled mid-operation in
+// ANY shard is eventually signalled by whichever thread is trying to
+// advance, not only by its shard mates.
+func WithShards(spec core.ShardSpec) Option { return func(c *config) { c.spec = spec } }
 
 // WithCheckThresh sets the announcement-check pacing (CHECK_THRESH).
 func WithCheckThresh(v int) Option { return func(c *config) { c.checkThresh = int64(v) } }
@@ -103,9 +115,17 @@ type Reclaimer[T any] struct {
 	domain    *neutralize.Domain
 
 	epoch   atomic.Int64
+	smap    *core.ShardMap
+	shards  []shardSummary
 	shared  []announceSlot
 	rprot   []rprotectSlots[T]
 	threads []thread[T]
+}
+
+// shardSummary is a shard's verified-epoch word (see debra.WithShards).
+type shardSummary struct {
+	v atomic.Int64
+	_ [core.PadBytes]byte
 }
 
 type announceSlot struct {
@@ -187,10 +207,13 @@ func New[T any](n int, sink core.FreeSink[T], opts ...Option) *Reclaimer[T] {
 	if dom == nil {
 		dom = neutralize.NewDomain(n)
 	}
+	smap := core.NewShardMap(n, cfg.spec)
 	r := &Reclaimer[T]{
 		sink:    sink,
 		cfg:     cfg,
 		domain:  dom,
+		smap:    smap,
+		shards:  make([]shardSummary, smap.Shards()),
 		shared:  make([]announceSlot, n),
 		rprot:   make([]rprotectSlots[T], n),
 		threads: make([]thread[T], n),
@@ -265,20 +288,63 @@ func (r *Reclaimer[T]) LeaveQstate(tid int) bool {
 	t.opsSinceIncr++
 	if t.opsSinceCheck >= r.cfg.checkThresh {
 		t.opsSinceCheck = 0
-		other := int(t.checkNext) % len(r.threads)
-		ann := r.shared[other].v.Load()
-		if isEqual(readEpoch, ann) || ann&quiescentBit != 0 || r.suspectNeutralized(tid, other) {
-			t.checkNext++
-			if t.checkNext >= int64(len(r.threads)) && t.opsSinceIncr >= r.cfg.incrThresh {
-				if r.epoch.CompareAndSwap(readEpoch, readEpoch+epochInc) {
-					t.epochAdvances.Add(1)
+		self := r.smap.ShardOf(tid)
+		members := r.smap.Members(self)
+		nm := int64(len(members))
+		total := nm + int64(len(r.shards))
+		if t.checkNext < nm {
+			// Member phase: one shard-local announcement per operation; a
+			// laggard holding the epoch back for too long is neutralized and
+			// then treated as quiescent (Figure 6).
+			other := members[t.checkNext]
+			ann := r.shared[other].v.Load()
+			if isEqual(readEpoch, ann) || ann&quiescentBit != 0 || r.suspectNeutralized(tid, other) {
+				t.checkNext++
+				if t.checkNext == nm {
+					r.shards[self].v.Store(readEpoch)
 				}
+			}
+		} else {
+			// Summary phase: one shard summary per operation; lagging
+			// shards are verified (and their laggards neutralized) by a
+			// direct member scan.
+			s := int((t.checkNext - nm) % int64(len(r.shards)))
+			if r.shardAt(tid, s, readEpoch) {
+				t.checkNext++
+			}
+		}
+		if t.checkNext >= total && t.opsSinceIncr >= r.cfg.incrThresh {
+			if r.epoch.CompareAndSwap(readEpoch, readEpoch+epochInc) {
+				t.epochAdvances.Add(1)
 			}
 		}
 	}
 	r.shared[tid].v.Store(readEpoch)
 	return result
 }
+
+// shardAt reports whether shard s has been verified at epoch readEpoch: its
+// summary matches, or every member is quiescent, at the epoch, or freshly
+// neutralized (in which case the summary is helped forward). This is the
+// cross-shard slow path that preserves DEBRA+'s fault tolerance when
+// threads span multiple domains.
+func (r *Reclaimer[T]) shardAt(tid, s int, readEpoch int64) bool {
+	if r.shards[s].v.Load() == readEpoch {
+		return true
+	}
+	for _, m := range r.smap.Members(s) {
+		ann := r.shared[m].v.Load()
+		if isEqual(readEpoch, ann) || ann&quiescentBit != 0 || r.suspectNeutralized(tid, m) {
+			continue
+		}
+		return false
+	}
+	r.shards[s].v.Store(readEpoch)
+	return true
+}
+
+// ShardMap implements core.Sharded.
+func (r *Reclaimer[T]) ShardMap() *core.ShardMap { return r.smap }
 
 // suspectNeutralized neutralizes thread other if the caller's current limbo
 // bag has grown past the suspicion threshold. Returns true when a signal was
@@ -339,6 +405,22 @@ func (r *Reclaimer[T]) Retire(tid int, rec *T) {
 	t := &r.threads[tid]
 	t.currentBag.Add(rec)
 	t.retired.Add(1)
+}
+
+// RetireBlock implements core.BlockReclaimer: splice one detached full block
+// into the caller's current limbo bag in O(1) (single-owner, no
+// synchronisation), returning a recycled empty block from the thread's pool
+// in exchange when one is cached. The spliced records take part in the
+// RProtect scan of rotateAndReclaim like individually retired ones.
+func (r *Reclaimer[T]) RetireBlock(tid int, blk *blockbag.Block[T]) *blockbag.Block[T] {
+	if blk == nil {
+		return nil
+	}
+	t := &r.threads[tid]
+	n := int64(blk.Len())
+	t.currentBag.AddBlock(blk)
+	t.retired.Add(n)
+	return t.blockPool.TryGet()
 }
 
 // Protect implements core.Reclaimer (epoch protection; nothing per record).
@@ -485,4 +567,8 @@ func (r *Reclaimer[T]) SelfNeutralizations(tid int) int64 {
 	return r.threads[tid].selfNeutralized.Load()
 }
 
-var _ core.Reclaimer[int] = (*Reclaimer[int])(nil)
+var (
+	_ core.Reclaimer[int]      = (*Reclaimer[int])(nil)
+	_ core.BlockReclaimer[int] = (*Reclaimer[int])(nil)
+	_ core.Sharded             = (*Reclaimer[int])(nil)
+)

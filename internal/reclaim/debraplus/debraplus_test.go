@@ -277,3 +277,50 @@ func panics(fn func()) (p bool) {
 	fn()
 	return false
 }
+
+// --- sharded domains ---------------------------------------------------------
+
+// TestShardedCrossShardNeutralization: fault tolerance survives sharding. A
+// thread stalled mid-operation in ANOTHER shard is neutralized by the
+// advancing thread's summary-phase slow path, so reclamation continues.
+func TestShardedCrossShardNeutralization(t *testing.T) {
+	sink := reclaimtest.NewRecordingSink()
+	r := debraplus.New(4, sink, append(fast(), debraplus.WithShards(core.ShardSpec{Shards: 2}))...)
+
+	// Thread 3 (shard 1) stalls inside an operation; thread 0 (shard 0)
+	// does all the work.
+	r.LeaveQstate(3)
+	drive(r, 0, 20*blockbag.BlockSize)
+
+	s := r.Stats()
+	if sink.Freed() == 0 {
+		t.Fatalf("reclamation blocked by a stalled thread in another shard: stats=%+v", s)
+	}
+	if s.Neutralizations == 0 {
+		t.Fatal("expected the cross-shard slow path to send a neutralization signal")
+	}
+	// The stalled thread's next checkpoint delivers the signal.
+	func() {
+		defer func() {
+			if _, ok := neutralize.Recover(recover()); !ok {
+				t.Fatal("stalled thread's checkpoint did not deliver the neutralization")
+			}
+		}()
+		r.Checkpoint(3)
+	}()
+	if !r.IsQuiescent(3) {
+		t.Fatal("neutralized thread should be quiescent")
+	}
+}
+
+// TestShardedStress runs the generic reclaimer stress over both placements.
+func TestShardedStress(t *testing.T) {
+	for _, placement := range []core.ShardPlacement{core.PlaceBlock, core.PlaceStripe} {
+		t.Run(string(placement), func(t *testing.T) {
+			reclaimtest.Stress(t, func(n int, sink core.FreeSink[reclaimtest.Record]) core.Reclaimer[reclaimtest.Record] {
+				return debraplus.New[reclaimtest.Record](n, sink,
+					append(fast(), debraplus.WithShards(core.ShardSpec{Shards: 2, Placement: placement}))...)
+			}, reclaimtest.DefaultStressOptions())
+		})
+	}
+}

@@ -6,10 +6,10 @@
 //   - a single global epoch counter;
 //   - an announcement per process, re-read and re-published at the start of
 //     every operation;
-//   - every operation scans the announcements of ALL processes (O(n) per
-//     operation, versus DEBRA's amortised O(1));
-//   - three SHARED limbo bags, one per recent epoch, that all processes
-//     synchronise on (versus DEBRA's private per-process bags);
+//   - every operation scans announcements (O(n) per operation in the classic
+//     single-domain configuration, versus DEBRA's amortised O(1));
+//   - SHARED limbo bags, one per recent epoch, that processes synchronise on
+//     (versus DEBRA's private per-process bags);
 //   - no quiescent bit: a process that is between operations (or asleep, or
 //     crashed) still blocks the epoch from advancing, so classical EBR is
 //     not fault tolerant and has no bound on unreclaimed garbage.
@@ -17,24 +17,49 @@
 // The shared limbo bags are protected by a mutex; this is faithful to the
 // "shared bags" cost model the paper contrasts DEBRA against (Fraser's
 // original used per-CPU lists with a lock per list).
+//
+// # Sharded domains
+//
+// With WithShards the shared state is partitioned into N reclamation
+// domains (core.ShardSpec): each shard owns its own limbo bags, mutex and a
+// padded epoch-summary word. The per-operation announcement scan covers only
+// the caller's shard members; a shard whose members have all been verified
+// at the current epoch publishes that fact in its summary word, and the
+// global epoch advances once every shard's summary matches. When a summary
+// lags (for example because the whole shard is idle and nobody is updating
+// it), the advancing thread falls back to scanning that shard's members
+// directly — so the fast path is shard-local, the worst case is the classic
+// full scan, and safety is unchanged: the epoch never advances until every
+// thread has been observed inactive or announcing the current epoch.
 package ebr
 
 import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/blockbag"
 	"repro/internal/core"
 )
 
+// Option configures the reclaimer.
+type Option func(*config)
+
+type config struct {
+	spec core.ShardSpec
+}
+
+// WithShards partitions the reclaimer into sharded domains.
+func WithShards(spec core.ShardSpec) Option { return func(c *config) { c.spec = spec } }
+
 // Reclaimer implements core.Reclaimer with classical EBR.
 type Reclaimer[T any] struct {
-	sink core.FreeSink[T]
+	sink      core.FreeSink[T]
+	blockSink core.BlockFreeSink[T]
 
 	epoch   atomic.Int64
+	smap    *core.ShardMap
+	shards  []shardState[T]
 	threads []thread
-
-	mu    sync.Mutex
-	limbo [3][]*T // shared limbo bags indexed by epoch modulo 3
 
 	retired       atomic.Int64
 	freed         atomic.Int64
@@ -48,22 +73,61 @@ type thread struct {
 	_        [core.PadBytes]byte
 }
 
+// shardState is one reclamation domain: its verified-epoch summary, the
+// epoch up to which its limbo has been reclaimed, and the shard-shared limbo
+// bags (guarded by mu, as in the classic shared-bag cost model — sharding
+// divides the contention by the shard count instead of removing it, which is
+// exactly the knob the ablation measures).
+type shardState[T any] struct {
+	summary atomic.Int64 // last epoch every member was verified at
+
+	mu    sync.Mutex
+	limbo [3]*blockbag.Bag[T] // indexed by retire epoch modulo 3
+	pool  *blockbag.BlockPool[T]
+
+	_ [core.PadBytes]byte
+}
+
 // New creates a classical EBR reclaimer for n threads whose reclaimed
 // records are passed to sink.
-func New[T any](n int, sink core.FreeSink[T]) *Reclaimer[T] {
+func New[T any](n int, sink core.FreeSink[T], opts ...Option) *Reclaimer[T] {
 	if n <= 0 {
 		panic("ebr: New requires n >= 1")
 	}
 	if sink == nil {
 		panic("ebr: New requires a FreeSink")
 	}
-	r := &Reclaimer[T]{sink: sink, threads: make([]thread, n)}
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	smap := core.NewShardMap(n, cfg.spec)
+	r := &Reclaimer[T]{
+		sink:    sink,
+		smap:    smap,
+		shards:  make([]shardState[T], smap.Shards()),
+		threads: make([]thread, n),
+	}
+	if bs, ok := sink.(core.BlockFreeSink[T]); ok {
+		r.blockSink = bs
+	}
 	r.epoch.Store(1)
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.pool = blockbag.NewBlockPool[T](blockbag.DefaultBlockPoolCap)
+		for j := range s.limbo {
+			s.limbo[j] = blockbag.New(s.pool)
+		}
+		s.summary.Store(1)
+	}
 	return r
 }
 
 // Name implements core.Reclaimer.
 func (r *Reclaimer[T]) Name() string { return "ebr" }
+
+// ShardMap implements core.Sharded.
+func (r *Reclaimer[T]) ShardMap() *core.ShardMap { return r.smap }
 
 // Props implements core.Reclaimer.
 func (r *Reclaimer[T]) Props() core.Properties {
@@ -78,9 +142,17 @@ func (r *Reclaimer[T]) Props() core.Properties {
 	}
 }
 
+// passes reports whether thread i does not block an advance away from epoch
+// e: it is inactive or has announced e.
+func (r *Reclaimer[T]) passes(i int, e int64) bool {
+	t := &r.threads[i]
+	return !t.active.Load() || t.announce.Load() == e
+}
+
 // LeaveQstate implements core.Reclaimer: announce the current epoch and scan
-// every other announcement; if all active processes announced the current
-// epoch, advance it and free the oldest limbo bag.
+// the caller's shard; when the whole shard has been verified at the current
+// epoch, publish that in the shard summary, and advance the epoch once every
+// shard's summary (or, for lagging shards, a direct member scan) passes.
 func (r *Reclaimer[T]) LeaveQstate(tid int) bool {
 	t := &r.threads[tid]
 	e := r.epoch.Load()
@@ -88,37 +160,97 @@ func (r *Reclaimer[T]) LeaveQstate(tid int) bool {
 	t.announce.Store(e)
 	t.active.Store(true)
 
-	// Classical EBR scans all announcements on every operation.
+	// Classical EBR scans announcements on every operation; with shards the
+	// scan is the caller's shard members only.
+	self := r.smap.ShardOf(tid)
 	canAdvance := true
-	for i := range r.threads {
+	for _, i := range r.smap.Members(self) {
 		if i == tid {
 			continue
 		}
-		other := &r.threads[i]
-		if other.active.Load() && other.announce.Load() != e {
+		if !r.passes(i, e) {
 			canAdvance = false
 			break
 		}
 	}
 	r.scans.Add(1)
-	if canAdvance && r.epoch.CompareAndSwap(e, e+1) {
-		r.epochAdvances.Add(1)
-		r.reclaimEpoch(tid, e+1)
+	if canAdvance {
+		s := &r.shards[self]
+		if s.summary.Load() != e {
+			s.summary.Store(e)
+		}
+		if r.allShardsAt(e) && r.epoch.CompareAndSwap(e, e+1) {
+			r.epochAdvances.Add(1)
+			r.reclaimEpoch(tid, e+1)
+		}
 	}
 	return changed
 }
 
-// reclaimEpoch frees the limbo bag that is now two epochs old.
-func (r *Reclaimer[T]) reclaimEpoch(tid int, newEpoch int64) {
-	idx := int((newEpoch + 1) % 3) // the bag that will be reused for newEpoch+1
-	r.mu.Lock()
-	bag := r.limbo[idx]
-	r.limbo[idx] = nil
-	r.mu.Unlock()
-	for _, rec := range bag {
-		r.sink.Free(tid, rec)
+// allShardsAt reports whether every shard has been verified at epoch e,
+// consulting the memoised summaries first and falling back to a direct
+// member scan for lagging shards (helping their summary forward on success).
+func (r *Reclaimer[T]) allShardsAt(e int64) bool {
+	for i := range r.shards {
+		s := &r.shards[i]
+		if s.summary.Load() == e {
+			continue
+		}
+		for _, m := range r.smap.Members(i) {
+			if !r.passes(m, e) {
+				return false
+			}
+		}
+		s.summary.Store(e)
 	}
-	r.freed.Add(int64(len(bag)))
+	return true
+}
+
+// reclaimEpoch frees every shard's limbo bag that is now two epochs old. It
+// is called ONLY by the thread that just advanced the epoch to newEpoch, and
+// that caller's own still-active announcement of newEpoch-1 is the safety
+// argument: the freed index (newEpoch+1)%3 is the bag that will collect
+// retires at epoch newEpoch+1, and the epoch cannot reach newEpoch+1 until
+// the caller — currently announcing newEpoch-1 — passes through another
+// LeaveQstate, which happens only after this drain returns. Concurrent
+// retires therefore land in the other two bags. (A freer that merely
+// re-loaded the epoch would lack this pin and could race a retire into the
+// bag it is draining.) Sweeping ALL shards from the winner also keeps idle
+// shards' garbage bounded, exactly as the single shared bag behaved.
+func (r *Reclaimer[T]) reclaimEpoch(tid int, newEpoch int64) {
+	idx := int((newEpoch + 1) % 3)
+	for si := range r.shards {
+		s := &r.shards[si]
+		var rest []*T
+		s.mu.Lock()
+		bag := s.limbo[idx]
+		chain := bag.DetachAllFullBlocks()
+		for {
+			rec, ok := bag.Remove()
+			if !ok {
+				break
+			}
+			rest = append(rest, rec)
+		}
+		s.mu.Unlock()
+		n := int64(blockbag.ChainLen(chain)) + int64(len(rest))
+		if n == 0 {
+			continue
+		}
+		if r.blockSink != nil && chain != nil {
+			r.blockSink.FreeBlocks(tid, chain)
+		} else {
+			for blk := chain; blk != nil; blk = blk.Next() {
+				for i := 0; i < blk.Len(); i++ {
+					r.sink.Free(tid, blk.Record(i))
+				}
+			}
+		}
+		for _, rec := range rest {
+			r.sink.Free(tid, rec)
+		}
+		r.freed.Add(n)
+	}
 }
 
 // EnterQstate implements core.Reclaimer. Classical EBR has no quiescent bit,
@@ -131,18 +263,39 @@ func (r *Reclaimer[T]) EnterQstate(tid int) { r.threads[tid].active.Store(false)
 // IsQuiescent implements core.Reclaimer.
 func (r *Reclaimer[T]) IsQuiescent(tid int) bool { return !r.threads[tid].active.Load() }
 
-// Retire implements core.Reclaimer: append to the shared limbo bag of the
-// current epoch.
+// Retire implements core.Reclaimer: append to the caller's shard's limbo bag
+// of the current epoch.
 func (r *Reclaimer[T]) Retire(tid int, rec *T) {
 	if rec == nil {
 		panic("ebr: Retire(nil)")
 	}
 	e := r.epoch.Load()
 	idx := int(e % 3)
-	r.mu.Lock()
-	r.limbo[idx] = append(r.limbo[idx], rec)
-	r.mu.Unlock()
+	s := &r.shards[r.smap.ShardOf(tid)]
+	s.mu.Lock()
+	s.limbo[idx].Add(rec)
+	s.mu.Unlock()
 	r.retired.Add(1)
+}
+
+// RetireBlock implements core.BlockReclaimer: splice one detached full block
+// into the caller's shard's current limbo bag — O(1) under one lock
+// acquisition for the whole batch — returning a recycled empty block from
+// the shard's pool in exchange when one is cached.
+func (r *Reclaimer[T]) RetireBlock(tid int, blk *blockbag.Block[T]) *blockbag.Block[T] {
+	if blk == nil {
+		return nil
+	}
+	n := int64(blk.Len())
+	e := r.epoch.Load()
+	idx := int(e % 3)
+	s := &r.shards[r.smap.ShardOf(tid)]
+	s.mu.Lock()
+	s.limbo[idx].AddBlock(blk)
+	spare := s.pool.TryGet()
+	s.mu.Unlock()
+	r.retired.Add(n)
+	return spare
 }
 
 // Protect implements core.Reclaimer (no per-record work for EBR).
@@ -185,4 +338,8 @@ func (r *Reclaimer[T]) Stats() core.Stats {
 	}
 }
 
-var _ core.Reclaimer[int] = (*Reclaimer[int])(nil)
+var (
+	_ core.Reclaimer[int]      = (*Reclaimer[int])(nil)
+	_ core.BlockReclaimer[int] = (*Reclaimer[int])(nil)
+	_ core.Sharded             = (*Reclaimer[int])(nil)
+)

@@ -44,7 +44,16 @@ type Option func(*config)
 type config struct {
 	slots           int
 	retireThreshold int
+	spec            core.ShardSpec
 }
+
+// WithShards records a sharded-domain spec for instrumentation parity with
+// the epoch schemes. Hazard pointers are already fully distributed — retire
+// bags are per-thread and there is no shared epoch state to shard — and the
+// reclamation scan MUST read every thread's announcement slots regardless of
+// shard (a record is unsafe to free while any thread anywhere protects it),
+// so the spec changes no behaviour here.
+func WithShards(spec core.ShardSpec) Option { return func(c *config) { c.spec = spec } }
 
 // WithSlots sets the number of hazard pointer slots per thread.
 func WithSlots(k int) Option { return func(c *config) { c.slots = k } }
@@ -59,6 +68,7 @@ func WithRetireThreshold(v int) Option { return func(c *config) { c.retireThresh
 type Reclaimer[T any] struct {
 	sink core.FreeSink[T]
 	cfg  config
+	smap *core.ShardMap
 
 	slots   []hpSlots[T]
 	threads []thread[T]
@@ -106,6 +116,7 @@ func New[T any](n int, sink core.FreeSink[T], opts ...Option) *Reclaimer[T] {
 	r := &Reclaimer[T]{
 		sink:    sink,
 		cfg:     cfg,
+		smap:    core.NewShardMap(n, cfg.spec),
 		slots:   make([]hpSlots[T], n),
 		threads: make([]thread[T], n),
 	}
@@ -247,6 +258,26 @@ func (r *Reclaimer[T]) Retire(tid int, rec *T) {
 	}
 }
 
+// RetireBlock implements core.BlockReclaimer: splice one detached full block
+// into the caller's retire bag in O(1), run the threshold check once for
+// the whole batch, and return a recycled empty block from the thread's pool
+// in exchange when one is cached.
+func (r *Reclaimer[T]) RetireBlock(tid int, blk *blockbag.Block[T]) *blockbag.Block[T] {
+	if blk == nil {
+		return nil
+	}
+	t := &r.threads[tid]
+	t.retireBag.AddBlock(blk)
+	t.retired.Add(int64(blk.Len()))
+	if t.retireBag.Len() >= r.cfg.retireThreshold {
+		r.scanAndFree(tid)
+	}
+	return t.blockPool.TryGet()
+}
+
+// ShardMap implements core.Sharded (see WithShards: informational only).
+func (r *Reclaimer[T]) ShardMap() *core.ShardMap { return r.smap }
+
 // scanAndFree hashes every announced hazard pointer, frees every record in
 // the caller's retire bag that is not announced, and keeps the announced
 // ones for a later scan. This is Michael's amortised scheme: the scan costs
@@ -296,4 +327,8 @@ func (r *Reclaimer[T]) Stats() core.Stats {
 	return s
 }
 
-var _ core.Reclaimer[int] = (*Reclaimer[int])(nil)
+var (
+	_ core.Reclaimer[int]      = (*Reclaimer[int])(nil)
+	_ core.BlockReclaimer[int] = (*Reclaimer[int])(nil)
+	_ core.Sharded             = (*Reclaimer[int])(nil)
+)

@@ -7,12 +7,25 @@ package none
 import (
 	"sync/atomic"
 
+	"repro/internal/blockbag"
 	"repro/internal/core"
 )
+
+// Option configures the reclaimer.
+type Option func(*config)
+
+type config struct {
+	spec core.ShardSpec
+}
+
+// WithShards records a sharded-domain spec for instrumentation parity with
+// the epoch schemes; the leaking baseline has no reclamation state to shard.
+func WithShards(spec core.ShardSpec) Option { return func(c *config) { c.spec = spec } }
 
 // Reclaimer is the no-op reclaimer. It is safe (it never frees anything) but
 // leaks every retired record.
 type Reclaimer[T any] struct {
+	smap    *core.ShardMap
 	threads []thread
 }
 
@@ -22,11 +35,29 @@ type thread struct {
 }
 
 // New creates a no-op reclaimer for n threads.
-func New[T any](n int) *Reclaimer[T] {
+func New[T any](n int, opts ...Option) *Reclaimer[T] {
 	if n <= 0 {
 		panic("none: New requires n >= 1")
 	}
-	return &Reclaimer[T]{threads: make([]thread, n)}
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Reclaimer[T]{smap: core.NewShardMap(n, cfg.spec), threads: make([]thread, n)}
+}
+
+// ShardMap implements core.Sharded (informational only).
+func (r *Reclaimer[T]) ShardMap() *core.ShardMap { return r.smap }
+
+// RetireBlock implements core.BlockReclaimer: the whole batch is counted and
+// leaked in O(1). The block itself holds leaked records forever, so there is
+// no spare to hand back.
+func (r *Reclaimer[T]) RetireBlock(tid int, blk *blockbag.Block[T]) *blockbag.Block[T] {
+	if blk == nil {
+		return nil
+	}
+	r.threads[tid].retired.Add(int64(blk.Len()))
+	return nil
 }
 
 // Name implements core.Reclaimer.
@@ -96,4 +127,8 @@ func (r *Reclaimer[T]) Stats() core.Stats {
 	return s
 }
 
-var _ core.Reclaimer[int] = (*Reclaimer[int])(nil)
+var (
+	_ core.Reclaimer[int]      = (*Reclaimer[int])(nil)
+	_ core.BlockReclaimer[int] = (*Reclaimer[int])(nil)
+	_ core.Sharded             = (*Reclaimer[int])(nil)
+)

@@ -12,6 +12,15 @@
 // state, so its per-operation cost sits between classical EBR and DEBRA.
 // Like both, it is not fault tolerant: a thread that stops announcing
 // quiescent states while non-quiescent halts reclamation for everyone.
+//
+// With WithShards the quiescent-state scan becomes shard-local: a thread
+// scans only its own shard's announcements, publishes the shard's verified
+// grace period in a padded summary word, and the global grace period
+// advances once every shard summary matches (with a direct member scan as
+// the fallback for lagging or idle shards). Limbo bags were per-thread
+// already, so sharding only changes the scan topology; safety is unchanged
+// because the grace period still advances only after every thread has been
+// verified offline or past the current period.
 package qsbr
 
 import (
@@ -21,6 +30,16 @@ import (
 	"repro/internal/core"
 )
 
+// Option configures the reclaimer.
+type Option func(*config)
+
+type config struct {
+	spec core.ShardSpec
+}
+
+// WithShards partitions the announcement scan into sharded domains.
+func WithShards(spec core.ShardSpec) Option { return func(c *config) { c.spec = spec } }
+
 // Reclaimer implements core.Reclaimer with QSBR.
 type Reclaimer[T any] struct {
 	sink      core.FreeSink[T]
@@ -28,8 +47,17 @@ type Reclaimer[T any] struct {
 
 	// grace is the global grace-period counter.
 	grace   atomic.Int64
+	smap    *core.ShardMap
+	shards  []shardSummary
 	shared  []announceSlot
 	threads []thread[T]
+}
+
+// shardSummary is a shard's verified-grace-period word, padded onto its own
+// cache lines (written by the shard's members, read by every advancer).
+type shardSummary struct {
+	v atomic.Int64
+	_ [core.PadBytes]byte
 }
 
 type announceSlot struct {
@@ -55,18 +83,32 @@ type thread[T any] struct {
 }
 
 // New creates a QSBR reclaimer for n threads; reclaimed records go to sink.
-func New[T any](n int, sink core.FreeSink[T]) *Reclaimer[T] {
+func New[T any](n int, sink core.FreeSink[T], opts ...Option) *Reclaimer[T] {
 	if n <= 0 {
 		panic("qsbr: New requires n >= 1")
 	}
 	if sink == nil {
 		panic("qsbr: New requires a FreeSink")
 	}
-	r := &Reclaimer[T]{sink: sink, shared: make([]announceSlot, n), threads: make([]thread[T], n)}
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	smap := core.NewShardMap(n, cfg.spec)
+	r := &Reclaimer[T]{
+		sink:    sink,
+		smap:    smap,
+		shards:  make([]shardSummary, smap.Shards()),
+		shared:  make([]announceSlot, n),
+		threads: make([]thread[T], n),
+	}
 	if bs, ok := sink.(core.BlockFreeSink[T]); ok {
 		r.blockSink = bs
 	}
 	r.grace.Store(2)
+	for i := range r.shards {
+		r.shards[i].v.Store(2)
+	}
 	for i := range r.threads {
 		t := &r.threads[i]
 		t.blockPool = blockbag.NewBlockPool[T](blockbag.DefaultBlockPoolCap)
@@ -105,8 +147,9 @@ func (r *Reclaimer[T]) LeaveQstate(tid int) bool {
 }
 
 // EnterQstate implements core.Reclaimer: announce a quiescent state, try to
-// advance the grace period, and reclaim the oldest local bag when the thread
-// observes a new grace period.
+// advance the grace period (scanning the caller's shard and then the shard
+// summaries), and reclaim the oldest local bag when the thread observes a
+// new grace period.
 func (r *Reclaimer[T]) EnterQstate(tid int) {
 	t := &r.threads[tid]
 	g := r.grace.Load()
@@ -115,18 +158,24 @@ func (r *Reclaimer[T]) EnterQstate(tid int) {
 	// we are between operations.
 	r.shared[tid].v.Store(g | offlineBit)
 
-	// Try to advance the grace period: every thread must be offline or have
+	// Verify the caller's shard: every member must be offline or have
 	// announced period g.
+	self := r.smap.ShardOf(tid)
 	advance := true
-	for i := range r.shared {
-		v := r.shared[i].v.Load()
-		if v&offlineBit == 0 && v&^offlineBit != g {
+	for _, i := range r.smap.Members(self) {
+		if !r.passes(i, g) {
 			advance = false
 			break
 		}
 	}
 	if advance {
-		r.grace.CompareAndSwap(g, g+2)
+		s := &r.shards[self]
+		if s.v.Load() != g {
+			s.v.Store(g)
+		}
+		if r.allShardsAt(g) {
+			r.grace.CompareAndSwap(g, g+2)
+		}
 	}
 	// Reclaim locally once per observed grace period.
 	if t.grace.Load() != g {
@@ -135,6 +184,36 @@ func (r *Reclaimer[T]) EnterQstate(tid int) {
 		r.freeFullBlocks(tid, t.bags[t.current])
 	}
 }
+
+// passes reports whether thread i does not block grace period g: it is
+// offline or has announced g.
+func (r *Reclaimer[T]) passes(i int, g int64) bool {
+	v := r.shared[i].v.Load()
+	return v&offlineBit != 0 || v&^offlineBit == g
+}
+
+// allShardsAt reports whether every shard has been verified at grace period
+// g, consulting the memoised summaries first and falling back to a direct
+// member scan for lagging (for example idle) shards, helping their summary
+// forward on success.
+func (r *Reclaimer[T]) allShardsAt(g int64) bool {
+	for i := range r.shards {
+		s := &r.shards[i]
+		if s.v.Load() == g {
+			continue
+		}
+		for _, m := range r.smap.Members(i) {
+			if !r.passes(m, g) {
+				return false
+			}
+		}
+		s.v.Store(g)
+	}
+	return true
+}
+
+// ShardMap implements core.Sharded.
+func (r *Reclaimer[T]) ShardMap() *core.ShardMap { return r.smap }
 
 func (r *Reclaimer[T]) freeFullBlocks(tid int, bag *blockbag.Bag[T]) {
 	t := &r.threads[tid]
@@ -173,6 +252,21 @@ func (r *Reclaimer[T]) Retire(tid int, rec *T) {
 	t.retired.Add(1)
 }
 
+// RetireBlock implements core.BlockReclaimer: splice one detached full block
+// into the caller's current limbo bag in O(1) (the bag is single-owner, so
+// the hand-off needs no synchronisation), returning a recycled empty block
+// from the thread's pool in exchange when one is cached.
+func (r *Reclaimer[T]) RetireBlock(tid int, blk *blockbag.Block[T]) *blockbag.Block[T] {
+	if blk == nil {
+		return nil
+	}
+	t := &r.threads[tid]
+	n := int64(blk.Len())
+	t.bags[t.current].AddBlock(blk)
+	t.retired.Add(n)
+	return t.blockPool.TryGet()
+}
+
 // Protect implements core.Reclaimer (no per-record work).
 func (r *Reclaimer[T]) Protect(tid int, rec *T) bool { return true }
 
@@ -209,4 +303,8 @@ func (r *Reclaimer[T]) Stats() core.Stats {
 	return s
 }
 
-var _ core.Reclaimer[int] = (*Reclaimer[int])(nil)
+var (
+	_ core.Reclaimer[int]      = (*Reclaimer[int])(nil)
+	_ core.BlockReclaimer[int] = (*Reclaimer[int])(nil)
+	_ core.Sharded             = (*Reclaimer[int])(nil)
+)

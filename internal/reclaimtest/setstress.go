@@ -10,6 +10,10 @@ import (
 	"repro/internal/core"
 )
 
+// ShardCounts returns the sharded-domain counts the DS-level safety stresses
+// cover on this machine (see core.DefaultShardSweep).
+func ShardCounts() []int { return core.DefaultShardSweep() }
+
 // Set is the minimal concurrent-set surface the data-structure-level stress
 // drives. Implementations take the dense thread id of the calling worker and
 // are expected to handle their own restarts and neutralization recovery

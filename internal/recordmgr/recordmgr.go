@@ -65,6 +65,18 @@ type Config struct {
 	// Domain optionally shares a neutralization domain across managers
 	// (DEBRA+ only).
 	Domain *neutralize.Domain
+	// Shards is the number of sharded reclamation domains the scheme is
+	// partitioned into (0 or 1 = one global domain, the historical
+	// behaviour).
+	Shards int
+	// Placement is the tid→shard placement policy (core.PlaceBlock or
+	// core.PlaceStripe; empty = block). A NUMA-style knob: block keeps
+	// contiguous worker ids in one domain.
+	Placement core.ShardPlacement
+	// RetireBatch enables per-thread deferred retirement with the given
+	// batch size (0 = retire records directly). Batches of
+	// blockbag.BlockSize transfer to the scheme as O(1) block splices.
+	RetireBatch int
 }
 
 // Build assembles a Record Manager for record type T according to cfg.
@@ -92,11 +104,22 @@ func Build[T any](cfg Config) (*core.RecordManager[T], error) {
 		sink = pool.NewDiscard[T]()
 	}
 
-	rec, err := NewReclaimer[T](cfg.Scheme, cfg.Threads, sink, cfg.Domain)
+	if _, err := core.ParsePlacement(string(cfg.Placement)); err != nil {
+		return nil, err
+	}
+	spec := core.ShardSpec{Shards: cfg.Shards, Placement: cfg.Placement}
+	rec, err := NewShardedReclaimer[T](cfg.Scheme, cfg.Threads, sink, cfg.Domain, spec)
 	if err != nil {
 		return nil, err
 	}
-	return core.NewRecordManager(alloc, p, rec), nil
+	if cfg.RetireBatch < 0 {
+		return nil, fmt.Errorf("recordmgr: RetireBatch must be >= 0, got %d", cfg.RetireBatch)
+	}
+	var mopts []core.ManagerOption
+	if cfg.RetireBatch > 0 {
+		mopts = append(mopts, core.WithRetireBatching(cfg.Threads, cfg.RetireBatch))
+	}
+	return core.NewRecordManager(alloc, p, rec, mopts...), nil
 }
 
 // MustBuild is Build that panics on error; convenient in examples and tests.
@@ -109,20 +132,28 @@ func MustBuild[T any](cfg Config) *core.RecordManager[T] {
 }
 
 // NewReclaimer constructs the named reclamation scheme for n threads with
-// the given free sink. domain may be nil (a private one is created for
-// DEBRA+).
+// the given free sink as one global domain. domain may be nil (a private one
+// is created for DEBRA+).
 func NewReclaimer[T any](scheme string, n int, sink core.FreeSink[T], domain *neutralize.Domain) (core.Reclaimer[T], error) {
+	return NewShardedReclaimer[T](scheme, n, sink, domain, core.ShardSpec{})
+}
+
+// NewShardedReclaimer constructs the named reclamation scheme for n threads
+// partitioned into the sharded domains described by spec (the zero spec is
+// one global domain). domain may be nil (a private one is created for
+// DEBRA+).
+func NewShardedReclaimer[T any](scheme string, n int, sink core.FreeSink[T], domain *neutralize.Domain, spec core.ShardSpec) (core.Reclaimer[T], error) {
 	switch scheme {
 	case SchemeNone, "":
-		return none.New[T](n), nil
+		return none.New[T](n, none.WithShards(spec)), nil
 	case SchemeEBR:
-		return ebr.New[T](n, sink), nil
+		return ebr.New[T](n, sink, ebr.WithShards(spec)), nil
 	case SchemeQSBR:
-		return qsbr.New[T](n, sink), nil
+		return qsbr.New[T](n, sink, qsbr.WithShards(spec)), nil
 	case SchemeDEBRA:
-		return debra.New[T](n, sink), nil
+		return debra.New[T](n, sink, debra.WithShards(spec)), nil
 	case SchemeDEBRAPlus:
-		opts := []debraplus.Option{}
+		opts := []debraplus.Option{debraplus.WithShards(spec)}
 		if domain != nil {
 			opts = append(opts, debraplus.WithDomain(domain))
 		}
@@ -144,7 +175,7 @@ func NewReclaimer[T any](scheme string, n int, sink core.FreeSink[T], domain *ne
 		}
 		return debraplus.New[T](n, sink, opts...), nil
 	case SchemeHP:
-		return hp.New[T](n, sink), nil
+		return hp.New[T](n, sink, hp.WithShards(spec)), nil
 	default:
 		return nil, fmt.Errorf("recordmgr: unknown scheme %q (supported: %v)", scheme, Schemes())
 	}
