@@ -40,11 +40,13 @@ func main() {
 		fatal(err)
 	}
 	opts := bench.DiffOptions{Threshold: *threshold, MinMops: *minMops, Absolute: *absolute}
-	res := bench.DiffReports(baseline, current, opts)
-	fmt.Print(bench.RenderDiff(res, opts))
-	if res.Compared == 0 {
-		fatal(fmt.Errorf("no cells matched between %s and %s", *baselinePath, *currentPath))
+	res, err := bench.DiffReports(baseline, current, opts)
+	if err != nil {
+		// Degenerate comparisons (no overlapping cells, everything under the
+		// noise floor) are hard failures: the gate verified nothing.
+		fatal(err)
 	}
+	fmt.Print(bench.RenderDiff(res, opts))
 	if len(res.Regressions) > 0 {
 		fatal(fmt.Errorf("%d cells regressed more than %.0f%%", len(res.Regressions), *threshold*100))
 	}

@@ -26,11 +26,16 @@ func main() {
 		shards      = flag.Int("shards", 0, "sharded reclamation domains per trial (0/1 = one global domain)")
 		placement   = flag.String("placement", "", "tid->shard placement policy: block or stripe")
 		retireBatch = flag.Int("retirebatch", 0, "per-thread deferred-retire batch size (0 = direct retirement)")
+		async       = flag.Bool("async", false, "enable asynchronous reclamation (implies -reclaimers 1 when unset)")
+		reclaimers  = flag.Int("reclaimers", 0, "dedicated async reclaimer goroutines per trial (0 = reclamation on the workers; implies -async)")
 	)
 	flag.Parse()
 	if _, err := core.ParsePlacement(*placement); err != nil {
 		fmt.Fprintln(os.Stderr, "memfootprint:", err)
 		os.Exit(1)
+	}
+	if *async && *reclaimers == 0 {
+		*reclaimers = core.DefaultAsyncReclaimers
 	}
 	max := *maxThreads
 	if max == 0 {
@@ -39,6 +44,7 @@ func main() {
 	rows, schemes, err := bench.MemoryExperiment(bench.Options{
 		Duration: *duration, MaxThreads: max, Seed: 1, DataStructure: *ds,
 		Shards: *shards, Placement: *placement, RetireBatch: *retireBatch,
+		Reclaimers: *reclaimers,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "memfootprint:", err)

@@ -1,7 +1,8 @@
 // Command reclaimbench regenerates the paper's evaluation: it runs the
-// requested experiment (1, 2 or 3), the hash map panels (4), the Figure 9
-// memory-footprint measurement, or the headline summary, and prints one
-// throughput table per figure panel.
+// requested experiment (1, 2 or 3), the hash map panels (4), the sharding
+// (5) and async-reclamation (6) ablations, the Figure 9 memory-footprint
+// measurement, or the headline summary, and prints one throughput table per
+// figure panel.
 //
 // Examples:
 //
@@ -10,21 +11,26 @@
 //	reclaimbench -experiment 3 -duration 2s    # Figure 10
 //	reclaimbench -experiment hashmap           # hash map panels, all six schemes
 //	reclaimbench -experiment hashmap -shards 4 # ... over 4 sharded reclamation domains
+//	reclaimbench -experiment hashmap -async    # ... with one async reclaimer goroutine
 //	reclaimbench -experiment shards            # shard x batch ablation sweep
+//	reclaimbench -experiment async             # async on/off x reclaimer-count sweep
 //	reclaimbench -experiment memory            # Figure 9 (right)
 //	reclaimbench -experiment summary           # headline ratios from Experiment 2
 //	reclaimbench -experiment 2 -csv            # machine-readable CSV
-//	reclaimbench -experiment hashmap -json     # machine-readable JSON (CI artifact)
+//	reclaimbench -experiment hashmap,async -json  # merged JSON (the CI artifact)
 //
-// The -shards, -placement and -retirebatch flags apply the sharded-domain
-// and deferred-retirement knobs to every trial of experiments 1-4 and
-// memory; the "shards" experiment sweeps them itself.
+// The -shards, -placement, -retirebatch, -async and -reclaimers flags apply
+// the sharded-domain, deferred-retirement and async-reclamation knobs to
+// every trial of experiments 1-4 and memory; the "shards" and "async"
+// experiments sweep their own axis. Several experiments may be given
+// comma-separated; their panels are concatenated into one report.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
@@ -33,7 +39,7 @@ import (
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "2", "experiment to run: 1, 2, 3, 4|hashmap, 5|shards, memory, or summary")
+		experiment  = flag.String("experiment", "2", "experiment(s) to run, comma-separated: 1, 2, 3, 4|hashmap, 5|shards, 6|async, memory, or summary")
 		duration    = flag.Duration("duration", 500*time.Millisecond, "duration of each trial")
 		maxThreads  = flag.Int("threads", 0, "maximum thread count of the sweep (0 = 2 x NumCPU)")
 		quick       = flag.Bool("quick", false, "shrink key ranges and the thread sweep for a fast smoke run")
@@ -43,30 +49,69 @@ func main() {
 		shards      = flag.Int("shards", 0, "sharded reclamation domains per trial (0/1 = one global domain)")
 		placement   = flag.String("placement", "", "tid->shard placement policy: block or stripe")
 		retireBatch = flag.Int("retirebatch", 0, "per-thread deferred-retire batch size (0 = direct retirement)")
+		async       = flag.Bool("async", false, "enable asynchronous reclamation (implies -reclaimers 1 when unset)")
+		reclaimers  = flag.Int("reclaimers", 0, "dedicated async reclaimer goroutines per trial (0 = reclamation on the workers; implies -async)")
 	)
 	flag.Parse()
 
 	if _, err := core.ParsePlacement(*placement); err != nil {
 		fatal(err)
 	}
+	if *reclaimers < 0 {
+		fatal(fmt.Errorf("-reclaimers must be >= 0, got %d", *reclaimers))
+	}
+	if *async && *reclaimers == 0 {
+		*reclaimers = core.DefaultAsyncReclaimers
+	}
 	opts := bench.Options{
 		Duration: *duration, MaxThreads: *maxThreads, Quick: *quick, Seed: *seed,
 		Shards: *shards, Placement: *placement, RetireBatch: *retireBatch,
+		Reclaimers: *reclaimers,
 	}
 
-	switch *experiment {
-	case "1", "2", "3", "4", "hashmap", "5", "shards":
-		exp := bench.ExperimentHashMap
-		switch *experiment {
-		case "hashmap":
-		case "shards":
-			exp = bench.ExperimentSharding
-		default:
-			exp = int((*experiment)[0] - '0')
+	names := strings.Split(*experiment, ",")
+	if len(names) > 1 {
+		for _, name := range names {
+			if name == "memory" || name == "summary" {
+				fatal(fmt.Errorf("experiment %q cannot be combined with others", name))
+			}
 		}
-		results, err := bench.RunExperiment(exp, opts)
-		if err != nil {
-			fatal(err)
+	}
+
+	switch names[0] {
+	case "1", "2", "3", "4", "hashmap", "5", "shards", "6", "async":
+		var results []bench.PanelResult
+		tabular := false
+		seen := map[int]bool{}
+		for _, name := range names {
+			exp := 0
+			switch name {
+			case "hashmap":
+				exp = bench.ExperimentHashMap
+			case "shards":
+				exp = bench.ExperimentSharding
+			case "async":
+				exp = bench.ExperimentAsync
+			case "1", "2", "3", "4", "5", "6":
+				exp = int(name[0] - '0')
+			default:
+				fatal(fmt.Errorf("unknown experiment %q in list", name))
+			}
+			if seen[exp] {
+				// Duplicates (or an alias of a numeric id) would emit rows
+				// with identical identities, which the trend gate's keyed
+				// matching silently collapses.
+				fatal(fmt.Errorf("experiment %q appears more than once in the list", name))
+			}
+			seen[exp] = true
+			if exp != bench.ExperimentHashMap && exp != bench.ExperimentSharding && exp != bench.ExperimentAsync {
+				tabular = true
+			}
+			res, err := bench.RunExperiment(exp, opts)
+			if err != nil {
+				fatal(err)
+			}
+			results = append(results, res...)
 		}
 		if *jsonOut {
 			rep := bench.BuildJSONReport(results)
@@ -92,7 +137,7 @@ func main() {
 				fmt.Println(bench.RenderThroughputTable(pr))
 			}
 		}
-		if !*csv && exp != bench.ExperimentHashMap && exp != bench.ExperimentSharding {
+		if !*csv && len(names) == 1 && tabular {
 			// The headline summary compares the paper's schemes; the hash
 			// map panels include schemes the paper does not quote ratios for.
 			fmt.Println(bench.RenderSummary(bench.Summarize(results)))
@@ -110,7 +155,7 @@ func main() {
 		}
 		fmt.Println(bench.RenderSummary(bench.Summarize(results)))
 	default:
-		fatal(fmt.Errorf("unknown experiment %q (want 1, 2, 3, 4, hashmap, 5, shards, memory or summary)", *experiment))
+		fatal(fmt.Errorf("unknown experiment %q (want 1, 2, 3, 4, hashmap, 5, shards, 6, async, memory or summary)", *experiment))
 	}
 }
 

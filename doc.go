@@ -41,6 +41,51 @@
 // support. Experiment 5 of cmd/reclaimbench ("shards") sweeps the
 // shards × batch axes over the update-heavy hash map panel.
 //
+// # The quiescent-retire contract
+//
+// The epoch schemes' retire paths are only safe under an active
+// announcement: a retire loads the current epoch, and it is the caller's own
+// announced, non-quiescent state that bounds how stale that load can be by
+// the time the record lands in a limbo bag — without it the epoch can
+// advance arbitrarily in the window, racing the advance winner's drain of
+// that very bag. EBR, QSBR, DEBRA and DEBRA+ therefore panic on a Retire or
+// RetireBlock from a quiescent thread and expose core.RetirePinner
+// (PinRetire/UnpinRetire), a pin-while-retiring entry point without the
+// scan, advance, rotation or neutralization side effects of a full
+// operation boundary. Callers rarely see any of this: RecordManager.Retire
+// routes quiescent callers (data structure postambles after EnterQstate,
+// DEBRA+ recovery paths) through the pin automatically, and
+// RecordManager.FlushRetired pins around the hand-off of a parked batch —
+// which is what makes its documented "safe from quiescent shutdown paths"
+// contract actually hold.
+//
+// # Asynchronous reclamation
+//
+// recordmgr.Config.Reclaimers (core.WithAsyncReclaim; -async / -reclaimers
+// on the CLIs) moves reclamation off the workers' critical path entirely: N
+// dedicated reclaimer goroutines register as extra epoch participants (the
+// scheme, allocator and pool are built for Threads+Reclaimers dense ids) and
+// drain per-shard hand-off queues of retired blocks behind the workers. A
+// worker's Retire becomes an O(1) append to its deferred-retire buffer plus,
+// once per batch, an O(1) lock-free push of the detached blocks
+// (blockbag.SharedStack) — the worker never touches the scheme's retire
+// path. Each reclaimer drain cycle is a complete pinned operation on the
+// reclaimer's own tid, so the hand-off is sound under the same epoch
+// argument as a worker's retire, and idle reclaimers keep cycling (with
+// backoff) while limbo remains, so grace periods advance even when every
+// worker is quiescent. ManagerStats reports the pipeline's true footprint:
+// Unreclaimed = scheme limbo + deferred-retire buffers + hand-off queues
+// (the "unreclaimed" column in the bench JSON/CSV; scheme limbo alone
+// understates it).
+//
+// Shutdown follows a fixed ordering — workers quiesce, buffers flush,
+// reclaimers drain, limbo is force-freed: RecordManager.Close performs all
+// four steps (the force-free through core.LimboDrainer, which every
+// reclaiming scheme implements for the all-quiescent shutdown case), after
+// which Retired == Freed. Experiment 6 of cmd/reclaimbench ("async") sweeps
+// async off/on × reclaimer count over the update-heavy hash map panel
+// across all six schemes.
+//
 // The implementation lives under internal/ (see DESIGN.md for the map);
 // runnable entry points are the programs under cmd/ and examples/, and the
 // benchmarks in bench_test.go. CI (.github/workflows/ci.yml) and local

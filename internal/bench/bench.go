@@ -77,6 +77,10 @@ type Config struct {
 	// RetireBatch is the per-thread deferred-retire batch size (0 = direct
 	// retirement).
 	RetireBatch int
+	// Reclaimers is the number of dedicated async reclaimer goroutines
+	// (0 = reclamation on the worker threads; >0 implies retire batching,
+	// defaulted by recordmgr.Build to a full block).
+	Reclaimers int
 }
 
 // Result is the outcome of one trial.
@@ -100,16 +104,29 @@ type Result struct {
 	// RetirePending is the number of records parked in deferred-retire
 	// buffers at the end of the trial (0 unless RetireBatch is set).
 	RetirePending int64
+	// HandoffPending is the number of records parked in async hand-off
+	// queues at the end of the trial (0 unless Reclaimers is set) — the
+	// reclaimers' backlog behind the workers.
+	HandoffPending int64
+	// Unreclaimed is the true retired-but-not-freed count at the end of the
+	// trial: Reclaimer.Limbo + RetirePending + HandoffPending. Limbo alone
+	// understates memory held whenever batching or async hand-off parks
+	// records outside the scheme.
+	Unreclaimed int64
 	// Elapsed is the measured duration of the timed phase.
 	Elapsed time.Duration
 }
 
-// set is the minimal data structure interface the harness drives.
+// set is the minimal data structure interface the harness drives. close
+// shuts the Record Manager's reclamation pipeline down once the workers are
+// joined (flush → async drain → limbo force-free), so trials never leak
+// reclaimer goroutines into the next trial.
 type set interface {
 	insert(tid int, key int64) bool
 	delete(tid int, key int64) bool
 	contains(tid int, key int64) bool
 	stats() core.ManagerStats
+	close()
 }
 
 // bstSet adapts bst.Tree to the harness interface.
@@ -119,6 +136,7 @@ func (s bstSet) insert(tid int, key int64) bool   { return s.t.Insert(tid, key, 
 func (s bstSet) delete(tid int, key int64) bool   { return s.t.Delete(tid, key) }
 func (s bstSet) contains(tid int, key int64) bool { return s.t.Contains(tid, key) }
 func (s bstSet) stats() core.ManagerStats         { return s.t.Manager().Stats() }
+func (s bstSet) close()                           { s.t.Manager().Close() }
 
 // skipSet adapts skiplist.List to the harness interface.
 type skipSet struct{ l *skiplist.List[int64] }
@@ -127,6 +145,7 @@ func (s skipSet) insert(tid int, key int64) bool   { return s.l.Insert(tid, key,
 func (s skipSet) delete(tid int, key int64) bool   { return s.l.Delete(tid, key) }
 func (s skipSet) contains(tid int, key int64) bool { return s.l.Contains(tid, key) }
 func (s skipSet) stats() core.ManagerStats         { return s.l.Manager().Stats() }
+func (s skipSet) close()                           { s.l.Manager().Close() }
 
 // hashSet adapts hashmap.Map to the harness interface.
 type hashSet struct{ m *hashmap.Map[int64] }
@@ -135,6 +154,7 @@ func (s hashSet) insert(tid int, key int64) bool   { return s.m.Insert(tid, key,
 func (s hashSet) delete(tid int, key int64) bool   { return s.m.Delete(tid, key) }
 func (s hashSet) contains(tid int, key int64) bool { return s.m.Contains(tid, key) }
 func (s hashSet) stats() core.ManagerStats         { return s.m.Manager().Stats() }
+func (s hashSet) close()                           { s.m.Manager().Close() }
 
 // SupportedSchemes returns the reclamation schemes the given data structure
 // can run with: every implemented scheme, except that the skip list's
@@ -169,6 +189,7 @@ func managerConfig(cfg Config) recordmgr.Config {
 		Shards:      cfg.Shards,
 		Placement:   core.ShardPlacement(cfg.Placement),
 		RetireBatch: cfg.RetireBatch,
+		Reclaimers:  cfg.Reclaimers,
 	}
 }
 
@@ -221,6 +242,12 @@ func RunTrial(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	// Close no matter how the trial ends: runSafely converts panics (scheme
+	// contract violations, escaped neutralizations) into errors, and an
+	// unclosed manager would leak its async reclaimer goroutines into every
+	// later trial of the sweep. Close is idempotent, so the normal-path
+	// close below is unaffected.
+	defer s.close()
 	prefill(s, cfg)
 
 	var (
@@ -257,7 +284,12 @@ func RunTrial(cfg Config) (Result, error) {
 	wg.Wait()
 	elapsed := time.Since(start)
 
+	// Snapshot before Close: the pending counters show how far reclamation
+	// ran behind the workers (with async on, the reclaimers' backlog), which
+	// is part of what the experiment measures. Close then drains everything
+	// so reclaimer goroutines never outlive their trial.
 	st := s.stats()
+	s.close()
 	ops := totalOps.Load()
 	res := Result{
 		Config:           cfg,
@@ -268,6 +300,8 @@ func RunTrial(cfg Config) (Result, error) {
 		Reclaimer:        st.Reclaimer,
 		PoolReused:       st.Pool.Reused,
 		RetirePending:    st.RetirePending,
+		HandoffPending:   st.HandoffPending,
+		Unreclaimed:      st.Unreclaimed,
 		Elapsed:          elapsed,
 	}
 	res.MopsPerSec = res.Throughput / 1e6

@@ -56,10 +56,12 @@ type DiffResult struct {
 
 // rowKey identifies a cell across runs. The title already encodes the data
 // structure, key range, mix and table regime; scheme, threads and the
-// sharding/placement/batching axes complete the identity.
+// sharding/placement/batching/async axes complete the identity. (Baselines
+// recorded before the async axis existed decode Reclaimers as 0, which is
+// exactly the synchronous configuration they measured.)
 func rowKey(r JSONRow) string {
-	return fmt.Sprintf("%s | %s | threads=%d shards=%d/%s batch=%d",
-		r.Title, r.Scheme, r.Threads, r.Shards, r.Placement, r.RetireBatch)
+	return fmt.Sprintf("%s | %s | threads=%d shards=%d/%s batch=%d async=%d",
+		r.Title, r.Scheme, r.Threads, r.Shards, r.Placement, r.RetireBatch, r.Reclaimers)
 }
 
 // ParseReport decodes a JSON report produced by reclaimbench -json.
@@ -74,8 +76,13 @@ func ParseReport(data []byte) (JSONReport, error) {
 	return rep, nil
 }
 
-// DiffReports compares current against baseline.
-func DiffReports(baseline, current JSONReport, opts DiffOptions) DiffResult {
+// DiffReports compares current against baseline. Degenerate comparisons are
+// hard errors rather than silent passes: a gate that matched zero cells
+// (disjoint row identities — typically a baseline that predates a new bench
+// axis) or skipped every matched cell (all below the MinMops noise floor)
+// has verified nothing, and letting it return "no regressions" would archive
+// a green artifact on top of a broken comparison.
+func DiffReports(baseline, current JSONReport, opts DiffOptions) (DiffResult, error) {
 	if opts.Threshold <= 0 {
 		opts.Threshold = DefaultDiffOptions().Threshold
 	}
@@ -96,12 +103,14 @@ func DiffReports(baseline, current JSONReport, opts DiffOptions) DiffResult {
 	}
 	var cells []DiffCell
 	var ratios []float64
+	matched := 0
 	for k, c := range cur {
 		b, ok := base[k]
 		if !ok {
 			res.MissingInBaseline++
 			continue
 		}
+		matched++
 		if b.MopsPerSec < opts.MinMops || b.MopsPerSec == 0 {
 			res.Skipped++
 			continue
@@ -112,6 +121,14 @@ func DiffReports(baseline, current JSONReport, opts DiffOptions) DiffResult {
 		ratios = append(ratios, cell.Ratio)
 	}
 	res.Compared = len(cells)
+	if matched == 0 {
+		return res, fmt.Errorf("bench: baseline and current share no cells (%d baseline rows, %d current rows, 0 matching identities) — the baseline likely predates a bench-axis change; refresh it with make bench-baseline",
+			len(baseline.Rows), len(current.Rows))
+	}
+	if res.Compared == 0 {
+		return res, fmt.Errorf("bench: all %d matched cells fall below the %.2f Mops/s noise floor — nothing was actually compared; lower -min-mops or lengthen the trials",
+			res.Skipped, opts.MinMops)
+	}
 	res.MedianRatio = median(ratios)
 	norm := res.MedianRatio
 	if opts.Absolute || norm <= 0 {
@@ -128,7 +145,7 @@ func DiffReports(baseline, current JSONReport, opts DiffOptions) DiffResult {
 	}
 	sort.Slice(res.Regressions, func(i, j int) bool { return res.Regressions[i].Norm < res.Regressions[j].Norm })
 	sort.Slice(res.Improvements, func(i, j int) bool { return res.Improvements[i].Norm > res.Improvements[j].Norm })
-	return res
+	return res, nil
 }
 
 func median(xs []float64) float64 {

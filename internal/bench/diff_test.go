@@ -14,6 +14,17 @@ func mkReport(rows ...JSONRow) JSONReport {
 	return JSONReport{Rows: rows, RowCount: len(rows)}
 }
 
+// mustDiff fails the test on a degenerate comparison; most cases construct
+// well-formed report pairs.
+func mustDiff(t *testing.T, base, cur JSONReport, opts DiffOptions) DiffResult {
+	t.Helper()
+	res, err := DiffReports(base, cur, opts)
+	if err != nil {
+		t.Fatalf("DiffReports: %v", err)
+	}
+	return res
+}
+
 func TestDiffNoRegressionOnUniformSlowdown(t *testing.T) {
 	// A CI machine half the speed of the baseline machine: every cell's
 	// ratio moves together, the median normalisation cancels it.
@@ -29,7 +40,7 @@ func TestDiffNoRegressionOnUniformSlowdown(t *testing.T) {
 		mkRow("p", "hp", 1, 0, 0, 3),
 		mkRow("p", "hp", 2, 0, 0, 4),
 	)
-	res := DiffReports(base, cur, DefaultDiffOptions())
+	res := mustDiff(t, base, cur, DefaultDiffOptions())
 	if res.Compared != 4 {
 		t.Fatalf("Compared = %d want 4", res.Compared)
 	}
@@ -54,7 +65,7 @@ func TestDiffFlagsRelativeRegression(t *testing.T) {
 		mkRow("p", "hp", 1, 0, 0, 6),
 		mkRow("p", "hp", 2, 0, 0, 8),
 	)
-	res := DiffReports(base, cur, DefaultDiffOptions())
+	res := mustDiff(t, base, cur, DefaultDiffOptions())
 	if len(res.Regressions) != 1 {
 		t.Fatalf("want exactly one regression, got %+v", res.Regressions)
 	}
@@ -71,13 +82,13 @@ func TestDiffAbsoluteMode(t *testing.T) {
 	base := mkReport(mkRow("p", "debra", 1, 0, 0, 10), mkRow("p", "hp", 1, 0, 0, 10))
 	cur := mkReport(mkRow("p", "debra", 1, 0, 0, 6), mkRow("p", "hp", 1, 0, 0, 6))
 	// Relative mode: both cells moved together, nothing flagged.
-	if res := DiffReports(base, cur, DefaultDiffOptions()); len(res.Regressions) != 0 {
+	if res := mustDiff(t, base, cur, DefaultDiffOptions()); len(res.Regressions) != 0 {
 		t.Fatalf("relative mode flagged a uniform move: %+v", res.Regressions)
 	}
 	// Absolute mode: both dropped 40% > 30%.
 	opts := DiffOptions{Threshold: 0.30, Absolute: true}
-	if res := DiffReports(base, cur, opts); len(res.Regressions) != 2 {
-		t.Fatalf("absolute mode missed the drops: %+v", DiffReports(base, cur, opts))
+	if res := mustDiff(t, base, cur, opts); len(res.Regressions) != 2 {
+		t.Fatalf("absolute mode missed the drops: %+v", res)
 	}
 }
 
@@ -86,16 +97,27 @@ func TestDiffShardAxisDistinguishesCells(t *testing.T) {
 	// cells and must not be cross-matched.
 	base := mkReport(mkRow("p", "ebr", 2, 1, 0, 5), mkRow("p", "ebr", 2, 4, 0, 10))
 	cur := mkReport(mkRow("p", "ebr", 2, 1, 0, 5), mkRow("p", "ebr", 2, 4, 0, 10))
-	res := DiffReports(base, cur, DefaultDiffOptions())
+	res := mustDiff(t, base, cur, DefaultDiffOptions())
 	if res.Compared != 2 || len(res.Regressions) != 0 {
 		t.Fatalf("shard-axis cells mismatched: %+v", res)
+	}
+}
+
+func TestDiffAsyncAxisDistinguishesCells(t *testing.T) {
+	// Same identity except the reclaimer-goroutine count: distinct cells.
+	a := mkRow("p", "ebr", 2, 0, 256, 5)
+	b := mkRow("p", "ebr", 2, 0, 256, 9)
+	b.Reclaimers = 2
+	res := mustDiff(t, mkReport(a, b), mkReport(a, b), DefaultDiffOptions())
+	if res.Compared != 2 || len(res.Regressions) != 0 {
+		t.Fatalf("async-axis cells mismatched: %+v", res)
 	}
 }
 
 func TestDiffMinMopsFloorAndMissing(t *testing.T) {
 	base := mkReport(mkRow("p", "a", 1, 0, 0, 0.01), mkRow("p", "b", 1, 0, 0, 5), mkRow("p", "gone", 1, 0, 0, 5))
 	cur := mkReport(mkRow("p", "a", 1, 0, 0, 0.001), mkRow("p", "b", 1, 0, 0, 5), mkRow("p", "new", 1, 0, 0, 5))
-	res := DiffReports(base, cur, DefaultDiffOptions())
+	res := mustDiff(t, base, cur, DefaultDiffOptions())
 	if res.Skipped != 1 {
 		t.Fatalf("Skipped = %d want 1 (the sub-floor cell)", res.Skipped)
 	}
@@ -104,6 +126,30 @@ func TestDiffMinMopsFloorAndMissing(t *testing.T) {
 	}
 	if len(res.Regressions) != 0 {
 		t.Fatalf("noise cell flagged: %+v", res.Regressions)
+	}
+}
+
+func TestDiffEmptyIntersectionIsError(t *testing.T) {
+	// Disjoint row identities (e.g. a baseline that predates a new bench
+	// axis) must be a hard error, not a silent "no regressions" pass.
+	base := mkReport(mkRow("old-panel", "debra", 1, 0, 0, 10))
+	cur := mkReport(mkRow("new-panel", "debra", 1, 0, 0, 10))
+	if _, err := DiffReports(base, cur, DefaultDiffOptions()); err == nil {
+		t.Fatal("disjoint reports diffed without error")
+	} else if !strings.Contains(err.Error(), "share no cells") {
+		t.Fatalf("unhelpful error for disjoint reports: %v", err)
+	}
+}
+
+func TestDiffAllSkippedIsError(t *testing.T) {
+	// Every matched cell under the MinMops floor: the gate compared nothing
+	// and must say so instead of passing.
+	base := mkReport(mkRow("p", "a", 1, 0, 0, 0.01), mkRow("p", "b", 1, 0, 0, 0.02))
+	cur := mkReport(mkRow("p", "a", 1, 0, 0, 0.01), mkRow("p", "b", 1, 0, 0, 0.02))
+	if _, err := DiffReports(base, cur, DefaultDiffOptions()); err == nil {
+		t.Fatal("all-skipped comparison passed silently")
+	} else if !strings.Contains(err.Error(), "noise floor") {
+		t.Fatalf("unhelpful error for all-skipped comparison: %v", err)
 	}
 }
 

@@ -37,6 +37,9 @@ type Panel struct {
 	Shards      int
 	Placement   string
 	RetireBatch int
+	// Reclaimers enables asynchronous reclamation for every cell of the
+	// panel (0 = reclamation on the worker threads).
+	Reclaimers int
 }
 
 // PanelResult holds the measured cells of a panel.
@@ -61,13 +64,15 @@ type Options struct {
 	// (default DSBST, the paper's configuration; DSHashMap is also
 	// supported since it runs every scheme the experiment compares).
 	DataStructure string
-	// Shards, Placement and RetireBatch apply the sharded-domain and
-	// deferred-retire knobs to every trial of the run (the -shards,
-	// -placement and -retirebatch CLI flags). The sharding experiment
-	// sweeps these itself and ignores the Options values.
+	// Shards, Placement, RetireBatch and Reclaimers apply the
+	// sharded-domain, deferred-retire and async-reclamation knobs to every
+	// trial of the run (the -shards, -placement, -retirebatch and
+	// -reclaimers CLI flags). The sharding and async experiments sweep
+	// their own axis and ignore the corresponding Options value.
 	Shards      int
 	Placement   string
 	RetireBatch int
+	Reclaimers  int
 }
 
 // DefaultOptions returns options that mirror the paper's setup (scaled to
@@ -116,7 +121,18 @@ const (
 	// effect of partitioning the reclamation domains is measurable per
 	// scheme and thread count.
 	ExperimentSharding = 5
+	// ExperimentAsync is the asynchronous-reclamation ablation (beyond the
+	// paper): the update-heavy hash map panel with all six schemes, async
+	// off versus on at a sweep of reclaimer-goroutine counts, all at the
+	// same full-block retire batch so the measured axis is purely where the
+	// grace-period work runs — on the workers or behind them.
+	ExperimentAsync = 6
 )
+
+// AsyncReclaimerSweep is the reclaimer-goroutine counts ExperimentAsync
+// covers (0 = the synchronous baseline). Fixed rather than machine-derived
+// so smoke rows match across machines for the trend gate.
+var AsyncReclaimerSweep = []int{0, 1, 2}
 
 // ExperimentPanels returns the panels of the given experiment, mirroring the
 // rows of Figures 8 and 10: BST with key ranges 10^6 and 10^4 and the skip
@@ -136,6 +152,8 @@ func ExperimentPanels(experiment int, opts Options) ([]Panel, error) {
 		return HashMapPanels(opts), nil
 	case ExperimentSharding:
 		return ShardingPanels(opts), nil
+	case ExperimentAsync:
+		return AsyncPanels(opts), nil
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %d", experiment)
 	}
@@ -165,6 +183,7 @@ func ExperimentPanels(experiment int, opts Options) ([]Panel, error) {
 				Shards:        opts.Shards,
 				Placement:     opts.Placement,
 				RetireBatch:   opts.RetireBatch,
+				Reclaimers:    opts.Reclaimers,
 			})
 		}
 	}
@@ -217,6 +236,7 @@ func HashMapPanels(opts Options) []Panel {
 				Shards:         opts.Shards,
 				Placement:      opts.Placement,
 				RetireBatch:    opts.RetireBatch,
+				Reclaimers:     opts.Reclaimers,
 			})
 		}
 	}
@@ -264,6 +284,39 @@ func ShardingPanels(opts Options) []Panel {
 	return panels
 }
 
+// AsyncPanels returns the asynchronous-reclamation ablation: the
+// update-heavy hash map panel (pre-sized table, so reclamation dominates)
+// for every reclaimer count of AsyncReclaimerSweep, across all six schemes.
+// Every arm — the synchronous baseline included — uses the same full-block
+// retire batch, so the sweep isolates where the grace-period wait and the
+// free run (on the workers, or behind them) rather than re-measuring
+// batching itself.
+func AsyncPanels(opts Options) []Panel {
+	const figure = "Async reclamation (beyond the paper), Experiment 6"
+	w := withRange(MixUpdateHeavy, opts.scaleRange(100_000))
+	initial := int(w.KeyRange / 2 / hashmap.DefaultMaxLoad)
+	var panels []Panel
+	for _, reclaimers := range AsyncReclaimerSweep {
+		panels = append(panels, Panel{
+			Figure: figure,
+			Title: fmt.Sprintf("%s range [0,%d) %di-%dd async=%d",
+				DSHashMap, w.KeyRange, w.InsertPct, w.DeletePct, reclaimers),
+			DataStructure:  DSHashMap,
+			Workload:       w,
+			Allocator:      recordmgr.AllocBump,
+			UsePool:        true,
+			Schemes:        SupportedSchemes(DSHashMap),
+			Threads:        opts.threads(),
+			InitialBuckets: initial,
+			Shards:         opts.Shards,
+			Placement:      opts.Placement,
+			RetireBatch:    blockbag.BlockSize,
+			Reclaimers:     reclaimers,
+		})
+	}
+	return panels
+}
+
 // RunPanel measures every cell of a panel.
 func RunPanel(p Panel, opts Options) PanelResult {
 	out := PanelResult{Panel: p, Results: map[string]map[int]Result{}}
@@ -283,6 +336,7 @@ func RunPanel(p Panel, opts Options) PanelResult {
 				Shards:         p.Shards,
 				Placement:      p.Placement,
 				RetireBatch:    p.RetireBatch,
+				Reclaimers:     p.Reclaimers,
 			}
 			res, err := runSafely(cfg)
 			if err != nil {
@@ -318,6 +372,9 @@ func RenderThroughputTable(pr PanelResult) string {
 	if pr.Panel.Shards > 1 || pr.Panel.RetireBatch > 0 {
 		fmt.Fprintf(&sb, " shards=%d batch=%d", pr.Panel.Shards, pr.Panel.RetireBatch)
 	}
+	if pr.Panel.Reclaimers > 0 {
+		fmt.Fprintf(&sb, " reclaimers=%d", pr.Panel.Reclaimers)
+	}
 	sb.WriteString(")\n")
 	fmt.Fprintf(&sb, "%8s", "threads")
 	for _, s := range pr.Panel.Schemes {
@@ -341,12 +398,14 @@ func RenderThroughputTable(pr PanelResult) string {
 	return sb.String()
 }
 
-// RenderCSV renders a panel result as CSV rows:
-// figure,title,scheme,threads,mops,allocated_bytes,retired,freed,limbo,neutralizations.
+// RenderCSV renders a panel result as CSV rows. The unreclaimed column is
+// the true retired-but-not-freed count (limbo + deferred-retire buffers +
+// async hand-off queues); limbo alone understates it under batching or async
+// reclamation.
 func RenderCSV(pr PanelResult, includeHeader bool) string {
 	var sb strings.Builder
 	if includeHeader {
-		sb.WriteString("figure,title,scheme,threads,shards,retire_batch,mops,allocated_bytes,retired,freed,limbo,neutralizations\n")
+		sb.WriteString("figure,title,scheme,threads,shards,retire_batch,reclaimers,mops,allocated_bytes,retired,freed,limbo,unreclaimed,neutralizations\n")
 	}
 	for _, s := range pr.Panel.Schemes {
 		for _, th := range pr.Panel.Threads {
@@ -354,10 +413,10 @@ func RenderCSV(pr PanelResult, includeHeader bool) string {
 			if !ok {
 				continue
 			}
-			fmt.Fprintf(&sb, "%q,%q,%s,%d,%d,%d,%.4f,%d,%d,%d,%d,%d\n",
-				pr.Panel.Figure, pr.Panel.Title, s, th, r.Config.Shards, r.Config.RetireBatch,
+			fmt.Fprintf(&sb, "%q,%q,%s,%d,%d,%d,%d,%.4f,%d,%d,%d,%d,%d,%d\n",
+				pr.Panel.Figure, pr.Panel.Title, s, th, r.Config.Shards, r.Config.RetireBatch, r.Config.Reclaimers,
 				r.MopsPerSec, r.AllocatedBytes,
-				r.Reclaimer.Retired, r.Reclaimer.Freed, r.Reclaimer.Limbo, r.Reclaimer.Neutralizations)
+				r.Reclaimer.Retired, r.Reclaimer.Freed, r.Reclaimer.Limbo, r.Unreclaimed, r.Reclaimer.Neutralizations)
 		}
 	}
 	return sb.String()
@@ -373,10 +432,15 @@ func allocName(a recordmgr.AllocatorKind) string {
 // MemoryFootprintRow is one row of the Figure 9 (right) reproduction: the
 // total memory allocated for records during an Experiment-2 style trial of
 // the BST (key range 10^4, 50i-50d), per scheme, at a given thread count.
+// Unreclaimed is the end-of-trial retired-but-not-freed record count
+// (scheme limbo + deferred-retire buffers + async hand-off queues) — the
+// reclamation component of the footprint; reporting scheme limbo alone
+// understates it whenever batching or async hand-off is enabled.
 type MemoryFootprintRow struct {
-	Threads int
-	Bytes   map[string]int64
-	Neut    map[string]int64
+	Threads     int
+	Bytes       map[string]int64
+	Neut        map[string]int64
+	Unreclaimed map[string]int64
 }
 
 // MemoryExperiment reproduces Figure 9 (right): it measures the memory
@@ -401,7 +465,10 @@ func MemoryExperiment(opts Options) ([]MemoryFootprintRow, []string, error) {
 	}
 	var rows []MemoryFootprintRow
 	for _, threads := range opts.threads() {
-		row := MemoryFootprintRow{Threads: threads, Bytes: map[string]int64{}, Neut: map[string]int64{}}
+		row := MemoryFootprintRow{
+			Threads: threads,
+			Bytes:   map[string]int64{}, Neut: map[string]int64{}, Unreclaimed: map[string]int64{},
+		}
 		for _, scheme := range schemes {
 			cfg := Config{
 				DataStructure: ds,
@@ -415,6 +482,7 @@ func MemoryExperiment(opts Options) ([]MemoryFootprintRow, []string, error) {
 				Shards:        opts.Shards,
 				Placement:     opts.Placement,
 				RetireBatch:   opts.RetireBatch,
+				Reclaimers:    opts.Reclaimers,
 			}
 			res, err := runSafely(cfg)
 			if err != nil {
@@ -422,6 +490,7 @@ func MemoryExperiment(opts Options) ([]MemoryFootprintRow, []string, error) {
 			}
 			row.Bytes[scheme] = res.AllocatedBytes
 			row.Neut[scheme] = res.Reclaimer.Neutralizations
+			row.Unreclaimed[scheme] = res.Unreclaimed
 		}
 		rows = append(rows, row)
 	}
@@ -437,15 +506,23 @@ func RenderMemoryTable(rows []MemoryFootprintRow, schemes []string, ds string) s
 	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Figure 9 (right): memory allocated for records (MB), %s range [0,1e4), 50i-50d\n", ds)
+	fmt.Fprintf(&sb, "(unreclaimed = retired-but-not-freed records at the end of the trial:\n")
+	fmt.Fprintf(&sb, " scheme limbo + deferred-retire buffers + async hand-off queues)\n")
 	fmt.Fprintf(&sb, "%8s", "threads")
 	for _, s := range schemes {
 		fmt.Fprintf(&sb, "%12s", s)
+	}
+	for _, s := range schemes {
+		fmt.Fprintf(&sb, "%14s", "unrec:"+s)
 	}
 	fmt.Fprintf(&sb, "%16s\n", "neutralizations")
 	for _, row := range rows {
 		fmt.Fprintf(&sb, "%8d", row.Threads)
 		for _, s := range schemes {
 			fmt.Fprintf(&sb, "%12.2f", float64(row.Bytes[s])/(1<<20))
+		}
+		for _, s := range schemes {
+			fmt.Fprintf(&sb, "%14d", row.Unreclaimed[s])
 		}
 		fmt.Fprintf(&sb, "%16d\n", row.Neut[recordmgr.SchemeDEBRAPlus])
 	}

@@ -19,6 +19,7 @@ type JSONRow struct {
 	Shards         int     `json:"shards"`
 	Placement      string  `json:"placement,omitempty"`
 	RetireBatch    int     `json:"retire_batch"`
+	Reclaimers     int     `json:"reclaimers"`
 	Ops            int64   `json:"ops"`
 	MopsPerSec     float64 `json:"mops_per_sec"`
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
@@ -29,9 +30,14 @@ type JSONRow struct {
 	Freed          int64   `json:"freed"`
 	Limbo          int64   `json:"limbo"`
 	RetirePending  int64   `json:"retire_pending"`
-	Neutralization int64   `json:"neutralizations"`
-	EpochAdvances  int64   `json:"epoch_advances"`
-	Scans          int64   `json:"scans"`
+	HandoffPending int64   `json:"handoff_pending"`
+	// Unreclaimed is the true retired-but-not-freed count at the end of the
+	// trial (limbo + retire_pending + handoff_pending); limbo alone
+	// understates memory held under batching or async reclamation.
+	Unreclaimed    int64 `json:"unreclaimed"`
+	Neutralization int64 `json:"neutralizations"`
+	EpochAdvances  int64 `json:"epoch_advances"`
+	Scans          int64 `json:"scans"`
 }
 
 // JSONReport is the top-level machine-readable result document.
@@ -66,6 +72,7 @@ func BuildJSONReport(results []PanelResult) JSONReport {
 					Shards:         r.Config.Shards,
 					Placement:      r.Config.Placement,
 					RetireBatch:    r.Config.RetireBatch,
+					Reclaimers:     r.Config.Reclaimers,
 					Ops:            r.Ops,
 					MopsPerSec:     r.MopsPerSec,
 					ElapsedSeconds: r.Elapsed.Seconds(),
@@ -76,6 +83,8 @@ func BuildJSONReport(results []PanelResult) JSONReport {
 					Freed:          r.Reclaimer.Freed,
 					Limbo:          r.Reclaimer.Limbo,
 					RetirePending:  r.RetirePending,
+					HandoffPending: r.HandoffPending,
+					Unreclaimed:    r.Unreclaimed,
 					Neutralization: r.Reclaimer.Neutralizations,
 					EpochAdvances:  r.Reclaimer.EpochAdvances,
 					Scans:          r.Reclaimer.Scans,

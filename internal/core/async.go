@@ -1,0 +1,308 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/blockbag"
+)
+
+// This file implements asynchronous reclamation: dedicated reclaimer
+// goroutines that drain per-shard hand-off queues of retired blocks behind
+// the workers, so the grace-period bookkeeping and the free hand-off happen
+// off the workers' critical path. A worker's Retire becomes an O(1) append to
+// its deferred-retire buffer plus, once per batch, an O(1) lock-free push of
+// the detached blocks onto a hand-off queue.
+//
+// The reclaimer goroutines are first-class epoch participants: an
+// AsyncReclaimer for w workers and r reclaimers requires the underlying
+// scheme (and the allocator/pool behind it) to be constructed for w+r dense
+// thread ids, and reclaimer i operates exclusively under tid w+i. Each drain
+// cycle is a complete LeaveQstate / retire / EnterQstate operation on that
+// tid, which is what makes handing another thread's retired records to an
+// epoch scheme sound: the reclaimer's own active announcement pins the epoch
+// exactly as a worker's would (see RetirePinner for why an unpinned retire is
+// not), and the records land in the reclaimer tid's own limbo state, so no
+// single-owner invariant is crossed. Idle reclaimers keep cycling
+// pin/unpin — with backoff — while the scheme still holds limbo, because
+// per-thread schemes (QSBR, DEBRA, DEBRA+) only rotate a tid's bags from that
+// tid's own operation boundaries.
+//
+// Lifecycle: Close stops the goroutines (each performs a final drain of its
+// queue before exiting), synchronously retires anything that raced into the
+// queues afterwards, and leaves force-freeing the remaining limbo to the
+// caller (RecordManager.Close follows with LimboDrainer.DrainLimbo). The
+// shutdown ordering contract is: workers quiesce, buffers are flushed,
+// reclaimers drain, then Close.
+
+// DefaultAsyncReclaimers is the reclaimer-goroutine count selected by
+// configuration layers when asynchronous reclamation is requested without an
+// explicit count.
+const DefaultAsyncReclaimers = 1
+
+// spareCap bounds the spare-block return stack per hand-off queue; blocks
+// beyond it are dropped to the garbage collector, exactly like a full
+// per-thread BlockPool drops its overflow.
+const spareCap = 16
+
+// handoffQueue is one hand-off shard: a lock-free stack of detached blocks
+// (full or partial) pushed by workers and drained by the shard's dedicated
+// reclaimer goroutine, plus a capacity-1 wake token so an idle reclaimer
+// blocks instead of polling, plus the return path — a bounded stack of
+// emptied spare blocks the reclaimer hands back so the workers' retire
+// buffers keep circulating existing blocks instead of allocating (the
+// blockbag design's zero-allocation property, preserved across the
+// asynchronous hand-off).
+type handoffQueue[T any] struct {
+	stack  blockbag.SharedStack[T]
+	spares blockbag.SharedStack[T]
+	wake   chan struct{}
+	_      [PadBytes]byte
+}
+
+// AsyncReclaimer drains retired records behind a set of worker threads.
+// Construct it through RecordManager's WithAsyncReclaim option (or directly
+// with NewAsyncReclaimer for custom stacks); Enqueue is the worker-side
+// hand-off, Close the deterministic shutdown.
+type AsyncReclaimer[T any] struct {
+	rec     Reclaimer[T]
+	workers int
+	queues  []handoffQueue[T]
+
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	// handoff is the number of records currently sitting in hand-off queues:
+	// retired by a worker but not yet handed to the scheme. It is the third
+	// component of the true unreclaimed count (scheme limbo + deferred-retire
+	// buffers + hand-off queues).
+	handoff  atomic.Int64
+	enqueued atomic.Int64
+	drained  atomic.Int64
+}
+
+// NewAsyncReclaimer spawns reclaimers dedicated goroutines draining retired
+// blocks into rec under tids workers..workers+reclaimers-1. rec (and every
+// per-thread component behind its free sink) must have been constructed for
+// at least workers+reclaimers dense thread ids; when rec exposes a ShardMap
+// this is verified at construction.
+func NewAsyncReclaimer[T any](rec Reclaimer[T], workers, reclaimers int) *AsyncReclaimer[T] {
+	if rec == nil {
+		panic("core: NewAsyncReclaimer requires a Reclaimer")
+	}
+	if workers <= 0 || reclaimers <= 0 {
+		panic("core: NewAsyncReclaimer requires workers >= 1 and reclaimers >= 1")
+	}
+	if sh, ok := rec.(Sharded); ok {
+		if n := sh.ShardMap().Threads(); n < workers+reclaimers {
+			panic(fmt.Sprintf("core: async reclamation needs %d participants (%d workers + %d reclaimers) but the reclaimer was built for %d threads",
+				workers+reclaimers, workers, reclaimers, n))
+		}
+	}
+	a := &AsyncReclaimer[T]{
+		rec:     rec,
+		workers: workers,
+		queues:  make([]handoffQueue[T], reclaimers),
+		stop:    make(chan struct{}),
+	}
+	for i := range a.queues {
+		a.queues[i].wake = make(chan struct{}, 1)
+	}
+	a.wg.Add(reclaimers)
+	for i := 0; i < reclaimers; i++ {
+		go a.run(i)
+	}
+	return a
+}
+
+// Reclaimers returns the number of reclaimer goroutines.
+func (a *AsyncReclaimer[T]) Reclaimers() int { return len(a.queues) }
+
+// HandoffPending returns the number of records currently parked in hand-off
+// queues (exact only when workers are quiescent, like the other snapshots).
+func (a *AsyncReclaimer[T]) HandoffPending() int64 { return a.handoff.Load() }
+
+// Enqueued returns the cumulative number of records handed off by workers.
+func (a *AsyncReclaimer[T]) Enqueued() int64 { return a.enqueued.Load() }
+
+// Drained returns the cumulative number of records reclaimer goroutines have
+// handed to the scheme.
+func (a *AsyncReclaimer[T]) Drained() int64 { return a.drained.Load() }
+
+// Enqueue hands a detached chain of retired blocks (full or partial) from
+// worker tid to the reclamation pipeline. O(1) per block; lock-free; never
+// touches the scheme, so it is safe from any context, quiescent included —
+// this is what makes the worker-side retire hand-off contract-free.
+func (a *AsyncReclaimer[T]) Enqueue(tid int, chain *blockbag.Block[T]) {
+	if chain == nil {
+		return
+	}
+	if a.closed.Load() {
+		panic("core: AsyncReclaimer.Enqueue after Close (flush buffers before closing)")
+	}
+	n := int64(blockbag.ChainLen(chain))
+	q := &a.queues[tid%len(a.queues)]
+	a.handoff.Add(n)
+	a.enqueued.Add(n)
+	q.stack.PushChain(chain)
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+}
+
+// TakeSpare returns an empty block from worker tid's hand-off shard's
+// return stack, or nil when none is cached. Workers call it after an
+// Enqueue to refill their retire-buffer block pools with the spares the
+// reclaimers' scheme exchange handed back.
+func (a *AsyncReclaimer[T]) TakeSpare(tid int) *blockbag.Block[T] {
+	return a.queues[tid%len(a.queues)].spares.Pop()
+}
+
+// run is the body of reclaimer goroutine i, operating under its dedicated
+// participant tid.
+func (a *AsyncReclaimer[T]) run(i int) {
+	defer a.wg.Done()
+	q := &a.queues[i]
+	rtid := a.workers + i
+	// Idle backoff: when there is no queued work but the scheme still holds
+	// limbo, keep performing pin/unpin cycles so grace periods advance and
+	// this tid's bags rotate; back off exponentially while no progress is
+	// observable (for example a leaking scheme, or a worker pinned mid-op).
+	// rec.Stats() aggregates every participant's counters — cache lines the
+	// measured workers are writing — so it is refreshed only every
+	// statsRefreshEvery idle cycles while limbo is known positive; the
+	// decision to BLOCK is always taken on a fresh read, so a stale zero can
+	// never strand records.
+	const minIdle, maxIdle = 20 * time.Microsecond, 2 * time.Millisecond
+	const statsRefreshEvery = 16
+	idle := minIdle
+	limbo, staleFor := int64(0), 0
+	// pool catches the spare blocks the scheme's RetireBlock exchange hands
+	// back; drainChain returns them to the workers through q.spares.
+	pool := blockbag.NewBlockPool[T](spareCap)
+	// One reusable timer for the idle backoff (time.After would allocate a
+	// timer per iteration, down to one per 20µs at minIdle).
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		if chain := q.stack.PopAll(); chain != nil {
+			a.drainChain(q, rtid, chain, pool)
+			idle = minIdle
+			staleFor = 0 // our own retires grew the limbo; force a re-read
+			continue
+		}
+		select {
+		case <-a.stop:
+			// Final deterministic drain: nothing new arrives for this queue
+			// once Close has been observed here and workers have flushed.
+			if chain := q.stack.PopAll(); chain != nil {
+				a.drainChain(q, rtid, chain, pool)
+			}
+			return
+		default:
+		}
+		if staleFor <= 0 || limbo <= 0 {
+			prev := limbo
+			limbo = a.rec.Stats().Limbo
+			staleFor = statsRefreshEvery
+			if limbo != prev {
+				idle = minIdle
+			} else if idle *= 2; idle > maxIdle {
+				idle = maxIdle
+			}
+		}
+		staleFor--
+		if limbo > 0 {
+			a.cycle(rtid, nil, nil)
+			timer.Reset(idle)
+			select {
+			case <-q.wake:
+				timer.Stop()
+				staleFor = 0
+			case <-a.stop:
+				timer.Stop()
+			case <-timer.C:
+			}
+			continue
+		}
+		// limbo == 0 from a fresh read: nothing to push through; sleep until
+		// a hand-off (or shutdown) arrives.
+		select {
+		case <-q.wake:
+		case <-a.stop:
+		}
+		staleFor = 0
+	}
+}
+
+// drainChain retires every record of a detached chain under rtid, one pinned
+// operation per chain, and hands the spare blocks the scheme exchange
+// returned back to the workers via the queue's bounded return stack. The
+// hand-off counter is decremented up front, before the records land in the
+// scheme's limbo counters: a chain mid-drain is therefore counted in
+// neither bucket for the duration of one cycle (a transient undercount of
+// Unreclaimed bounded by the in-flight chains) rather than in both — and
+// exactly once whenever the pipeline is idle or closed, which is when the
+// harnesses snapshot.
+func (a *AsyncReclaimer[T]) drainChain(q *handoffQueue[T], rtid int, chain *blockbag.Block[T], pool *blockbag.BlockPool[T]) {
+	n := int64(blockbag.ChainLen(chain))
+	a.handoff.Add(-n)
+	a.cycle(rtid, chain, pool)
+	if pool != nil {
+		for q.spares.Blocks() < spareCap {
+			blk := pool.TryGet()
+			if blk == nil {
+				break
+			}
+			q.spares.Push(blk)
+		}
+	}
+	a.drained.Add(n)
+}
+
+// cycle performs one full operation boundary on rtid — LeaveQstate, an
+// optional chain retire, EnterQstate — absorbing a neutralization delivery
+// (DEBRA+ may signal a reclaimer that lags the epoch; the delivery marks the
+// thread quiescent before unwinding, and a reclaimer holds no references and
+// computes nothing from shared records, so there is nothing to recover).
+func (a *AsyncReclaimer[T]) cycle(rtid int, chain *blockbag.Block[T], pool *blockbag.BlockPool[T]) {
+	defer func() {
+		if v := recover(); v != nil {
+			if _, ok := v.(interface{ NeutralizationSignal() }); ok && a.rec.IsQuiescent(rtid) {
+				return
+			}
+			panic(v)
+		}
+	}()
+	a.rec.LeaveQstate(rtid)
+	if chain != nil {
+		RetireChain(a.rec, rtid, chain, pool)
+	}
+	a.rec.EnterQstate(rtid)
+}
+
+// Close shuts the pipeline down deterministically: it stops the reclaimer
+// goroutines (each drains its queue once more before exiting), then
+// synchronously retires anything still queued. It does not force-free the
+// scheme's limbo — callers that need Retired == Freed follow up with
+// LimboDrainer.DrainLimbo once everything is quiescent, which is exactly what
+// RecordManager.Close does. Contract: all workers have quiesced and flushed
+// their deferred-retire buffers before Close; Close is idempotent.
+func (a *AsyncReclaimer[T]) Close() {
+	if !a.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(a.stop)
+	a.wg.Wait()
+	for i := range a.queues {
+		// No spare return at shutdown: the workers are done with their
+		// buffers, so the exchange blocks just go to the garbage collector.
+		if chain := a.queues[i].stack.PopAll(); chain != nil {
+			a.drainChain(&a.queues[i], a.workers+i, chain, nil)
+		}
+	}
+}

@@ -120,6 +120,49 @@ type BlockReclaimer[T any] interface {
 	RetireBlock(tid int, blk *blockbag.Block[T]) *blockbag.Block[T]
 }
 
+// RetirePinner is the pin-while-retiring extension of the Reclaimer
+// contract. The epoch schemes' Retire/RetireBlock paths are only safe while
+// the calling tid is non-quiescent: the thread's active announcement is what
+// bounds how far the global epoch can run ahead of the epoch a retire
+// observed, and therefore which limbo bag a concurrent advance winner may
+// drain. A retire from a quiescent context has no such pin — its observed
+// epoch can be arbitrarily stale by the time the record lands in a bag, which
+// is exactly the window an advance winner's drain races. Those schemes
+// therefore panic on a quiescent Retire and expose this entry point instead:
+// PinRetire announces the thread as an active retirer (without the
+// scan/advance/rotation work of a full LeaveQstate, and without the
+// neutralization side effects of an operation boundary), Retire/RetireBlock
+// are safe in between, and UnpinRetire returns the thread to its quiescent
+// state. Schemes with no epoch state (hazard pointers, the leaking baseline)
+// implement both as no-ops.
+//
+// PinRetire/UnpinRetire pairs must not be issued from inside an operation
+// (between LeaveQstate and EnterQstate): re-announcing mid-operation would
+// release the operation's own epoch pin while it may still hold references.
+// Callers that may be either pinned or quiescent consult IsQuiescent first,
+// as RecordManager.FlushRetired does.
+type RetirePinner interface {
+	// PinRetire marks tid as an active (non-quiescent) retirer.
+	PinRetire(tid int)
+	// UnpinRetire reverses PinRetire, returning tid to quiescence.
+	UnpinRetire(tid int)
+}
+
+// LimboDrainer is the quiescent-shutdown extension of the Reclaimer
+// contract: DrainLimbo frees every record still parked in the scheme's limbo
+// structures, returning the number freed. It is only safe once every
+// participant has quiesced for good — the caller must guarantee that no
+// thread holds references to retired records and that no further operations
+// begin (the schemes verify the announced quiescence of every thread and
+// panic loudly when the precondition is violated, but they cannot see
+// references). Records that are still individually protected (hazard
+// pointers, DEBRA+ recovery protections) are skipped, not freed.
+type LimboDrainer interface {
+	// DrainLimbo frees the drainable limbo of every thread/shard; tid is the
+	// dense id charged for the sink hand-off.
+	DrainLimbo(tid int) int64
+}
+
 // RetireChain retires every record of a detached block chain through r,
 // using the O(1) RetireBlock path for full blocks when the scheme supports
 // it and per-record Retire calls otherwise (and for any non-full block).
@@ -140,6 +183,33 @@ func RetireChain[T any](r Reclaimer[T], tid int, chain *blockbag.Block[T], pool 
 			for i := 0; i < blk.Len(); i++ {
 				r.Retire(tid, blk.Record(i))
 			}
+		}
+		blk = next
+	}
+	return n
+}
+
+// FreeChain hands every record of a detached block chain to sink — whole
+// blocks when blockSink is non-nil (ownership of the blocks transfers with
+// them), record-at-a-time otherwise, recycling the emptied blocks into pool
+// when one is supplied. Returns the number of records freed. This is the
+// shared chain-freeing idiom of the schemes' drain paths.
+func FreeChain[T any](sink FreeSink[T], blockSink BlockFreeSink[T], pool *blockbag.BlockPool[T], tid int, chain *blockbag.Block[T]) int64 {
+	if chain == nil {
+		return 0
+	}
+	n := int64(blockbag.ChainLen(chain))
+	if blockSink != nil {
+		blockSink.FreeBlocks(tid, chain)
+		return n
+	}
+	for blk := chain; blk != nil; {
+		next := blk.Next()
+		for i := 0; i < blk.Len(); i++ {
+			sink.Free(tid, blk.Record(i))
+		}
+		if pool != nil {
+			pool.Put(blk)
 		}
 		blk = next
 	}

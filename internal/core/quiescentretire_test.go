@@ -1,0 +1,239 @@
+package core_test
+
+// Regression tests for the quiescent-retire grace-period hazard: the epoch
+// schemes' Retire/RetireBlock load the current epoch, and only the caller's
+// active announcement bounds how stale that load can be by the time the
+// record lands in a limbo bag. A retire from a quiescent context had no such
+// pin, so a sufficiently delayed hand-off could race the advance winner's
+// bag drain. The fix is two-layered: the raw schemes now panic loudly on an
+// unpinned retire (these tests fail against the pre-fix code, which accepted
+// it silently), and the Record Manager routes quiescent callers — shutdown
+// flushes, data structure postambles, DEBRA+ recovery — through the new
+// pin-while-retiring entry point.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/arena"
+	"repro/internal/blockbag"
+	"repro/internal/core"
+	"repro/internal/pool"
+	"repro/internal/reclaim/debra"
+	"repro/internal/reclaim/debraplus"
+	"repro/internal/reclaim/ebr"
+	"repro/internal/reclaim/qsbr"
+	"repro/internal/reclaimtest"
+)
+
+type rec = reclaimtest.Record
+
+// epochSchemes builds one instance of every epoch scheme (the schemes whose
+// retire path requires the pin) for n threads over the given sink.
+func epochSchemes(n int, sink core.FreeSink[rec]) map[string]core.Reclaimer[rec] {
+	return map[string]core.Reclaimer[rec]{
+		"ebr":    ebr.New[rec](n, sink),
+		"qsbr":   qsbr.New[rec](n, sink),
+		"debra":  debra.New[rec](n, sink),
+		"debra+": debraplus.New[rec](n, sink),
+	}
+}
+
+// TestQuiescentRetirePanics is the headline regression: retiring from a
+// quiescent context without a pin must be rejected loudly. Against the
+// pre-fix retire path (which accepted the unpinned hand-off and let the
+// loaded epoch go stale) this test fails.
+func TestQuiescentRetirePanics(t *testing.T) {
+	for name, r := range epochSchemes(2, reclaimtest.NewRecordingSink()) {
+		t.Run(name, func(t *testing.T) {
+			// Fresh threads start quiescent; make it explicit anyway.
+			r.EnterQstate(0)
+			if !panics(func() { r.Retire(0, &rec{ID: 1}) }) {
+				t.Fatal("quiescent Retire did not panic")
+			}
+			br := r.(core.BlockReclaimer[rec])
+			bag := blockbag.New[rec](nil)
+			for i := 0; i < blockbag.BlockSize; i++ {
+				bag.Add(&rec{ID: int64(i)})
+			}
+			blk := bag.DetachAllFullBlocks()
+			if !panics(func() { br.RetireBlock(0, blk) }) {
+				t.Fatal("quiescent RetireBlock did not panic")
+			}
+		})
+	}
+}
+
+// TestPinRetireMakesQuiescentRetireSafe exercises the new entry point: a
+// quiescent thread pins, retires, unpins; the records are eventually freed
+// exactly once and quiescence is restored.
+func TestPinRetireMakesQuiescentRetireSafe(t *testing.T) {
+	const n = 2
+	for _, name := range []string{"ebr", "qsbr", "debra", "debra+"} {
+		t.Run(name, func(t *testing.T) {
+			sink := reclaimtest.NewRecordingSink()
+			r := epochSchemes(n, sink)[name]
+			p := r.(core.RetirePinner)
+
+			r.EnterQstate(0)
+			p.PinRetire(0)
+			for i := 0; i < 3*blockbag.BlockSize; i++ {
+				r.Retire(0, &rec{ID: int64(i)})
+			}
+			p.UnpinRetire(0)
+			if !r.IsQuiescent(0) {
+				t.Fatal("thread not quiescent after UnpinRetire")
+			}
+			// Drive grace periods with ordinary operations until the limbo
+			// drains (DrainLimbo is the shutdown shortcut; here we check the
+			// records flow out through the normal epoch machinery too).
+			for i := 0; i < 2000 && r.Stats().Freed < r.Stats().Retired; i++ {
+				for tid := 0; tid < n; tid++ {
+					r.LeaveQstate(tid)
+					r.EnterQstate(tid)
+				}
+			}
+			// DEBRA+ amortises its scan over large bags; force the tail out.
+			if d, ok := r.(core.LimboDrainer); ok && r.Stats().Freed < r.Stats().Retired {
+				d.DrainLimbo(0)
+			}
+			s := r.Stats()
+			if s.Freed != s.Retired {
+				t.Fatalf("retired %d, freed %d after pin-retire and grace periods", s.Retired, s.Freed)
+			}
+			if int64(len(sink.Records())) != s.Freed {
+				t.Fatalf("sink saw %d frees, stats say %d", len(sink.Records()), s.Freed)
+			}
+			seen := map[*rec]bool{}
+			for _, fr := range sink.Records() {
+				if seen[fr] {
+					t.Fatal("record freed twice")
+				}
+				seen[fr] = true
+			}
+		})
+	}
+}
+
+// TestManagerRetireFromQuiescentContextAutoPins: the Record Manager keeps
+// the historic "Retire works from a quiescent postamble" surface (the hash
+// map and BST rely on it) by routing quiescent callers through the pin.
+func TestManagerRetireFromQuiescentContextAutoPins(t *testing.T) {
+	for _, name := range []string{"ebr", "qsbr", "debra", "debra+"} {
+		t.Run(name, func(t *testing.T) {
+			alloc := arena.NewBump[rec](1, 0)
+			p := pool.New[rec](1, alloc)
+			r := epochSchemes(1, p)[name]
+			mgr := core.NewRecordManager[rec](alloc, p, r)
+
+			mgr.EnterQstate(0)
+			mgr.Retire(0, mgr.Allocate(0)) // must not panic: auto-pinned
+			if !mgr.IsQuiescent(0) {
+				t.Fatal("thread left non-quiescent by the auto-pinned retire")
+			}
+			if got := mgr.Stats().Reclaimer.Retired; got != 1 {
+				t.Fatalf("Retired = %d want 1", got)
+			}
+		})
+	}
+}
+
+// TestFlushRetiredQuiescentPins: the documented FlushRetired contract —
+// safe from quiescent shutdown paths — now actually holds: the hand-off of
+// a parked batch from a quiescent thread goes through the pin and the
+// records are freed exactly once by shutdown draining.
+func TestFlushRetiredQuiescentPins(t *testing.T) {
+	const n = 2
+	for _, name := range []string{"ebr", "qsbr", "debra", "debra+"} {
+		t.Run(name, func(t *testing.T) {
+			sink := reclaimtest.NewPoisonSink()
+			r := epochSchemes(n, sink)[name]
+			alloc := arena.NewBump[rec](n, 0)
+			mgr := core.NewRecordManager[rec](alloc, nil, r, core.WithRetireBatching(n, blockbag.BlockSize))
+
+			// Park records from a pinned operation, then quiesce with the
+			// buffer non-empty (batch not reached).
+			mgr.LeaveQstate(0)
+			for i := 0; i < blockbag.BlockSize+7; i++ {
+				mgr.Retire(0, mgr.Allocate(0))
+			}
+			mgr.EnterQstate(0)
+			if got := mgr.Stats().RetirePending; got != 7 {
+				t.Fatalf("RetirePending = %d want 7", got)
+			}
+			// The quiescent flush: pre-fix this handed records to the scheme
+			// with no pin (the racy interleaving); now it pins around it.
+			mgr.FlushRetired(0)
+			if !mgr.IsQuiescent(0) {
+				t.Fatal("thread left non-quiescent by the quiescent flush")
+			}
+			st := mgr.Stats()
+			if st.RetirePending != 0 || st.Reclaimer.Retired != blockbag.BlockSize+7 {
+				t.Fatalf("after flush: pending=%d retired=%d", st.RetirePending, st.Reclaimer.Retired)
+			}
+			mgr.Close()
+			st = mgr.Stats()
+			if st.Reclaimer.Freed != st.Reclaimer.Retired || st.Unreclaimed != 0 {
+				t.Fatalf("after Close: retired=%d freed=%d unreclaimed=%d",
+					st.Reclaimer.Retired, st.Reclaimer.Freed, st.Unreclaimed)
+			}
+			if d := sink.DoubleFrees(); d != 0 {
+				t.Fatalf("%d double frees", d)
+			}
+		})
+	}
+}
+
+// TestQuiescentFlushRacesAdvance closes the loop on the original
+// interleaving: a quiescent-context flusher hands batches over (pinned)
+// while another thread continuously advances the epoch and drains limbo
+// bags. With the pre-fix unpinned hand-off this is the schedule that could
+// land records in the bag being drained; with the pin it must never
+// double-free or lose a record. Run under -race in CI.
+func TestQuiescentFlushRacesAdvance(t *testing.T) {
+	const iters = 400
+	for _, name := range []string{"ebr", "qsbr"} {
+		t.Run(name, func(t *testing.T) {
+			sink := reclaimtest.NewPoisonSink()
+			r := epochSchemes(2, sink)[name]
+			alloc := arena.NewBump[rec](2, 0)
+			mgr := core.NewRecordManager[rec](alloc, nil, r, core.WithRetireBatching(2, 32))
+
+			var wg sync.WaitGroup
+			wg.Add(2)
+			go func() { // advancing worker: tid 0
+				defer wg.Done()
+				for i := 0; i < 50*iters; i++ {
+					mgr.LeaveQstate(0)
+					mgr.Retire(0, mgr.Allocate(0))
+					mgr.EnterQstate(0)
+				}
+			}()
+			go func() { // quiescent flusher: tid 1
+				defer wg.Done()
+				for i := 0; i < iters; i++ {
+					mgr.LeaveQstate(1)
+					for j := 0; j < 8; j++ {
+						mgr.Retire(1, mgr.Allocate(1))
+					}
+					mgr.EnterQstate(1)
+					// The racy hand-off: flush the partial batch while
+					// quiescent, concurrent with tid 0's epoch advances.
+					mgr.FlushRetired(1)
+				}
+			}()
+			wg.Wait()
+			mgr.Close()
+			st := mgr.Stats()
+			if st.Reclaimer.Freed != st.Reclaimer.Retired {
+				t.Fatalf("retired %d != freed %d after Close", st.Reclaimer.Retired, st.Reclaimer.Freed)
+			}
+			if d := sink.DoubleFrees(); d != 0 {
+				t.Fatalf("%d records freed twice", d)
+			}
+			if st.Unreclaimed != 0 {
+				t.Fatalf("unreclaimed = %d after Close", st.Unreclaimed)
+			}
+		})
+	}
+}

@@ -33,6 +33,14 @@ type RecordManager[T any] struct {
 	// reclaimer — as an O(1) block splice when the scheme implements
 	// BlockReclaimer and the batch fills whole blocks.
 	bufs []retireBuf[T]
+	// pinner is the reclaimer's pin-while-retiring entry point (nil when the
+	// scheme does not provide one); FlushRetired uses it to make the
+	// hand-off from a quiescent caller safe.
+	pinner RetirePinner
+	// async is the asynchronous reclamation pipeline (nil when reclamation
+	// is synchronous). With async set, batch hand-offs become lock-free
+	// queue pushes instead of scheme retires.
+	async *AsyncReclaimer[T]
 }
 
 // retireBuf is one thread's deferred-retire buffer, padded so neighbouring
@@ -50,8 +58,9 @@ type retireBuf[T any] struct {
 type ManagerOption func(*managerConfig)
 
 type managerConfig struct {
-	threads int
-	batch   int
+	threads    int
+	batch      int
+	reclaimers int
 }
 
 // WithRetireBatching enables per-thread deferred retirement for the given
@@ -66,10 +75,33 @@ type managerConfig struct {
 // unreachable; delaying the hand-off only delays its reuse) but parks up to
 // batch records per thread indefinitely if the thread stops operating; call
 // FlushRetired to force the hand-off (quiescent shutdown paths, tests).
+// FlushRetired pins the thread around the hand-off when it is quiescent, so
+// it is safe from any same-thread context; the epoch schemes reject a raw
+// unpinned Retire (see RetirePinner for the contract and the hazard).
 func WithRetireBatching(threads, batch int) ManagerOption {
 	return func(c *managerConfig) {
 		c.threads = threads
 		c.batch = batch
+	}
+}
+
+// WithAsyncReclaim moves reclamation off the workers' critical path:
+// reclaimers dedicated goroutines register as extra epoch participants (tids
+// threads..threads+reclaimers-1) and drain hand-off queues of retired blocks
+// behind the workers, performing the grace-period wait and the free there. A
+// worker's Retire becomes an O(1) buffer append plus, once per batch, an O(1)
+// lock-free push of the detached blocks — the worker never touches the
+// scheme's retire path at all.
+//
+// Requires WithRetireBatching (the hand-off granularity is the batch), and a
+// reclaimer — with its allocator, pool and free sink — constructed for
+// threads+reclaimers dense thread ids. The recordmgr package's Build does
+// this plumbing from Config.Reclaimers. Callers must Close the manager when
+// done: the shutdown ordering is workers quiesce → buffers flush →
+// reclaimers drain → limbo is force-freed.
+func WithAsyncReclaim(reclaimers int) ManagerOption {
+	return func(c *managerConfig) {
+		c.reclaimers = reclaimers
 	}
 }
 
@@ -95,6 +127,12 @@ func NewRecordManager[T any](alloc Allocator[T], pool Pool[T], rec Reclaimer[T],
 		perRecord:     rec.Props().PerRecordProtection,
 		crashRecovery: rec.SupportsCrashRecovery(),
 	}
+	if p, ok := rec.(RetirePinner); ok && rec.Props().ModPerOperation {
+		// Only the per-operation (epoch) schemes need the quiescent-retire
+		// pin; for HP and the leaking baseline a pin would be a per-retire
+		// tax with nothing to protect (and HP's IsQuiescent is O(slots)).
+		m.pinner = p
+	}
 	if cfg.batch > 0 {
 		if cfg.threads <= 0 {
 			panic("core: WithRetireBatching requires threads >= 1")
@@ -105,6 +143,12 @@ func NewRecordManager[T any](alloc Allocator[T], pool Pool[T], rec Reclaimer[T],
 			m.bufs[i].pool = blockbag.NewBlockPool[T](0)
 			m.bufs[i].bag = blockbag.New[T](m.bufs[i].pool)
 		}
+	}
+	if cfg.reclaimers > 0 {
+		if cfg.batch <= 0 {
+			panic("core: WithAsyncReclaim requires WithRetireBatching (the hand-off granularity is the retire batch)")
+		}
+		m.async = NewAsyncReclaimer(rec, cfg.threads, cfg.reclaimers)
 	}
 	return m
 }
@@ -138,9 +182,20 @@ func (m *RecordManager[T]) Deallocate(tid int, rec *T) {
 }
 
 // Retire hands a removed record to the reclaimer — directly, or through the
-// thread's deferred-retire buffer when batching is enabled.
+// thread's deferred-retire buffer when batching is enabled. Unlike the raw
+// scheme Retire (which the epoch schemes reject from a quiescent context),
+// this is safe from any same-thread context: a quiescent caller — a
+// data-structure postamble after EnterQstate, a DEBRA+ recovery path — is
+// routed through the scheme's pin-while-retiring entry point so the hand-off
+// happens under an active announcement.
 func (m *RecordManager[T]) Retire(tid int, rec *T) {
 	if m.batch == 0 {
+		if m.pinner != nil && m.reclaimer.IsQuiescent(tid) {
+			m.pinner.PinRetire(tid)
+			m.reclaimer.Retire(tid, rec)
+			m.pinner.UnpinRetire(tid)
+			return
+		}
 		m.reclaimer.Retire(tid, rec)
 		return
 	}
@@ -157,6 +212,17 @@ func (m *RecordManager[T]) Retire(tid int, rec *T) {
 // implementing BlockReclaimer; the partial tail (always fewer than
 // blockbag.BlockSize records) is retired record-at-a-time. A no-op when
 // batching is disabled.
+//
+// Contract: when thread tid is quiescent (shutdown paths, tests, a
+// coordinator flushing on behalf of finished workers), the hand-off is
+// wrapped in the scheme's pin-while-retiring entry point, because the epoch
+// schemes' retire paths are only safe under an active announcement — a
+// quiescent retirer's observed epoch can go arbitrarily stale before its
+// records land in a limbo bag, racing an advance winner's drain of that very
+// bag (see RetirePinner). When tid is mid-operation the operation's own pin
+// already covers the hand-off and no extra pin is taken. With asynchronous
+// reclamation the flush is a lock-free queue push that never touches the
+// scheme, so no pin is needed at all.
 func (m *RecordManager[T]) FlushRetired(tid int) {
 	if m.batch == 0 {
 		return
@@ -165,11 +231,57 @@ func (m *RecordManager[T]) FlushRetired(tid int) {
 	if b.pending == 0 {
 		return
 	}
+	if m.async != nil {
+		m.async.Enqueue(tid, b.bag.DetachAll())
+		b.pending = 0
+		// Refill the buffer's block pool from the reclaimers' spare-return
+		// stack, so batches keep circulating existing blocks instead of
+		// allocating one per hand-off.
+		if blk := m.async.TakeSpare(tid); blk != nil {
+			b.pool.Put(blk)
+		}
+		return
+	}
+	if m.pinner != nil && m.reclaimer.IsQuiescent(tid) {
+		m.pinner.PinRetire(tid)
+		defer m.pinner.UnpinRetire(tid)
+	}
 	if chain := b.bag.DetachAllFullBlocks(); chain != nil {
 		RetireChain(m.reclaimer, tid, chain, b.pool)
 	}
 	b.bag.Drain(func(rec *T) { m.reclaimer.Retire(tid, rec) })
 	b.pending = 0
+}
+
+// AsyncReclaimers returns the number of dedicated reclaimer goroutines (0
+// when reclamation is synchronous).
+func (m *RecordManager[T]) AsyncReclaimers() int {
+	if m.async == nil {
+		return 0
+	}
+	return m.async.Reclaimers()
+}
+
+// Close shuts the Record Manager's reclamation pipeline down
+// deterministically: every thread's deferred-retire buffer is flushed, the
+// asynchronous reclaimers (if any) drain their hand-off queues and stop, and
+// the scheme's remaining limbo is force-freed when it supports quiescent
+// draining (LimboDrainer) — after which Retired == Freed for every
+// reclaiming scheme. Contract: every worker has quiesced (EnterQstate) and
+// performs no further operations; the caller has joined the worker
+// goroutines (that join is the happens-before edge under which Close may
+// touch their single-owner buffers). Close is idempotent and managers that
+// never enabled batching or async reclamation may skip it.
+func (m *RecordManager[T]) Close() {
+	for tid := range m.bufs {
+		m.FlushRetired(tid)
+	}
+	if m.async != nil {
+		m.async.Close()
+	}
+	if d, ok := m.reclaimer.(LimboDrainer); ok {
+		d.DrainLimbo(0)
+	}
 }
 
 // RetireBatchSize returns the configured deferred-retire batch size (0 when
@@ -234,6 +346,10 @@ func (m *RecordManager[T]) Stats() ManagerStats {
 	for i := range m.bufs {
 		s.RetirePending += m.bufs[i].pending
 	}
+	if m.async != nil {
+		s.HandoffPending = m.async.HandoffPending()
+	}
+	s.Unreclaimed = s.Reclaimer.Limbo + s.RetirePending + s.HandoffPending
 	return s
 }
 
@@ -246,4 +362,14 @@ type ManagerStats struct {
 	// RetirePending is the number of records parked in deferred-retire
 	// buffers (0 unless retire batching is enabled).
 	RetirePending int64
+	// HandoffPending is the number of records parked in asynchronous
+	// hand-off queues (0 unless async reclamation is enabled). Exact when
+	// the pipeline is idle or closed; a chain a reclaimer is mid-drain is
+	// transiently counted neither here nor in the scheme's limbo.
+	HandoffPending int64
+	// Unreclaimed is the true number of retired-but-not-freed records:
+	// Reclaimer.Limbo + RetirePending + HandoffPending. Reclaimer.Limbo
+	// alone understates the footprint whenever batching or async hand-off
+	// parks records outside the scheme, so memory reporting uses this field.
+	Unreclaimed int64
 }

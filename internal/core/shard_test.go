@@ -98,12 +98,16 @@ func chainOf(t *testing.T, blocks int) *blockbag.Block[node] {
 }
 
 func TestRetireChainNativeAndFallback(t *testing.T) {
-	// Native path: EBR implements BlockReclaimer.
+	// Native path: EBR implements BlockReclaimer. The retiring thread is
+	// quiescent, so the hand-off must happen inside a pin-while-retiring
+	// window (the epoch schemes reject an unpinned retire).
 	sinkN := pool.NewDiscard[node]()
 	rN := ebr.New[node](1, sinkN)
+	rN.PinRetire(0)
 	if n := core.RetireChain[node](rN, 0, chainOf(t, 3), nil); n != 3*blockbag.BlockSize {
 		t.Fatalf("native RetireChain retired %d records", n)
 	}
+	rN.UnpinRetire(0)
 	if got := rN.Stats().Retired; got != int64(3*blockbag.BlockSize) {
 		t.Fatalf("native: Retired = %d", got)
 	}
@@ -112,9 +116,11 @@ func TestRetireChainNativeAndFallback(t *testing.T) {
 	// BlockReclaimer interface must still retire every record.
 	rF := ebr.New[node](1, pool.NewDiscard[node]())
 	wrapped := plainReclaimer{rF}
+	rF.PinRetire(0)
 	if n := core.RetireChain[node](wrapped, 0, chainOf(t, 2), nil); n != 2*blockbag.BlockSize {
 		t.Fatalf("fallback RetireChain retired %d records", n)
 	}
+	rF.UnpinRetire(0)
 	if got := rF.Stats().Retired; got != int64(2*blockbag.BlockSize) {
 		t.Fatalf("fallback: Retired = %d", got)
 	}

@@ -383,10 +383,14 @@ func (l *List[V]) Delete(tid int, key int64) bool {
 		}
 		victim.mu.Unlock()
 		l.unlock(preds, highestLocked)
-		m.EnterQstate(tid)
-		// Quiescent postamble: the victim is unlinked from every level and
-		// unreachable for new searches; hand it to the reclaimer.
+		// The victim is unlinked from every level and unreachable for new
+		// searches; hand it to the reclaimer while the operation's epoch pin
+		// still stands. (This used to happen after EnterQstate — a quiescent
+		// retire whose observed epoch nothing pins, which is exactly the
+		// advance-drain race core.RetirePinner describes; the epoch schemes
+		// now reject that ordering.)
 		m.Retire(tid, victim)
+		m.EnterQstate(tid)
 		return true
 	}
 }

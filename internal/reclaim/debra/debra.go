@@ -289,12 +289,45 @@ func (r *Reclaimer[T]) EnterQstate(tid int) {
 // IsQuiescent implements core.Reclaimer.
 func (r *Reclaimer[T]) IsQuiescent(tid int) bool { return r.getQuiescentBit(tid) }
 
+// PinRetire implements core.RetirePinner: clear the quiescent bit while
+// keeping the announced epoch, without LeaveQstate's rotation and scan
+// bookkeeping. A possibly stale announcement with the bit clear reads as a
+// mid-operation thread to every scanner, so the epoch cannot run ahead while
+// the pin stands — the same conservative pin a worker's operation provides,
+// held only for the duration of the hand-off.
+func (r *Reclaimer[T]) PinRetire(tid int) {
+	s := &r.shared[tid]
+	s.v.Store(s.v.Load() &^ quiescentBit)
+}
+
+// UnpinRetire implements core.RetirePinner: set the quiescent bit again. No
+// rotation happens — the retired records wait in the current bag for the
+// owner's next real LeaveQstate cycles, or for DrainLimbo at shutdown.
+func (r *Reclaimer[T]) UnpinRetire(tid int) {
+	s := &r.shared[tid]
+	s.v.Store(s.v.Load() | quiescentBit)
+}
+
+// requirePinned panics when thread tid retires with its quiescent bit set.
+// DEBRA's limbo bags are single-owner, but the scheme's bag-rotation
+// argument ("records in the oldest bag were retired at least two observed
+// epochs ago") is stated for deposits made by a non-quiescent thread; the
+// uniform epoch-scheme contract (core.RetirePinner) is that quiescent
+// callers pin first.
+func (r *Reclaimer[T]) requirePinned(tid int) {
+	if r.getQuiescentBit(tid) {
+		panic("debra: Retire from a quiescent context; pin the thread first (PinRetire or LeaveQstate)")
+	}
+}
+
 // Retire implements core.Reclaimer: add the record to the current limbo bag
-// (O(1) worst case).
+// (O(1) worst case). The caller must be pinned (mid-operation, or inside a
+// PinRetire/UnpinRetire window).
 func (r *Reclaimer[T]) Retire(tid int, rec *T) {
 	if rec == nil {
 		panic("debra: Retire(nil)")
 	}
+	r.requirePinned(tid)
 	t := &r.threads[tid]
 	t.currentBag.Add(rec)
 	t.retired.Add(1)
@@ -303,16 +336,42 @@ func (r *Reclaimer[T]) Retire(tid int, rec *T) {
 // RetireBlock implements core.BlockReclaimer: splice one detached full block
 // into the caller's current limbo bag in O(1) (single-owner, so the batch
 // hand-off is synchronisation-free), returning a recycled empty block from
-// the thread's pool in exchange when one is cached.
+// the thread's pool in exchange when one is cached. The caller must be
+// pinned like for Retire.
 func (r *Reclaimer[T]) RetireBlock(tid int, blk *blockbag.Block[T]) *blockbag.Block[T] {
 	if blk == nil {
 		return nil
 	}
+	r.requirePinned(tid)
 	t := &r.threads[tid]
 	n := int64(blk.Len())
 	t.currentBag.AddBlock(blk)
 	t.retired.Add(n)
 	return t.blockPool.TryGet()
+}
+
+// DrainLimbo implements core.LimboDrainer: free every record in every
+// thread's limbo bags, partial head blocks included. Only safe once every
+// thread is quiescent for good and the caller holds a happens-before edge
+// from their last operation (joined goroutines).
+func (r *Reclaimer[T]) DrainLimbo(tid int) int64 {
+	for i := range r.shared {
+		if r.shared[i].v.Load()&quiescentBit == 0 {
+			panic("debra: DrainLimbo while a thread is still non-quiescent")
+		}
+	}
+	var total int64
+	for i := range r.threads {
+		t := &r.threads[i]
+		var n int64
+		for _, bag := range t.bags {
+			n += core.FreeChain(r.sink, r.blockSink, t.blockPool, tid, bag.DetachAllFullBlocks())
+			n += int64(bag.Drain(func(rec *T) { r.sink.Free(tid, rec) }))
+		}
+		t.freed.Add(n)
+		total += n
+	}
+	return total
 }
 
 // rotateAndReclaim implements Figure 4's rotateAndReclaim: reuse the oldest
@@ -407,4 +466,6 @@ var (
 	_ core.Reclaimer[int]      = (*Reclaimer[int])(nil)
 	_ core.BlockReclaimer[int] = (*Reclaimer[int])(nil)
 	_ core.Sharded             = (*Reclaimer[int])(nil)
+	_ core.RetirePinner        = (*Reclaimer[int])(nil)
+	_ core.LimboDrainer        = (*Reclaimer[int])(nil)
 )

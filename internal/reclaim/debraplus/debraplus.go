@@ -397,11 +397,40 @@ func (r *Reclaimer[T]) Checkpoint(tid int) {
 	}
 }
 
-// Retire implements core.Reclaimer.
+// PinRetire implements core.RetirePinner: clear the quiescent bit while
+// keeping the announced epoch (see debra.Reclaimer.PinRetire; the same
+// conservative pin). A signal arriving while pinned stays pending: Retire
+// and RetireBlock contain no checkpoint, UnpinRetire sets the bit back
+// without delivering — a pinned retirer computes nothing from shared
+// records, so there is nothing a neutralization would need to discard — and
+// the signal is consumed (ignored, as for any quiescent thread) at the
+// owner's next LeaveQstate.
+func (r *Reclaimer[T]) PinRetire(tid int) {
+	s := &r.shared[tid]
+	s.v.Store(s.v.Load() &^ quiescentBit)
+}
+
+// UnpinRetire implements core.RetirePinner.
+func (r *Reclaimer[T]) UnpinRetire(tid int) {
+	s := &r.shared[tid]
+	s.v.Store(s.v.Load() | quiescentBit)
+}
+
+// requirePinned panics on a quiescent retire (core.RetirePinner contract;
+// see the debra package for the rationale).
+func (r *Reclaimer[T]) requirePinned(tid int) {
+	if r.shared[tid].v.Load()&quiescentBit != 0 {
+		panic("debraplus: Retire from a quiescent context; pin the thread first (PinRetire or LeaveQstate)")
+	}
+}
+
+// Retire implements core.Reclaimer. The caller must be pinned
+// (mid-operation, or inside a PinRetire/UnpinRetire window).
 func (r *Reclaimer[T]) Retire(tid int, rec *T) {
 	if rec == nil {
 		panic("debraplus: Retire(nil)")
 	}
+	r.requirePinned(tid)
 	t := &r.threads[tid]
 	t.currentBag.Add(rec)
 	t.retired.Add(1)
@@ -416,11 +445,61 @@ func (r *Reclaimer[T]) RetireBlock(tid int, blk *blockbag.Block[T]) *blockbag.Bl
 	if blk == nil {
 		return nil
 	}
+	r.requirePinned(tid)
 	t := &r.threads[tid]
 	n := int64(blk.Len())
 	t.currentBag.AddBlock(blk)
 	t.retired.Add(n)
 	return t.blockPool.TryGet()
+}
+
+// DrainLimbo implements core.LimboDrainer: free every record in every
+// thread's limbo bags that is not covered by a recovery protection (records
+// still RProtected are left in place — at a clean shutdown every recovery
+// table is empty and everything drains). Only safe once every thread is
+// quiescent for good and the caller holds a happens-before edge from their
+// last operation.
+func (r *Reclaimer[T]) DrainLimbo(tid int) int64 {
+	for i := range r.shared {
+		if r.shared[i].v.Load()&quiescentBit == 0 {
+			panic("debraplus: DrainLimbo while a thread is still non-quiescent")
+		}
+	}
+	protected := make(map[*T]struct{})
+	for i := range r.rprot {
+		rp := &r.rprot[i]
+		n := int(rp.count.Load())
+		if n > len(rp.slots) {
+			n = len(rp.slots)
+		}
+		for j := 0; j < n; j++ {
+			if rec := rp.slots[j].Load(); rec != nil {
+				protected[rec] = struct{}{}
+			}
+		}
+	}
+	var total int64
+	for i := range r.threads {
+		t := &r.threads[i]
+		var n int64
+		for _, bag := range t.bags {
+			var keep []*T
+			bag.Drain(func(rec *T) {
+				if _, ok := protected[rec]; ok {
+					keep = append(keep, rec)
+					return
+				}
+				r.sink.Free(tid, rec)
+				n++
+			})
+			for _, rec := range keep {
+				bag.Add(rec)
+			}
+		}
+		t.freed.Add(n)
+		total += n
+	}
+	return total
 }
 
 // Protect implements core.Reclaimer (epoch protection; nothing per record).
@@ -571,4 +650,6 @@ var (
 	_ core.Reclaimer[int]      = (*Reclaimer[int])(nil)
 	_ core.BlockReclaimer[int] = (*Reclaimer[int])(nil)
 	_ core.Sharded             = (*Reclaimer[int])(nil)
+	_ core.RetirePinner        = (*Reclaimer[int])(nil)
+	_ core.LimboDrainer        = (*Reclaimer[int])(nil)
 )

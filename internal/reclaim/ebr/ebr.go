@@ -263,12 +263,42 @@ func (r *Reclaimer[T]) EnterQstate(tid int) { r.threads[tid].active.Store(false)
 // IsQuiescent implements core.Reclaimer.
 func (r *Reclaimer[T]) IsQuiescent(tid int) bool { return !r.threads[tid].active.Load() }
 
+// PinRetire implements core.RetirePinner: announce the current epoch and
+// mark the thread active, without the scan/advance work of LeaveQstate. The
+// announcement is the retire-side pin: while it stands, the epoch can run at
+// most one advance ahead of any epoch a Retire between Pin and Unpin loads,
+// so retired records always land at least two advances away from the bag an
+// advance winner may be draining.
+func (r *Reclaimer[T]) PinRetire(tid int) {
+	t := &r.threads[tid]
+	t.announce.Store(r.epoch.Load())
+	t.active.Store(true)
+}
+
+// UnpinRetire implements core.RetirePinner.
+func (r *Reclaimer[T]) UnpinRetire(tid int) { r.threads[tid].active.Store(false) }
+
+// requirePinned panics when thread tid retires without an active
+// announcement. An unpinned (quiescent) retirer's loaded epoch can go
+// arbitrarily stale between the load and the bag append — nothing stops the
+// epoch advancing twice in that window, at which point the append races the
+// advance winner's reclaimEpoch drain of that very bag index. Quiescent
+// callers must pin first (core.RetirePinner), which is what
+// RecordManager.FlushRetired does on shutdown paths.
+func (r *Reclaimer[T]) requirePinned(tid int) {
+	if !r.threads[tid].active.Load() {
+		panic("ebr: Retire from a quiescent context; pin the thread first (PinRetire or LeaveQstate)")
+	}
+}
+
 // Retire implements core.Reclaimer: append to the caller's shard's limbo bag
-// of the current epoch.
+// of the current epoch. The caller must be pinned (mid-operation, or inside
+// a PinRetire/UnpinRetire window).
 func (r *Reclaimer[T]) Retire(tid int, rec *T) {
 	if rec == nil {
 		panic("ebr: Retire(nil)")
 	}
+	r.requirePinned(tid)
 	e := r.epoch.Load()
 	idx := int(e % 3)
 	s := &r.shards[r.smap.ShardOf(tid)]
@@ -281,11 +311,13 @@ func (r *Reclaimer[T]) Retire(tid int, rec *T) {
 // RetireBlock implements core.BlockReclaimer: splice one detached full block
 // into the caller's shard's current limbo bag — O(1) under one lock
 // acquisition for the whole batch — returning a recycled empty block from
-// the shard's pool in exchange when one is cached.
+// the shard's pool in exchange when one is cached. The caller must be pinned
+// like for Retire.
 func (r *Reclaimer[T]) RetireBlock(tid int, blk *blockbag.Block[T]) *blockbag.Block[T] {
 	if blk == nil {
 		return nil
 	}
+	r.requirePinned(tid)
 	n := int64(blk.Len())
 	e := r.epoch.Load()
 	idx := int(e % 3)
@@ -296,6 +328,44 @@ func (r *Reclaimer[T]) RetireBlock(tid int, blk *blockbag.Block[T]) *blockbag.Bl
 	s.mu.Unlock()
 	r.retired.Add(n)
 	return spare
+}
+
+// DrainLimbo implements core.LimboDrainer: free every record in every
+// shard's limbo bags. Only safe once every thread has quiesced for good
+// (verified against the announcements; references are the caller's
+// contract) — shutdown paths after workers are joined.
+func (r *Reclaimer[T]) DrainLimbo(tid int) int64 {
+	for i := range r.threads {
+		if r.threads[i].active.Load() {
+			panic("ebr: DrainLimbo while a thread is still active")
+		}
+	}
+	var total int64
+	for si := range r.shards {
+		s := &r.shards[si]
+		var chains []*blockbag.Block[T]
+		var rest []*T
+		s.mu.Lock()
+		for _, bag := range s.limbo {
+			if c := bag.DetachAllFullBlocks(); c != nil {
+				chains = append(chains, c)
+			}
+			bag.Drain(func(rec *T) { rest = append(rest, rec) })
+		}
+		s.mu.Unlock()
+		n := int64(len(rest))
+		for _, chain := range chains {
+			// Touching s.pool outside s.mu is fine here: the all-quiescent
+			// precondition means no concurrent Retire/RetireBlock exists.
+			n += core.FreeChain(r.sink, r.blockSink, s.pool, tid, chain)
+		}
+		for _, rec := range rest {
+			r.sink.Free(tid, rec)
+		}
+		r.freed.Add(n)
+		total += n
+	}
+	return total
 }
 
 // Protect implements core.Reclaimer (no per-record work for EBR).
@@ -342,4 +412,6 @@ var (
 	_ core.Reclaimer[int]      = (*Reclaimer[int])(nil)
 	_ core.BlockReclaimer[int] = (*Reclaimer[int])(nil)
 	_ core.Sharded             = (*Reclaimer[int])(nil)
+	_ core.RetirePinner        = (*Reclaimer[int])(nil)
+	_ core.LimboDrainer        = (*Reclaimer[int])(nil)
 )

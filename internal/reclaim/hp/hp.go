@@ -311,6 +311,39 @@ func (r *Reclaimer[T]) scanAndFree(tid int) {
 	t.freed.Add(freed)
 }
 
+// PinRetire implements core.RetirePinner (no-op: hazard pointer retire bags
+// are per-thread and the scan consults announcements, not epochs, so a
+// retire needs no pin — the uniform entry point exists so callers can treat
+// every scheme alike).
+func (r *Reclaimer[T]) PinRetire(tid int) {}
+
+// UnpinRetire implements core.RetirePinner (no-op).
+func (r *Reclaimer[T]) UnpinRetire(tid int) {}
+
+// DrainLimbo implements core.LimboDrainer: run a forced scan for every
+// thread's retire bag, regardless of the amortisation threshold, freeing
+// every record that no hazard pointer announces. The retire bags are
+// single-owner, so this may only run on shutdown paths after the worker
+// goroutines are joined; the announced side of that precondition — every
+// hazard slot released, which EnterQstate guarantees for a cleanly finished
+// worker — is verified and violations panic, like the epoch schemes'
+// drains. (A held slot would not make the free unsafe, but it reveals a
+// worker that may still be mid-operation and racing its own bag.)
+func (r *Reclaimer[T]) DrainLimbo(tid int) int64 {
+	for i := range r.threads {
+		if !r.IsQuiescent(i) {
+			panic("hp: DrainLimbo while a thread still holds hazard pointers")
+		}
+	}
+	var total int64
+	for i := range r.threads {
+		before := r.threads[i].freed.Load()
+		r.scanAndFree(i)
+		total += r.threads[i].freed.Load() - before
+	}
+	return total
+}
+
 // Slots returns the per-thread hazard pointer capacity (instrumentation).
 func (r *Reclaimer[T]) Slots() int { return r.cfg.slots }
 
@@ -331,4 +364,6 @@ var (
 	_ core.Reclaimer[int]      = (*Reclaimer[int])(nil)
 	_ core.BlockReclaimer[int] = (*Reclaimer[int])(nil)
 	_ core.Sharded             = (*Reclaimer[int])(nil)
+	_ core.RetirePinner        = (*Reclaimer[int])(nil)
+	_ core.LimboDrainer        = (*Reclaimer[int])(nil)
 )

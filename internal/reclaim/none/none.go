@@ -93,6 +93,13 @@ func (r *Reclaimer[T]) Retire(tid int, rec *T) {
 	r.threads[tid].retired.Add(1)
 }
 
+// PinRetire implements core.RetirePinner (no-op: the leaking baseline has no
+// epoch state for a retire to race).
+func (r *Reclaimer[T]) PinRetire(tid int) {}
+
+// UnpinRetire implements core.RetirePinner (no-op).
+func (r *Reclaimer[T]) UnpinRetire(tid int) {}
+
 // Protect implements core.Reclaimer (always succeeds).
 func (r *Reclaimer[T]) Protect(tid int, rec *T) bool { return true }
 
@@ -131,4 +138,5 @@ var (
 	_ core.Reclaimer[int]      = (*Reclaimer[int])(nil)
 	_ core.BlockReclaimer[int] = (*Reclaimer[int])(nil)
 	_ core.Sharded             = (*Reclaimer[int])(nil)
+	_ core.RetirePinner        = (*Reclaimer[int])(nil)
 )

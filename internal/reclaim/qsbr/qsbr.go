@@ -242,11 +242,42 @@ func (r *Reclaimer[T]) IsQuiescent(tid int) bool {
 	return r.shared[tid].v.Load()&offlineBit != 0
 }
 
-// Retire implements core.Reclaimer.
+// PinRetire implements core.RetirePinner: mark the thread online at the
+// current grace period, without EnterQstate's scan/advance/rotation work.
+// While the pin stands, the thread blocks grace periods exactly like a
+// mid-operation worker, so records it retires get the same two-period
+// separation from any reclaim of its bags.
+func (r *Reclaimer[T]) PinRetire(tid int) {
+	r.shared[tid].v.Store(r.grace.Load() &^ offlineBit)
+}
+
+// UnpinRetire implements core.RetirePinner: mark the thread offline again,
+// keeping its announced period (no rotation — the retired records wait in
+// the current bag for the owner's next real quiescent cycles, or for
+// DrainLimbo at shutdown).
+func (r *Reclaimer[T]) UnpinRetire(tid int) {
+	s := &r.shared[tid]
+	s.v.Store(s.v.Load() | offlineBit)
+}
+
+// requirePinned panics when thread tid retires while offline. QSBR's limbo
+// bags are single-owner, but an offline retirer's records enter a bag whose
+// rotation cadence assumes every deposit was made by a thread participating
+// in grace periods; the uniform epoch-scheme contract (see
+// core.RetirePinner) is that quiescent callers pin first.
+func (r *Reclaimer[T]) requirePinned(tid int) {
+	if r.shared[tid].v.Load()&offlineBit != 0 {
+		panic("qsbr: Retire from a quiescent (offline) context; pin the thread first (PinRetire or LeaveQstate)")
+	}
+}
+
+// Retire implements core.Reclaimer. The caller must be pinned
+// (mid-operation, or inside a PinRetire/UnpinRetire window).
 func (r *Reclaimer[T]) Retire(tid int, rec *T) {
 	if rec == nil {
 		panic("qsbr: Retire(nil)")
 	}
+	r.requirePinned(tid)
 	t := &r.threads[tid]
 	t.bags[t.current].Add(rec)
 	t.retired.Add(1)
@@ -255,16 +286,43 @@ func (r *Reclaimer[T]) Retire(tid int, rec *T) {
 // RetireBlock implements core.BlockReclaimer: splice one detached full block
 // into the caller's current limbo bag in O(1) (the bag is single-owner, so
 // the hand-off needs no synchronisation), returning a recycled empty block
-// from the thread's pool in exchange when one is cached.
+// from the thread's pool in exchange when one is cached. The caller must be
+// pinned like for Retire.
 func (r *Reclaimer[T]) RetireBlock(tid int, blk *blockbag.Block[T]) *blockbag.Block[T] {
 	if blk == nil {
 		return nil
 	}
+	r.requirePinned(tid)
 	t := &r.threads[tid]
 	n := int64(blk.Len())
 	t.bags[t.current].AddBlock(blk)
 	t.retired.Add(n)
 	return t.blockPool.TryGet()
+}
+
+// DrainLimbo implements core.LimboDrainer: free every record in every
+// thread's limbo bags, partial head blocks included. Only safe once every
+// thread is offline for good and the caller holds a happens-before edge from
+// their last operation (joined goroutines); the offline check catches the
+// announcement side of violations.
+func (r *Reclaimer[T]) DrainLimbo(tid int) int64 {
+	for i := range r.shared {
+		if r.shared[i].v.Load()&offlineBit == 0 {
+			panic("qsbr: DrainLimbo while a thread is still online")
+		}
+	}
+	var total int64
+	for i := range r.threads {
+		t := &r.threads[i]
+		var n int64
+		for _, bag := range t.bags {
+			n += core.FreeChain(r.sink, r.blockSink, t.blockPool, tid, bag.DetachAllFullBlocks())
+			n += int64(bag.Drain(func(rec *T) { r.sink.Free(tid, rec) }))
+		}
+		t.freed.Add(n)
+		total += n
+	}
+	return total
 }
 
 // Protect implements core.Reclaimer (no per-record work).
@@ -307,4 +365,6 @@ var (
 	_ core.Reclaimer[int]      = (*Reclaimer[int])(nil)
 	_ core.BlockReclaimer[int] = (*Reclaimer[int])(nil)
 	_ core.Sharded             = (*Reclaimer[int])(nil)
+	_ core.RetirePinner        = (*Reclaimer[int])(nil)
+	_ core.LimboDrainer        = (*Reclaimer[int])(nil)
 )

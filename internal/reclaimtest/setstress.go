@@ -40,6 +40,11 @@ type SetUnderTest struct {
 	// Validate, when non-nil, is a quiescent structural check run after the
 	// stress (for example the hash map's split-order validation).
 	Validate func() error
+	// Close, when non-nil, shuts the reclamation pipeline down after all
+	// checks (Record Manager Close: flush, async drain, limbo force-free).
+	// StressSet re-checks the double-free counter afterwards, so shutdown
+	// draining is covered by the same poison instrumentation.
+	Close func()
 }
 
 // SetFactory builds a fresh set instance for n threads.
@@ -175,6 +180,20 @@ func StressSet(t *testing.T, factory SetFactory, opts SetStressOptions) {
 	if su.Validate != nil {
 		if err := su.Validate(); err != nil {
 			t.Fatalf("post-stress validation: %v", err)
+		}
+	}
+	if su.Close != nil {
+		su.Close()
+		if su.DoubleFrees != nil {
+			if d := su.DoubleFrees(); d != 0 {
+				t.Fatalf("%d records were freed more than once during shutdown draining", d)
+			}
+		}
+		if su.Stats != nil {
+			stats := su.Stats()
+			if stats.Freed > stats.Retired {
+				t.Fatalf("after close: freed (%d) exceeds retired (%d)", stats.Freed, stats.Retired)
+			}
 		}
 	}
 }

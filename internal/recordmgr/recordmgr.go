@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"repro/internal/arena"
+	"repro/internal/blockbag"
 	"repro/internal/core"
 	"repro/internal/neutralize"
 	"repro/internal/pool"
@@ -77,6 +78,15 @@ type Config struct {
 	// batch size (0 = retire records directly). Batches of
 	// blockbag.BlockSize transfer to the scheme as O(1) block splices.
 	RetireBatch int
+	// Reclaimers enables asynchronous reclamation with the given number of
+	// dedicated reclaimer goroutines (0 = reclamation stays on the worker
+	// threads). The reclaimers register as extra epoch participants: the
+	// scheme, allocator and pool are constructed for Threads+Reclaimers
+	// dense ids, workers use tids 0..Threads-1, and retirement becomes an
+	// O(1) hand-off drained behind the workers. Implies RetireBatch
+	// (defaulted to blockbag.BlockSize when unset); callers must Close the
+	// manager after the workers have quiesced.
+	Reclaimers int
 }
 
 // Build assembles a Record Manager for record type T according to cfg.
@@ -84,12 +94,27 @@ func Build[T any](cfg Config) (*core.RecordManager[T], error) {
 	if cfg.Threads <= 0 {
 		return nil, fmt.Errorf("recordmgr: Threads must be >= 1, got %d", cfg.Threads)
 	}
+	if cfg.Reclaimers < 0 {
+		return nil, fmt.Errorf("recordmgr: Reclaimers must be >= 0, got %d", cfg.Reclaimers)
+	}
+	if cfg.RetireBatch < 0 {
+		return nil, fmt.Errorf("recordmgr: RetireBatch must be >= 0, got %d", cfg.RetireBatch)
+	}
+	if cfg.Reclaimers > 0 && cfg.RetireBatch == 0 {
+		// Async hand-off granularity is the retire batch; a full block is the
+		// O(1)-splice sweet spot.
+		cfg.RetireBatch = blockbag.BlockSize
+	}
+	// The async reclaimer goroutines are extra participants: every per-thread
+	// component is sized for workers + reclaimers dense ids.
+	participants := cfg.Threads + cfg.Reclaimers
+
 	var alloc core.Allocator[T]
 	switch cfg.Allocator {
 	case AllocBump, "":
-		alloc = arena.NewBump[T](cfg.Threads, 0)
+		alloc = arena.NewBump[T](participants, 0)
 	case AllocHeap:
-		alloc = arena.NewHeap[T](cfg.Threads)
+		alloc = arena.NewHeap[T](participants)
 	default:
 		return nil, fmt.Errorf("recordmgr: unknown allocator kind %q", cfg.Allocator)
 	}
@@ -97,7 +122,7 @@ func Build[T any](cfg Config) (*core.RecordManager[T], error) {
 	var p core.Pool[T]
 	var sink core.FreeSink[T]
 	if cfg.UsePool {
-		pl := pool.New(cfg.Threads, alloc)
+		pl := pool.New(participants, alloc)
 		p = pl
 		sink = pl
 	} else {
@@ -108,16 +133,16 @@ func Build[T any](cfg Config) (*core.RecordManager[T], error) {
 		return nil, err
 	}
 	spec := core.ShardSpec{Shards: cfg.Shards, Placement: cfg.Placement}
-	rec, err := NewShardedReclaimer[T](cfg.Scheme, cfg.Threads, sink, cfg.Domain, spec)
+	rec, err := NewShardedReclaimer[T](cfg.Scheme, participants, sink, cfg.Domain, spec)
 	if err != nil {
 		return nil, err
-	}
-	if cfg.RetireBatch < 0 {
-		return nil, fmt.Errorf("recordmgr: RetireBatch must be >= 0, got %d", cfg.RetireBatch)
 	}
 	var mopts []core.ManagerOption
 	if cfg.RetireBatch > 0 {
 		mopts = append(mopts, core.WithRetireBatching(cfg.Threads, cfg.RetireBatch))
+	}
+	if cfg.Reclaimers > 0 {
+		mopts = append(mopts, core.WithAsyncReclaim(cfg.Reclaimers))
 	}
 	return core.NewRecordManager(alloc, p, rec, mopts...), nil
 }
