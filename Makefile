@@ -33,13 +33,14 @@ race:
 	$(GO) test -race -short ./...
 
 ## bench-smoke: tiny experiment run, JSON report to bench-smoke.json (CI artifact).
-## Covers the hash map panels (experiment 4) and the async-reclamation sweep
-## (experiment 6) in one merged report. The thread sweep is pinned so the row
-## set matches BENCH_baseline.json on any machine (the async reclaimer-count
-## sweep is likewise fixed, not machine-derived); 75ms trials keep per-cell
-## noise inside the bench-diff gate's margin.
+## Covers the hash map panels (experiment 4), the async-reclamation sweep
+## (experiment 6) and the hot-path per-op microcost probes (experiment 7) in
+## one merged report. The thread sweep is pinned so the row set matches
+## BENCH_baseline.json on any machine (the async reclaimer-count sweep is
+## likewise fixed, not machine-derived); 75ms trials keep per-cell noise
+## inside the bench-diff gate's margin.
 bench-smoke: build
-	$(GO) run ./cmd/reclaimbench -experiment hashmap,async -quick -threads 4 -duration 75ms -json > bench-smoke.json
+	$(GO) run ./cmd/reclaimbench -experiment hashmap,async,hotpath -quick -threads 4 -duration 75ms -json > bench-smoke.json
 	@grep -q '"row_count"' bench-smoke.json
 	@echo "wrote bench-smoke.json"
 

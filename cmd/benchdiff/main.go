@@ -47,6 +47,12 @@ func main() {
 		fatal(err)
 	}
 	fmt.Print(bench.RenderDiff(res, opts))
+	// Surface the per-op microcost columns of the hotpath probes (experiment
+	// 7) whenever either report carries them — the numbers a hot-path
+	// regression shows up in first.
+	if mc := bench.RenderMicrocosts(baseline, current); mc != "" {
+		fmt.Print(mc)
+	}
 	if len(res.Regressions) > 0 {
 		fatal(fmt.Errorf("%d cells regressed more than %.0f%%", len(res.Regressions), *threshold*100))
 	}

@@ -14,6 +14,8 @@
 //	reclaimbench -experiment hashmap -async    # ... with one async reclaimer goroutine
 //	reclaimbench -experiment shards            # shard x batch ablation sweep
 //	reclaimbench -experiment async             # async on/off x reclaimer-count sweep
+//	reclaimbench -experiment hotpath           # per-op microcosts (pin, alloc+retire)
+//	reclaimbench -experiment hashmap -cpuprofile cpu.pprof  # profile the trials
 //	reclaimbench -experiment memory            # Figure 9 (right)
 //	reclaimbench -experiment summary           # headline ratios from Experiment 2
 //	reclaimbench -experiment 2 -csv            # machine-readable CSV
@@ -21,15 +23,21 @@
 //
 // The -shards, -placement, -retirebatch, -async and -reclaimers flags apply
 // the sharded-domain, deferred-retirement and async-reclamation knobs to
-// every trial of experiments 1-4 and memory; the "shards" and "async"
+// every trial of experiments 1-4, 7 and memory; the "shards" and "async"
 // experiments sweep their own axis. Several experiments may be given
 // comma-separated; their panels are concatenated into one report.
+//
+// -cpuprofile and -memprofile write pprof profiles covering the whole run
+// (all trials of the invocation), so hot-path regressions spotted by the
+// bench-diff gate can be diagnosed from the same binary that measured them.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -39,7 +47,7 @@ import (
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "2", "experiment(s) to run, comma-separated: 1, 2, 3, 4|hashmap, 5|shards, 6|async, memory, or summary")
+		experiment  = flag.String("experiment", "2", "experiment(s) to run, comma-separated: 1, 2, 3, 4|hashmap, 5|shards, 6|async, 7|hotpath, memory, or summary")
 		duration    = flag.Duration("duration", 500*time.Millisecond, "duration of each trial")
 		maxThreads  = flag.Int("threads", 0, "maximum thread count of the sweep (0 = 2 x NumCPU)")
 		quick       = flag.Bool("quick", false, "shrink key ranges and the thread sweep for a fast smoke run")
@@ -51,8 +59,45 @@ func main() {
 		retireBatch = flag.Int("retirebatch", 0, "per-thread deferred-retire batch size (0 = direct retirement)")
 		async       = flag.Bool("async", false, "enable asynchronous reclamation (implies -reclaimers 1 when unset)")
 		reclaimers  = flag.Int("reclaimers", 0, "dedicated async reclaimer goroutines per trial (0 = reclamation on the workers; implies -async)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	)
 	flag.Parse()
+
+	// Profile teardown must also run on the error path: fatal() exits with
+	// os.Exit, which skips defers, and a CPU profile that is never stopped
+	// is truncated and unusable — on exactly the runs one wants to diagnose.
+	// fatal() therefore runs the registered cleanups before exiting.
+	defer runCleanups()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(fmt.Errorf("creating -cpuprofile file: %w", err))
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fatal(fmt.Errorf("starting CPU profile: %w", err))
+		}
+		cleanups = append(cleanups, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		cleanups = append(cleanups, func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "reclaimbench: creating -memprofile file:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialise the live set before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "reclaimbench: writing heap profile:", err)
+			}
+		})
+	}
 
 	if _, err := core.ParsePlacement(*placement); err != nil {
 		fatal(err)
@@ -79,7 +124,7 @@ func main() {
 	}
 
 	switch names[0] {
-	case "1", "2", "3", "4", "hashmap", "5", "shards", "6", "async":
+	case "1", "2", "3", "4", "hashmap", "5", "shards", "6", "async", "7", "hotpath":
 		var results []bench.PanelResult
 		tabular := false
 		seen := map[int]bool{}
@@ -92,7 +137,9 @@ func main() {
 				exp = bench.ExperimentSharding
 			case "async":
 				exp = bench.ExperimentAsync
-			case "1", "2", "3", "4", "5", "6":
+			case "hotpath":
+				exp = bench.ExperimentHotPath
+			case "1", "2", "3", "4", "5", "6", "7":
 				exp = int(name[0] - '0')
 			default:
 				fatal(fmt.Errorf("unknown experiment %q in list", name))
@@ -104,7 +151,8 @@ func main() {
 				fatal(fmt.Errorf("experiment %q appears more than once in the list", name))
 			}
 			seen[exp] = true
-			if exp != bench.ExperimentHashMap && exp != bench.ExperimentSharding && exp != bench.ExperimentAsync {
+			if exp != bench.ExperimentHashMap && exp != bench.ExperimentSharding &&
+				exp != bench.ExperimentAsync && exp != bench.ExperimentHotPath {
 				tabular = true
 			}
 			res, err := bench.RunExperiment(exp, opts)
@@ -155,11 +203,22 @@ func main() {
 		}
 		fmt.Println(bench.RenderSummary(bench.Summarize(results)))
 	default:
-		fatal(fmt.Errorf("unknown experiment %q (want 1, 2, 3, 4, hashmap, 5, shards, 6, async, memory or summary)", *experiment))
+		fatal(fmt.Errorf("unknown experiment %q (want 1, 2, 3, 4, hashmap, 5, shards, 6, async, 7, hotpath, memory or summary)", *experiment))
 	}
 }
 
+// cleanups runs (last-in-first-out) before any exit, normal or fatal.
+var cleanups []func()
+
+func runCleanups() {
+	for i := len(cleanups) - 1; i >= 0; i-- {
+		cleanups[i]()
+	}
+	cleanups = nil
+}
+
 func fatal(err error) {
+	runCleanups()
 	fmt.Fprintln(os.Stderr, "reclaimbench:", err)
 	os.Exit(1)
 }

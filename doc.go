@@ -86,6 +86,52 @@
 // async off/on × reclaimer count over the update-heavy hash map panel
 // across all six schemes.
 //
+// # Hot-path cost model
+//
+// The paper's performance claim is that DEBRA makes every reclamation
+// operation O(1) with tiny constants, and Hart et al.'s reclamation study
+// shows exactly those per-operation constants dominating scheme
+// comparisons. The Record Manager stack therefore keeps its own per-op
+// constants explicit — and small:
+//
+//   - Statistics counters are single-writer core.Counter cells (a plain
+//     read of the owner's last value plus an atomic publishing store),
+//     grouped into padded per-thread blocks. The stack used to pay a
+//     LOCK-prefixed atomic.Int64.Add — a full read-modify-write — on four
+//     or more per-thread counters per data structure operation (scheme
+//     retired/freed/scans, pool reused/freed, allocator allocated,
+//     retire-buffer pending); none remain on the hot path, enforced by the
+//     guard test in internal/core. Genuinely multi-writer cells (the global
+//     epoch and grace clocks, announcement words, shared-stack depths)
+//     stay atomic.
+//   - Per-thread handles devirtualize the fast path. A worker resolves
+//     RecordManager.Handle(tid) once at registration; the ThreadHandle
+//     caches direct pointers to the thread's deferred-retire buffer, pool
+//     fast path (core.PoolHandle), the scheme's per-thread view
+//     (core.ReclaimerHandle — announcement slot, limbo state, shard member
+//     list, counters resolved at construction) and the capability
+//     interfaces (core.RetirePinner) that the generic path type-asserts per
+//     call. A steady-state operation through a handle performs zero
+//     threads[tid] slice indexing and at most one interface call per
+//     primitive; a batched Retire is a buffer append with no interface call
+//     at all. All four data structures thread handles through their
+//     operation bodies and expose DS-level Handle types the bench workers
+//     use; the tid-based APIs remain as thin wrappers.
+//
+// What one steady-state operation costs per scheme, in Record Manager
+// primitives (data structure work excluded): none — nothing but the leak
+// counter; epoch schemes (EBR, QSBR, DEBRA, DEBRA+) — one announcement
+// store at each operation boundary plus the scheme's (possibly amortised)
+// scan share, with DEBRA/DEBRA+ amortising to O(1) checks; HP — one
+// sequentially consistent announcement store per record visited (the
+// paper's dominant HP cost) plus an amortised scan per retireThreshold
+// retires. Retirement adds a bag append (plus, per batch, one O(1) block
+// splice or lock-free hand-off push under batching/async); allocation is a
+// pool bag pop. Experiment 7 of cmd/reclaimbench ("hotpath") measures these
+// per-op microcosts directly — a pin/unpin probe and an allocate/retire
+// round-trip probe per scheme — and cmd/benchdiff reports the ns/op columns
+// of those probes alongside the trend gate.
+//
 // The implementation lives under internal/ (see DESIGN.md for the map);
 // runnable entry points are the programs under cmd/ and examples/, and the
 // benchmarks in bench_test.go. CI (.github/workflows/ci.yml) and local

@@ -19,7 +19,6 @@
 package arena
 
 import (
-	"sync/atomic"
 	"unsafe"
 
 	"repro/internal/core"
@@ -45,9 +44,11 @@ type bumpThread[T any] struct {
 	slab []T
 	next int
 
-	allocated   atomic.Int64
-	deallocated atomic.Int64
-	slabs       atomic.Int64
+	// Single-writer statistics counters (core.Counter): written by the
+	// owning tid, read racily by Stats.
+	allocated   core.Counter
+	deallocated core.Counter
+	slabs       core.Counter
 	_           [core.PadBytes]byte
 }
 
@@ -76,11 +77,11 @@ func (b *Bump[T]) Allocate(tid int) *T {
 	if t.slab == nil || t.next == len(t.slab) {
 		t.slab = make([]T, b.slabRecords)
 		t.next = 0
-		t.slabs.Add(1)
+		t.slabs.Inc()
 	}
 	rec := &t.slab[t.next]
 	t.next++
-	t.allocated.Add(1)
+	t.allocated.Inc()
 	return rec
 }
 
@@ -90,7 +91,7 @@ func (b *Bump[T]) Deallocate(tid int, rec *T) {
 	if rec == nil {
 		return
 	}
-	b.threads[tid].deallocated.Add(1)
+	b.threads[tid].deallocated.Inc()
 }
 
 // Stats sums the per-thread counters.
@@ -120,8 +121,9 @@ type Heap[T any] struct {
 }
 
 type heapThread struct {
-	allocated   atomic.Int64
-	deallocated atomic.Int64
+	// Single-writer statistics counters (core.Counter; see bumpThread).
+	allocated   core.Counter
+	deallocated core.Counter
 	_           [core.PadBytes]byte
 }
 
@@ -136,7 +138,7 @@ func NewHeap[T any](n int) *Heap[T] {
 
 // Allocate returns a freshly allocated record.
 func (h *Heap[T]) Allocate(tid int) *T {
-	h.threads[tid].allocated.Add(1)
+	h.threads[tid].allocated.Inc()
 	return new(T)
 }
 
@@ -145,7 +147,7 @@ func (h *Heap[T]) Deallocate(tid int, rec *T) {
 	if rec == nil {
 		return
 	}
-	h.threads[tid].deallocated.Add(1)
+	h.threads[tid].deallocated.Inc()
 }
 
 // Stats sums the per-thread counters.

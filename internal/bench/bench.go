@@ -27,6 +27,13 @@ const (
 	DSBST      = "bst"
 	DSSkipList = "skiplist"
 	DSHashMap  = "hashmap"
+	// DSHotPathPin and DSHotPathAlloc are not data structures but per-op
+	// microcost probes (experiment 7): each "operation" of a trial is one
+	// Record Manager primitive sequence on a thread handle, so the measured
+	// Mops/s is the inverse of the scheme's per-op constant — the quantity
+	// Hart et al. show dominates scheme comparisons.
+	DSHotPathPin   = "hotpath:pin"   // LeaveQstate/EnterQstate pair
+	DSHotPathAlloc = "hotpath:alloc" // pin + Allocate + Retire round-trip + unpin
 )
 
 // Workload describes the operation mix and key range of a trial.
@@ -120,13 +127,25 @@ type Result struct {
 // set is the minimal data structure interface the harness drives. close
 // shuts the Record Manager's reclamation pipeline down once the workers are
 // joined (flush → async drain → limbo force-free), so trials never leak
-// reclaimer goroutines into the next trial.
+// reclaimer goroutines into the next trial. handle returns the per-thread
+// fast-path operations a worker resolves ONCE at registration — the measured
+// loop then runs through the data structure's thread handles (zero slice
+// indexing, at most one interface call per reclamation primitive), exactly
+// like a real client of the handle API would.
 type set interface {
 	insert(tid int, key int64) bool
 	delete(tid int, key int64) bool
 	contains(tid int, key int64) bool
+	handle(tid int) opHandle
 	stats() core.ManagerStats
 	close()
+}
+
+// opHandle is one worker's pre-resolved operation set.
+type opHandle struct {
+	insert   func(key int64) bool
+	remove   func(key int64) bool
+	contains func(key int64) bool
 }
 
 // bstSet adapts bst.Tree to the harness interface.
@@ -138,6 +157,15 @@ func (s bstSet) contains(tid int, key int64) bool { return s.t.Contains(tid, key
 func (s bstSet) stats() core.ManagerStats         { return s.t.Manager().Stats() }
 func (s bstSet) close()                           { s.t.Manager().Close() }
 
+func (s bstSet) handle(tid int) opHandle {
+	h := s.t.Handle(tid)
+	return opHandle{
+		insert:   func(key int64) bool { return h.Insert(key, key) },
+		remove:   h.Delete,
+		contains: h.Contains,
+	}
+}
+
 // skipSet adapts skiplist.List to the harness interface.
 type skipSet struct{ l *skiplist.List[int64] }
 
@@ -147,6 +175,15 @@ func (s skipSet) contains(tid int, key int64) bool { return s.l.Contains(tid, ke
 func (s skipSet) stats() core.ManagerStats         { return s.l.Manager().Stats() }
 func (s skipSet) close()                           { s.l.Manager().Close() }
 
+func (s skipSet) handle(tid int) opHandle {
+	h := s.l.Handle(tid)
+	return opHandle{
+		insert:   func(key int64) bool { return h.Insert(key, key) },
+		remove:   h.Delete,
+		contains: h.Contains,
+	}
+}
+
 // hashSet adapts hashmap.Map to the harness interface.
 type hashSet struct{ m *hashmap.Map[int64] }
 
@@ -155,6 +192,77 @@ func (s hashSet) delete(tid int, key int64) bool   { return s.m.Delete(tid, key)
 func (s hashSet) contains(tid int, key int64) bool { return s.m.Contains(tid, key) }
 func (s hashSet) stats() core.ManagerStats         { return s.m.Manager().Stats() }
 func (s hashSet) close()                           { s.m.Manager().Close() }
+
+func (s hashSet) handle(tid int) opHandle {
+	h := s.m.Handle(tid)
+	return opHandle{
+		insert:   func(key int64) bool { return h.Insert(key, key) },
+		remove:   h.Delete,
+		contains: h.Contains,
+	}
+}
+
+// hotRecord is the record type of the hotpath microcost probes: small, so a
+// leaking configuration stays cheap, but real enough to exercise the pool
+// and block machinery.
+type hotRecord struct {
+	_ [2]int64
+}
+
+// microSet adapts a bare Record Manager to the harness interface: every
+// "operation" is one hot-path primitive sequence on the thread's handle.
+// The probes measure exactly what the Record Manager charges a data
+// structure per operation, with no data structure work in the way.
+type microSet struct {
+	mgr  *core.RecordManager[hotRecord]
+	kind string
+}
+
+func (s microSet) op(h *core.ThreadHandle[hotRecord]) bool {
+	if h.SupportsCrashRecovery() {
+		// DEBRA+ may deliver a neutralization at EnterQstate; the probe has
+		// no state to recover (the retire happened before the delivery
+		// point), so absorbing the signal mirrors a data structure's trivial
+		// recovery. The deferred recover is paid only by the neutralizing
+		// scheme, exactly as in the data structures.
+		return s.opRecovering(h)
+	}
+	s.body(h)
+	return true
+}
+
+func (s microSet) opRecovering(h *core.ThreadHandle[hotRecord]) (done bool) {
+	defer neutralize.OnNeutralized(h.Manager(), h.Tid(), func(neutralize.Neutralized) {
+		done = true
+	})
+	s.body(h)
+	return true
+}
+
+func (s microSet) body(h *core.ThreadHandle[hotRecord]) {
+	switch s.kind {
+	case DSHotPathAlloc:
+		h.LeaveQstate()
+		rec := h.Allocate()
+		h.Retire(rec)
+		h.EnterQstate()
+	default: // DSHotPathPin
+		h.LeaveQstate()
+		h.EnterQstate()
+	}
+}
+
+func (s microSet) insert(tid int, key int64) bool   { return s.op(s.mgr.Handle(tid)) }
+func (s microSet) delete(tid int, key int64) bool   { return s.op(s.mgr.Handle(tid)) }
+func (s microSet) contains(tid int, key int64) bool { return s.op(s.mgr.Handle(tid)) }
+func (s microSet) stats() core.ManagerStats         { return s.mgr.Stats() }
+func (s microSet) close()                           { s.mgr.Close() }
+
+func (s microSet) handle(tid int) opHandle {
+	h := s.mgr.Handle(tid)
+	op := func(key int64) bool { return s.op(h) }
+	return opHandle{insert: op, remove: op, contains: op}
+}
 
 // SupportedSchemes returns the reclamation schemes the given data structure
 // can run with: every implemented scheme, except that the skip list's
@@ -218,6 +326,12 @@ func buildSet(cfg Config) (set, error) {
 			opts = append(opts, hashmap.WithInitialBuckets(cfg.InitialBuckets))
 		}
 		return hashSet{m: hashmap.New(mgr, cfg.Threads, opts...)}, nil
+	case DSHotPathPin, DSHotPathAlloc:
+		mgr, err := recordmgr.Build[hotRecord](managerConfig(cfg))
+		if err != nil {
+			return nil, err
+		}
+		return microSet{mgr: mgr, kind: cfg.DataStructure}, nil
 	default:
 		return nil, fmt.Errorf("bench: unknown data structure %q", cfg.DataStructure)
 	}
@@ -262,17 +376,20 @@ func RunTrial(cfg Config) (Result, error) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(tid)*104729))
 			w := cfg.Workload
+			// Worker registration: resolve the thread's handles once; the
+			// measured loop indexes no per-thread slices.
+			h := s.handle(tid)
 			ops := int64(0)
 			for !stop.Load() {
 				key := rng.Int63n(w.KeyRange)
 				p := rng.Intn(100)
 				switch {
 				case p < w.InsertPct:
-					s.insert(tid, key)
+					h.insert(key)
 				case p < w.InsertPct+w.DeletePct:
-					s.delete(tid, key)
+					h.remove(key)
 				default:
-					s.contains(tid, key)
+					h.contains(key)
 				}
 				ops++
 			}
@@ -330,9 +447,10 @@ func prefill(s set, cfg Config) {
 		go func(tid int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.Seed*31 + int64(tid)))
+			h := s.handle(tid)
 			for inserted.Load() < target {
 				key := rng.Int63n(cfg.Workload.KeyRange)
-				if s.insert(tid, key) {
+				if h.insert(key) {
 					inserted.Add(1)
 				}
 			}

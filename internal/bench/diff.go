@@ -160,6 +160,68 @@ func median(xs []float64) float64 {
 	return (s[len(s)/2-1] + s[len(s)/2]) / 2
 }
 
+// RenderMicrocosts renders the per-op microcost columns of the hotpath probe
+// rows (experiment 7) from both reports: scheme, threads, probe kind,
+// baseline and current ns/op, and the ratio. Rows missing from one side
+// print a dash; reports recorded before the hotpath experiment existed
+// simply produce no table.
+func RenderMicrocosts(baseline, current JSONReport) string {
+	type cell struct{ base, cur float64 }
+	cells := map[string]*cell{}
+	var keys []string
+	get := func(r JSONRow) *cell {
+		k := rowKey(r)
+		c, ok := cells[k]
+		if !ok {
+			c = &cell{}
+			cells[k] = c
+			keys = append(keys, k)
+		}
+		return c
+	}
+	nsOf := func(r JSONRow) float64 {
+		if r.NsPerOp > 0 {
+			return r.NsPerOp
+		}
+		if r.MopsPerSec > 0 {
+			return 1e3 / r.MopsPerSec
+		}
+		return 0
+	}
+	for _, r := range baseline.Rows {
+		if strings.HasPrefix(r.DataStructure, "hotpath:") {
+			get(r).base = nsOf(r)
+		}
+	}
+	for _, r := range current.Rows {
+		if strings.HasPrefix(r.DataStructure, "hotpath:") {
+			get(r).cur = nsOf(r)
+		}
+	}
+	if len(cells) == 0 {
+		return ""
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteString("hot-path per-op microcosts (experiment 7):\n")
+	fmt.Fprintf(&sb, "  %-72s %12s %12s %8s\n", "probe", "base ns/op", "cur ns/op", "ratio")
+	for _, k := range keys {
+		c := cells[k]
+		base, cur, ratio := "-", "-", "-"
+		if c.base > 0 {
+			base = fmt.Sprintf("%.1f", c.base)
+		}
+		if c.cur > 0 {
+			cur = fmt.Sprintf("%.1f", c.cur)
+		}
+		if c.base > 0 && c.cur > 0 {
+			ratio = fmt.Sprintf("%.2f", c.cur/c.base)
+		}
+		fmt.Fprintf(&sb, "  %-72s %12s %12s %8s\n", k, base, cur, ratio)
+	}
+	return sb.String()
+}
+
 // RenderDiff renders the comparison for humans (and the CI log).
 func RenderDiff(res DiffResult, opts DiffOptions) string {
 	var sb strings.Builder

@@ -127,6 +127,15 @@ const (
 	// same full-block retire batch so the measured axis is purely where the
 	// grace-period work runs — on the workers or behind them.
 	ExperimentAsync = 6
+	// ExperimentHotPath sweeps the Record Manager's per-operation microcosts
+	// per scheme (beyond the paper): a pin/unpin probe (LeaveQstate +
+	// EnterQstate through a thread handle) and an allocate/retire round-trip
+	// probe (pin + Allocate + Retire + unpin). Every probe "operation" is one
+	// primitive sequence, so a cell's Mops/s is the inverse of the per-op
+	// constant that Hart et al.'s reclamation study shows dominates scheme
+	// comparisons — the quantity the single-writer counters and thread
+	// handles exist to shrink.
+	ExperimentHotPath = 7
 )
 
 // AsyncReclaimerSweep is the reclaimer-goroutine counts ExperimentAsync
@@ -154,6 +163,8 @@ func ExperimentPanels(experiment int, opts Options) ([]Panel, error) {
 		return ShardingPanels(opts), nil
 	case ExperimentAsync:
 		return AsyncPanels(opts), nil
+	case ExperimentHotPath:
+		return HotPathPanels(opts), nil
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %d", experiment)
 	}
@@ -312,6 +323,47 @@ func AsyncPanels(opts Options) []Panel {
 			Placement:      opts.Placement,
 			RetireBatch:    blockbag.BlockSize,
 			Reclaimers:     reclaimers,
+		})
+	}
+	return panels
+}
+
+// HotPathPanels returns the per-op microcost probes of ExperimentHotPath:
+// one panel per probe kind, all schemes as columns. The pin/unpin probe runs
+// every scheme; the allocate/retire probe excludes the leaking baseline
+// ("none" never frees, so an unbounded-allocation microbenchmark would
+// measure the allocator's slab growth, not the scheme). Probes use the
+// trial's sharding/batching/async knobs like every other experiment, so the
+// microcosts are measured in the same configuration the hash map panels run.
+func HotPathPanels(opts Options) []Panel {
+	const figure = "Hot-path per-op microcosts (beyond the paper), Experiment 7"
+	w := Workload{InsertPct: 100, DeletePct: 0, KeyRange: 1, PrefillFraction: 0}
+	kinds := []struct {
+		ds      string
+		label   string
+		schemes []string
+	}{
+		{DSHotPathPin, "pin/unpin", SupportedSchemes(DSHashMap)},
+		{DSHotPathAlloc, "alloc+retire round-trip", []string{
+			recordmgr.SchemeEBR, recordmgr.SchemeQSBR, recordmgr.SchemeDEBRA,
+			recordmgr.SchemeDEBRAPlus, recordmgr.SchemeHP,
+		}},
+	}
+	var panels []Panel
+	for _, k := range kinds {
+		panels = append(panels, Panel{
+			Figure:        figure,
+			Title:         fmt.Sprintf("%s %s", k.ds, k.label),
+			DataStructure: k.ds,
+			Workload:      w,
+			Allocator:     recordmgr.AllocBump,
+			UsePool:       true,
+			Schemes:       k.schemes,
+			Threads:       opts.threads(),
+			Shards:        opts.Shards,
+			Placement:     opts.Placement,
+			RetireBatch:   opts.RetireBatch,
+			Reclaimers:    opts.Reclaimers,
 		})
 	}
 	return panels

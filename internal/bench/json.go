@@ -8,20 +8,25 @@ import (
 // JSONRow is one measured cell of a panel in the machine-readable report
 // consumed by the CI benchmark-smoke job (and any external trend tracking).
 type JSONRow struct {
-	Figure         string  `json:"figure"`
-	Title          string  `json:"title"`
-	DataStructure  string  `json:"data_structure"`
-	Workload       string  `json:"workload"`
-	Allocator      string  `json:"allocator"`
-	UsePool        bool    `json:"use_pool"`
-	Scheme         string  `json:"scheme"`
-	Threads        int     `json:"threads"`
-	Shards         int     `json:"shards"`
-	Placement      string  `json:"placement,omitempty"`
-	RetireBatch    int     `json:"retire_batch"`
-	Reclaimers     int     `json:"reclaimers"`
-	Ops            int64   `json:"ops"`
-	MopsPerSec     float64 `json:"mops_per_sec"`
+	Figure        string  `json:"figure"`
+	Title         string  `json:"title"`
+	DataStructure string  `json:"data_structure"`
+	Workload      string  `json:"workload"`
+	Allocator     string  `json:"allocator"`
+	UsePool       bool    `json:"use_pool"`
+	Scheme        string  `json:"scheme"`
+	Threads       int     `json:"threads"`
+	Shards        int     `json:"shards"`
+	Placement     string  `json:"placement,omitempty"`
+	RetireBatch   int     `json:"retire_batch"`
+	Reclaimers    int     `json:"reclaimers"`
+	Ops           int64   `json:"ops"`
+	MopsPerSec    float64 `json:"mops_per_sec"`
+	// NsPerOp is the inverse throughput in nanoseconds per operation. For
+	// the hotpath probe rows (experiment 7) this IS the per-op microcost of
+	// the measured Record Manager primitive sequence; for data structure
+	// rows it is the whole-operation latency at full concurrency.
+	NsPerOp        float64 `json:"ns_per_op"`
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
 	AllocatedBytes int64   `json:"allocated_bytes"`
 	AllocatedRecs  int64   `json:"allocated_records"`
@@ -60,6 +65,10 @@ func BuildJSONReport(results []PanelResult) JSONReport {
 				if !ok {
 					continue
 				}
+				nsPerOp := 0.0
+				if r.MopsPerSec > 0 {
+					nsPerOp = 1e3 / r.MopsPerSec
+				}
 				rep.Rows = append(rep.Rows, JSONRow{
 					Figure:         pr.Panel.Figure,
 					Title:          pr.Panel.Title,
@@ -75,6 +84,7 @@ func BuildJSONReport(results []PanelResult) JSONReport {
 					Reclaimers:     r.Config.Reclaimers,
 					Ops:            r.Ops,
 					MopsPerSec:     r.MopsPerSec,
+					NsPerOp:        nsPerOp,
 					ElapsedSeconds: r.Elapsed.Seconds(),
 					AllocatedBytes: r.AllocatedBytes,
 					AllocatedRecs:  r.AllocatedRecords,

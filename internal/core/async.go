@@ -75,13 +75,20 @@ type AsyncReclaimer[T any] struct {
 	wg     sync.WaitGroup
 	closed atomic.Bool
 
-	// handoff is the number of records currently sitting in hand-off queues:
-	// retired by a worker but not yet handed to the scheme. It is the third
-	// component of the true unreclaimed count (scheme limbo + deferred-retire
-	// buffers + hand-off queues).
-	handoff  atomic.Int64
-	enqueued atomic.Int64
-	drained  atomic.Int64
+	// counts holds one padded single-writer counter pair per participant:
+	// workers bump their enqueued cell from Enqueue, each reclaimer bumps its
+	// drained cell from its own drain loop, and the pending hand-off backlog
+	// is derived as sum(enqueued) - sum(drained) — so the worker-side
+	// hand-off performs no atomic read-modify-write at all.
+	counts []asyncCounters
+}
+
+// asyncCounters is one participant's hand-off statistics, padded so
+// neighbouring single-writer cells do not share cache lines.
+type asyncCounters struct {
+	enqueued Counter
+	drained  Counter
+	_        [PadBytes]byte
 }
 
 // NewAsyncReclaimer spawns reclaimers dedicated goroutines draining retired
@@ -106,6 +113,7 @@ func NewAsyncReclaimer[T any](rec Reclaimer[T], workers, reclaimers int) *AsyncR
 		rec:     rec,
 		workers: workers,
 		queues:  make([]handoffQueue[T], reclaimers),
+		counts:  make([]asyncCounters, workers+reclaimers),
 		stop:    make(chan struct{}),
 	}
 	for i := range a.queues {
@@ -122,15 +130,39 @@ func NewAsyncReclaimer[T any](rec Reclaimer[T], workers, reclaimers int) *AsyncR
 func (a *AsyncReclaimer[T]) Reclaimers() int { return len(a.queues) }
 
 // HandoffPending returns the number of records currently parked in hand-off
-// queues (exact only when workers are quiescent, like the other snapshots).
-func (a *AsyncReclaimer[T]) HandoffPending() int64 { return a.handoff.Load() }
+// queues (exact only when the pipeline is idle or closed, like the other
+// snapshots): the enqueued records minus the drained ones. A chain mid-drain
+// is counted as drained from the start of its drain cycle, so — exactly as
+// before — it appears in neither this count nor the scheme's limbo for the
+// duration of one cycle rather than in both.
+func (a *AsyncReclaimer[T]) HandoffPending() int64 {
+	n := a.Enqueued() - a.Drained()
+	if n < 0 {
+		// Counter snapshots are racy-but-coherent; a drain publishing before
+		// the matching enqueue load lands reads as a transient negative.
+		return 0
+	}
+	return n
+}
 
 // Enqueued returns the cumulative number of records handed off by workers.
-func (a *AsyncReclaimer[T]) Enqueued() int64 { return a.enqueued.Load() }
+func (a *AsyncReclaimer[T]) Enqueued() int64 {
+	var n int64
+	for i := range a.counts {
+		n += a.counts[i].enqueued.Load()
+	}
+	return n
+}
 
 // Drained returns the cumulative number of records reclaimer goroutines have
-// handed to the scheme.
-func (a *AsyncReclaimer[T]) Drained() int64 { return a.drained.Load() }
+// handed to the scheme (counted at the start of each drain cycle).
+func (a *AsyncReclaimer[T]) Drained() int64 {
+	var n int64
+	for i := range a.counts {
+		n += a.counts[i].drained.Load()
+	}
+	return n
+}
 
 // Enqueue hands a detached chain of retired blocks (full or partial) from
 // worker tid to the reclamation pipeline. O(1) per block; lock-free; never
@@ -143,10 +175,15 @@ func (a *AsyncReclaimer[T]) Enqueue(tid int, chain *blockbag.Block[T]) {
 	if a.closed.Load() {
 		panic("core: AsyncReclaimer.Enqueue after Close (flush buffers before closing)")
 	}
+	if tid < 0 || tid >= len(a.counts) {
+		// An unknown tid would have to drop its enqueued count (each cell is
+		// single-writer), permanently skewing HandoffPending; the contract is
+		// that Enqueue is called with a participant's dense id.
+		panic(fmt.Sprintf("core: AsyncReclaimer.Enqueue with tid %d outside the %d participants", tid, len(a.counts)))
+	}
 	n := int64(blockbag.ChainLen(chain))
 	q := &a.queues[tid%len(a.queues)]
-	a.handoff.Add(n)
-	a.enqueued.Add(n)
+	a.counts[tid].enqueued.Add(n)
 	q.stack.PushChain(chain)
 	select {
 	case q.wake <- struct{}{}:
@@ -202,6 +239,10 @@ func (a *AsyncReclaimer[T]) run(i int) {
 			if chain := q.stack.PopAll(); chain != nil {
 				a.drainChain(q, rtid, chain, pool)
 			}
+			// Park the remaining cached spares on the queue's return stack
+			// (bounded) so Close can hand them back to the workers' retire
+			// buffer pools instead of dropping them to the garbage collector.
+			a.returnSpares(q, pool)
 			return
 		default:
 		}
@@ -242,7 +283,7 @@ func (a *AsyncReclaimer[T]) run(i int) {
 // drainChain retires every record of a detached chain under rtid, one pinned
 // operation per chain, and hands the spare blocks the scheme exchange
 // returned back to the workers via the queue's bounded return stack. The
-// hand-off counter is decremented up front, before the records land in the
+// drained counter is bumped up front, before the records land in the
 // scheme's limbo counters: a chain mid-drain is therefore counted in
 // neither bucket for the duration of one cycle (a transient undercount of
 // Unreclaimed bounded by the in-flight chains) rather than in both — and
@@ -250,7 +291,7 @@ func (a *AsyncReclaimer[T]) run(i int) {
 // harnesses snapshot.
 func (a *AsyncReclaimer[T]) drainChain(q *handoffQueue[T], rtid int, chain *blockbag.Block[T], pool *blockbag.BlockPool[T]) {
 	n := int64(blockbag.ChainLen(chain))
-	a.handoff.Add(-n)
+	a.counts[rtid].drained.Add(n)
 	a.cycle(rtid, chain, pool)
 	if pool != nil {
 		for q.spares.Blocks() < spareCap {
@@ -261,7 +302,6 @@ func (a *AsyncReclaimer[T]) drainChain(q *handoffQueue[T], rtid int, chain *bloc
 			q.spares.Push(blk)
 		}
 	}
-	a.drained.Add(n)
 }
 
 // cycle performs one full operation boundary on rtid — LeaveQstate, an
@@ -298,11 +338,56 @@ func (a *AsyncReclaimer[T]) Close() {
 	}
 	close(a.stop)
 	a.wg.Wait()
+	pool := blockbag.NewBlockPool[T](spareCap)
 	for i := range a.queues {
-		// No spare return at shutdown: the workers are done with their
-		// buffers, so the exchange blocks just go to the garbage collector.
+		// The exchange spares from this final drain go onto the queues'
+		// return stacks like the steady-state ones; RecordManager.Close
+		// collects them back into the workers' retire-buffer block pools via
+		// DrainSpares (they used to be dropped to the garbage collector).
 		if chain := a.queues[i].stack.PopAll(); chain != nil {
-			a.drainChain(&a.queues[i], a.workers+i, chain, nil)
+			a.drainChain(&a.queues[i], a.workers+i, chain, pool)
+		}
+		a.returnSpares(&a.queues[i], pool)
+	}
+}
+
+// returnSpares moves every block cached in pool onto q's bounded spare
+// return stack; blocks beyond the bound stay in the (discarded) pool.
+func (a *AsyncReclaimer[T]) returnSpares(q *handoffQueue[T], pool *blockbag.BlockPool[T]) {
+	if pool == nil {
+		return
+	}
+	for q.spares.Blocks() < spareCap {
+		blk := pool.TryGet()
+		if blk == nil {
+			return
+		}
+		q.spares.Push(blk)
+	}
+}
+
+// SpareBlocks returns the number of empty exchange blocks currently parked
+// on the queues' spare-return stacks (instrumentation for the leak tests).
+func (a *AsyncReclaimer[T]) SpareBlocks() int64 {
+	var n int64
+	for i := range a.queues {
+		n += a.queues[i].spares.Blocks()
+	}
+	return n
+}
+
+// DrainSpares pops every parked spare block and hands it to fn.
+// RecordManager.Close uses it to return the reclaimers' emptied exchange
+// blocks to the workers' retire-buffer block pools at shutdown, closing the
+// last gap in the blockbag design's block-circulation property.
+func (a *AsyncReclaimer[T]) DrainSpares(fn func(*blockbag.Block[T])) {
+	for i := range a.queues {
+		for {
+			blk := a.queues[i].spares.Pop()
+			if blk == nil {
+				break
+			}
+			fn(blk)
 		}
 	}
 }

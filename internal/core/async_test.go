@@ -57,6 +57,29 @@ func TestAsyncReclaimerCountersAndClose(t *testing.T) {
 	}
 }
 
+// TestAsyncReclaimerDrainSparesEmptyPipeline: DrainSpares and SpareBlocks
+// are well-behaved no-ops on a pipeline that never produced exchange spares.
+// The live spare-return path (spares produced by a real workload must be
+// parked at Close and handed back to the workers' retire-buffer pools) is
+// covered end-to-end by TestAsyncCloseReturnsSpareBlocks in
+// internal/recordmgr, where a scheme configuration that actually produces
+// exchange spares can be built.
+func TestAsyncReclaimerDrainSparesEmptyPipeline(t *testing.T) {
+	const workers, reclaimers = 1, 1
+	sink := reclaimtest.NewRecordingSink()
+	r := ebr.New[rec](workers+reclaimers, sink)
+	a := core.NewAsyncReclaimer[rec](r, workers, reclaimers)
+	a.Close()
+	if got := a.SpareBlocks(); got != 0 {
+		t.Fatalf("SpareBlocks = %d on an idle pipeline", got)
+	}
+	n := 0
+	a.DrainSpares(func(blk *blockbag.Block[rec]) { n++ })
+	if n != 0 {
+		t.Fatalf("DrainSpares returned %d blocks from an empty stack", n)
+	}
+}
+
 func TestAsyncReclaimerValidatesCapacity(t *testing.T) {
 	r := ebr.New[rec](2, reclaimtest.NewRecordingSink())
 	if !panics(func() { core.NewAsyncReclaimer[rec](r, 2, 1) }) {

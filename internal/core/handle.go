@@ -1,0 +1,239 @@
+package core
+
+// This file implements the per-thread handle layer: the Record Manager's
+// answer to the observation (Hart et al., and the paper's own O(1)-per-op
+// claim) that reclamation scheme comparisons are dominated by per-operation
+// constants. A ThreadHandle is resolved once, at worker registration, and
+// caches everything a steady-state operation needs — the thread's
+// deferred-retire buffer, its pool fast path, the scheme's per-thread
+// fast-path view, and the capability interfaces (RetirePinner, ...) that the
+// generic path would otherwise type-assert per call — so an operation issued
+// through the handle performs zero slice indexing and at most one interface
+// call per Record Manager primitive.
+
+// ReclaimerHandle is the per-thread fast-path view of a Reclaimer: the
+// operations a data structure issues on (nearly) every operation, with the
+// calling thread id bound at construction. Schemes implement it with a
+// concrete per-thread struct that caches direct pointers to the thread's
+// announcement slot, limbo state and counters, so the per-op cost is one
+// interface dispatch and no threads[tid] indexing at all. Rare operations
+// (RProtect, DrainLimbo, Stats, ...) stay on the tid-based Reclaimer
+// interface.
+type ReclaimerHandle[T any] interface {
+	// LeaveQstate starts an operation (Reclaimer.LeaveQstate).
+	LeaveQstate() bool
+	// EnterQstate ends an operation (Reclaimer.EnterQstate).
+	EnterQstate()
+	// Retire hands the reclaimer a removed record (Reclaimer.Retire); the
+	// thread must be pinned, exactly as for the tid-based call.
+	Retire(rec *T)
+	// Protect announces per-record protection (Reclaimer.Protect).
+	Protect(rec *T) bool
+	// Unprotect revokes a Protect (Reclaimer.Unprotect).
+	Unprotect(rec *T)
+	// Checkpoint delivers a pending neutralization (Reclaimer.Checkpoint).
+	Checkpoint()
+}
+
+// HandledReclaimer is implemented by schemes that provide per-thread
+// fast-path handles. Every scheme in this module does; the generic adapter
+// below covers external reclaimers.
+type HandledReclaimer[T any] interface {
+	// Handle returns thread tid's fast-path view. The returned handle is
+	// owned by tid: only that thread may call its methods.
+	Handle(tid int) ReclaimerHandle[T]
+}
+
+// PoolHandle is the per-thread fast-path view of a Pool: allocation and free
+// with the thread's private pool bag resolved at construction.
+type PoolHandle[T any] interface {
+	// Allocate returns a record, preferring the thread's private bag.
+	Allocate() *T
+	// Free returns a record to the thread's private bag.
+	Free(rec *T)
+}
+
+// HandledPool is implemented by pools that provide per-thread handles.
+type HandledPool[T any] interface {
+	// Handle returns thread tid's fast-path view (owned by tid).
+	Handle(tid int) PoolHandle[T]
+}
+
+// genericReclaimerHandle adapts any Reclaimer to ReclaimerHandle by routing
+// every call through the tid-based interface (the compatibility path for
+// reclaimers outside this module).
+type genericReclaimerHandle[T any] struct {
+	rec Reclaimer[T]
+	tid int
+}
+
+func (g *genericReclaimerHandle[T]) LeaveQstate() bool   { return g.rec.LeaveQstate(g.tid) }
+func (g *genericReclaimerHandle[T]) EnterQstate()        { g.rec.EnterQstate(g.tid) }
+func (g *genericReclaimerHandle[T]) Retire(rec *T)       { g.rec.Retire(g.tid, rec) }
+func (g *genericReclaimerHandle[T]) Protect(rec *T) bool { return g.rec.Protect(g.tid, rec) }
+func (g *genericReclaimerHandle[T]) Unprotect(rec *T)    { g.rec.Unprotect(g.tid, rec) }
+func (g *genericReclaimerHandle[T]) Checkpoint()         { g.rec.Checkpoint(g.tid) }
+
+// genericPoolHandle adapts any Pool to PoolHandle.
+type genericPoolHandle[T any] struct {
+	pool Pool[T]
+	tid  int
+}
+
+func (g *genericPoolHandle[T]) Allocate() *T { return g.pool.Allocate(g.tid) }
+func (g *genericPoolHandle[T]) Free(rec *T)  { g.pool.Free(g.tid, rec) }
+
+// ThreadHandle is one thread's pre-resolved view of a RecordManager. Obtain
+// it once per worker with RecordManager.Handle(tid) — at registration, not
+// per operation — and issue the hot-path primitives through it. All methods
+// are owner-only (thread tid), like the tid-based calls they replace; the
+// handle stays valid for the manager's lifetime.
+type ThreadHandle[T any] struct {
+	tid int
+	m   *RecordManager[T]
+
+	rec    Reclaimer[T]       // full interface, for the rare operations
+	fast   ReclaimerHandle[T] // per-thread fast path (never nil)
+	buf    *retireBuf[T]      // deferred-retire buffer; nil when batching is off
+	pool   PoolHandle[T]      // pool fast path; nil when records are not reused
+	alloc  Allocator[T]
+	pinner RetirePinner // asserted once at construction, not per Retire
+	batch  int
+
+	perRecord     bool
+	crashRecovery bool
+}
+
+// newHandle resolves thread tid's handle (see RecordManager.Handle).
+func (m *RecordManager[T]) newHandle(tid int) ThreadHandle[T] {
+	h := ThreadHandle[T]{
+		tid:           tid,
+		m:             m,
+		rec:           m.reclaimer,
+		alloc:         m.alloc,
+		pinner:        m.pinner,
+		batch:         m.batch,
+		perRecord:     m.perRecord,
+		crashRecovery: m.crashRecovery,
+	}
+	if m.batch > 0 && tid < len(m.bufs) {
+		h.buf = &m.bufs[tid]
+	}
+	// Only ask the scheme for a fast-path handle for the participant ids it
+	// was built for (the in-module schemes back Handle with a fixed table
+	// and would reject anything else); other ids get the tid-routing
+	// adapter, whose calls fail exactly where the tid-based API would.
+	if hr, ok := m.reclaimer.(HandledReclaimer[T]); ok && tid >= 0 && tid < len(m.handles) {
+		h.fast = hr.Handle(tid)
+	} else {
+		h.fast = &genericReclaimerHandle[T]{rec: m.reclaimer, tid: tid}
+	}
+	if m.pool != nil {
+		if hp, ok := m.pool.(HandledPool[T]); ok {
+			h.pool = hp.Handle(tid)
+		} else {
+			h.pool = &genericPoolHandle[T]{pool: m.pool, tid: tid}
+		}
+	}
+	return h
+}
+
+// Handle returns thread tid's pre-resolved fast-path view of the manager.
+// For the dense ids the manager was constructed for this is a pointer into a
+// prebuilt table (no allocation); other ids get a freshly built
+// compatibility handle that routes through the tid-based interfaces — those
+// calls fail for ids the scheme was not built for, exactly as the tid-based
+// API always has. Resolve once at worker registration and reuse for the
+// worker's lifetime.
+func (m *RecordManager[T]) Handle(tid int) *ThreadHandle[T] {
+	if tid >= 0 && tid < len(m.handles) {
+		return &m.handles[tid]
+	}
+	h := m.newHandle(tid)
+	return &h
+}
+
+// Tid returns the dense thread id the handle is bound to.
+func (h *ThreadHandle[T]) Tid() int { return h.tid }
+
+// Manager returns the RecordManager the handle views.
+func (h *ThreadHandle[T]) Manager() *RecordManager[T] { return h.m }
+
+// NeedsPerRecordProtection mirrors RecordManager.NeedsPerRecordProtection.
+func (h *ThreadHandle[T]) NeedsPerRecordProtection() bool { return h.perRecord }
+
+// SupportsCrashRecovery mirrors RecordManager.SupportsCrashRecovery.
+func (h *ThreadHandle[T]) SupportsCrashRecovery() bool { return h.crashRecovery }
+
+// LeaveQstate marks the start of an operation by the handle's thread.
+func (h *ThreadHandle[T]) LeaveQstate() bool { return h.fast.LeaveQstate() }
+
+// EnterQstate marks the end of an operation by the handle's thread.
+func (h *ThreadHandle[T]) EnterQstate() { h.fast.EnterQstate() }
+
+// Checkpoint delivers a pending neutralization signal, if any (DEBRA+).
+func (h *ThreadHandle[T]) Checkpoint() { h.fast.Checkpoint() }
+
+// Protect announces that the thread may access rec (Reclaimer.Protect).
+func (h *ThreadHandle[T]) Protect(rec *T) bool { return h.fast.Protect(rec) }
+
+// Unprotect revokes a Protect.
+func (h *ThreadHandle[T]) Unprotect(rec *T) { h.fast.Unprotect(rec) }
+
+// RProtect announces a recovery protection (DEBRA+; recovery path, not hot).
+func (h *ThreadHandle[T]) RProtect(rec *T) { h.rec.RProtect(h.tid, rec) }
+
+// RUnprotectAll releases all recovery protections held by the thread.
+func (h *ThreadHandle[T]) RUnprotectAll() { h.rec.RUnprotectAll(h.tid) }
+
+// IsRProtected reports whether the thread holds a recovery protection of rec.
+func (h *ThreadHandle[T]) IsRProtected(rec *T) bool { return h.rec.IsRProtected(h.tid, rec) }
+
+// Allocate returns a record for the handle's thread, preferring the pool.
+func (h *ThreadHandle[T]) Allocate() *T {
+	if h.pool != nil {
+		return h.pool.Allocate()
+	}
+	return h.alloc.Allocate(h.tid)
+}
+
+// Deallocate returns an unused (never inserted or already reclaimed) record
+// to the pool or allocator (RecordManager.Deallocate).
+func (h *ThreadHandle[T]) Deallocate(rec *T) {
+	if h.pool != nil {
+		h.pool.Free(rec)
+		return
+	}
+	h.alloc.Deallocate(h.tid, rec)
+}
+
+// Retire hands a removed record to the reclaimer, exactly like
+// RecordManager.Retire (safe from any same-thread context): with batching it
+// is a buffer append with no interface call at all; without, the call goes
+// through the scheme's per-thread fast path, pinned first when the thread is
+// quiescent.
+func (h *ThreadHandle[T]) Retire(rec *T) {
+	if b := h.buf; b != nil {
+		b.bag.Add(rec)
+		b.pending.Inc()
+		if b.pending.Load() >= int64(h.batch) {
+			h.m.flushBuf(h.tid, b)
+		}
+		return
+	}
+	if h.pinner != nil && h.rec.IsQuiescent(h.tid) {
+		h.pinner.PinRetire(h.tid)
+		h.fast.Retire(rec)
+		h.pinner.UnpinRetire(h.tid)
+		return
+	}
+	h.fast.Retire(rec)
+}
+
+// FlushRetired hands every record parked in the thread's deferred-retire
+// buffer to the reclaimer (RecordManager.FlushRetired).
+func (h *ThreadHandle[T]) FlushRetired() {
+	if h.buf != nil {
+		h.m.flushBuf(h.tid, h.buf)
+	}
+}

@@ -1,0 +1,132 @@
+package core_test
+
+// Tests for the per-thread handle layer: RecordManager.Handle and the
+// scheme/pool fast paths it caches.
+
+import (
+	"testing"
+
+	"repro/internal/arena"
+	"repro/internal/core"
+	"repro/internal/pool"
+	"repro/internal/reclaim/debra"
+	"repro/internal/reclaim/hp"
+)
+
+func TestThreadHandleBasics(t *testing.T) {
+	const n = 3
+	alloc := arena.NewBump[node](n, 64)
+	pl := pool.New[node](n, alloc)
+	rec := debra.New[node](n, pl, debra.WithIncrThresh(1))
+	m := core.NewRecordManager[node](alloc, pl, rec)
+
+	h := m.Handle(1)
+	if h.Tid() != 1 || h.Manager() != m {
+		t.Fatalf("handle identity wrong: tid=%d", h.Tid())
+	}
+	if h != m.Handle(1) {
+		t.Fatal("Handle(tid) must return a stable pointer for dense tids")
+	}
+	if h.NeedsPerRecordProtection() || h.SupportsCrashRecovery() {
+		t.Fatal("handle capability caching disagrees with DEBRA")
+	}
+
+	// A full operation through the handle: pin, allocate, retire, unpin.
+	h.LeaveQstate()
+	r := h.Allocate()
+	if r == nil {
+		t.Fatal("handle Allocate returned nil")
+	}
+	h.Retire(r)
+	h.EnterQstate()
+	if got := m.Stats().Reclaimer.Retired; got != 1 {
+		t.Fatalf("retired = %d after handle Retire", got)
+	}
+
+	// Deallocate through the handle recycles via the pool.
+	r2 := h.Allocate()
+	h.Deallocate(r2)
+	if got := m.Stats().Pool.Freed; got == 0 {
+		t.Fatal("handle Deallocate did not reach the pool")
+	}
+}
+
+// TestThreadHandleQuiescentRetirePins: like RecordManager.Retire, a handle
+// Retire from a quiescent context must auto-pin on the epoch schemes rather
+// than panic or corrupt the scheme's bag rotation argument.
+func TestThreadHandleQuiescentRetire(t *testing.T) {
+	const n = 2
+	alloc := arena.NewBump[node](n, 64)
+	pl := pool.New[node](n, alloc)
+	rec := debra.New[node](n, pl)
+	m := core.NewRecordManager[node](alloc, pl, rec)
+	h := m.Handle(0)
+	// Quiescent: no LeaveQstate. The handle must pin around the hand-off.
+	h.Retire(h.Allocate())
+	if got := m.Stats().Reclaimer.Retired; got != 1 {
+		t.Fatalf("retired = %d after quiescent handle Retire", got)
+	}
+	if !m.IsQuiescent(0) {
+		t.Fatal("thread left non-quiescent by the auto-pinned Retire")
+	}
+}
+
+// TestThreadHandleBatchedRetire: with batching, handle Retires park in the
+// thread's buffer and flush at the batch boundary through the same block
+// machinery the tid-based path uses.
+func TestThreadHandleBatchedRetire(t *testing.T) {
+	const n, batch = 2, 8
+	alloc := arena.NewBump[node](n, 64)
+	pl := pool.New[node](n, alloc)
+	rec := debra.New[node](n, pl, debra.WithIncrThresh(1))
+	m := core.NewRecordManager[node](alloc, pl, rec, core.WithRetireBatching(n, batch))
+	h := m.Handle(0)
+	h.LeaveQstate()
+	for i := 0; i < batch-1; i++ {
+		h.Retire(h.Allocate())
+	}
+	if got := m.Stats().RetirePending; got != batch-1 {
+		t.Fatalf("RetirePending = %d want %d (nothing must reach the scheme yet)", got, batch-1)
+	}
+	if got := m.Stats().Reclaimer.Retired; got != 0 {
+		t.Fatalf("scheme saw %d retires before the batch filled", got)
+	}
+	h.Retire(h.Allocate()) // batch boundary: flush
+	if got := m.Stats().RetirePending; got != 0 {
+		t.Fatalf("RetirePending = %d after the flush", got)
+	}
+	if got := m.Stats().Reclaimer.Retired; got != batch {
+		t.Fatalf("scheme saw %d retires want %d", got, batch)
+	}
+	h.EnterQstate()
+
+	// FlushRetired through the handle from a quiescent context (the
+	// shutdown path) must also work.
+	h.Retire(h.Allocate())
+	h.FlushRetired()
+	if got := m.Stats().RetirePending; got != 0 {
+		t.Fatalf("RetirePending = %d after handle FlushRetired", got)
+	}
+}
+
+// TestThreadHandleHPProtect: the hazard-pointer fast path goes through the
+// cached slot array and agrees with the tid-based interface.
+func TestThreadHandleHPProtect(t *testing.T) {
+	const n = 2
+	alloc := arena.NewBump[node](n, 64)
+	pl := pool.New[node](n, alloc)
+	rec := hp.New[node](n, pl, hp.WithSlots(4))
+	m := core.NewRecordManager[node](alloc, pl, rec)
+	h := m.Handle(0)
+	r := h.Allocate()
+	if !h.Protect(r) {
+		t.Fatal("handle Protect failed")
+	}
+	if !m.IsProtected(0, r) {
+		t.Fatal("tid-based IsProtected does not see the handle's announcement")
+	}
+	h.Unprotect(r)
+	if m.IsProtected(0, r) {
+		t.Fatal("handle Unprotect did not release the slot")
+	}
+}

@@ -41,6 +41,12 @@ type RecordManager[T any] struct {
 	// is synchronous). With async set, batch hand-offs become lock-free
 	// queue pushes instead of scheme retires.
 	async *AsyncReclaimer[T]
+	// handles is the prebuilt per-thread handle table (see Handle); sized to
+	// the scheme's participant count when that is discoverable.
+	handles []ThreadHandle[T]
+	// sparesRecovered counts the spare exchange blocks Close returned to the
+	// workers' retire-buffer pools (instrumentation for the leak tests).
+	sparesRecovered int
 }
 
 // retireBuf is one thread's deferred-retire buffer, padded so neighbouring
@@ -48,9 +54,11 @@ type RecordManager[T any] struct {
 // with the spare blocks the scheme hands back from RetireBlock, so at steady
 // state batches circulate existing blocks instead of allocating.
 type retireBuf[T any] struct {
-	bag     *blockbag.Bag[T]
-	pool    *blockbag.BlockPool[T]
-	pending int64
+	bag  *blockbag.Bag[T]
+	pool *blockbag.BlockPool[T]
+	// pending counts the parked records: single-writer (the owning tid, or
+	// the closer after the workers are joined), racy-safe for Stats readers.
+	pending Counter
 	_       [PadBytes]byte
 }
 
@@ -150,6 +158,19 @@ func NewRecordManager[T any](alloc Allocator[T], pool Pool[T], rec Reclaimer[T],
 		}
 		m.async = NewAsyncReclaimer(rec, cfg.threads, cfg.reclaimers)
 	}
+	// Prebuild the per-thread handle table for every participant the scheme
+	// was constructed for (workers and async reclaimer tids alike), so
+	// Handle(tid) is a pointer into this table rather than an allocation.
+	n := cfg.threads
+	if sh, ok := rec.(Sharded); ok {
+		if t := sh.ShardMap().Threads(); t > n {
+			n = t
+		}
+	}
+	m.handles = make([]ThreadHandle[T], n)
+	for i := range m.handles {
+		m.handles[i] = m.newHandle(i)
+	}
 	return m
 }
 
@@ -188,24 +209,7 @@ func (m *RecordManager[T]) Deallocate(tid int, rec *T) {
 // data-structure postamble after EnterQstate, a DEBRA+ recovery path — is
 // routed through the scheme's pin-while-retiring entry point so the hand-off
 // happens under an active announcement.
-func (m *RecordManager[T]) Retire(tid int, rec *T) {
-	if m.batch == 0 {
-		if m.pinner != nil && m.reclaimer.IsQuiescent(tid) {
-			m.pinner.PinRetire(tid)
-			m.reclaimer.Retire(tid, rec)
-			m.pinner.UnpinRetire(tid)
-			return
-		}
-		m.reclaimer.Retire(tid, rec)
-		return
-	}
-	b := &m.bufs[tid]
-	b.bag.Add(rec)
-	b.pending++
-	if int(b.pending) >= m.batch {
-		m.FlushRetired(tid)
-	}
-}
+func (m *RecordManager[T]) Retire(tid int, rec *T) { m.Handle(tid).Retire(rec) }
 
 // FlushRetired hands every record parked in thread tid's deferred-retire
 // buffer to the reclaimer. Full blocks transfer as O(1) splices for schemes
@@ -227,13 +231,18 @@ func (m *RecordManager[T]) FlushRetired(tid int) {
 	if m.batch == 0 {
 		return
 	}
-	b := &m.bufs[tid]
-	if b.pending == 0 {
+	m.flushBuf(tid, &m.bufs[tid])
+}
+
+// flushBuf is FlushRetired's body, shared with the ThreadHandle fast path
+// (which holds a direct buffer pointer instead of re-indexing bufs[tid]).
+func (m *RecordManager[T]) flushBuf(tid int, b *retireBuf[T]) {
+	if b.pending.Load() == 0 {
 		return
 	}
 	if m.async != nil {
 		m.async.Enqueue(tid, b.bag.DetachAll())
-		b.pending = 0
+		b.pending.Store(0)
 		// Refill the buffer's block pool from the reclaimers' spare-return
 		// stack, so batches keep circulating existing blocks instead of
 		// allocating one per hand-off.
@@ -250,7 +259,7 @@ func (m *RecordManager[T]) FlushRetired(tid int) {
 		RetireChain(m.reclaimer, tid, chain, b.pool)
 	}
 	b.bag.Drain(func(rec *T) { m.reclaimer.Retire(tid, rec) })
-	b.pending = 0
+	b.pending.Store(0)
 }
 
 // AsyncReclaimers returns the number of dedicated reclaimer goroutines (0
@@ -278,6 +287,17 @@ func (m *RecordManager[T]) Close() {
 	}
 	if m.async != nil {
 		m.async.Close()
+		// Reclaim the reclaimers' spare exchange blocks into the workers'
+		// retire-buffer block pools (round-robin; pool bounds drop overflow),
+		// instead of leaking them to the garbage collector at shutdown.
+		if len(m.bufs) > 0 {
+			i := 0
+			m.async.DrainSpares(func(blk *blockbag.Block[T]) {
+				m.bufs[i%len(m.bufs)].pool.Put(blk)
+				i++
+			})
+			m.sparesRecovered += i
+		}
 	}
 	if d, ok := m.reclaimer.(LimboDrainer); ok {
 		d.DrainLimbo(0)
@@ -287,6 +307,21 @@ func (m *RecordManager[T]) Close() {
 // RetireBatchSize returns the configured deferred-retire batch size (0 when
 // batching is disabled).
 func (m *RecordManager[T]) RetireBatchSize() int { return m.batch }
+
+// SparesRecovered returns the number of spare exchange blocks Close
+// returned from the async pipeline to the workers' retire-buffer block
+// pools (0 before Close or without async reclamation).
+func (m *RecordManager[T]) SparesRecovered() int { return m.sparesRecovered }
+
+// AsyncSpareBlocks returns the number of spare blocks still parked on the
+// async pipeline's return stacks (0 without async reclamation; 0 after
+// Close, which drains them — the leak tests assert this).
+func (m *RecordManager[T]) AsyncSpareBlocks() int64 {
+	if m.async == nil {
+		return 0
+	}
+	return m.async.SpareBlocks()
+}
 
 // LeaveQstate marks the start of an operation by thread tid.
 func (m *RecordManager[T]) LeaveQstate(tid int) bool { return m.reclaimer.LeaveQstate(tid) }
@@ -344,7 +379,7 @@ func (m *RecordManager[T]) Stats() ManagerStats {
 		s.Pool = m.pool.Stats()
 	}
 	for i := range m.bufs {
-		s.RetirePending += m.bufs[i].pending
+		s.RetirePending += m.bufs[i].pending.Load()
 	}
 	if m.async != nil {
 		s.HandoffPending = m.async.HandoffPending()

@@ -27,19 +27,24 @@ const (
 // replaced, matching the set semantics used in the paper's experiments).
 // key must be smaller than Infinity1.
 func (t *Tree[V]) Insert(tid int, key int64, value V) bool {
+	return t.Handle(tid).Insert(key, value)
+}
+
+// Insert adds key with the given value through the thread's handle.
+func (hd Handle[V]) Insert(key int64, value V) bool {
 	if key >= Infinity1 {
 		panic("bst: key must be smaller than Infinity1")
 	}
-	m := t.mgr
+	t, rm := hd.t, hd.rm
 	// Quiescent preamble: allocate everything the body might publish.
 	// Allocation is not re-entrant, so it must not happen inside the body
 	// (which can be neutralized and re-run).
-	newLeaf := m.Allocate(tid)
-	sibling := m.Allocate(tid)
-	internal := m.Allocate(tid)
-	desc := m.Allocate(tid)
+	newLeaf := rm.Allocate()
+	sibling := rm.Allocate()
+	internal := rm.Allocate()
+	desc := rm.Allocate()
 	for {
-		outcome, oldLeaf := t.insertBody(tid, key, value, newLeaf, sibling, internal, desc)
+		outcome, oldLeaf := t.insertBody(hd, key, value, newLeaf, sibling, internal, desc)
 		switch outcome {
 		case attemptSucceeded:
 			// Quiescent postamble: the replaced leaf and, eventually, the
@@ -47,15 +52,15 @@ func (t *Tree[V]) Insert(tid int, key int64, value V) bool {
 			// through p's update field until a later operation replaces it
 			// (retire-on-replace), so only the leaf is retired here.
 			if oldLeaf != nil {
-				m.Retire(tid, oldLeaf)
+				rm.Retire(oldLeaf)
 			}
 			return true
 		case attemptKeyPresent:
 			// Nothing was published; recycle the scratch records.
-			m.Deallocate(tid, newLeaf)
-			m.Deallocate(tid, sibling)
-			m.Deallocate(tid, internal)
-			m.Deallocate(tid, desc)
+			rm.Deallocate(newLeaf)
+			rm.Deallocate(sibling)
+			rm.Deallocate(internal)
+			rm.Deallocate(desc)
 			return false
 		default:
 			t.stats.restarts.Add(1)
@@ -65,9 +70,9 @@ func (t *Tree[V]) Insert(tid int, key int64, value V) bool {
 
 // insertBody is one execution of the insert body (Figure 5's structure). It
 // returns the outcome and, on success, the leaf that was replaced.
-func (t *Tree[V]) insertBody(tid int, key int64, value V,
+func (t *Tree[V]) insertBody(hd Handle[V], key int64, value V,
 	newLeaf, sibling, internal, desc *Record[V]) (outcome attemptOutcome, oldLeaf *Record[V]) {
-	m := t.mgr
+	rm := hd.rm
 	if t.crashRecovery {
 		defer func() {
 			if v := recover(); v != nil {
@@ -76,26 +81,26 @@ func (t *Tree[V]) insertBody(tid int, key int64, value V,
 					// descriptor we may already have published it, so help
 					// it to completion; otherwise simply retry.
 					t.stats.recov.Add(1)
-					if m.IsRProtected(tid, desc) && t.ownerInsert(tid, desc, true) {
+					if rm.IsRProtected(desc) && t.ownerInsert(hd, desc, true) {
 						outcome = attemptSucceeded
 						oldLeaf = desc.l
 					} else {
 						outcome = attemptRetry
 					}
-					m.RUnprotectAll(tid)
+					rm.RUnprotectAll()
 				}
 			}
 		}()
 	}
-	m.LeaveQstate(tid)
-	res := t.search(tid, key)
+	rm.LeaveQstate()
+	res := t.search(hd, key)
 	if !res.ok {
-		m.EnterQstate(tid)
+		rm.EnterQstate()
 		return attemptRetry, nil
 	}
 	if res.l.key == key {
-		m.EnterQstate(tid)
-		t.releaseAllProtection(tid, res)
+		rm.EnterQstate()
+		t.releaseAllProtection(hd, res)
 		return attemptKeyPresent, nil
 	}
 	if res.pupdate != nil && res.pupdate.state != StateClean {
@@ -103,10 +108,10 @@ func (t *Tree[V]) insertBody(tid int, key int64, value V,
 		// schemes) or back off (per-record schemes, which cannot safely
 		// chase another operation's records — the paper's HP compromise).
 		if !t.perRecord {
-			t.help(tid, res.p, res.pupdate)
+			t.help(hd, res.p, res.pupdate)
 		}
-		m.EnterQstate(tid)
-		t.releaseAllProtection(tid, res)
+		rm.EnterQstate()
+		t.releaseAllProtection(hd, res)
 		return attemptRetry, nil
 	}
 
@@ -130,20 +135,20 @@ func (t *Tree[V]) insertBody(tid int, key int64, value V,
 	initIInfo(desc, key, res.p, res.l, internal, res.pupdate)
 
 	if t.crashRecovery {
-		m.RProtect(tid, res.p)
-		m.RProtect(tid, res.l)
-		m.RProtect(tid, internal)
+		rm.RProtect(res.p)
+		rm.RProtect(res.l)
+		rm.RProtect(internal)
 		if info := cellInfo(res.pupdate); info != nil {
-			m.RProtect(tid, info)
+			rm.RProtect(info)
 		}
-		m.RProtect(tid, desc)
+		rm.RProtect(desc)
 	}
-	ok := t.ownerInsert(tid, desc, false)
-	m.EnterQstate(tid)
+	ok := t.ownerInsert(hd, desc, false)
+	rm.EnterQstate()
 	if t.crashRecovery {
-		m.RUnprotectAll(tid)
+		rm.RUnprotectAll()
 	}
-	t.releaseAllProtection(tid, res)
+	t.releaseAllProtection(hd, res)
 	if ok {
 		return attemptSucceeded, res.l
 	}
@@ -157,7 +162,7 @@ func (t *Tree[V]) insertBody(tid int, key int64, value V,
 // published and must be retried). inRecovery suppresses helping other
 // operations, which recovery code must not do because it only holds
 // recovery protections for its own operation's records.
-func (t *Tree[V]) ownerInsert(tid int, desc *Record[V], inRecovery bool) bool {
+func (t *Tree[V]) ownerInsert(hd Handle[V], desc *Record[V], inRecovery bool) bool {
 	for {
 		if desc.outcome.Load() == outcomeSucceeded {
 			return true
@@ -166,15 +171,15 @@ func (t *Tree[V]) ownerInsert(tid int, desc *Record[V], inRecovery bool) bool {
 		switch cur {
 		case &desc.flagCell:
 			// Flag already installed (possibly before a neutralization).
-			t.helpInsert(tid, desc)
+			t.helpInsert(hd, desc)
 			return true
 		case &desc.cleanCell:
 			// Fully completed (possibly by a helper).
 			return true
 		case desc.pupdate:
 			if desc.p.update.CompareAndSwap(desc.pupdate, &desc.flagCell) {
-				t.retireReplacedInfo(tid, desc.pupdate)
-				t.helpInsert(tid, desc)
+				t.retireReplacedInfo(hd, desc.pupdate)
+				t.helpInsert(hd, desc)
 				return true
 			}
 		default:
@@ -185,7 +190,7 @@ func (t *Tree[V]) ownerInsert(tid int, desc *Record[V], inRecovery bool) bool {
 				return true
 			}
 			if !t.perRecord && !inRecovery && !t.crashRecovery {
-				t.help(tid, desc.p, cur)
+				t.help(hd, desc.p, cur)
 			}
 			return false
 		}
@@ -195,22 +200,25 @@ func (t *Tree[V]) ownerInsert(tid int, desc *Record[V], inRecovery bool) bool {
 // helpInsert completes a published insertion: splice the new internal node
 // in place of the old leaf and unflag the parent. Idempotent; callable by
 // any thread that holds a safe reference to desc.
-func (t *Tree[V]) helpInsert(tid int, desc *Record[V]) {
+func (t *Tree[V]) helpInsert(hd Handle[V], desc *Record[V]) {
 	t.casChild(desc.p, desc.l, desc.newChild, desc.searchK)
 	desc.outcome.CompareAndSwap(outcomePending, outcomeSucceeded)
 	desc.p.update.CompareAndSwap(&desc.flagCell, &desc.cleanCell)
 }
 
 // Delete removes key from the set, returning true if it was present.
-func (t *Tree[V]) Delete(tid int, key int64) bool {
+func (t *Tree[V]) Delete(tid int, key int64) bool { return t.Handle(tid).Delete(key) }
+
+// Delete removes key from the set through the thread's handle.
+func (hd Handle[V]) Delete(key int64) bool {
 	if key >= Infinity1 {
 		return false
 	}
-	m := t.mgr
+	t, rm := hd.t, hd.rm
 	// Quiescent preamble.
-	desc := m.Allocate(tid)
+	desc := rm.Allocate()
 	for {
-		outcome, removedParent, removedLeaf := t.deleteBody(tid, key, desc)
+		outcome, removedParent, removedLeaf := t.deleteBody(hd, key, desc)
 		switch outcome {
 		case attemptSucceeded:
 			// The spliced-out parent and the removed leaf are garbage; the
@@ -220,18 +228,18 @@ func (t *Tree[V]) Delete(tid int, key int64) bool {
 			// descriptor was still safe to read: once we are quiescent the
 			// descriptor itself may be retired (retire-on-replace) and
 			// recycled by another thread at any moment.
-			m.Retire(tid, removedParent)
-			m.Retire(tid, removedLeaf)
+			rm.Retire(removedParent)
+			rm.Retire(removedLeaf)
 			return true
 		case attemptKeyAbsent:
-			m.Deallocate(tid, desc)
+			rm.Deallocate(desc)
 			return false
 		case attemptFailedPublished:
 			// The descriptor was flagged into gp and then backtracked; it
 			// stays reachable through gp's update field, so allocate a
 			// fresh descriptor for the next attempt and let
 			// retire-on-replace dispose of this one.
-			desc = m.Allocate(tid)
+			desc = rm.Allocate()
 			t.stats.restarts.Add(1)
 		default:
 			t.stats.restarts.Add(1)
@@ -243,18 +251,18 @@ func (t *Tree[V]) Delete(tid int, key int64) bool {
 // the spliced-out parent and removed leaf (captured while the descriptor was
 // still safe to read) so the caller can retire them in its quiescent
 // postamble.
-func (t *Tree[V]) deleteBody(tid int, key int64, desc *Record[V]) (outcome attemptOutcome, removedParent, removedLeaf *Record[V]) {
-	m := t.mgr
+func (t *Tree[V]) deleteBody(hd Handle[V], key int64, desc *Record[V]) (outcome attemptOutcome, removedParent, removedLeaf *Record[V]) {
+	rm := hd.rm
 	if t.crashRecovery {
 		defer func() {
 			if v := recover(); v != nil {
 				if _, ok := neutralize.Recover(v); ok {
 					t.stats.recov.Add(1)
-					if m.IsRProtected(tid, desc) {
+					if rm.IsRProtected(desc) {
 						// The descriptor (and the records it names) are
 						// still recovery-protected here, so reading its
 						// fields is safe until RUnprotectAll below.
-						switch t.ownerDelete(tid, desc, true) {
+						switch t.ownerDelete(hd, desc, true) {
 						case outcomeSucceeded:
 							outcome = attemptSucceeded
 							removedParent, removedLeaf = desc.p, desc.l
@@ -266,59 +274,59 @@ func (t *Tree[V]) deleteBody(tid int, key int64, desc *Record[V]) (outcome attem
 					} else {
 						outcome = attemptRetry
 					}
-					m.RUnprotectAll(tid)
+					rm.RUnprotectAll()
 				}
 			}
 		}()
 	}
-	m.LeaveQstate(tid)
-	res := t.search(tid, key)
+	rm.LeaveQstate()
+	res := t.search(hd, key)
 	if !res.ok {
-		m.EnterQstate(tid)
+		rm.EnterQstate()
 		return attemptRetry, nil, nil
 	}
 	if res.l.key != key {
-		m.EnterQstate(tid)
-		t.releaseAllProtection(tid, res)
+		rm.EnterQstate()
+		t.releaseAllProtection(hd, res)
 		return attemptKeyAbsent, nil, nil
 	}
 	if res.gpupdate != nil && res.gpupdate.state != StateClean {
 		if !t.perRecord {
-			t.help(tid, res.gp, res.gpupdate)
+			t.help(hd, res.gp, res.gpupdate)
 		}
-		m.EnterQstate(tid)
-		t.releaseAllProtection(tid, res)
+		rm.EnterQstate()
+		t.releaseAllProtection(hd, res)
 		return attemptRetry, nil, nil
 	}
 	if res.pupdate != nil && res.pupdate.state != StateClean {
 		if !t.perRecord {
-			t.help(tid, res.p, res.pupdate)
+			t.help(hd, res.p, res.pupdate)
 		}
-		m.EnterQstate(tid)
-		t.releaseAllProtection(tid, res)
+		rm.EnterQstate()
+		t.releaseAllProtection(hd, res)
 		return attemptRetry, nil, nil
 	}
 
 	initDInfo(desc, key, res.gp, res.p, res.l, res.pupdate, res.gpupdate)
 
 	if t.crashRecovery {
-		m.RProtect(tid, res.gp)
-		m.RProtect(tid, res.p)
-		m.RProtect(tid, res.l)
+		rm.RProtect(res.gp)
+		rm.RProtect(res.p)
+		rm.RProtect(res.l)
 		if info := cellInfo(res.pupdate); info != nil {
-			m.RProtect(tid, info)
+			rm.RProtect(info)
 		}
 		if info := cellInfo(res.gpupdate); info != nil {
-			m.RProtect(tid, info)
+			rm.RProtect(info)
 		}
-		m.RProtect(tid, desc)
+		rm.RProtect(desc)
 	}
-	result := t.ownerDelete(tid, desc, false)
-	m.EnterQstate(tid)
+	result := t.ownerDelete(hd, desc, false)
+	rm.EnterQstate()
 	if t.crashRecovery {
-		m.RUnprotectAll(tid)
+		rm.RUnprotectAll()
 	}
-	t.releaseAllProtection(tid, res)
+	t.releaseAllProtection(hd, res)
 	switch result {
 	case outcomeSucceeded:
 		// res.p and res.l were captured by the search while protected.
@@ -335,7 +343,7 @@ func (t *Tree[V]) deleteBody(tid int, key int64, desc *Record[V]) (outcome attem
 // descriptor was published and backtracked) or outcomePending (the flag was
 // never installed; nothing was published). inRecovery suppresses helping
 // other operations (see ownerInsert).
-func (t *Tree[V]) ownerDelete(tid int, desc *Record[V], inRecovery bool) int32 {
+func (t *Tree[V]) ownerDelete(hd Handle[V], desc *Record[V], inRecovery bool) int32 {
 	for {
 		if o := desc.outcome.Load(); o != outcomePending {
 			return o
@@ -343,14 +351,14 @@ func (t *Tree[V]) ownerDelete(tid int, desc *Record[V], inRecovery bool) int32 {
 		cur := desc.gp.update.Load()
 		switch cur {
 		case &desc.flagCell:
-			if t.helpDelete(tid, desc, inRecovery) {
+			if t.helpDelete(hd, desc, inRecovery) {
 				return outcomeSucceeded
 			}
 			return outcomeFailed
 		case desc.gpupdate:
 			if desc.gp.update.CompareAndSwap(desc.gpupdate, &desc.flagCell) {
-				t.retireReplacedInfo(tid, desc.gpupdate)
-				if t.helpDelete(tid, desc, inRecovery) {
+				t.retireReplacedInfo(hd, desc.gpupdate)
+				if t.helpDelete(hd, desc, inRecovery) {
 					return outcomeSucceeded
 				}
 				return outcomeFailed
@@ -363,7 +371,7 @@ func (t *Tree[V]) ownerDelete(tid int, desc *Record[V], inRecovery bool) int32 {
 				return o
 			}
 			if !t.perRecord && !inRecovery && !t.crashRecovery {
-				t.help(tid, desc.gp, cur)
+				t.help(hd, desc.gp, cur)
 			}
 			return outcomePending
 		}
@@ -375,20 +383,20 @@ func (t *Tree[V]) ownerDelete(tid int, desc *Record[V], inRecovery bool) int32 {
 // marked because a different operation got in the way, back the deletion
 // out by unflagging the grandparent. Returns true when the deletion took
 // effect. inRecovery suppresses helping the obstructing operation.
-func (t *Tree[V]) helpDelete(tid int, desc *Record[V], inRecovery bool) bool {
+func (t *Tree[V]) helpDelete(hd Handle[V], desc *Record[V], inRecovery bool) bool {
 	marked := desc.p.update.CompareAndSwap(desc.pupdate, &desc.markCell)
 	if marked {
 		// We removed the last tree reference to the parent's previous Info.
-		t.retireReplacedInfo(tid, desc.pupdate)
+		t.retireReplacedInfo(hd, desc.pupdate)
 	}
 	if marked || desc.p.update.Load() == &desc.markCell {
-		t.helpMarked(tid, desc)
+		t.helpMarked(hd, desc)
 		return true
 	}
 	// Something else is installed at p: the deletion must back out.
 	desc.outcome.CompareAndSwap(outcomePending, outcomeFailed)
 	if !t.perRecord && !inRecovery && !t.crashRecovery {
-		t.help(tid, desc.p, desc.p.update.Load())
+		t.help(hd, desc.p, desc.p.update.Load())
 	}
 	desc.gp.update.CompareAndSwap(&desc.flagCell, &desc.cleanCell)
 	return false
@@ -397,7 +405,7 @@ func (t *Tree[V]) helpDelete(tid int, desc *Record[V], inRecovery bool) bool {
 // helpMarked completes a deletion whose parent has been marked: splice the
 // parent out of the tree (replacing it with the leaf's sibling) and unflag
 // the grandparent. Idempotent.
-func (t *Tree[V]) helpMarked(tid int, desc *Record[V]) {
+func (t *Tree[V]) helpMarked(hd Handle[V], desc *Record[V]) {
 	desc.outcome.CompareAndSwap(outcomePending, outcomeSucceeded)
 	// The sibling of the removed leaf under p. p is marked, so its children
 	// can no longer change and these reads are stable.
@@ -416,7 +424,7 @@ func (t *Tree[V]) helpMarked(tid int, desc *Record[V]) {
 // threads (the per-record protection path restarts instead of helping, as
 // discussed in the paper; under DEBRA+ helping happens only before the
 // operation announces its own recovery protections).
-func (t *Tree[V]) help(tid int, node *Record[V], cell *UpdateCell[V]) {
+func (t *Tree[V]) help(hd Handle[V], node *Record[V], cell *UpdateCell[V]) {
 	if cell == nil || node == nil || cellInfo(cell) == nil {
 		return
 	}
@@ -424,7 +432,7 @@ func (t *Tree[V]) help(tid int, node *Record[V], cell *UpdateCell[V]) {
 	// the CAS-heavy help procedures) keeps the window between the signal
 	// and the thread's next shared-memory write as small as the simulation
 	// allows; see DESIGN.md.
-	t.mgr.Checkpoint(tid)
+	hd.rm.Checkpoint()
 	// Re-validate that the cell is still installed. By the retire-on-replace
 	// rule an Info record is only retired after its cell has been replaced,
 	// so "still installed" implies the Info has not been retired (and hence
@@ -437,11 +445,11 @@ func (t *Tree[V]) help(tid int, node *Record[V], cell *UpdateCell[V]) {
 	info := cellInfo(cell)
 	switch cell.state {
 	case StateIFlag:
-		t.helpInsert(tid, info)
+		t.helpInsert(hd, info)
 	case StateMark:
-		t.helpMarked(tid, info)
+		t.helpMarked(hd, info)
 	case StateDFlag:
-		t.helpDelete(tid, info, false)
+		t.helpDelete(hd, info, false)
 	}
 }
 
@@ -461,8 +469,8 @@ func (t *Tree[V]) casChild(parent, old, new *Record[V], searchKey int64) bool {
 // retireReplacedInfo retires the Info record whose clean cell has just been
 // replaced by a successful CAS (the retire-on-replace rule). The initial
 // clean cell has no owning Info and is never retired.
-func (t *Tree[V]) retireReplacedInfo(tid int, replaced *UpdateCell[V]) {
+func (t *Tree[V]) retireReplacedInfo(hd Handle[V], replaced *UpdateCell[V]) {
 	if info := cellInfo(replaced); info != nil {
-		t.mgr.Retire(tid, info)
+		hd.rm.Retire(info)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sync/atomic"
 
+	"repro/internal/core"
 	"repro/internal/neutralize"
 )
 
@@ -97,6 +98,29 @@ func New[V any](mgr *Manager[V]) *Tree[V] {
 // Manager returns the tree's Record Manager (for instrumentation).
 func (t *Tree[V]) Manager() *Manager[V] { return t.mgr }
 
+// Handle is one worker thread's pre-resolved view of the tree: the Record
+// Manager thread handle bound once, so steady-state operations index no
+// per-thread slices and pay at most one interface call per reclamation
+// primitive. It is a small value type — resolve it once at worker
+// registration and reuse it; the tid-based Tree methods remain as thin
+// wrappers.
+type Handle[V any] struct {
+	t   *Tree[V]
+	rm  *core.ThreadHandle[Record[V]]
+	tid int
+}
+
+// Handle returns thread tid's pre-resolved operation handle.
+func (t *Tree[V]) Handle(tid int) Handle[V] {
+	return Handle[V]{t: t, rm: t.mgr.Handle(tid), tid: tid}
+}
+
+// Tid returns the dense thread id the handle is bound to.
+func (hd Handle[V]) Tid() int { return hd.tid }
+
+// Tree returns the tree the handle operates on.
+func (hd Handle[V]) Tree() *Tree[V] { return hd.t }
+
 // Stats returns a snapshot of the tree's operation counters.
 func (t *Tree[V]) Stats() Stats {
 	return Stats{
@@ -131,20 +155,20 @@ func child[V any](p *Record[V], key int64) *Record[V] {
 // validating each step and reporting ok=false when the caller must restart.
 // It also protects the Info records owning the returned update cells so they
 // can safely be used as CAS expected values and dereferenced.
-func (t *Tree[V]) search(tid int, key int64) searchResult[V] {
-	m := t.mgr
+func (t *Tree[V]) search(hd Handle[V], key int64) searchResult[V] {
+	rm := hd.rm
 	var res searchResult[V]
 	var gp, p *Record[V]
 	var gpupdate, pupdate *UpdateCell[V]
 	l := t.root
 	if t.perRecord {
-		m.Protect(tid, l)
+		rm.Protect(l)
 	}
 	for !l.IsLeaf() {
-		m.Checkpoint(tid)
+		rm.Checkpoint()
 		if t.perRecord && gp != nil {
 			// gp is about to become unreachable from our working set.
-			m.Unprotect(tid, gp)
+			rm.Unprotect(gp)
 		}
 		gp = p
 		gpupdate = pupdate
@@ -155,20 +179,20 @@ func (t *Tree[V]) search(tid int, key int64) searchResult[V] {
 			// A node is being initialised concurrently in a way we can no
 			// longer trust (can only happen if protection failed); restart.
 			res.ok = false
-			t.releaseSearchProtection(tid, gp, p, nil)
+			t.releaseSearchProtection(hd, gp, p, nil)
 			return res
 		}
 		if t.perRecord {
-			if !m.Protect(tid, l) {
+			if !rm.Protect(l) {
 				res.ok = false
-				t.releaseSearchProtection(tid, gp, p, nil)
+				t.releaseSearchProtection(hd, gp, p, nil)
 				return res
 			}
 			if child(p, key) != l {
 				// p's child changed under us: l may already be retired.
-				m.Unprotect(tid, l)
+				rm.Unprotect(l)
 				res.ok = false
-				t.releaseSearchProtection(tid, gp, p, nil)
+				t.releaseSearchProtection(hd, gp, p, nil)
 				return res
 			}
 			if p.update.Load() != pupdate {
@@ -183,13 +207,13 @@ func (t *Tree[V]) search(tid int, key int64) searchResult[V] {
 				// residual window — stepping through a node that was already
 				// marked when pupdate was read — remains, as the paper
 				// concedes for hazard pointers on this tree.)
-				m.Unprotect(tid, l)
+				rm.Unprotect(l)
 				res.ok = false
-				t.releaseSearchProtection(tid, gp, p, nil)
+				t.releaseSearchProtection(hd, gp, p, nil)
 				return res
 			}
 		}
-		t.observe(tid, l)
+		t.observe(hd.tid, l)
 	}
 	res.gp, res.p, res.l = gp, p, l
 	res.pupdate, res.gpupdate = pupdate, gpupdate
@@ -201,18 +225,18 @@ func (t *Tree[V]) search(tid int, key int64) searchResult[V] {
 		// relies on the retire-on-replace rule: an Info is only retired once
 		// its cell is no longer installed, so "still installed" implies
 		// "not retired when the protection was announced".
-		if !t.protectCellInfo(tid, p, pupdate) {
+		if !t.protectCellInfo(hd, p, pupdate) {
 			res.ok = false
-			t.releaseSearchProtection(tid, gp, p, l)
+			t.releaseSearchProtection(hd, gp, p, l)
 			return res
 		}
 		res.pInfoProt = cellInfo(pupdate)
-		if gp != nil && !t.protectCellInfo(tid, gp, gpupdate) {
+		if gp != nil && !t.protectCellInfo(hd, gp, gpupdate) {
 			if res.pInfoProt != nil {
-				m.Unprotect(tid, res.pInfoProt)
+				rm.Unprotect(res.pInfoProt)
 			}
 			res.ok = false
-			t.releaseSearchProtection(tid, gp, p, l)
+			t.releaseSearchProtection(hd, gp, p, l)
 			return res
 		}
 		if gp != nil {
@@ -233,63 +257,67 @@ func cellInfo[V any](c *UpdateCell[V]) *Record[V] {
 
 // protectCellInfo announces a hazard pointer to the Info record owning cell
 // (if any) and validates that node's update field still holds the cell.
-func (t *Tree[V]) protectCellInfo(tid int, node *Record[V], cell *UpdateCell[V]) bool {
+func (t *Tree[V]) protectCellInfo(hd Handle[V], node *Record[V], cell *UpdateCell[V]) bool {
 	info := cellInfo(cell)
 	if info == nil {
 		return true
 	}
-	m := t.mgr
-	if !m.Protect(tid, info) {
+	rm := hd.rm
+	if !rm.Protect(info) {
 		return false
 	}
 	if node.update.Load() != cell {
-		m.Unprotect(tid, info)
+		rm.Unprotect(info)
 		return false
 	}
 	return true
 }
 
 // releaseSearchProtection drops the sliding hazard pointers held by search.
-func (t *Tree[V]) releaseSearchProtection(tid int, gp, p, l *Record[V]) {
+func (t *Tree[V]) releaseSearchProtection(hd Handle[V], gp, p, l *Record[V]) {
 	if !t.perRecord {
 		return
 	}
-	m := t.mgr
+	rm := hd.rm
 	if gp != nil {
-		m.Unprotect(tid, gp)
+		rm.Unprotect(gp)
 	}
 	if p != nil {
-		m.Unprotect(tid, p)
+		rm.Unprotect(p)
 	}
 	if l != nil {
-		m.Unprotect(tid, l)
+		rm.Unprotect(l)
 	}
 }
 
 // releaseAll drops every protection the operation still holds (cheap: only
 // per-record schemes track any).
-func (t *Tree[V]) releaseAllProtection(tid int, res searchResult[V]) {
+func (t *Tree[V]) releaseAllProtection(hd Handle[V], res searchResult[V]) {
 	if !t.perRecord {
 		return
 	}
-	m := t.mgr
+	rm := hd.rm
 	if res.pInfoProt != nil {
-		m.Unprotect(tid, res.pInfoProt)
+		rm.Unprotect(res.pInfoProt)
 	}
 	if res.gpInfoP != nil {
-		m.Unprotect(tid, res.gpInfoP)
+		rm.Unprotect(res.gpInfoP)
 	}
-	t.releaseSearchProtection(tid, res.gp, res.p, res.l)
+	t.releaseSearchProtection(hd, res.gp, res.p, res.l)
 }
 
 // Get returns the value associated with key and whether it is present.
-func (t *Tree[V]) Get(tid int, key int64) (V, bool) {
+func (t *Tree[V]) Get(tid int, key int64) (V, bool) { return t.Handle(tid).Get(key) }
+
+// Get returns the value associated with key through the thread's handle.
+func (hd Handle[V]) Get(key int64) (V, bool) {
+	t := hd.t
 	var zero V
 	if key >= Infinity1 {
 		return zero, false
 	}
 	for {
-		v, ok, done := t.getAttempt(tid, key)
+		v, ok, done := t.getAttempt(hd, key)
 		if done {
 			return v, ok
 		}
@@ -299,8 +327,8 @@ func (t *Tree[V]) Get(tid int, key int64) (V, bool) {
 
 // getAttempt performs one attempt of Get. done=false means restart (hazard
 // pointer validation failed or the attempt was neutralized).
-func (t *Tree[V]) getAttempt(tid int, key int64) (val V, found, done bool) {
-	m := t.mgr
+func (t *Tree[V]) getAttempt(hd Handle[V], key int64) (val V, found, done bool) {
+	rm := hd.rm
 	if t.crashRecovery {
 		defer func() {
 			if v := recover(); v != nil {
@@ -308,30 +336,33 @@ func (t *Tree[V]) getAttempt(tid int, key int64) (val V, found, done bool) {
 					// Read-only operations have trivial recovery: discard
 					// and retry.
 					t.stats.recov.Add(1)
-					m.RUnprotectAll(tid)
+					rm.RUnprotectAll()
 					done = false
 					return
 				}
 			}
 		}()
 	}
-	m.LeaveQstate(tid)
-	res := t.search(tid, key)
+	rm.LeaveQstate()
+	res := t.search(hd, key)
 	if !res.ok {
-		m.EnterQstate(tid)
+		rm.EnterQstate()
 		return val, false, false
 	}
 	found = res.l.key == key
 	if found {
 		val = res.l.value
 	}
-	m.EnterQstate(tid)
-	t.releaseAllProtection(tid, res)
+	rm.EnterQstate()
+	t.releaseAllProtection(hd, res)
 	return val, found, true
 }
 
 // Contains reports whether key is in the set.
-func (t *Tree[V]) Contains(tid int, key int64) bool {
-	_, ok := t.Get(tid, key)
+func (t *Tree[V]) Contains(tid int, key int64) bool { return t.Handle(tid).Contains(key) }
+
+// Contains reports whether key is in the set through the thread's handle.
+func (hd Handle[V]) Contains(key int64) bool {
+	_, ok := hd.Get(key)
 	return ok
 }

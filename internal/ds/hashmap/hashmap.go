@@ -157,6 +157,7 @@ type Map[V any] struct {
 
 	segments [maxSegments]atomic.Pointer[segment[V]]
 	spares   []spareSlot[V]
+	handles  []Handle[V]
 
 	// perRecord caches whether the reclaimer needs Protect/validate per
 	// record; crashRecovery caches whether bodies can be neutralized.
@@ -204,8 +205,34 @@ func New[V any](mgr *Manager[V], threads int, opts ...Option) *Map[V] {
 	h.head = mgr.Allocate(0)
 	initDummy(h.head, dummySoKey(0))
 	h.size.Store(cfg.initialBuckets)
+	h.handles = make([]Handle[V], threads)
+	for i := range h.handles {
+		h.handles[i] = Handle[V]{h: h, rm: mgr.Handle(i), spare: &h.spares[i], tid: i}
+	}
 	return h
 }
+
+// Handle is one worker thread's pre-resolved view of the map: the Record
+// Manager thread handle and the thread's scratch state bound once, so
+// steady-state operations index no per-thread slices and pay at most one
+// interface call per reclamation primitive. Resolve it once at worker
+// registration (h.Handle(tid)) and call the operation methods on it; the
+// tid-based Map methods remain as thin wrappers.
+type Handle[V any] struct {
+	h     *Map[V]
+	rm    *core.ThreadHandle[Node[V]]
+	spare *spareSlot[V]
+	tid   int
+}
+
+// Handle returns thread tid's pre-resolved operation handle.
+func (h *Map[V]) Handle(tid int) *Handle[V] { return &h.handles[tid] }
+
+// Tid returns the dense thread id the handle is bound to.
+func (hd *Handle[V]) Tid() int { return hd.tid }
+
+// Map returns the map the handle operates on.
+func (hd *Handle[V]) Map() *Map[V] { return hd.h }
 
 // Manager returns the map's Record Manager (for instrumentation).
 func (h *Map[V]) Manager() *Manager[V] { return h.mgr }
@@ -263,7 +290,7 @@ func (h *Map[V]) bucketLoc(b uint64) *atomic.Pointer[Node[V]] {
 // (and, recursively, its parents) on first access. It is called inside an
 // operation body: the thread is not quiescent, and ok=false propagates a
 // per-record protection failure to the body, which restarts.
-func (h *Map[V]) bucketDummy(tid int, b uint64) (*Node[V], bool) {
+func (h *Map[V]) bucketDummy(hd *Handle[V], b uint64) (*Node[V], bool) {
 	if b == 0 {
 		return h.head, true
 	}
@@ -271,26 +298,26 @@ func (h *Map[V]) bucketDummy(tid int, b uint64) (*Node[V], bool) {
 	if d := loc.Load(); d != nil {
 		return d, true
 	}
-	parent, ok := h.bucketDummy(tid, parentBucket(b))
+	parent, ok := h.bucketDummy(hd, parentBucket(b))
 	if !ok {
 		return nil, false
 	}
 	// The spare slot carries the pre-allocated dummy across neutralization
 	// retries so a restarted body does not allocate again.
-	spare := h.spares[tid].node
+	spare := hd.spare.node
 	if spare == nil {
-		spare = h.mgr.Allocate(tid)
-		h.spares[tid].node = spare
+		spare = hd.rm.Allocate()
+		hd.spare.node = spare
 	}
 	initDummy(spare, dummySoKey(b))
-	d, ok := h.insertDummy(tid, parent, spare)
+	d, ok := h.insertDummy(hd, parent, spare)
 	if !ok {
 		return nil, false
 	}
 	if d == spare {
 		// Published: the slot no longer owns it. No checkpoint can run
 		// between the winning CAS (inside insertDummy) and this line.
-		h.spares[tid].node = nil
+		hd.spare.node = nil
 		h.stats.dummies.Add(1)
 	}
 	loc.CompareAndSwap(nil, d)
@@ -301,30 +328,30 @@ func (h *Map[V]) bucketDummy(tid int, b uint64) (*Node[V], bool) {
 // returning the list's sentinel for that split-order key: dummy itself when
 // our splice won, or the already-present sentinel when another initialiser
 // beat us (in which case the caller keeps its spare for later reuse).
-func (h *Map[V]) insertDummy(tid int, start, dummy *Node[V]) (*Node[V], bool) {
+func (h *Map[V]) insertDummy(hd *Handle[V], start, dummy *Node[V]) (*Node[V], bool) {
 	for {
-		pos, ok := h.find(tid, start, dummy.sokey, dummy.key)
+		pos, ok := h.find(hd, start, dummy.sokey, dummy.key)
 		if !ok {
 			return nil, false
 		}
 		if pos.found {
 			d := pos.curr
-			h.releasePos(tid, pos)
+			h.releasePos(hd, pos)
 			return d, true
 		}
 		dummy.next.Store(pos.curr)
 		if pos.pred.next.CompareAndSwap(pos.curr, dummy) {
-			h.releasePos(tid, pos)
+			h.releasePos(hd, pos)
 			return dummy, true
 		}
-		h.releasePos(tid, pos)
+		h.releasePos(hd, pos)
 	}
 }
 
 // startBucket locates the dummy node heading the bucket key hashes to under
 // the current table size.
-func (h *Map[V]) startBucket(tid int, hash uint64) (*Node[V], bool) {
-	return h.bucketDummy(tid, hash&(h.size.Load()-1))
+func (h *Map[V]) startBucket(hd *Handle[V], hash uint64) (*Node[V], bool) {
+	return h.bucketDummy(hd, hash&(h.size.Load()-1))
 }
 
 // maybeGrow doubles the table when the load factor is exceeded. A single CAS
@@ -356,15 +383,15 @@ type findPos[V any] struct {
 }
 
 // releasePos drops the protections recorded in pos.
-func (h *Map[V]) releasePos(tid int, pos findPos[V]) {
+func (h *Map[V]) releasePos(hd *Handle[V], pos findPos[V]) {
 	if !h.perRecord {
 		return
 	}
 	if pos.predProt {
-		h.mgr.Unprotect(tid, pos.pred)
+		hd.rm.Unprotect(pos.pred)
 	}
 	if pos.currProt && pos.curr != nil {
-		h.mgr.Unprotect(tid, pos.curr)
+		hd.rm.Unprotect(pos.curr)
 	}
 }
 
@@ -377,34 +404,34 @@ func (h *Map[V]) releasePos(tid int, pos findPos[V]) {
 // start, which is a dummy and never retired), curr protected (when non-nil),
 // and found reporting whether curr's (sokey, key) equals the search key.
 // The caller must eventually releasePos.
-func (h *Map[V]) find(tid int, start *Node[V], sokey uint64, key int64) (findPos[V], bool) {
-	m := h.mgr
+func (h *Map[V]) find(hd *Handle[V], start *Node[V], sokey uint64, key int64) (findPos[V], bool) {
+	rm := hd.rm
 	pos := findPos[V]{pred: start}
 	curr := start.next.Load()
 	if h.perRecord && curr != nil {
-		if !m.Protect(tid, curr) {
+		if !rm.Protect(curr) {
 			return pos, false
 		}
 		if start.next.Load() != curr {
-			m.Unprotect(tid, curr)
+			rm.Unprotect(curr)
 			return pos, false
 		}
 	}
 	for {
-		m.Checkpoint(tid)
+		rm.Checkpoint()
 		if curr == nil {
 			return pos, true
 		}
-		h.observe(tid, curr)
+		h.observe(hd.tid, curr)
 		next := curr.next.Load()
 		if next != nil {
 			if h.perRecord {
-				if !m.Protect(tid, next) {
-					h.failFind(tid, pos, curr, nil)
+				if !rm.Protect(next) {
+					h.failFind(hd, pos, curr, nil)
 					return pos, false
 				}
 				if curr.next.Load() != next {
-					h.failFind(tid, pos, curr, next)
+					h.failFind(hd, pos, curr, next)
 					return pos, false
 				}
 				if pos.pred.next.Load() != curr {
@@ -415,11 +442,11 @@ func (h *Map[V]) find(tid int, start *Node[V], sokey uint64, key int64) (findPos
 					// dereference next. curr still being reachable from the
 					// protected pred proves the pair is not yet retired,
 					// making the announcement in time for any kind of next.
-					h.failFind(tid, pos, curr, next)
+					h.failFind(hd, pos, curr, next)
 					return pos, false
 				}
 			}
-			h.observe(tid, next)
+			h.observe(hd.tid, next)
 			if next.kind == kindMarker {
 				// curr is logically deleted; unlink the (curr, marker) pair.
 				// Only the winning CAS retires: curr leaves the list exactly
@@ -427,33 +454,33 @@ func (h *Map[V]) find(tid int, start *Node[V], sokey uint64, key int64) (findPos
 				// marked, so the pair cannot be unlinked twice.
 				succ := next.next.Load()
 				if pos.pred.next.CompareAndSwap(curr, succ) {
-					m.Retire(tid, curr)
-					m.Retire(tid, next)
+					rm.Retire(curr)
+					rm.Retire(next)
 					h.stats.unlinks.Add(1)
 					if h.perRecord {
-						m.Unprotect(tid, curr)
-						m.Unprotect(tid, next)
+						rm.Unprotect(curr)
+						rm.Unprotect(next)
 					}
 					curr = succ
 					if h.perRecord && curr != nil {
-						if !m.Protect(tid, curr) {
-							h.failFind(tid, pos, nil, nil)
+						if !rm.Protect(curr) {
+							h.failFind(hd, pos, nil, nil)
 							return pos, false
 						}
 						if pos.pred.next.Load() != curr {
-							h.failFind(tid, pos, curr, nil)
+							h.failFind(hd, pos, curr, nil)
 							return pos, false
 						}
 					}
 					continue
 				}
-				h.failFind(tid, pos, curr, next)
+				h.failFind(hd, pos, curr, next)
 				return pos, false
 			}
 		}
 		if !soLess(curr.sokey, curr.key, sokey, key) {
 			if h.perRecord && next != nil {
-				m.Unprotect(tid, next)
+				rm.Unprotect(next)
 			}
 			pos.curr = curr
 			pos.currProt = h.perRecord
@@ -463,7 +490,7 @@ func (h *Map[V]) find(tid int, start *Node[V], sokey uint64, key int64) (findPos
 		// Advance the window: curr's protection slides to the pred slot,
 		// next's (acquired above) to the curr slot.
 		if h.perRecord && pos.predProt {
-			m.Unprotect(tid, pos.pred)
+			rm.Unprotect(pos.pred)
 		}
 		pos.pred = curr
 		pos.predProt = h.perRecord
@@ -473,19 +500,19 @@ func (h *Map[V]) find(tid int, start *Node[V], sokey uint64, key int64) (findPos
 
 // failFind releases the protections held by an aborted find: the sliding
 // pred plus whichever of curr/next the failing iteration still holds.
-func (h *Map[V]) failFind(tid int, pos findPos[V], curr, next *Node[V]) {
+func (h *Map[V]) failFind(hd *Handle[V], pos findPos[V], curr, next *Node[V]) {
 	if !h.perRecord {
 		return
 	}
-	m := h.mgr
+	rm := hd.rm
 	if next != nil {
-		m.Unprotect(tid, next)
+		rm.Unprotect(next)
 	}
 	if curr != nil {
-		m.Unprotect(tid, curr)
+		rm.Unprotect(curr)
 	}
 	if pos.predProt {
-		m.Unprotect(tid, pos.pred)
+		rm.Unprotect(pos.pred)
 	}
 }
 
@@ -502,17 +529,22 @@ const (
 // key was inserted and false if it was already present (the value is not
 // replaced, matching the set semantics of the module's other structures).
 func (h *Map[V]) Insert(tid int, key int64, value V) bool {
-	m := h.mgr
+	return h.handles[tid].Insert(key, value)
+}
+
+// Insert adds key with the given value through the thread's handle.
+func (hd *Handle[V]) Insert(key int64, value V) bool {
+	h := hd.h
 	// Quiescent preamble: allocate the node the body may publish.
 	// Allocation is not re-entrant, so it must not happen inside the body
 	// (which can be neutralized and re-run).
-	node := m.Allocate(tid)
+	node := hd.rm.Allocate()
 	for {
-		switch h.insertBody(tid, key, value, node) {
+		switch h.insertBody(hd, key, value, node) {
 		case opTrue:
 			return true
 		case opFalse:
-			m.Deallocate(tid, node)
+			hd.rm.Deallocate(node)
 			return false
 		default:
 			h.stats.restarts.Add(1)
@@ -524,11 +556,11 @@ func (h *Map[V]) Insert(tid int, key int64, value V) bool {
 // is captured in published before EnterQstate (which can deliver a pending
 // neutralization), so recovery decides retry-vs-success from local state
 // alone and never touches shared records.
-func (h *Map[V]) insertBody(tid int, key int64, value V, node *Node[V]) (outcome int) {
-	m := h.mgr
+func (h *Map[V]) insertBody(hd *Handle[V], key int64, value V, node *Node[V]) (outcome int) {
+	rm := hd.rm
 	published := false
 	if h.crashRecovery {
-		defer neutralize.OnNeutralized(m, tid, func(neutralize.Neutralized) {
+		defer neutralize.OnNeutralized(h.mgr, hd.tid, func(neutralize.Neutralized) {
 			if published {
 				outcome = opTrue
 			} else {
@@ -536,22 +568,22 @@ func (h *Map[V]) insertBody(tid int, key int64, value V, node *Node[V]) (outcome
 			}
 		})
 	}
-	m.LeaveQstate(tid)
+	rm.LeaveQstate()
 	hash := hashOf(key)
 	sokey := regularSoKey(hash)
-	start, ok := h.startBucket(tid, hash)
+	start, ok := h.startBucket(hd, hash)
 	if !ok {
-		m.EnterQstate(tid)
+		rm.EnterQstate()
 		return opRetry
 	}
-	pos, ok := h.find(tid, start, sokey, key)
+	pos, ok := h.find(hd, start, sokey, key)
 	if !ok {
-		m.EnterQstate(tid)
+		rm.EnterQstate()
 		return opRetry
 	}
 	if pos.found {
-		m.EnterQstate(tid)
-		h.releasePos(tid, pos)
+		rm.EnterQstate()
+		h.releasePos(hd, pos)
 		return opFalse
 	}
 	initRegular(node, key, value, sokey, pos.curr)
@@ -559,34 +591,37 @@ func (h *Map[V]) insertBody(tid int, key int64, value V, node *Node[V]) (outcome
 		published = true
 		h.count.Add(1)
 		h.maybeGrow()
-		m.EnterQstate(tid)
-		h.releasePos(tid, pos)
+		rm.EnterQstate()
+		h.releasePos(hd, pos)
 		return opTrue
 	}
-	m.EnterQstate(tid)
-	h.releasePos(tid, pos)
+	rm.EnterQstate()
+	h.releasePos(hd, pos)
 	return opRetry
 }
 
 // Delete removes key from the map, returning true if it was present.
-func (h *Map[V]) Delete(tid int, key int64) bool {
-	m := h.mgr
+func (h *Map[V]) Delete(tid int, key int64) bool { return h.handles[tid].Delete(key) }
+
+// Delete removes key through the thread's handle.
+func (hd *Handle[V]) Delete(key int64) bool {
+	h := hd.h
 	// Quiescent preamble: allocate the marker the body may publish.
-	marker := m.Allocate(tid)
+	marker := hd.rm.Allocate()
 	for {
-		outcome, unlinkedN, unlinkedM := h.deleteBody(tid, key, marker)
+		outcome, unlinkedN, unlinkedM := h.deleteBody(hd, key, marker)
 		switch outcome {
 		case opTrue:
 			// Quiescent postamble: if our own unlink CAS won, the node and
 			// its marker are unreachable and it is on us to retire them
 			// (otherwise a later traversal unlinks and retires the pair).
 			if unlinkedN != nil {
-				m.Retire(tid, unlinkedN)
-				m.Retire(tid, unlinkedM)
+				hd.rm.Retire(unlinkedN)
+				hd.rm.Retire(unlinkedM)
 			}
 			return true
 		case opFalse:
-			m.Deallocate(tid, marker)
+			hd.rm.Deallocate(marker)
 			return false
 		default:
 			h.stats.restarts.Add(1)
@@ -598,11 +633,11 @@ func (h *Map[V]) Delete(tid int, key int64) bool {
 // marker CAS on the victim's next field; its result is captured in marked
 // before any further checkpoint, so neutralization recovery never has to
 // guess whether the delete took effect.
-func (h *Map[V]) deleteBody(tid int, key int64, marker *Node[V]) (outcome int, unlinkedN, unlinkedM *Node[V]) {
-	m := h.mgr
+func (h *Map[V]) deleteBody(hd *Handle[V], key int64, marker *Node[V]) (outcome int, unlinkedN, unlinkedM *Node[V]) {
+	rm := hd.rm
 	marked := false
 	if h.crashRecovery {
-		defer neutralize.OnNeutralized(m, tid, func(neutralize.Neutralized) {
+		defer neutralize.OnNeutralized(h.mgr, hd.tid, func(neutralize.Neutralized) {
 			if marked {
 				// The named unlinked pair (set before EnterQstate) rides
 				// out through the named returns.
@@ -613,22 +648,22 @@ func (h *Map[V]) deleteBody(tid int, key int64, marker *Node[V]) (outcome int, u
 			}
 		})
 	}
-	m.LeaveQstate(tid)
+	rm.LeaveQstate()
 	hash := hashOf(key)
 	sokey := regularSoKey(hash)
-	start, ok := h.startBucket(tid, hash)
+	start, ok := h.startBucket(hd, hash)
 	if !ok {
-		m.EnterQstate(tid)
+		rm.EnterQstate()
 		return opRetry, nil, nil
 	}
-	pos, ok := h.find(tid, start, sokey, key)
+	pos, ok := h.find(hd, start, sokey, key)
 	if !ok {
-		m.EnterQstate(tid)
+		rm.EnterQstate()
 		return opRetry, nil, nil
 	}
 	if !pos.found {
-		m.EnterQstate(tid)
-		h.releasePos(tid, pos)
+		rm.EnterQstate()
+		h.releasePos(hd, pos)
 		return opFalse, nil, nil
 	}
 	n := pos.curr
@@ -641,28 +676,28 @@ func (h *Map[V]) deleteBody(tid int, key int64, marker *Node[V]) (outcome int, u
 		// reachability from the protected pred completes the proof that s
 		// has not been reclaimed.
 		if h.perRecord {
-			if !m.Protect(tid, s) {
-				m.EnterQstate(tid)
-				h.releasePos(tid, pos)
+			if !rm.Protect(s) {
+				rm.EnterQstate()
+				h.releasePos(hd, pos)
 				return opRetry, nil, nil
 			}
 			if n.next.Load() != s || pos.pred.next.Load() != n {
-				m.EnterQstate(tid)
-				m.Unprotect(tid, s)
-				h.releasePos(tid, pos)
+				rm.EnterQstate()
+				rm.Unprotect(s)
+				h.releasePos(hd, pos)
 				return opRetry, nil, nil
 			}
 		}
-		h.observe(tid, s)
+		h.observe(hd.tid, s)
 		if s.kind == kindMarker {
 			// Another delete already marked n: this delete linearizes after
 			// it and finds the key absent. The retry's find unlinks the pair
 			// and reports not-found.
-			m.EnterQstate(tid)
+			rm.EnterQstate()
 			if h.perRecord {
-				m.Unprotect(tid, s)
+				rm.Unprotect(s)
 			}
-			h.releasePos(tid, pos)
+			h.releasePos(hd, pos)
 			return opRetry, nil, nil
 		}
 	}
@@ -677,18 +712,18 @@ func (h *Map[V]) deleteBody(tid int, key int64, marker *Node[V]) (outcome int, u
 			unlinkedN, unlinkedM = n, marker
 			h.stats.unlinks.Add(1)
 		}
-		m.EnterQstate(tid)
+		rm.EnterQstate()
 		if h.perRecord && s != nil {
-			m.Unprotect(tid, s)
+			rm.Unprotect(s)
 		}
-		h.releasePos(tid, pos)
+		h.releasePos(hd, pos)
 		return opTrue, unlinkedN, unlinkedM
 	}
-	m.EnterQstate(tid)
+	rm.EnterQstate()
 	if h.perRecord && s != nil {
-		m.Unprotect(tid, s)
+		rm.Unprotect(s)
 	}
-	h.releasePos(tid, pos)
+	h.releasePos(hd, pos)
 	return opRetry, nil, nil
 }
 
@@ -716,28 +751,33 @@ const (
 // between the two linearization points (Upsert is a Delete+Insert
 // composition, not a single atomic read-modify-write).
 func (h *Map[V]) Upsert(tid int, key int64, value V) (prev V, replaced bool) {
-	m := h.mgr
+	return h.handles[tid].Upsert(key, value)
+}
+
+// Upsert sets key to value through the thread's handle (see Map.Upsert).
+func (hd *Handle[V]) Upsert(key int64, value V) (prev V, replaced bool) {
+	h := hd.h
 	// Quiescent preamble: allocate the node the body publishes and the
 	// marker a replacement consumes (re-allocated when an attempt consumes
 	// it without finishing; allocation must not happen inside a body that
 	// can be neutralized and re-run).
-	node := m.Allocate(tid)
+	node := hd.rm.Allocate()
 	var marker *Node[V]
 	for {
 		if marker == nil {
-			marker = m.Allocate(tid)
+			marker = hd.rm.Allocate()
 		}
-		outcome, pv, uN, uM := h.upsertBody(tid, key, value, node, marker)
+		outcome, pv, uN, uM := h.upsertBody(hd, key, value, node, marker)
 		switch outcome {
 		case opUpsertInserted:
 			// prev/replaced may have been set by an earlier attempt that
 			// marked the old node but lost the replace CAS.
-			m.Deallocate(tid, marker)
+			hd.rm.Deallocate(marker)
 			return prev, replaced
 		case opUpsertReplaced:
 			if uN != nil {
-				m.Retire(tid, uN)
-				m.Retire(tid, uM)
+				hd.rm.Retire(uN)
+				hd.rm.Retire(uM)
 			}
 			return pv, true
 		case opUpsertMarkedOnly:
@@ -756,12 +796,12 @@ func (h *Map[V]) Upsert(tid int, key int64, value V) (prev V, replaced bool) {
 // both locals are set before any further checkpoint so neutralization
 // recovery reconstructs the outcome from local state alone, exactly as in
 // insertBody/deleteBody.
-func (h *Map[V]) upsertBody(tid int, key int64, value V, node, marker *Node[V]) (outcome int, prevVal V, unlinkedN, unlinkedM *Node[V]) {
-	m := h.mgr
+func (h *Map[V]) upsertBody(hd *Handle[V], key int64, value V, node, marker *Node[V]) (outcome int, prevVal V, unlinkedN, unlinkedM *Node[V]) {
+	rm := hd.rm
 	published := false
 	marked := false
 	if h.crashRecovery {
-		defer neutralize.OnNeutralized(m, tid, func(neutralize.Neutralized) {
+		defer neutralize.OnNeutralized(h.mgr, hd.tid, func(neutralize.Neutralized) {
 			switch {
 			case published && marked:
 				outcome = opUpsertReplaced // unlinked pair rides the named returns
@@ -777,17 +817,17 @@ func (h *Map[V]) upsertBody(tid int, key int64, value V, node, marker *Node[V]) 
 			}
 		})
 	}
-	m.LeaveQstate(tid)
+	rm.LeaveQstate()
 	hash := hashOf(key)
 	sokey := regularSoKey(hash)
-	start, ok := h.startBucket(tid, hash)
+	start, ok := h.startBucket(hd, hash)
 	if !ok {
-		m.EnterQstate(tid)
+		rm.EnterQstate()
 		return opRetry, prevVal, nil, nil
 	}
-	pos, ok := h.find(tid, start, sokey, key)
+	pos, ok := h.find(hd, start, sokey, key)
 	if !ok {
-		m.EnterQstate(tid)
+		rm.EnterQstate()
 		return opRetry, prevVal, nil, nil
 	}
 	if !pos.found {
@@ -797,12 +837,12 @@ func (h *Map[V]) upsertBody(tid int, key int64, value V, node, marker *Node[V]) 
 			published = true
 			h.count.Add(1)
 			h.maybeGrow()
-			m.EnterQstate(tid)
-			h.releasePos(tid, pos)
+			rm.EnterQstate()
+			h.releasePos(hd, pos)
 			return opUpsertInserted, prevVal, nil, nil
 		}
-		m.EnterQstate(tid)
-		h.releasePos(tid, pos)
+		rm.EnterQstate()
+		h.releasePos(hd, pos)
 		return opRetry, prevVal, nil, nil
 	}
 	// Present: replace. Mark the current node first (cf. deleteBody), then
@@ -811,27 +851,27 @@ func (h *Map[V]) upsertBody(tid int, key int64, value V, node, marker *Node[V]) 
 	s := n.next.Load()
 	if s != nil {
 		if h.perRecord {
-			if !m.Protect(tid, s) {
-				m.EnterQstate(tid)
-				h.releasePos(tid, pos)
+			if !rm.Protect(s) {
+				rm.EnterQstate()
+				h.releasePos(hd, pos)
 				return opRetry, prevVal, nil, nil
 			}
 			if n.next.Load() != s || pos.pred.next.Load() != n {
-				m.EnterQstate(tid)
-				m.Unprotect(tid, s)
-				h.releasePos(tid, pos)
+				rm.EnterQstate()
+				rm.Unprotect(s)
+				h.releasePos(hd, pos)
 				return opRetry, prevVal, nil, nil
 			}
 		}
-		h.observe(tid, s)
+		h.observe(hd.tid, s)
 		if s.kind == kindMarker {
 			// A concurrent delete marked n: retry; the next find unlinks the
 			// pair and reports the key absent.
-			m.EnterQstate(tid)
+			rm.EnterQstate()
 			if h.perRecord {
-				m.Unprotect(tid, s)
+				rm.Unprotect(s)
 			}
-			h.releasePos(tid, pos)
+			h.releasePos(hd, pos)
 			return opRetry, prevVal, nil, nil
 		}
 	}
@@ -849,28 +889,32 @@ func (h *Map[V]) upsertBody(tid int, key int64, value V, node, marker *Node[V]) 
 			unlinkedN, unlinkedM = n, marker
 			h.stats.unlinks.Add(1)
 		}
-		m.EnterQstate(tid)
+		rm.EnterQstate()
 		if h.perRecord && s != nil {
-			m.Unprotect(tid, s)
+			rm.Unprotect(s)
 		}
-		h.releasePos(tid, pos)
+		h.releasePos(hd, pos)
 		if published {
 			return opUpsertReplaced, prevVal, unlinkedN, unlinkedM
 		}
 		return opUpsertMarkedOnly, prevVal, nil, nil
 	}
-	m.EnterQstate(tid)
+	rm.EnterQstate()
 	if h.perRecord && s != nil {
-		m.Unprotect(tid, s)
+		rm.Unprotect(s)
 	}
-	h.releasePos(tid, pos)
+	h.releasePos(hd, pos)
 	return opRetry, prevVal, nil, nil
 }
 
 // Get returns the value associated with key and whether it is present.
-func (h *Map[V]) Get(tid int, key int64) (V, bool) {
+func (h *Map[V]) Get(tid int, key int64) (V, bool) { return h.handles[tid].Get(key) }
+
+// Get returns the value associated with key through the thread's handle.
+func (hd *Handle[V]) Get(key int64) (V, bool) {
+	h := hd.h
 	for {
-		v, ok, done := h.getBody(tid, key)
+		v, ok, done := h.getBody(hd, key)
 		if done {
 			return v, ok
 		}
@@ -881,25 +925,25 @@ func (h *Map[V]) Get(tid int, key int64) (V, bool) {
 // getBody is one attempt of Get. done=false means restart (protection
 // validation failed or the attempt was neutralized; read-only recovery is
 // trivially discard-and-retry).
-func (h *Map[V]) getBody(tid int, key int64) (val V, found, done bool) {
-	m := h.mgr
+func (h *Map[V]) getBody(hd *Handle[V], key int64) (val V, found, done bool) {
+	rm := hd.rm
 	if h.crashRecovery {
-		defer neutralize.OnNeutralized(m, tid, func(neutralize.Neutralized) {
+		defer neutralize.OnNeutralized(h.mgr, hd.tid, func(neutralize.Neutralized) {
 			var zero V
 			val, found, done = zero, false, false
 		})
 	}
-	m.LeaveQstate(tid)
+	rm.LeaveQstate()
 	hash := hashOf(key)
 	sokey := regularSoKey(hash)
-	start, ok := h.startBucket(tid, hash)
+	start, ok := h.startBucket(hd, hash)
 	if !ok {
-		m.EnterQstate(tid)
+		rm.EnterQstate()
 		return val, false, false
 	}
-	pos, ok := h.find(tid, start, sokey, key)
+	pos, ok := h.find(hd, start, sokey, key)
 	if !ok {
-		m.EnterQstate(tid)
+		rm.EnterQstate()
 		return val, false, false
 	}
 	if pos.found {
@@ -908,14 +952,17 @@ func (h *Map[V]) getBody(tid int, key int64) (val V, found, done bool) {
 		val = pos.curr.value
 		found = true
 	}
-	m.EnterQstate(tid)
-	h.releasePos(tid, pos)
+	rm.EnterQstate()
+	h.releasePos(hd, pos)
 	return val, found, true
 }
 
 // Contains reports whether key is in the map.
-func (h *Map[V]) Contains(tid int, key int64) bool {
-	_, ok := h.Get(tid, key)
+func (h *Map[V]) Contains(tid int, key int64) bool { return h.handles[tid].Contains(key) }
+
+// Contains reports whether key is in the map through the thread's handle.
+func (hd *Handle[V]) Contains(key int64) bool {
+	_, ok := hd.Get(key)
 	return ok
 }
 

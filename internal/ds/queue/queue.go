@@ -86,15 +86,41 @@ func New[V any](mgr *Manager[V]) *Queue[V] {
 // Manager returns the queue's Record Manager.
 func (q *Queue[V]) Manager() *Manager[V] { return q.mgr }
 
+// Handle is one worker thread's pre-resolved view of the queue: the Record
+// Manager thread handle bound once, so steady-state operations index no
+// per-thread slices and pay at most one interface call per reclamation
+// primitive. It is a small value type — resolve it once at worker
+// registration and reuse it; the tid-based Queue methods remain as thin
+// wrappers.
+type Handle[V any] struct {
+	q   *Queue[V]
+	rm  *core.ThreadHandle[Node[V]]
+	tid int
+}
+
+// Handle returns thread tid's pre-resolved operation handle.
+func (q *Queue[V]) Handle(tid int) Handle[V] {
+	return Handle[V]{q: q, rm: q.mgr.Handle(tid), tid: tid}
+}
+
+// Tid returns the dense thread id the handle is bound to.
+func (hd Handle[V]) Tid() int { return hd.tid }
+
+// Queue returns the queue the handle operates on.
+func (hd Handle[V]) Queue() *Queue[V] { return hd.q }
+
 // Enqueue appends value to the tail of the queue.
-func (q *Queue[V]) Enqueue(tid int, value V) {
+func (q *Queue[V]) Enqueue(tid int, value V) { q.Handle(tid).Enqueue(value) }
+
+// Enqueue appends value through the thread's handle.
+func (hd Handle[V]) Enqueue(value V) {
 	// Quiescent preamble: allocate the node the body publishes (allocation
 	// is not re-entrant, so it must not happen inside a body that can be
 	// neutralized and re-run).
-	node := q.mgr.Allocate(tid)
+	node := hd.rm.Allocate()
 	node.value = value
 	node.next.Store(nil)
-	for !q.enqueueBody(tid, node) {
+	for !hd.q.enqueueBody(hd, node) {
 	}
 }
 
@@ -102,31 +128,31 @@ func (q *Queue[V]) Enqueue(tid int, value V) {
 // result is captured in published before EnterQstate (which can deliver a
 // pending neutralization), so recovery decides retry-vs-done from local
 // state alone.
-func (q *Queue[V]) enqueueBody(tid int, node *Node[V]) (done bool) {
-	m := q.mgr
+func (q *Queue[V]) enqueueBody(hd Handle[V], node *Node[V]) (done bool) {
+	rm := hd.rm
 	published := false
 	if q.crashRecovery {
-		defer neutralize.OnNeutralized(m, tid, func(neutralize.Neutralized) {
+		defer neutralize.OnNeutralized(q.mgr, hd.tid, func(neutralize.Neutralized) {
 			done = published
 		})
 	}
-	m.LeaveQstate(tid)
+	rm.LeaveQstate()
 	for {
-		m.Checkpoint(tid)
+		rm.Checkpoint()
 		tail := q.tail.Load()
 		if q.perRecord {
-			if !m.Protect(tid, tail) || q.tail.Load() != tail {
-				m.Unprotect(tid, tail)
+			if !rm.Protect(tail) || q.tail.Load() != tail {
+				rm.Unprotect(tail)
 				continue
 			}
 		}
-		q.observe(tid, tail)
+		q.observe(hd.tid, tail)
 		next := tail.next.Load()
 		if next != nil {
 			// Tail is lagging; help advance it.
 			q.tail.CompareAndSwap(tail, next)
 			if q.perRecord {
-				m.Unprotect(tid, tail)
+				rm.Unprotect(tail)
 			}
 			continue
 		}
@@ -134,23 +160,26 @@ func (q *Queue[V]) enqueueBody(tid int, node *Node[V]) (done bool) {
 			published = true
 			q.tail.CompareAndSwap(tail, node)
 			if q.perRecord {
-				m.Unprotect(tid, tail)
+				rm.Unprotect(tail)
 			}
 			break
 		}
 		if q.perRecord {
-			m.Unprotect(tid, tail)
+			rm.Unprotect(tail)
 		}
 	}
-	m.EnterQstate(tid)
+	rm.EnterQstate()
 	return true
 }
 
 // Dequeue removes and returns the value at the head of the queue; ok is
 // false when the queue is empty.
-func (q *Queue[V]) Dequeue(tid int) (V, bool) {
+func (q *Queue[V]) Dequeue(tid int) (V, bool) { return q.Handle(tid).Dequeue() }
+
+// Dequeue removes and returns the head value through the thread's handle.
+func (hd Handle[V]) Dequeue() (V, bool) {
 	for {
-		value, ok, done := q.dequeueBody(tid)
+		value, ok, done := hd.q.dequeueBody(hd)
 		if done {
 			return value, ok
 		}
@@ -161,34 +190,34 @@ func (q *Queue[V]) Dequeue(tid int) (V, bool) {
 // durable (captured in the named returns before EnterQstate); an
 // empty-queue observation made by a neutralized attempt is discarded and
 // retried, because it may have been computed from reclaimed records.
-func (q *Queue[V]) dequeueBody(tid int) (value V, ok, done bool) {
-	m := q.mgr
+func (q *Queue[V]) dequeueBody(hd Handle[V]) (value V, ok, done bool) {
+	rm := hd.rm
 	if q.crashRecovery {
-		defer neutralize.OnNeutralized(m, tid, func(neutralize.Neutralized) {
+		defer neutralize.OnNeutralized(q.mgr, hd.tid, func(neutralize.Neutralized) {
 			if !done {
 				var zero V
 				value, ok = zero, false
 			}
 		})
 	}
-	m.LeaveQstate(tid)
+	rm.LeaveQstate()
 	empty := false
 	for {
-		m.Checkpoint(tid)
+		rm.Checkpoint()
 		head := q.head.Load()
 		if q.perRecord {
-			if !m.Protect(tid, head) || q.head.Load() != head {
-				m.Unprotect(tid, head)
+			if !rm.Protect(head) || q.head.Load() != head {
+				rm.Unprotect(head)
 				continue
 			}
 		}
-		q.observe(tid, head)
+		q.observe(hd.tid, head)
 		tail := q.tail.Load()
 		next := head.next.Load()
 		if q.perRecord && next != nil {
-			if !m.Protect(tid, next) || head.next.Load() != next {
-				m.Unprotect(tid, head)
-				m.Unprotect(tid, next)
+			if !rm.Protect(next) || head.next.Load() != next {
+				rm.Unprotect(head)
+				rm.Unprotect(next)
 				continue
 			}
 		}
@@ -196,10 +225,10 @@ func (q *Queue[V]) dequeueBody(tid int) (value V, ok, done bool) {
 			// Only now is next proven reachable (head is still the head, so
 			// next cannot have been retired): the announcement made above is
 			// in time, and the observation is of a live record.
-			q.observe(tid, next)
+			q.observe(hd.tid, next)
 			if head == tail {
 				if next == nil {
-					q.releasePair(tid, head, next)
+					q.releasePair(hd, head, next)
 					empty = true
 					break
 				}
@@ -209,18 +238,18 @@ func (q *Queue[V]) dequeueBody(tid int) (value V, ok, done bool) {
 				value = next.value
 				if q.head.CompareAndSwap(head, next) {
 					ok, done = true, true
-					q.releasePair(tid, head, next)
+					q.releasePair(hd, head, next)
 					// The old dummy head is unreachable for new operations.
-					m.Retire(tid, head)
+					rm.Retire(head)
 					break
 				}
 				var zero V
 				value = zero
 			}
 		}
-		q.releasePair(tid, head, next)
+		q.releasePair(hd, head, next)
 	}
-	m.EnterQstate(tid)
+	rm.EnterQstate()
 	if empty && !done {
 		// The empty observation commits only once EnterQstate returned
 		// without delivering a neutralization: a doomed attempt may have
@@ -231,13 +260,13 @@ func (q *Queue[V]) dequeueBody(tid int) (value V, ok, done bool) {
 }
 
 // releasePair drops the hazard pointers acquired by Dequeue.
-func (q *Queue[V]) releasePair(tid int, head, next *Node[V]) {
+func (q *Queue[V]) releasePair(hd Handle[V], head, next *Node[V]) {
 	if !q.perRecord {
 		return
 	}
-	q.mgr.Unprotect(tid, head)
+	hd.rm.Unprotect(head)
 	if next != nil {
-		q.mgr.Unprotect(tid, next)
+		hd.rm.Unprotect(next)
 	}
 }
 

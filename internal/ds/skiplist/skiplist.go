@@ -79,7 +79,8 @@ type List[V any] struct {
 
 	perRecord bool
 
-	seeds []seedState
+	seeds   []seedState
+	handles []Handle[V]
 
 	// visit, when non-nil, is called for every node a traversal has made
 	// safe to access (set before concurrent use; see SetVisitHook).
@@ -132,8 +133,34 @@ func New[V any](mgr *Manager[V], threads int) *List[V] {
 	for i := range l.seeds {
 		l.seeds[i].rng = rand.New(rand.NewSource(int64(i)*2654435761 + 1))
 	}
+	l.handles = make([]Handle[V], threads)
+	for i := range l.handles {
+		l.handles[i] = Handle[V]{l: l, rm: mgr.Handle(i), seed: &l.seeds[i], tid: i}
+	}
 	return l
 }
+
+// Handle is one worker thread's pre-resolved view of the list: the Record
+// Manager thread handle and the thread's level generator bound once, so
+// steady-state operations index no per-thread slices and pay at most one
+// interface call per reclamation primitive. Resolve it once at worker
+// registration (l.Handle(tid)); the tid-based List methods remain as thin
+// wrappers.
+type Handle[V any] struct {
+	l    *List[V]
+	rm   *core.ThreadHandle[Node[V]]
+	seed *seedState
+	tid  int
+}
+
+// Handle returns thread tid's pre-resolved operation handle.
+func (l *List[V]) Handle(tid int) *Handle[V] { return &l.handles[tid] }
+
+// Tid returns the dense thread id the handle is bound to.
+func (hd *Handle[V]) Tid() int { return hd.tid }
+
+// List returns the list the handle operates on.
+func (hd *Handle[V]) List() *List[V] { return hd.l }
 
 // initNode (re)initialises a recycled record as a fresh node.
 func initNode[V any](n *Node[V], key int64, value V, topLevel int32) {
@@ -151,9 +178,9 @@ func initNode[V any](n *Node[V], key int64, value V, topLevel int32) {
 func (l *List[V]) Manager() *Manager[V] { return l.mgr }
 
 // randomLevel picks a node height with geometric distribution.
-func (l *List[V]) randomLevel(tid int) int32 {
+func (hd *Handle[V]) randomLevel() int32 {
 	lvl := int32(0)
-	rng := l.seeds[tid].rng
+	rng := hd.seed.rng
 	for lvl < MaxLevel-1 && rng.Intn(pFactor) == 0 {
 		lvl++
 	}
@@ -165,8 +192,8 @@ func (l *List[V]) randomLevel(tid int) int32 {
 // a per-record protection validation failed and the operation must restart.
 // Under per-record protection every recorded predecessor and successor is
 // left protected; the caller releases them via EnterQstate / Unprotect.
-func (l *List[V]) find(tid int, key int64, preds, succs *[MaxLevel]*Node[V]) (foundLevel int, ok bool) {
-	m := l.mgr
+func (l *List[V]) find(hd *Handle[V], key int64, preds, succs *[MaxLevel]*Node[V]) (foundLevel int, ok bool) {
+	rm := hd.rm
 	foundLevel = -1
 	pred := l.head
 	for level := MaxLevel - 1; level >= 0; level-- {
@@ -179,19 +206,19 @@ func (l *List[V]) find(tid int, key int64, preds, succs *[MaxLevel]*Node[V]) (fo
 				return -1, false
 			}
 			if l.perRecord {
-				if !m.Protect(tid, curr) {
+				if !rm.Protect(curr) {
 					return -1, false
 				}
 				if pred.next[level].Load() != curr {
 					// pred's successor changed: curr may already be retired.
-					m.Unprotect(tid, curr)
+					rm.Unprotect(curr)
 					return -1, false
 				}
 			}
-			l.observe(tid, curr)
+			l.observe(hd.tid, curr)
 			if curr.key < key {
 				if l.perRecord && pred != l.head && !l.isRecorded(pred, preds, succs, level) {
-					m.Unprotect(tid, pred)
+					rm.Unprotect(pred)
 				}
 				pred = curr
 				curr = pred.next[level].Load()
@@ -220,24 +247,30 @@ func (l *List[V]) isRecorded(node *Node[V], preds, succs *[MaxLevel]*Node[V], ab
 }
 
 // Contains reports whether key is present (wait-free, lock-free reads).
-func (l *List[V]) Contains(tid int, key int64) bool {
-	_, ok := l.Get(tid, key)
+func (l *List[V]) Contains(tid int, key int64) bool { return l.handles[tid].Contains(key) }
+
+// Contains reports whether key is present through the thread's handle.
+func (hd *Handle[V]) Contains(key int64) bool {
+	_, ok := hd.Get(key)
 	return ok
 }
 
 // Get returns the value stored for key.
-func (l *List[V]) Get(tid int, key int64) (V, bool) {
+func (l *List[V]) Get(tid int, key int64) (V, bool) { return l.handles[tid].Get(key) }
+
+// Get returns the value stored for key through the thread's handle.
+func (hd *Handle[V]) Get(key int64) (V, bool) {
+	l, rm := hd.l, hd.rm
 	var zero V
 	if key <= headKey || key >= tailKey {
 		return zero, false
 	}
-	m := l.mgr
 	for {
-		m.LeaveQstate(tid)
+		rm.LeaveQstate()
 		var preds, succs [MaxLevel]*Node[V]
-		lvl, ok := l.find(tid, key, &preds, &succs)
+		lvl, ok := l.find(hd, key, &preds, &succs)
 		if !ok {
-			m.EnterQstate(tid)
+			rm.EnterQstate()
 			continue
 		}
 		var val V
@@ -249,7 +282,7 @@ func (l *List[V]) Get(tid int, key int64) (V, bool) {
 				found = true
 			}
 		}
-		m.EnterQstate(tid)
+		rm.EnterQstate()
 		return val, found
 	}
 }
@@ -257,19 +290,24 @@ func (l *List[V]) Get(tid int, key int64) (V, bool) {
 // Insert adds key to the set, returning true if it was inserted and false if
 // it was already present.
 func (l *List[V]) Insert(tid int, key int64, value V) bool {
+	return l.handles[tid].Insert(key, value)
+}
+
+// Insert adds key to the set through the thread's handle.
+func (hd *Handle[V]) Insert(key int64, value V) bool {
 	if key <= headKey || key >= tailKey {
 		panic("skiplist: key out of supported range")
 	}
-	m := l.mgr
-	topLevel := l.randomLevel(tid)
+	l, rm := hd.l, hd.rm
+	topLevel := hd.randomLevel()
 	// Quiescent preamble: allocate the node we may link.
-	node := m.Allocate(tid)
+	node := rm.Allocate()
 	for {
-		m.LeaveQstate(tid)
+		rm.LeaveQstate()
 		var preds, succs [MaxLevel]*Node[V]
-		lvl, ok := l.find(tid, key, &preds, &succs)
+		lvl, ok := l.find(hd, key, &preds, &succs)
 		if !ok {
-			m.EnterQstate(tid)
+			rm.EnterQstate()
 			continue
 		}
 		if lvl >= 0 {
@@ -278,14 +316,14 @@ func (l *List[V]) Insert(tid int, key int64, value V) bool {
 				// Wait until the concurrent inserter finishes linking, then
 				// report "already present".
 				for !existing.fullyLinked.Load() {
-					m.Checkpoint(tid)
+					rm.Checkpoint()
 				}
-				m.EnterQstate(tid)
-				m.Deallocate(tid, node)
+				rm.EnterQstate()
+				rm.Deallocate(node)
 				return false
 			}
 			// The node with this key is marked (being removed): retry.
-			m.EnterQstate(tid)
+			rm.EnterQstate()
 			continue
 		}
 
@@ -306,7 +344,7 @@ func (l *List[V]) Insert(tid int, key int64, value V) bool {
 		}
 		if !valid {
 			l.unlock(preds, highestLocked)
-			m.EnterQstate(tid)
+			rm.EnterQstate()
 			continue
 		}
 		for level := int32(0); level <= topLevel; level++ {
@@ -317,43 +355,46 @@ func (l *List[V]) Insert(tid int, key int64, value V) bool {
 		}
 		node.fullyLinked.Store(true)
 		l.unlock(preds, highestLocked)
-		m.EnterQstate(tid)
+		rm.EnterQstate()
 		return true
 	}
 }
 
 // Delete removes key from the set, returning true if it was present.
-func (l *List[V]) Delete(tid int, key int64) bool {
+func (l *List[V]) Delete(tid int, key int64) bool { return l.handles[tid].Delete(key) }
+
+// Delete removes key from the set through the thread's handle.
+func (hd *Handle[V]) Delete(key int64) bool {
 	if key <= headKey || key >= tailKey {
 		return false
 	}
-	m := l.mgr
+	l, rm := hd.l, hd.rm
 	var victim *Node[V]
 	isMarked := false
 	topLevel := int32(-1)
 	for {
-		m.LeaveQstate(tid)
+		rm.LeaveQstate()
 		var preds, succs [MaxLevel]*Node[V]
-		lvl, ok := l.find(tid, key, &preds, &succs)
+		lvl, ok := l.find(hd, key, &preds, &succs)
 		if !ok {
-			m.EnterQstate(tid)
+			rm.EnterQstate()
 			continue
 		}
 		if !isMarked {
 			if lvl < 0 {
-				m.EnterQstate(tid)
+				rm.EnterQstate()
 				return false
 			}
 			victim = succs[lvl]
 			if !victim.fullyLinked.Load() || victim.marked.Load() || victim.topLevel != int32(lvl) {
-				m.EnterQstate(tid)
+				rm.EnterQstate()
 				return false
 			}
 			topLevel = victim.topLevel
 			victim.mu.Lock()
 			if victim.marked.Load() {
 				victim.mu.Unlock()
-				m.EnterQstate(tid)
+				rm.EnterQstate()
 				return false
 			}
 			victim.marked.Store(true)
@@ -375,7 +416,7 @@ func (l *List[V]) Delete(tid int, key int64) bool {
 		}
 		if !valid {
 			l.unlock(preds, highestLocked)
-			m.EnterQstate(tid)
+			rm.EnterQstate()
 			continue
 		}
 		for level := topLevel; level >= 0; level-- {
@@ -389,8 +430,8 @@ func (l *List[V]) Delete(tid int, key int64) bool {
 		// retire whose observed epoch nothing pins, which is exactly the
 		// advance-drain race core.RetirePinner describes; the epoch schemes
 		// now reject that ordering.)
-		m.Retire(tid, victim)
-		m.EnterQstate(tid)
+		rm.Retire(victim)
+		rm.EnterQstate()
 		return true
 	}
 }

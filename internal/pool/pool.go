@@ -21,12 +21,13 @@ import (
 const DefaultMaxPrivateBlocks = 8
 
 // Pool is the standard Record Manager pool. It implements core.Pool,
-// core.FreeSink and core.BlockFreeSink.
+// core.FreeSink, core.BlockFreeSink and core.HandledPool.
 type Pool[T any] struct {
 	alloc  core.Allocator[T]
 	shared blockbag.SharedStack[T]
 
 	threads []poolThread[T]
+	handles []ThreadCache[T]
 
 	maxPrivateBlocks int
 }
@@ -35,12 +36,52 @@ type poolThread[T any] struct {
 	bag       *blockbag.Bag[T]
 	blockPool *blockbag.BlockPool[T]
 
-	reused        atomic.Int64
-	fromAllocator atomic.Int64
-	freed         atomic.Int64
-	toShared      atomic.Int64
-	fromShared    atomic.Int64
+	// Single-writer statistics counters (core.Counter): written by the
+	// owning tid, read racily by Stats.
+	reused        core.Counter
+	fromAllocator core.Counter
+	freed         core.Counter
+	toShared      core.Counter
+	fromShared    core.Counter
 	_             [core.PadBytes]byte
+}
+
+// ThreadCache is one thread's fast-path view of the pool
+// (core.PoolHandle): the private bag and counters resolved once, so the
+// steady-state Allocate is a bag pop plus a counter bump with no slice
+// indexing.
+type ThreadCache[T any] struct {
+	p   *Pool[T]
+	t   *poolThread[T]
+	tid int
+}
+
+// Allocate implements core.PoolHandle (see Pool.Allocate).
+func (c *ThreadCache[T]) Allocate() *T {
+	t := c.t
+	if rec, ok := t.bag.Remove(); ok {
+		t.reused.Inc()
+		return rec
+	}
+	// Try to refill from the shared bag.
+	if blk := c.p.shared.Pop(); blk != nil {
+		n := int64(blk.Len())
+		t.bag.AddBlock(blk)
+		t.fromShared.Add(n)
+		if rec, ok := t.bag.Remove(); ok {
+			t.reused.Inc()
+			return rec
+		}
+	}
+	t.fromAllocator.Inc()
+	return c.p.alloc.Allocate(c.tid)
+}
+
+// Free implements core.PoolHandle (see Pool.Free).
+func (c *ThreadCache[T]) Free(rec *T) {
+	c.t.bag.Add(rec)
+	c.t.freed.Inc()
+	c.p.spill(c.tid)
 }
 
 // Option configures a Pool.
@@ -84,8 +125,15 @@ func New[T any](n int, alloc core.Allocator[T], opts ...Option) *Pool[T] {
 		p.threads[i].blockPool = bp
 		p.threads[i].bag = blockbag.New(bp)
 	}
+	p.handles = make([]ThreadCache[T], n)
+	for i := range p.handles {
+		p.handles[i] = ThreadCache[T]{p: p, t: &p.threads[i], tid: i}
+	}
 	return p
 }
+
+// Handle implements core.HandledPool: thread tid's fast-path view.
+func (p *Pool[T]) Handle(tid int) core.PoolHandle[T] { return &p.handles[tid] }
 
 // BlockPool exposes thread tid's block pool so that reclaimers owned by the
 // same thread can share it (blocks then circulate between limbo bags and the
@@ -94,35 +142,12 @@ func (p *Pool[T]) BlockPool(tid int) *blockbag.BlockPool[T] { return p.threads[t
 
 // Allocate returns a record for thread tid: private pool bag first, then the
 // shared bag (whole blocks at a time), then the Allocator.
-func (p *Pool[T]) Allocate(tid int) *T {
-	t := &p.threads[tid]
-	if rec, ok := t.bag.Remove(); ok {
-		t.reused.Add(1)
-		return rec
-	}
-	// Try to refill from the shared bag.
-	if blk := p.shared.Pop(); blk != nil {
-		n := int64(blk.Len())
-		t.bag.AddBlock(blk)
-		t.fromShared.Add(n)
-		if rec, ok := t.bag.Remove(); ok {
-			t.reused.Add(1)
-			return rec
-		}
-	}
-	t.fromAllocator.Add(1)
-	return p.alloc.Allocate(tid)
-}
+func (p *Pool[T]) Allocate(tid int) *T { return p.handles[tid].Allocate() }
 
 // Free returns a reclaimed record to thread tid's private pool bag,
 // spilling whole blocks to the shared bag when the private bag grows beyond
 // its bound.
-func (p *Pool[T]) Free(tid int, rec *T) {
-	t := &p.threads[tid]
-	t.bag.Add(rec)
-	t.freed.Add(1)
-	p.spill(tid)
-}
+func (p *Pool[T]) Free(tid int, rec *T) { p.handles[tid].Free(rec) }
 
 // FreeBlocks accepts a detached chain of full blocks (core.BlockFreeSink).
 func (p *Pool[T]) FreeBlocks(tid int, chain *blockbag.Block[T]) {
@@ -179,17 +204,20 @@ func (p *Pool[T]) SharedBlocks() int64 { return p.shared.Blocks() }
 // cost of reclamation but does not enjoy its benefits (no reuse, growing
 // footprint).
 type Discard[T any] struct {
-	freed atomic.Int64
+	// dropped is genuinely multi-writer (any tid frees into the one cell),
+	// so it stays an atomic RMW — Discard is a measurement sink, not a
+	// per-thread hot-path component.
+	dropped atomic.Int64
 }
 
 // NewDiscard creates a discarding sink.
 func NewDiscard[T any]() *Discard[T] { return &Discard[T]{} }
 
 // Free drops rec.
-func (d *Discard[T]) Free(tid int, rec *T) { d.freed.Add(1) }
+func (d *Discard[T]) Free(tid int, rec *T) { d.dropped.Add(1) }
 
 // Freed returns the number of records dropped.
-func (d *Discard[T]) Freed() int64 { return d.freed.Load() }
+func (d *Discard[T]) Freed() int64 { return d.dropped.Load() }
 
 // Compile-time interface checks.
 var (
@@ -197,4 +225,5 @@ var (
 	_ core.FreeSink[int]      = (*Pool[int])(nil)
 	_ core.BlockFreeSink[int] = (*Pool[int])(nil)
 	_ core.FreeSink[int]      = (*Discard[int])(nil)
+	_ core.HandledPool[int]   = (*Pool[int])(nil)
 )

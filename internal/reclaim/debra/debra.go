@@ -91,8 +91,21 @@ type Reclaimer[T any] struct {
 	shards  []shardSummary
 	shared  []announceSlot
 	threads []thread[T]
+	handles []handle[T]
 
 	blockSink core.BlockFreeSink[T] // sink if it supports whole blocks, else nil
+}
+
+// handle is one thread's fast-path view (core.ReclaimerHandle): the thread's
+// private state, announcement slot and shard scan set resolved once at
+// construction, so per-operation calls index no slices at all.
+type handle[T any] struct {
+	r       *Reclaimer[T]
+	t       *thread[T]
+	slot    *announceSlot
+	tid     int
+	members []int // the owning shard's member tids
+	self    int   // the owning shard
 }
 
 // shardSummary is a shard's verified-epoch word, padded to its own cache
@@ -123,10 +136,13 @@ type thread[T any] struct {
 
 	blockPool *blockbag.BlockPool[T]
 
-	retired       atomic.Int64
-	freed         atomic.Int64
-	epochAdvances atomic.Int64
-	scans         atomic.Int64
+	// Single-writer statistics counters (core.Counter): written by the
+	// owning tid (or by a quiescent-shutdown drainer holding a
+	// happens-before edge), read racily by Stats.
+	retired       core.Counter
+	freed         core.Counter
+	epochAdvances core.Counter
+	scans         core.Counter
 
 	_ [core.PadBytes]byte
 }
@@ -176,8 +192,23 @@ func New[T any](n int, sink core.FreeSink[T], opts ...Option) *Reclaimer[T] {
 		// from the current epoch, so its first LeaveQstate rotates nothing.
 		r.shared[i].v.Store(quiescentBit)
 	}
+	r.handles = make([]handle[T], n)
+	for i := range r.handles {
+		self := smap.ShardOf(i)
+		r.handles[i] = handle[T]{
+			r:       r,
+			t:       &r.threads[i],
+			slot:    &r.shared[i],
+			tid:     i,
+			self:    self,
+			members: smap.Members(self),
+		}
+	}
 	return r
 }
+
+// Handle implements core.HandledReclaimer.
+func (r *Reclaimer[T]) Handle(tid int) core.ReclaimerHandle[T] { return &r.handles[tid] }
 
 // Name implements core.Reclaimer.
 func (r *Reclaimer[T]) Name() string { return "debra" }
@@ -204,18 +235,23 @@ func (r *Reclaimer[T]) getQuiescentBit(other int) bool {
 func isEqual(readEpoch, ann int64) bool { return readEpoch == ann&^quiescentBit }
 
 // LeaveQstate implements core.Reclaimer (Figure 4, leaveQstate).
-func (r *Reclaimer[T]) LeaveQstate(tid int) bool {
-	t := &r.threads[tid]
+func (r *Reclaimer[T]) LeaveQstate(tid int) bool { return r.handles[tid].LeaveQstate() }
+
+// LeaveQstate implements core.ReclaimerHandle (Figure 4, leaveQstate): the
+// same incremental scan as the tid-based entry point, with the thread's
+// private state, announcement slot and shard member list pre-resolved.
+func (h *handle[T]) LeaveQstate() bool {
+	r, t := h.r, h.t
 	result := false
 	readEpoch := r.epoch.Load()
-	if !isEqual(readEpoch, r.shared[tid].v.Load()) {
+	if !isEqual(readEpoch, h.slot.v.Load()) {
 		// Our announcement differs from the current epoch: we are observing
 		// a new epoch, so the records in our oldest limbo bag were retired
 		// at least two epochs ago and can be reclaimed.
 		t.opsSinceCheck = 0
 		t.checkNext = 0
 		t.opsSinceIncr = 0
-		r.rotateAndReclaim(tid)
+		r.rotateAndReclaim(h.tid)
 		result = true
 	}
 	// Incrementally scan: one check every CHECK_THRESH operations. The scan
@@ -226,35 +262,33 @@ func (r *Reclaimer[T]) LeaveQstate(tid int) bool {
 	t.opsSinceIncr++
 	if t.opsSinceCheck >= r.cfg.checkThresh {
 		t.opsSinceCheck = 0
-		self := r.smap.ShardOf(tid)
-		members := r.smap.Members(self)
-		nm := int64(len(members))
+		nm := int64(len(h.members))
 		total := nm + int64(len(r.shards))
 		if t.checkNext < nm {
 			// Member phase: check one shard-local announcement.
-			ann := r.shared[members[t.checkNext]].v.Load()
+			ann := r.shared[h.members[t.checkNext]].v.Load()
 			if isEqual(readEpoch, ann) || ann&quiescentBit != 0 {
 				t.checkNext++
 				if t.checkNext == nm {
-					r.shards[self].v.Store(readEpoch)
+					r.shards[h.self].v.Store(readEpoch)
 				}
 			}
 		} else {
 			// Summary phase: check one shard summary per operation,
 			// cycling while the epoch stands still.
 			s := int((t.checkNext - nm) % int64(len(r.shards)))
-			if r.shardAt(tid, s, readEpoch) {
+			if r.shardAt(h.tid, s, readEpoch) {
 				t.checkNext++
 			}
 		}
 		if t.checkNext >= total && t.opsSinceIncr >= r.cfg.incrThresh {
 			if r.epoch.CompareAndSwap(readEpoch, readEpoch+epochInc) {
-				t.epochAdvances.Add(1)
+				t.epochAdvances.Inc()
 			}
 		}
 	}
 	// Announce the (possibly new) epoch with the quiescent bit cleared.
-	r.shared[tid].v.Store(readEpoch)
+	h.slot.v.Store(readEpoch)
 	return result
 }
 
@@ -281,9 +315,11 @@ func (r *Reclaimer[T]) shardAt(tid, s int, readEpoch int64) bool {
 func (r *Reclaimer[T]) ShardMap() *core.ShardMap { return r.smap }
 
 // EnterQstate implements core.Reclaimer: set the quiescent bit.
-func (r *Reclaimer[T]) EnterQstate(tid int) {
-	s := &r.shared[tid]
-	s.v.Store(s.v.Load() | quiescentBit)
+func (r *Reclaimer[T]) EnterQstate(tid int) { r.handles[tid].EnterQstate() }
+
+// EnterQstate implements core.ReclaimerHandle.
+func (h *handle[T]) EnterQstate() {
+	h.slot.v.Store(h.slot.v.Load() | quiescentBit)
 }
 
 // IsQuiescent implements core.Reclaimer.
@@ -323,15 +359,28 @@ func (r *Reclaimer[T]) requirePinned(tid int) {
 // Retire implements core.Reclaimer: add the record to the current limbo bag
 // (O(1) worst case). The caller must be pinned (mid-operation, or inside a
 // PinRetire/UnpinRetire window).
-func (r *Reclaimer[T]) Retire(tid int, rec *T) {
+func (r *Reclaimer[T]) Retire(tid int, rec *T) { r.handles[tid].Retire(rec) }
+
+// Retire implements core.ReclaimerHandle.
+func (h *handle[T]) Retire(rec *T) {
 	if rec == nil {
 		panic("debra: Retire(nil)")
 	}
-	r.requirePinned(tid)
-	t := &r.threads[tid]
-	t.currentBag.Add(rec)
-	t.retired.Add(1)
+	if h.slot.v.Load()&quiescentBit != 0 {
+		panic("debra: Retire from a quiescent context; pin the thread first (PinRetire or LeaveQstate)")
+	}
+	h.t.currentBag.Add(rec)
+	h.t.retired.Inc()
 }
+
+// Protect implements core.ReclaimerHandle (no-op for DEBRA).
+func (h *handle[T]) Protect(rec *T) bool { return true }
+
+// Unprotect implements core.ReclaimerHandle (no-op).
+func (h *handle[T]) Unprotect(rec *T) {}
+
+// Checkpoint implements core.ReclaimerHandle (no-op).
+func (h *handle[T]) Checkpoint() {}
 
 // RetireBlock implements core.BlockReclaimer: splice one detached full block
 // into the caller's current limbo bag in O(1) (single-owner, so the batch
@@ -463,9 +512,10 @@ func (r *Reclaimer[T]) Stats() core.Stats {
 }
 
 var (
-	_ core.Reclaimer[int]      = (*Reclaimer[int])(nil)
-	_ core.BlockReclaimer[int] = (*Reclaimer[int])(nil)
-	_ core.Sharded             = (*Reclaimer[int])(nil)
-	_ core.RetirePinner        = (*Reclaimer[int])(nil)
-	_ core.LimboDrainer        = (*Reclaimer[int])(nil)
+	_ core.Reclaimer[int]        = (*Reclaimer[int])(nil)
+	_ core.BlockReclaimer[int]   = (*Reclaimer[int])(nil)
+	_ core.Sharded               = (*Reclaimer[int])(nil)
+	_ core.RetirePinner          = (*Reclaimer[int])(nil)
+	_ core.LimboDrainer          = (*Reclaimer[int])(nil)
+	_ core.HandledReclaimer[int] = (*Reclaimer[int])(nil)
 )

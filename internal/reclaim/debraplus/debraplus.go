@@ -120,6 +120,19 @@ type Reclaimer[T any] struct {
 	shared  []announceSlot
 	rprot   []rprotectSlots[T]
 	threads []thread[T]
+	handles []handle[T]
+}
+
+// handle is one thread's fast-path view (core.ReclaimerHandle): the thread's
+// private state, announcement slot and shard scan set resolved once, so
+// per-operation calls index no slices at all.
+type handle[T any] struct {
+	r       *Reclaimer[T]
+	t       *thread[T]
+	slot    *announceSlot
+	tid     int
+	members []int
+	self    int
 }
 
 // shardSummary is a shard's verified-epoch word (see debra.WithShards).
@@ -153,12 +166,15 @@ type thread[T any] struct {
 	blockPool *blockbag.BlockPool[T]
 	scanSet   map[*T]struct{} // scratch hash table reused across scans
 
-	retired         atomic.Int64
-	freed           atomic.Int64
-	epochAdvances   atomic.Int64
-	scans           atomic.Int64
-	neutralizations atomic.Int64
-	selfNeutralized atomic.Int64
+	// Single-writer statistics counters (core.Counter): written by the
+	// owning tid (neutralizations by the signalling tid, selfNeutralized by
+	// the delivering tid — both single-writer), read racily by Stats.
+	retired         core.Counter
+	freed           core.Counter
+	epochAdvances   core.Counter
+	scans           core.Counter
+	neutralizations core.Counter
+	selfNeutralized core.Counter
 
 	_ [core.PadBytes]byte
 }
@@ -233,8 +249,23 @@ func New[T any](n int, sink core.FreeSink[T], opts ...Option) *Reclaimer[T] {
 		r.shared[i].v.Store(quiescentBit)
 		r.rprot[i].slots = make([]atomic.Pointer[T], cfg.maxRProtect)
 	}
+	r.handles = make([]handle[T], n)
+	for i := range r.handles {
+		self := smap.ShardOf(i)
+		r.handles[i] = handle[T]{
+			r:       r,
+			t:       &r.threads[i],
+			slot:    &r.shared[i],
+			tid:     i,
+			self:    self,
+			members: smap.Members(self),
+		}
+	}
 	return r
 }
+
+// Handle implements core.HandledReclaimer.
+func (r *Reclaimer[T]) Handle(tid int) core.ReclaimerHandle[T] { return &r.handles[tid] }
 
 // Name implements core.Reclaimer.
 func (r *Reclaimer[T]) Name() string { return "debra+" }
@@ -264,20 +295,23 @@ func (r *Reclaimer[T]) deliver(tid int) {
 	s := &r.shared[tid]
 	s.v.Store(s.v.Load() | quiescentBit)
 	r.domain.Consume(tid)
-	r.threads[tid].selfNeutralized.Add(1)
+	r.threads[tid].selfNeutralized.Inc()
 	panic(neutralize.Neutralized{Tid: tid})
 }
 
 // LeaveQstate implements core.Reclaimer (Figure 6, leaveQstate).
-func (r *Reclaimer[T]) LeaveQstate(tid int) bool {
-	t := &r.threads[tid]
+func (r *Reclaimer[T]) LeaveQstate(tid int) bool { return r.handles[tid].LeaveQstate() }
+
+// LeaveQstate implements core.ReclaimerHandle (Figure 6, leaveQstate).
+func (h *handle[T]) LeaveQstate() bool {
+	r, t, tid := h.r, h.t, h.tid
 	// Signals that arrived while we were quiescent are ignored, exactly as
 	// the paper's signal handler returns immediately for quiescent threads.
 	r.domain.Consume(tid)
 
 	result := false
 	readEpoch := r.epoch.Load()
-	if !isEqual(readEpoch, r.shared[tid].v.Load()) {
+	if !isEqual(readEpoch, h.slot.v.Load()) {
 		t.opsSinceCheck = 0
 		t.checkNext = 0
 		t.opsSinceIncr = 0
@@ -288,20 +322,18 @@ func (r *Reclaimer[T]) LeaveQstate(tid int) bool {
 	t.opsSinceIncr++
 	if t.opsSinceCheck >= r.cfg.checkThresh {
 		t.opsSinceCheck = 0
-		self := r.smap.ShardOf(tid)
-		members := r.smap.Members(self)
-		nm := int64(len(members))
+		nm := int64(len(h.members))
 		total := nm + int64(len(r.shards))
 		if t.checkNext < nm {
 			// Member phase: one shard-local announcement per operation; a
 			// laggard holding the epoch back for too long is neutralized and
 			// then treated as quiescent (Figure 6).
-			other := members[t.checkNext]
+			other := h.members[t.checkNext]
 			ann := r.shared[other].v.Load()
 			if isEqual(readEpoch, ann) || ann&quiescentBit != 0 || r.suspectNeutralized(tid, other) {
 				t.checkNext++
 				if t.checkNext == nm {
-					r.shards[self].v.Store(readEpoch)
+					r.shards[h.self].v.Store(readEpoch)
 				}
 			}
 		} else {
@@ -315,11 +347,11 @@ func (r *Reclaimer[T]) LeaveQstate(tid int) bool {
 		}
 		if t.checkNext >= total && t.opsSinceIncr >= r.cfg.incrThresh {
 			if r.epoch.CompareAndSwap(readEpoch, readEpoch+epochInc) {
-				t.epochAdvances.Add(1)
+				t.epochAdvances.Inc()
 			}
 		}
 	}
-	r.shared[tid].v.Store(readEpoch)
+	h.slot.v.Store(readEpoch)
 	return result
 }
 
@@ -364,7 +396,7 @@ func (r *Reclaimer[T]) suspectNeutralized(tid, other int) bool {
 		return true
 	}
 	r.domain.Signal(other)
-	t.neutralizations.Add(1)
+	t.neutralizations.Inc()
 	return true
 }
 
@@ -372,10 +404,13 @@ func (r *Reclaimer[T]) suspectNeutralized(tid, other int) bool {
 // body finishes is delivered rather than swallowed, so an operation never
 // returns a result computed from records that may have been reclaimed behind
 // its back (see DESIGN.md, "Neutralization window").
-func (r *Reclaimer[T]) EnterQstate(tid int) {
-	s := &r.shared[tid]
-	if s.v.Load()&quiescentBit == 0 && r.domain.Pending(tid) {
-		r.deliver(tid)
+func (r *Reclaimer[T]) EnterQstate(tid int) { r.handles[tid].EnterQstate() }
+
+// EnterQstate implements core.ReclaimerHandle.
+func (h *handle[T]) EnterQstate() {
+	s := h.slot
+	if s.v.Load()&quiescentBit == 0 && h.r.domain.Pending(h.tid) {
+		h.r.deliver(h.tid)
 	}
 	s.v.Store(s.v.Load() | quiescentBit)
 }
@@ -388,12 +423,15 @@ func (r *Reclaimer[T]) IsQuiescent(tid int) bool {
 // Checkpoint implements core.Reclaimer: deliver a pending signal to a
 // non-quiescent thread. Data structure bodies call this once per search-loop
 // iteration.
-func (r *Reclaimer[T]) Checkpoint(tid int) {
-	if r.shared[tid].v.Load()&quiescentBit != 0 {
+func (r *Reclaimer[T]) Checkpoint(tid int) { r.handles[tid].Checkpoint() }
+
+// Checkpoint implements core.ReclaimerHandle.
+func (h *handle[T]) Checkpoint() {
+	if h.slot.v.Load()&quiescentBit != 0 {
 		return
 	}
-	if r.domain.Pending(tid) {
-		r.deliver(tid)
+	if h.r.domain.Pending(h.tid) {
+		h.r.deliver(h.tid)
 	}
 }
 
@@ -426,15 +464,26 @@ func (r *Reclaimer[T]) requirePinned(tid int) {
 
 // Retire implements core.Reclaimer. The caller must be pinned
 // (mid-operation, or inside a PinRetire/UnpinRetire window).
-func (r *Reclaimer[T]) Retire(tid int, rec *T) {
+func (r *Reclaimer[T]) Retire(tid int, rec *T) { r.handles[tid].Retire(rec) }
+
+// Retire implements core.ReclaimerHandle.
+func (h *handle[T]) Retire(rec *T) {
 	if rec == nil {
 		panic("debraplus: Retire(nil)")
 	}
-	r.requirePinned(tid)
-	t := &r.threads[tid]
-	t.currentBag.Add(rec)
-	t.retired.Add(1)
+	if h.slot.v.Load()&quiescentBit != 0 {
+		panic("debraplus: Retire from a quiescent context; pin the thread first (PinRetire or LeaveQstate)")
+	}
+	h.t.currentBag.Add(rec)
+	h.t.retired.Inc()
 }
+
+// Protect implements core.ReclaimerHandle (epoch protection; no per-record
+// work).
+func (h *handle[T]) Protect(rec *T) bool { return true }
+
+// Unprotect implements core.ReclaimerHandle (no-op).
+func (h *handle[T]) Unprotect(rec *T) {}
 
 // RetireBlock implements core.BlockReclaimer: splice one detached full block
 // into the caller's current limbo bag in O(1) (single-owner, no
@@ -566,7 +615,7 @@ func (r *Reclaimer[T]) rotateAndReclaim(tid int) {
 	if bag.LenBlocks() < r.cfg.scanThresholdBlks {
 		return
 	}
-	t.scans.Add(1)
+	t.scans.Inc()
 	// Hash every announced recovery protection.
 	set := t.scanSet
 	clear(set)
@@ -652,4 +701,6 @@ var (
 	_ core.Sharded             = (*Reclaimer[int])(nil)
 	_ core.RetirePinner        = (*Reclaimer[int])(nil)
 	_ core.LimboDrainer        = (*Reclaimer[int])(nil)
+
+	_ core.HandledReclaimer[int] = (*Reclaimer[int])(nil)
 )

@@ -60,17 +60,41 @@ type Reclaimer[T any] struct {
 	smap    *core.ShardMap
 	shards  []shardState[T]
 	threads []thread
-
-	retired       atomic.Int64
-	freed         atomic.Int64
-	epochAdvances atomic.Int64
-	scans         atomic.Int64
+	// stats holds each thread's single-writer statistics counters, in a
+	// separate padded array so the owner's counter stores do not dirty the
+	// announcement lines every other thread's scan reads. (These used to be
+	// four global atomic.Int64 cells — a LOCK-prefixed RMW on a line shared
+	// by every thread, several times per operation.)
+	stats   []threadStats
+	handles []handle[T]
 }
 
 type thread struct {
 	announce atomic.Int64
 	active   atomic.Bool
 	_        [core.PadBytes]byte
+}
+
+// threadStats is one thread's single-writer counters (core.Counter), padded
+// so neighbouring threads' cells do not share cache lines.
+type threadStats struct {
+	retired       core.Counter
+	freed         core.Counter
+	epochAdvances core.Counter
+	scans         core.Counter
+	_             [core.PadBytes]byte
+}
+
+// handle is one thread's fast-path view (core.ReclaimerHandle): the thread's
+// announcement slot, stats, shard state and member list resolved once.
+type handle[T any] struct {
+	r       *Reclaimer[T]
+	t       *thread
+	st      *threadStats
+	shard   *shardState[T]
+	tid     int
+	members []int
+	self    int
 }
 
 // shardState is one reclamation domain: its verified-epoch summary, the
@@ -107,6 +131,7 @@ func New[T any](n int, sink core.FreeSink[T], opts ...Option) *Reclaimer[T] {
 		smap:    smap,
 		shards:  make([]shardState[T], smap.Shards()),
 		threads: make([]thread, n),
+		stats:   make([]threadStats, n),
 	}
 	if bs, ok := sink.(core.BlockFreeSink[T]); ok {
 		r.blockSink = bs
@@ -120,8 +145,24 @@ func New[T any](n int, sink core.FreeSink[T], opts ...Option) *Reclaimer[T] {
 		}
 		s.summary.Store(1)
 	}
+	r.handles = make([]handle[T], n)
+	for i := range r.handles {
+		self := smap.ShardOf(i)
+		r.handles[i] = handle[T]{
+			r:       r,
+			t:       &r.threads[i],
+			st:      &r.stats[i],
+			shard:   &r.shards[self],
+			tid:     i,
+			self:    self,
+			members: smap.Members(self),
+		}
+	}
 	return r
 }
+
+// Handle implements core.HandledReclaimer.
+func (r *Reclaimer[T]) Handle(tid int) core.ReclaimerHandle[T] { return &r.handles[tid] }
 
 // Name implements core.Reclaimer.
 func (r *Reclaimer[T]) Name() string { return "ebr" }
@@ -153,8 +194,11 @@ func (r *Reclaimer[T]) passes(i int, e int64) bool {
 // the caller's shard; when the whole shard has been verified at the current
 // epoch, publish that in the shard summary, and advance the epoch once every
 // shard's summary (or, for lagging shards, a direct member scan) passes.
-func (r *Reclaimer[T]) LeaveQstate(tid int) bool {
-	t := &r.threads[tid]
+func (r *Reclaimer[T]) LeaveQstate(tid int) bool { return r.handles[tid].LeaveQstate() }
+
+// LeaveQstate implements core.ReclaimerHandle.
+func (h *handle[T]) LeaveQstate() bool {
+	r, t := h.r, h.t
 	e := r.epoch.Load()
 	changed := t.announce.Load() != e
 	t.announce.Store(e)
@@ -162,10 +206,9 @@ func (r *Reclaimer[T]) LeaveQstate(tid int) bool {
 
 	// Classical EBR scans announcements on every operation; with shards the
 	// scan is the caller's shard members only.
-	self := r.smap.ShardOf(tid)
 	canAdvance := true
-	for _, i := range r.smap.Members(self) {
-		if i == tid {
+	for _, i := range h.members {
+		if i == h.tid {
 			continue
 		}
 		if !r.passes(i, e) {
@@ -173,15 +216,15 @@ func (r *Reclaimer[T]) LeaveQstate(tid int) bool {
 			break
 		}
 	}
-	r.scans.Add(1)
+	h.st.scans.Inc()
 	if canAdvance {
-		s := &r.shards[self]
+		s := h.shard
 		if s.summary.Load() != e {
 			s.summary.Store(e)
 		}
 		if r.allShardsAt(e) && r.epoch.CompareAndSwap(e, e+1) {
-			r.epochAdvances.Add(1)
-			r.reclaimEpoch(tid, e+1)
+			h.st.epochAdvances.Inc()
+			r.reclaimEpoch(h.tid, e+1)
 		}
 	}
 	return changed
@@ -249,7 +292,7 @@ func (r *Reclaimer[T]) reclaimEpoch(tid int, newEpoch int64) {
 		for _, rec := range rest {
 			r.sink.Free(tid, rec)
 		}
-		r.freed.Add(n)
+		r.stats[tid].freed.Add(n)
 	}
 }
 
@@ -259,6 +302,35 @@ func (r *Reclaimer[T]) reclaimEpoch(tid int, newEpoch int64) {
 // thread that stalls *inside* an operation still blocks reclamation, which
 // is the failure mode the paper highlights.
 func (r *Reclaimer[T]) EnterQstate(tid int) { r.threads[tid].active.Store(false) }
+
+// EnterQstate implements core.ReclaimerHandle.
+func (h *handle[T]) EnterQstate() { h.t.active.Store(false) }
+
+// Retire implements core.ReclaimerHandle.
+func (h *handle[T]) Retire(rec *T) {
+	if rec == nil {
+		panic("ebr: Retire(nil)")
+	}
+	if !h.t.active.Load() {
+		panic("ebr: Retire from a quiescent context; pin the thread first (PinRetire or LeaveQstate)")
+	}
+	e := h.r.epoch.Load()
+	idx := int(e % 3)
+	s := h.shard
+	s.mu.Lock()
+	s.limbo[idx].Add(rec)
+	s.mu.Unlock()
+	h.st.retired.Inc()
+}
+
+// Protect implements core.ReclaimerHandle (no-op for EBR).
+func (h *handle[T]) Protect(rec *T) bool { return true }
+
+// Unprotect implements core.ReclaimerHandle (no-op).
+func (h *handle[T]) Unprotect(rec *T) {}
+
+// Checkpoint implements core.ReclaimerHandle (no-op).
+func (h *handle[T]) Checkpoint() {}
 
 // IsQuiescent implements core.Reclaimer.
 func (r *Reclaimer[T]) IsQuiescent(tid int) bool { return !r.threads[tid].active.Load() }
@@ -294,19 +366,7 @@ func (r *Reclaimer[T]) requirePinned(tid int) {
 // Retire implements core.Reclaimer: append to the caller's shard's limbo bag
 // of the current epoch. The caller must be pinned (mid-operation, or inside
 // a PinRetire/UnpinRetire window).
-func (r *Reclaimer[T]) Retire(tid int, rec *T) {
-	if rec == nil {
-		panic("ebr: Retire(nil)")
-	}
-	r.requirePinned(tid)
-	e := r.epoch.Load()
-	idx := int(e % 3)
-	s := &r.shards[r.smap.ShardOf(tid)]
-	s.mu.Lock()
-	s.limbo[idx].Add(rec)
-	s.mu.Unlock()
-	r.retired.Add(1)
-}
+func (r *Reclaimer[T]) Retire(tid int, rec *T) { r.handles[tid].Retire(rec) }
 
 // RetireBlock implements core.BlockReclaimer: splice one detached full block
 // into the caller's shard's current limbo bag — O(1) under one lock
@@ -326,7 +386,7 @@ func (r *Reclaimer[T]) RetireBlock(tid int, blk *blockbag.Block[T]) *blockbag.Bl
 	s.limbo[idx].AddBlock(blk)
 	spare := s.pool.TryGet()
 	s.mu.Unlock()
-	r.retired.Add(n)
+	r.stats[tid].retired.Add(n)
 	return spare
 }
 
@@ -362,7 +422,7 @@ func (r *Reclaimer[T]) DrainLimbo(tid int) int64 {
 		for _, rec := range rest {
 			r.sink.Free(tid, rec)
 		}
-		r.freed.Add(n)
+		r.stats[tid].freed.Add(n)
 		total += n
 	}
 	return total
@@ -397,15 +457,16 @@ func (r *Reclaimer[T]) Epoch() int64 { return r.epoch.Load() }
 
 // Stats implements core.Reclaimer.
 func (r *Reclaimer[T]) Stats() core.Stats {
-	retired := r.retired.Load()
-	freed := r.freed.Load()
-	return core.Stats{
-		Retired:       retired,
-		Freed:         freed,
-		Limbo:         retired - freed,
-		EpochAdvances: r.epochAdvances.Load(),
-		Scans:         r.scans.Load(),
+	var s core.Stats
+	for i := range r.stats {
+		st := &r.stats[i]
+		s.Retired += st.retired.Load()
+		s.Freed += st.freed.Load()
+		s.EpochAdvances += st.epochAdvances.Load()
+		s.Scans += st.scans.Load()
 	}
+	s.Limbo = s.Retired - s.Freed
+	return s
 }
 
 var (
@@ -414,4 +475,6 @@ var (
 	_ core.Sharded             = (*Reclaimer[int])(nil)
 	_ core.RetirePinner        = (*Reclaimer[int])(nil)
 	_ core.LimboDrainer        = (*Reclaimer[int])(nil)
+
+	_ core.HandledReclaimer[int] = (*Reclaimer[int])(nil)
 )

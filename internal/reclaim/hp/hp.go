@@ -72,6 +72,17 @@ type Reclaimer[T any] struct {
 
 	slots   []hpSlots[T]
 	threads []thread[T]
+	handles []handle[T]
+}
+
+// handle is one thread's fast-path view (core.ReclaimerHandle): the thread's
+// hazard pointer array and retire state resolved once, so a Protect —
+// hazard pointers' per-record hot path — indexes no per-thread slices.
+type handle[T any] struct {
+	r    *Reclaimer[T]
+	t    *thread[T]
+	ptrs []atomic.Pointer[T]
+	tid  int
 }
 
 // hpSlots is one thread's hazard pointer array: single writer (the owner),
@@ -87,9 +98,11 @@ type thread[T any] struct {
 	scanSet   map[*T]struct{}
 	keep      []*T // scratch buffer reused across scans
 
-	retired atomic.Int64
-	freed   atomic.Int64
-	scans   atomic.Int64
+	// Single-writer statistics counters (core.Counter): written by the
+	// owning tid (or the quiescent-shutdown drainer), read racily by Stats.
+	retired core.Counter
+	freed   core.Counter
+	scans   core.Counter
 
 	_ [core.PadBytes]byte
 }
@@ -127,8 +140,15 @@ func New[T any](n int, sink core.FreeSink[T], opts ...Option) *Reclaimer[T] {
 		t.scanSet = make(map[*T]struct{}, n*cfg.slots)
 		r.slots[i].ptrs = make([]atomic.Pointer[T], cfg.slots)
 	}
+	r.handles = make([]handle[T], n)
+	for i := range r.handles {
+		r.handles[i] = handle[T]{r: r, t: &r.threads[i], ptrs: r.slots[i].ptrs, tid: i}
+	}
 	return r
 }
+
+// Handle implements core.HandledReclaimer.
+func (r *Reclaimer[T]) Handle(tid int) core.ReclaimerHandle[T] { return &r.handles[tid] }
 
 // Name implements core.Reclaimer.
 func (r *Reclaimer[T]) Name() string { return "hp" }
@@ -154,10 +174,16 @@ func (r *Reclaimer[T]) Props() core.Properties {
 // LeaveQstate implements core.Reclaimer (nothing to do for HP).
 func (r *Reclaimer[T]) LeaveQstate(tid int) bool { return false }
 
+// LeaveQstate implements core.ReclaimerHandle (no-op).
+func (h *handle[T]) LeaveQstate() bool { return false }
+
 // EnterQstate implements core.Reclaimer: release every hazard pointer held
 // by the thread.
-func (r *Reclaimer[T]) EnterQstate(tid int) {
-	ptrs := r.slots[tid].ptrs
+func (r *Reclaimer[T]) EnterQstate(tid int) { r.handles[tid].EnterQstate() }
+
+// EnterQstate implements core.ReclaimerHandle.
+func (h *handle[T]) EnterQstate() {
+	ptrs := h.ptrs
 	for i := range ptrs {
 		if ptrs[i].Load() != nil {
 			ptrs[i].Store(nil)
@@ -179,11 +205,14 @@ func (r *Reclaimer[T]) IsQuiescent(tid int) bool {
 // Protect implements core.Reclaimer: announce a hazard pointer to rec. The
 // sequentially consistent store doubles as the required memory barrier. The
 // caller must validate reachability afterwards.
-func (r *Reclaimer[T]) Protect(tid int, rec *T) bool {
+func (r *Reclaimer[T]) Protect(tid int, rec *T) bool { return r.handles[tid].Protect(rec) }
+
+// Protect implements core.ReclaimerHandle (see Reclaimer.Protect).
+func (h *handle[T]) Protect(rec *T) bool {
 	if rec == nil {
 		return true
 	}
-	ptrs := r.slots[tid].ptrs
+	ptrs := h.ptrs
 	free := -1
 	for i := range ptrs {
 		switch ptrs[i].Load() {
@@ -205,11 +234,14 @@ func (r *Reclaimer[T]) Protect(tid int, rec *T) bool {
 }
 
 // Unprotect implements core.Reclaimer: release the hazard pointer to rec.
-func (r *Reclaimer[T]) Unprotect(tid int, rec *T) {
+func (r *Reclaimer[T]) Unprotect(tid int, rec *T) { r.handles[tid].Unprotect(rec) }
+
+// Unprotect implements core.ReclaimerHandle.
+func (h *handle[T]) Unprotect(rec *T) {
 	if rec == nil {
 		return
 	}
-	ptrs := r.slots[tid].ptrs
+	ptrs := h.ptrs
 	for i := range ptrs {
 		if ptrs[i].Load() == rec {
 			ptrs[i].Store(nil)
@@ -217,6 +249,9 @@ func (r *Reclaimer[T]) Unprotect(tid int, rec *T) {
 		}
 	}
 }
+
+// Checkpoint implements core.ReclaimerHandle (no-op).
+func (h *handle[T]) Checkpoint() {}
 
 // IsProtected implements core.Reclaimer.
 func (r *Reclaimer[T]) IsProtected(tid int, rec *T) bool {
@@ -246,15 +281,18 @@ func (r *Reclaimer[T]) Checkpoint(tid int) {}
 
 // Retire implements core.Reclaimer: buffer the record and scan once the
 // buffer is large enough to amortise the cost.
-func (r *Reclaimer[T]) Retire(tid int, rec *T) {
+func (r *Reclaimer[T]) Retire(tid int, rec *T) { r.handles[tid].Retire(rec) }
+
+// Retire implements core.ReclaimerHandle.
+func (h *handle[T]) Retire(rec *T) {
 	if rec == nil {
 		panic("hp: Retire(nil)")
 	}
-	t := &r.threads[tid]
+	t := h.t
 	t.retireBag.Add(rec)
-	t.retired.Add(1)
-	if t.retireBag.Len() >= r.cfg.retireThreshold {
-		r.scanAndFree(tid)
+	t.retired.Inc()
+	if t.retireBag.Len() >= h.r.cfg.retireThreshold {
+		h.r.scanAndFree(h.tid)
 	}
 }
 
@@ -284,7 +322,7 @@ func (r *Reclaimer[T]) ShardMap() *core.ShardMap { return r.smap }
 // O(R + nk) for R retired records but frees Omega(R - nk) of them.
 func (r *Reclaimer[T]) scanAndFree(tid int) {
 	t := &r.threads[tid]
-	t.scans.Add(1)
+	t.scans.Inc()
 	set := t.scanSet
 	clear(set)
 	for i := range r.slots {
@@ -366,4 +404,6 @@ var (
 	_ core.Sharded             = (*Reclaimer[int])(nil)
 	_ core.RetirePinner        = (*Reclaimer[int])(nil)
 	_ core.LimboDrainer        = (*Reclaimer[int])(nil)
+
+	_ core.HandledReclaimer[int] = (*Reclaimer[int])(nil)
 )

@@ -5,8 +5,6 @@
 package none
 
 import (
-	"sync/atomic"
-
 	"repro/internal/blockbag"
 	"repro/internal/core"
 )
@@ -27,11 +25,20 @@ func WithShards(spec core.ShardSpec) Option { return func(c *config) { c.spec = 
 type Reclaimer[T any] struct {
 	smap    *core.ShardMap
 	threads []thread
+	handles []handle[T]
 }
 
 type thread struct {
-	retired atomic.Int64
+	// retired is a single-writer counter (core.Counter): written by the
+	// owning tid, read racily by Stats.
+	retired core.Counter
 	_       [core.PadBytes]byte
+}
+
+// handle is one thread's fast-path view (core.ReclaimerHandle): everything
+// is a no-op except the leak counter.
+type handle[T any] struct {
+	t *thread
 }
 
 // New creates a no-op reclaimer for n threads.
@@ -43,8 +50,39 @@ func New[T any](n int, opts ...Option) *Reclaimer[T] {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return &Reclaimer[T]{smap: core.NewShardMap(n, cfg.spec), threads: make([]thread, n)}
+	r := &Reclaimer[T]{smap: core.NewShardMap(n, cfg.spec), threads: make([]thread, n)}
+	r.handles = make([]handle[T], n)
+	for i := range r.handles {
+		r.handles[i] = handle[T]{t: &r.threads[i]}
+	}
+	return r
 }
+
+// Handle implements core.HandledReclaimer.
+func (r *Reclaimer[T]) Handle(tid int) core.ReclaimerHandle[T] { return &r.handles[tid] }
+
+// LeaveQstate implements core.ReclaimerHandle (no-op).
+func (h *handle[T]) LeaveQstate() bool { return false }
+
+// EnterQstate implements core.ReclaimerHandle (no-op).
+func (h *handle[T]) EnterQstate() {}
+
+// Retire implements core.ReclaimerHandle: count and leak.
+func (h *handle[T]) Retire(rec *T) {
+	if rec == nil {
+		panic("none: Retire(nil)")
+	}
+	h.t.retired.Inc()
+}
+
+// Protect implements core.ReclaimerHandle (always succeeds).
+func (h *handle[T]) Protect(rec *T) bool { return true }
+
+// Unprotect implements core.ReclaimerHandle (no-op).
+func (h *handle[T]) Unprotect(rec *T) {}
+
+// Checkpoint implements core.ReclaimerHandle (no-op).
+func (h *handle[T]) Checkpoint() {}
 
 // ShardMap implements core.Sharded (informational only).
 func (r *Reclaimer[T]) ShardMap() *core.ShardMap { return r.smap }
@@ -86,12 +124,7 @@ func (r *Reclaimer[T]) EnterQstate(tid int) {}
 func (r *Reclaimer[T]) IsQuiescent(tid int) bool { return true }
 
 // Retire implements core.Reclaimer; the record is counted and leaked.
-func (r *Reclaimer[T]) Retire(tid int, rec *T) {
-	if rec == nil {
-		panic("none: Retire(nil)")
-	}
-	r.threads[tid].retired.Add(1)
-}
+func (r *Reclaimer[T]) Retire(tid int, rec *T) { r.handles[tid].Retire(rec) }
 
 // PinRetire implements core.RetirePinner (no-op: the leaking baseline has no
 // epoch state for a retire to race).
@@ -139,4 +172,6 @@ var (
 	_ core.BlockReclaimer[int] = (*Reclaimer[int])(nil)
 	_ core.Sharded             = (*Reclaimer[int])(nil)
 	_ core.RetirePinner        = (*Reclaimer[int])(nil)
+
+	_ core.HandledReclaimer[int] = (*Reclaimer[int])(nil)
 )

@@ -51,6 +51,19 @@ type Reclaimer[T any] struct {
 	shards  []shardSummary
 	shared  []announceSlot
 	threads []thread[T]
+	handles []handle[T]
+}
+
+// handle is one thread's fast-path view (core.ReclaimerHandle): private
+// state, announcement slot and shard scan set resolved once, so per-op calls
+// index no slices.
+type handle[T any] struct {
+	r       *Reclaimer[T]
+	t       *thread[T]
+	slot    *announceSlot
+	tid     int
+	members []int
+	self    int
 }
 
 // shardSummary is a shard's verified-grace-period word, padded onto its own
@@ -75,9 +88,11 @@ type thread[T any] struct {
 	current   int
 	blockPool *blockbag.BlockPool[T]
 
-	retired atomic.Int64
-	freed   atomic.Int64
-	grace   atomic.Int64
+	// Single-writer statistics counters (core.Counter): written by the
+	// owning tid (or a quiescent-shutdown drainer), read racily by Stats.
+	retired core.Counter
+	freed   core.Counter
+	grace   core.Counter
 
 	_ [core.PadBytes]byte
 }
@@ -117,8 +132,23 @@ func New[T any](n int, sink core.FreeSink[T], opts ...Option) *Reclaimer[T] {
 		}
 		r.shared[i].v.Store(2 | offlineBit)
 	}
+	r.handles = make([]handle[T], n)
+	for i := range r.handles {
+		self := smap.ShardOf(i)
+		r.handles[i] = handle[T]{
+			r:       r,
+			t:       &r.threads[i],
+			slot:    &r.shared[i],
+			tid:     i,
+			self:    self,
+			members: smap.Members(self),
+		}
+	}
 	return r
 }
+
+// Handle implements core.HandledReclaimer.
+func (r *Reclaimer[T]) Handle(tid int) core.ReclaimerHandle[T] { return &r.handles[tid] }
 
 // Name implements core.Reclaimer.
 func (r *Reclaimer[T]) Name() string { return "qsbr" }
@@ -139,10 +169,13 @@ func (r *Reclaimer[T]) Props() core.Properties {
 
 // LeaveQstate implements core.Reclaimer: mark the thread online for the
 // current grace period.
-func (r *Reclaimer[T]) LeaveQstate(tid int) bool {
-	g := r.grace.Load()
-	prev := r.shared[tid].v.Load()
-	r.shared[tid].v.Store(g &^ offlineBit)
+func (r *Reclaimer[T]) LeaveQstate(tid int) bool { return r.handles[tid].LeaveQstate() }
+
+// LeaveQstate implements core.ReclaimerHandle.
+func (h *handle[T]) LeaveQstate() bool {
+	g := h.r.grace.Load()
+	prev := h.slot.v.Load()
+	h.slot.v.Store(g &^ offlineBit)
 	return prev&^offlineBit != g
 }
 
@@ -150,26 +183,28 @@ func (r *Reclaimer[T]) LeaveQstate(tid int) bool {
 // advance the grace period (scanning the caller's shard and then the shard
 // summaries), and reclaim the oldest local bag when the thread observes a
 // new grace period.
-func (r *Reclaimer[T]) EnterQstate(tid int) {
-	t := &r.threads[tid]
+func (r *Reclaimer[T]) EnterQstate(tid int) { r.handles[tid].EnterQstate() }
+
+// EnterQstate implements core.ReclaimerHandle.
+func (h *handle[T]) EnterQstate() {
+	r, t := h.r, h.t
 	g := r.grace.Load()
 	// Announce that we have passed through a quiescent state in period g,
 	// and mark ourselves offline so we do not hold up future periods while
 	// we are between operations.
-	r.shared[tid].v.Store(g | offlineBit)
+	h.slot.v.Store(g | offlineBit)
 
 	// Verify the caller's shard: every member must be offline or have
 	// announced period g.
-	self := r.smap.ShardOf(tid)
 	advance := true
-	for _, i := range r.smap.Members(self) {
+	for _, i := range h.members {
 		if !r.passes(i, g) {
 			advance = false
 			break
 		}
 	}
 	if advance {
-		s := &r.shards[self]
+		s := &r.shards[h.self]
 		if s.v.Load() != g {
 			s.v.Store(g)
 		}
@@ -181,9 +216,30 @@ func (r *Reclaimer[T]) EnterQstate(tid int) {
 	if t.grace.Load() != g {
 		t.grace.Store(g)
 		t.current = (t.current + 1) % 3
-		r.freeFullBlocks(tid, t.bags[t.current])
+		r.freeFullBlocks(h.tid, t.bags[t.current])
 	}
 }
+
+// Retire implements core.ReclaimerHandle.
+func (h *handle[T]) Retire(rec *T) {
+	if rec == nil {
+		panic("qsbr: Retire(nil)")
+	}
+	if h.slot.v.Load()&offlineBit != 0 {
+		panic("qsbr: Retire from a quiescent (offline) context; pin the thread first (PinRetire or LeaveQstate)")
+	}
+	h.t.bags[h.t.current].Add(rec)
+	h.t.retired.Inc()
+}
+
+// Protect implements core.ReclaimerHandle (no-op for QSBR).
+func (h *handle[T]) Protect(rec *T) bool { return true }
+
+// Unprotect implements core.ReclaimerHandle (no-op).
+func (h *handle[T]) Unprotect(rec *T) {}
+
+// Checkpoint implements core.ReclaimerHandle (no-op).
+func (h *handle[T]) Checkpoint() {}
 
 // passes reports whether thread i does not block grace period g: it is
 // offline or has announced g.
@@ -273,15 +329,7 @@ func (r *Reclaimer[T]) requirePinned(tid int) {
 
 // Retire implements core.Reclaimer. The caller must be pinned
 // (mid-operation, or inside a PinRetire/UnpinRetire window).
-func (r *Reclaimer[T]) Retire(tid int, rec *T) {
-	if rec == nil {
-		panic("qsbr: Retire(nil)")
-	}
-	r.requirePinned(tid)
-	t := &r.threads[tid]
-	t.bags[t.current].Add(rec)
-	t.retired.Add(1)
-}
+func (r *Reclaimer[T]) Retire(tid int, rec *T) { r.handles[tid].Retire(rec) }
 
 // RetireBlock implements core.BlockReclaimer: splice one detached full block
 // into the caller's current limbo bag in O(1) (the bag is single-owner, so
@@ -362,9 +410,10 @@ func (r *Reclaimer[T]) Stats() core.Stats {
 }
 
 var (
-	_ core.Reclaimer[int]      = (*Reclaimer[int])(nil)
-	_ core.BlockReclaimer[int] = (*Reclaimer[int])(nil)
-	_ core.Sharded             = (*Reclaimer[int])(nil)
-	_ core.RetirePinner        = (*Reclaimer[int])(nil)
-	_ core.LimboDrainer        = (*Reclaimer[int])(nil)
+	_ core.Reclaimer[int]        = (*Reclaimer[int])(nil)
+	_ core.BlockReclaimer[int]   = (*Reclaimer[int])(nil)
+	_ core.Sharded               = (*Reclaimer[int])(nil)
+	_ core.RetirePinner          = (*Reclaimer[int])(nil)
+	_ core.LimboDrainer          = (*Reclaimer[int])(nil)
+	_ core.HandledReclaimer[int] = (*Reclaimer[int])(nil)
 )

@@ -70,8 +70,61 @@ func TestAsyncLeakFreeShutdown(t *testing.T) {
 				if st.Unreclaimed != 0 {
 					t.Fatalf("after Close: unreclaimed = %d", st.Unreclaimed)
 				}
+				if got := mgr.AsyncSpareBlocks(); got != 0 {
+					t.Fatalf("after Close: %d spare blocks still parked on the return stacks", got)
+				}
 			})
 		}
+	}
+}
+
+// TestAsyncCloseReturnsSpareBlocks: the reclaimers' spare exchange blocks
+// must come back to the workers' retire-buffer block pools at Close instead
+// of being dropped to the garbage collector (the shutdown half of the
+// blockbag circulation property; Close used to drop them). The discarding
+// sink configuration routes block recycling through the scheme's own block
+// pools, which is the path that produces exchange spares.
+func TestAsyncCloseReturnsSpareBlocks(t *testing.T) {
+	const threads = 4
+	const ops = 4000
+	mgr, err := recordmgr.Build[node](recordmgr.Config{
+		Scheme:     recordmgr.SchemeDEBRA,
+		Threads:    threads,
+		UsePool:    false, // Discard sink: frees recycle blocks scheme-side
+		Reclaimers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				mgr.LeaveQstate(tid)
+				mgr.Retire(tid, mgr.Allocate(tid))
+				mgr.EnterQstate(tid)
+			}
+		}(tid)
+	}
+	wg.Wait()
+	// Let the reclaimer drain behind the idle workers so the exchange has
+	// handed spares back before the shutdown path runs.
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		st := mgr.Stats()
+		if st.HandoffPending == 0 && st.RetirePending == 0 && st.Reclaimer.Freed > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mgr.Close()
+	if got := mgr.AsyncSpareBlocks(); got != 0 {
+		t.Fatalf("after Close: %d spare blocks still parked", got)
+	}
+	if got := mgr.SparesRecovered(); got == 0 {
+		t.Fatalf("Close recovered no spare blocks; the shutdown return path did not run (exchange spares were produced and must be parked on the return stacks)")
 	}
 }
 
