@@ -34,15 +34,20 @@ race:
 
 ## bench-smoke: tiny experiment run, JSON report to bench-smoke.json (CI artifact).
 ## Covers the hash map panels (experiment 4), the async-reclamation sweep
-## (experiment 6) and the hot-path per-op microcost probes (experiment 7) in
-## one merged report. The thread sweep is pinned so the row set matches
-## BENCH_baseline.json on any machine (the async reclaimer-count sweep is
-## likewise fixed, not machine-derived); 75ms trials keep per-cell noise
-## inside the bench-diff gate's margin.
+## (experiment 6), the hot-path per-op microcost probes (experiment 7) and
+## the goroutine-churn sweep over the slot registry (experiment 8) in one
+## merged report. The thread sweep is pinned so the row set matches
+## BENCH_baseline.json on any machine (the async reclaimer-count and churn
+## sweeps are likewise fixed, not machine-derived); 75ms trials keep
+## per-cell noise inside the bench-diff gate's margin. Every smoke report is
+## also archived under bench-history/ with a UTC timestamp, so any two runs
+## can be compared later (benchdiff takes two positional artifact paths).
 bench-smoke: build
-	$(GO) run ./cmd/reclaimbench -experiment hashmap,async,hotpath -quick -threads 4 -duration 75ms -json > bench-smoke.json
+	$(GO) run ./cmd/reclaimbench -experiment hashmap,async,hotpath,churn -quick -threads 4 -duration 75ms -json > bench-smoke.json
 	@grep -q '"row_count"' bench-smoke.json
-	@echo "wrote bench-smoke.json"
+	@mkdir -p bench-history
+	@cp bench-smoke.json "bench-history/$$(date -u +%Y%m%dT%H%M%SZ).json"
+	@echo "wrote bench-smoke.json (archived under bench-history/)"
 
 ## bench-diff: compare the fresh bench-smoke artifact against the committed
 ## baseline, failing on >30% (median-normalised) throughput regressions.

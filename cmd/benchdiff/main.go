@@ -11,6 +11,11 @@
 //
 //	benchdiff -baseline BENCH_baseline.json -current bench-smoke.json
 //	benchdiff -baseline a.json -current b.json -threshold 0.2 -absolute
+//	benchdiff bench-history/20260101.json bench-history/20260201.json
+//
+// Two positional arguments name an explicit (baseline, current) artifact
+// pair — any two reports from the bench-history archive can be compared,
+// not just HEAD against the committed baseline.
 package main
 
 import (
@@ -30,6 +35,24 @@ func main() {
 		absolute     = flag.Bool("absolute", false, "compare raw Mops/s instead of median-normalised ratios")
 	)
 	flag.Parse()
+
+	// Positional form: benchdiff <baseline.json> <current.json> — compare
+	// any two archived artifacts (the bench-history trend use case).
+	switch flag.NArg() {
+	case 0:
+	case 2:
+		// Mixing the positional pair with explicit -baseline/-current flags
+		// would have to silently drop one of the two sources; reject it.
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "baseline" || f.Name == "current" {
+				fatal(fmt.Errorf("-%s cannot be combined with positional artifact paths", f.Name))
+			}
+		})
+		*baselinePath = flag.Arg(0)
+		*currentPath = flag.Arg(1)
+	default:
+		fatal(fmt.Errorf("want zero or exactly two positional arguments (baseline current), got %d", flag.NArg()))
+	}
 
 	baseline, err := readReport(*baselinePath)
 	if err != nil {
@@ -52,6 +75,12 @@ func main() {
 	// regression shows up in first.
 	if mc := bench.RenderMicrocosts(baseline, current); mc != "" {
 		fmt.Print(mc)
+	}
+	// Likewise the acquire/release latency columns of the churn rows
+	// (experiment 8) — the cost a dynamically bound server actually pays
+	// per goroutine turnover.
+	if cc := bench.RenderChurnCosts(baseline, current); cc != "" {
+		fmt.Print(cc)
 	}
 	if len(res.Regressions) > 0 {
 		fatal(fmt.Errorf("%d cells regressed more than %.0f%%", len(res.Regressions), *threshold*100))

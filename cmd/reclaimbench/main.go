@@ -15,17 +15,20 @@
 //	reclaimbench -experiment shards            # shard x batch ablation sweep
 //	reclaimbench -experiment async             # async on/off x reclaimer-count sweep
 //	reclaimbench -experiment hotpath           # per-op microcosts (pin, alloc+retire)
+//	reclaimbench -experiment churn             # goroutine churn over the slot registry
+//	reclaimbench -experiment hashmap -churn 256  # ... any experiment under slot churn
 //	reclaimbench -experiment hashmap -cpuprofile cpu.pprof  # profile the trials
 //	reclaimbench -experiment memory            # Figure 9 (right)
 //	reclaimbench -experiment summary           # headline ratios from Experiment 2
 //	reclaimbench -experiment 2 -csv            # machine-readable CSV
 //	reclaimbench -experiment hashmap,async -json  # merged JSON (the CI artifact)
 //
-// The -shards, -placement, -retirebatch, -async and -reclaimers flags apply
-// the sharded-domain, deferred-retirement and async-reclamation knobs to
-// every trial of experiments 1-4, 7 and memory; the "shards" and "async"
-// experiments sweep their own axis. Several experiments may be given
-// comma-separated; their panels are concatenated into one report.
+// The -shards, -placement, -retirebatch, -async, -reclaimers and -churn
+// flags apply the sharded-domain, deferred-retirement, async-reclamation
+// and goroutine-churn knobs to every trial of experiments 1-4, 7 and
+// memory; the "shards", "async" and "churn" experiments sweep their own
+// axis. Several experiments may be given comma-separated; their panels are
+// concatenated into one report.
 //
 // -cpuprofile and -memprofile write pprof profiles covering the whole run
 // (all trials of the invocation), so hot-path regressions spotted by the
@@ -59,6 +62,7 @@ func main() {
 		retireBatch = flag.Int("retirebatch", 0, "per-thread deferred-retire batch size (0 = direct retirement)")
 		async       = flag.Bool("async", false, "enable asynchronous reclamation (implies -reclaimers 1 when unset)")
 		reclaimers  = flag.Int("reclaimers", 0, "dedicated async reclaimer goroutines per trial (0 = reclamation on the workers; implies -async)")
+		churn       = flag.Int("churn", 0, "goroutine churn: workers release+acquire their thread slot every N operations (0 = static binding)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	)
@@ -108,10 +112,13 @@ func main() {
 	if *async && *reclaimers == 0 {
 		*reclaimers = core.DefaultAsyncReclaimers
 	}
+	if *churn < 0 {
+		fatal(fmt.Errorf("-churn must be >= 0, got %d", *churn))
+	}
 	opts := bench.Options{
 		Duration: *duration, MaxThreads: *maxThreads, Quick: *quick, Seed: *seed,
 		Shards: *shards, Placement: *placement, RetireBatch: *retireBatch,
-		Reclaimers: *reclaimers,
+		Reclaimers: *reclaimers, ChurnOps: *churn,
 	}
 
 	names := strings.Split(*experiment, ",")
@@ -124,7 +131,7 @@ func main() {
 	}
 
 	switch names[0] {
-	case "1", "2", "3", "4", "hashmap", "5", "shards", "6", "async", "7", "hotpath":
+	case "1", "2", "3", "4", "hashmap", "5", "shards", "6", "async", "7", "hotpath", "8", "churn":
 		var results []bench.PanelResult
 		tabular := false
 		seen := map[int]bool{}
@@ -139,7 +146,9 @@ func main() {
 				exp = bench.ExperimentAsync
 			case "hotpath":
 				exp = bench.ExperimentHotPath
-			case "1", "2", "3", "4", "5", "6", "7":
+			case "churn":
+				exp = bench.ExperimentChurn
+			case "1", "2", "3", "4", "5", "6", "7", "8":
 				exp = int(name[0] - '0')
 			default:
 				fatal(fmt.Errorf("unknown experiment %q in list", name))
@@ -152,7 +161,8 @@ func main() {
 			}
 			seen[exp] = true
 			if exp != bench.ExperimentHashMap && exp != bench.ExperimentSharding &&
-				exp != bench.ExperimentAsync && exp != bench.ExperimentHotPath {
+				exp != bench.ExperimentAsync && exp != bench.ExperimentHotPath &&
+				exp != bench.ExperimentChurn {
 				tabular = true
 			}
 			res, err := bench.RunExperiment(exp, opts)
@@ -203,7 +213,7 @@ func main() {
 		}
 		fmt.Println(bench.RenderSummary(bench.Summarize(results)))
 	default:
-		fatal(fmt.Errorf("unknown experiment %q (want 1, 2, 3, 4, hashmap, 5, shards, 6, async, 7, hotpath, memory or summary)", *experiment))
+		fatal(fmt.Errorf("unknown experiment %q (want 1, 2, 3, 4, hashmap, 5, shards, 6, async, 7, hotpath, 8, churn, memory or summary)", *experiment))
 	}
 }
 

@@ -86,6 +86,52 @@
 // async off/on × reclaimer count over the update-heavy hash map panel
 // across all six schemes.
 //
+// # Thread lifecycle
+//
+// The Record Manager's per-thread state — scheme announcement slots, limbo
+// bags, pool caches, retire buffers, handle tables — is still sized once,
+// at construction, for a fixed capacity of dense thread ids
+// (recordmgr.Config.MaxThreads, defaulting to Threads). Which goroutine
+// owns which id is no longer fixed: a core.SlotRegistry hands slots out at
+// runtime through a lock-free free list. There are two binding styles, and
+// they compose on one manager:
+//
+//   - Static: RecordManager.Handle(tid) (and the data structures' tid-based
+//     methods) permanently claims tid's slot on first use — the historical
+//     fixed-Threads wiring, byte-for-byte compatible.
+//   - Dynamic: RecordManager.AcquireHandle() binds the calling goroutine to
+//     a vacant slot and returns its ThreadHandle; ReleaseHandle returns the
+//     slot for reuse. The data structures expose the same pair
+//     (AcquireHandle/ReleaseHandle), so a server's request goroutines can
+//     come and go without any tid bookkeeping (examples/kvstore is the
+//     usage demo).
+//
+// Release is only legal from a quiescent, flushed state — the slot-registry
+// sibling of the quiescent-retire contract: ReleaseHandle panics when the
+// slot's announcement is still active (or, under hazard pointers, a
+// protection slot is still held), then drains the slot's deferred-retire
+// buffer under the scheme's retire pin and hands the slot's private pool
+// cache back to the shared pool (core.ThreadDrainer). Only after that is
+// the slot pushed onto the free list, and the push/pop CAS pair is the
+// happens-before edge to the next acquirer — so a reused tid can never
+// inherit a stale epoch or hazard-pointer announcement, and starts from the
+// same state a freshly constructed slot has.
+//
+// Vacant slots are quiescent by that contract, so the schemes' scan paths
+// skip them: per-shard occupancy summary words (maintained by the registry,
+// exposed through core.ShardMap) let the epoch schemes verify an idle shard
+// in O(1) and a shard's only live occupant skip its member scan entirely,
+// DEBRA/DEBRA+ fast-forward their incremental scan cycle past vacant
+// members (keeping the cycle proportional to the live population, not the
+// capacity), DEBRA+ never signals a vacant slot, and the hazard-pointer
+// reclamation scan skips vacant threads' slot arrays. The remaining race —
+// a scanner observes a slot vacant while a goroutine concurrently acquires
+// it — is exactly the quiescent-thread-wakes race every scheme already
+// tolerates. Experiment 8 of cmd/reclaimbench ("churn"; -churn applies the
+// knob to any experiment) measures throughput and the acquire/release
+// latency under goroutine churn, and cmd/benchdiff reports the per-cycle
+// ns columns alongside the trend gate.
+//
 // # Hot-path cost model
 //
 // The paper's performance claim is that DEBRA makes every reclamation

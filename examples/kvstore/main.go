@@ -1,9 +1,18 @@
 // Kvstore builds a small concurrent key-value store on top of the lock-free
-// BST and drives it with a realistic mixed workload: a pool of worker
-// goroutines serving get/put/delete "requests", a background reporter, and a
-// clean shutdown that prints reclamation statistics. It shows how a real
-// application wires dense thread ids to goroutines and how the choice of
-// reclamation scheme stays a configuration detail.
+// hash map and drives it the way a real server runs: with a churning worker
+// pool. Worker goroutines come and go — each one binds itself to a thread
+// slot with AcquireHandle, serves a bounded burst of get/put/delete
+// "requests" through the slot-bound handle, releases the slot (which flushes
+// its retire buffer and returns its pool cache) and exits; a supervisor
+// immediately starts a replacement. No goroutine is hand-wired to a dense
+// thread id, and the store never needs to know its peak goroutine count —
+// only the slot capacity (recordmgr.Config.MaxThreads). The choice of
+// reclamation scheme stays a one-line configuration detail.
+//
+// Request tallies are kept in per-session locals and merged when each
+// session ends — the per-request atomic counters of the old example are
+// gone, matching the single-writer counter discipline of the rest of the
+// stack.
 package main
 
 import (
@@ -13,93 +22,119 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/ds/bst"
+	"repro/internal/ds/hashmap"
 	"repro/internal/recordmgr"
 )
 
 // Store is a minimal concurrent KV store keyed by int64.
 type Store struct {
-	tree    *bst.Tree[string]
-	mgr     *bst.Manager[string]
-	gets    atomic.Int64
-	puts    atomic.Int64
-	deletes atomic.Int64
+	m   *hashmap.Map[string]
+	mgr *hashmap.Manager[string]
 }
 
-// NewStore creates a store served by n worker threads using the given
-// reclamation scheme.
-func NewStore(scheme string, n int) *Store {
-	mgr := recordmgr.MustBuild[bst.Record[string]](recordmgr.Config{
-		Scheme:  scheme,
-		Threads: n,
-		UsePool: true,
+// NewStore creates a store with the given reclamation scheme and slot
+// capacity. workers is the nominal concurrency (sizes the retire batching);
+// maxSlots is the registry capacity the churning goroutines draw from.
+func NewStore(scheme string, workers, maxSlots int) *Store {
+	mgr := recordmgr.MustBuild[hashmap.Node[string]](recordmgr.Config{
+		Scheme:     scheme,
+		Threads:    workers,
+		MaxThreads: maxSlots,
+		UsePool:    true,
 	})
-	return &Store{tree: bst.New(mgr), mgr: mgr}
+	return &Store{m: hashmap.New[string](mgr, workers), mgr: mgr}
 }
 
-// Get returns the value for key.
-func (s *Store) Get(tid int, key int64) (string, bool) {
-	s.gets.Add(1)
-	return s.tree.Get(tid, key)
-}
+// session is one short-lived worker goroutine's service loop: bind a slot,
+// serve up to maxRequests requests, release the slot, report the tally.
+type tally struct{ gets, puts, deletes, sessions int64 }
 
-// Put inserts the value for key (no overwrite: the store keeps the first
-// value, mirroring the set semantics of the underlying tree).
-func (s *Store) Put(tid int, key int64, value string) bool {
-	s.puts.Add(1)
-	return s.tree.Insert(tid, key, value)
-}
-
-// Delete removes key.
-func (s *Store) Delete(tid int, key int64) bool {
-	s.deletes.Add(1)
-	return s.tree.Delete(tid, key)
+func (s *Store) session(rng *rand.Rand, keySpace int64, maxRequests int, stop *atomic.Bool) tally {
+	h := s.m.AcquireHandle()
+	defer s.m.ReleaseHandle(h)
+	var t tally
+	t.sessions = 1
+	for i := 0; i < maxRequests && !stop.Load(); i++ {
+		key := rng.Int63n(keySpace)
+		switch rng.Intn(10) {
+		case 0, 1, 2: // 30% writes
+			h.Insert(key, fmt.Sprintf("session-%d", key))
+			t.puts++
+		case 3: // 10% deletes
+			h.Delete(key)
+			t.deletes++
+		default: // 60% reads
+			_, _ = h.Get(key)
+			t.gets++
+		}
+	}
+	return t
 }
 
 func main() {
 	const (
-		workers  = 6
-		keySpace = 50_000
-		runFor   = 500 * time.Millisecond
+		scheme             = recordmgr.SchemeDEBRAPlus
+		workers            = 4      // concurrent sessions
+		maxSlots           = 8      // slot capacity the sessions draw from
+		keySpace           = 50_000 // key universe
+		requestsPerSession = 4096   // a session's lifetime, in requests
+		runFor             = 500 * time.Millisecond
 	)
-	store := NewStore(recordmgr.SchemeDEBRAPlus, workers)
+	store := NewStore(scheme, workers, maxSlots)
 
 	var stop atomic.Bool
 	var wg sync.WaitGroup
-	for tid := 0; tid < workers; tid++ {
+	results := make(chan tally, workers)
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(tid int) {
+		go func(w int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(int64(tid) * 7))
+			rng := rand.New(rand.NewSource(int64(w)*7919 + 3))
+			var total tally
+			// The churn loop: every iteration is a fresh "goroutine" in
+			// spirit — slot acquired, bounded service burst, slot released.
 			for !stop.Load() {
-				key := rng.Int63n(keySpace)
-				switch rng.Intn(10) {
-				case 0, 1, 2: // 30% writes
-					store.Put(tid, key, fmt.Sprintf("session-%d", key))
-				case 3: // 10% deletes
-					store.Delete(tid, key)
-				default: // 60% reads
-					store.Get(tid, key)
-				}
+				t := store.session(rng, keySpace, requestsPerSession, &stop)
+				total.gets += t.gets
+				total.puts += t.puts
+				total.deletes += t.deletes
+				total.sessions += t.sessions
 			}
-		}(tid)
+			results <- total
+		}(w)
 	}
 
 	time.Sleep(runFor)
 	stop.Store(true)
 	wg.Wait()
+	close(results)
+
+	var total tally
+	for t := range results {
+		total.gets += t.gets
+		total.puts += t.puts
+		total.deletes += t.deletes
+		total.sessions += t.sessions
+	}
 
 	st := store.mgr.Stats()
-	total := store.gets.Load() + store.puts.Load() + store.deletes.Load()
-	fmt.Printf("served %d requests (%d gets, %d puts, %d deletes) in %v\n",
-		total, store.gets.Load(), store.puts.Load(), store.deletes.Load(), runFor)
-	fmt.Printf("store size: %d keys\n", store.tree.Len())
+	requests := total.gets + total.puts + total.deletes
+	fmt.Printf("served %d requests (%d gets, %d puts, %d deletes) across %d sessions in %v\n",
+		requests, total.gets, total.puts, total.deletes, total.sessions, runFor)
+	fmt.Printf("slot registry: capacity=%d live-after-shutdown=%d\n",
+		store.mgr.SlotRegistry().Capacity(), store.mgr.SlotRegistry().Live())
+	fmt.Printf("store size: %d keys in %d buckets\n", store.m.Len(), store.m.Buckets())
 	fmt.Printf("records: allocated=%d reused=%d retired=%d freed=%d in-limbo=%d neutralizations=%d\n",
 		st.Alloc.Allocated, st.Pool.Reused, st.Reclaimer.Retired, st.Reclaimer.Freed,
 		st.Reclaimer.Limbo, st.Reclaimer.Neutralizations)
-	if err := store.tree.Validate(); err != nil {
+	// Close before validating so the reclamation pipeline shuts down on the
+	// failure path too (Close only drains retired — unreachable — records,
+	// so the structural validation below is unaffected).
+	store.mgr.Close()
+	fmt.Println("reclamation pipeline closed")
+	if err := store.m.Validate(); err != nil {
 		fmt.Println("validation failed:", err)
 		return
 	}
-	fmt.Println("tree structure validated cleanly")
+	fmt.Println("map structure validated cleanly")
 }

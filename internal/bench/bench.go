@@ -88,6 +88,13 @@ type Config struct {
 	// (0 = reclamation on the worker threads; >0 implies retire batching,
 	// defaulted by recordmgr.Build to a full block).
 	Reclaimers int
+	// ChurnOps, when > 0, switches the workers to the dynamic binding style
+	// and makes each of them release its thread slot and acquire a fresh one
+	// every ChurnOps operations (goroutine churn: at throughput T ops/s the
+	// trial performs T/ChurnOps acquire+release cycles per second per
+	// worker). The acquire+release latency is measured and reported as
+	// ChurnNs/ChurnCycles.
+	ChurnOps int
 }
 
 // Result is the outcome of one trial.
@@ -120,6 +127,13 @@ type Result struct {
 	// understates memory held whenever batching or async hand-off parks
 	// records outside the scheme.
 	Unreclaimed int64
+	// ChurnCycles is the number of release+acquire slot cycles the workers
+	// performed during the timed phase (0 unless ChurnOps is set).
+	ChurnCycles int64
+	// ChurnNs is the total wall time the workers spent inside those
+	// release+acquire cycles; ChurnNs/ChurnCycles is the per-cycle cost the
+	// churn experiment reports.
+	ChurnNs int64
 	// Elapsed is the measured duration of the timed phase.
 	Elapsed time.Duration
 }
@@ -137,6 +151,10 @@ type set interface {
 	delete(tid int, key int64) bool
 	contains(tid int, key int64) bool
 	handle(tid int) opHandle
+	// acquire binds the calling goroutine to a vacant thread slot (the
+	// dynamic binding style) and returns the slot-bound operations plus the
+	// release function; churn trials bind, work and release repeatedly.
+	acquire() (opHandle, func())
 	stats() core.ManagerStats
 	close()
 }
@@ -158,7 +176,15 @@ func (s bstSet) stats() core.ManagerStats         { return s.t.Manager().Stats()
 func (s bstSet) close()                           { s.t.Manager().Close() }
 
 func (s bstSet) handle(tid int) opHandle {
-	h := s.t.Handle(tid)
+	return bstOps(s.t.Handle(tid))
+}
+
+func (s bstSet) acquire() (opHandle, func()) {
+	h := s.t.AcquireHandle()
+	return bstOps(h), func() { s.t.ReleaseHandle(h) }
+}
+
+func bstOps(h bst.Handle[int64]) opHandle {
 	return opHandle{
 		insert:   func(key int64) bool { return h.Insert(key, key) },
 		remove:   h.Delete,
@@ -176,7 +202,15 @@ func (s skipSet) stats() core.ManagerStats         { return s.l.Manager().Stats(
 func (s skipSet) close()                           { s.l.Manager().Close() }
 
 func (s skipSet) handle(tid int) opHandle {
-	h := s.l.Handle(tid)
+	return skipOps(s.l.Handle(tid))
+}
+
+func (s skipSet) acquire() (opHandle, func()) {
+	h := s.l.AcquireHandle()
+	return skipOps(h), func() { s.l.ReleaseHandle(h) }
+}
+
+func skipOps(h *skiplist.Handle[int64]) opHandle {
 	return opHandle{
 		insert:   func(key int64) bool { return h.Insert(key, key) },
 		remove:   h.Delete,
@@ -194,7 +228,15 @@ func (s hashSet) stats() core.ManagerStats         { return s.m.Manager().Stats(
 func (s hashSet) close()                           { s.m.Manager().Close() }
 
 func (s hashSet) handle(tid int) opHandle {
-	h := s.m.Handle(tid)
+	return hashOps(s.m.Handle(tid))
+}
+
+func (s hashSet) acquire() (opHandle, func()) {
+	h := s.m.AcquireHandle()
+	return hashOps(h), func() { s.m.ReleaseHandle(h) }
+}
+
+func hashOps(h *hashmap.Handle[int64]) opHandle {
 	return opHandle{
 		insert:   func(key int64) bool { return h.Insert(key, key) },
 		remove:   h.Delete,
@@ -262,6 +304,12 @@ func (s microSet) handle(tid int) opHandle {
 	h := s.mgr.Handle(tid)
 	op := func(key int64) bool { return s.op(h) }
 	return opHandle{insert: op, remove: op, contains: op}
+}
+
+func (s microSet) acquire() (opHandle, func()) {
+	h := s.mgr.AcquireHandle()
+	op := func(key int64) bool { return s.op(h) }
+	return opHandle{insert: op, remove: op, contains: op}, func() { s.mgr.ReleaseHandle(h) }
 }
 
 // SupportedSchemes returns the reclamation schemes the given data structure
@@ -365,9 +413,11 @@ func RunTrial(cfg Config) (Result, error) {
 	prefill(s, cfg)
 
 	var (
-		stop     atomic.Bool
-		totalOps atomic.Int64
-		wg       sync.WaitGroup
+		stop        atomic.Bool
+		totalOps    atomic.Int64
+		churnCycles atomic.Int64
+		churnNs     atomic.Int64
+		wg          sync.WaitGroup
 	)
 	start := time.Now()
 	for tid := 0; tid < cfg.Threads; tid++ {
@@ -376,10 +426,20 @@ func RunTrial(cfg Config) (Result, error) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(tid)*104729))
 			w := cfg.Workload
-			// Worker registration: resolve the thread's handles once; the
-			// measured loop indexes no per-thread slices.
-			h := s.handle(tid)
+			// Worker registration. Static binding resolves the thread's
+			// handles once; churn trials instead bind dynamically and cycle
+			// the slot every ChurnOps operations, timing each cycle.
+			var (
+				h       opHandle
+				release func()
+			)
+			if cfg.ChurnOps > 0 {
+				h, release = s.acquire()
+			} else {
+				h = s.handle(tid)
+			}
 			ops := int64(0)
+			cycles, spentNs := int64(0), int64(0)
 			for !stop.Load() {
 				key := rng.Int63n(w.KeyRange)
 				p := rng.Intn(100)
@@ -392,8 +452,20 @@ func RunTrial(cfg Config) (Result, error) {
 					h.contains(key)
 				}
 				ops++
+				if cfg.ChurnOps > 0 && ops%int64(cfg.ChurnOps) == 0 {
+					t0 := time.Now()
+					release()
+					h, release = s.acquire()
+					spentNs += time.Since(t0).Nanoseconds()
+					cycles++
+				}
+			}
+			if release != nil {
+				release()
 			}
 			totalOps.Add(ops)
+			churnCycles.Add(cycles)
+			churnNs.Add(spentNs)
 		}(tid)
 	}
 	time.Sleep(cfg.Duration)
@@ -419,6 +491,8 @@ func RunTrial(cfg Config) (Result, error) {
 		RetirePending:    st.RetirePending,
 		HandoffPending:   st.HandoffPending,
 		Unreclaimed:      st.Unreclaimed,
+		ChurnCycles:      churnCycles.Load(),
+		ChurnNs:          churnNs.Load(),
 		Elapsed:          elapsed,
 	}
 	res.MopsPerSec = res.Throughput / 1e6
@@ -447,7 +521,17 @@ func prefill(s set, cfg Config) {
 		go func(tid int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.Seed*31 + int64(tid)))
-			h := s.handle(tid)
+			// Churn trials must not wire the prefillers statically: a static
+			// claim is permanent and would leave nothing for the timed
+			// workers to acquire. Bind dynamically and release at the end.
+			var h opHandle
+			if cfg.ChurnOps > 0 {
+				var release func()
+				h, release = s.acquire()
+				defer release()
+			} else {
+				h = s.handle(tid)
+			}
 			for inserted.Load() < target {
 				key := rng.Int63n(cfg.Workload.KeyRange)
 				if h.insert(key) {

@@ -91,6 +91,80 @@ func TestRunTrialHashMapAllSchemes(t *testing.T) {
 	}
 }
 
+// TestRunTrialChurnAllSchemes drives the goroutine-churn binding (workers
+// release and re-acquire their thread slot every ChurnOps operations)
+// through every scheme and every data structure kind the harness supports,
+// asserting the cycles actually happened and were timed.
+func TestRunTrialChurnAllSchemes(t *testing.T) {
+	for _, scheme := range SupportedSchemes(DSHashMap) {
+		t.Run(scheme, func(t *testing.T) {
+			res, err := RunTrial(Config{
+				DataStructure:  DSHashMap,
+				Scheme:         scheme,
+				Threads:        2,
+				Duration:       30 * time.Millisecond,
+				Workload:       withRange(MixUpdateHeavy, 1024),
+				Allocator:      recordmgr.AllocBump,
+				UsePool:        true,
+				InitialBuckets: 8,
+				ChurnOps:       32,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Ops == 0 {
+				t.Fatalf("no work performed: %+v", res)
+			}
+			if res.ChurnCycles == 0 {
+				t.Fatal("churn trial performed no slot cycles")
+			}
+			if res.ChurnNs <= 0 {
+				t.Fatal("churn cycles were not timed")
+			}
+		})
+	}
+	// The other binding surfaces: BST, skip list and the hotpath probes all
+	// accept the dynamic style too.
+	for _, ds := range []string{DSBST, DSSkipList, DSHotPathPin} {
+		t.Run(ds, func(t *testing.T) {
+			res, err := RunTrial(Config{
+				DataStructure: ds,
+				Scheme:        recordmgr.SchemeDEBRA,
+				Threads:       2,
+				Duration:      20 * time.Millisecond,
+				Workload:      withRange(MixUpdateHeavy, 512),
+				Allocator:     recordmgr.AllocBump,
+				UsePool:       true,
+				ChurnOps:      32,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ChurnCycles == 0 {
+				t.Fatalf("%s churn trial performed no slot cycles", ds)
+			}
+		})
+	}
+}
+
+func TestChurnPanels(t *testing.T) {
+	panels, err := ExperimentPanels(ExperimentChurn, QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(panels) != len(ChurnOpsSweep) {
+		t.Fatalf("got %d churn panels want %d", len(panels), len(ChurnOpsSweep))
+	}
+	for i, p := range panels {
+		if p.ChurnOps != ChurnOpsSweep[i] {
+			t.Fatalf("panel %d ChurnOps = %d want %d", i, p.ChurnOps, ChurnOpsSweep[i])
+		}
+		if len(p.Schemes) != 6 {
+			t.Fatalf("churn panel must cover all six schemes, got %v", p.Schemes)
+		}
+	}
+}
+
 func TestHashMapPanels(t *testing.T) {
 	panels, err := ExperimentPanels(ExperimentHashMap, DefaultOptions())
 	if err != nil {

@@ -56,12 +56,15 @@ type DiffResult struct {
 
 // rowKey identifies a cell across runs. The title already encodes the data
 // structure, key range, mix and table regime; scheme, threads and the
-// sharding/placement/batching/async axes complete the identity. (Baselines
-// recorded before the async axis existed decode Reclaimers as 0, which is
-// exactly the synchronous configuration they measured.)
+// sharding/placement/batching/async/churn axes complete the identity.
+// (Baselines recorded before an axis existed decode its value as 0 — the
+// configuration they actually measured — but adding an axis changes every
+// key, so the committed baseline must be regenerated with make
+// bench-baseline when one lands, which the degenerate-comparison error
+// below enforces loudly.)
 func rowKey(r JSONRow) string {
-	return fmt.Sprintf("%s | %s | threads=%d shards=%d/%s batch=%d async=%d",
-		r.Title, r.Scheme, r.Threads, r.Shards, r.Placement, r.RetireBatch, r.Reclaimers)
+	return fmt.Sprintf("%s | %s | threads=%d shards=%d/%s batch=%d async=%d churn=%d",
+		r.Title, r.Scheme, r.Threads, r.Shards, r.Placement, r.RetireBatch, r.Reclaimers, r.ChurnOps)
 }
 
 // ParseReport decodes a JSON report produced by reclaimbench -json.
@@ -218,6 +221,59 @@ func RenderMicrocosts(baseline, current JSONReport) string {
 			ratio = fmt.Sprintf("%.2f", c.cur/c.base)
 		}
 		fmt.Fprintf(&sb, "  %-72s %12s %12s %8s\n", k, base, cur, ratio)
+	}
+	return sb.String()
+}
+
+// RenderChurnCosts renders the acquire/release latency columns of the
+// goroutine-churn rows (experiment 8) from both reports: cell identity,
+// baseline and current ns per release+acquire cycle, and the ratio. Rows
+// missing from one side print a dash; reports recorded before the churn
+// experiment existed simply produce no table.
+func RenderChurnCosts(baseline, current JSONReport) string {
+	type cell struct{ base, cur float64 }
+	cells := map[string]*cell{}
+	var keys []string
+	get := func(r JSONRow) *cell {
+		k := rowKey(r)
+		c, ok := cells[k]
+		if !ok {
+			c = &cell{}
+			cells[k] = c
+			keys = append(keys, k)
+		}
+		return c
+	}
+	for _, r := range baseline.Rows {
+		if r.ChurnOps > 0 && r.ChurnNsPerCycle > 0 {
+			get(r).base = r.ChurnNsPerCycle
+		}
+	}
+	for _, r := range current.Rows {
+		if r.ChurnOps > 0 && r.ChurnNsPerCycle > 0 {
+			get(r).cur = r.ChurnNsPerCycle
+		}
+	}
+	if len(cells) == 0 {
+		return ""
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteString("slot acquire/release latency under churn (experiment 8):\n")
+	fmt.Fprintf(&sb, "  %-72s %14s %14s %8s\n", "cell", "base ns/cycle", "cur ns/cycle", "ratio")
+	for _, k := range keys {
+		c := cells[k]
+		base, cur, ratio := "-", "-", "-"
+		if c.base > 0 {
+			base = fmt.Sprintf("%.0f", c.base)
+		}
+		if c.cur > 0 {
+			cur = fmt.Sprintf("%.0f", c.cur)
+		}
+		if c.base > 0 && c.cur > 0 {
+			ratio = fmt.Sprintf("%.2f", c.cur/c.base)
+		}
+		fmt.Fprintf(&sb, "  %-72s %14s %14s %8s\n", k, base, cur, ratio)
 	}
 	return sb.String()
 }

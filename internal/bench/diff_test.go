@@ -114,6 +114,32 @@ func TestDiffAsyncAxisDistinguishesCells(t *testing.T) {
 	}
 }
 
+func TestDiffChurnAxisDistinguishesCells(t *testing.T) {
+	// Same identity except the churn cadence: distinct cells.
+	a := mkRow("p", "ebr", 2, 0, 256, 5)
+	b := mkRow("p", "ebr", 2, 0, 256, 9)
+	b.ChurnOps = 64
+	res := mustDiff(t, mkReport(a, b), mkReport(a, b), DefaultDiffOptions())
+	if res.Compared != 2 || len(res.Regressions) != 0 {
+		t.Fatalf("churn-axis cells mismatched: %+v", res)
+	}
+}
+
+func TestRenderChurnCosts(t *testing.T) {
+	a := mkRow("p churn=64", "debra", 2, 0, 0, 5)
+	a.ChurnOps, a.ChurnCycles, a.ChurnNsPerCycle = 64, 1000, 420
+	b := a
+	b.ChurnNsPerCycle = 840
+	out := RenderChurnCosts(mkReport(a), mkReport(b))
+	if !strings.Contains(out, "churn=64") || !strings.Contains(out, "2.00") {
+		t.Fatalf("churn cost table missing cells or ratio:\n%s", out)
+	}
+	// Reports without churn rows produce no table at all.
+	if out := RenderChurnCosts(mkReport(mkRow("p", "ebr", 1, 0, 0, 1)), mkReport()); out != "" {
+		t.Fatalf("expected empty table, got:\n%s", out)
+	}
+}
+
 func TestDiffMinMopsFloorAndMissing(t *testing.T) {
 	base := mkReport(mkRow("p", "a", 1, 0, 0, 0.01), mkRow("p", "b", 1, 0, 0, 5), mkRow("p", "gone", 1, 0, 0, 5))
 	cur := mkReport(mkRow("p", "a", 1, 0, 0, 0.001), mkRow("p", "b", 1, 0, 0, 5), mkRow("p", "new", 1, 0, 0, 5))

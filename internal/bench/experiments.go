@@ -40,6 +40,10 @@ type Panel struct {
 	// Reclaimers enables asynchronous reclamation for every cell of the
 	// panel (0 = reclamation on the worker threads).
 	Reclaimers int
+	// ChurnOps makes every cell's workers cycle their thread slot
+	// (release + acquire) every ChurnOps operations — goroutine churn over
+	// the dynamic slot registry (0 = static binding).
+	ChurnOps int
 }
 
 // PanelResult holds the measured cells of a panel.
@@ -73,6 +77,10 @@ type Options struct {
 	Placement   string
 	RetireBatch int
 	Reclaimers  int
+	// ChurnOps applies goroutine churn (slot release + acquire every
+	// ChurnOps operations) to every trial (the -churn CLI flag); the churn
+	// experiment sweeps its own axis and ignores this value.
+	ChurnOps int
 }
 
 // DefaultOptions returns options that mirror the paper's setup (scaled to
@@ -136,7 +144,22 @@ const (
 	// comparisons — the quantity the single-writer counters and thread
 	// handles exist to shrink.
 	ExperimentHotPath = 7
+	// ExperimentChurn is the goroutine-churn ablation of the dynamic
+	// thread-slot registry (beyond the paper): the update-heavy hash map
+	// panel with the workers bound dynamically, releasing and re-acquiring
+	// their thread slot every ChurnOps operations — so at throughput T the
+	// trial performs T/ChurnOps acquire/release cycles per second per
+	// worker — swept over all six schemes and two churn cadences. Cells
+	// report throughput under churn plus the measured acquire+release
+	// latency (churn_ns_per_cycle in the JSON), which is what a server
+	// binding request goroutines to slots actually pays.
+	ExperimentChurn = 8
 )
+
+// ChurnOpsSweep is the slot-cycle cadences ExperimentChurn covers: a hot
+// cadence (every 64 operations) and a mild one. Fixed rather than
+// machine-derived so smoke rows match across machines for the trend gate.
+var ChurnOpsSweep = []int{64, 1024}
 
 // AsyncReclaimerSweep is the reclaimer-goroutine counts ExperimentAsync
 // covers (0 = the synchronous baseline). Fixed rather than machine-derived
@@ -165,6 +188,8 @@ func ExperimentPanels(experiment int, opts Options) ([]Panel, error) {
 		return AsyncPanels(opts), nil
 	case ExperimentHotPath:
 		return HotPathPanels(opts), nil
+	case ExperimentChurn:
+		return ChurnPanels(opts), nil
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %d", experiment)
 	}
@@ -195,6 +220,7 @@ func ExperimentPanels(experiment int, opts Options) ([]Panel, error) {
 				Placement:     opts.Placement,
 				RetireBatch:   opts.RetireBatch,
 				Reclaimers:    opts.Reclaimers,
+				ChurnOps:      opts.ChurnOps,
 			})
 		}
 	}
@@ -248,6 +274,7 @@ func HashMapPanels(opts Options) []Panel {
 				Placement:      opts.Placement,
 				RetireBatch:    opts.RetireBatch,
 				Reclaimers:     opts.Reclaimers,
+				ChurnOps:       opts.ChurnOps,
 			})
 		}
 	}
@@ -323,6 +350,7 @@ func AsyncPanels(opts Options) []Panel {
 			Placement:      opts.Placement,
 			RetireBatch:    blockbag.BlockSize,
 			Reclaimers:     reclaimers,
+			ChurnOps:       opts.ChurnOps,
 		})
 	}
 	return panels
@@ -364,6 +392,41 @@ func HotPathPanels(opts Options) []Panel {
 			Placement:     opts.Placement,
 			RetireBatch:   opts.RetireBatch,
 			Reclaimers:    opts.Reclaimers,
+			ChurnOps:      opts.ChurnOps,
+		})
+	}
+	return panels
+}
+
+// ChurnPanels returns the goroutine-churn ablation of the dynamic
+// thread-slot registry: the update-heavy hash map panel (pre-sized table,
+// so reclamation — not resizing — dominates) with dynamically bound workers
+// cycling their slots, one panel per cadence of ChurnOpsSweep, across all
+// six schemes. Slot capacity equals the thread count, so every release is
+// followed by a genuine free-list round-trip; the epoch schemes' occupancy
+// fast paths see the vacancy windows every cycle.
+func ChurnPanels(opts Options) []Panel {
+	const figure = "Goroutine churn over the slot registry (beyond the paper), Experiment 8"
+	w := withRange(MixUpdateHeavy, opts.scaleRange(100_000))
+	initial := int(w.KeyRange / 2 / hashmap.DefaultMaxLoad)
+	var panels []Panel
+	for _, churn := range ChurnOpsSweep {
+		panels = append(panels, Panel{
+			Figure: figure,
+			Title: fmt.Sprintf("%s range [0,%d) %di-%dd churn=%d",
+				DSHashMap, w.KeyRange, w.InsertPct, w.DeletePct, churn),
+			DataStructure:  DSHashMap,
+			Workload:       w,
+			Allocator:      recordmgr.AllocBump,
+			UsePool:        true,
+			Schemes:        SupportedSchemes(DSHashMap),
+			Threads:        opts.threads(),
+			InitialBuckets: initial,
+			Shards:         opts.Shards,
+			Placement:      opts.Placement,
+			RetireBatch:    opts.RetireBatch,
+			Reclaimers:     opts.Reclaimers,
+			ChurnOps:       churn,
 		})
 	}
 	return panels
@@ -389,6 +452,7 @@ func RunPanel(p Panel, opts Options) PanelResult {
 				Placement:      p.Placement,
 				RetireBatch:    p.RetireBatch,
 				Reclaimers:     p.Reclaimers,
+				ChurnOps:       p.ChurnOps,
 			}
 			res, err := runSafely(cfg)
 			if err != nil {
@@ -427,6 +491,9 @@ func RenderThroughputTable(pr PanelResult) string {
 	if pr.Panel.Reclaimers > 0 {
 		fmt.Fprintf(&sb, " reclaimers=%d", pr.Panel.Reclaimers)
 	}
+	if pr.Panel.ChurnOps > 0 {
+		fmt.Fprintf(&sb, " churn=%d", pr.Panel.ChurnOps)
+	}
 	sb.WriteString(")\n")
 	fmt.Fprintf(&sb, "%8s", "threads")
 	for _, s := range pr.Panel.Schemes {
@@ -457,7 +524,7 @@ func RenderThroughputTable(pr PanelResult) string {
 func RenderCSV(pr PanelResult, includeHeader bool) string {
 	var sb strings.Builder
 	if includeHeader {
-		sb.WriteString("figure,title,scheme,threads,shards,retire_batch,reclaimers,mops,allocated_bytes,retired,freed,limbo,unreclaimed,neutralizations\n")
+		sb.WriteString("figure,title,scheme,threads,shards,retire_batch,reclaimers,churn_ops,mops,allocated_bytes,retired,freed,limbo,unreclaimed,neutralizations\n")
 	}
 	for _, s := range pr.Panel.Schemes {
 		for _, th := range pr.Panel.Threads {
@@ -465,8 +532,8 @@ func RenderCSV(pr PanelResult, includeHeader bool) string {
 			if !ok {
 				continue
 			}
-			fmt.Fprintf(&sb, "%q,%q,%s,%d,%d,%d,%d,%.4f,%d,%d,%d,%d,%d,%d\n",
-				pr.Panel.Figure, pr.Panel.Title, s, th, r.Config.Shards, r.Config.RetireBatch, r.Config.Reclaimers,
+			fmt.Fprintf(&sb, "%q,%q,%s,%d,%d,%d,%d,%d,%.4f,%d,%d,%d,%d,%d,%d\n",
+				pr.Panel.Figure, pr.Panel.Title, s, th, r.Config.Shards, r.Config.RetireBatch, r.Config.Reclaimers, r.Config.ChurnOps,
 				r.MopsPerSec, r.AllocatedBytes,
 				r.Reclaimer.Retired, r.Reclaimer.Freed, r.Reclaimer.Limbo, r.Unreclaimed, r.Reclaimer.Neutralizations)
 		}
@@ -535,6 +602,7 @@ func MemoryExperiment(opts Options) ([]MemoryFootprintRow, []string, error) {
 				Placement:     opts.Placement,
 				RetireBatch:   opts.RetireBatch,
 				Reclaimers:    opts.Reclaimers,
+				ChurnOps:      opts.ChurnOps,
 			}
 			res, err := runSafely(cfg)
 			if err != nil {

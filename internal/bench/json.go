@@ -8,20 +8,24 @@ import (
 // JSONRow is one measured cell of a panel in the machine-readable report
 // consumed by the CI benchmark-smoke job (and any external trend tracking).
 type JSONRow struct {
-	Figure        string  `json:"figure"`
-	Title         string  `json:"title"`
-	DataStructure string  `json:"data_structure"`
-	Workload      string  `json:"workload"`
-	Allocator     string  `json:"allocator"`
-	UsePool       bool    `json:"use_pool"`
-	Scheme        string  `json:"scheme"`
-	Threads       int     `json:"threads"`
-	Shards        int     `json:"shards"`
-	Placement     string  `json:"placement,omitempty"`
-	RetireBatch   int     `json:"retire_batch"`
-	Reclaimers    int     `json:"reclaimers"`
-	Ops           int64   `json:"ops"`
-	MopsPerSec    float64 `json:"mops_per_sec"`
+	Figure        string `json:"figure"`
+	Title         string `json:"title"`
+	DataStructure string `json:"data_structure"`
+	Workload      string `json:"workload"`
+	Allocator     string `json:"allocator"`
+	UsePool       bool   `json:"use_pool"`
+	Scheme        string `json:"scheme"`
+	Threads       int    `json:"threads"`
+	Shards        int    `json:"shards"`
+	Placement     string `json:"placement,omitempty"`
+	RetireBatch   int    `json:"retire_batch"`
+	Reclaimers    int    `json:"reclaimers"`
+	// ChurnOps is the goroutine-churn cadence: workers released and
+	// re-acquired their thread slot every ChurnOps operations (0 = static
+	// binding, the fixed-Threads configuration).
+	ChurnOps   int     `json:"churn_ops"`
+	Ops        int64   `json:"ops"`
+	MopsPerSec float64 `json:"mops_per_sec"`
 	// NsPerOp is the inverse throughput in nanoseconds per operation. For
 	// the hotpath probe rows (experiment 7) this IS the per-op microcost of
 	// the measured Record Manager primitive sequence; for data structure
@@ -43,6 +47,11 @@ type JSONRow struct {
 	Neutralization int64 `json:"neutralizations"`
 	EpochAdvances  int64 `json:"epoch_advances"`
 	Scans          int64 `json:"scans"`
+	// ChurnCycles is the number of slot release+acquire cycles performed in
+	// the timed phase; ChurnNsPerCycle is their mean latency (0 when the
+	// trial ran with static binding).
+	ChurnCycles     int64   `json:"churn_cycles,omitempty"`
+	ChurnNsPerCycle float64 `json:"churn_ns_per_cycle,omitempty"`
 }
 
 // JSONReport is the top-level machine-readable result document.
@@ -69,35 +78,42 @@ func BuildJSONReport(results []PanelResult) JSONReport {
 				if r.MopsPerSec > 0 {
 					nsPerOp = 1e3 / r.MopsPerSec
 				}
+				churnNsPerCycle := 0.0
+				if r.ChurnCycles > 0 {
+					churnNsPerCycle = float64(r.ChurnNs) / float64(r.ChurnCycles)
+				}
 				rep.Rows = append(rep.Rows, JSONRow{
-					Figure:         pr.Panel.Figure,
-					Title:          pr.Panel.Title,
-					DataStructure:  pr.Panel.DataStructure,
-					Workload:       pr.Panel.Workload.String(),
-					Allocator:      allocName(pr.Panel.Allocator),
-					UsePool:        pr.Panel.UsePool,
-					Scheme:         scheme,
-					Threads:        threads,
-					Shards:         r.Config.Shards,
-					Placement:      r.Config.Placement,
-					RetireBatch:    r.Config.RetireBatch,
-					Reclaimers:     r.Config.Reclaimers,
-					Ops:            r.Ops,
-					MopsPerSec:     r.MopsPerSec,
-					NsPerOp:        nsPerOp,
-					ElapsedSeconds: r.Elapsed.Seconds(),
-					AllocatedBytes: r.AllocatedBytes,
-					AllocatedRecs:  r.AllocatedRecords,
-					PoolReused:     r.PoolReused,
-					Retired:        r.Reclaimer.Retired,
-					Freed:          r.Reclaimer.Freed,
-					Limbo:          r.Reclaimer.Limbo,
-					RetirePending:  r.RetirePending,
-					HandoffPending: r.HandoffPending,
-					Unreclaimed:    r.Unreclaimed,
-					Neutralization: r.Reclaimer.Neutralizations,
-					EpochAdvances:  r.Reclaimer.EpochAdvances,
-					Scans:          r.Reclaimer.Scans,
+					Figure:          pr.Panel.Figure,
+					Title:           pr.Panel.Title,
+					DataStructure:   pr.Panel.DataStructure,
+					Workload:        pr.Panel.Workload.String(),
+					Allocator:       allocName(pr.Panel.Allocator),
+					UsePool:         pr.Panel.UsePool,
+					Scheme:          scheme,
+					Threads:         threads,
+					Shards:          r.Config.Shards,
+					Placement:       r.Config.Placement,
+					RetireBatch:     r.Config.RetireBatch,
+					Reclaimers:      r.Config.Reclaimers,
+					ChurnOps:        r.Config.ChurnOps,
+					Ops:             r.Ops,
+					MopsPerSec:      r.MopsPerSec,
+					NsPerOp:         nsPerOp,
+					ElapsedSeconds:  r.Elapsed.Seconds(),
+					AllocatedBytes:  r.AllocatedBytes,
+					AllocatedRecs:   r.AllocatedRecords,
+					PoolReused:      r.PoolReused,
+					Retired:         r.Reclaimer.Retired,
+					Freed:           r.Reclaimer.Freed,
+					Limbo:           r.Reclaimer.Limbo,
+					RetirePending:   r.RetirePending,
+					HandoffPending:  r.HandoffPending,
+					Unreclaimed:     r.Unreclaimed,
+					Neutralization:  r.Reclaimer.Neutralizations,
+					EpochAdvances:   r.Reclaimer.EpochAdvances,
+					Scans:           r.Reclaimer.Scans,
+					ChurnCycles:     r.ChurnCycles,
+					ChurnNsPerCycle: churnNsPerCycle,
 				})
 			}
 		}

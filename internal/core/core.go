@@ -259,6 +259,18 @@ type Pool[T any] interface {
 	Stats() PoolStats
 }
 
+// ThreadDrainer is the slot-release extension of the Pool contract: pools
+// that keep per-thread private bags can hand a released slot's cached
+// records back to their shared structures, so records freed by a departed
+// goroutine are reusable by every other thread instead of stranded until
+// the slot is reacquired. DrainThread is called by the slot's (former)
+// owner, from a quiescent context, as part of ReleaseHandle.
+type ThreadDrainer interface {
+	// DrainThread moves thread tid's privately cached records to the pool's
+	// shared structures (whole blocks; a sub-block tail may remain private).
+	DrainThread(tid int)
+}
+
 // Stats is a snapshot of a Reclaimer's counters. All values are cumulative
 // since construction except Limbo, which is instantaneous.
 type Stats struct {

@@ -145,12 +145,89 @@ func (m *RecordManager[T]) newHandle(tid int) ThreadHandle[T] {
 // calls fail for ids the scheme was not built for, exactly as the tid-based
 // API always has. Resolve once at worker registration and reuse for the
 // worker's lifetime.
+//
+// Handle is the static binding style: it permanently claims tid's slot in
+// the manager's slot registry (a vacant slot is skipped by reclamation
+// scans, which would be unsafe for a thread operating on it), so the slot is
+// scanned forever — the fixed-Threads behaviour. Goroutines that come and go
+// use AcquireHandle/ReleaseHandle instead.
 func (m *RecordManager[T]) Handle(tid int) *ThreadHandle[T] {
+	if tid >= 0 && tid < len(m.handles) {
+		m.reg.EnsureStatic(tid)
+		return &m.handles[tid]
+	}
+	h := m.newHandle(tid)
+	return &h
+}
+
+// PeekHandle returns the same prebuilt handle as Handle without claiming the
+// slot. It exists for data structure constructors that prebuild per-thread
+// handle tables covering every slot: prebuilding must not mark slots
+// occupied, or nothing would be left for AcquireHandle and reclamation scans
+// could never skip anything. Any actual use of the returned handle must go
+// through a claimed or acquired slot.
+func (m *RecordManager[T]) PeekHandle(tid int) *ThreadHandle[T] {
 	if tid >= 0 && tid < len(m.handles) {
 		return &m.handles[tid]
 	}
 	h := m.newHandle(tid)
 	return &h
+}
+
+// AcquireHandle binds the calling goroutine to a vacant worker slot and
+// returns the slot's thread handle, re-initialised for its new owner. It is
+// the dynamic binding style: goroutines that come and go acquire a slot for
+// their working lifetime and release it with ReleaseHandle, so a server does
+// not need to know its peak goroutine count per worker — only the capacity
+// (recordmgr.Config.MaxThreads) of the manager. Panics when every slot is
+// claimed or held; use TryAcquireHandle to handle exhaustion gracefully.
+func (m *RecordManager[T]) AcquireHandle() *ThreadHandle[T] {
+	h, ok := m.TryAcquireHandle()
+	if !ok {
+		panic("core: AcquireHandle: every worker slot is statically claimed or dynamically held (raise MaxThreads)")
+	}
+	return h
+}
+
+// TryAcquireHandle is AcquireHandle that reports exhaustion instead of
+// panicking.
+func (m *RecordManager[T]) TryAcquireHandle() (*ThreadHandle[T], bool) {
+	tid, ok := m.reg.Acquire()
+	if !ok {
+		return nil, false
+	}
+	// Re-initialise the slot's table entry for its new owner. The previous
+	// owner's release (free-list push) happens-before this pop, so the write
+	// does not race its final reads; everything the handle caches is
+	// per-slot state that survives reuse, but rebuilding keeps any handle
+	// field ever added from leaking one owner's view to the next.
+	m.handles[tid] = m.newHandle(tid)
+	return &m.handles[tid], true
+}
+
+// ReleaseHandle returns an acquired slot to the registry for reuse. The
+// contract mirrors the quiescent-retire fix: release is only legal from a
+// quiescent, flushed state. The slot must be quiescent (EnterQstate has run
+// and, for hazard pointers, every slot is released) — violations panic,
+// because a vacant slot is skipped by reclamation scans and an active
+// announcement left behind would be invisible. ReleaseHandle then drains the
+// slot's deferred-retire buffer (under the scheme's retire pin, exactly like
+// FlushRetired) and hands the slot's private pool cache back to the shared
+// pool, so a reused tid starts from a fresh, empty state and records freed
+// by the departed goroutine stay reusable by everyone.
+func (m *RecordManager[T]) ReleaseHandle(h *ThreadHandle[T]) {
+	if h == nil || h.m != m {
+		panic("core: ReleaseHandle of a handle from a different manager")
+	}
+	tid := h.tid
+	if !m.reclaimer.IsQuiescent(tid) {
+		panic("core: ReleaseHandle from a non-quiescent slot; call EnterQstate (and release protections) first")
+	}
+	m.FlushRetired(tid)
+	if d, ok := m.pool.(ThreadDrainer); ok {
+		d.DrainThread(tid)
+	}
+	m.reg.Release(tid)
 }
 
 // Tid returns the dense thread id the handle is bound to.

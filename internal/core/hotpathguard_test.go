@@ -11,7 +11,8 @@ import (
 
 // This guard enforces the hot-path counter contract: per-thread statistics
 // counters in the Record Manager stack (the reclamation schemes, the pool,
-// the allocators, core itself) must be single-writer core.Counter cells,
+// the allocators, core itself, and the data structures' operation counters
+// under internal/ds) must be single-writer core.Counter cells,
 // never atomic.Int64 — an atomic Add is a LOCK-prefixed read-modify-write
 // paid several times per data structure operation. The guard is textual on
 // purpose: it fails the moment someone re-declares one of the known
@@ -33,6 +34,10 @@ var guardedPackages = []string{
 	"../reclaim/qsbr",
 	"../reclaim/hp",
 	"../reclaim/none",
+	"../ds/hashmap",
+	"../ds/bst",
+	"../ds/queue",
+	"../ds/skiplist",
 }
 
 // statFieldPattern matches a struct field declaring one of the known
@@ -40,7 +45,8 @@ var guardedPackages = []string{
 var statFieldPattern = regexp.MustCompile(
 	`^\s*(retired|freed|scans|epochAdvances|grace|neutralizations|selfNeutralized|` +
 		`reused|fromAllocator|toShared|fromShared|allocated|deallocated|slabs|` +
-		`pending|enqueued|drained|handoff)\s+atomic\.Int64\b`)
+		`pending|enqueued|drained|handoff|` +
+		`restarts|unlinks|resizes|dummies|helps|recov)\s+atomic\.Int64\b`)
 
 // threadStructPattern matches the declarations of the per-thread state
 // carriers the guard applies to. Fields outside these structs (a scheme's

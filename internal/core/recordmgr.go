@@ -42,8 +42,13 @@ type RecordManager[T any] struct {
 	// queue pushes instead of scheme retires.
 	async *AsyncReclaimer[T]
 	// handles is the prebuilt per-thread handle table (see Handle); sized to
-	// the scheme's participant count when that is discoverable.
+	// the scheme's participant count when that is discoverable. Worker slots
+	// are re-initialised in place when the slot registry reuses a tid.
 	handles []ThreadHandle[T]
+	// reg is the dynamic thread-slot registry over the manager's worker
+	// slots: AcquireHandle/ReleaseHandle bind goroutines to dense tids at
+	// runtime, Handle(tid) claims slots permanently for static wiring.
+	reg *SlotRegistry
 	// sparesRecovered counts the spare exchange blocks Close returned to the
 	// workers' retire-buffer pools (instrumentation for the leak tests).
 	sparesRecovered int
@@ -162,8 +167,10 @@ func NewRecordManager[T any](alloc Allocator[T], pool Pool[T], rec Reclaimer[T],
 	// was constructed for (workers and async reclaimer tids alike), so
 	// Handle(tid) is a pointer into this table rather than an allocation.
 	n := cfg.threads
+	var smap *ShardMap
 	if sh, ok := rec.(Sharded); ok {
-		if t := sh.ShardMap().Threads(); t > n {
+		smap = sh.ShardMap()
+		if t := smap.Threads(); t > n {
 			n = t
 		}
 	}
@@ -171,8 +178,34 @@ func NewRecordManager[T any](alloc Allocator[T], pool Pool[T], rec Reclaimer[T],
 	for i := range m.handles {
 		m.handles[i] = m.newHandle(i)
 	}
+	// The slot registry covers the worker slots only: the async reclaimer
+	// tids at the top of the participant range are permanent infrastructure,
+	// never acquirable. Attaching the registry to the scheme's shard map is
+	// what lets the schemes' scan paths consult occupancy.
+	workers := n - cfg.reclaimers
+	if workers < 1 {
+		workers = 1
+	}
+	m.reg = NewSlotRegistry(workers, smap)
+	if smap != nil {
+		smap.AttachRegistry(m.reg)
+	}
 	return m
 }
+
+// SlotRegistry returns the manager's dynamic thread-slot registry
+// (instrumentation; applications go through AcquireHandle/ReleaseHandle).
+func (m *RecordManager[T]) SlotRegistry() *SlotRegistry { return m.reg }
+
+// WorkerSlots returns the number of acquirable worker slots (the slot
+// registry's capacity): the participant count minus the async reclaimer
+// tids. Data structures size their per-thread tables from this so both
+// binding styles — static dense tids and AcquireHandle — fit.
+func (m *RecordManager[T]) WorkerSlots() int { return m.reg.Capacity() }
+
+// Participants returns the total number of dense thread ids the manager's
+// components were constructed for (worker slots plus async reclaimer tids).
+func (m *RecordManager[T]) Participants() int { return len(m.handles) }
 
 // Allocator returns the underlying allocator.
 func (m *RecordManager[T]) Allocator() Allocator[T] { return m.alloc }
@@ -228,7 +261,7 @@ func (m *RecordManager[T]) Retire(tid int, rec *T) { m.Handle(tid).Retire(rec) }
 // reclamation the flush is a lock-free queue push that never touches the
 // scheme, so no pin is needed at all.
 func (m *RecordManager[T]) FlushRetired(tid int) {
-	if m.batch == 0 {
+	if m.batch == 0 || tid < 0 || tid >= len(m.bufs) {
 		return
 	}
 	m.flushBuf(tid, &m.bufs[tid])
@@ -252,6 +285,11 @@ func (m *RecordManager[T]) flushBuf(tid int, b *retireBuf[T]) {
 		return
 	}
 	if m.pinner != nil && m.reclaimer.IsQuiescent(tid) {
+		// The pin announces tid as an active retirer; the slot must be
+		// claimed first or scanners would skip the announcement (a no-op for
+		// slots already claimed or dynamically held, i.e. every caller that
+		// arrived through the public binding APIs).
+		m.reg.EnsureStatic(tid)
 		m.pinner.PinRetire(tid)
 		defer m.pinner.UnpinRetire(tid)
 	}
@@ -323,8 +361,11 @@ func (m *RecordManager[T]) AsyncSpareBlocks() int64 {
 	return m.async.SpareBlocks()
 }
 
-// LeaveQstate marks the start of an operation by thread tid.
-func (m *RecordManager[T]) LeaveQstate(tid int) bool { return m.reclaimer.LeaveQstate(tid) }
+// LeaveQstate marks the start of an operation by thread tid. Routed through
+// Handle(tid), so a static caller's first operation claims the slot in the
+// slot registry (a thread operating on a vacant slot would be invisible to
+// reclamation scans).
+func (m *RecordManager[T]) LeaveQstate(tid int) bool { return m.Handle(tid).LeaveQstate() }
 
 // EnterQstate marks the end of an operation by thread tid.
 func (m *RecordManager[T]) EnterQstate(tid int) { m.reclaimer.EnterQstate(tid) }
@@ -343,7 +384,9 @@ func (m *RecordManager[T]) NeedsPerRecordProtection() bool { return m.perRecord 
 func (m *RecordManager[T]) SupportsCrashRecovery() bool { return m.crashRecovery }
 
 // Protect announces that thread tid may access rec (see Reclaimer.Protect).
-func (m *RecordManager[T]) Protect(tid int, rec *T) bool { return m.reclaimer.Protect(tid, rec) }
+// Routed through Handle(tid) so a hazard-pointer announcement always comes
+// from a claimed, scanner-visible slot.
+func (m *RecordManager[T]) Protect(tid int, rec *T) bool { return m.Handle(tid).Protect(rec) }
 
 // Unprotect revokes a Protect.
 func (m *RecordManager[T]) Unprotect(tid int, rec *T) { m.reclaimer.Unprotect(tid, rec) }

@@ -75,13 +75,19 @@ func ParsePlacement(name string) (ShardPlacement, error) {
 
 // ShardMap is the resolved form of a ShardSpec for a fixed thread count: a
 // precomputed tid→shard index and the member list of every shard. Reclaimers
-// embed one and consult it on their hot paths; it is immutable after
-// construction and therefore safe for concurrent use.
+// embed one and consult it on their hot paths; the topology is immutable
+// after construction and therefore safe for concurrent use. A dynamic
+// thread-slot registry may be attached once, before concurrent use (the
+// Record Manager does this at construction); the occupancy queries below
+// then let the schemes' scan paths skip slots nobody currently owns, and
+// degrade to "everything occupied" when no registry is attached — the
+// historical fixed-Threads behaviour.
 type ShardMap struct {
 	spec    ShardSpec
 	n       int
 	shardOf []int
 	members [][]int
+	reg     *SlotRegistry
 }
 
 // NewShardMap resolves spec for n threads. Shard counts are clamped to
@@ -137,6 +143,47 @@ func (m *ShardMap) ShardOf(tid int) int { return m.shardOf[tid] }
 // Members returns the tids placed on shard s. The returned slice is shared
 // and must not be mutated.
 func (m *ShardMap) Members(s int) []int { return m.members[s] }
+
+// AttachRegistry attaches a dynamic slot registry to the map, enabling the
+// occupancy queries below. It must be called before concurrent use of the
+// reclaimer holding the map (the Record Manager attaches at construction,
+// which precedes any worker goroutine); attaching twice — two managers built
+// over one externally shared reclaimer — is rejected, because the second
+// manager's registry would silently shadow the first's occupancy.
+func (m *ShardMap) AttachRegistry(r *SlotRegistry) {
+	if m.reg != nil && m.reg != r {
+		panic("core: ShardMap already has a slot registry attached (one reclaimer cannot serve two Record Managers' slot registries)")
+	}
+	m.reg = r
+}
+
+// Registry returns the attached slot registry (nil when none).
+func (m *ShardMap) Registry() *SlotRegistry { return m.reg }
+
+// SlotOccupied reports whether tid's slot is currently owned. Without an
+// attached registry every slot reads as occupied (the fixed-Threads
+// behaviour). A vacant slot is quiescent by the release contract, so scan
+// paths may treat SlotOccupied==false exactly like an observed-quiescent
+// announcement.
+func (m *ShardMap) SlotOccupied(tid int) bool {
+	if m.reg == nil {
+		return true
+	}
+	return m.reg.Occupied(tid)
+}
+
+// ShardLive returns the number of occupied members of shard s, or -1 when
+// no registry is attached (occupancy unknown — scan everything). A shard
+// with ShardLive(s) == 0 has only vacant, hence quiescent, members and may
+// be verified without touching a single announcement; ShardLive(s) == 1
+// lets a scanning member skip its shard loop entirely when it is the only
+// occupant.
+func (m *ShardMap) ShardLive(s int) int {
+	if m.reg == nil || m.reg.shards == nil {
+		return -1
+	}
+	return int(m.reg.shardLive(s))
+}
 
 // DefaultShardSweep returns the shard counts the ablation experiments and
 // the DS-level safety stresses cover on this machine: 1 (the single-domain

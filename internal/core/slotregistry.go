@@ -1,0 +1,276 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// This file implements the dynamic thread-slot registry: the layer that
+// refactors the fixed-Threads contract out of the Record Manager stack. The
+// schemes, pool, allocator and handle tables are still sized once, at
+// construction, for a fixed capacity of dense thread ids — that is what makes
+// their per-thread state a flat padded array with no indirection on the hot
+// path — but which goroutine owns which id is no longer wired by hand:
+// slots are acquired and released at runtime through a lock-free free list,
+// and per-shard occupancy summary words let the schemes' announcement scans
+// skip slots nobody currently owns.
+//
+// # Slot states and the two binding styles
+//
+// Every worker slot is in one of three states:
+//
+//   - vacant: unowned. A vacant slot is quiescent by construction (see the
+//     release contract below), so reclamation scans may skip it.
+//   - dynamic: owned by a goroutine that called Acquire; Release returns it
+//     to the free list for reuse.
+//   - static: permanently claimed by the legacy dense-tid wiring. The first
+//     RecordManager.Handle(tid) (or data structure tid-method) touch of a
+//     slot claims it; it is never released and is scanned forever — exactly
+//     the fixed-Threads behaviour every existing caller relies on.
+//
+// The two styles compose on one manager (static claims simply remove slots
+// from the acquirable pool), but a single tid must not be used both ways at
+// once: Acquire never hands out a statically claimed slot, and a static
+// claim of a dynamically held slot is the caller wiring two goroutines to
+// one tid — the same misuse the fixed-Threads contract always had.
+//
+// # Why skipping a vacant slot is safe
+//
+// A slot only becomes vacant through Release, whose caller (the Record
+// Manager) requires the slot to be quiescent and its retire buffer drained
+// first — so a vacant slot has no active announcement, no hazard pointers
+// and no parked retirements, and treating it as quiescent is not an
+// approximation but the truth. The remaining race — a scanner reads the slot
+// as vacant while another goroutine concurrently acquires it and announces —
+// is exactly the classic quiescent-thread-wakes-during-scan race every epoch
+// scheme already tolerates: the waking thread announces the *current* epoch
+// (and a hazard-pointer protect must still validate reachability), so the
+// scanner's verdict was correct at the instant it read the summary, which is
+// all the advance argument needs. Occupancy is published with sequentially
+// consistent atomics: the acquirer's occupancy store precedes every
+// announcement it can make, so a scanner that misses the occupancy saw the
+// slot before it could have been anything but quiescent.
+//
+// # Why a reused slot cannot inherit a stale announcement
+//
+// Release requires quiescence (the epoch/HP announcement is already
+// withdrawn, enforced with a panic — the same contract family as the
+// quiescent-retire fix) and drains the slot's deferred-retire buffer under
+// the scheme's retire pin before the slot is pushed onto the free list. The
+// free-list push/pop CAS pair is the happens-before edge to the next
+// acquirer, so by the time Acquire returns the tid, its last announcement is
+// visibly quiescent and its buffers are empty: the new owner starts from the
+// same state a freshly constructed thread slot has.
+
+// Slot states (the values of a slot's state word).
+const (
+	slotVacant  int32 = iota // unowned; scans may skip it
+	slotDynamic              // owned via Acquire; Release returns it
+	slotStatic               // permanently claimed by dense-tid wiring
+)
+
+// slotState is one slot's registry state, padded so the state words of
+// neighbouring slots (written on acquire/release, read by scanners) do not
+// share cache lines.
+type slotState struct {
+	// state is the slot's occupancy word (slotVacant/slotDynamic/slotStatic).
+	state atomic.Int32
+	// next is the slot's free-list link: the (index+1) of the next free slot,
+	// 0 for end-of-list. Written by the pusher before the head CAS publishes
+	// it; a stale read is caught by the head's tag.
+	next atomic.Uint32
+	_    [PadBytes]byte
+}
+
+// shardOcc is one shard's occupancy summary word: the number of registry
+// slots in the shard that are currently occupied (dynamic or static), padded
+// onto its own cache lines. extra counts the shard's members that are not
+// registry slots at all (async reclaimer tids) and is immutable after
+// construction; the shard's live count is occ + extra.
+type shardOcc struct {
+	occ   atomic.Int64
+	extra int64
+	_     [PadBytes]byte
+}
+
+// SlotRegistry hands out dense thread ids ("slots") in [0, Capacity()) at
+// runtime: Acquire pops a vacant slot from a lock-free free list, Release
+// returns it. All methods are safe for concurrent use. The registry is the
+// mechanism only — the safety half of the release contract (quiescence,
+// drained buffers) is enforced by RecordManager.ReleaseHandle, which is the
+// entry point applications use.
+type SlotRegistry struct {
+	capacity int
+	smap     *ShardMap // nil when the reclaimer exposes no shard map
+
+	// head is the free-list head: the low 32 bits hold (index+1) of the top
+	// slot (0 = empty), the high 32 bits a tag bumped by every successful
+	// CAS, which defeats ABA on the Treiber stack.
+	head atomic.Uint64
+
+	slots  []slotState
+	shards []shardOcc // nil when smap is nil
+}
+
+// NewSlotRegistry creates a registry for capacity worker slots. smap, when
+// non-nil, is the reclaimer's shard map; the registry then maintains one
+// occupancy summary word per shard (members of the map beyond the registry's
+// capacity — async reclaimer tids — count as permanently occupied). All
+// slots start vacant, with the free list ordered so the first Acquire
+// returns slot 0.
+func NewSlotRegistry(capacity int, smap *ShardMap) *SlotRegistry {
+	if capacity <= 0 {
+		panic("core: NewSlotRegistry requires capacity >= 1")
+	}
+	r := &SlotRegistry{
+		capacity: capacity,
+		smap:     smap,
+		slots:    make([]slotState, capacity),
+	}
+	// Build the initial free list in descending push order so pops come out
+	// ascending (slot 0 first), matching the dense-id habits of everything
+	// downstream (shard placement, NUMA pinning, test expectations).
+	for i := capacity - 1; i >= 0; i-- {
+		r.pushFree(i)
+	}
+	if smap != nil {
+		r.shards = make([]shardOcc, smap.Shards())
+		for s := range r.shards {
+			for _, m := range smap.Members(s) {
+				if m >= capacity {
+					r.shards[s].extra++
+				}
+			}
+		}
+	}
+	return r
+}
+
+// Capacity returns the number of worker slots the registry manages.
+func (r *SlotRegistry) Capacity() int { return r.capacity }
+
+// pushFree pushes slot i onto the free list.
+func (r *SlotRegistry) pushFree(i int) {
+	for {
+		old := r.head.Load()
+		r.slots[i].next.Store(uint32(old))
+		next := (old>>32+1)<<32 | uint64(uint32(i+1))
+		if r.head.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// popFree pops a slot from the free list; ok is false when the list is
+// empty. Lock-free: a CAS failure means another pop or push won, and the
+// tag in the head word rules out ABA against a concurrently recycled slot.
+func (r *SlotRegistry) popFree() (int, bool) {
+	for {
+		old := r.head.Load()
+		idx := int(uint32(old)) - 1
+		if idx < 0 {
+			return -1, false
+		}
+		link := uint64(r.slots[idx].next.Load())
+		next := (old>>32+1)<<32 | uint64(uint32(link))
+		if r.head.CompareAndSwap(old, next) {
+			return idx, true
+		}
+	}
+}
+
+// noteOccupied bumps the occupancy summary of tid's shard.
+func (r *SlotRegistry) noteOccupied(tid int) {
+	if r.shards != nil {
+		r.shards[r.smap.ShardOf(tid)].occ.Add(1)
+	}
+}
+
+// noteVacant drops the occupancy summary of tid's shard.
+func (r *SlotRegistry) noteVacant(tid int) {
+	if r.shards != nil {
+		r.shards[r.smap.ShardOf(tid)].occ.Add(-1)
+	}
+}
+
+// Acquire pops a vacant slot and marks it dynamically owned, returning its
+// dense tid. ok is false when every slot is statically claimed or
+// dynamically held. The occupancy summary is published before Acquire
+// returns, so the slot is visible to scanners before its new owner can
+// announce anything.
+func (r *SlotRegistry) Acquire() (int, bool) {
+	for {
+		idx, ok := r.popFree()
+		if !ok {
+			return -1, false
+		}
+		if r.slots[idx].state.CompareAndSwap(slotVacant, slotDynamic) {
+			r.noteOccupied(idx)
+			return idx, true
+		}
+		// The slot was claimed statically while parked on the free list; a
+		// static claim is permanent, so drop it and keep popping.
+	}
+}
+
+// Release marks a dynamically acquired slot vacant and returns it to the
+// free list. It panics when tid is not currently dynamically held — a
+// double release, or a release of a statically wired tid. The caller
+// (RecordManager.ReleaseHandle) has already verified quiescence and drained
+// the slot's buffers; after the push the slot is immediately reusable.
+func (r *SlotRegistry) Release(tid int) {
+	if tid < 0 || tid >= r.capacity {
+		panic(fmt.Sprintf("core: SlotRegistry.Release(%d) out of range [0,%d)", tid, r.capacity))
+	}
+	if !r.slots[tid].state.CompareAndSwap(slotDynamic, slotVacant) {
+		panic(fmt.Sprintf("core: SlotRegistry.Release(%d): slot is not dynamically held (double release, or a statically wired tid)", tid))
+	}
+	r.noteVacant(tid)
+	r.pushFree(tid)
+}
+
+// EnsureStatic permanently claims tid for static dense-id wiring if it is
+// still vacant; a slot already owned (statically or dynamically) is left
+// untouched. Out-of-range tids (async reclaimer participants) are no-ops.
+// The fast path is one atomic load and a predicted branch, cheap enough for
+// the tid-based compatibility wrappers to call on every operation.
+func (r *SlotRegistry) EnsureStatic(tid int) {
+	if tid < 0 || tid >= r.capacity {
+		return
+	}
+	if r.slots[tid].state.Load() != slotVacant {
+		return
+	}
+	if r.slots[tid].state.CompareAndSwap(slotVacant, slotStatic) {
+		r.noteOccupied(tid)
+	}
+	// A statically claimed slot stays on the free list until an Acquire pops
+	// and discards it; the state word is what makes it unacquirable.
+}
+
+// Occupied reports whether tid is currently owned (statically or
+// dynamically). Tids beyond the registry's capacity — async reclaimer
+// participants — are always occupied.
+func (r *SlotRegistry) Occupied(tid int) bool {
+	if tid < 0 || tid >= r.capacity {
+		return true
+	}
+	return r.slots[tid].state.Load() != slotVacant
+}
+
+// shardLive returns the number of occupied members of shard s (registry
+// slots plus the shard's permanent non-registry members).
+func (r *SlotRegistry) shardLive(s int) int64 {
+	return r.shards[s].occ.Load() + r.shards[s].extra
+}
+
+// Live returns the number of currently occupied slots (instrumentation).
+func (r *SlotRegistry) Live() int {
+	n := 0
+	for i := range r.slots {
+		if r.slots[i].state.Load() != slotVacant {
+			n++
+		}
+	}
+	return n
+}

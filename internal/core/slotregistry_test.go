@@ -1,0 +1,267 @@
+package core_test
+
+// Tests for the dynamic thread-slot registry: the lock-free free list, the
+// static/dynamic claim interplay, the per-shard occupancy summaries, and the
+// Record Manager's acquire/release contract — including the headline
+// regression that releasing a non-quiescent slot panics (the slot-registry
+// sibling of the quiescent-retire contract).
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/arena"
+	"repro/internal/core"
+	"repro/internal/pool"
+	"repro/internal/reclaim/hp"
+)
+
+func TestSlotRegistryAcquireRelease(t *testing.T) {
+	r := core.NewSlotRegistry(3, nil)
+	if r.Capacity() != 3 {
+		t.Fatalf("Capacity = %d want 3", r.Capacity())
+	}
+	// Slots come out dense and ascending.
+	for want := 0; want < 3; want++ {
+		tid, ok := r.Acquire()
+		if !ok || tid != want {
+			t.Fatalf("Acquire #%d = (%d, %v) want (%d, true)", want, tid, ok, want)
+		}
+		if !r.Occupied(tid) {
+			t.Fatalf("slot %d not occupied after Acquire", tid)
+		}
+	}
+	if _, ok := r.Acquire(); ok {
+		t.Fatal("Acquire succeeded beyond capacity")
+	}
+	if r.Live() != 3 {
+		t.Fatalf("Live = %d want 3", r.Live())
+	}
+	r.Release(1)
+	if r.Occupied(1) {
+		t.Fatal("slot 1 still occupied after Release")
+	}
+	if tid, ok := r.Acquire(); !ok || tid != 1 {
+		t.Fatalf("re-Acquire = (%d, %v) want (1, true)", tid, ok)
+	}
+	// Double release and foreign release panic.
+	r.Release(2)
+	if !panics(func() { r.Release(2) }) {
+		t.Fatal("double Release did not panic")
+	}
+	if !panics(func() { r.Release(99) }) {
+		t.Fatal("out-of-range Release did not panic")
+	}
+}
+
+func TestSlotRegistryStaticClaim(t *testing.T) {
+	r := core.NewSlotRegistry(3, nil)
+	r.EnsureStatic(0)
+	r.EnsureStatic(0) // idempotent
+	if !r.Occupied(0) {
+		t.Fatal("slot 0 not occupied after EnsureStatic")
+	}
+	// Acquire skips the statically claimed slot.
+	if tid, ok := r.Acquire(); !ok || tid == 0 {
+		t.Fatalf("Acquire = (%d, %v); must skip the static slot 0", tid, ok)
+	}
+	if tid, ok := r.Acquire(); !ok || tid == 0 {
+		t.Fatalf("Acquire = (%d, %v); must skip the static slot 0", tid, ok)
+	}
+	if _, ok := r.Acquire(); ok {
+		t.Fatal("Acquire succeeded with every slot claimed or held")
+	}
+	// A static claim is permanent: Release rejects it.
+	if !panics(func() { r.Release(0) }) {
+		t.Fatal("Release of a statically claimed slot did not panic")
+	}
+	// EnsureStatic of a dynamically held slot is a no-op, not a takeover.
+	r.EnsureStatic(1)
+	r.Release(1) // still dynamically held, so this must succeed
+	// Out-of-range tids (async reclaimer participants) are always occupied.
+	if !r.Occupied(17) {
+		t.Fatal("out-of-range tid not reported occupied")
+	}
+	r.EnsureStatic(17) // must not panic
+}
+
+func TestSlotRegistryShardOccupancy(t *testing.T) {
+	// 4 worker slots + 2 permanent (reclaimer-style) members over 2 shards.
+	smap := core.NewShardMap(6, core.ShardSpec{Shards: 2})
+	r := core.NewSlotRegistry(4, smap)
+	smap.AttachRegistry(r)
+	// Block placement: shard 0 = {0,1,2}, shard 1 = {3,4,5}; tids 4 and 5
+	// are beyond the registry and count as permanently live in shard 1.
+	if got := smap.ShardLive(0); got != 0 {
+		t.Fatalf("shard 0 live = %d want 0", got)
+	}
+	if got := smap.ShardLive(1); got != 2 {
+		t.Fatalf("shard 1 live = %d want 2 (permanent members)", got)
+	}
+	tid, _ := r.Acquire() // slot 0, shard 0
+	if got := smap.ShardLive(0); got != 1 {
+		t.Fatalf("shard 0 live = %d want 1 after acquire", got)
+	}
+	if smap.SlotOccupied(1) {
+		t.Fatal("slot 1 occupied before any claim")
+	}
+	r.EnsureStatic(3) // shard 1
+	if got := smap.ShardLive(1); got != 3 {
+		t.Fatalf("shard 1 live = %d want 3 after static claim", got)
+	}
+	r.Release(tid)
+	if got := smap.ShardLive(0); got != 0 {
+		t.Fatalf("shard 0 live = %d want 0 after release", got)
+	}
+	// A map without a registry reports occupancy unknown/occupied.
+	bare := core.NewShardMap(2, core.ShardSpec{})
+	if bare.ShardLive(0) != -1 || !bare.SlotOccupied(0) {
+		t.Fatal("registry-less map must report unknown occupancy")
+	}
+}
+
+// TestSlotRegistryConcurrentChurn hammers the free list from many goroutines
+// and asserts mutual exclusion: no slot is ever held by two goroutines at
+// once. Run under -race in CI.
+func TestSlotRegistryConcurrentChurn(t *testing.T) {
+	const (
+		capacity   = 8
+		goroutines = 16
+		iters      = 2000
+	)
+	r := core.NewSlotRegistry(capacity, nil)
+	owners := make([]int32, capacity) // 0 = free, else goroutine id+1
+	var mu sync.Mutex                 // guards owners; the registry is what's under test
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				tid, ok := r.Acquire()
+				if !ok {
+					continue // capacity oversubscribed by design
+				}
+				mu.Lock()
+				if owners[tid] != 0 {
+					mu.Unlock()
+					t.Errorf("slot %d acquired by goroutine %d while held by %d", tid, g+1, owners[tid])
+					return
+				}
+				owners[tid] = int32(g + 1)
+				mu.Unlock()
+
+				mu.Lock()
+				owners[tid] = 0
+				mu.Unlock()
+				r.Release(tid)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Live() != 0 {
+		t.Fatalf("Live = %d after all goroutines released", r.Live())
+	}
+}
+
+// TestReleaseHandleRequiresQuiescence is the regression mirroring the PR 3
+// quiescent-retire contract: releasing a slot whose announcement is still
+// active must panic, for the epoch schemes (active announcement) and hazard
+// pointers (held protection slot) alike.
+func TestReleaseHandleRequiresQuiescence(t *testing.T) {
+	for name, build := range map[string]func(n int, sink core.FreeSink[rec]) core.Reclaimer[rec]{
+		"ebr":    func(n int, s core.FreeSink[rec]) core.Reclaimer[rec] { return epochSchemes(n, s)["ebr"] },
+		"qsbr":   func(n int, s core.FreeSink[rec]) core.Reclaimer[rec] { return epochSchemes(n, s)["qsbr"] },
+		"debra":  func(n int, s core.FreeSink[rec]) core.Reclaimer[rec] { return epochSchemes(n, s)["debra"] },
+		"debra+": func(n int, s core.FreeSink[rec]) core.Reclaimer[rec] { return epochSchemes(n, s)["debra+"] },
+		"hp":     func(n int, s core.FreeSink[rec]) core.Reclaimer[rec] { return hp.New[rec](n, s) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			alloc := arena.NewBump[rec](2, 0)
+			p := pool.New[rec](2, alloc)
+			mgr := core.NewRecordManager[rec](alloc, p, build(2, p))
+
+			h := mgr.AcquireHandle()
+			if name == "hp" {
+				// HP has no epoch announcement; "non-quiescent" means a held
+				// protection slot.
+				h.Protect(mgr.Allocate(h.Tid()))
+			} else {
+				h.LeaveQstate()
+			}
+			if !panics(func() { mgr.ReleaseHandle(h) }) {
+				t.Fatal("ReleaseHandle of a non-quiescent slot did not panic")
+			}
+			h.EnterQstate() // quiesce (HP: releases every slot)
+			mgr.ReleaseHandle(h)
+
+			// The slot is reusable after a legal release.
+			h2 := mgr.AcquireHandle()
+			if h2.Tid() != h.Tid() {
+				t.Fatalf("expected slot %d to be reused, got %d", h.Tid(), h2.Tid())
+			}
+			mgr.ReleaseHandle(h2)
+		})
+	}
+}
+
+// TestAcquireReleaseRetireDrains: records retired through a dynamically
+// bound slot are flushed at release (nothing is stranded in the slot's
+// retire buffer) and fully reclaimed by Close, across slot reuse.
+func TestAcquireReleaseRetireDrains(t *testing.T) {
+	for _, name := range []string{"ebr", "qsbr", "debra", "debra+"} {
+		t.Run(name, func(t *testing.T) {
+			alloc := arena.NewBump[rec](2, 0)
+			p := pool.New[rec](2, alloc)
+			r := epochSchemes(2, p)[name]
+			mgr := core.NewRecordManager[rec](alloc, p, r, core.WithRetireBatching(2, 32))
+
+			const rounds = 5
+			for i := 0; i < rounds; i++ {
+				h := mgr.AcquireHandle()
+				h.LeaveQstate()
+				for j := 0; j < 11; j++ { // a partial batch stays parked
+					h.Retire(h.Allocate())
+				}
+				h.EnterQstate()
+				mgr.ReleaseHandle(h)
+				if got := mgr.Stats().RetirePending; got != 0 {
+					t.Fatalf("round %d: RetirePending = %d after release, want 0 (release must flush)", i, got)
+				}
+			}
+			mgr.Close()
+			st := mgr.Stats()
+			if st.Reclaimer.Retired != rounds*11 {
+				t.Fatalf("Retired = %d want %d", st.Reclaimer.Retired, rounds*11)
+			}
+			if st.Reclaimer.Freed != st.Reclaimer.Retired || st.Unreclaimed != 0 {
+				t.Fatalf("after Close: retired=%d freed=%d unreclaimed=%d",
+					st.Reclaimer.Retired, st.Reclaimer.Freed, st.Unreclaimed)
+			}
+		})
+	}
+}
+
+// TestStaticClaimBlocksAcquire: the two binding styles compose on one
+// manager — tid-based wiring claims slots permanently, AcquireHandle hands
+// out the rest.
+func TestStaticClaimBlocksAcquire(t *testing.T) {
+	alloc := arena.NewBump[rec](3, 0)
+	p := pool.New[rec](3, alloc)
+	mgr := core.NewRecordManager[rec](alloc, p, epochSchemes(3, p)["debra"])
+
+	mgr.Handle(0) // static claim
+	h1 := mgr.AcquireHandle()
+	h2 := mgr.AcquireHandle()
+	if h1.Tid() == 0 || h2.Tid() == 0 || h1.Tid() == h2.Tid() {
+		t.Fatalf("acquired tids %d, %d must be distinct and skip the static slot 0", h1.Tid(), h2.Tid())
+	}
+	if _, ok := mgr.TryAcquireHandle(); ok {
+		t.Fatal("TryAcquireHandle succeeded with all slots taken")
+	}
+	if !panics(func() { mgr.AcquireHandle() }) {
+		t.Fatal("AcquireHandle did not panic on exhaustion")
+	}
+	mgr.ReleaseHandle(h1)
+	mgr.ReleaseHandle(h2)
+}

@@ -63,7 +63,7 @@ func (hd Handle[V]) Insert(key int64, value V) bool {
 			rm.Deallocate(desc)
 			return false
 		default:
-			t.stats.restarts.Add(1)
+			hd.st.restarts.Inc()
 		}
 	}
 }
@@ -80,7 +80,7 @@ func (t *Tree[V]) insertBody(hd Handle[V], key int64, value V,
 					// Recovery (running quiescent): if we announced the
 					// descriptor we may already have published it, so help
 					// it to completion; otherwise simply retry.
-					t.stats.recov.Add(1)
+					hd.st.recov.Inc()
 					if rm.IsRProtected(desc) && t.ownerInsert(hd, desc, true) {
 						outcome = attemptSucceeded
 						oldLeaf = desc.l
@@ -240,9 +240,9 @@ func (hd Handle[V]) Delete(key int64) bool {
 			// fresh descriptor for the next attempt and let
 			// retire-on-replace dispose of this one.
 			desc = rm.Allocate()
-			t.stats.restarts.Add(1)
+			hd.st.restarts.Inc()
 		default:
-			t.stats.restarts.Add(1)
+			hd.st.restarts.Inc()
 		}
 	}
 }
@@ -257,7 +257,7 @@ func (t *Tree[V]) deleteBody(hd Handle[V], key int64, desc *Record[V]) (outcome 
 		defer func() {
 			if v := recover(); v != nil {
 				if _, ok := neutralize.Recover(v); ok {
-					t.stats.recov.Add(1)
+					hd.st.recov.Inc()
 					if rm.IsRProtected(desc) {
 						// The descriptor (and the records it names) are
 						// still recovery-protected here, so reading its
@@ -441,7 +441,7 @@ func (t *Tree[V]) help(hd Handle[V], node *Record[V], cell *UpdateCell[V]) {
 	if node.update.Load() != cell {
 		return
 	}
-	t.stats.helps.Add(1)
+	hd.st.helps.Inc()
 	info := cellInfo(cell)
 	switch cell.state {
 	case StateIFlag:

@@ -2,7 +2,6 @@ package bst
 
 import (
 	"math"
-	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/neutralize"
@@ -40,7 +39,7 @@ type Tree[V any] struct {
 	// made safe to access (set before concurrent use; see SetVisitHook).
 	visit func(tid int, r *Record[V])
 
-	stats opStats
+	stats []threadStats
 }
 
 // SetVisitHook installs fn to be called for every node the search path has
@@ -58,11 +57,16 @@ func (t *Tree[V]) observe(tid int, r *Record[V]) {
 	}
 }
 
-// opStats tracks data structure level counters (not reclamation counters).
-type opStats struct {
-	restarts atomic.Int64 // operation restarts (CAS failures, HP validation failures)
-	helps    atomic.Int64 // help calls on other operations' descriptors
-	recov    atomic.Int64 // recovery executions after neutralization
+// threadStats is one thread's single-writer data-structure-level counters
+// (core.Counter contract: written only by the owning slot, read racily by
+// Stats), padded so neighbouring slots' cells do not share cache lines.
+// These used to be three global atomic.Int64 cells — a LOCK-prefixed RMW on
+// a line shared by every thread, once per restart, help and recovery.
+type threadStats struct {
+	restarts core.Counter // operation restarts (CAS failures, HP validation failures)
+	helps    core.Counter // help calls on other operations' descriptors
+	recov    core.Counter // recovery executions after neutralization
+	_        [core.PadBytes]byte
 }
 
 // Stats is a snapshot of the tree's operation counters.
@@ -83,6 +87,7 @@ func New[V any](mgr *Manager[V]) *Tree[V] {
 		mgr:           mgr,
 		perRecord:     mgr.NeedsPerRecordProtection(),
 		crashRecovery: mgr.SupportsCrashRecovery(),
+		stats:         make([]threadStats, mgr.WorkerSlots()),
 	}
 	t.initialClean.set(StateClean, nil)
 	// The initial tree: a root with key Infinity2 whose children are the
@@ -107,13 +112,29 @@ func (t *Tree[V]) Manager() *Manager[V] { return t.mgr }
 type Handle[V any] struct {
 	t   *Tree[V]
 	rm  *core.ThreadHandle[Record[V]]
+	st  *threadStats
 	tid int
 }
 
-// Handle returns thread tid's pre-resolved operation handle.
+// Handle returns thread tid's pre-resolved operation handle, claiming the
+// slot for static dense-tid wiring (core.RecordManager.Handle does the
+// claim). Goroutines that come and go use AcquireHandle/ReleaseHandle.
 func (t *Tree[V]) Handle(tid int) Handle[V] {
-	return Handle[V]{t: t, rm: t.mgr.Handle(tid), tid: tid}
+	return Handle[V]{t: t, rm: t.mgr.Handle(tid), st: &t.stats[tid], tid: tid}
 }
+
+// AcquireHandle binds the calling goroutine to a vacant worker slot of the
+// tree's Record Manager and returns the slot's operation handle (the
+// dynamic binding style); release it with ReleaseHandle.
+func (t *Tree[V]) AcquireHandle() Handle[V] {
+	rm := t.mgr.AcquireHandle()
+	return Handle[V]{t: t, rm: rm, st: &t.stats[rm.Tid()], tid: rm.Tid()}
+}
+
+// ReleaseHandle returns an acquired slot to the manager's registry. The
+// calling goroutine must be quiescent (between operations) and must not use
+// the handle afterwards.
+func (t *Tree[V]) ReleaseHandle(hd Handle[V]) { t.mgr.ReleaseHandle(hd.rm) }
 
 // Tid returns the dense thread id the handle is bound to.
 func (hd Handle[V]) Tid() int { return hd.tid }
@@ -121,13 +142,18 @@ func (hd Handle[V]) Tid() int { return hd.tid }
 // Tree returns the tree the handle operates on.
 func (hd Handle[V]) Tree() *Tree[V] { return hd.t }
 
-// Stats returns a snapshot of the tree's operation counters.
+// Stats returns a snapshot of the tree's operation counters, aggregated
+// from the per-thread single-writer cells (exact when the workers are
+// quiescent).
 func (t *Tree[V]) Stats() Stats {
-	return Stats{
-		Restarts:   t.stats.restarts.Load(),
-		Helps:      t.stats.helps.Load(),
-		Recoveries: t.stats.recov.Load(),
+	var s Stats
+	for i := range t.stats {
+		st := &t.stats[i]
+		s.Restarts += st.restarts.Load()
+		s.Helps += st.helps.Load()
+		s.Recoveries += st.recov.Load()
 	}
+	return s
 }
 
 // searchResult carries the outcome of one tree search: the leaf, its parent
@@ -321,7 +347,7 @@ func (hd Handle[V]) Get(key int64) (V, bool) {
 		if done {
 			return v, ok
 		}
-		t.stats.restarts.Add(1)
+		hd.st.restarts.Inc()
 	}
 }
 
@@ -335,7 +361,7 @@ func (t *Tree[V]) getAttempt(hd Handle[V], key int64) (val V, found, done bool) 
 				if _, ok := neutralize.Recover(v); ok {
 					// Read-only operations have trivial recovery: discard
 					// and retry.
-					t.stats.recov.Add(1)
+					hd.st.recov.Inc()
 					rm.RUnprotectAll()
 					done = false
 					return

@@ -124,12 +124,18 @@ type spareSlot[V any] struct {
 	_    [core.PadBytes]byte
 }
 
-// opStats tracks data structure level counters (not reclamation counters).
-type opStats struct {
-	restarts atomic.Int64 // operation restarts (CAS failures, HP validation failures)
-	unlinks  atomic.Int64 // marked pairs physically unlinked by traversals
-	resizes  atomic.Int64 // successful table doublings
-	dummies  atomic.Int64 // bucket sentinels spliced into the list
+// threadStats is one thread's single-writer data-structure-level counters
+// (not reclamation counters): written only by the owning slot (core.Counter
+// contract), read racily by Stats, padded so neighbouring slots' cells do
+// not share cache lines. These used to be four global atomic.Int64 cells —
+// a LOCK-prefixed RMW on a line shared by every thread, once per restart,
+// unlink, resize and dummy splice.
+type threadStats struct {
+	restarts core.Counter // operation restarts (CAS failures, HP validation failures)
+	unlinks  core.Counter // marked pairs physically unlinked by traversals
+	resizes  core.Counter // successful table doublings
+	dummies  core.Counter // bucket sentinels spliced into the list
+	_        [core.PadBytes]byte
 }
 
 // Stats is a snapshot of the map's operation counters.
@@ -168,17 +174,23 @@ type Map[V any] struct {
 	// safe to access (set before concurrent use; see SetVisitHook).
 	visit func(tid int, n *Node[V])
 
-	stats opStats
+	stats []threadStats
 }
 
 // New creates an empty map whose records are managed by mgr, for the given
-// number of worker threads (which must match the manager's).
+// number of worker threads (which must match the manager's). When the
+// manager has more worker slots than threads (recordmgr.Config.MaxThreads),
+// the per-thread tables cover every slot, so both binding styles — static
+// dense tids and AcquireHandle/ReleaseHandle — work.
 func New[V any](mgr *Manager[V], threads int, opts ...Option) *Map[V] {
 	if mgr == nil {
 		panic("hashmap: New requires a RecordManager")
 	}
 	if threads <= 0 {
 		panic("hashmap: New requires threads >= 1")
+	}
+	if ws := mgr.WorkerSlots(); ws > threads {
+		threads = ws
 	}
 	cfg := config{
 		initialBuckets: DefaultInitialBuckets,
@@ -205,9 +217,13 @@ func New[V any](mgr *Manager[V], threads int, opts ...Option) *Map[V] {
 	h.head = mgr.Allocate(0)
 	initDummy(h.head, dummySoKey(0))
 	h.size.Store(cfg.initialBuckets)
+	h.stats = make([]threadStats, threads)
 	h.handles = make([]Handle[V], threads)
 	for i := range h.handles {
-		h.handles[i] = Handle[V]{h: h, rm: mgr.Handle(i), spare: &h.spares[i], tid: i}
+		// PeekHandle: prebuilding the table must not claim the slots, or
+		// nothing would remain acquirable and reclamation scans could never
+		// skip a vacant slot. Handle(tid) claims on first static use.
+		h.handles[i] = Handle[V]{h: h, rm: mgr.PeekHandle(i), spare: &h.spares[i], st: &h.stats[i], tid: i}
 	}
 	return h
 }
@@ -222,11 +238,43 @@ type Handle[V any] struct {
 	h     *Map[V]
 	rm    *core.ThreadHandle[Node[V]]
 	spare *spareSlot[V]
+	st    *threadStats
 	tid   int
 }
 
-// Handle returns thread tid's pre-resolved operation handle.
-func (h *Map[V]) Handle(tid int) *Handle[V] { return &h.handles[tid] }
+// Handle returns thread tid's pre-resolved operation handle, claiming the
+// slot for static dense-tid wiring (see core.RecordManager.Handle; a slot a
+// thread operates on must be visible to reclamation scans). Goroutines that
+// come and go use AcquireHandle/ReleaseHandle instead.
+func (h *Map[V]) Handle(tid int) *Handle[V] {
+	h.mgr.Handle(tid)
+	return &h.handles[tid]
+}
+
+// AcquireHandle binds the calling goroutine to a vacant worker slot of the
+// map's Record Manager and returns the slot's operation handle (the dynamic
+// binding style). Release it with ReleaseHandle once the goroutine is done;
+// the slot — and everything cached under its tid — is then reused by later
+// acquirers.
+func (h *Map[V]) AcquireHandle() *Handle[V] {
+	rm := h.mgr.AcquireHandle()
+	tid := rm.Tid()
+	h.handles[tid] = Handle[V]{h: h, rm: rm, spare: &h.spares[tid], st: &h.stats[tid], tid: tid}
+	return &h.handles[tid]
+}
+
+// ReleaseHandle returns an acquired slot to the manager's registry. The
+// calling goroutine must be quiescent (every map operation leaves the thread
+// quiescent, so between operations is always legal) and must not use the
+// handle afterwards. The slot's pre-allocated spare dummy, if any, is
+// returned to the pool rather than parked for the next occupant.
+func (h *Map[V]) ReleaseHandle(hd *Handle[V]) {
+	if spare := hd.spare.node; spare != nil {
+		hd.spare.node = nil
+		hd.rm.Deallocate(spare)
+	}
+	h.mgr.ReleaseHandle(hd.rm)
+}
 
 // Tid returns the dense thread id the handle is bound to.
 func (hd *Handle[V]) Tid() int { return hd.tid }
@@ -237,14 +285,19 @@ func (hd *Handle[V]) Map() *Map[V] { return hd.h }
 // Manager returns the map's Record Manager (for instrumentation).
 func (h *Map[V]) Manager() *Manager[V] { return h.mgr }
 
-// Stats returns a snapshot of the map's operation counters.
+// Stats returns a snapshot of the map's operation counters, aggregated from
+// the per-thread single-writer cells (exact when the workers are quiescent,
+// like every other Stats snapshot in the stack).
 func (h *Map[V]) Stats() Stats {
-	return Stats{
-		Restarts: h.stats.restarts.Load(),
-		Unlinks:  h.stats.unlinks.Load(),
-		Resizes:  h.stats.resizes.Load(),
-		Dummies:  h.stats.dummies.Load(),
+	var s Stats
+	for i := range h.stats {
+		st := &h.stats[i]
+		s.Restarts += st.restarts.Load()
+		s.Unlinks += st.unlinks.Load()
+		s.Resizes += st.resizes.Load()
+		s.Dummies += st.dummies.Load()
 	}
+	return s
 }
 
 // Buckets returns the current bucket count.
@@ -318,7 +371,7 @@ func (h *Map[V]) bucketDummy(hd *Handle[V], b uint64) (*Node[V], bool) {
 		// Published: the slot no longer owns it. No checkpoint can run
 		// between the winning CAS (inside insertDummy) and this line.
 		hd.spare.node = nil
-		h.stats.dummies.Add(1)
+		hd.st.dummies.Inc()
 	}
 	loc.CompareAndSwap(nil, d)
 	return d, true
@@ -358,14 +411,14 @@ func (h *Map[V]) startBucket(hd *Handle[V], hash uint64) (*Node[V], bool) {
 // publishes the new size; the new buckets initialise lazily on first access,
 // so growth is incremental and never moves a node. Touches no records, so it
 // is safe to call at any point of an operation (including recovery).
-func (h *Map[V]) maybeGrow() {
+func (h *Map[V]) maybeGrow(hd *Handle[V]) {
 	size := h.size.Load()
 	if size >= h.maxBuckets {
 		return
 	}
 	if h.count.Load() > h.maxLoad*int64(size) {
 		if h.size.CompareAndSwap(size, size*2) {
-			h.stats.resizes.Add(1)
+			hd.st.resizes.Inc()
 		}
 	}
 }
@@ -456,7 +509,7 @@ func (h *Map[V]) find(hd *Handle[V], start *Node[V], sokey uint64, key int64) (f
 				if pos.pred.next.CompareAndSwap(curr, succ) {
 					rm.Retire(curr)
 					rm.Retire(next)
-					h.stats.unlinks.Add(1)
+					hd.st.unlinks.Inc()
 					if h.perRecord {
 						rm.Unprotect(curr)
 						rm.Unprotect(next)
@@ -529,7 +582,7 @@ const (
 // key was inserted and false if it was already present (the value is not
 // replaced, matching the set semantics of the module's other structures).
 func (h *Map[V]) Insert(tid int, key int64, value V) bool {
-	return h.handles[tid].Insert(key, value)
+	return h.Handle(tid).Insert(key, value)
 }
 
 // Insert adds key with the given value through the thread's handle.
@@ -547,7 +600,7 @@ func (hd *Handle[V]) Insert(key int64, value V) bool {
 			hd.rm.Deallocate(node)
 			return false
 		default:
-			h.stats.restarts.Add(1)
+			hd.st.restarts.Inc()
 		}
 	}
 }
@@ -590,7 +643,7 @@ func (h *Map[V]) insertBody(hd *Handle[V], key int64, value V, node *Node[V]) (o
 	if pos.pred.next.CompareAndSwap(pos.curr, node) {
 		published = true
 		h.count.Add(1)
-		h.maybeGrow()
+		h.maybeGrow(hd)
 		rm.EnterQstate()
 		h.releasePos(hd, pos)
 		return opTrue
@@ -601,7 +654,7 @@ func (h *Map[V]) insertBody(hd *Handle[V], key int64, value V, node *Node[V]) (o
 }
 
 // Delete removes key from the map, returning true if it was present.
-func (h *Map[V]) Delete(tid int, key int64) bool { return h.handles[tid].Delete(key) }
+func (h *Map[V]) Delete(tid int, key int64) bool { return h.Handle(tid).Delete(key) }
 
 // Delete removes key through the thread's handle.
 func (hd *Handle[V]) Delete(key int64) bool {
@@ -624,7 +677,7 @@ func (hd *Handle[V]) Delete(key int64) bool {
 			hd.rm.Deallocate(marker)
 			return false
 		default:
-			h.stats.restarts.Add(1)
+			hd.st.restarts.Inc()
 		}
 	}
 }
@@ -710,7 +763,7 @@ func (h *Map[V]) deleteBody(hd *Handle[V], key int64, marker *Node[V]) (outcome 
 		h.count.Add(-1)
 		if pos.pred.next.CompareAndSwap(n, s) {
 			unlinkedN, unlinkedM = n, marker
-			h.stats.unlinks.Add(1)
+			hd.st.unlinks.Inc()
 		}
 		rm.EnterQstate()
 		if h.perRecord && s != nil {
@@ -751,7 +804,7 @@ const (
 // between the two linearization points (Upsert is a Delete+Insert
 // composition, not a single atomic read-modify-write).
 func (h *Map[V]) Upsert(tid int, key int64, value V) (prev V, replaced bool) {
-	return h.handles[tid].Upsert(key, value)
+	return h.Handle(tid).Upsert(key, value)
 }
 
 // Upsert sets key to value through the thread's handle (see Map.Upsert).
@@ -783,9 +836,9 @@ func (hd *Handle[V]) Upsert(key int64, value V) (prev V, replaced bool) {
 		case opUpsertMarkedOnly:
 			prev, replaced = pv, true
 			marker = nil // published as the old node's mark; not reusable
-			h.stats.restarts.Add(1)
+			hd.st.restarts.Inc()
 		default:
-			h.stats.restarts.Add(1)
+			hd.st.restarts.Inc()
 		}
 	}
 }
@@ -836,7 +889,7 @@ func (h *Map[V]) upsertBody(hd *Handle[V], key int64, value V, node, marker *Nod
 		if pos.pred.next.CompareAndSwap(pos.curr, node) {
 			published = true
 			h.count.Add(1)
-			h.maybeGrow()
+			h.maybeGrow(hd)
 			rm.EnterQstate()
 			h.releasePos(hd, pos)
 			return opUpsertInserted, prevVal, nil, nil
@@ -887,7 +940,7 @@ func (h *Map[V]) upsertBody(hd *Handle[V], key int64, value V, node, marker *Nod
 			published = true
 			h.count.Add(1)
 			unlinkedN, unlinkedM = n, marker
-			h.stats.unlinks.Add(1)
+			hd.st.unlinks.Inc()
 		}
 		rm.EnterQstate()
 		if h.perRecord && s != nil {
@@ -908,7 +961,7 @@ func (h *Map[V]) upsertBody(hd *Handle[V], key int64, value V, node, marker *Nod
 }
 
 // Get returns the value associated with key and whether it is present.
-func (h *Map[V]) Get(tid int, key int64) (V, bool) { return h.handles[tid].Get(key) }
+func (h *Map[V]) Get(tid int, key int64) (V, bool) { return h.Handle(tid).Get(key) }
 
 // Get returns the value associated with key through the thread's handle.
 func (hd *Handle[V]) Get(key int64) (V, bool) {
@@ -918,7 +971,7 @@ func (hd *Handle[V]) Get(key int64) (V, bool) {
 		if done {
 			return v, ok
 		}
-		h.stats.restarts.Add(1)
+		hd.st.restarts.Inc()
 	}
 }
 
@@ -958,7 +1011,7 @@ func (h *Map[V]) getBody(hd *Handle[V], key int64) (val V, found, done bool) {
 }
 
 // Contains reports whether key is in the map.
-func (h *Map[V]) Contains(tid int, key int64) bool { return h.handles[tid].Contains(key) }
+func (h *Map[V]) Contains(tid int, key int64) bool { return h.Handle(tid).Contains(key) }
 
 // Contains reports whether key is in the map through the thread's handle.
 func (hd *Handle[V]) Contains(key int64) bool {

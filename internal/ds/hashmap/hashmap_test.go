@@ -327,6 +327,87 @@ func poisonedAsyncMapFactory(t *testing.T, scheme string, reclaimers int, spec c
 	}
 }
 
+// churnMapWorker adapts an acquired hashmap.Handle to the
+// reclaimtest.ChurnWorker surface.
+type churnMapWorker struct {
+	m *hashmap.Map[int64]
+	h *hashmap.Handle[int64]
+}
+
+func (w churnMapWorker) Insert(key int64) bool   { return w.h.Insert(key, key) }
+func (w churnMapWorker) Delete(key int64) bool   { return w.h.Delete(key) }
+func (w churnMapWorker) Contains(key int64) bool { return w.h.Contains(key) }
+func (w churnMapWorker) Release()                { w.m.ReleaseHandle(w.h) }
+
+// poisonedChurnMapFactory builds a poison-instrumented map whose Record
+// Manager has more worker slots than stress goroutines (MaxThreads-style
+// headroom), exposing the AcquireHandle/ReleaseHandle surface so the churn
+// stress can migrate goroutines across slots.
+func poisonedChurnMapFactory(t *testing.T, scheme string, spec core.ShardSpec) reclaimtest.SetFactory {
+	return func(n int) reclaimtest.SetUnderTest {
+		type rec = hashmap.Node[int64]
+		// Two spare slots beyond the goroutine count: releases and acquires
+		// then genuinely migrate tids instead of always reusing the same one.
+		slots := n + 2
+		alloc := arena.NewBump[rec](slots, 0)
+		pp := reclaimtest.NewPoisonPool[rec, *rec](pool.New[rec](slots, alloc))
+		dom := neutralize.NewDomain(slots)
+		rcl, err := recordmgr.NewShardedReclaimer[rec](scheme, slots, pp, dom, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mgr := core.NewRecordManager[rec](alloc, pp, rcl,
+			core.WithRetireBatching(slots, 32))
+		m := hashmap.New[int64](mgr, slots, hashmap.WithInitialBuckets(2), hashmap.WithMaxLoad(2))
+		var violations atomic.Int64
+		m.SetVisitHook(func(tid int, nd *hashmap.Node[int64]) {
+			if nd.IsPoisoned() && !dom.Pending(tid) {
+				violations.Add(1)
+			}
+		})
+		return reclaimtest.SetUnderTest{
+			Set:           setAdapter{m},
+			AcquireWorker: func() reclaimtest.ChurnWorker { return churnMapWorker{m: m, h: m.AcquireHandle()} },
+			Violations:    violations.Load,
+			DoubleFrees:   pp.DoubleFrees,
+			Stats:         rcl.Stats,
+			Validate:      m.Validate,
+			Close:         mgr.Close,
+			// Every reclaiming scheme must end with Retired == Freed once
+			// Close has flushed and drained; the leaking baseline keeps its
+			// garbage by design.
+			RequireDrained: scheme != recordmgr.SchemeNone,
+		}
+	}
+}
+
+// TestStressSlotChurn is the slot-churn poison-sink stress of the dynamic
+// thread-slot registry: goroutines continually acquire a slot, work, and
+// release it (which flushes the slot's retire buffer and returns its pool
+// cache), across every scheme and shard counts {1, NumCPU}, with two spare
+// slots so tids genuinely migrate between goroutines. A poisoned read after
+// slot reuse, a double free during shutdown draining, a wrong answer on a
+// goroutine-private key, or leftover limbo after Close fails the test. Run
+// under -race in CI.
+func TestStressSlotChurn(t *testing.T) {
+	shardCounts := []int{1, runtime.NumCPU()}
+	if shardCounts[1] == 1 {
+		shardCounts = shardCounts[:1]
+	}
+	for _, scheme := range allSchemes() {
+		for _, shards := range shardCounts {
+			t.Run(fmt.Sprintf("%s/shards=%d", scheme, shards), func(t *testing.T) {
+				spec := core.ShardSpec{Shards: shards}
+				factory := poisonedChurnMapFactory(t, scheme, spec)
+				opts := reclaimtest.DefaultSetStressOptions()
+				opts.Duration = 100 * time.Millisecond
+				opts.OpsPerSlot = 48
+				reclaimtest.StressSetChurn(t, factory, opts)
+			})
+		}
+	}
+}
+
 // TestStressAsyncReclaim runs the poison-sink safety stress with
 // asynchronous reclamation enabled, across shard counts {1, NumCPU} and
 // reclaimer counts {1, 2}, for every scheme. The reclaimer goroutines

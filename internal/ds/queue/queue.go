@@ -98,10 +98,25 @@ type Handle[V any] struct {
 	tid int
 }
 
-// Handle returns thread tid's pre-resolved operation handle.
+// Handle returns thread tid's pre-resolved operation handle, claiming the
+// slot for static dense-tid wiring (core.RecordManager.Handle does the
+// claim). Goroutines that come and go use AcquireHandle/ReleaseHandle.
 func (q *Queue[V]) Handle(tid int) Handle[V] {
 	return Handle[V]{q: q, rm: q.mgr.Handle(tid), tid: tid}
 }
+
+// AcquireHandle binds the calling goroutine to a vacant worker slot of the
+// queue's Record Manager and returns the slot's operation handle (the
+// dynamic binding style); release it with ReleaseHandle.
+func (q *Queue[V]) AcquireHandle() Handle[V] {
+	rm := q.mgr.AcquireHandle()
+	return Handle[V]{q: q, rm: rm, tid: rm.Tid()}
+}
+
+// ReleaseHandle returns an acquired slot to the manager's registry. The
+// calling goroutine must be quiescent (between operations) and must not use
+// the handle afterwards.
+func (q *Queue[V]) ReleaseHandle(hd Handle[V]) { q.mgr.ReleaseHandle(hd.rm) }
 
 // Tid returns the dense thread id the handle is bound to.
 func (hd Handle[V]) Tid() int { return hd.tid }

@@ -107,13 +107,19 @@ type seedState struct {
 }
 
 // New creates an empty skip list for the given Record Manager and number of
-// worker threads (which must match the manager's).
+// worker threads (which must match the manager's). When the manager has
+// more worker slots than threads (recordmgr.Config.MaxThreads), the
+// per-thread tables cover every slot, so both binding styles — static dense
+// tids and AcquireHandle/ReleaseHandle — work.
 func New[V any](mgr *Manager[V], threads int) *List[V] {
 	if mgr == nil {
 		panic("skiplist: New requires a RecordManager")
 	}
 	if threads <= 0 {
 		panic("skiplist: New requires threads >= 1")
+	}
+	if ws := mgr.WorkerSlots(); ws > threads {
+		threads = ws
 	}
 	if mgr.SupportsCrashRecovery() {
 		panic("skiplist: lock-based updates cannot be used with a neutralizing reclaimer (DEBRA+); use DEBRA or HP")
@@ -135,7 +141,8 @@ func New[V any](mgr *Manager[V], threads int) *List[V] {
 	}
 	l.handles = make([]Handle[V], threads)
 	for i := range l.handles {
-		l.handles[i] = Handle[V]{l: l, rm: mgr.Handle(i), seed: &l.seeds[i], tid: i}
+		// PeekHandle: prebuilding must not claim the slots (see hashmap.New).
+		l.handles[i] = Handle[V]{l: l, rm: mgr.PeekHandle(i), seed: &l.seeds[i], tid: i}
 	}
 	return l
 }
@@ -153,8 +160,28 @@ type Handle[V any] struct {
 	tid  int
 }
 
-// Handle returns thread tid's pre-resolved operation handle.
-func (l *List[V]) Handle(tid int) *Handle[V] { return &l.handles[tid] }
+// Handle returns thread tid's pre-resolved operation handle, claiming the
+// slot for static dense-tid wiring (core.RecordManager.Handle does the
+// claim). Goroutines that come and go use AcquireHandle/ReleaseHandle.
+func (l *List[V]) Handle(tid int) *Handle[V] {
+	l.mgr.Handle(tid)
+	return &l.handles[tid]
+}
+
+// AcquireHandle binds the calling goroutine to a vacant worker slot of the
+// list's Record Manager and returns the slot's operation handle (the
+// dynamic binding style); release it with ReleaseHandle.
+func (l *List[V]) AcquireHandle() *Handle[V] {
+	rm := l.mgr.AcquireHandle()
+	tid := rm.Tid()
+	l.handles[tid] = Handle[V]{l: l, rm: rm, seed: &l.seeds[tid], tid: tid}
+	return &l.handles[tid]
+}
+
+// ReleaseHandle returns an acquired slot to the manager's registry. The
+// calling goroutine must be quiescent (between operations) and must not use
+// the handle afterwards.
+func (l *List[V]) ReleaseHandle(hd *Handle[V]) { l.mgr.ReleaseHandle(hd.rm) }
 
 // Tid returns the dense thread id the handle is bound to.
 func (hd *Handle[V]) Tid() int { return hd.tid }
@@ -247,7 +274,7 @@ func (l *List[V]) isRecorded(node *Node[V], preds, succs *[MaxLevel]*Node[V], ab
 }
 
 // Contains reports whether key is present (wait-free, lock-free reads).
-func (l *List[V]) Contains(tid int, key int64) bool { return l.handles[tid].Contains(key) }
+func (l *List[V]) Contains(tid int, key int64) bool { return l.Handle(tid).Contains(key) }
 
 // Contains reports whether key is present through the thread's handle.
 func (hd *Handle[V]) Contains(key int64) bool {
@@ -256,7 +283,7 @@ func (hd *Handle[V]) Contains(key int64) bool {
 }
 
 // Get returns the value stored for key.
-func (l *List[V]) Get(tid int, key int64) (V, bool) { return l.handles[tid].Get(key) }
+func (l *List[V]) Get(tid int, key int64) (V, bool) { return l.Handle(tid).Get(key) }
 
 // Get returns the value stored for key through the thread's handle.
 func (hd *Handle[V]) Get(key int64) (V, bool) {
@@ -290,7 +317,7 @@ func (hd *Handle[V]) Get(key int64) (V, bool) {
 // Insert adds key to the set, returning true if it was inserted and false if
 // it was already present.
 func (l *List[V]) Insert(tid int, key int64, value V) bool {
-	return l.handles[tid].Insert(key, value)
+	return l.Handle(tid).Insert(key, value)
 }
 
 // Insert adds key to the set through the thread's handle.
@@ -361,7 +388,7 @@ func (hd *Handle[V]) Insert(key int64, value V) bool {
 }
 
 // Delete removes key from the set, returning true if it was present.
-func (l *List[V]) Delete(tid int, key int64) bool { return l.handles[tid].Delete(key) }
+func (l *List[V]) Delete(tid int, key int64) bool { return l.Handle(tid).Delete(key) }
 
 // Delete removes key from the set through the thread's handle.
 func (hd *Handle[V]) Delete(key int64) bool {

@@ -168,6 +168,26 @@ func (p *Pool[T]) FreeBlocks(tid int, chain *blockbag.Block[T]) {
 	p.spill(tid)
 }
 
+// DrainThread implements core.ThreadDrainer: move every full block of thread
+// tid's private pool bag onto the shared bag, so records cached by a
+// goroutine releasing its thread slot stay reusable by every other thread.
+// A sub-block tail (at most BlockSize-1 records) remains private for the
+// slot's next occupant — moving it would mean splitting a partial block,
+// and the remainder is bounded and not leaked. Called by the slot's former
+// owner from a quiescent context (the single-writer counter contract
+// migrates with the slot across the release's happens-before edge).
+func (p *Pool[T]) DrainThread(tid int) {
+	t := &p.threads[tid]
+	for {
+		blk := t.bag.TakeFullBlock()
+		if blk == nil {
+			return
+		}
+		t.toShared.Add(int64(blk.Len()))
+		p.shared.Push(blk)
+	}
+}
+
 // spill pushes full blocks beyond the private bound onto the shared bag.
 func (p *Pool[T]) spill(tid int) {
 	t := &p.threads[tid]
@@ -226,4 +246,5 @@ var (
 	_ core.BlockFreeSink[int] = (*Pool[int])(nil)
 	_ core.FreeSink[int]      = (*Discard[int])(nil)
 	_ core.HandledPool[int]   = (*Pool[int])(nil)
+	_ core.ThreadDrainer      = (*Pool[int])(nil)
 )

@@ -265,13 +265,22 @@ func (h *handle[T]) LeaveQstate() bool {
 		nm := int64(len(h.members))
 		total := nm + int64(len(r.shards))
 		if t.checkNext < nm {
-			// Member phase: check one shard-local announcement.
-			ann := r.shared[h.members[t.checkNext]].v.Load()
-			if isEqual(readEpoch, ann) || ann&quiescentBit != 0 {
+			// Member phase: vacant slots are quiescent by the release
+			// contract and are fast-forwarded wholesale, then one live
+			// shard-local announcement is checked. The fast-forward is what
+			// keeps the scan cycle proportional to the live population, not
+			// the registry capacity, when slots churn.
+			for t.checkNext < nm && !r.smap.SlotOccupied(h.members[t.checkNext]) {
 				t.checkNext++
-				if t.checkNext == nm {
-					r.shards[h.self].v.Store(readEpoch)
+			}
+			if t.checkNext < nm {
+				ann := r.shared[h.members[t.checkNext]].v.Load()
+				if isEqual(readEpoch, ann) || ann&quiescentBit != 0 {
+					t.checkNext++
 				}
+			}
+			if t.checkNext == nm {
+				r.shards[h.self].v.Store(readEpoch)
 			}
 		} else {
 			// Summary phase: check one shard summary per operation,
@@ -299,6 +308,12 @@ func (h *handle[T]) LeaveQstate() bool {
 // the signature shared with DEBRA+'s neutralizing override.
 func (r *Reclaimer[T]) shardAt(tid, s int, readEpoch int64) bool {
 	if r.shards[s].v.Load() == readEpoch {
+		return true
+	}
+	if r.smap.ShardLive(s) == 0 {
+		// Zero live occupants: every member is vacant, hence quiescent; the
+		// lagging (idle) shard is verified in O(1).
+		r.shards[s].v.Store(readEpoch)
 		return true
 	}
 	for _, m := range r.smap.Members(s) {

@@ -325,16 +325,24 @@ func (h *handle[T]) LeaveQstate() bool {
 		nm := int64(len(h.members))
 		total := nm + int64(len(r.shards))
 		if t.checkNext < nm {
-			// Member phase: one shard-local announcement per operation; a
-			// laggard holding the epoch back for too long is neutralized and
-			// then treated as quiescent (Figure 6).
-			other := h.members[t.checkNext]
-			ann := r.shared[other].v.Load()
-			if isEqual(readEpoch, ann) || ann&quiescentBit != 0 || r.suspectNeutralized(tid, other) {
+			// Member phase: vacant slots are quiescent by the release
+			// contract and are fast-forwarded wholesale (and must never be
+			// signalled — see suspectNeutralized); then one live shard-local
+			// announcement is checked per operation, and a laggard holding
+			// the epoch back for too long is neutralized and treated as
+			// quiescent (Figure 6).
+			for t.checkNext < nm && !r.smap.SlotOccupied(h.members[t.checkNext]) {
 				t.checkNext++
-				if t.checkNext == nm {
-					r.shards[h.self].v.Store(readEpoch)
+			}
+			if t.checkNext < nm {
+				other := h.members[t.checkNext]
+				ann := r.shared[other].v.Load()
+				if isEqual(readEpoch, ann) || ann&quiescentBit != 0 || r.suspectNeutralized(tid, other) {
+					t.checkNext++
 				}
+			}
+			if t.checkNext == nm {
+				r.shards[h.self].v.Store(readEpoch)
 			}
 		} else {
 			// Summary phase: one shard summary per operation; lagging
@@ -364,7 +372,17 @@ func (r *Reclaimer[T]) shardAt(tid, s int, readEpoch int64) bool {
 	if r.shards[s].v.Load() == readEpoch {
 		return true
 	}
+	if r.smap.ShardLive(s) == 0 {
+		// Zero live occupants: every member is vacant, hence quiescent; the
+		// lagging shard is verified in O(1) and nobody gets signalled.
+		r.shards[s].v.Store(readEpoch)
+		return true
+	}
 	for _, m := range r.smap.Members(s) {
+		if !r.smap.SlotOccupied(m) {
+			// Vacant: quiescent by the release contract, never signalled.
+			continue
+		}
 		ann := r.shared[m].v.Load()
 		if isEqual(readEpoch, ann) || ann&quiescentBit != 0 || r.suspectNeutralized(tid, m) {
 			continue
@@ -384,6 +402,15 @@ func (r *Reclaimer[T]) ShardMap() *core.ShardMap { return r.smap }
 func (r *Reclaimer[T]) suspectNeutralized(tid, other int) bool {
 	if r.cfg.disableNeutralization || other == tid {
 		return false
+	}
+	if !r.smap.SlotOccupied(other) {
+		// Never signal a vacant slot: nobody owns it, and a pending signal
+		// would land on whatever goroutine acquires the slot next (harmless —
+		// the first LeaveQstate consumes stale signals, and a mid-operation
+		// delivery is an ordinary restartable neutralization — but a wasted
+		// signal and a spurious restart). Vacant slots are quiescent by the
+		// release contract, so the member passes without one.
+		return true
 	}
 	t := &r.threads[tid]
 	if t.currentBag.LenBlocks() < r.cfg.suspectThresholdBlks {

@@ -205,15 +205,21 @@ func (h *handle[T]) LeaveQstate() bool {
 	t.active.Store(true)
 
 	// Classical EBR scans announcements on every operation; with shards the
-	// scan is the caller's shard members only.
+	// scan is the caller's shard members only. When a slot registry reports
+	// the caller as its shard's only live occupant, the member loop is
+	// skipped outright — every other member is vacant, hence quiescent (the
+	// release contract), and the race with a concurrent acquire is the same
+	// quiescent-thread-wakes race the plain scan already tolerates.
 	canAdvance := true
-	for _, i := range h.members {
-		if i == h.tid {
-			continue
-		}
-		if !r.passes(i, e) {
-			canAdvance = false
-			break
+	if live := r.smap.ShardLive(h.self); live < 0 || live > 1 {
+		for _, i := range h.members {
+			if i == h.tid {
+				continue
+			}
+			if !r.passes(i, e) {
+				canAdvance = false
+				break
+			}
 		}
 	}
 	h.st.scans.Inc()
@@ -233,10 +239,18 @@ func (h *handle[T]) LeaveQstate() bool {
 // allShardsAt reports whether every shard has been verified at epoch e,
 // consulting the memoised summaries first and falling back to a direct
 // member scan for lagging shards (helping their summary forward on success).
+// A shard whose occupancy summary reads zero live slots has only vacant —
+// hence quiescent — members and is verified in O(1), which is what keeps
+// the lagging-shard slow path cheap when the registry's capacity far
+// exceeds the live goroutine count.
 func (r *Reclaimer[T]) allShardsAt(e int64) bool {
 	for i := range r.shards {
 		s := &r.shards[i]
 		if s.summary.Load() == e {
+			continue
+		}
+		if r.smap.ShardLive(i) == 0 {
+			s.summary.Store(e)
 			continue
 		}
 		for _, m := range r.smap.Members(i) {

@@ -52,7 +52,9 @@ type config struct {
 // bags are per-thread and there is no shared epoch state to shard — and the
 // reclamation scan MUST read every thread's announcement slots regardless of
 // shard (a record is unsafe to free while any thread anywhere protects it),
-// so the spec changes no behaviour here.
+// so the spec changes no scan topology here. The shard map does carry the
+// slot registry, through which the scan skips the slot arrays of vacant
+// (unowned, hence announcement-free) threads.
 func WithShards(spec core.ShardSpec) Option { return func(c *config) { c.spec = spec } }
 
 // WithSlots sets the number of hazard pointer slots per thread.
@@ -326,6 +328,17 @@ func (r *Reclaimer[T]) scanAndFree(tid int) {
 	set := t.scanSet
 	clear(set)
 	for i := range r.slots {
+		if !r.smap.SlotOccupied(i) {
+			// A vacant slot holds no hazard pointers: release requires
+			// quiescence, which for HP means every slot is nil. A
+			// concurrent acquirer that protects a record after this check
+			// is covered by the protect-validate discipline, exactly like a
+			// thread whose nil slot is read just before it stores: if the
+			// record was already in our retire bag it was unreachable
+			// before the acquire, so the newcomer's validation fails and
+			// it restarts.
+			continue
+		}
 		ptrs := r.slots[i].ptrs
 		for j := range ptrs {
 			if rec := ptrs[j].Load(); rec != nil {

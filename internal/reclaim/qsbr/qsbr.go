@@ -195,12 +195,17 @@ func (h *handle[T]) EnterQstate() {
 	h.slot.v.Store(g | offlineBit)
 
 	// Verify the caller's shard: every member must be offline or have
-	// announced period g.
+	// announced period g. When the slot registry reports the caller as the
+	// shard's only live occupant the loop is skipped — vacant slots are
+	// offline by the release contract (the concurrent-acquire race is the
+	// usual offline-thread-wakes race the plain scan already tolerates).
 	advance := true
-	for _, i := range h.members {
-		if !r.passes(i, g) {
-			advance = false
-			break
+	if live := r.smap.ShardLive(h.self); live < 0 || live > 1 {
+		for _, i := range h.members {
+			if !r.passes(i, g) {
+				advance = false
+				break
+			}
 		}
 	}
 	if advance {
@@ -256,6 +261,12 @@ func (r *Reclaimer[T]) allShardsAt(g int64) bool {
 	for i := range r.shards {
 		s := &r.shards[i]
 		if s.v.Load() == g {
+			continue
+		}
+		if r.smap.ShardLive(i) == 0 {
+			// Zero live occupants: every member is vacant, hence offline;
+			// the lagging (idle) shard is verified in O(1).
+			s.v.Store(g)
 			continue
 		}
 		for _, m := range r.smap.Members(i) {

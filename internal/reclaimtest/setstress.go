@@ -24,10 +24,28 @@ type Set interface {
 	Contains(tid int, key int64) bool
 }
 
+// ChurnWorker is one dynamically bound worker of a set under churn stress:
+// an acquired thread slot with the set's operations bound to it. Release
+// returns the slot for reuse; the worker must not be used afterwards.
+type ChurnWorker interface {
+	Insert(key int64) bool
+	Delete(key int64) bool
+	Contains(key int64) bool
+	Release()
+}
+
 // SetUnderTest couples the set being stressed with the observation counters
 // its instrumentation exposes.
 type SetUnderTest struct {
 	Set Set
+	// AcquireWorker binds the calling goroutine to a vacant thread slot and
+	// returns the slot-bound operations (the data structures' AcquireHandle
+	// surface). Required by StressSetChurn; nil elsewhere.
+	AcquireWorker func() ChurnWorker
+	// RequireDrained, when true, makes the churn stress assert
+	// Retired == Freed after Close (every reclaiming scheme; the leaking
+	// baseline leaves it false).
+	RequireDrained bool
 	// Violations returns the number of freed-record observations the set's
 	// traversal instrumentation made (wired to the poison wrappers; see
 	// Poisonable). Nil disables the check.
@@ -50,7 +68,7 @@ type SetUnderTest struct {
 // SetFactory builds a fresh set instance for n threads.
 type SetFactory func(n int) SetUnderTest
 
-// SetStressOptions tunes StressSet.
+// SetStressOptions tunes StressSet and StressSetChurn.
 type SetStressOptions struct {
 	Threads  int
 	Duration time.Duration
@@ -63,6 +81,10 @@ type SetStressOptions struct {
 	// InsertPct and DeletePct are percentages of the mixed shared-range
 	// workload; the remainder are Contains calls.
 	InsertPct, DeletePct int
+	// OpsPerSlot is the number of operations a churn-stress goroutine
+	// performs between releasing its thread slot and acquiring a fresh one
+	// (StressSetChurn only; 0 picks a default).
+	OpsPerSlot int
 }
 
 // DefaultSetStressOptions returns options suitable for `go test`.
@@ -152,6 +174,15 @@ func StressSet(t *testing.T, factory SetFactory, opts SetStressOptions) {
 	stop.Store(true)
 	wg.Wait()
 
+	checkSetStress(t, su, &semanticFailures, &totalOps)
+}
+
+// checkSetStress runs the shared post-stress verification: poison counters,
+// semantic model failures, counter sanity, structural validation, and the
+// shutdown-drain re-checks (including Retired == Freed when the set demands
+// it via RequireDrained).
+func checkSetStress(t *testing.T, su SetUnderTest, semanticFailures, totalOps *atomic.Int64) {
+	t.Helper()
 	if su.Violations != nil {
 		if v := su.Violations(); v != 0 {
 			t.Fatalf("use-after-free: %d traversal visits observed a freed record", v)
@@ -194,6 +225,97 @@ func StressSet(t *testing.T, factory SetFactory, opts SetStressOptions) {
 			if stats.Freed > stats.Retired {
 				t.Fatalf("after close: freed (%d) exceeds retired (%d)", stats.Freed, stats.Retired)
 			}
+			if su.RequireDrained && stats.Freed != stats.Retired {
+				t.Fatalf("after close: retired (%d) != freed (%d); shutdown draining left limbo behind",
+					stats.Retired, stats.Freed)
+			}
 		}
 	}
+}
+
+// StressSetChurn is the slot-churn variant of StressSet: every worker
+// goroutine continually acquires a thread slot, performs a bounded burst of
+// operations through it, and releases the slot again (ReleaseHandle flushes
+// the slot's retire buffer and returns its pool cache), so thread slots are
+// constantly vacated, skipped by reclamation scans, and reused by other
+// goroutines. The same poison-sink instrumentation as StressSet applies:
+// a freed-record observation, a double free, or a wrong answer on a
+// goroutine-private key — in particular one caused by state leaking across
+// slot reuse — fails the test. After Close, Retired == Freed is asserted
+// for sets that demand it (every reclaiming scheme).
+func StressSetChurn(t *testing.T, factory SetFactory, opts SetStressOptions) {
+	t.Helper()
+	if opts.Threads <= 0 {
+		opts = DefaultSetStressOptions()
+	}
+	if opts.OpsPerSlot <= 0 {
+		opts.OpsPerSlot = 64
+	}
+	su := factory(opts.Threads)
+	if su.AcquireWorker == nil {
+		t.Fatal("SetFactory returned no AcquireWorker; StressSetChurn needs the dynamic binding surface")
+	}
+
+	var (
+		semanticFailures atomic.Int64
+		totalOps         atomic.Int64
+		stop             atomic.Bool
+		wg               sync.WaitGroup
+	)
+	for g := 0; g < opts.Threads; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)*104729 + 23))
+			// Private keys are per-goroutine, not per-slot: the model must
+			// stay correct while the goroutine migrates across slots.
+			privBase := opts.KeyRange + int64(g)*opts.PrivateKeys
+			model := make([]bool, opts.PrivateKeys)
+			ops := int64(0)
+			for !stop.Load() {
+				w := su.AcquireWorker()
+				for burst := 0; burst < opts.OpsPerSlot && !stop.Load(); burst++ {
+					if opts.PrivateKeys > 0 && ops%4 == 3 {
+						k := rng.Int63n(opts.PrivateKeys)
+						key := privBase + k
+						switch rng.Intn(3) {
+						case 0:
+							if w.Insert(key) == model[k] {
+								semanticFailures.Add(1)
+							}
+							model[k] = true
+						case 1:
+							if w.Delete(key) != model[k] {
+								semanticFailures.Add(1)
+							}
+							model[k] = false
+						default:
+							if w.Contains(key) != model[k] {
+								semanticFailures.Add(1)
+							}
+						}
+					} else {
+						key := rng.Int63n(opts.KeyRange)
+						p := rng.Intn(100)
+						switch {
+						case p < opts.InsertPct:
+							w.Insert(key)
+						case p < opts.InsertPct+opts.DeletePct:
+							w.Delete(key)
+						default:
+							w.Contains(key)
+						}
+					}
+					ops++
+				}
+				w.Release()
+			}
+			totalOps.Add(ops)
+		}(g)
+	}
+	time.Sleep(opts.Duration)
+	stop.Store(true)
+	wg.Wait()
+
+	checkSetStress(t, su, &semanticFailures, &totalOps)
 }

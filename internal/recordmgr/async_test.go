@@ -109,15 +109,43 @@ func TestAsyncCloseReturnsSpareBlocks(t *testing.T) {
 		}(tid)
 	}
 	wg.Wait()
-	// Let the reclaimer drain behind the idle workers so the exchange has
-	// handed spares back before the shutdown path runs.
+	// Let the reclaimer drain the full-block hand-offs behind the idle
+	// workers. (The partial batch tails — ops % BlockSize records per
+	// worker — stay parked in the retire buffers until Close flushes them,
+	// so RetirePending is legitimately non-zero here; the old wait condition
+	// demanded zero and always burned its full deadline.)
 	deadline := time.Now().Add(15 * time.Second)
 	for time.Now().Before(deadline) {
 		st := mgr.Stats()
-		if st.HandoffPending == 0 && st.RetirePending == 0 && st.Reclaimer.Freed > 0 {
+		if st.HandoffPending == 0 && st.Reclaimer.Freed > 0 {
 			break
 		}
 		time.Sleep(time.Millisecond)
+	}
+	// Steady state balances spare production against the workers' TakeSpare
+	// consumption (each flush pops one), so whether any spare is parked at
+	// a given instant is a race the machine's core count decides — and
+	// Close's own buffer flush would pop one more per non-empty buffer
+	// before DrainSpares runs. Set up a deterministic end state instead:
+	// empty every retire buffer first (so Close's flushes are no-ops that
+	// consume nothing), then produce one last full-block hand-off whose
+	// drain parks an exchange spare that only DrainSpares can pick up.
+	for tid := 0; tid < threads; tid++ {
+		mgr.FlushRetired(tid)
+	}
+	mgr.LeaveQstate(0)
+	for i := 0; i < blockbag.BlockSize; i++ {
+		mgr.Retire(0, mgr.Allocate(0))
+	}
+	mgr.EnterQstate(0) // the 256th retire flushed the batch: buffers all empty
+	for time.Now().Before(deadline) {
+		if mgr.Stats().HandoffPending == 0 && mgr.AsyncSpareBlocks() > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := mgr.AsyncSpareBlocks(); got == 0 {
+		t.Fatal("no spare block parked on the return stacks; the drain-side exchange produced nothing")
 	}
 	mgr.Close()
 	if got := mgr.AsyncSpareBlocks(); got != 0 {

@@ -58,6 +58,15 @@ type Config struct {
 	Scheme string
 	// Threads is the number of worker threads (dense ids 0..Threads-1).
 	Threads int
+	// MaxThreads is the capacity of the dynamic thread-slot registry: the
+	// total number of worker slots goroutines can bind to, statically via
+	// Handle(tid) or at runtime via AcquireHandle/ReleaseHandle. 0 defaults
+	// to Threads (the fixed-Threads compatibility configuration: every slot
+	// corresponds to one static worker). Setting MaxThreads > Threads gives
+	// a churning goroutine population headroom beyond the nominal worker
+	// count; every per-thread component (scheme, allocator, pool, retire
+	// buffers, handles) is sized for MaxThreads worker slots.
+	MaxThreads int
 	// Allocator selects bump or heap allocation; defaults to bump.
 	Allocator AllocatorKind
 	// UsePool controls whether reclaimed records are reused. When false the
@@ -94,6 +103,12 @@ func Build[T any](cfg Config) (*core.RecordManager[T], error) {
 	if cfg.Threads <= 0 {
 		return nil, fmt.Errorf("recordmgr: Threads must be >= 1, got %d", cfg.Threads)
 	}
+	if cfg.MaxThreads < 0 {
+		return nil, fmt.Errorf("recordmgr: MaxThreads must be >= 0, got %d", cfg.MaxThreads)
+	}
+	if cfg.MaxThreads > 0 && cfg.MaxThreads < cfg.Threads {
+		return nil, fmt.Errorf("recordmgr: MaxThreads (%d) must be >= Threads (%d)", cfg.MaxThreads, cfg.Threads)
+	}
 	if cfg.Reclaimers < 0 {
 		return nil, fmt.Errorf("recordmgr: Reclaimers must be >= 0, got %d", cfg.Reclaimers)
 	}
@@ -105,9 +120,14 @@ func Build[T any](cfg Config) (*core.RecordManager[T], error) {
 		// O(1)-splice sweet spot.
 		cfg.RetireBatch = blockbag.BlockSize
 	}
-	// The async reclaimer goroutines are extra participants: every per-thread
-	// component is sized for workers + reclaimers dense ids.
-	participants := cfg.Threads + cfg.Reclaimers
+	// Worker slots: the slot-registry capacity every per-thread component is
+	// sized for. The async reclaimer goroutines are extra participants
+	// beyond the worker slots.
+	workers := cfg.Threads
+	if cfg.MaxThreads > workers {
+		workers = cfg.MaxThreads
+	}
+	participants := workers + cfg.Reclaimers
 
 	var alloc core.Allocator[T]
 	switch cfg.Allocator {
@@ -139,7 +159,7 @@ func Build[T any](cfg Config) (*core.RecordManager[T], error) {
 	}
 	var mopts []core.ManagerOption
 	if cfg.RetireBatch > 0 {
-		mopts = append(mopts, core.WithRetireBatching(cfg.Threads, cfg.RetireBatch))
+		mopts = append(mopts, core.WithRetireBatching(workers, cfg.RetireBatch))
 	}
 	if cfg.Reclaimers > 0 {
 		mopts = append(mopts, core.WithAsyncReclaim(cfg.Reclaimers))

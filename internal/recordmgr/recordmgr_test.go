@@ -1,8 +1,10 @@
 package recordmgr_test
 
 import (
+	"fmt"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/neutralize"
 	"repro/internal/pool"
 	"repro/internal/recordmgr"
@@ -54,6 +56,67 @@ func TestBuildErrors(t *testing.T) {
 	}
 	if _, err := recordmgr.Build[node](recordmgr.Config{Scheme: recordmgr.SchemeDEBRA, Threads: 1, Allocator: "weird"}); err == nil {
 		t.Fatal("expected error for unknown allocator kind")
+	}
+	if _, err := recordmgr.Build[node](recordmgr.Config{Scheme: recordmgr.SchemeDEBRA, Threads: 4, MaxThreads: 2}); err == nil {
+		t.Fatal("expected error for MaxThreads < Threads")
+	}
+	if _, err := recordmgr.Build[node](recordmgr.Config{Scheme: recordmgr.SchemeDEBRA, Threads: 1, MaxThreads: -1}); err == nil {
+		t.Fatal("expected error for negative MaxThreads")
+	}
+}
+
+// TestMaxThreadsDynamicBinding: Config.MaxThreads sizes the slot registry
+// (and every per-thread component) beyond the nominal worker count, so
+// goroutines can bind and release slots at runtime across every scheme —
+// including with retire batching and async reclamation, whose reclaimer
+// tids must stay out of the acquirable range.
+func TestMaxThreadsDynamicBinding(t *testing.T) {
+	for _, scheme := range recordmgr.Schemes() {
+		for _, reclaimers := range []int{0, 1} {
+			t.Run(fmt.Sprintf("%s/reclaimers=%d", scheme, reclaimers), func(t *testing.T) {
+				mgr, err := recordmgr.Build[node](recordmgr.Config{
+					Scheme:     scheme,
+					Threads:    2,
+					MaxThreads: 4,
+					UsePool:    true,
+					Reclaimers: reclaimers,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := mgr.WorkerSlots(); got != 4 {
+					t.Fatalf("WorkerSlots = %d want 4", got)
+				}
+				if got := mgr.Participants(); got != 4+reclaimers {
+					t.Fatalf("Participants = %d want %d", got, 4+reclaimers)
+				}
+				// All four slots are acquirable; the async reclaimer tids are not.
+				handles := make([]*core.ThreadHandle[node], 4)
+				for i := range handles {
+					handles[i] = mgr.AcquireHandle()
+					if tid := handles[i].Tid(); tid < 0 || tid >= 4 {
+						t.Fatalf("acquired tid %d outside the worker-slot range", tid)
+					}
+				}
+				if _, ok := mgr.TryAcquireHandle(); ok {
+					t.Fatal("TryAcquireHandle succeeded beyond MaxThreads")
+				}
+				for _, h := range handles {
+					h.LeaveQstate()
+					h.Retire(h.Allocate())
+					h.EnterQstate()
+					mgr.ReleaseHandle(h)
+				}
+				mgr.Close()
+				st := mgr.Stats()
+				if st.Reclaimer.Retired != 4 {
+					t.Fatalf("Retired = %d want 4", st.Reclaimer.Retired)
+				}
+				if scheme != recordmgr.SchemeNone && st.Reclaimer.Freed != st.Reclaimer.Retired {
+					t.Fatalf("after Close: retired %d != freed %d", st.Reclaimer.Retired, st.Reclaimer.Freed)
+				}
+			})
+		}
 	}
 }
 
