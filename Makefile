@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench-smoke bench-diff bench-baseline bench check
+.PHONY: all build vet fmt fmt-check doc-lint test race bench-smoke bench-diff bench-baseline bench check
 
 all: check
 
@@ -24,6 +24,11 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+## doc-lint: fail on undocumented exported symbols in the API surface
+## packages (godoc there is the contract users program against).
+doc-lint:
+	$(GO) run ./cmd/doclint ./internal/core ./internal/recordmgr
+
 ## test: full test suite
 test:
 	$(GO) test ./...
@@ -34,16 +39,19 @@ race:
 
 ## bench-smoke: tiny experiment run, JSON report to bench-smoke.json (CI artifact).
 ## Covers the hash map panels (experiment 4), the async-reclamation sweep
-## (experiment 6), the hot-path per-op microcost probes (experiment 7) and
-## the goroutine-churn sweep over the slot registry (experiment 8) in one
-## merged report. The thread sweep is pinned so the row set matches
-## BENCH_baseline.json on any machine (the async reclaimer-count and churn
-## sweeps are likewise fixed, not machine-derived); 75ms trials keep
-## per-cell noise inside the bench-diff gate's margin. Every smoke report is
-## also archived under bench-history/ with a UTC timestamp, so any two runs
-## can be compared later (benchdiff takes two positional artifact paths).
+## (experiment 6), the hot-path per-op microcost probes (experiment 7), the
+## goroutine-churn sweep over the slot registry (experiment 8) and the KV
+## service end-to-end run over loopback TCP (experiment 9: mixed read/write
+## load from 4 connections, p50/p99/p999 request latencies, hard-failing if
+## any reclaiming scheme exits with Retired != Freed) in one merged report.
+## The thread sweep is pinned so the row set matches BENCH_baseline.json on
+## any machine (the async reclaimer-count and churn sweeps are likewise
+## fixed, not machine-derived); 75ms trials keep per-cell noise inside the
+## bench-diff gate's margin. Every smoke report is also archived under
+## bench-history/ with a UTC timestamp, so any two runs can be compared
+## later (benchdiff takes two positional artifact paths).
 bench-smoke: build
-	$(GO) run ./cmd/reclaimbench -experiment hashmap,async,hotpath,churn -quick -threads 4 -duration 75ms -json > bench-smoke.json
+	$(GO) run ./cmd/reclaimbench -experiment hashmap,async,hotpath,churn,service -quick -threads 4 -duration 75ms -json > bench-smoke.json
 	@grep -q '"row_count"' bench-smoke.json
 	@mkdir -p bench-history
 	@cp bench-smoke.json "bench-history/$$(date -u +%Y%m%dT%H%M%SZ).json"
@@ -64,4 +72,4 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
 ## check: everything CI checks, in one shot
-check: build vet fmt-check test race
+check: build vet fmt-check doc-lint test race

@@ -82,6 +82,11 @@ func main() {
 	if cc := bench.RenderChurnCosts(baseline, current); cc != "" {
 		fmt.Print(cc)
 	}
+	// And the latency quantiles of the KV service rows (experiment 9) — the
+	// end-to-end tail a reclamation stall surfaces in.
+	if sl := bench.RenderServiceLatencies(baseline, current); sl != "" {
+		fmt.Print(sl)
+	}
 	if len(res.Regressions) > 0 {
 		fatal(fmt.Errorf("%d cells regressed more than %.0f%%", len(res.Regressions), *threshold*100))
 	}

@@ -1,0 +1,113 @@
+// Command kvload drives a kvserver with a configurable key-value workload
+// and reports throughput and request-latency quantiles (p50/p99/p999). It is
+// the measurement half of bench experiment 9 packaged as a standalone tool —
+// see docs/OPERATIONS.md for flag-by-flag guidance and how to read the tail.
+//
+// Two load disciplines:
+//
+//   - Closed loop (default): each connection issues its next request as soon
+//     as the previous response arrives; latency is response time.
+//   - Open loop (-open -rate R): requests are scheduled at a fixed aggregate
+//     rate and latency is measured from each request's *intended* send time,
+//     so a stalled server accrues the queueing delay it caused (no
+//     coordinated omission).
+//
+// Examples:
+//
+//	kvload -addr 127.0.0.1:7070 -conns 16 -duration 10s
+//	kvload -dist uniform -readpct 50 -delpct 25 -prefill 100000
+//	kvload -open -rate 50000 -duration 30s -json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/kvload"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7070", "server address (host:port)")
+		conns    = flag.Int("conns", 4, "concurrent connections")
+		duration = flag.Duration("duration", time.Second, "measured run length")
+		keys     = flag.Int64("keys", 1<<20, "key-space size; keys are drawn from [0, keys)")
+		dist     = flag.String("dist", kvload.DistZipf, "key distribution: zipf or uniform")
+		zipfS    = flag.Float64("zipf", 1.1, "zipfian skew exponent (> 1; larger = hotter hot set)")
+		readPct  = flag.Int("readpct", 80, "percentage of operations that are GETs")
+		delPct   = flag.Int("delpct", 0, "percentage that are DELs (0 = half the non-read share); PUTs take the rest")
+		valueLen = flag.Int("valuelen", 16, "PUT value size in bytes")
+		open     = flag.Bool("open", false, "open-loop discipline: fixed schedule, latency from intended send time")
+		rate     = flag.Float64("rate", 0, "open loop's total target requests/second across all connections")
+		seed     = flag.Int64("seed", 1, "workload random seed (connection c uses seed+c)")
+		prefill  = flag.Int64("prefill", 0, "PUT keys [0, prefill) before measuring, so GETs hit and DELs delete")
+		jsonOut  = flag.Bool("json", false, "emit the result as JSON instead of text")
+	)
+	flag.Parse()
+
+	res, err := kvload.Run(kvload.Config{
+		Addr:     *addr,
+		Conns:    *conns,
+		Duration: *duration,
+		Keys:     *keys,
+		Dist:     *dist,
+		ZipfS:    *zipfS,
+		ReadPct:  *readPct,
+		DelPct:   *delPct,
+		ValueLen: *valueLen,
+		OpenLoop: *open,
+		Rate:     *rate,
+		Seed:     *seed,
+		Prefill:  *prefill,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *jsonOut {
+		doc := struct {
+			Ops        int64   `json:"ops"`
+			Gets       int64   `json:"gets"`
+			Puts       int64   `json:"puts"`
+			Dels       int64   `json:"dels"`
+			Seconds    float64 `json:"elapsed_seconds"`
+			OpsPerSec  float64 `json:"ops_per_sec"`
+			P50Ns      int64   `json:"p50_ns"`
+			P99Ns      int64   `json:"p99_ns"`
+			P999Ns     int64   `json:"p999_ns"`
+			MaxNs      int64   `json:"max_ns"`
+			Discipline string  `json:"discipline"`
+		}{
+			Ops: res.Ops, Gets: res.Gets, Puts: res.Puts, Dels: res.Dels,
+			Seconds: res.Elapsed.Seconds(), OpsPerSec: res.Throughput(),
+			P50Ns: int64(res.P50()), P99Ns: int64(res.P99()), P999Ns: int64(res.P999()),
+			MaxNs: res.Hist.Max(), Discipline: discipline(*open),
+		}
+		out, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(out))
+		return
+	}
+
+	fmt.Printf("%d ops in %v (%.0f ops/s): %d gets, %d puts, %d dels\n",
+		res.Ops, res.Elapsed.Round(time.Millisecond), res.Throughput(), res.Gets, res.Puts, res.Dels)
+	fmt.Printf("latency (%s): p50 %v  p99 %v  p999 %v  max %v\n",
+		discipline(*open), res.P50(), res.P99(), res.P999(), time.Duration(res.Hist.Max()))
+}
+
+func discipline(open bool) string {
+	if open {
+		return "open loop, from intended send time"
+	}
+	return "closed loop, response time"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kvload:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+// Command kvserver runs the TCP key-value service of internal/kvservice: N
+// partitioned lock-free hash map namespaces, each on its own Record Manager,
+// behind the length-prefixed internal/kvwire protocol (GET/PUT/DEL/STATS —
+// see docs/PROTOCOL.md for the wire format and docs/OPERATIONS.md for every
+// flag and how to choose a scheme).
+//
+// Every connection goroutine follows the dynamic-slot churn contract: it
+// binds a worker slot in every partition for a -burst of requests and then
+// releases the slots back, so the server admits any number of connections
+// while -maxconns bounds how many the reclamation schemes ever see at once.
+//
+//	kvserver -addr :7070 -scheme debra -partitions 4 -maxconns 64
+//	kvserver -scheme hp -pool -shards 4 -reclaimers 1
+//
+// On SIGINT/SIGTERM the server drains connections, closes every partition's
+// Record Manager and prints a final stats snapshot (the same JSON document a
+// STATS request returns) to stderr, so a supervised run always ends with the
+// Retired/Freed accounting on record.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/kvservice"
+	"repro/internal/recordmgr"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:7070", "listen address (host:port)")
+		scheme      = flag.String("scheme", recordmgr.SchemeDEBRA, fmt.Sprintf("reclamation scheme: %v", recordmgr.Schemes()))
+		partitions  = flag.Int("partitions", 1, "independent map namespaces, each with its own Record Manager")
+		maxConns    = flag.Int("maxconns", 8, "worker-slot capacity per partition: connections holding a burst concurrently")
+		burst       = flag.Int("burst", 64, "requests a connection serves per slot hold before releasing")
+		pool        = flag.Bool("pool", false, "recycle reclaimed nodes through the record pool")
+		shards      = flag.Int("shards", 0, "sharded reclamation domains per partition (0/1 = one global domain)")
+		placement   = flag.String("placement", "", "tid->shard placement policy: block or stripe")
+		retireBatch = flag.Int("retirebatch", 0, "per-slot deferred-retire batch size (0 = direct retirement)")
+		reclaimers  = flag.Int("reclaimers", 0, "dedicated async reclaimer goroutines per partition (0 = reclamation on the connections)")
+		buckets     = flag.Int("buckets", 0, "initial bucket count per partition (0 = map default)")
+	)
+	flag.Parse()
+
+	pl, err := core.ParsePlacement(*placement)
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := kvservice.New(kvservice.Config{
+		Scheme:         *scheme,
+		Partitions:     *partitions,
+		MaxConns:       *maxConns,
+		Burst:          *burst,
+		UsePool:        *pool,
+		Shards:         *shards,
+		Placement:      pl,
+		RetireBatch:    *retireBatch,
+		Reclaimers:     *reclaimers,
+		InitialBuckets: *buckets,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	laddr, err := srv.Start(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "kvserver: serving %s on %s (%d partitions, %d slots each, burst %d)\n",
+		*scheme, laddr, *partitions, *maxConns, *burst)
+
+	// Block until asked to stop; Close drains the connection handlers and
+	// tears down every partition's Record Manager (reclaiming schemes exit
+	// with Retired == Freed — visible in the final snapshot below).
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	sig := <-sigc
+	fmt.Fprintf(os.Stderr, "kvserver: %s, shutting down\n", sig)
+
+	srv.Close()
+	// The post-Close snapshot is the authoritative one: every connection's
+	// tally has merged and the reclaimers have drained (Retired == Freed for
+	// every reclaiming scheme).
+	out, err := json.MarshalIndent(srv.Stats(), "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, string(out))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kvserver:", err)
+	os.Exit(1)
+}

@@ -16,6 +16,7 @@
 //	reclaimbench -experiment async             # async on/off x reclaimer-count sweep
 //	reclaimbench -experiment hotpath           # per-op microcosts (pin, alloc+retire)
 //	reclaimbench -experiment churn             # goroutine churn over the slot registry
+//	reclaimbench -experiment service           # KV service over loopback TCP (p50/p99/p999)
 //	reclaimbench -experiment hashmap -churn 256  # ... any experiment under slot churn
 //	reclaimbench -experiment hashmap -cpuprofile cpu.pprof  # profile the trials
 //	reclaimbench -experiment memory            # Figure 9 (right)
@@ -50,7 +51,7 @@ import (
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "2", "experiment(s) to run, comma-separated: 1, 2, 3, 4|hashmap, 5|shards, 6|async, 7|hotpath, memory, or summary")
+		experiment  = flag.String("experiment", "2", "experiment(s) to run, comma-separated: 1, 2, 3, 4|hashmap, 5|shards, 6|async, 7|hotpath, 8|churn, 9|service, memory, or summary")
 		duration    = flag.Duration("duration", 500*time.Millisecond, "duration of each trial")
 		maxThreads  = flag.Int("threads", 0, "maximum thread count of the sweep (0 = 2 x NumCPU)")
 		quick       = flag.Bool("quick", false, "shrink key ranges and the thread sweep for a fast smoke run")
@@ -131,7 +132,7 @@ func main() {
 	}
 
 	switch names[0] {
-	case "1", "2", "3", "4", "hashmap", "5", "shards", "6", "async", "7", "hotpath", "8", "churn":
+	case "1", "2", "3", "4", "hashmap", "5", "shards", "6", "async", "7", "hotpath", "8", "churn", "9", "service":
 		var results []bench.PanelResult
 		tabular := false
 		seen := map[int]bool{}
@@ -148,7 +149,9 @@ func main() {
 				exp = bench.ExperimentHotPath
 			case "churn":
 				exp = bench.ExperimentChurn
-			case "1", "2", "3", "4", "5", "6", "7", "8":
+			case "service":
+				exp = bench.ExperimentService
+			case "1", "2", "3", "4", "5", "6", "7", "8", "9":
 				exp = int(name[0] - '0')
 			default:
 				fatal(fmt.Errorf("unknown experiment %q in list", name))
@@ -162,7 +165,7 @@ func main() {
 			seen[exp] = true
 			if exp != bench.ExperimentHashMap && exp != bench.ExperimentSharding &&
 				exp != bench.ExperimentAsync && exp != bench.ExperimentHotPath &&
-				exp != bench.ExperimentChurn {
+				exp != bench.ExperimentChurn && exp != bench.ExperimentService {
 				tabular = true
 			}
 			res, err := bench.RunExperiment(exp, opts)
@@ -213,7 +216,7 @@ func main() {
 		}
 		fmt.Println(bench.RenderSummary(bench.Summarize(results)))
 	default:
-		fatal(fmt.Errorf("unknown experiment %q (want 1, 2, 3, 4, hashmap, 5, shards, 6, async, 7, hotpath, 8, churn, memory or summary)", *experiment))
+		fatal(fmt.Errorf("unknown experiment %q (want 1, 2, 3, 4, hashmap, 5, shards, 6, async, 7, hotpath, 8, churn, 9, service, memory or summary)", *experiment))
 	}
 }
 

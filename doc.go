@@ -104,7 +104,7 @@
 //     slot for reuse. The data structures expose the same pair
 //     (AcquireHandle/ReleaseHandle), so a server's request goroutines can
 //     come and go without any tid bookkeeping (examples/kvstore is the
-//     usage demo).
+//     usage demo; internal/kvservice is the production-shaped version).
 //
 // Release is only legal from a quiescent, flushed state — the slot-registry
 // sibling of the quiescent-retire contract: ReleaseHandle panics when the
@@ -178,13 +178,35 @@
 // round-trip probe per scheme — and cmd/benchdiff reports the ns/op columns
 // of those probes alongside the trend gate.
 //
-// The implementation lives under internal/ (see DESIGN.md for the map);
-// runnable entry points are the programs under cmd/ and examples/, and the
-// benchmarks in bench_test.go. CI (.github/workflows/ci.yml) and local
-// development share the Makefile targets: build, vet, gofmt check, the test
-// suite, the race-detector run (`make race`), a benchmark smoke run whose
-// JSON report is archived per commit (`make bench-smoke`), and a throughput
-// trend gate (`make bench-diff`) that compares the smoke report against the
-// committed BENCH_baseline.json with cmd/benchdiff, failing on >30%
+// # The KV service layer
+//
+// The stack's deployment story is concrete: internal/kvservice serves N
+// partitioned hash map namespaces (internal/ds/hashmap.Partitioned — keys
+// route to a partition by the high bits of the same hash whose low bits
+// index buckets, one Record Manager per partition) behind the
+// length-prefixed binary protocol of internal/kvwire (GET/PUT/DEL/STATS;
+// specified in docs/PROTOCOL.md). Every connection goroutine follows the
+// dynamic-binding contract above: it acquires a slot in each partition for
+// a bounded burst of requests and releases at the burst boundary, so
+// connections can vastly outnumber slots and an idle or slow client holds
+// no reclamation state at all. cmd/kvserver and cmd/kvload are the server
+// and load-generator binaries (docs/OPERATIONS.md covers every flag,
+// scheme selection and how to read the latency tail), and experiment 9 of
+// cmd/reclaimbench ("service") runs the pair in-process, publishing
+// p50/p99/p999 request latencies per scheme into the bench JSON and
+// hard-failing any trial whose reclaiming scheme exits with
+// Retired != Freed.
+//
+// The implementation lives under internal/ (see docs/ARCHITECTURE.md for
+// the layer map and the stack's two load-bearing contracts stated as
+// invariants); runnable entry points are the programs under cmd/ and
+// examples/ (indexed in examples/README.md), and the benchmarks in
+// bench_test.go. CI (.github/workflows/ci.yml) and local development share
+// the Makefile targets: build, vet, gofmt check, the doc lint over the API
+// surface packages (`make doc-lint`, cmd/doclint), the test suite, the
+// race-detector run (`make race`), a benchmark smoke run whose JSON report
+// is archived per commit (`make bench-smoke`), and a throughput trend gate
+// (`make bench-diff`) that compares the smoke report against the committed
+// BENCH_baseline.json with cmd/benchdiff, failing on >30%
 // median-normalised regressions.
 package repro

@@ -13,6 +13,10 @@
 // session ends — the per-request atomic counters of the old example are
 // gone, matching the single-writer counter discipline of the rest of the
 // stack.
+//
+// This is the in-process miniature of cmd/kvserver: the same burst contract
+// served over TCP, with partitioned namespaces and wire-level stats
+// (internal/kvservice; docs/OPERATIONS.md).
 package main
 
 import (

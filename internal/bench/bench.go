@@ -95,6 +95,14 @@ type Config struct {
 	// worker). The acquire+release latency is measured and reported as
 	// ChurnNs/ChurnCycles.
 	ChurnOps int
+	// Partitions, ServiceBurst and ServiceDist configure the service trials
+	// (DataStructure == DSService): the server's partition count, the
+	// requests-per-slot-hold burst, and the load generator's key
+	// distribution (kvload.DistZipf or DistUniform). Ignored by every other
+	// data structure; for service trials, Threads is the connection count.
+	Partitions   int
+	ServiceBurst int
+	ServiceDist  string
 }
 
 // Result is the outcome of one trial.
@@ -134,6 +142,12 @@ type Result struct {
 	// release+acquire cycles; ChurnNs/ChurnCycles is the per-cycle cost the
 	// churn experiment reports.
 	ChurnNs int64
+	// P50Ns, P99Ns and P999Ns are request-latency quantiles in nanoseconds
+	// (service trials only; 0 elsewhere). The tail quantiles are what
+	// reclamation stalls move and what throughput averages hide.
+	P50Ns  int64
+	P99Ns  int64
+	P999Ns int64
 	// Elapsed is the measured duration of the timed phase.
 	Elapsed time.Duration
 }
@@ -399,6 +413,12 @@ func RunTrial(cfg Config) (Result, error) {
 	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
+	}
+	if cfg.DataStructure == DSService {
+		// The service arm runs a real server and load generator; it shares
+		// RunTrial's validation and defaulting but none of the in-process
+		// worker machinery.
+		return runServiceTrial(cfg)
 	}
 	s, err := buildSet(cfg)
 	if err != nil {

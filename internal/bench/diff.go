@@ -278,6 +278,64 @@ func RenderChurnCosts(baseline, current JSONReport) string {
 	return sb.String()
 }
 
+// RenderServiceLatencies renders the latency-quantile columns of the KV
+// service rows (experiment 9) from both reports: cell identity, baseline and
+// current p50/p99/p999 in microseconds, and the p99 ratio. Latencies are
+// informational alongside the Mops/s gate — wall-clock quantiles over
+// loopback TCP are too machine-dependent for a hard threshold, but the trend
+// is exactly where a reclamation stall would surface. Rows missing from one
+// side print a dash; reports recorded before the service experiment existed
+// simply produce no table.
+func RenderServiceLatencies(baseline, current JSONReport) string {
+	type cell struct{ base, cur JSONRow }
+	cells := map[string]*cell{}
+	var keys []string
+	get := func(r JSONRow) *cell {
+		k := rowKey(r)
+		c, ok := cells[k]
+		if !ok {
+			c = &cell{}
+			cells[k] = c
+			keys = append(keys, k)
+		}
+		return c
+	}
+	for _, r := range baseline.Rows {
+		if r.DataStructure == DSService && r.P99Ns > 0 {
+			get(r).base = r
+		}
+	}
+	for _, r := range current.Rows {
+		if r.DataStructure == DSService && r.P99Ns > 0 {
+			get(r).cur = r
+		}
+	}
+	if len(cells) == 0 {
+		return ""
+	}
+	sort.Strings(keys)
+	us := func(ns int64) string {
+		if ns <= 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.0f", float64(ns)/1e3)
+	}
+	var sb strings.Builder
+	sb.WriteString("KV service latency quantiles, microseconds (experiment 9):\n")
+	fmt.Fprintf(&sb, "  %-88s %21s %21s %9s\n", "cell", "base p50/p99/p999", "cur p50/p99/p999", "p99 ratio")
+	for _, k := range keys {
+		c := cells[k]
+		base := fmt.Sprintf("%s/%s/%s", us(c.base.P50Ns), us(c.base.P99Ns), us(c.base.P999Ns))
+		cur := fmt.Sprintf("%s/%s/%s", us(c.cur.P50Ns), us(c.cur.P99Ns), us(c.cur.P999Ns))
+		ratio := "-"
+		if c.base.P99Ns > 0 && c.cur.P99Ns > 0 {
+			ratio = fmt.Sprintf("%.2f", float64(c.cur.P99Ns)/float64(c.base.P99Ns))
+		}
+		fmt.Fprintf(&sb, "  %-88s %21s %21s %9s\n", k, base, cur, ratio)
+	}
+	return sb.String()
+}
+
 // RenderDiff renders the comparison for humans (and the CI log).
 func RenderDiff(res DiffResult, opts DiffOptions) string {
 	var sb strings.Builder

@@ -44,6 +44,14 @@ type Panel struct {
 	// (release + acquire) every ChurnOps operations — goroutine churn over
 	// the dynamic slot registry (0 = static binding).
 	ChurnOps int
+	// Partitions, ServiceBurst and ServiceDist configure service panels
+	// (DataStructure == DSService); see the Config fields of the same names.
+	// They are deliberately NOT part of the trend gate's row identity —
+	// service panels encode them in the Title instead, keeping every
+	// pre-service baseline row's key stable.
+	Partitions   int
+	ServiceBurst int
+	ServiceDist  string
 }
 
 // PanelResult holds the measured cells of a panel.
@@ -190,6 +198,8 @@ func ExperimentPanels(experiment int, opts Options) ([]Panel, error) {
 		return HotPathPanels(opts), nil
 	case ExperimentChurn:
 		return ChurnPanels(opts), nil
+	case ExperimentService:
+		return ServicePanels(opts), nil
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %d", experiment)
 	}
@@ -453,6 +463,9 @@ func RunPanel(p Panel, opts Options) PanelResult {
 				RetireBatch:    p.RetireBatch,
 				Reclaimers:     p.Reclaimers,
 				ChurnOps:       p.ChurnOps,
+				Partitions:     p.Partitions,
+				ServiceBurst:   p.ServiceBurst,
+				ServiceDist:    p.ServiceDist,
 			}
 			res, err := runSafely(cfg)
 			if err != nil {

@@ -52,6 +52,13 @@ type JSONRow struct {
 	// trial ran with static binding).
 	ChurnCycles     int64   `json:"churn_cycles,omitempty"`
 	ChurnNsPerCycle float64 `json:"churn_ns_per_cycle,omitempty"`
+	// P50Ns/P99Ns/P999Ns are request-latency quantiles of the service rows
+	// (experiment 9), measured end-to-end over loopback TCP; 0 (omitted) for
+	// every in-process experiment. The tail columns are the numbers
+	// reclamation stalls move and Mops/s averages hide.
+	P50Ns  int64 `json:"p50_ns,omitempty"`
+	P99Ns  int64 `json:"p99_ns,omitempty"`
+	P999Ns int64 `json:"p999_ns,omitempty"`
 }
 
 // JSONReport is the top-level machine-readable result document.
@@ -114,6 +121,9 @@ func BuildJSONReport(results []PanelResult) JSONReport {
 					Scans:           r.Reclaimer.Scans,
 					ChurnCycles:     r.ChurnCycles,
 					ChurnNsPerCycle: churnNsPerCycle,
+					P50Ns:           r.P50Ns,
+					P99Ns:           r.P99Ns,
+					P999Ns:          r.P999Ns,
 				})
 			}
 		}

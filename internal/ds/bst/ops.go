@@ -431,7 +431,7 @@ func (t *Tree[V]) help(hd Handle[V], node *Record[V], cell *UpdateCell[V]) {
 	// Delivering a pending neutralization signal here (rather than inside
 	// the CAS-heavy help procedures) keeps the window between the signal
 	// and the thread's next shared-memory write as small as the simulation
-	// allows; see DESIGN.md.
+	// allows; see internal/neutralize.
 	hd.rm.Checkpoint()
 	// Re-validate that the cell is still installed. By the retire-on-replace
 	// rule an Info record is only retired after its cell has been replaced,

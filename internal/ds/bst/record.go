@@ -3,9 +3,10 @@
 // against the Record Manager abstraction so that any reclamation scheme can
 // be plugged in. It is the primary data structure of the paper's evaluation
 // (the paper uses Brown's balanced chromatic tree, which has the same
-// reclamation-relevant structure: searches traverse marked/retired nodes,
+// reclamation-relevant structure — searches traverse marked/retired nodes,
 // updates synchronise through flag/mark descriptors, and helping uses those
-// descriptors — see DESIGN.md for the substitution argument).
+// descriptors — which is why this tree substitutes for it in the
+// reproduction's evaluation).
 //
 // # Memory layout
 //

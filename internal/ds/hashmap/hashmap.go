@@ -258,6 +258,22 @@ func (h *Map[V]) Handle(tid int) *Handle[V] {
 // acquirers.
 func (h *Map[V]) AcquireHandle() *Handle[V] {
 	rm := h.mgr.AcquireHandle()
+	return h.bindHandle(rm)
+}
+
+// TryAcquireHandle is AcquireHandle that reports slot exhaustion instead of
+// panicking, for callers that can back off and retry (e.g. a server admitting
+// more connections than worker slots).
+func (h *Map[V]) TryAcquireHandle() (*Handle[V], bool) {
+	rm, ok := h.mgr.TryAcquireHandle()
+	if !ok {
+		return nil, false
+	}
+	return h.bindHandle(rm), true
+}
+
+// bindHandle rebuilds the slot's pre-resolved handle for a fresh acquirer.
+func (h *Map[V]) bindHandle(rm *core.ThreadHandle[Node[V]]) *Handle[V] {
 	tid := rm.Tid()
 	h.handles[tid] = Handle[V]{h: h, rm: rm, spare: &h.spares[tid], st: &h.stats[tid], tid: tid}
 	return &h.handles[tid]

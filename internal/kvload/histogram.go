@@ -1,0 +1,94 @@
+package kvload
+
+import "math/bits"
+
+// Histogram is a log-linear latency histogram: subBuckets linear buckets per
+// power of two, so relative error is bounded by 1/subBuckets (~3%) at every
+// magnitude from nanoseconds to hours, in a few kilobytes of memory. One
+// histogram per connection records without synchronisation; Merge folds them
+// together for the run-level quantiles.
+type Histogram struct {
+	counts [numBuckets]int64
+	total  int64
+}
+
+const (
+	subBits    = 5
+	subBuckets = 1 << subBits
+	numBuckets = (64 - subBits) << subBits
+)
+
+// bucketOf maps a non-negative value to its bucket index.
+func bucketOf(v int64) int {
+	u := uint64(v)
+	if u < subBuckets {
+		return int(u)
+	}
+	exp := bits.Len64(u) - subBits - 1
+	return exp<<subBits + int(u>>exp)
+}
+
+// bucketMid returns a representative (midpoint) value for bucket i.
+func bucketMid(i int) int64 {
+	if i < subBuckets {
+		return int64(i)
+	}
+	exp := i>>subBits - 1
+	lower := int64(subBuckets+i&(subBuckets-1)) << exp
+	return lower + (int64(1)<<exp)/2
+}
+
+// Record adds one observation (negative values clamp to zero).
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketOf(v)]++
+	h.total++
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Merge folds o's observations into h.
+func (h *Histogram) Merge(o *Histogram) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+}
+
+// Quantile returns the value at quantile q in [0, 1] (0 on an empty
+// histogram). The result is a bucket midpoint, so it carries the histogram's
+// ~3% relative resolution.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the target observation, 1-based.
+	rank := int64(q*float64(h.total-1)) + 1
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			return bucketMid(i)
+		}
+	}
+	return bucketMid(numBuckets - 1)
+}
+
+// Max returns the largest recorded bucket's midpoint (0 when empty).
+func (h *Histogram) Max() int64 {
+	for i := numBuckets - 1; i >= 0; i-- {
+		if h.counts[i] != 0 {
+			return bucketMid(i)
+		}
+	}
+	return 0
+}

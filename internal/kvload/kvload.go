@@ -1,0 +1,374 @@
+// Package kvload is the load generator behind cmd/kvload: it drives a
+// kvservice server (cmd/kvserver) over the kvwire protocol with a
+// configurable connection count, read/write mix and key distribution, and
+// reports throughput plus latency quantiles — the p99/p999 tail numbers that
+// throughput panels hide and that reclamation stalls actually move.
+//
+// Two loop disciplines are supported. The closed loop sends each request the
+// moment the previous response arrives: it measures the server's capacity,
+// but its latency numbers suffer coordinated omission (a server stall delays
+// the requests that would have observed it). The open loop schedules
+// requests at a fixed rate and measures each latency from the request's
+// *intended* send time, so a stall is charged to every request it delays —
+// the honest tail. See docs/OPERATIONS.md for guidance on reading the two.
+package kvload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/kvwire"
+)
+
+// Key distributions.
+const (
+	// DistZipf draws keys from a zipfian distribution (skew Config.ZipfS):
+	// a small hot set absorbs most operations, the realistic cache shape.
+	DistZipf = "zipf"
+	// DistUniform draws keys uniformly: maximal working set, minimal
+	// contention per key.
+	DistUniform = "uniform"
+)
+
+// Config describes a load run.
+type Config struct {
+	// Addr is the server's "host:port".
+	Addr string
+	// Conns is the number of concurrent connections (default 4).
+	Conns int
+	// Duration is the measured run length (default 1s).
+	Duration time.Duration
+	// Keys is the key-space size; keys are drawn from [0, Keys) (default
+	// 1<<20).
+	Keys int64
+	// Dist is the key distribution, DistZipf or DistUniform (default zipf).
+	Dist string
+	// ZipfS is the zipfian skew exponent, > 1 (default 1.1; larger = hotter
+	// hot set).
+	ZipfS float64
+	// ReadPct is the percentage of operations that are GETs (default 80).
+	ReadPct int
+	// DelPct is the percentage of operations that are DELs (default half the
+	// non-read share, rounded down). PUTs make up the remainder, so churn —
+	// every DEL retires a node, every PUT of an absent key allocates one —
+	// is ReadPct/DelPct-tunable.
+	DelPct int
+	// ValueLen is the PUT value size in bytes (default 16).
+	ValueLen int
+	// OpenLoop selects the open-loop discipline; Rate must be set.
+	OpenLoop bool
+	// Rate is the open loop's total target request rate per second across
+	// all connections.
+	Rate float64
+	// Seed seeds the per-connection RNGs (default 1; connection c uses
+	// Seed+c, so runs are reproducible).
+	Seed int64
+	// Prefill, when > 0, PUTs keys [0, Prefill) before the measured run so
+	// GETs hit and DELs delete (issued round-robin over the connections,
+	// not measured).
+	Prefill int64
+}
+
+// withDefaults returns cfg with unset fields defaulted.
+func (cfg Config) withDefaults() Config {
+	if cfg.Conns == 0 {
+		cfg.Conns = 4
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = time.Second
+	}
+	if cfg.Keys == 0 {
+		cfg.Keys = 1 << 20
+	}
+	if cfg.Dist == "" {
+		cfg.Dist = DistZipf
+	}
+	if cfg.ZipfS == 0 {
+		cfg.ZipfS = 1.1
+	}
+	if cfg.ReadPct == 0 && cfg.DelPct == 0 {
+		cfg.ReadPct = 80
+	}
+	if cfg.DelPct == 0 {
+		cfg.DelPct = (100 - cfg.ReadPct) / 2
+	}
+	if cfg.ValueLen == 0 {
+		cfg.ValueLen = 16
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return cfg
+}
+
+func (cfg Config) validate() error {
+	if cfg.Addr == "" {
+		return errors.New("kvload: Addr is required")
+	}
+	if cfg.Conns < 1 {
+		return fmt.Errorf("kvload: Conns must be >= 1, got %d", cfg.Conns)
+	}
+	if cfg.Keys < 1 {
+		return fmt.Errorf("kvload: Keys must be >= 1, got %d", cfg.Keys)
+	}
+	if cfg.Dist != DistZipf && cfg.Dist != DistUniform {
+		return fmt.Errorf("kvload: unknown distribution %q (want %q or %q)", cfg.Dist, DistZipf, DistUniform)
+	}
+	if cfg.Dist == DistZipf && cfg.ZipfS <= 1 {
+		return fmt.Errorf("kvload: ZipfS must be > 1, got %g", cfg.ZipfS)
+	}
+	if cfg.ReadPct < 0 || cfg.DelPct < 0 || cfg.ReadPct+cfg.DelPct > 100 {
+		return fmt.Errorf("kvload: ReadPct (%d) + DelPct (%d) must fit in [0, 100]", cfg.ReadPct, cfg.DelPct)
+	}
+	if cfg.ValueLen < 0 || cfg.ValueLen > kvwire.MaxValueLen {
+		return fmt.Errorf("kvload: ValueLen must be in [0, %d], got %d", kvwire.MaxValueLen, cfg.ValueLen)
+	}
+	if cfg.OpenLoop && cfg.Rate <= 0 {
+		return fmt.Errorf("kvload: open loop requires Rate > 0, got %g", cfg.Rate)
+	}
+	return nil
+}
+
+// Result is a completed run's measurements.
+type Result struct {
+	// Ops counts completed requests (Gets + Puts + Dels).
+	Ops, Gets, Puts, Dels int64
+	// Elapsed is the measured wall time.
+	Elapsed time.Duration
+	// Hist is the merged latency histogram. Closed-loop latencies are
+	// response times; open-loop latencies are measured from each request's
+	// intended send time.
+	Hist Histogram
+}
+
+// Throughput returns completed operations per second.
+func (r *Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// P50 returns the median latency.
+func (r *Result) P50() time.Duration { return time.Duration(r.Hist.Quantile(0.50)) }
+
+// P99 returns the 99th-percentile latency.
+func (r *Result) P99() time.Duration { return time.Duration(r.Hist.Quantile(0.99)) }
+
+// P999 returns the 99.9th-percentile latency.
+func (r *Result) P999() time.Duration { return time.Duration(r.Hist.Quantile(0.999)) }
+
+// keygen draws keys for one connection.
+type keygen struct {
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	keys int64
+}
+
+func newKeygen(cfg Config, seed int64) *keygen {
+	g := &keygen{rng: rand.New(rand.NewSource(seed)), keys: cfg.Keys}
+	if cfg.Dist == DistZipf {
+		g.zipf = rand.NewZipf(g.rng, cfg.ZipfS, 1, uint64(cfg.Keys-1))
+	}
+	return g
+}
+
+func (g *keygen) next() int64 {
+	if g.zipf != nil {
+		return int64(g.zipf.Uint64())
+	}
+	return g.rng.Int63n(g.keys)
+}
+
+// connState is one connection's workload state and tallies.
+type connState struct {
+	conn  net.Conn
+	gen   *keygen
+	value []byte
+	req   []byte
+	buf   []byte
+	hist  Histogram
+
+	gets, puts, dels int64
+}
+
+// step issues one operation and records its latency relative to intended
+// (the zero time means "now": closed-loop response time).
+func (c *connState) step(cfg Config, intended time.Time) error {
+	k := c.gen.next()
+	var kind int64
+	switch p := c.gen.rng.Intn(100); {
+	case p < cfg.ReadPct:
+		c.req = kvwire.AppendGet(c.req[:0], k)
+		kind = 0
+	case p < cfg.ReadPct+cfg.DelPct:
+		c.req = kvwire.AppendDel(c.req[:0], k)
+		kind = 2
+	default:
+		c.req = kvwire.AppendPut(c.req[:0], k, c.value)
+		kind = 1
+	}
+	start := time.Now()
+	if intended.IsZero() {
+		intended = start
+	}
+	if _, err := c.conn.Write(c.req); err != nil {
+		return err
+	}
+	payload, err := kvwire.ReadFrame(c.conn, c.buf)
+	if err != nil {
+		return err
+	}
+	c.buf = payload
+	resp, err := kvwire.DecodeResponse(payload)
+	if err != nil {
+		return err
+	}
+	if resp.Status == kvwire.StatusErr {
+		return fmt.Errorf("kvload: server error: %s", resp.Body)
+	}
+	c.hist.Record(int64(time.Since(intended)))
+	switch kind {
+	case 0:
+		c.gets++
+	case 1:
+		c.puts++
+	default:
+		c.dels++
+	}
+	return nil
+}
+
+// Run executes the configured load against the server and returns the merged
+// measurements. Any connection error aborts the run.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	states := make([]*connState, cfg.Conns)
+	for i := range states {
+		conn, err := net.Dial("tcp", cfg.Addr)
+		if err != nil {
+			for _, s := range states[:i] {
+				s.conn.Close()
+			}
+			return nil, fmt.Errorf("kvload: %w", err)
+		}
+		st := &connState{conn: conn, gen: newKeygen(cfg, cfg.Seed+int64(i)), value: make([]byte, cfg.ValueLen)}
+		for b := range st.value {
+			st.value[b] = byte('a' + b%26)
+		}
+		states[i] = st
+	}
+	defer func() {
+		for _, s := range states {
+			s.conn.Close()
+		}
+	}()
+	if cfg.Prefill > 0 {
+		if err := prefill(cfg, states); err != nil {
+			return nil, err
+		}
+	}
+
+	errs := make([]error, cfg.Conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	for i, st := range states {
+		wg.Add(1)
+		go func(i int, st *connState) {
+			defer wg.Done()
+			if cfg.OpenLoop {
+				errs[i] = runOpen(cfg, st, start, deadline)
+			} else {
+				errs[i] = runClosed(cfg, st, deadline)
+			}
+		}(i, st)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	res := &Result{Elapsed: elapsed}
+	for i, st := range states {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("kvload: connection %d: %w", i, errs[i])
+		}
+		res.Gets += st.gets
+		res.Puts += st.puts
+		res.Dels += st.dels
+		res.Hist.Merge(&st.hist)
+	}
+	res.Ops = res.Gets + res.Puts + res.Dels
+	return res, nil
+}
+
+// runClosed issues back-to-back requests until the deadline.
+func runClosed(cfg Config, st *connState, deadline time.Time) error {
+	for time.Now().Before(deadline) {
+		if err := st.step(cfg, time.Time{}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runOpen issues requests on a fixed schedule, measuring from each request's
+// intended send time so server stalls are charged to every request they
+// delay (no coordinated omission).
+func runOpen(cfg Config, st *connState, start, deadline time.Time) error {
+	interval := time.Duration(float64(time.Second) * float64(cfg.Conns) / cfg.Rate)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	for intended := start; intended.Before(deadline); intended = intended.Add(interval) {
+		if wait := time.Until(intended); wait > 0 {
+			time.Sleep(wait)
+		}
+		// When behind schedule we send immediately but still measure from
+		// intended — the queueing delay is part of the latency.
+		if err := st.step(cfg, intended); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// prefill PUTs keys [0, cfg.Prefill) striped over the connections.
+func prefill(cfg Config, states []*connState) error {
+	errs := make([]error, len(states))
+	var wg sync.WaitGroup
+	for i, st := range states {
+		wg.Add(1)
+		go func(i int, st *connState) {
+			defer wg.Done()
+			var req, buf []byte
+			for k := int64(i); k < cfg.Prefill; k += int64(len(states)) {
+				req = kvwire.AppendPut(req[:0], k, st.value)
+				if _, err := st.conn.Write(req); err != nil {
+					errs[i] = err
+					return
+				}
+				payload, err := kvwire.ReadFrame(st.conn, buf)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				buf = payload
+				if resp, err := kvwire.DecodeResponse(payload); err != nil {
+					errs[i] = err
+					return
+				} else if resp.Status != kvwire.StatusOK {
+					errs[i] = fmt.Errorf("prefill PUT: status %v", resp.Status)
+					return
+				}
+			}
+		}(i, st)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}

@@ -1,0 +1,166 @@
+package kvload
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/kvservice"
+	"repro/internal/recordmgr"
+)
+
+func TestHistogramExact(t *testing.T) {
+	var h Histogram
+	// Values below subBuckets land in exact unit buckets.
+	for v := int64(0); v < subBuckets; v++ {
+		h.Record(v)
+	}
+	if h.Count() != subBuckets {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Fatalf("Quantile(0) = %d", got)
+	}
+	if got := h.Quantile(1); got != subBuckets-1 {
+		t.Fatalf("Quantile(1) = %d, want %d", got, subBuckets-1)
+	}
+	if got := h.Quantile(0.5); got < subBuckets/2-2 || got > subBuckets/2+2 {
+		t.Fatalf("Quantile(0.5) = %d", got)
+	}
+}
+
+func TestHistogramResolution(t *testing.T) {
+	var h Histogram
+	// Every recorded value must come back within the log-linear resolution
+	// (half a bucket width, ~1/subBuckets relative).
+	for _, v := range []int64{1, 100, 1_000, 50_000, 1_000_000, 123_456_789, 5_000_000_000} {
+		h = Histogram{}
+		h.Record(v)
+		got := h.Quantile(0.5)
+		lo, hi := v-v/subBuckets-1, v+v/subBuckets+1
+		if got < lo || got > hi {
+			t.Fatalf("Record(%d): Quantile = %d, outside [%d, %d]", v, got, lo, hi)
+		}
+	}
+}
+
+func TestHistogramMergeAndMax(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 100; i++ {
+		a.Record(10)
+		b.Record(1000)
+	}
+	a.Merge(&b)
+	if a.Count() != 200 {
+		t.Fatalf("merged Count = %d", a.Count())
+	}
+	if got := a.Quantile(0.25); got != 10 {
+		t.Fatalf("Quantile(0.25) = %d, want 10", got)
+	}
+	q75 := a.Quantile(0.75)
+	if q75 < 970 || q75 > 1030 {
+		t.Fatalf("Quantile(0.75) = %d, want ~1000", q75)
+	}
+	if mx := a.Max(); mx < 970 || mx > 1030 {
+		t.Fatalf("Max = %d, want ~1000", mx)
+	}
+	var empty Histogram
+	if empty.Quantile(0.99) != 0 || empty.Max() != 0 {
+		t.Fatal("empty histogram should report 0")
+	}
+	var neg Histogram
+	neg.Record(-5)
+	if neg.Quantile(1) != 0 {
+		t.Fatal("negative observations should clamp to 0")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},                                   // no Addr
+		{Addr: "x", Dist: "bogus"},           // unknown distribution
+		{Addr: "x", ZipfS: 0.5},              // zipf skew <= 1
+		{Addr: "x", ReadPct: 90, DelPct: 20}, // mix over 100%
+		{Addr: "x", OpenLoop: true},          // open loop without Rate
+		{Addr: "x", ValueLen: -1},            // negative value length
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Fatalf("case %d: Run accepted invalid config %+v", i, cfg)
+		}
+	}
+}
+
+// startServer brings up an in-process kvservice instance for load tests.
+func startServer(t *testing.T, scheme string) (addr string, srv *kvservice.Server) {
+	t.Helper()
+	srv, err := kvservice.New(kvservice.Config{Scheme: scheme, Partitions: 2, MaxConns: 8, Burst: 32, UsePool: true})
+	if err != nil {
+		t.Fatalf("kvservice.New: %v", err)
+	}
+	a, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	return a.String(), srv
+}
+
+func TestClosedLoopAgainstServer(t *testing.T) {
+	addr, srv := startServer(t, recordmgr.SchemeDEBRA)
+	defer srv.Close()
+	res, err := Run(Config{
+		Addr:     addr,
+		Conns:    4,
+		Duration: 100 * time.Millisecond,
+		Keys:     1 << 10,
+		Dist:     DistZipf,
+		ReadPct:  60,
+		DelPct:   20,
+		Prefill:  512,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Ops == 0 || res.Ops != res.Gets+res.Puts+res.Dels {
+		t.Fatalf("op accounting: %+v", res)
+	}
+	if res.Hist.Count() != res.Ops {
+		t.Fatalf("histogram holds %d observations for %d ops", res.Hist.Count(), res.Ops)
+	}
+	if res.Throughput() <= 0 {
+		t.Fatalf("Throughput = %g", res.Throughput())
+	}
+	if res.P50() <= 0 || res.P99() < res.P50() || res.P999() < res.P99() {
+		t.Fatalf("quantiles not monotone: p50=%v p99=%v p999=%v", res.P50(), res.P99(), res.P999())
+	}
+	// Prefilled zipfian reads against a hot set should mostly hit.
+	snap := srv.Stats()
+	if snap.Gets > 0 && snap.GetHits == 0 {
+		t.Fatal("no GET hit despite prefill")
+	}
+}
+
+func TestOpenLoopAgainstServer(t *testing.T) {
+	addr, srv := startServer(t, recordmgr.SchemeEBR)
+	defer srv.Close()
+	res, err := Run(Config{
+		Addr:     addr,
+		Conns:    2,
+		Duration: 200 * time.Millisecond,
+		Keys:     1 << 10,
+		Dist:     DistUniform,
+		OpenLoop: true,
+		Rate:     2000, // 400 requests in 200ms: far below capacity
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("open loop issued no requests")
+	}
+	// The schedule bounds the op count: rate * duration, with slack for
+	// scheduling coarseness.
+	want := 2000 * 0.2
+	if float64(res.Ops) > want*1.5 {
+		t.Fatalf("open loop issued %d ops, schedule allows ~%g", res.Ops, want)
+	}
+}

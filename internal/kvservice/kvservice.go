@@ -1,0 +1,444 @@
+// Package kvservice implements the TCP key-value server behind cmd/kvserver:
+// a network front-end over N partitioned internal/ds/hashmap namespaces, each
+// partition with its own Record Manager, speaking the internal/kvwire
+// protocol (GET/PUT/DEL/STATS; docs/PROTOCOL.md).
+//
+// The server is the library's deployment story made concrete (the paper
+// pitches epoch-based reclamation exactly at long-running services, where
+// reclamation stalls surface as tail latency). Every connection goroutine
+// lives the PR 5 churn contract: it binds a worker slot in every partition
+// for a bounded burst of requests (Config.Burst) and releases the slots back
+// at the burst boundary, so a server can admit far more connections over its
+// lifetime than it has worker slots — an idle or slow connection holds
+// nothing and cannot stall reclamation for the others. See
+// docs/ARCHITECTURE.md for where this sits in the Record Manager stack and
+// docs/OPERATIONS.md for operating guidance.
+package kvservice
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ds/hashmap"
+	"repro/internal/kvwire"
+	"repro/internal/recordmgr"
+)
+
+// Config describes the server to build. The zero value is not usable; see
+// the field defaults applied by New.
+type Config struct {
+	// Scheme is the reclamation scheme every partition uses (recordmgr
+	// scheme names; defaults to "debra").
+	Scheme string
+	// Partitions is the number of independent map namespaces, each with its
+	// own Record Manager (defaults to 1). Keys route by hash.
+	Partitions int
+	// MaxConns is each partition's worker-slot capacity: the number of
+	// connections that can hold a burst concurrently. Admitted connections
+	// beyond it wait for a vacant slot at their next burst, so it bounds
+	// reclamation's visible thread count, not the accept rate. Defaults to 8.
+	MaxConns int
+	// Burst is how many requests a connection serves per slot hold before
+	// releasing its handles back to the registries (defaults to 64).
+	Burst int
+	// UsePool recycles reclaimed nodes through the record pool (default
+	// false; set it for steady-state serving).
+	UsePool bool
+	// Shards, Placement, RetireBatch and Reclaimers configure each
+	// partition's Record Manager exactly as in recordmgr.Config.
+	Shards      int
+	Placement   core.ShardPlacement
+	RetireBatch int
+	Reclaimers  int
+	// InitialBuckets sizes each partition's bucket table (0 = map default).
+	InitialBuckets int
+}
+
+// withDefaults returns cfg with unset fields defaulted.
+func (cfg Config) withDefaults() Config {
+	if cfg.Scheme == "" {
+		cfg.Scheme = recordmgr.SchemeDEBRA
+	}
+	if cfg.Partitions == 0 {
+		cfg.Partitions = 1
+	}
+	if cfg.MaxConns == 0 {
+		cfg.MaxConns = 8
+	}
+	if cfg.Burst == 0 {
+		cfg.Burst = 64
+	}
+	return cfg
+}
+
+// tally is one connection's operation counters, merged into the server's
+// totals at burst boundaries and connection end (the single-writer counter
+// discipline: no shared atomics on the request path).
+type tally struct {
+	gets, getHits     int64
+	puts, putReplaced int64
+	dels, delHits     int64
+	statsReqs         int64
+}
+
+func (t *tally) add(o tally) {
+	t.gets += o.gets
+	t.getHits += o.getHits
+	t.puts += o.puts
+	t.putReplaced += o.putReplaced
+	t.dels += o.dels
+	t.delHits += o.delHits
+	t.statsReqs += o.statsReqs
+}
+
+// Server is a running KV service. Construct with New, start with Serve or
+// Start, stop with Close.
+type Server struct {
+	cfg Config
+	pm  *hashmap.Partitioned[[]byte]
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	totals tally
+	closed bool
+
+	handlers sync.WaitGroup
+	acceptWG sync.WaitGroup
+}
+
+// New builds a server: Partitions independent maps, each on its own Record
+// Manager configured per cfg.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Partitions < 1 {
+		return nil, fmt.Errorf("kvservice: Partitions must be >= 1, got %d", cfg.Partitions)
+	}
+	if cfg.MaxConns < 1 {
+		return nil, fmt.Errorf("kvservice: MaxConns must be >= 1, got %d", cfg.MaxConns)
+	}
+	if cfg.Burst < 1 {
+		return nil, fmt.Errorf("kvservice: Burst must be >= 1, got %d", cfg.Burst)
+	}
+	// Build partition 0's manager first so configuration errors surface as
+	// errors rather than panics out of the builder callback.
+	mcfg := recordmgr.Config{
+		Scheme:      cfg.Scheme,
+		Threads:     1,
+		MaxThreads:  cfg.MaxConns,
+		Allocator:   recordmgr.AllocBump,
+		UsePool:     cfg.UsePool,
+		Shards:      cfg.Shards,
+		Placement:   cfg.Placement,
+		RetireBatch: cfg.RetireBatch,
+		Reclaimers:  cfg.Reclaimers,
+	}
+	if _, err := recordmgr.Build[hashmap.Node[[]byte]](mcfg); err != nil {
+		return nil, fmt.Errorf("kvservice: %w", err)
+	}
+	var opts []hashmap.Option
+	if cfg.InitialBuckets > 0 {
+		opts = append(opts, hashmap.WithInitialBuckets(cfg.InitialBuckets))
+	}
+	pm := hashmap.NewPartitioned(cfg.Partitions, func(int) *hashmap.Manager[[]byte] {
+		return recordmgr.MustBuild[hashmap.Node[[]byte]](mcfg)
+	}, cfg.MaxConns, opts...)
+	return &Server{cfg: cfg, pm: pm, conns: make(map[net.Conn]struct{})}, nil
+}
+
+// Config returns the server's effective configuration (defaults applied).
+func (s *Server) Config() Config { return s.cfg }
+
+// Start listens on addr ("host:port"; ":0" picks a free port) and serves
+// connections on background goroutines until Close. It returns the bound
+// address.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("kvservice: %w", err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil, errors.New("kvservice: server is closed")
+	}
+	if s.ln != nil {
+		s.mu.Unlock()
+		ln.Close()
+		return nil, errors.New("kvservice: server already started")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.acceptWG.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+// acceptLoop admits connections until the listener is closed.
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.acceptWG.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // Close closed the listener
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.handlers.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// Close stops accepting, closes every open connection, waits for the
+// handlers to unwind (releasing their slots), and shuts every partition's
+// reclamation pipeline down. After Close, Stats().Manager satisfies
+// Retired == Freed for every reclaiming scheme — the repo-wide shutdown
+// invariant, now holding for a network service. Close is idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.acceptWG.Wait()
+		s.handlers.Wait()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.acceptWG.Wait()
+	s.handlers.Wait()
+	s.pm.Close()
+}
+
+// serveConn runs one connection: decode a frame, serve it under the bound
+// burst handles, answer, and release the handles every Burst requests.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.handlers.Done()
+	h := s.pm.NewHandle()
+	var (
+		local  tally
+		buf    []byte // frame read buffer, reused
+		out    []byte // response write buffer, reused
+		served int    // requests under the current hold
+	)
+	defer func() {
+		if h.Bound() {
+			h.Release()
+		}
+		s.mu.Lock()
+		s.totals.add(local)
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	for {
+		payload, err := kvwire.ReadFrame(conn, buf)
+		if err != nil {
+			// Clean EOF, peer reset, or a frame-level protocol violation:
+			// either way the conversation is over. For protocol violations we
+			// owe the peer a diagnostic before dropping them.
+			if errors.Is(err, kvwire.ErrFrameTooLarge) || errors.Is(err, kvwire.ErrEmptyFrame) {
+				conn.Write(kvwire.AppendResponse(nil, kvwire.StatusErr, []byte(err.Error())))
+			}
+			return
+		}
+		buf = payload
+		req, err := kvwire.DecodeRequest(payload)
+		if err != nil {
+			conn.Write(kvwire.AppendResponse(nil, kvwire.StatusErr, []byte(err.Error())))
+			return
+		}
+		if !h.Bound() {
+			if !s.acquire(h) {
+				return // server closing
+			}
+		}
+		out = s.serveRequest(out[:0], h, req, &local)
+		if _, err := conn.Write(out); err != nil {
+			return
+		}
+		if served++; served >= s.cfg.Burst {
+			// Burst boundary: give the slots back and surface this
+			// connection's counters (the only synchronised stats touch).
+			h.Release()
+			served = 0
+			s.mu.Lock()
+			s.totals.add(local)
+			s.mu.Unlock()
+			local = tally{}
+		}
+	}
+}
+
+// acquire binds h with backoff, waiting out transient slot exhaustion
+// (connections beyond MaxConns queue here between bursts). Returns false
+// when the server is closing.
+func (s *Server) acquire(h *hashmap.PartitionedHandle[[]byte]) bool {
+	for wait := time.Microsecond; ; {
+		if h.TryAcquire() {
+			return true
+		}
+		s.mu.Lock()
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			return false
+		}
+		time.Sleep(wait)
+		if wait < time.Millisecond {
+			wait *= 2
+		}
+	}
+}
+
+// serveRequest appends req's response frame to out. Mutating requests copy
+// their value bytes out of the read buffer before the map sees them (the
+// buffer is reused for the next frame; stored values must own their memory).
+func (s *Server) serveRequest(out []byte, h *hashmap.PartitionedHandle[[]byte], req kvwire.Request, local *tally) []byte {
+	switch req.Op {
+	case kvwire.OpGet:
+		local.gets++
+		if v, ok := h.Get(req.Key); ok {
+			local.getHits++
+			return kvwire.AppendResponse(out, kvwire.StatusOK, v)
+		}
+		return kvwire.AppendResponse(out, kvwire.StatusNotFound, nil)
+	case kvwire.OpPut:
+		local.puts++
+		v := append(make([]byte, 0, len(req.Value)), req.Value...)
+		_, replaced := h.Upsert(req.Key, v)
+		flag := byte(0)
+		if replaced {
+			local.putReplaced++
+			flag = 1
+		}
+		return kvwire.AppendResponse(out, kvwire.StatusOK, []byte{flag})
+	case kvwire.OpDel:
+		local.dels++
+		flag := byte(0)
+		if h.Delete(req.Key) {
+			local.delHits++
+			flag = 1
+		}
+		return kvwire.AppendResponse(out, kvwire.StatusOK, []byte{flag})
+	case kvwire.OpStats:
+		local.statsReqs++
+		body, err := json.Marshal(s.snapshotLocked(local))
+		if err != nil {
+			return kvwire.AppendResponse(out, kvwire.StatusErr, []byte(err.Error()))
+		}
+		return kvwire.AppendResponse(out, kvwire.StatusOK, body)
+	default:
+		return kvwire.AppendResponse(out, kvwire.StatusErr, []byte(kvwire.ErrUnknownOp.Error()))
+	}
+}
+
+// Snapshot is the server's statistics document: the STATS response body and
+// the shape Stats returns. Counters are exact for quiesced traffic and
+// at-least-as-of-last-burst for connections mid-burst (their local tallies
+// merge at burst boundaries).
+type Snapshot struct {
+	Scheme     string `json:"scheme"`
+	Partitions int    `json:"partitions"`
+	OpenConns  int    `json:"open_conns"`
+	// SlotCapacity is each partition's worker-slot capacity (MaxConns);
+	// SlotsLive is the currently bound slot count summed over partitions.
+	SlotCapacity int `json:"slot_capacity"`
+	SlotsLive    int `json:"slots_live"`
+	// Keys is the summed element count over partitions.
+	Keys int `json:"keys"`
+
+	Gets        int64 `json:"gets"`
+	GetHits     int64 `json:"get_hits"`
+	Puts        int64 `json:"puts"`
+	PutReplaced int64 `json:"put_replaced"`
+	Dels        int64 `json:"dels"`
+	DelHits     int64 `json:"del_hits"`
+	StatsReqs   int64 `json:"stats_reqs"`
+
+	Manager ManagerSnapshot `json:"manager"`
+}
+
+// ManagerSnapshot is the reclamation half of a Snapshot, summed over the
+// partitions' Record Managers.
+type ManagerSnapshot struct {
+	Retired         int64 `json:"retired"`
+	Freed           int64 `json:"freed"`
+	Limbo           int64 `json:"limbo"`
+	Unreclaimed     int64 `json:"unreclaimed"`
+	EpochAdvances   int64 `json:"epoch_advances"`
+	Scans           int64 `json:"scans"`
+	Neutralizations int64 `json:"neutralizations"`
+	Allocated       int64 `json:"allocated"`
+	AllocatedBytes  int64 `json:"allocated_bytes"`
+	PoolReused      int64 `json:"pool_reused"`
+}
+
+// Stats returns the server's statistics document (same content as a STATS
+// response). Safe to call while serving and after Close.
+func (s *Server) Stats() Snapshot {
+	return s.snapshotLocked(nil)
+}
+
+// snapshotLocked builds a Snapshot, folding in the calling connection's
+// unmerged tally when inline is non-nil (so a connection's own STATS request
+// sees its own preceding operations).
+func (s *Server) snapshotLocked(inline *tally) Snapshot {
+	s.mu.Lock()
+	t := s.totals
+	open := len(s.conns)
+	s.mu.Unlock()
+	if inline != nil {
+		t.add(*inline)
+	}
+	live := 0
+	for p := 0; p < s.pm.Partitions(); p++ {
+		live += s.pm.Partition(p).Manager().SlotRegistry().Live()
+	}
+	ms := s.pm.ManagerStats()
+	return Snapshot{
+		Scheme:       s.cfg.Scheme,
+		Partitions:   s.cfg.Partitions,
+		OpenConns:    open,
+		SlotCapacity: s.cfg.MaxConns,
+		SlotsLive:    live,
+		Keys:         s.pm.Count(),
+		Gets:         t.gets,
+		GetHits:      t.getHits,
+		Puts:         t.puts,
+		PutReplaced:  t.putReplaced,
+		Dels:         t.dels,
+		DelHits:      t.delHits,
+		StatsReqs:    t.statsReqs,
+		Manager: ManagerSnapshot{
+			Retired:         ms.Reclaimer.Retired,
+			Freed:           ms.Reclaimer.Freed,
+			Limbo:           ms.Reclaimer.Limbo,
+			Unreclaimed:     ms.Unreclaimed,
+			EpochAdvances:   ms.Reclaimer.EpochAdvances,
+			Scans:           ms.Reclaimer.Scans,
+			Neutralizations: ms.Reclaimer.Neutralizations,
+			Allocated:       ms.Alloc.Allocated,
+			AllocatedBytes:  ms.Alloc.AllocatedBytes,
+			PoolReused:      ms.Pool.Reused,
+		},
+	}
+}

@@ -1,0 +1,255 @@
+package kvservice_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+
+	"repro/internal/kvservice"
+	"repro/internal/kvwire"
+	"repro/internal/recordmgr"
+)
+
+// client is a minimal synchronous kvwire client for driving the server in
+// tests.
+type client struct {
+	t    *testing.T
+	conn net.Conn
+	buf  []byte
+}
+
+func dial(t *testing.T, addr net.Addr) *client {
+	t.Helper()
+	conn, err := net.Dial(addr.Network(), addr.String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &client{t: t, conn: conn}
+}
+
+func (c *client) roundTrip(frame []byte) kvwire.Response {
+	c.t.Helper()
+	if _, err := c.conn.Write(frame); err != nil {
+		c.t.Fatalf("write: %v", err)
+	}
+	payload, err := kvwire.ReadFrame(c.conn, c.buf)
+	if err != nil {
+		c.t.Fatalf("read response: %v", err)
+	}
+	c.buf = payload
+	resp, err := kvwire.DecodeResponse(payload)
+	if err != nil {
+		c.t.Fatalf("decode response: %v", err)
+	}
+	return resp
+}
+
+func (c *client) get(key int64) kvwire.Response { return c.roundTrip(kvwire.AppendGet(nil, key)) }
+func (c *client) del(key int64) kvwire.Response { return c.roundTrip(kvwire.AppendDel(nil, key)) }
+func (c *client) stats() kvwire.Response        { return c.roundTrip(kvwire.AppendStats(nil)) }
+func (c *client) put(key int64, v string) kvwire.Response {
+	return c.roundTrip(kvwire.AppendPut(nil, key, []byte(v)))
+}
+
+func startServer(t *testing.T, cfg kvservice.Config) (*kvservice.Server, net.Addr) {
+	t.Helper()
+	srv, err := kvservice.New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	return srv, addr
+}
+
+func TestServerBasicOps(t *testing.T) {
+	srv, addr := startServer(t, kvservice.Config{Scheme: recordmgr.SchemeDEBRA, Partitions: 2, MaxConns: 2, Burst: 4, UsePool: true})
+	defer srv.Close()
+	c := dial(t, addr)
+
+	if resp := c.get(1); resp.Status != kvwire.StatusNotFound {
+		t.Fatalf("GET on empty store: %v", resp.Status)
+	}
+	if resp := c.put(1, "one"); resp.Status != kvwire.StatusOK || !bytes.Equal(resp.Body, []byte{0}) {
+		t.Fatalf("first PUT: status=%v body=%v", resp.Status, resp.Body)
+	}
+	if resp := c.put(1, "uno"); resp.Status != kvwire.StatusOK || !bytes.Equal(resp.Body, []byte{1}) {
+		t.Fatalf("replacing PUT: status=%v body=%v", resp.Status, resp.Body)
+	}
+	if resp := c.get(1); resp.Status != kvwire.StatusOK || string(resp.Body) != "uno" {
+		t.Fatalf("GET after PUT: status=%v body=%q", resp.Status, resp.Body)
+	}
+	if resp := c.del(1); resp.Status != kvwire.StatusOK || !bytes.Equal(resp.Body, []byte{1}) {
+		t.Fatalf("DEL of present key: status=%v body=%v", resp.Status, resp.Body)
+	}
+	if resp := c.del(1); resp.Status != kvwire.StatusOK || !bytes.Equal(resp.Body, []byte{0}) {
+		t.Fatalf("DEL of absent key: status=%v body=%v", resp.Status, resp.Body)
+	}
+	if resp := c.get(1); resp.Status != kvwire.StatusNotFound {
+		t.Fatalf("GET after DEL: %v", resp.Status)
+	}
+
+	resp := c.stats()
+	if resp.Status != kvwire.StatusOK {
+		t.Fatalf("STATS: %v", resp.Status)
+	}
+	var snap kvservice.Snapshot
+	if err := json.Unmarshal(resp.Body, &snap); err != nil {
+		t.Fatalf("STATS body is not valid JSON: %v\n%s", err, resp.Body)
+	}
+	// The connection's own preceding operations must be visible in its STATS
+	// response even mid-burst.
+	if snap.Gets != 3 || snap.GetHits != 1 || snap.Puts != 2 || snap.PutReplaced != 1 || snap.Dels != 2 || snap.DelHits != 1 {
+		t.Fatalf("STATS counters: %+v", snap)
+	}
+	if snap.Scheme != recordmgr.SchemeDEBRA || snap.Partitions != 2 {
+		t.Fatalf("STATS identity: %+v", snap)
+	}
+}
+
+func TestServerRejectsMalformedAndCloses(t *testing.T) {
+	srv, addr := startServer(t, kvservice.Config{Scheme: recordmgr.SchemeEBR})
+	defer srv.Close()
+	c := dial(t, addr)
+	// An unknown opcode inside a well-formed frame gets a diagnostic, then
+	// the server drops the connection.
+	bad := []byte{0, 0, 0, 1, 0xee}
+	if _, err := c.conn.Write(bad); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	payload, err := kvwire.ReadFrame(c.conn, nil)
+	if err != nil {
+		t.Fatalf("reading error response: %v", err)
+	}
+	resp, err := kvwire.DecodeResponse(payload)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if resp.Status != kvwire.StatusErr {
+		t.Fatalf("malformed request: got status %v, want StatusErr", resp.Status)
+	}
+	if _, err := kvwire.ReadFrame(c.conn, nil); err == nil {
+		t.Fatal("connection stayed open after a protocol violation")
+	}
+}
+
+// TestServerLifecycle is the issue's acceptance test: for every scheme,
+// drive concurrent clients through mixed traffic (more connections than
+// worker slots, so burst release/reacquire churn is exercised), close the
+// server, and assert the shutdown invariant Retired == Freed.
+func TestServerLifecycle(t *testing.T) {
+	const (
+		conns      = 6
+		maxConns   = 3 // fewer slots than connections: bursts must multiplex
+		reqsPer    = 300
+		burst      = 16
+		partitions = 2
+	)
+	for _, scheme := range recordmgr.Schemes() {
+		t.Run(scheme, func(t *testing.T) {
+			srv, addr := startServer(t, kvservice.Config{
+				Scheme:     scheme,
+				Partitions: partitions,
+				MaxConns:   maxConns,
+				Burst:      burst,
+				UsePool:    true,
+				Reclaimers: 1,
+			})
+			var wg sync.WaitGroup
+			for w := 0; w < conns; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					conn, err := net.Dial(addr.Network(), addr.String())
+					if err != nil {
+						t.Errorf("conn %d: dial: %v", w, err)
+						return
+					}
+					defer conn.Close()
+					var req, buf []byte
+					for i := 0; i < reqsPer; i++ {
+						key := int64(w*reqsPer + i%100)
+						switch i % 4 {
+						case 0, 1:
+							req = kvwire.AppendPut(req[:0], key, []byte(fmt.Sprintf("v%d", i)))
+						case 2:
+							req = kvwire.AppendGet(req[:0], key)
+						default:
+							req = kvwire.AppendDel(req[:0], key)
+						}
+						if _, err := conn.Write(req); err != nil {
+							t.Errorf("conn %d: write: %v", w, err)
+							return
+						}
+						payload, err := kvwire.ReadFrame(conn, buf)
+						if err != nil {
+							t.Errorf("conn %d: read: %v", w, err)
+							return
+						}
+						buf = payload
+						resp, err := kvwire.DecodeResponse(payload)
+						if err != nil {
+							t.Errorf("conn %d: decode: %v", w, err)
+							return
+						}
+						if resp.Status == kvwire.StatusErr {
+							t.Errorf("conn %d: server error: %s", w, resp.Body)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			srv.Close()
+			snap := srv.Stats()
+			if snap.Gets+snap.Puts+snap.Dels != conns*reqsPer {
+				t.Fatalf("served %d ops, want %d", snap.Gets+snap.Puts+snap.Dels, conns*reqsPer)
+			}
+			if snap.SlotsLive != 0 {
+				t.Fatalf("slots still live after Close: %d", snap.SlotsLive)
+			}
+			m := snap.Manager
+			if scheme != recordmgr.SchemeNone {
+				if m.Retired != m.Freed {
+					t.Fatalf("after Close: Retired=%d Freed=%d", m.Retired, m.Freed)
+				}
+				if m.Unreclaimed != 0 {
+					t.Fatalf("after Close: Unreclaimed=%d", m.Unreclaimed)
+				}
+			}
+			if m.Retired == 0 {
+				t.Fatal("workload retired nothing; the test is not exercising reclamation")
+			}
+		})
+	}
+}
+
+func TestServerCloseIdempotentAndStartAfterClose(t *testing.T) {
+	srv, _ := startServer(t, kvservice.Config{})
+	srv.Close()
+	srv.Close() // must not panic or deadlock
+	if _, err := srv.Start("127.0.0.1:0"); err == nil {
+		t.Fatal("Start after Close succeeded")
+	}
+}
+
+func TestServerConfigValidation(t *testing.T) {
+	if _, err := kvservice.New(kvservice.Config{Scheme: "bogus"}); err == nil {
+		t.Fatal("New accepted an unknown scheme")
+	}
+	if _, err := kvservice.New(kvservice.Config{Partitions: -1}); err == nil {
+		t.Fatal("New accepted negative Partitions")
+	}
+	if _, err := kvservice.New(kvservice.Config{MaxConns: -1}); err == nil {
+		t.Fatal("New accepted negative MaxConns")
+	}
+	if _, err := kvservice.New(kvservice.Config{Burst: -1}); err == nil {
+		t.Fatal("New accepted negative Burst")
+	}
+}

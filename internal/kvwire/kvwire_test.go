@@ -1,0 +1,265 @@
+package kvwire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// frame strips the length prefix off a single encoded frame, verifying the
+// prefix matches the payload it covers.
+func frame(t *testing.T, b []byte) []byte {
+	t.Helper()
+	if len(b) < lenPrefix {
+		t.Fatalf("frame shorter than the length prefix: %d bytes", len(b))
+	}
+	n := binary.BigEndian.Uint32(b)
+	if int(n) != len(b)-lenPrefix {
+		t.Fatalf("length prefix %d does not match payload length %d", n, len(b)-lenPrefix)
+	}
+	return b[lenPrefix:]
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		enc  func([]byte) []byte
+		want Request
+	}{
+		{"get", func(d []byte) []byte { return AppendGet(d, 42) }, Request{Op: OpGet, Key: 42}},
+		{"get-negative-key", func(d []byte) []byte { return AppendGet(d, -7) }, Request{Op: OpGet, Key: -7}},
+		{"del", func(d []byte) []byte { return AppendDel(d, 1<<40) }, Request{Op: OpDel, Key: 1 << 40}},
+		{"put", func(d []byte) []byte { return AppendPut(d, 9, []byte("hello")) }, Request{Op: OpPut, Key: 9, Value: []byte("hello")}},
+		{"put-empty-value", func(d []byte) []byte { return AppendPut(d, 9, nil) }, Request{Op: OpPut, Key: 9, Value: []byte{}}},
+		{"stats", AppendStats, Request{Op: OpStats}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			payload := frame(t, tc.enc(nil))
+			got, err := DecodeRequest(payload)
+			if err != nil {
+				t.Fatalf("DecodeRequest: %v", err)
+			}
+			if got.Op != tc.want.Op || got.Key != tc.want.Key || !bytes.Equal(got.Value, tc.want.Value) {
+				t.Fatalf("round trip: got %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		status Status
+		body   []byte
+	}{
+		{StatusOK, []byte("value")},
+		{StatusOK, nil},
+		{StatusNotFound, nil},
+		{StatusErr, []byte("boom")},
+	} {
+		payload := frame(t, AppendResponse(nil, tc.status, tc.body))
+		got, err := DecodeResponse(payload)
+		if err != nil {
+			t.Fatalf("DecodeResponse(%v): %v", tc.status, err)
+		}
+		if got.Status != tc.status || !bytes.Equal(got.Body, tc.body) {
+			t.Fatalf("round trip: got %+v, want status=%v body=%q", got, tc.status, tc.body)
+		}
+	}
+}
+
+func TestReadFrameRoundTrip(t *testing.T) {
+	var wire []byte
+	wire = AppendGet(wire, 1)
+	wire = AppendPut(wire, 2, []byte("two"))
+	wire = AppendStats(wire)
+	r := bytes.NewReader(wire)
+	var buf []byte
+	for i, want := range []Request{{Op: OpGet, Key: 1}, {Op: OpPut, Key: 2, Value: []byte("two")}, {Op: OpStats}} {
+		payload, err := ReadFrame(r, buf)
+		if err != nil {
+			t.Fatalf("frame %d: ReadFrame: %v", i, err)
+		}
+		buf = payload // exercise buffer reuse across frames
+		got, err := DecodeRequest(payload)
+		if err != nil {
+			t.Fatalf("frame %d: DecodeRequest: %v", i, err)
+		}
+		if got.Op != want.Op || got.Key != want.Key || !bytes.Equal(got.Value, want.Value) {
+			t.Fatalf("frame %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := ReadFrame(r, buf); err != io.EOF {
+		t.Fatalf("after the last frame: got %v, want io.EOF", err)
+	}
+}
+
+func TestReadFrameRejectsOversized(t *testing.T) {
+	var prefix [lenPrefix]byte
+	binary.BigEndian.PutUint32(prefix[:], MaxPayload+1)
+	_, err := ReadFrame(bytes.NewReader(prefix[:]), nil)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized length prefix: got %v, want ErrFrameTooLarge", err)
+	}
+	// MaxPayload exactly is legal.
+	body := make([]byte, MaxPayload)
+	body[0] = byte(OpStats)
+	binary.BigEndian.PutUint32(prefix[:], MaxPayload)
+	payload, err := ReadFrame(bytes.NewReader(append(prefix[:], body...)), nil)
+	if err != nil {
+		t.Fatalf("MaxPayload-sized frame: %v", err)
+	}
+	if len(payload) != MaxPayload {
+		t.Fatalf("MaxPayload-sized frame: got %d payload bytes", len(payload))
+	}
+}
+
+func TestReadFrameRejectsEmpty(t *testing.T) {
+	_, err := ReadFrame(bytes.NewReader(make([]byte, lenPrefix)), nil)
+	if !errors.Is(err, ErrEmptyFrame) {
+		t.Fatalf("zero-length frame: got %v, want ErrEmptyFrame", err)
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	full := AppendPut(nil, 7, []byte("payload"))
+	for cut := 1; cut < len(full); cut++ {
+		_, err := ReadFrame(bytes.NewReader(full[:cut]), nil)
+		if err != io.ErrUnexpectedEOF {
+			t.Fatalf("stream cut at %d/%d bytes: got %v, want io.ErrUnexpectedEOF", cut, len(full), err)
+		}
+	}
+	// A cut at 0 is a clean end-of-stream, not a protocol error.
+	if _, err := ReadFrame(bytes.NewReader(nil), nil); err != io.EOF {
+		t.Fatalf("empty stream: got %v, want io.EOF", err)
+	}
+}
+
+func TestDecodeRequestRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload []byte
+		want    error
+	}{
+		{"empty", nil, ErrEmptyFrame},
+		{"get-truncated-key", append([]byte{byte(OpGet)}, 1, 2, 3), ErrTruncated},
+		{"del-truncated-key", []byte{byte(OpDel)}, ErrTruncated},
+		{"put-truncated-key", append([]byte{byte(OpPut)}, 1, 2, 3, 4, 5, 6, 7), ErrTruncated},
+		{"get-trailing", append(frameless(AppendGet(nil, 1)), 0xff), ErrTrailingBytes},
+		{"stats-trailing", []byte{byte(OpStats), 0x00}, ErrTrailingBytes},
+		{"unknown-op", []byte{0xee, 0, 0, 0, 0, 0, 0, 0, 0}, ErrUnknownOp},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := DecodeRequest(tc.payload); !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// frameless strips the length prefix without validation (test helper for
+// constructing deliberately malformed payloads).
+func frameless(b []byte) []byte { return b[lenPrefix:] }
+
+func TestDecodeResponseRejectsEmpty(t *testing.T) {
+	if _, err := DecodeResponse(nil); !errors.Is(err, ErrEmptyFrame) {
+		t.Fatalf("got %v, want ErrEmptyFrame", err)
+	}
+}
+
+func TestAppendPutRejectsOversizedValue(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AppendPut accepted a value above MaxValueLen")
+		}
+	}()
+	AppendPut(nil, 1, make([]byte, MaxValueLen+1))
+}
+
+func TestOpAndStatusStrings(t *testing.T) {
+	for _, tc := range []struct {
+		got, want string
+	}{
+		{OpGet.String(), "GET"}, {OpPut.String(), "PUT"}, {OpDel.String(), "DEL"},
+		{OpStats.String(), "STATS"}, {Op(0xee).String(), "Op(0xee)"},
+		{StatusOK.String(), "OK"}, {StatusNotFound.String(), "NOT_FOUND"},
+		{StatusErr.String(), "ERR"}, {Status(0x55).String(), "Status(0x55)"},
+	} {
+		if tc.got != tc.want {
+			t.Fatalf("String: got %q, want %q", tc.got, tc.want)
+		}
+	}
+	if !strings.Contains(Op(0xee).String(), "0xee") {
+		t.Fatal("unknown opcode should render its byte")
+	}
+}
+
+// FuzzDecodeRequest feeds arbitrary payloads through the request decoder:
+// it must never panic, and whatever it accepts must re-encode to an
+// equivalent request (decode/encode/decode agreement).
+func FuzzDecodeRequest(f *testing.F) {
+	// Seed corpus: one well-formed payload per opcode, plus the malformed
+	// shapes the decoder distinguishes.
+	f.Add(frameless(AppendGet(nil, 42)))
+	f.Add(frameless(AppendPut(nil, -1, []byte("value"))))
+	f.Add(frameless(AppendDel(nil, 0)))
+	f.Add(frameless(AppendStats(nil)))
+	f.Add([]byte{})
+	f.Add([]byte{byte(OpGet), 1, 2, 3})
+	f.Add([]byte{byte(OpPut), 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{0xee, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		req, err := DecodeRequest(payload)
+		if err != nil {
+			return
+		}
+		var wire []byte
+		switch req.Op {
+		case OpGet:
+			wire = AppendGet(nil, req.Key)
+		case OpPut:
+			wire = AppendPut(nil, req.Key, req.Value)
+		case OpDel:
+			wire = AppendDel(nil, req.Key)
+		case OpStats:
+			wire = AppendStats(nil)
+		default:
+			t.Fatalf("decoder accepted unknown opcode %v", req.Op)
+		}
+		again, err := DecodeRequest(wire[lenPrefix:])
+		if err != nil {
+			t.Fatalf("re-encoded request failed to decode: %v", err)
+		}
+		if again.Op != req.Op || again.Key != req.Key || !bytes.Equal(again.Value, req.Value) {
+			t.Fatalf("decode/encode/decode mismatch: %+v vs %+v", req, again)
+		}
+	})
+}
+
+// FuzzReadFrame feeds arbitrary byte streams through the frame reader: it
+// must never panic and never return a payload longer than MaxPayload.
+func FuzzReadFrame(f *testing.F) {
+	f.Add(AppendGet(nil, 1))
+	f.Add(append(AppendStats(nil), AppendDel(nil, 2)...))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0, 0})
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		r := bytes.NewReader(stream)
+		var buf []byte
+		for {
+			payload, err := ReadFrame(r, buf)
+			if err != nil {
+				return
+			}
+			if len(payload) == 0 || len(payload) > MaxPayload {
+				t.Fatalf("ReadFrame returned a %d-byte payload", len(payload))
+			}
+			buf = payload
+		}
+	})
+}

@@ -22,8 +22,8 @@
 //     the analogue of siglongjmp back to the sigsetjmp point.
 //
 // The weaker delivery guarantee ("next checkpoint" instead of "next step")
-// is compensated for at the protocol level; see the DEBRA+ package and
-// DESIGN.md for the safety argument.
+// is compensated for at the protocol level; see the DEBRA+ package
+// (internal/reclaim/debraplus) for the safety argument.
 package neutralize
 
 import (

@@ -24,9 +24,9 @@
 //     the bag, and everything behind them is moved to the pool in whole
 //     blocks.
 //
-// See internal/neutralize and DESIGN.md for how POSIX signal delivery and
-// siglongjmp are simulated, and for the argument that the weaker
-// "delivery at the next checkpoint" guarantee preserves safety.
+// See the internal/neutralize package documentation for how POSIX signal
+// delivery and siglongjmp are simulated, and for the argument that the
+// weaker "delivery at the next checkpoint" guarantee preserves safety.
 package debraplus
 
 import (
@@ -430,7 +430,8 @@ func (r *Reclaimer[T]) suspectNeutralized(tid, other int) bool {
 // EnterQstate implements core.Reclaimer. A signal that is pending when the
 // body finishes is delivered rather than swallowed, so an operation never
 // returns a result computed from records that may have been reclaimed behind
-// its back (see DESIGN.md, "Neutralization window").
+// its back (the neutralization-window argument; see the package doc and
+// internal/neutralize).
 func (r *Reclaimer[T]) EnterQstate(tid int) { r.handles[tid].EnterQstate() }
 
 // EnterQstate implements core.ReclaimerHandle.
@@ -592,7 +593,7 @@ func (r *Reclaimer[T]) IsProtected(tid int, rec *T) bool { return true }
 // pending neutralization; in that case the protections announced so far are
 // withdrawn before jumping to recovery, which guarantees that recovery never
 // relies on a protection a concurrent scanner might have missed (the
-// announce-then-recheck handshake described in DESIGN.md).
+// announce-then-recheck handshake).
 func (r *Reclaimer[T]) RProtect(tid int, rec *T) {
 	if rec == nil {
 		return
