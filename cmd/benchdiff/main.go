@@ -87,6 +87,12 @@ func main() {
 	if sl := bench.RenderServiceLatencies(baseline, current); sl != "" {
 		fmt.Print(sl)
 	}
+	// And the per-phase throughput and controller-lever trajectories of the
+	// self-tuning rows (experiment 10) — where adaptive-vs-static lives and
+	// where a controller that stopped making decisions is visible.
+	if at := bench.RenderAdaptiveTrajectories(baseline, current); at != "" {
+		fmt.Print(at)
+	}
 	if len(res.Regressions) > 0 {
 		fatal(fmt.Errorf("%d cells regressed more than %.0f%%", len(res.Regressions), *threshold*100))
 	}

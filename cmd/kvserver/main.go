@@ -6,7 +6,8 @@
 //
 // Every connection goroutine follows the dynamic-slot churn contract: it
 // binds a worker slot in every partition for a -burst of requests and then
-// releases the slots back, so the server admits any number of connections
+// releases the slots back (a connection that goes quiet mid-burst releases
+// after -idlehold instead), so the server admits any number of connections
 // while -maxconns bounds how many the reclamation schemes ever see at once.
 //
 //	kvserver -addr :7070 -scheme debra -partitions 4 -maxconns 64
@@ -38,12 +39,15 @@ func main() {
 		partitions  = flag.Int("partitions", 1, "independent map namespaces, each with its own Record Manager")
 		maxConns    = flag.Int("maxconns", 8, "worker-slot capacity per partition: connections holding a burst concurrently")
 		burst       = flag.Int("burst", 64, "requests a connection serves per slot hold before releasing")
+		idleHold    = flag.Duration("idlehold", 0, "how long an idle connection may keep its slots mid-burst before releasing them (0 = library default)")
 		pool        = flag.Bool("pool", false, "recycle reclaimed nodes through the record pool")
 		shards      = flag.Int("shards", 0, "sharded reclamation domains per partition (0/1 = one global domain)")
 		placement   = flag.String("placement", "", "tid->shard placement policy: block or stripe")
 		retireBatch = flag.Int("retirebatch", 0, "per-slot deferred-retire batch size (0 = direct retirement)")
 		reclaimers  = flag.Int("reclaimers", 0, "dedicated async reclaimer goroutines per partition (0 = reclamation on the connections)")
 		buckets     = flag.Int("buckets", 0, "initial bucket count per partition (0 = map default)")
+		adaptive    = flag.Bool("adaptive", false, "self-tuning runtime: a controller retunes effective shards, retire batches and active reclaimers from live load (shards/retirebatch/reclaimers become starting points)")
+		adaptiveInt = flag.Duration("adaptive-interval", 0, "adaptive controller decision period (0 = library default)")
 	)
 	flag.Parse()
 
@@ -52,16 +56,19 @@ func main() {
 		fatal(err)
 	}
 	srv, err := kvservice.New(kvservice.Config{
-		Scheme:         *scheme,
-		Partitions:     *partitions,
-		MaxConns:       *maxConns,
-		Burst:          *burst,
-		UsePool:        *pool,
-		Shards:         *shards,
-		Placement:      pl,
-		RetireBatch:    *retireBatch,
-		Reclaimers:     *reclaimers,
-		InitialBuckets: *buckets,
+		Scheme:           *scheme,
+		Partitions:       *partitions,
+		MaxConns:         *maxConns,
+		Burst:            *burst,
+		IdleHold:         *idleHold,
+		UsePool:          *pool,
+		Shards:           *shards,
+		Placement:        pl,
+		RetireBatch:      *retireBatch,
+		Reclaimers:       *reclaimers,
+		Adaptive:         *adaptive,
+		AdaptiveInterval: *adaptiveInt,
+		InitialBuckets:   *buckets,
 	})
 	if err != nil {
 		fatal(err)

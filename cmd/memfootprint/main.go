@@ -5,6 +5,12 @@
 // DEBRA cannot advance its epoch and its footprint explodes; DEBRA+
 // neutralizes the preempted threads and keeps the footprint bounded, close
 // to hazard pointers.
+//
+// The per-trial knobs mirror reclaimbench's: -shards, -placement,
+// -retirebatch, -async and -reclaimers apply the experiment 5-6 ablation
+// axes, and -churn (experiment 8's axis) makes workers release and
+// re-acquire their thread slot every N operations, so the footprint can be
+// measured under dynamic slot binding as well as the paper's static one.
 package main
 
 import (
@@ -28,10 +34,15 @@ func main() {
 		retireBatch = flag.Int("retirebatch", 0, "per-thread deferred-retire batch size (0 = direct retirement)")
 		async       = flag.Bool("async", false, "enable asynchronous reclamation (implies -reclaimers 1 when unset)")
 		reclaimers  = flag.Int("reclaimers", 0, "dedicated async reclaimer goroutines per trial (0 = reclamation on the workers; implies -async)")
+		churn       = flag.Int("churn", 0, "goroutine churn: workers release+acquire their thread slot every N operations (0 = static binding)")
 	)
 	flag.Parse()
 	if _, err := core.ParsePlacement(*placement); err != nil {
 		fmt.Fprintln(os.Stderr, "memfootprint:", err)
+		os.Exit(1)
+	}
+	if *churn < 0 {
+		fmt.Fprintln(os.Stderr, "memfootprint: -churn must be >= 0, got", *churn)
 		os.Exit(1)
 	}
 	if *async && *reclaimers == 0 {
@@ -44,7 +55,7 @@ func main() {
 	rows, schemes, err := bench.MemoryExperiment(bench.Options{
 		Duration: *duration, MaxThreads: max, Seed: 1, DataStructure: *ds,
 		Shards: *shards, Placement: *placement, RetireBatch: *retireBatch,
-		Reclaimers: *reclaimers,
+		Reclaimers: *reclaimers, ChurnOps: *churn,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "memfootprint:", err)

@@ -178,6 +178,34 @@
 // round-trip probe per scheme — and cmd/benchdiff reports the ns/op columns
 // of those probes alongside the trend gate.
 //
+// # Self-tuning runtime
+//
+// The sharding, batching and async-reclamation knobs above are static
+// per-run configuration — right for a benchmark, wrong for a service whose
+// traffic shifts. recordmgr.Config.Adaptive (core.WithController; -adaptive
+// on cmd/kvserver) attaches a core.Controller: a feedback loop, one
+// observation and at most three lever writes per control period
+// (AdaptiveInterval, default 10ms), that moves all three knobs with the
+// live workload. Effective shards track live slot occupancy
+// (SlotRegistry.SetEffectiveShards biases placement onto a shard prefix so
+// the occupancy-aware scans skip the rest); the per-thread retire batch
+// follows the observed retire rate by AIMD between configurable bounds
+// (MinRetireBatch/MaxRetireBatch), growing while retirement is hot and the
+// Unreclaimed backlog is modest or shrinking, halving on lulls — written
+// only to the existing padded per-thread limit cells, so the hot path gains
+// no atomics; and the active reclaimer count scales with the hand-off
+// backlog between 1 and the constructed pool, with lock-free work stealing
+// (blockbag.SharedStack detach) draining a deactivated reclaimer's queue so
+// scale-down never strands a record and the Close invariant
+// (Retired == Freed) is preserved. Every lever is a bias, not a safety
+// input: extreme settings degenerate to configurations the stack already
+// runs, so a mis-tuned controller costs throughput, never correctness.
+// Experiment 10 of cmd/reclaimbench ("adaptive") runs a phase-changing
+// workload comparing static-optimal, static-worst and adaptive
+// configurations, publishing the controller's decision trajectory
+// (traj_live/traj_shards/traj_batch/traj_reclaimers) into the bench JSON,
+// and docs/OPERATIONS.md covers when to pin the knobs instead.
+//
 // # The KV service layer
 //
 // The stack's deployment story is concrete: internal/kvservice serves N

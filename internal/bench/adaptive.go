@@ -1,0 +1,286 @@
+package bench
+
+// Experiment 10 ("adaptive"): the self-tuning runtime measured against the
+// static configurations it replaces. Each trial runs a PHASE-CHANGING
+// workload — the live thread count and write rate shift mid-run — on the
+// update-heavy hash map, three arms per scheme:
+//
+//   - adaptive: batching and async reclamation configured as starting
+//     points, with the core.Controller retuning effective shards, retire
+//     batches and active reclaimers from the live signals;
+//   - static-opt: the hand-tuned static sweet spot for the heavy phases
+//     (full-block batch, one async reclaimer) — what a per-workload
+//     re-launch would pick;
+//   - static-worst: a plausible mis-tuning (retire batch 1, synchronous
+//     reclamation): every retirement pays the full per-record scheme path.
+//
+// The claim under test is the paper's own motivation applied to the knobs
+// this module grew: reclamation overhead must track the live workload, and
+// a feedback loop should sit within a few percent of the static optimum on
+// every phase while beating a mis-tuned static configuration outright.
+// Adaptive rows carry the controller's decision trajectory (shard, batch
+// and reclaimer lever positions over time, downsampled) as JSON columns so
+// benchdiff can render what the controller actually did.
+//
+// Like the service panels, the experiment's axes (arm, phase schedule) are
+// encoded in the panel Title rather than new rowKey fields, so every
+// pre-adaptive baseline row keeps its identity.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/blockbag"
+	"repro/internal/core"
+	"repro/internal/ds/hashmap"
+	"repro/internal/recordmgr"
+)
+
+// ExperimentAdaptive is the experiment identifier of the self-tuning
+// runtime panels.
+const ExperimentAdaptive = 10
+
+// Phase is one segment of a phase-changing workload (Config.Phases): the
+// live worker count and the operation mix for the segment. The trial's
+// Duration splits evenly across its phases.
+type Phase struct {
+	// Threads is the number of live workers during the phase; the trial's
+	// other worker slots sit vacant, which is exactly the occupancy signal
+	// the adaptive controller watches.
+	Threads int
+	// InsertPct and DeletePct are the phase's operation mix (the remainder
+	// are searches); the trial Workload's key range applies throughout.
+	InsertPct int
+	DeletePct int
+}
+
+// String renders a phase compactly ("4t50i50d").
+func (p Phase) String() string {
+	return fmt.Sprintf("%dt%di%dd", p.Threads, p.InsertPct, p.DeletePct)
+}
+
+// AdaptivePhases is the phase schedule every experiment-10 trial runs: an
+// update-heavy burst at full thread count, a near-idle read-mostly lull on
+// one thread, and the burst again. Fixed rather than machine-derived so
+// smoke rows match across machines for the trend gate; the lull is what
+// separates the arms — a static configuration pays its heavy-phase tuning
+// through the lull (or its lull tuning through the bursts), the controller
+// re-tunes at the boundary.
+var AdaptivePhases = []Phase{
+	{Threads: 4, InsertPct: 50, DeletePct: 50},
+	{Threads: 1, InsertPct: 5, DeletePct: 5},
+	{Threads: 4, InsertPct: 50, DeletePct: 50},
+}
+
+// phasesLabel renders a phase schedule for panel titles ("4t50i50d,...").
+func phasesLabel(phases []Phase) string {
+	parts := make([]string, len(phases))
+	for i, p := range phases {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// adaptiveArm is one column family of the experiment: a knob setting the
+// phase schedule runs under.
+type adaptiveArm struct {
+	name       string
+	batch      int
+	reclaimers int
+	adaptive   bool
+}
+
+// adaptiveArms returns the three arms (see the file comment).
+func adaptiveArms() []adaptiveArm {
+	return []adaptiveArm{
+		{name: "adaptive", batch: blockbag.BlockSize, reclaimers: 2, adaptive: true},
+		{name: "static-opt", batch: blockbag.BlockSize, reclaimers: 1},
+		{name: "static-worst", batch: 1, reclaimers: 0},
+	}
+}
+
+// AdaptivePanels returns the self-tuning runtime panels: the phase-changing
+// hash map workload (pre-sized table), one panel per arm, with the EBR /
+// DEBRA / HP scheme columns — a shared-state scheme, the paper's scheme and
+// a per-record scheme, the three reclamation shapes the controller's levers
+// interact with differently. One row per panel: the thread axis is the
+// phase schedule's, not the sweep's.
+func AdaptivePanels(opts Options) []Panel {
+	const figure = "Self-tuning runtime on a phase-changing workload (beyond the paper), Experiment 10"
+	w := withRange(MixUpdateHeavy, opts.scaleRange(100_000))
+	initial := int(w.KeyRange / 2 / hashmap.DefaultMaxLoad)
+	maxThreads := 0
+	for _, p := range AdaptivePhases {
+		if p.Threads > maxThreads {
+			maxThreads = p.Threads
+		}
+	}
+	schemes := []string{recordmgr.SchemeEBR, recordmgr.SchemeDEBRA, recordmgr.SchemeHP}
+	var panels []Panel
+	for _, arm := range adaptiveArms() {
+		panels = append(panels, Panel{
+			Figure: figure,
+			// Arm and phase schedule live in the Title (service precedent):
+			// rowKey identities of every pre-adaptive baseline row stay
+			// stable, and the Title still fully identifies the cell.
+			Title: fmt.Sprintf("adaptive arm=%s %s range [0,%d) phases=%s",
+				arm.name, DSHashMap, w.KeyRange, phasesLabel(AdaptivePhases)),
+			DataStructure:  DSHashMap,
+			Workload:       w,
+			Allocator:      recordmgr.AllocBump,
+			UsePool:        true,
+			Schemes:        schemes,
+			Threads:        []int{maxThreads},
+			InitialBuckets: initial,
+			Shards:         2,
+			RetireBatch:    arm.batch,
+			Reclaimers:     arm.reclaimers,
+			Phases:         AdaptivePhases,
+			Adaptive:       arm.adaptive,
+		})
+	}
+	return panels
+}
+
+// trajPoints bounds the trajectory columns emitted per adaptive row; the
+// controller's own (already decimated) history is downsampled to this.
+const trajPoints = 64
+
+// downsample picks at most max evenly spaced entries of a trajectory.
+func downsample(samples []core.ControllerSample, max int) []core.ControllerSample {
+	if len(samples) <= max {
+		return samples
+	}
+	out := make([]core.ControllerSample, 0, max)
+	for i := 0; i < max; i++ {
+		out = append(out, samples[i*len(samples)/max])
+	}
+	return out
+}
+
+// runPhasedTrial is RunTrial's phase-changing arm (Config.Phases set): the
+// phases run back-to-back against one data structure instance, workers
+// binding their slots dynamically per phase so live occupancy — the
+// controller's input — actually changes at the boundaries. Reclaiming
+// schemes are held to the shutdown invariant Retired == Freed after Close,
+// controller or not, so the experiment doubles as a lifecycle check on the
+// adaptive runtime.
+func runPhasedTrial(cfg Config) (Result, error) {
+	if len(cfg.Phases) == 0 {
+		return Result{}, fmt.Errorf("bench: runPhasedTrial requires Phases")
+	}
+	maxThreads := 0
+	for i, p := range cfg.Phases {
+		if p.Threads < 1 {
+			return Result{}, fmt.Errorf("bench: phase %d has %d threads; every phase needs >= 1", i, p.Threads)
+		}
+		if p.Threads > maxThreads {
+			maxThreads = p.Threads
+		}
+	}
+	// The manager is sized for the busiest phase; quieter phases leave the
+	// surplus slots vacant.
+	cfg.Threads = maxThreads
+	if cfg.Adaptive && cfg.AdaptiveInterval == 0 {
+		// Scale the control period to the trial so even a 75ms smoke run
+		// gives the controller a few dozen decisions per phase.
+		iv := cfg.Duration / 50
+		if iv < time.Millisecond {
+			iv = time.Millisecond
+		}
+		cfg.AdaptiveInterval = iv
+	}
+	s, err := buildSet(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	defer s.close()
+	prefill(s, cfg)
+
+	phaseDur := cfg.Duration / time.Duration(len(cfg.Phases))
+	var (
+		totalOps int64
+		elapsed  time.Duration
+		res      Result
+	)
+	for pi, phase := range cfg.Phases {
+		var (
+			stop     atomic.Bool
+			phaseOps atomic.Int64
+			wg       sync.WaitGroup
+		)
+		start := time.Now()
+		for w := 0; w < phase.Threads; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(pi)*15485863 + int64(w)*104729))
+				h, release := s.acquire()
+				defer release()
+				ops := int64(0)
+				for !stop.Load() {
+					key := rng.Int63n(cfg.Workload.KeyRange)
+					p := rng.Intn(100)
+					switch {
+					case p < phase.InsertPct:
+						h.insert(key)
+					case p < phase.InsertPct+phase.DeletePct:
+						h.remove(key)
+					default:
+						h.contains(key)
+					}
+					ops++
+				}
+				phaseOps.Add(ops)
+			}(w)
+		}
+		time.Sleep(phaseDur)
+		stop.Store(true)
+		wg.Wait()
+		phaseElapsed := time.Since(start)
+		elapsed += phaseElapsed
+		ops := phaseOps.Load()
+		totalOps += ops
+		res.PhaseMops = append(res.PhaseMops, float64(ops)/phaseElapsed.Seconds()/1e6)
+	}
+
+	// Pre-Close snapshot (backlog columns), trajectory capture, Close, then
+	// the shutdown invariant on a fresh snapshot.
+	st := s.stats()
+	if c := s.controller(); c != nil {
+		res.ControllerSteps = c.Steps()
+		res.ControllerDecisions = c.Decisions()
+		for _, sm := range downsample(c.Trajectory(), trajPoints) {
+			res.TrajLive = append(res.TrajLive, sm.Live)
+			res.TrajShards = append(res.TrajShards, sm.EffectiveShards)
+			res.TrajBatch = append(res.TrajBatch, sm.RetireBatch)
+			res.TrajReclaimers = append(res.TrajReclaimers, sm.ActiveReclaimers)
+		}
+	}
+	s.close()
+	if cfg.Scheme != recordmgr.SchemeNone {
+		end := s.stats()
+		if end.Reclaimer.Retired != end.Reclaimer.Freed || end.Unreclaimed != 0 {
+			return Result{}, fmt.Errorf("bench: adaptive shutdown invariant violated (%s): Retired=%d Freed=%d Unreclaimed=%d",
+				cfg.Scheme, end.Reclaimer.Retired, end.Reclaimer.Freed, end.Unreclaimed)
+		}
+	}
+
+	res.Config = cfg
+	res.Ops = totalOps
+	res.Throughput = float64(totalOps) / elapsed.Seconds()
+	res.MopsPerSec = res.Throughput / 1e6
+	res.AllocatedBytes = st.Alloc.AllocatedBytes
+	res.AllocatedRecords = st.Alloc.Allocated
+	res.Reclaimer = st.Reclaimer
+	res.PoolReused = st.Pool.Reused
+	res.RetirePending = st.RetirePending
+	res.HandoffPending = st.HandoffPending
+	res.Unreclaimed = st.Unreclaimed
+	res.Elapsed = elapsed
+	return res, nil
+}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -242,6 +243,82 @@ func TestMemoryExperimentHashMap(t *testing.T) {
 	}
 	if len(rows) == 0 || len(schemes) != 3 {
 		t.Fatalf("rows=%d schemes=%v", len(rows), schemes)
+	}
+}
+
+func TestRunTrialRepeatKeepsBestRun(t *testing.T) {
+	res, err := RunTrial(Config{
+		DataStructure: DSHashMap,
+		Scheme:        recordmgr.SchemeDEBRA,
+		Threads:       2,
+		Duration:      10 * time.Millisecond,
+		Workload:      withRange(MixUpdateHeavy, 1024),
+		Allocator:     recordmgr.AllocBump,
+		UsePool:       true,
+		Repeat:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 || res.Throughput <= 0 {
+		t.Fatalf("no work performed: %+v", res)
+	}
+	// The retained Result must be one internally consistent run, not a
+	// merge: an update-heavy DEBRA trial retires records and frees them by
+	// Close, so the run's own invariant must hold on whichever run won.
+	if res.Reclaimer.Retired == 0 {
+		t.Fatal("nothing retired during an update-heavy trial")
+	}
+	if res.Unreclaimed != res.Reclaimer.Retired-res.Reclaimer.Freed {
+		t.Fatalf("inconsistent counters across repeat runs: unreclaimed=%d retired=%d freed=%d",
+			res.Unreclaimed, res.Reclaimer.Retired, res.Reclaimer.Freed)
+	}
+	// Repeat on an invalid config still fails on the first run.
+	if _, err := RunTrial(Config{DataStructure: DSBST, Scheme: "bogus", Threads: 1,
+		Workload: withRange(MixUpdateHeavy, 10), Repeat: 3}); err == nil {
+		t.Fatal("expected error from repeated invalid trial")
+	}
+}
+
+func TestMergeBestResults(t *testing.T) {
+	panel := func() PanelResult {
+		return PanelResult{
+			Panel:   Panel{Figure: "f", Title: "t", Schemes: []string{"debra"}, Threads: []int{1, 2}},
+			Results: map[string]map[int]Result{"debra": {}},
+		}
+	}
+	a, b := panel(), panel()
+	a.Results["debra"][1] = Result{Throughput: 100}
+	a.Results["debra"][2] = Result{Throughput: 900}
+	a.Errors = append(a.Errors, fmt.Errorf("sweep-a failure"))
+	b.Results["debra"][1] = Result{Throughput: 300}
+	// threads=2 missing from sweep b (its trial errored there).
+	b.Errors = append(b.Errors, fmt.Errorf("sweep-b failure"))
+
+	merged, err := MergeBestResults([]PanelResult{a}, []PanelResult{b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := merged[0].Results["debra"][1].Throughput; got != 300 {
+		t.Fatalf("cell 1: kept %v, want the best run (300)", got)
+	}
+	if got := merged[0].Results["debra"][2].Throughput; got != 900 {
+		t.Fatalf("cell 2: kept %v, want the only run (900)", got)
+	}
+	if len(merged[0].Errors) != 2 {
+		t.Fatalf("errors from every sweep must survive the merge, got %d", len(merged[0].Errors))
+	}
+
+	if _, err := MergeBestResults(); err == nil {
+		t.Fatal("expected error for zero sweeps")
+	}
+	if _, err := MergeBestResults([]PanelResult{panel()}, nil); err == nil {
+		t.Fatal("expected error for sweeps of different lengths")
+	}
+	other := panel()
+	other.Panel.Title = "different"
+	if _, err := MergeBestResults([]PanelResult{panel()}, []PanelResult{other}); err == nil {
+		t.Fatal("expected error for mismatched panels")
 	}
 }
 

@@ -52,6 +52,14 @@ type Panel struct {
 	Partitions   int
 	ServiceBurst int
 	ServiceDist  string
+	// Phases, Adaptive and AdaptiveInterval configure the phase-changing
+	// adaptive panels (experiment 10); see the Config fields of the same
+	// names. Like the service axes they are NOT part of the trend gate's row
+	// identity — the adaptive panels encode arm and phase schedule in the
+	// Title, keeping every pre-adaptive baseline row's key stable.
+	Phases           []Phase
+	Adaptive         bool
+	AdaptiveInterval time.Duration
 }
 
 // PanelResult holds the measured cells of a panel.
@@ -200,6 +208,8 @@ func ExperimentPanels(experiment int, opts Options) ([]Panel, error) {
 		return ChurnPanels(opts), nil
 	case ExperimentService:
 		return ServicePanels(opts), nil
+	case ExperimentAdaptive:
+		return AdaptivePanels(opts), nil
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %d", experiment)
 	}
@@ -449,23 +459,26 @@ func RunPanel(p Panel, opts Options) PanelResult {
 		out.Results[scheme] = map[int]Result{}
 		for _, threads := range p.Threads {
 			cfg := Config{
-				DataStructure:  p.DataStructure,
-				Scheme:         scheme,
-				Threads:        threads,
-				Duration:       opts.Duration,
-				Workload:       p.Workload,
-				Allocator:      p.Allocator,
-				UsePool:        p.UsePool,
-				Seed:           opts.Seed,
-				InitialBuckets: p.InitialBuckets,
-				Shards:         p.Shards,
-				Placement:      p.Placement,
-				RetireBatch:    p.RetireBatch,
-				Reclaimers:     p.Reclaimers,
-				ChurnOps:       p.ChurnOps,
-				Partitions:     p.Partitions,
-				ServiceBurst:   p.ServiceBurst,
-				ServiceDist:    p.ServiceDist,
+				DataStructure:    p.DataStructure,
+				Scheme:           scheme,
+				Threads:          threads,
+				Duration:         opts.Duration,
+				Workload:         p.Workload,
+				Allocator:        p.Allocator,
+				UsePool:          p.UsePool,
+				Seed:             opts.Seed,
+				InitialBuckets:   p.InitialBuckets,
+				Shards:           p.Shards,
+				Placement:        p.Placement,
+				RetireBatch:      p.RetireBatch,
+				Reclaimers:       p.Reclaimers,
+				ChurnOps:         p.ChurnOps,
+				Partitions:       p.Partitions,
+				ServiceBurst:     p.ServiceBurst,
+				ServiceDist:      p.ServiceDist,
+				Phases:           p.Phases,
+				Adaptive:         p.Adaptive,
+				AdaptiveInterval: p.AdaptiveInterval,
 			}
 			res, err := runSafely(cfg)
 			if err != nil {
@@ -487,6 +500,46 @@ func RunExperiment(experiment int, opts Options) ([]PanelResult, error) {
 	var out []PanelResult
 	for _, p := range panels {
 		out = append(out, RunPanel(p, opts))
+	}
+	return out, nil
+}
+
+// MergeBestResults folds repeated sweeps of the same experiment list into
+// one result set, keeping each cell's best-throughput run (the -repeat CLI
+// flag). Sweep-level repetition — rerunning the whole sweep rather than
+// each trial back-to-back — is deliberate: a noisy machine's slow episodes
+// last seconds to minutes, so immediate repeats of one cell all land inside
+// the same episode, while repeats a full sweep apart straddle it. Errors
+// from every sweep are concatenated, so an intermittent trial failure still
+// fails a gated run. The first sweep is mutated and returned.
+func MergeBestResults(sweeps ...[]PanelResult) ([]PanelResult, error) {
+	if len(sweeps) == 0 {
+		return nil, fmt.Errorf("bench: no sweeps to merge")
+	}
+	out := sweeps[0]
+	for _, sweep := range sweeps[1:] {
+		if len(sweep) != len(out) {
+			return nil, fmt.Errorf("bench: merging sweeps of different shapes: %d panels vs %d", len(sweep), len(out))
+		}
+		for i := range sweep {
+			if sweep[i].Panel.Title != out[i].Panel.Title || sweep[i].Panel.Figure != out[i].Panel.Figure {
+				return nil, fmt.Errorf("bench: merging sweeps of different shapes: panel %d is %q vs %q",
+					i, sweep[i].Panel.Title, out[i].Panel.Title)
+			}
+			for scheme, byThreads := range sweep[i].Results {
+				dst, ok := out[i].Results[scheme]
+				if !ok {
+					dst = map[int]Result{}
+					out[i].Results[scheme] = dst
+				}
+				for threads, r := range byThreads {
+					if cur, ok := dst[threads]; !ok || r.Throughput > cur.Throughput {
+						dst[threads] = r
+					}
+				}
+			}
+			out[i].Errors = append(out[i].Errors, sweep[i].Errors...)
+		}
 	}
 	return out, nil
 }

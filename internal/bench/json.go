@@ -59,6 +59,22 @@ type JSONRow struct {
 	P50Ns  int64 `json:"p50_ns,omitempty"`
 	P99Ns  int64 `json:"p99_ns,omitempty"`
 	P999Ns int64 `json:"p999_ns,omitempty"`
+	// PhaseMops is the per-phase throughput of the phase-changing rows
+	// (experiment 10), in phase order — the columns the adaptive-vs-static
+	// comparison reads; omitted for single-phase trials.
+	PhaseMops []float64 `json:"phase_mops,omitempty"`
+	// TrajLive/TrajShards/TrajBatch/TrajReclaimers are the adaptive
+	// controller's decision trajectory (parallel slices, downsampled): live
+	// slot occupancy and the effective-shard / retire-batch /
+	// active-reclaimer lever positions at each retained control step.
+	// Omitted for non-adaptive rows. ControllerSteps and ControllerDecisions
+	// count control periods and applied lever changes over the whole trial.
+	TrajLive            []int `json:"traj_live,omitempty"`
+	TrajShards          []int `json:"traj_shards,omitempty"`
+	TrajBatch           []int `json:"traj_batch,omitempty"`
+	TrajReclaimers      []int `json:"traj_reclaimers,omitempty"`
+	ControllerSteps     int   `json:"controller_steps,omitempty"`
+	ControllerDecisions int64 `json:"controller_decisions,omitempty"`
 }
 
 // JSONReport is the top-level machine-readable result document.
@@ -90,40 +106,47 @@ func BuildJSONReport(results []PanelResult) JSONReport {
 					churnNsPerCycle = float64(r.ChurnNs) / float64(r.ChurnCycles)
 				}
 				rep.Rows = append(rep.Rows, JSONRow{
-					Figure:          pr.Panel.Figure,
-					Title:           pr.Panel.Title,
-					DataStructure:   pr.Panel.DataStructure,
-					Workload:        pr.Panel.Workload.String(),
-					Allocator:       allocName(pr.Panel.Allocator),
-					UsePool:         pr.Panel.UsePool,
-					Scheme:          scheme,
-					Threads:         threads,
-					Shards:          r.Config.Shards,
-					Placement:       r.Config.Placement,
-					RetireBatch:     r.Config.RetireBatch,
-					Reclaimers:      r.Config.Reclaimers,
-					ChurnOps:        r.Config.ChurnOps,
-					Ops:             r.Ops,
-					MopsPerSec:      r.MopsPerSec,
-					NsPerOp:         nsPerOp,
-					ElapsedSeconds:  r.Elapsed.Seconds(),
-					AllocatedBytes:  r.AllocatedBytes,
-					AllocatedRecs:   r.AllocatedRecords,
-					PoolReused:      r.PoolReused,
-					Retired:         r.Reclaimer.Retired,
-					Freed:           r.Reclaimer.Freed,
-					Limbo:           r.Reclaimer.Limbo,
-					RetirePending:   r.RetirePending,
-					HandoffPending:  r.HandoffPending,
-					Unreclaimed:     r.Unreclaimed,
-					Neutralization:  r.Reclaimer.Neutralizations,
-					EpochAdvances:   r.Reclaimer.EpochAdvances,
-					Scans:           r.Reclaimer.Scans,
-					ChurnCycles:     r.ChurnCycles,
-					ChurnNsPerCycle: churnNsPerCycle,
-					P50Ns:           r.P50Ns,
-					P99Ns:           r.P99Ns,
-					P999Ns:          r.P999Ns,
+					Figure:              pr.Panel.Figure,
+					Title:               pr.Panel.Title,
+					DataStructure:       pr.Panel.DataStructure,
+					Workload:            pr.Panel.Workload.String(),
+					Allocator:           allocName(pr.Panel.Allocator),
+					UsePool:             pr.Panel.UsePool,
+					Scheme:              scheme,
+					Threads:             threads,
+					Shards:              r.Config.Shards,
+					Placement:           r.Config.Placement,
+					RetireBatch:         r.Config.RetireBatch,
+					Reclaimers:          r.Config.Reclaimers,
+					ChurnOps:            r.Config.ChurnOps,
+					Ops:                 r.Ops,
+					MopsPerSec:          r.MopsPerSec,
+					NsPerOp:             nsPerOp,
+					ElapsedSeconds:      r.Elapsed.Seconds(),
+					AllocatedBytes:      r.AllocatedBytes,
+					AllocatedRecs:       r.AllocatedRecords,
+					PoolReused:          r.PoolReused,
+					Retired:             r.Reclaimer.Retired,
+					Freed:               r.Reclaimer.Freed,
+					Limbo:               r.Reclaimer.Limbo,
+					RetirePending:       r.RetirePending,
+					HandoffPending:      r.HandoffPending,
+					Unreclaimed:         r.Unreclaimed,
+					Neutralization:      r.Reclaimer.Neutralizations,
+					EpochAdvances:       r.Reclaimer.EpochAdvances,
+					Scans:               r.Reclaimer.Scans,
+					ChurnCycles:         r.ChurnCycles,
+					ChurnNsPerCycle:     churnNsPerCycle,
+					P50Ns:               r.P50Ns,
+					P99Ns:               r.P99Ns,
+					P999Ns:              r.P999Ns,
+					PhaseMops:           r.PhaseMops,
+					TrajLive:            r.TrajLive,
+					TrajShards:          r.TrajShards,
+					TrajBatch:           r.TrajBatch,
+					TrajReclaimers:      r.TrajReclaimers,
+					ControllerSteps:     r.ControllerSteps,
+					ControllerDecisions: r.ControllerDecisions,
 				})
 			}
 		}

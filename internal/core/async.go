@@ -71,6 +71,16 @@ type AsyncReclaimer[T any] struct {
 	workers int
 	queues  []handoffQueue[T]
 
+	// active is the number of queues currently in the steady rotation:
+	// Enqueue routes into queues [0, active) and goroutines with index >=
+	// active park (no idle epoch cycling) until reactivated. Residue left
+	// in a deactivated queue is drained by its parked goroutine on wake and
+	// stolen by the active ones, so no chain is ever stranded by a scaling
+	// decision. Written by SetActiveReclaimers (the adaptive Controller's
+	// lever c), loaded on the worker-side hand-off — a hand-off already
+	// pays a lock-free push, so one extra atomic load is noise there.
+	active atomic.Int32
+
 	stop   chan struct{}
 	wg     sync.WaitGroup
 	closed atomic.Bool
@@ -84,10 +94,14 @@ type AsyncReclaimer[T any] struct {
 }
 
 // asyncCounters is one participant's hand-off statistics, padded so
-// neighbouring single-writer cells do not share cache lines.
+// neighbouring single-writer cells do not share cache lines. stolen counts
+// the records this reclaimer drained out of *other* queues (work stealing);
+// those records are also counted in drained, so the pending derivation is
+// unchanged.
 type asyncCounters struct {
 	enqueued Counter
 	drained  Counter
+	stolen   Counter
 	_        [PadBytes]byte
 }
 
@@ -119,6 +133,7 @@ func NewAsyncReclaimer[T any](rec Reclaimer[T], workers, reclaimers int) *AsyncR
 	for i := range a.queues {
 		a.queues[i].wake = make(chan struct{}, 1)
 	}
+	a.active.Store(int32(reclaimers))
 	a.wg.Add(reclaimers)
 	for i := 0; i < reclaimers; i++ {
 		go a.run(i)
@@ -126,8 +141,53 @@ func NewAsyncReclaimer[T any](rec Reclaimer[T], workers, reclaimers int) *AsyncR
 	return a
 }
 
-// Reclaimers returns the number of reclaimer goroutines.
+// Reclaimers returns the number of reclaimer goroutines (the constructed
+// pool size; ActiveReclaimers returns how many currently drain).
 func (a *AsyncReclaimer[T]) Reclaimers() int { return len(a.queues) }
+
+// ActiveReclaimers returns the number of reclaimer goroutines currently in
+// the steady drain rotation.
+func (a *AsyncReclaimer[T]) ActiveReclaimers() int { return int(a.active.Load()) }
+
+// SetActiveReclaimers sets how many of the constructed reclaimer goroutines
+// actively drain, clamped to [1, Reclaimers], and returns the applied
+// value. Deactivated goroutines do not exit — they park on their wake
+// channel (skipping the idle epoch-cycling that is the cost being saved)
+// and still drain their own queue when woken, so a chain that raced into a
+// deactivated queue is never stranded; active reclaimers additionally steal
+// deactivated (and lagging) queues' backlogs. Safe to call at any time,
+// including concurrently with Enqueue; the adaptive Controller is the
+// expected caller.
+func (a *AsyncReclaimer[T]) SetActiveReclaimers(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(a.queues) {
+		n = len(a.queues)
+	}
+	a.active.Store(int32(n))
+	// Nudge every goroutine: newly deactivated ones re-check their index
+	// and park, reactivated ones resume the drain loop, and active ones get
+	// a chance to steal residue out of the queues that just lost their
+	// dedicated drainer.
+	for i := range a.queues {
+		select {
+		case a.queues[i].wake <- struct{}{}:
+		default:
+		}
+	}
+	return n
+}
+
+// activeQueues returns the current Enqueue routing width, defensively
+// clamped so a torn or stale load can never index out of range.
+func (a *AsyncReclaimer[T]) activeQueues() int {
+	n := int(a.active.Load())
+	if n < 1 || n > len(a.queues) {
+		n = len(a.queues)
+	}
+	return n
+}
 
 // HandoffPending returns the number of records currently parked in hand-off
 // queues (exact only when the pipeline is idle or closed, like the other
@@ -182,7 +242,7 @@ func (a *AsyncReclaimer[T]) Enqueue(tid int, chain *blockbag.Block[T]) {
 		panic(fmt.Sprintf("core: AsyncReclaimer.Enqueue with tid %d outside the %d participants", tid, len(a.counts)))
 	}
 	n := int64(blockbag.ChainLen(chain))
-	q := &a.queues[tid%len(a.queues)]
+	q := &a.queues[tid%a.activeQueues()]
 	a.counts[tid].enqueued.Add(n)
 	q.stack.PushChain(chain)
 	select {
@@ -196,7 +256,18 @@ func (a *AsyncReclaimer[T]) Enqueue(tid int, chain *blockbag.Block[T]) {
 // Enqueue to refill their retire-buffer block pools with the spares the
 // reclaimers' scheme exchange handed back.
 func (a *AsyncReclaimer[T]) TakeSpare(tid int) *blockbag.Block[T] {
-	return a.queues[tid%len(a.queues)].spares.Pop()
+	return a.queues[tid%a.activeQueues()].spares.Pop()
+}
+
+// Stolen returns the cumulative number of records drained out of a queue by
+// a reclaimer other than the queue's own (work-stealing instrumentation;
+// these records are included in Drained).
+func (a *AsyncReclaimer[T]) Stolen() int64 {
+	var n int64
+	for i := range a.counts {
+		n += a.counts[i].stolen.Load()
+	}
+	return n
 }
 
 // run is the body of reclaimer goroutine i, operating under its dedicated
@@ -246,6 +317,26 @@ func (a *AsyncReclaimer[T]) run(i int) {
 			return
 		default:
 		}
+		if i >= int(a.active.Load()) {
+			// Deactivated by the controller. The queue was just observed
+			// empty (the PopAll above), new hand-offs route elsewhere, and a
+			// racing Enqueue that still chose this queue re-arms the wake
+			// token — so parking here, with no idle epoch cycling (that CPU
+			// burn is exactly what scaling down saves), strands nothing.
+			select {
+			case <-q.wake:
+				staleFor = 0
+			case <-a.stop:
+			}
+			continue
+		}
+		// Own queue is empty: steal a lagging or deactivated queue's backlog
+		// before falling into the idle path.
+		if a.steal(q, rtid, pool) {
+			idle = minIdle
+			staleFor = 0
+			continue
+		}
 		if staleFor <= 0 || limbo <= 0 {
 			prev := limbo
 			limbo = a.rec.Stats().Limbo
@@ -278,6 +369,33 @@ func (a *AsyncReclaimer[T]) run(i int) {
 		}
 		staleFor = 0
 	}
+}
+
+// steal scans the other hand-off queues and drains the first backlog it
+// finds under this reclaimer's own tid — sound for the same reason the
+// ordinary drain is: the records land in the thief's pinned operation and
+// the thief tid's limbo, crossing no single-owner invariant (SharedStack
+// detach is lock-free, so thief and owner never block each other; at worst
+// the owner wakes to an empty queue and re-parks). This is what keeps one
+// lagging reclaimer — or a deactivated queue's residue — from backing up
+// the whole pipeline. Spares from stolen chains refill the thief's own
+// return stack.
+func (a *AsyncReclaimer[T]) steal(own *handoffQueue[T], rtid int, pool *blockbag.BlockPool[T]) bool {
+	if len(a.queues) == 1 {
+		return false
+	}
+	for j := range a.queues {
+		q := &a.queues[j]
+		if q == own {
+			continue
+		}
+		if chain := q.stack.PopAll(); chain != nil {
+			a.counts[rtid].stolen.Add(int64(blockbag.ChainLen(chain)))
+			a.drainChain(own, rtid, chain, pool)
+			return true
+		}
+	}
+	return false
 }
 
 // drainChain retires every record of a detached chain under rtid, one pinned

@@ -1,0 +1,466 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/blockbag"
+)
+
+// This file implements the self-tuning runtime: a low-overhead feedback loop
+// that moves the Record Manager's three reclamation knobs — effective shard
+// count, per-thread retire batch, and active async-reclaimer count — with the
+// live workload instead of leaving them as static per-run configuration. The
+// controller is deliberately dumb and cheap: one observation and at most
+// three lever writes per control interval (default 10ms), reading only the
+// snapshots the stack already publishes (slot occupancy summaries, the
+// single-writer stat counters) and writing only single-writer or
+// store-only state (the registry's effective-shard word, the padded
+// per-thread batch-limit cells, the reclaimer's active count). Nothing it
+// does is load-bearing for safety: every lever is a placement or batching
+// bias whose extreme settings degenerate to configurations the stack already
+// runs — so a mis-tuned controller costs throughput, never correctness.
+//
+// # The three levers
+//
+//   - Effective shards (lever a): Acquire places new slot bindings into a
+//     prefix of the shards (SlotRegistry.SetEffectiveShards). The target
+//     tracks live slot occupancy — roughly "as many shards as are needed to
+//     home the live population at the registry's slots-per-shard density" —
+//     so a mostly-idle service concentrates its few live threads on few
+//     shards and the schemes' occupancy-aware scans skip the rest in O(1)
+//     per shard.
+//   - Retire batch (lever b): AIMD between a configurable floor and ceiling,
+//     tracking the observed retire rate. The target is a few control
+//     intervals' worth of per-thread retirement, so a parked record waits a
+//     bounded number of intervals before its buffer flushes: when the batch
+//     is several times oversized for the rate (a lull) it halves
+//     (multiplicative decrease — stragglers flush promptly and the memory
+//     comes back); while the rate affords a bigger batch and the Unreclaimed
+//     backlog is modest or shrinking it grows toward the ceiling (slow-start
+//     doubling when far below the rate target, additive steps near it),
+//     amortising per-flush costs. The backlog gates only the INCREASE:
+//     backlog under a reclamation-side scheme (epoch lag, reclaimer lag) is
+//     not something a smaller batch can drain, so shrinking on backlog alone
+//     would pin the lever at the floor and pay the per-retire flush cost
+//     forever without freeing anything sooner. The per-thread limit cells
+//     live on the existing padded retireBuf blocks and are written only
+//     here.
+//   - Active reclaimers (lever c): when the hand-off backlog exceeds what
+//     the active reclaimers should clear in a couple of batches, one more
+//     reclaimer goroutine is activated (additive increase, up to the
+//     constructed pool); after several consecutive idle observations one is
+//     deactivated (its queue is then drained by work stealing — see
+//     AsyncReclaimer).
+//
+// The controller runs on its own goroutine (Start/Stop) in production;
+// Step() is the entire decision logic and is called directly by unit tests,
+// so the tests need no wall clock at all — the "clock" is the step counter
+// and the nominal interval.
+
+// DefaultControllerInterval is the control period used when
+// ControllerConfig.Interval is unset.
+const DefaultControllerInterval = 10 * time.Millisecond
+
+// controllerMaxSamples bounds the in-memory decision trajectory; on
+// overflow the history is decimated (every other sample dropped, stride
+// doubled), so arbitrarily long runs keep a bounded, uniformly spaced
+// record.
+const controllerMaxSamples = 2048
+
+// ControllerConfig tunes the adaptive controller. The zero value selects
+// the defaults documented on each field.
+type ControllerConfig struct {
+	// Interval is the control period (default DefaultControllerInterval).
+	Interval time.Duration
+	// MinBatch and MaxBatch bound the retire-batch AIMD lever (defaults 8
+	// and 4*blockbag.BlockSize). The additive-increase step is
+	// max(MinBatch, MaxBatch/16), so recovery from a multiplicative
+	// decrease spans the whole range in a bounded number of steps.
+	MinBatch int
+	MaxBatch int
+}
+
+// withDefaults returns cfg with unset fields defaulted.
+func (cfg ControllerConfig) withDefaults() ControllerConfig {
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultControllerInterval
+	}
+	if cfg.MinBatch <= 0 {
+		cfg.MinBatch = 8
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 4 * blockbag.BlockSize
+	}
+	if cfg.MaxBatch < cfg.MinBatch {
+		cfg.MaxBatch = cfg.MinBatch
+	}
+	return cfg
+}
+
+// ControllerSignal is one observation of the reclamation pipeline, supplied
+// to the Controller by the Record Manager each control step.
+type ControllerSignal struct {
+	// Retired is the cumulative count of records retired BY WORKER THREADS
+	// — buffered, queued for hand-off, or already scheme-retired all count
+	// (the rate signal is the per-step delta, and scheme-level Retired
+	// alone stalls exactly when buffering and hand-off are busiest).
+	Retired int64
+	// Unreclaimed is the current retired-but-not-freed backlog (limbo +
+	// retire buffers + hand-off queues).
+	Unreclaimed int64
+	// HandoffPending is the async hand-off queue backlog (0 when
+	// reclamation is synchronous).
+	HandoffPending int64
+}
+
+// ControllerSample is one recorded control decision: the observation and
+// the lever positions after acting on it. The bench harness emits
+// trajectories of these as JSON columns.
+type ControllerSample struct {
+	// Step is the 1-based control step index; Step * the configured
+	// interval is the nominal time offset.
+	Step int
+	// Live is the observed number of occupied worker slots.
+	Live int
+	// EffectiveShards, RetireBatch and ActiveReclaimers are the lever
+	// positions after this step.
+	EffectiveShards  int
+	RetireBatch      int
+	ActiveReclaimers int
+	// Unreclaimed and HandoffPending echo the observation.
+	Unreclaimed    int64
+	HandoffPending int64
+	// RetiredDelta is the retired-record count observed since the previous
+	// step (the retire-rate signal, in records per interval).
+	RetiredDelta int64
+}
+
+// ReclaimerScaler is the scaling surface of an asynchronous reclamation
+// pipeline: the Controller holds it as a non-generic interface so one
+// controller type serves every record type. AsyncReclaimer implements it.
+type ReclaimerScaler interface {
+	// SetActiveReclaimers sets the number of actively draining reclaimer
+	// goroutines, clamped to [1, pool size], returning the applied value.
+	SetActiveReclaimers(n int) int
+	// ActiveReclaimers returns the current active count.
+	ActiveReclaimers() int
+	// Reclaimers returns the constructed pool size (the scaling ceiling).
+	Reclaimers() int
+}
+
+// Controller is the adaptive feedback loop (see the file comment for the
+// control laws). Construct with NewController, run with Start, stop with
+// Stop; Step is public so tests can drive the loop deterministically
+// without wall-clock sleeps. A Controller is wired and owned by its
+// RecordManager (recordmgr.Config.Adaptive); the accessors are safe for
+// concurrent use, everything else belongs to the control goroutine.
+type Controller struct {
+	cfg      ControllerConfig
+	reg      *SlotRegistry
+	scaler   ReclaimerScaler // nil when reclamation is synchronous
+	setBatch func(int)       // writes every thread's batch-limit cell; nil without batching
+	observe  func() ControllerSignal
+
+	// Control-goroutine-only state.
+	batch           int // current batch lever position (0 = lever disabled)
+	idleSteps       int // consecutive steps with a near-empty hand-off backlog
+	lastRetired     int64
+	lastUnreclaimed int64
+
+	mu        sync.Mutex
+	last      ControllerSample
+	samples   []ControllerSample
+	stride    int // decimation stride (power of two)
+	sinceKeep int
+	step      int
+	decisions int64
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewController wires a controller to its signals and levers. reg and
+// observe are required; scaler is nil when there is no async pipeline to
+// scale, and setBatch is nil (with initialBatch 0) when retire batching is
+// disabled — the corresponding lever then stays off. The controller does
+// not run until Start.
+func NewController(cfg ControllerConfig, reg *SlotRegistry, scaler ReclaimerScaler, initialBatch int, setBatch func(int), observe func() ControllerSignal) *Controller {
+	if reg == nil {
+		panic("core: NewController requires a SlotRegistry")
+	}
+	if observe == nil {
+		panic("core: NewController requires an observe func")
+	}
+	cfg = cfg.withDefaults()
+	c := &Controller{
+		cfg:     cfg,
+		reg:     reg,
+		scaler:  scaler,
+		observe: observe,
+		stride:  1,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	if setBatch != nil && initialBatch > 0 {
+		c.batch = clampInt(initialBatch, cfg.MinBatch, cfg.MaxBatch)
+		c.setBatch = setBatch
+		if c.batch != initialBatch {
+			// The configured batch starts outside the AIMD bounds; publish
+			// the clamped value so the lever and the buffers agree.
+			c.setBatch(c.batch)
+		}
+	}
+	return c
+}
+
+// Interval returns the (defaulted) control period.
+func (c *Controller) Interval() time.Duration { return c.cfg.Interval }
+
+// Start launches the control goroutine; idempotent.
+func (c *Controller) Start() {
+	c.startOnce.Do(func() {
+		go c.run()
+	})
+}
+
+// Stop halts the control goroutine and waits for it to exit; idempotent,
+// and safe to call on a controller that was never started. After Stop no
+// further lever writes happen, which is what lets RecordManager.Close
+// sequence the shutdown (controller first, then flush, then reclaimers).
+func (c *Controller) Stop() {
+	c.stopOnce.Do(func() {
+		close(c.stop)
+	})
+	// Only a started controller has a goroutine to join; Step-driven test
+	// controllers just flip the stop flag.
+	select {
+	case <-c.done:
+	default:
+		c.startOnce.Do(func() { close(c.done) })
+		<-c.done
+	}
+}
+
+// run is the production control loop: one Step per interval until Stop.
+func (c *Controller) run() {
+	defer close(c.done)
+	ticker := time.NewTicker(c.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+			c.Step()
+		}
+	}
+}
+
+// Step performs one control decision: observe, move the levers, record a
+// sample. It is the whole controller; the production goroutine calls it on
+// a ticker and unit tests call it directly (no wall time involved — the
+// retire "rate" is the per-step delta against the nominal interval).
+// Owner-only: the control goroutine, or the test driving a never-started
+// controller.
+func (c *Controller) Step() {
+	live := c.reg.Live()
+	sig := c.observe()
+	decided := int64(0)
+
+	// Lever (a): effective shards track the live population at the
+	// registry's slots-per-shard density — enough prefix shards to home
+	// every live binding, no more.
+	shards := c.reg.EffectiveShards()
+	if total := c.reg.Shards(); total > 1 {
+		target := clampInt(ceilDiv(live*total, c.reg.Capacity()), 1, total)
+		if target != shards {
+			shards = c.reg.SetEffectiveShards(target)
+			decided++
+		}
+	}
+
+	// Lever (b): rate-tracking AIMD on the retire batch. The target is a
+	// few intervals' worth of per-thread retirement, so a parked record
+	// waits a bounded number of control intervals before its buffer
+	// flushes. Decrease is driven by the RATE (the batch is several times
+	// oversized — a lull), never by the backlog alone: most of Unreclaimed
+	// is scheme limbo and hand-off lag, which a smaller batch cannot
+	// drain, so a backlog-triggered decrease would pin the lever at the
+	// floor (each halving also halves what the buffers park, the
+	// limbo-dominated backlog stands still, and the condition re-fires
+	// forever). The backlog instead gates the INCREASE: while reclamation
+	// is behind, the batch does not grow the parked population further.
+	delta := sig.Retired - c.lastRetired
+	c.lastRetired = sig.Retired
+	if c.batch > 0 {
+		liveFloor := live
+		if liveFloor < 1 {
+			liveFloor = 1
+		}
+		step := c.cfg.MaxBatch / 16
+		if step < c.cfg.MinBatch {
+			step = c.cfg.MinBatch
+		}
+		perThread := int(delta) / liveFloor
+		target := clampInt(4*perThread, c.cfg.MinBatch, c.cfg.MaxBatch)
+		// The backlog gate passes when the backlog is modest in absolute
+		// terms OR simply not growing: schemes whose steady state parks a
+		// large limbo (epoch lag) would otherwise never pass an absolute
+		// test, and the batch could never recover from a lull collapse.
+		backlogOK := sig.Unreclaimed <= int64(4*c.cfg.MaxBatch)*int64(liveFloor) ||
+			sig.Unreclaimed <= c.lastUnreclaimed
+		next := c.batch
+		switch {
+		case c.batch > 4*target:
+			next = clampInt(c.batch/2, c.cfg.MinBatch, c.cfg.MaxBatch)
+		case c.batch < target && backlogOK:
+			if 4*c.batch < target {
+				// Slow-start: far below the rate target (fresh out of a
+				// lull), double — additive steps alone would spend a whole
+				// phase ramping.
+				next = clampInt(2*c.batch, c.cfg.MinBatch, c.cfg.MaxBatch)
+			} else {
+				next = clampInt(c.batch+step, c.cfg.MinBatch, c.cfg.MaxBatch)
+			}
+		}
+		if next != c.batch {
+			// RetireBatch() reads the lever under mu before the first
+			// recorded sample; publish the write under the same lock.
+			c.mu.Lock()
+			c.batch = next
+			c.mu.Unlock()
+			c.setBatch(next)
+			decided++
+		}
+	}
+	c.lastUnreclaimed = sig.Unreclaimed
+
+	// Lever (c): scale the active reclaimers with the hand-off backlog.
+	active := 0
+	if c.scaler != nil {
+		active = c.scaler.ActiveReclaimers()
+		batchful := int64(c.batch)
+		if batchful < 1 {
+			batchful = 1
+		}
+		switch {
+		case sig.HandoffPending > 2*batchful*int64(active) && active < c.scaler.Reclaimers():
+			active = c.scaler.SetActiveReclaimers(active + 1)
+			c.idleSteps = 0
+			decided++
+		case sig.HandoffPending < batchful:
+			// Under one batch outstanding counts as idle: a live hand-off
+			// stream keeps at least a batch in flight, so waiting for an
+			// exactly empty queue would never scale down.
+			if c.idleSteps++; c.idleSteps >= 4 && active > 1 {
+				active = c.scaler.SetActiveReclaimers(active - 1)
+				c.idleSteps = 0
+				decided++
+			}
+		default:
+			c.idleSteps = 0
+		}
+	}
+
+	c.record(decided, ControllerSample{
+		Live:             live,
+		EffectiveShards:  shards,
+		RetireBatch:      c.batch,
+		ActiveReclaimers: active,
+		Unreclaimed:      sig.Unreclaimed,
+		HandoffPending:   sig.HandoffPending,
+		RetiredDelta:     delta,
+	})
+}
+
+// record appends a sample to the bounded trajectory (decimating on
+// overflow) and publishes it as the latest observation, folding this step's
+// lever-write count into the decision counter under the same lock that
+// Decisions() reads it.
+func (c *Controller) record(decided int64, s ControllerSample) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.decisions += decided
+	c.step++
+	s.Step = c.step
+	c.last = s
+	if c.sinceKeep++; c.sinceKeep < c.stride {
+		return
+	}
+	c.sinceKeep = 0
+	c.samples = append(c.samples, s)
+	if len(c.samples) >= controllerMaxSamples {
+		kept := c.samples[:0]
+		for i := 1; i < len(c.samples); i += 2 {
+			kept = append(kept, c.samples[i])
+		}
+		c.samples = kept
+		c.stride *= 2
+	}
+}
+
+// Last returns the most recent control sample; ok is false before the
+// first step.
+func (c *Controller) Last() (ControllerSample, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.last, c.step > 0
+}
+
+// Steps returns the number of control steps taken so far.
+func (c *Controller) Steps() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.step
+}
+
+// Decisions returns the number of lever writes the controller has made
+// (instrumentation: a converged controller makes few).
+func (c *Controller) Decisions() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.decisions
+}
+
+// Trajectory returns a copy of the recorded decision trajectory. The
+// history is decimated to a bounded length with uniform stride, so long
+// runs return a coarser — never truncated — record.
+func (c *Controller) Trajectory() []ControllerSample {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]ControllerSample(nil), c.samples...)
+}
+
+// RetireBatch returns the batch lever's current position (0 when the lever
+// is disabled). Exact between steps; racy-but-coherent while the control
+// goroutine runs.
+func (c *Controller) RetireBatch() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.step > 0 {
+		return c.last.RetireBatch
+	}
+	return c.batch
+}
+
+// clampInt clamps v to [lo, hi].
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ceilDiv returns ceil(a/b) for positive b.
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}

@@ -1,0 +1,361 @@
+package core_test
+
+// Unit tests for the adaptive controller's three control laws. Every test
+// drives Step() directly on a never-started controller — the "clock" is the
+// step counter, so there are no wall-time sleeps and no timing sensitivity:
+// the same sequence of observations always produces the same sequence of
+// lever positions.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// fakeScaler is a ReclaimerScaler the reclaimer lever can move without an
+// async pipeline behind it.
+type fakeScaler struct {
+	active, pool int
+	sets         int // SetActiveReclaimers call count
+}
+
+func (s *fakeScaler) SetActiveReclaimers(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	if n > s.pool {
+		n = s.pool
+	}
+	s.active = n
+	s.sets++
+	return n
+}
+
+func (s *fakeScaler) ActiveReclaimers() int { return s.active }
+func (s *fakeScaler) Reclaimers() int       { return s.pool }
+
+// newShardedRegistry builds a capacity-slot registry over shards shards with
+// an attached map (so the controller's lever (a) has something to move).
+func newShardedRegistry(t *testing.T, capacity, shards int) *core.SlotRegistry {
+	t.Helper()
+	smap := core.NewShardMap(capacity, core.ShardSpec{Shards: shards})
+	r := core.NewSlotRegistry(capacity, smap)
+	smap.AttachRegistry(r)
+	return r
+}
+
+func TestControllerRequiresRegistryAndObserve(t *testing.T) {
+	r := core.NewSlotRegistry(1, nil)
+	obs := func() core.ControllerSignal { return core.ControllerSignal{} }
+	if !panics(func() { core.NewController(core.ControllerConfig{}, nil, nil, 0, nil, obs) }) {
+		t.Fatal("NewController with a nil registry did not panic")
+	}
+	if !panics(func() { core.NewController(core.ControllerConfig{}, r, nil, 0, nil, nil) }) {
+		t.Fatal("NewController with a nil observe func did not panic")
+	}
+}
+
+// TestControllerShardLever: the effective shard count tracks live occupancy
+// at the registry's slots-per-shard density — ceil(live*shards/capacity),
+// clamped to [1, shards].
+func TestControllerShardLever(t *testing.T) {
+	r := newShardedRegistry(t, 8, 4) // 2 slots per shard
+	c := core.NewController(core.ControllerConfig{}, r, nil, 0, nil,
+		func() core.ControllerSignal { return core.ControllerSignal{} })
+
+	if got := r.EffectiveShards(); got != 4 {
+		t.Fatalf("EffectiveShards = %d before any step, want 4 (all)", got)
+	}
+	c.Step() // live 0 -> minimum of one preferred shard
+	if got := r.EffectiveShards(); got != 1 {
+		t.Fatalf("EffectiveShards = %d with live=0, want 1", got)
+	}
+	var tids []int
+	for i := 0; i < 3; i++ {
+		tid, ok := r.Acquire()
+		if !ok {
+			t.Fatalf("Acquire #%d failed", i)
+		}
+		tids = append(tids, tid)
+	}
+	c.Step() // live 3 -> ceil(3*4/8) = 2
+	if got := r.EffectiveShards(); got != 2 {
+		t.Fatalf("EffectiveShards = %d with live=3, want 2", got)
+	}
+	for i := 3; i < 8; i++ {
+		tid, ok := r.Acquire()
+		if !ok {
+			t.Fatalf("Acquire #%d failed", i)
+		}
+		tids = append(tids, tid)
+	}
+	c.Step() // live 8 -> every shard preferred again
+	if got := r.EffectiveShards(); got != 4 {
+		t.Fatalf("EffectiveShards = %d with live=8, want 4", got)
+	}
+	// A converged controller stops deciding: the same occupancy must not
+	// produce another lever write.
+	before := c.Decisions()
+	c.Step()
+	if got := c.Decisions(); got != before {
+		t.Fatalf("Decisions grew %d -> %d on a converged step", before, got)
+	}
+	last, ok := c.Last()
+	if !ok || last.Step != 4 || last.Live != 8 || last.EffectiveShards != 4 {
+		t.Fatalf("Last() = %+v, %v; want step=4 live=8 shards=4", last, ok)
+	}
+	for _, tid := range tids {
+		r.Release(tid)
+	}
+	c.Step() // back to idle
+	if got := r.EffectiveShards(); got != 1 {
+		t.Fatalf("EffectiveShards = %d after releasing all slots, want 1", got)
+	}
+}
+
+// TestControllerBatchLeverTracksRate: the AIMD lever grows toward the rate
+// target (slow-start doubling far below it, additive steps near it) while
+// the rate is high, and halves back when the rate collapses — settling
+// within the configured bounds at both extremes.
+func TestControllerBatchLeverTracksRate(t *testing.T) {
+	r := core.NewSlotRegistry(1, nil)
+	if _, ok := r.Acquire(); !ok { // live = 1: per-thread rate == raw delta
+		t.Fatal("Acquire failed")
+	}
+	var published []int
+	var sig core.ControllerSignal
+	cfg := core.ControllerConfig{MinBatch: 8, MaxBatch: 1024}
+	c := core.NewController(cfg, r, nil, 8, func(b int) { published = append(published, b) },
+		func() core.ControllerSignal { return sig })
+
+	if got := c.RetireBatch(); got != 8 {
+		t.Fatalf("initial RetireBatch = %d want 8", got)
+	}
+	// A sustained rate of 1000 retires per interval targets the ceiling
+	// (4*1000 clamped to 1024). From 8 the lever must ramp monotonically:
+	// doublings while far below the target, then additive steps.
+	prev := 8
+	doublings := 0
+	for i := 0; i < 32 && c.RetireBatch() < 1024; i++ {
+		sig.Retired += 1000
+		c.Step()
+		got := c.RetireBatch()
+		if got < prev || got > 1024 {
+			t.Fatalf("step %d: batch %d -> %d; must grow monotonically within bounds", i, prev, got)
+		}
+		if got == 2*prev {
+			doublings++
+		}
+		prev = got
+	}
+	if got := c.RetireBatch(); got != 1024 {
+		t.Fatalf("batch = %d after sustained high rate, want ceiling 1024", got)
+	}
+	if doublings < 4 {
+		t.Fatalf("saw %d doublings on the ramp, want slow-start (>= 4)", doublings)
+	}
+	// Rate collapse: the batch halves back until it is no longer several
+	// times oversized for the (floored) target — never below MinBatch.
+	for i := 0; i < 16; i++ {
+		c.Step() // sig.Retired unchanged: delta = 0
+	}
+	if got := c.RetireBatch(); got != 32 {
+		// target floors at MinBatch=8; halving stops once batch <= 4*target.
+		t.Fatalf("batch = %d after rate collapse, want 32", got)
+	}
+	for _, b := range published {
+		if b < 8 || b > 1024 {
+			t.Fatalf("published batch %d outside [8, 1024]", b)
+		}
+	}
+}
+
+// TestControllerBatchBacklogGate: a large and growing Unreclaimed backlog
+// blocks the increase (growing the batch would park more memory behind a
+// lagging reclamation pipeline) but a merely large, stable backlog does not
+// — schemes whose steady state parks a big limbo must not pin the lever.
+func TestControllerBatchBacklogGate(t *testing.T) {
+	r := core.NewSlotRegistry(1, nil)
+	if _, ok := r.Acquire(); !ok {
+		t.Fatal("Acquire failed")
+	}
+	var sig core.ControllerSignal
+	cfg := core.ControllerConfig{MinBatch: 8, MaxBatch: 1024}
+	c := core.NewController(cfg, r, nil, 64, func(int) {},
+		func() core.ControllerSignal { return sig })
+
+	// High rate, but the backlog exceeds the absolute bound (4*MaxBatch*live
+	// = 4096) and grows every step: the increase must not fire.
+	for i := 0; i < 5; i++ {
+		sig.Retired += 1000
+		sig.Unreclaimed += 10_000
+		c.Step()
+		if got := c.RetireBatch(); got != 64 {
+			t.Fatalf("step %d: batch = %d; a growing backlog must gate the increase", i, got)
+		}
+	}
+	// Same backlog, no longer growing: the trend half of the gate passes and
+	// growth resumes.
+	sig.Retired += 1000
+	c.Step()
+	if got := c.RetireBatch(); got != 128 {
+		t.Fatalf("batch = %d with a stable backlog, want 128 (growth resumed)", got)
+	}
+	// The decrease is rate-driven and must ignore the backlog entirely.
+	sig.Unreclaimed += 50_000
+	c.Step() // delta = 0 with batch 128 > 4*MinBatch
+	if got := c.RetireBatch(); got != 64 {
+		t.Fatalf("batch = %d after rate collapse under backlog, want 64 (halved)", got)
+	}
+}
+
+// TestControllerReclaimerLever: the active-reclaimer count grows while the
+// hand-off backlog exceeds a couple of batches per active reclaimer, and
+// shrinks only after several consecutive near-idle observations.
+func TestControllerReclaimerLever(t *testing.T) {
+	r := core.NewSlotRegistry(1, nil)
+	sc := &fakeScaler{active: 1, pool: 3}
+	var sig core.ControllerSignal
+	// No batch lever: the backlog is measured in batches of 1.
+	c := core.NewController(core.ControllerConfig{}, r, sc, 0, nil,
+		func() core.ControllerSignal { return sig })
+
+	sig.HandoffPending = 100
+	c.Step()
+	if sc.active != 2 {
+		t.Fatalf("active = %d after one loaded step, want 2", sc.active)
+	}
+	c.Step()
+	c.Step()
+	if sc.active != 3 {
+		t.Fatalf("active = %d under sustained load, want pool ceiling 3", sc.active)
+	}
+	c.Step() // at the ceiling: no further increase
+	if sc.active != 3 {
+		t.Fatalf("active = %d, scaled past the pool", sc.active)
+	}
+
+	// Three idle steps are not enough to scale down...
+	sig.HandoffPending = 0
+	c.Step()
+	c.Step()
+	c.Step()
+	if sc.active != 3 {
+		t.Fatalf("active = %d after 3 idle steps, want 3 (patience is 4)", sc.active)
+	}
+	// ...and a loaded step in between resets the patience counter.
+	sig.HandoffPending = 2 // neither idle (< 1 batch) nor overloaded
+	c.Step()
+	sig.HandoffPending = 0
+	c.Step()
+	c.Step()
+	c.Step()
+	if sc.active != 3 {
+		t.Fatalf("active = %d; the idle counter must reset on a busy step", sc.active)
+	}
+	c.Step() // 4th consecutive idle step
+	if sc.active != 2 {
+		t.Fatalf("active = %d after 4 consecutive idle steps, want 2", sc.active)
+	}
+	for i := 0; i < 8; i++ {
+		c.Step()
+	}
+	if sc.active != 1 {
+		t.Fatalf("active = %d after a long idle stretch, want floor 1", sc.active)
+	}
+}
+
+// TestControllerTrajectoryDecimation: arbitrarily long runs keep a bounded,
+// uniformly spaced decision history — decimated, never truncated.
+func TestControllerTrajectoryDecimation(t *testing.T) {
+	r := core.NewSlotRegistry(1, nil)
+	c := core.NewController(core.ControllerConfig{}, r, nil, 0, nil,
+		func() core.ControllerSignal { return core.ControllerSignal{} })
+
+	if _, ok := c.Last(); ok {
+		t.Fatal("Last() reported a sample before the first step")
+	}
+	const steps = 5000
+	for i := 0; i < steps; i++ {
+		c.Step()
+	}
+	if got := c.Steps(); got != steps {
+		t.Fatalf("Steps = %d want %d", got, steps)
+	}
+	traj := c.Trajectory()
+	if len(traj) == 0 || len(traj) > 2048 {
+		t.Fatalf("trajectory length %d; want bounded (0, 2048]", len(traj))
+	}
+	// Uniform stride: after decimation the retained samples are evenly
+	// spaced and in step order.
+	stride := 0
+	for i := 1; i < len(traj); i++ {
+		d := traj[i].Step - traj[i-1].Step
+		if d <= 0 {
+			t.Fatalf("trajectory steps not increasing at %d: %d then %d", i, traj[i-1].Step, traj[i].Step)
+		}
+		if stride == 0 {
+			stride = d
+		} else if d != stride {
+			t.Fatalf("non-uniform stride at %d: %d vs %d", i, d, stride)
+		}
+	}
+	last, ok := c.Last()
+	if !ok || last.Step != steps {
+		t.Fatalf("Last() = step %d, %v; want %d", last.Step, ok, steps)
+	}
+}
+
+// TestControllerInitialBatchClamp: a configured batch outside the AIMD
+// bounds is clamped at construction and the clamped value is published to
+// the buffers immediately, so the lever and the limit cells agree.
+func TestControllerInitialBatchClamp(t *testing.T) {
+	r := core.NewSlotRegistry(1, nil)
+	obs := func() core.ControllerSignal { return core.ControllerSignal{} }
+	cfg := core.ControllerConfig{MinBatch: 16, MaxBatch: 256}
+
+	var published []int
+	c := core.NewController(cfg, r, nil, 4096, func(b int) { published = append(published, b) }, obs)
+	if got := c.RetireBatch(); got != 256 {
+		t.Fatalf("RetireBatch = %d for an oversized initial batch, want 256", got)
+	}
+	if len(published) != 1 || published[0] != 256 {
+		t.Fatalf("published = %v; the clamped batch must be pushed at construction", published)
+	}
+
+	published = nil
+	c = core.NewController(cfg, r, nil, 2, func(b int) { published = append(published, b) }, obs)
+	if got := c.RetireBatch(); got != 16 {
+		t.Fatalf("RetireBatch = %d for an undersized initial batch, want 16", got)
+	}
+	if len(published) != 1 || published[0] != 16 {
+		t.Fatalf("published = %v; the clamped batch must be pushed at construction", published)
+	}
+
+	// A batch already inside the bounds is not republished.
+	published = nil
+	c = core.NewController(cfg, r, nil, 64, func(b int) { published = append(published, b) }, obs)
+	if got := c.RetireBatch(); got != 64 {
+		t.Fatalf("RetireBatch = %d want 64", got)
+	}
+	if len(published) != 0 {
+		t.Fatalf("published = %v for an in-bounds initial batch, want none", published)
+	}
+}
+
+// TestControllerStopIdempotent: Stop is safe on a controller that was never
+// started, safe twice, and joins the control goroutine when there is one.
+func TestControllerStopIdempotent(t *testing.T) {
+	r := core.NewSlotRegistry(1, nil)
+	obs := func() core.ControllerSignal { return core.ControllerSignal{} }
+
+	c := core.NewController(core.ControllerConfig{}, r, nil, 0, nil, obs)
+	c.Stop() // never started: must not hang
+	c.Stop() // and must stay idempotent
+
+	c = core.NewController(core.ControllerConfig{}, r, nil, 0, nil, obs)
+	c.Start()
+	c.Start() // idempotent
+	c.Stop()  // joins the goroutine
+	c.Stop()
+}

@@ -98,7 +98,6 @@ type ThreadHandle[T any] struct {
 	pool   PoolHandle[T]      // pool fast path; nil when records are not reused
 	alloc  Allocator[T]
 	pinner RetirePinner // asserted once at construction, not per Retire
-	batch  int
 
 	perRecord     bool
 	crashRecovery bool
@@ -112,7 +111,6 @@ func (m *RecordManager[T]) newHandle(tid int) ThreadHandle[T] {
 		rec:           m.reclaimer,
 		alloc:         m.alloc,
 		pinner:        m.pinner,
-		batch:         m.batch,
 		perRecord:     m.perRecord,
 		crashRecovery: m.crashRecovery,
 	}
@@ -293,7 +291,11 @@ func (h *ThreadHandle[T]) Retire(rec *T) {
 	if b := h.buf; b != nil {
 		b.bag.Add(rec)
 		b.pending.Inc()
-		if b.pending.Load() >= int64(h.batch) {
+		// The flush threshold is the buffer's limit cell, not a cached
+		// constant: statically it never changes, and under an adaptive
+		// controller the controller retunes it — an atomic load the thread's
+		// own pending publish already paid for the line fill of.
+		if b.pending.Load() >= b.limit.Load() {
 			h.m.flushBuf(h.tid, b)
 		}
 		return

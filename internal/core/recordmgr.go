@@ -49,6 +49,11 @@ type RecordManager[T any] struct {
 	// slots: AcquireHandle/ReleaseHandle bind goroutines to dense tids at
 	// runtime, Handle(tid) claims slots permanently for static wiring.
 	reg *SlotRegistry
+	// ctrl is the adaptive controller (nil unless WithController): the
+	// self-tuning loop over effective shards, retire batches and active
+	// reclaimers. Close stops it before anything else so no lever moves
+	// mid-shutdown.
+	ctrl *Controller
 	// sparesRecovered counts the spare exchange blocks Close returned to the
 	// workers' retire-buffer pools (instrumentation for the leak tests).
 	sparesRecovered int
@@ -64,7 +69,14 @@ type retireBuf[T any] struct {
 	// pending counts the parked records: single-writer (the owning tid, or
 	// the closer after the workers are joined), racy-safe for Stats readers.
 	pending Counter
-	_       [PadBytes]byte
+	// limit is the thread's current flush threshold. Statically it simply
+	// holds the configured batch size; under an adaptive controller the
+	// controller is the cell's single writer (ownership transfers from the
+	// constructor across the controller goroutine's start) and the owning
+	// thread only ever Loads it — so the adaptive batch lever adds no
+	// read-modify-write, and no new atomic, to the retire hot path.
+	limit Counter
+	_     [PadBytes]byte
 }
 
 // ManagerOption configures a RecordManager at construction time.
@@ -74,6 +86,7 @@ type managerConfig struct {
 	threads    int
 	batch      int
 	reclaimers int
+	ctrl       *ControllerConfig
 }
 
 // WithRetireBatching enables per-thread deferred retirement for the given
@@ -118,6 +131,23 @@ func WithAsyncReclaim(reclaimers int) ManagerOption {
 	}
 }
 
+// WithController attaches and starts an adaptive Controller: a feedback loop
+// that retunes the effective shard count from live slot occupancy, the
+// per-thread retire-batch threshold from the retire rate and Unreclaimed
+// backlog (AIMD between cfg's floor and ceiling), and the active async
+// reclaimer count from the hand-off backlog — each lever degrading to the
+// static configuration when its subsystem is absent (no batching → no batch
+// lever, no async pipeline → no reclaimer lever, one shard → no shard
+// lever). The controller runs on its own goroutine at cfg.Interval;
+// RecordManager.Close stops it before flushing, so the shutdown ordering —
+// and the Retired == Freed post-Close invariant — are untouched. See
+// recordmgr.Config.Adaptive for the configuration-layer entry point.
+func WithController(cfg ControllerConfig) ManagerOption {
+	return func(c *managerConfig) {
+		c.ctrl = &cfg
+	}
+}
+
 // NewRecordManager assembles a Record Manager from its three components.
 // pool may be nil, in which case Allocate goes straight to the allocator and
 // freed records are discarded (the configuration of the paper's Experiment 1,
@@ -155,6 +185,7 @@ func NewRecordManager[T any](alloc Allocator[T], pool Pool[T], rec Reclaimer[T],
 		for i := range m.bufs {
 			m.bufs[i].pool = blockbag.NewBlockPool[T](0)
 			m.bufs[i].bag = blockbag.New[T](m.bufs[i].pool)
+			m.bufs[i].limit.Store(int64(cfg.batch))
 		}
 	}
 	if cfg.reclaimers > 0 {
@@ -190,8 +221,41 @@ func NewRecordManager[T any](alloc Allocator[T], pool Pool[T], rec Reclaimer[T],
 	if smap != nil {
 		smap.AttachRegistry(m.reg)
 	}
+	if cfg.ctrl != nil {
+		var scaler ReclaimerScaler
+		if m.async != nil {
+			scaler = m.async
+		}
+		var setBatch func(int)
+		if m.batch > 0 {
+			setBatch = func(b int) {
+				for i := range m.bufs {
+					m.bufs[i].limit.Store(int64(b))
+				}
+			}
+		}
+		m.ctrl = NewController(*cfg.ctrl, m.reg, scaler, m.batch, setBatch, func() ControllerSignal {
+			s := m.Stats()
+			// The rate signal is WORKER inflow, not scheme-level Retired:
+			// with batching and async hand-off, records reach the scheme's
+			// Retire only when a reclaimer drains them, so scheme-Retired
+			// stalls exactly when the pipeline is busiest (and catches up in
+			// the lulls — an inverted signal). Each record sits in exactly
+			// one of the three terms, so the sum is monotone.
+			return ControllerSignal{
+				Retired:        s.Reclaimer.Retired + s.RetirePending + s.HandoffPending,
+				Unreclaimed:    s.Unreclaimed,
+				HandoffPending: s.HandoffPending,
+			}
+		})
+		m.ctrl.Start()
+	}
 	return m
 }
+
+// Controller returns the manager's adaptive controller (nil unless
+// constructed with WithController).
+func (m *RecordManager[T]) Controller() *Controller { return m.ctrl }
 
 // SlotRegistry returns the manager's dynamic thread-slot registry
 // (instrumentation; applications go through AcquireHandle/ReleaseHandle).
@@ -320,6 +384,12 @@ func (m *RecordManager[T]) AsyncReclaimers() int {
 // touch their single-owner buffers). Close is idempotent and managers that
 // never enabled batching or async reclamation may skip it.
 func (m *RecordManager[T]) Close() {
+	if m.ctrl != nil {
+		// Stop the adaptive controller first: after Stop no lever moves, so
+		// the flush/drain sequence below runs against frozen knobs and the
+		// PR 3 shutdown ordering is preserved verbatim.
+		m.ctrl.Stop()
+	}
 	for tid := range m.bufs {
 		m.FlushRetired(tid)
 	}

@@ -93,20 +93,48 @@ type shardOcc struct {
 	_     [PadBytes]byte
 }
 
+// freeHead is one shard's free-list head word, padded so neighbouring
+// shards' heads (CASed on every acquire/release in that shard) do not share
+// cache lines. The low 32 bits hold (index+1) of the top slot (0 = empty),
+// the high 32 bits a tag bumped by every successful CAS, which defeats ABA
+// on the Treiber stack.
+type freeHead struct {
+	head atomic.Uint64
+	_    [PadBytes]byte
+}
+
 // SlotRegistry hands out dense thread ids ("slots") in [0, Capacity()) at
 // runtime: Acquire pops a vacant slot from a lock-free free list, Release
 // returns it. All methods are safe for concurrent use. The registry is the
 // mechanism only — the safety half of the release contract (quiescence,
 // drained buffers) is enforced by RecordManager.ReleaseHandle, which is the
 // entry point applications use.
+//
+// # Per-shard free lists and the effective shard count
+//
+// The free list is partitioned by shard (one Treiber stack per shard of the
+// attached ShardMap; a single stack when there is none): a slot is pushed to
+// and popped from its home shard's list only, so slots never migrate between
+// lists. Acquire prefers the shards below the registry's *effective* shard
+// count — a runtime lever (SetEffectiveShards) the adaptive Controller moves
+// with live occupancy — and falls back to the remaining shards only when the
+// preferred ones are exhausted, so shrinking the effective count concentrates
+// placement (and therefore the schemes' announcement scans) on a prefix of
+// the shards without ever stranding capacity. Correctness does not depend on
+// the effective count at all: it biases placement, while the scan paths keep
+// working off the per-shard occupancy summaries exactly as before.
 type SlotRegistry struct {
 	capacity int
 	smap     *ShardMap // nil when the reclaimer exposes no shard map
 
-	// head is the free-list head: the low 32 bits hold (index+1) of the top
-	// slot (0 = empty), the high 32 bits a tag bumped by every successful
-	// CAS, which defeats ABA on the Treiber stack.
-	head atomic.Uint64
+	// heads is one free-list head per shard (length 1 when smap is nil);
+	// homes maps a slot to its immutable free-list index.
+	heads []freeHead
+	homes []int
+
+	// effective is the number of preferred shards: Acquire scans the free
+	// lists of shards [0, effective) first. Always in [1, len(heads)].
+	effective atomic.Int32
 
 	slots  []slotState
 	shards []shardOcc // nil when smap is nil
@@ -114,22 +142,36 @@ type SlotRegistry struct {
 
 // NewSlotRegistry creates a registry for capacity worker slots. smap, when
 // non-nil, is the reclaimer's shard map; the registry then maintains one
-// occupancy summary word per shard (members of the map beyond the registry's
-// capacity — async reclaimer tids — count as permanently occupied). All
-// slots start vacant, with the free list ordered so the first Acquire
-// returns slot 0.
+// occupancy summary word and one free list per shard (members of the map
+// beyond the registry's capacity — async reclaimer tids — count as
+// permanently occupied). All slots start vacant, with each shard's free list
+// ordered ascending and every shard effective, so the first Acquire returns
+// slot 0 — the dense-id habit everything downstream relies on.
 func NewSlotRegistry(capacity int, smap *ShardMap) *SlotRegistry {
 	if capacity <= 0 {
 		panic("core: NewSlotRegistry requires capacity >= 1")
 	}
+	lists := 1
+	if smap != nil {
+		lists = smap.Shards()
+	}
 	r := &SlotRegistry{
 		capacity: capacity,
 		smap:     smap,
+		heads:    make([]freeHead, lists),
+		homes:    make([]int, capacity),
 		slots:    make([]slotState, capacity),
 	}
-	// Build the initial free list in descending push order so pops come out
-	// ascending (slot 0 first), matching the dense-id habits of everything
-	// downstream (shard placement, NUMA pinning, test expectations).
+	if smap != nil {
+		for i := 0; i < capacity; i++ {
+			r.homes[i] = smap.ShardOf(i)
+		}
+	}
+	r.effective.Store(int32(lists))
+	// Build the initial free lists in descending push order so pops come out
+	// ascending within each shard (slot 0 first in shard 0), matching the
+	// dense-id habits of everything downstream (shard placement, NUMA
+	// pinning, test expectations).
 	for i := capacity - 1; i >= 0; i-- {
 		r.pushFree(i)
 	}
@@ -149,31 +191,58 @@ func NewSlotRegistry(capacity int, smap *ShardMap) *SlotRegistry {
 // Capacity returns the number of worker slots the registry manages.
 func (r *SlotRegistry) Capacity() int { return r.capacity }
 
-// pushFree pushes slot i onto the free list.
+// Shards returns the number of per-shard free lists (1 without a shard map).
+func (r *SlotRegistry) Shards() int { return len(r.heads) }
+
+// EffectiveShards returns the current number of preferred shards: Acquire
+// places new bindings into shards [0, EffectiveShards()) while they have
+// vacancies. Equal to Shards() unless SetEffectiveShards shrank it.
+func (r *SlotRegistry) EffectiveShards() int { return int(r.effective.Load()) }
+
+// SetEffectiveShards sets the number of preferred shards, clamped to
+// [1, Shards()], and returns the applied value. It is a placement bias, not
+// a capacity limit: slots homed beyond the effective prefix remain
+// acquirable through Acquire's fallback pass, and slots already held there
+// are untouched — so the adaptive Controller may shrink and grow the value
+// concurrently with Acquire/Release traffic without any coordination.
+func (r *SlotRegistry) SetEffectiveShards(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(r.heads) {
+		n = len(r.heads)
+	}
+	r.effective.Store(int32(n))
+	return n
+}
+
+// pushFree pushes slot i onto its home shard's free list.
 func (r *SlotRegistry) pushFree(i int) {
+	h := &r.heads[r.homes[i]].head
 	for {
-		old := r.head.Load()
+		old := h.Load()
 		r.slots[i].next.Store(uint32(old))
 		next := (old>>32+1)<<32 | uint64(uint32(i+1))
-		if r.head.CompareAndSwap(old, next) {
+		if h.CompareAndSwap(old, next) {
 			return
 		}
 	}
 }
 
-// popFree pops a slot from the free list; ok is false when the list is
+// popFree pops a slot from shard list l; ok is false when the list is
 // empty. Lock-free: a CAS failure means another pop or push won, and the
 // tag in the head word rules out ABA against a concurrently recycled slot.
-func (r *SlotRegistry) popFree() (int, bool) {
+func (r *SlotRegistry) popFree(l int) (int, bool) {
+	h := &r.heads[l].head
 	for {
-		old := r.head.Load()
+		old := h.Load()
 		idx := int(uint32(old)) - 1
 		if idx < 0 {
 			return -1, false
 		}
 		link := uint64(r.slots[idx].next.Load())
 		next := (old>>32+1)<<32 | uint64(uint32(link))
-		if r.head.CompareAndSwap(old, next) {
+		if h.CompareAndSwap(old, next) {
 			return idx, true
 		}
 	}
@@ -198,19 +267,42 @@ func (r *SlotRegistry) noteVacant(tid int) {
 // dynamically held. The occupancy summary is published before Acquire
 // returns, so the slot is visible to scanners before its new owner can
 // announce anything.
+//
+// Placement: the shards below the effective count are scanned first (in
+// ascending order, so low tids are preferred — the dense-id habit), the
+// remaining shards only as a fallback, which is what lets the adaptive
+// Controller concentrate live slots on a shard prefix without making any
+// slot unacquirable. The multi-list scan is not one atomic snapshot, but it
+// stays linearizable: slots never migrate between lists, so a scan that
+// finds every list empty while a concurrent Release pushes is
+// indistinguishable from the Acquire having run entirely before the Release.
 func (r *SlotRegistry) Acquire() (int, bool) {
-	for {
-		idx, ok := r.popFree()
-		if !ok {
-			return -1, false
-		}
-		if r.slots[idx].state.CompareAndSwap(slotVacant, slotDynamic) {
-			r.noteOccupied(idx)
-			return idx, true
-		}
-		// The slot was claimed statically while parked on the free list; a
-		// static claim is permanent, so drop it and keep popping.
+	eff := int(r.effective.Load())
+	if eff < 1 || eff > len(r.heads) {
+		eff = len(r.heads)
 	}
+	for pass := 0; pass < 2; pass++ {
+		lo, hi := 0, eff
+		if pass == 1 {
+			lo, hi = eff, len(r.heads)
+		}
+		for l := lo; l < hi; l++ {
+			for {
+				idx, ok := r.popFree(l)
+				if !ok {
+					break
+				}
+				if r.slots[idx].state.CompareAndSwap(slotVacant, slotDynamic) {
+					r.noteOccupied(idx)
+					return idx, true
+				}
+				// The slot was claimed statically while parked on the free
+				// list; a static claim is permanent, so drop it and keep
+				// popping.
+			}
+		}
+	}
+	return -1, false
 }
 
 // Release marks a dynamically acquired slot vacant and returns it to the

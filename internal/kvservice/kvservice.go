@@ -8,9 +8,11 @@
 // reclamation stalls surface as tail latency). Every connection goroutine
 // lives the PR 5 churn contract: it binds a worker slot in every partition
 // for a bounded burst of requests (Config.Burst) and releases the slots back
-// at the burst boundary, so a server can admit far more connections over its
-// lifetime than it has worker slots — an idle or slow connection holds
-// nothing and cannot stall reclamation for the others. See
+// at the burst boundary — or after Config.IdleHold of inbound silence, so a
+// connection that stops sending mid-burst gives its slots back too. A server
+// can therefore admit far more connections over its lifetime than it has
+// worker slots: an idle or slow connection holds nothing and cannot stall
+// reclamation (or starve the slot-waiting connections) for the others. See
 // docs/ARCHITECTURE.md for where this sits in the Record Manager stack and
 // docs/OPERATIONS.md for operating guidance.
 package kvservice
@@ -19,6 +21,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -46,6 +49,14 @@ type Config struct {
 	// Burst is how many requests a connection serves per slot hold before
 	// releasing its handles back to the registries (defaults to 64).
 	Burst int
+	// IdleHold bounds how long a connection may sit idle (no inbound byte)
+	// while holding worker slots mid-burst: past it the handles are released
+	// and reacquired when the next request arrives (defaults to 5ms). The
+	// bound is a liveness requirement, not a tuning knob: slots are a
+	// multiplexed resource, and a connection that parks between requests
+	// with its handles bound would starve every connection waiting in
+	// acquire — forever, since nothing else frees a slot.
+	IdleHold time.Duration
 	// UsePool recycles reclaimed nodes through the record pool (default
 	// false; set it for steady-state serving).
 	UsePool bool
@@ -55,6 +66,13 @@ type Config struct {
 	Placement   core.ShardPlacement
 	RetireBatch int
 	Reclaimers  int
+	// Adaptive attaches the self-tuning controller to every partition's
+	// Record Manager (recordmgr.Config.Adaptive): effective shards, retire
+	// batches and active reclaimers then track the live connection load
+	// instead of staying pinned at the knobs above. AdaptiveInterval is the
+	// controller's decision period (0 = core.DefaultControllerInterval).
+	Adaptive         bool
+	AdaptiveInterval time.Duration
 	// InitialBuckets sizes each partition's bucket table (0 = map default).
 	InitialBuckets int
 }
@@ -72,6 +90,9 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.Burst == 0 {
 		cfg.Burst = 64
+	}
+	if cfg.IdleHold == 0 {
+		cfg.IdleHold = 5 * time.Millisecond
 	}
 	return cfg
 }
@@ -125,22 +146,32 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Burst < 1 {
 		return nil, fmt.Errorf("kvservice: Burst must be >= 1, got %d", cfg.Burst)
 	}
+	if cfg.IdleHold < 0 {
+		return nil, fmt.Errorf("kvservice: IdleHold must be >= 0, got %v", cfg.IdleHold)
+	}
 	// Build partition 0's manager first so configuration errors surface as
 	// errors rather than panics out of the builder callback.
 	mcfg := recordmgr.Config{
-		Scheme:      cfg.Scheme,
-		Threads:     1,
-		MaxThreads:  cfg.MaxConns,
-		Allocator:   recordmgr.AllocBump,
-		UsePool:     cfg.UsePool,
-		Shards:      cfg.Shards,
-		Placement:   cfg.Placement,
-		RetireBatch: cfg.RetireBatch,
-		Reclaimers:  cfg.Reclaimers,
+		Scheme:           cfg.Scheme,
+		Threads:          1,
+		MaxThreads:       cfg.MaxConns,
+		Allocator:        recordmgr.AllocBump,
+		UsePool:          cfg.UsePool,
+		Shards:           cfg.Shards,
+		Placement:        cfg.Placement,
+		RetireBatch:      cfg.RetireBatch,
+		Reclaimers:       cfg.Reclaimers,
+		Adaptive:         cfg.Adaptive,
+		AdaptiveInterval: cfg.AdaptiveInterval,
 	}
-	if _, err := recordmgr.Build[hashmap.Node[[]byte]](mcfg); err != nil {
+	probe, err := recordmgr.Build[hashmap.Node[[]byte]](mcfg)
+	if err != nil {
 		return nil, fmt.Errorf("kvservice: %w", err)
 	}
+	// The probe exists only to surface configuration errors; Close it so the
+	// goroutines a valid configuration starts (async reclaimers, the adaptive
+	// controller) do not outlive the check.
+	probe.Close()
 	var opts []hashmap.Option
 	if cfg.InitialBuckets > 0 {
 		opts = append(opts, hashmap.WithInitialBuckets(cfg.InitialBuckets))
@@ -229,10 +260,12 @@ func (s *Server) Close() {
 }
 
 // serveConn runs one connection: decode a frame, serve it under the bound
-// burst handles, answer, and release the handles every Burst requests.
+// burst handles, answer, and release the handles every Burst requests — or
+// sooner, when the peer goes quiet mid-burst (IdleHold).
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.handlers.Done()
 	h := s.pm.NewHandle()
+	cr := &countingReader{r: conn}
 	var (
 		local  tally
 		buf    []byte // frame read buffer, reused
@@ -250,8 +283,33 @@ func (s *Server) serveConn(conn net.Conn) {
 		conn.Close()
 	}()
 	for {
-		payload, err := kvwire.ReadFrame(conn, buf)
+		// A bound read carries the IdleHold deadline; an unbound connection
+		// holds nothing and may idle forever, so its read blocks cleanly
+		// (clearing any deadline a bound iteration armed).
+		if h.Bound() {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.IdleHold))
+		} else {
+			conn.SetReadDeadline(time.Time{})
+		}
+		cr.n = 0
+		payload, err := kvwire.ReadFrame(cr, buf)
 		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() && h.Bound() && cr.n == 0 {
+				// Idle between requests with slots held: give them back and
+				// wait for the next frame without a deadline. A timeout with
+				// bytes consumed is NOT recoverable — ReadFrame's partial
+				// state is lost, so a peer that stalls mid-frame for a whole
+				// IdleHold falls through and is dropped like any dead
+				// connection.
+				h.Release()
+				served = 0
+				s.mu.Lock()
+				s.totals.add(local)
+				s.mu.Unlock()
+				local = tally{}
+				continue
+			}
 			// Clean EOF, peer reset, or a frame-level protocol violation:
 			// either way the conversation is over. For protocol violations we
 			// owe the peer a diagnostic before dropping them.
@@ -286,6 +344,22 @@ func (s *Server) serveConn(conn net.Conn) {
 			local = tally{}
 		}
 	}
+}
+
+// countingReader counts the bytes delivered since the last reset, letting
+// serveConn distinguish "idle between frames" on a deadline expiry (nothing
+// read — the slots can be released and the read retried) from "stalled
+// mid-frame" (bytes consumed and lost with ReadFrame's partial state — the
+// connection is unrecoverable).
+type countingReader struct {
+	r io.Reader
+	n int
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += n
+	return n, err
 }
 
 // acquire binds h with backoff, waiting out transient slot exhaustion
@@ -375,6 +449,28 @@ type Snapshot struct {
 	StatsReqs   int64 `json:"stats_reqs"`
 
 	Manager ManagerSnapshot `json:"manager"`
+
+	// Adaptive holds one entry per partition's self-tuning controller
+	// (Config.Adaptive); empty when the server runs with static knobs.
+	Adaptive []ControllerSnapshot `json:"adaptive,omitempty"`
+}
+
+// ControllerSnapshot is one partition controller's current lever positions
+// and activity counters (see core.Controller).
+type ControllerSnapshot struct {
+	// EffectiveShards, RetireBatch and ActiveReclaimers are the current
+	// lever positions (RetireBatch 0 when batching is off, ActiveReclaimers
+	// 0 when reclamation is synchronous).
+	EffectiveShards  int `json:"effective_shards"`
+	RetireBatch      int `json:"retire_batch"`
+	ActiveReclaimers int `json:"active_reclaimers"`
+	// Live is the partition's bound worker-slot count at the controller's
+	// last observation.
+	Live int `json:"live"`
+	// Steps and Decisions count control steps taken and lever writes made
+	// (a converged controller steps often and decides rarely).
+	Steps     int   `json:"steps"`
+	Decisions int64 `json:"decisions"`
 }
 
 // ManagerSnapshot is the reclamation half of a Snapshot, summed over the
@@ -410,8 +506,23 @@ func (s *Server) snapshotLocked(inline *tally) Snapshot {
 		t.add(*inline)
 	}
 	live := 0
+	var adaptive []ControllerSnapshot
 	for p := 0; p < s.pm.Partitions(); p++ {
-		live += s.pm.Partition(p).Manager().SlotRegistry().Live()
+		m := s.pm.Partition(p).Manager()
+		live += m.SlotRegistry().Live()
+		if c := m.Controller(); c != nil {
+			cs := ControllerSnapshot{
+				EffectiveShards: m.SlotRegistry().EffectiveShards(),
+				Steps:           c.Steps(),
+				Decisions:       c.Decisions(),
+			}
+			if last, ok := c.Last(); ok {
+				cs.RetireBatch = last.RetireBatch
+				cs.ActiveReclaimers = last.ActiveReclaimers
+				cs.Live = last.Live
+			}
+			adaptive = append(adaptive, cs)
+		}
 	}
 	ms := s.pm.ManagerStats()
 	return Snapshot{
@@ -428,6 +539,7 @@ func (s *Server) snapshotLocked(inline *tally) Snapshot {
 		Dels:         t.dels,
 		DelHits:      t.delHits,
 		StatsReqs:    t.statsReqs,
+		Adaptive:     adaptive,
 		Manager: ManagerSnapshot{
 			Retired:         ms.Reclaimer.Retired,
 			Freed:           ms.Reclaimer.Freed,

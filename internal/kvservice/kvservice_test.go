@@ -7,6 +7,7 @@ import (
 	"net"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/kvservice"
 	"repro/internal/kvwire"
@@ -230,6 +231,86 @@ func TestServerLifecycle(t *testing.T) {
 	}
 }
 
+// TestServerIdleConnDoesNotStarveOthers is the regression test for the slot
+// starvation deadlock: a connection that went idle mid-burst used to keep its
+// worker slots until its next request, and once every slot was parked that
+// way the remaining connections spun in acquire forever — kvload's prefill,
+// which leaves connections open and idle after their stripe, wedged the
+// server deterministically whenever conns > MaxConns. IdleHold is the fix:
+// an idle holder releases its slots and reacquires on its next frame.
+func TestServerIdleConnDoesNotStarveOthers(t *testing.T) {
+	srv, addr := startServer(t, kvservice.Config{
+		Scheme:     recordmgr.SchemeDEBRA,
+		Partitions: 2,
+		MaxConns:   1, // a single slot per partition: one parked holder starves everyone
+		Burst:      8,
+		IdleHold:   2 * time.Millisecond,
+		UsePool:    true,
+		Reclaimers: 1,
+		Adaptive:   true, // the original wedge surfaced under the adaptive controller
+	})
+	defer srv.Close()
+
+	a := dial(t, addr)
+	if resp := a.put(1, "one"); resp.Status != kvwire.StatusOK {
+		t.Fatalf("conn A PUT: %v", resp.Status)
+	}
+
+	// Conn A is now parked mid-burst (1 of 8 requests served), holding the
+	// only slot of every partition. Without the idle release, conn B's first
+	// request would wait in acquire forever.
+	type result struct {
+		resp kvwire.Response
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		conn, err := net.Dial(addr.Network(), addr.String())
+		if err != nil {
+			done <- result{err: err}
+			return
+		}
+		defer conn.Close()
+		if _, err := conn.Write(kvwire.AppendPut(nil, 2, []byte("two"))); err != nil {
+			done <- result{err: err}
+			return
+		}
+		payload, err := kvwire.ReadFrame(conn, nil)
+		if err != nil {
+			done <- result{err: err}
+			return
+		}
+		resp, err := kvwire.DecodeResponse(payload)
+		done <- result{resp: resp, err: err}
+	}()
+	select {
+	case r := <-done:
+		if r.err != nil {
+			t.Fatalf("conn B: %v", r.err)
+		}
+		if r.resp.Status != kvwire.StatusOK {
+			t.Fatalf("conn B PUT: %v", r.resp.Status)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("conn B starved: the idle conn A never released its slots")
+	}
+
+	// Conn A reacquires transparently after its idle release.
+	if resp := a.get(1); resp.Status != kvwire.StatusOK || string(resp.Body) != "one" {
+		t.Fatalf("conn A GET after idle release: status=%v body=%q", resp.Status, resp.Body)
+	}
+
+	// Once both connections idle past IdleHold, every slot returns to the
+	// registries.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().SlotsLive != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("slots still live on idle connections: %d", srv.Stats().SlotsLive)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 func TestServerCloseIdempotentAndStartAfterClose(t *testing.T) {
 	srv, _ := startServer(t, kvservice.Config{})
 	srv.Close()
@@ -251,5 +332,8 @@ func TestServerConfigValidation(t *testing.T) {
 	}
 	if _, err := kvservice.New(kvservice.Config{Burst: -1}); err == nil {
 		t.Fatal("New accepted negative Burst")
+	}
+	if _, err := kvservice.New(kvservice.Config{IdleHold: -time.Millisecond}); err == nil {
+		t.Fatal("New accepted negative IdleHold")
 	}
 }

@@ -8,6 +8,7 @@ package recordmgr
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/arena"
 	"repro/internal/blockbag"
@@ -96,6 +97,25 @@ type Config struct {
 	// (defaulted to blockbag.BlockSize when unset); callers must Close the
 	// manager after the workers have quiesced.
 	Reclaimers int
+	// Adaptive attaches the self-tuning controller (core.Controller): a
+	// feedback loop that retunes the effective shard count from live slot
+	// occupancy, the per-thread retire batch from the retire rate and
+	// Unreclaimed backlog (AIMD between MinRetireBatch and MaxRetireBatch),
+	// and the active reclaimer-goroutine count from the hand-off backlog.
+	// Each lever only engages when its subsystem is configured (Shards > 1,
+	// RetireBatch > 0, Reclaimers > 0 respectively); with none of them the
+	// controller observes but has nothing to move. The static knobs above
+	// become starting points rather than pinned values.
+	Adaptive bool
+	// AdaptiveInterval is the controller's decision period (0 defaults to
+	// core.DefaultControllerInterval). Only meaningful with Adaptive.
+	AdaptiveInterval time.Duration
+	// MinRetireBatch and MaxRetireBatch bound the adaptive batch lever
+	// (0 defaults: floor 8, ceiling 4*blockbag.BlockSize). Only meaningful
+	// with Adaptive; a static RetireBatch outside the bounds is clamped at
+	// controller attach.
+	MinRetireBatch int
+	MaxRetireBatch int
 }
 
 // Build assembles a Record Manager for record type T according to cfg.
@@ -114,6 +134,15 @@ func Build[T any](cfg Config) (*core.RecordManager[T], error) {
 	}
 	if cfg.RetireBatch < 0 {
 		return nil, fmt.Errorf("recordmgr: RetireBatch must be >= 0, got %d", cfg.RetireBatch)
+	}
+	if cfg.MinRetireBatch < 0 || cfg.MaxRetireBatch < 0 {
+		return nil, fmt.Errorf("recordmgr: MinRetireBatch/MaxRetireBatch must be >= 0, got %d/%d", cfg.MinRetireBatch, cfg.MaxRetireBatch)
+	}
+	if cfg.MinRetireBatch > 0 && cfg.MaxRetireBatch > 0 && cfg.MaxRetireBatch < cfg.MinRetireBatch {
+		return nil, fmt.Errorf("recordmgr: MaxRetireBatch (%d) must be >= MinRetireBatch (%d)", cfg.MaxRetireBatch, cfg.MinRetireBatch)
+	}
+	if !cfg.Adaptive && (cfg.AdaptiveInterval != 0 || cfg.MinRetireBatch != 0 || cfg.MaxRetireBatch != 0) {
+		return nil, fmt.Errorf("recordmgr: AdaptiveInterval/MinRetireBatch/MaxRetireBatch require Adaptive")
 	}
 	if cfg.Reclaimers > 0 && cfg.RetireBatch == 0 {
 		// Async hand-off granularity is the retire batch; a full block is the
@@ -163,6 +192,13 @@ func Build[T any](cfg Config) (*core.RecordManager[T], error) {
 	}
 	if cfg.Reclaimers > 0 {
 		mopts = append(mopts, core.WithAsyncReclaim(cfg.Reclaimers))
+	}
+	if cfg.Adaptive {
+		mopts = append(mopts, core.WithController(core.ControllerConfig{
+			Interval: cfg.AdaptiveInterval,
+			MinBatch: cfg.MinRetireBatch,
+			MaxBatch: cfg.MaxRetireBatch,
+		}))
 	}
 	return core.NewRecordManager(alloc, p, rec, mopts...), nil
 }
