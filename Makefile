@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check doc-lint test race bench-smoke bench-diff bench-baseline bench check
+.PHONY: all build vet fmt fmt-check vet-reclaim test race bench-smoke bench-diff bench-baseline bench check
 
 all: check
 
@@ -24,10 +24,18 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-## doc-lint: fail on undocumented exported symbols in the API surface
-## packages (godoc there is the contract users program against).
-doc-lint:
-	$(GO) run ./cmd/doclint ./internal/core ./internal/recordmgr ./internal/ds/hashmap ./internal/kvservice
+## vet-reclaim: the repository's own static-analysis gate. cmd/reclaimvet
+## runs six analyzers over every package (tests included) and fails on any
+## diagnostic: retirepin (raw scheme retires must be pin-dominated),
+## handlepair (every acquired slot handle must reach a release), singlewriter
+## (per-thread stat cells stay core.Counter — replaces the old
+## hotpathguard_test grep), protectorder (HP protect -> validate -> deref
+## ordering), noclock (no wall clock on Controller.Step paths or in
+## Step-driven tests) and exporteddoc (the old cmd/doclint, folded in).
+## Deliberate exceptions carry reasoned //lint:allow markers, which the
+## driver checks too.
+vet-reclaim:
+	$(GO) run ./cmd/reclaimvet ./...
 
 ## test: full test suite
 test:
@@ -81,4 +89,4 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
 ## check: everything CI checks, in one shot
-check: build vet fmt-check doc-lint test race
+check: build vet fmt-check vet-reclaim test race

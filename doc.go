@@ -225,13 +225,40 @@
 // hard-failing any trial whose reclaiming scheme exits with
 // Retired != Freed.
 //
+// # Static analysis
+//
+// The contracts above are also proven at build time. cmd/reclaimvet is a
+// multichecker (internal/analysis, self-contained on the standard
+// library) that typechecks every package in the module — test files
+// included — and runs six repository-specific analyzers over the result:
+// retirepin (raw Retire/RetireBlock/FlushRetired call sites must be
+// dominated by LeaveQstate/PinRetire or go through the auto-pinning
+// RecordManager/ThreadHandle wrappers — the static face of the
+// quiescent-retire panic), handlepair (an acquired ThreadHandle must
+// reach ReleaseHandle on every non-panic path, and a deferred release
+// must not sit inside the acquire loop), singlewriter (per-thread stat
+// carriers declare their counters as core.Counter and nothing applies an
+// atomic read-modify-write to them — the single-writer hot-path cost
+// model, previously a grep-based test), protectorder (in internal/ds
+// packages a pointer loaded before Protect is re-validated before
+// dereference and never dereferenced after Unprotect — the hazard-pointer
+// idiom), noclock (no wall clock on paths reachable from
+// core.Controller.Step, nor in test files that drive Step, keeping the
+// self-tuning controller deterministic), and exporteddoc (exported
+// identifiers in the API-surface packages carry doc comments). Deliberate
+// exceptions are annotated //lint:allow <analyzer> <reason>; the driver
+// rejects bare, reasonless, unknown-analyzer and stale markers, so the
+// escape hatch cannot rot. Each analyzer ships with golden-file tests
+// under internal/analysis/testdata (a separate module, invisible to
+// go build ./...) proving it fires on seeded violations.
+//
 // The implementation lives under internal/ (see docs/ARCHITECTURE.md for
 // the layer map and the stack's two load-bearing contracts stated as
 // invariants); runnable entry points are the programs under cmd/ and
 // examples/ (indexed in examples/README.md), and the benchmarks in
 // bench_test.go. CI (.github/workflows/ci.yml) and local development share
-// the Makefile targets: build, vet, gofmt check, the doc lint over the API
-// surface packages (`make doc-lint`, cmd/doclint), the test suite, the
+// the Makefile targets: build, vet, gofmt check, the reclamation-contract
+// analyzers over every package (`make vet-reclaim`), the test suite, the
 // race-detector run (`make race`), a benchmark smoke run whose JSON report
 // is archived per commit (`make bench-smoke`), and a throughput trend gate
 // (`make bench-diff`) that compares the smoke report against the committed

@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// The //lint:allow escape hatch. A diagnostic is suppressed when a marker of
+// the form
+//
+//	//lint:allow <analyzer> <reason>
+//
+// appears on the diagnostic's line (trailing comment) or on the line
+// immediately above it. The reason is mandatory — an allow that cannot say
+// why it exists is a contract violation in its own right — and markers are
+// checked: a malformed marker, a marker naming an analyzer the driver does
+// not know, or a reasoned marker that suppresses nothing in a run of its
+// analyzer are all diagnostics themselves. The marker set is deliberately
+// per-line, not per-file or per-function: every exception is visible at the
+// exact call site it excuses.
+
+// allowPrefix introduces a marker comment.
+const allowPrefix = "//lint:allow"
+
+// allowMarker is one parsed //lint:allow comment.
+type allowMarker struct {
+	pos      token.Pos
+	file     string
+	line     int
+	analyzer string
+	reason   string
+	used     bool
+}
+
+// markerDiag is the pseudo-analyzer name under which marker hygiene
+// violations are reported.
+const markerDiag = "lintallow"
+
+// collectAllows parses every //lint:allow marker in the unit's report-owned
+// files. Malformed markers (no analyzer name, or no reason) are returned as
+// diagnostics immediately; they never suppress anything.
+func collectAllows(u *Unit, known func(string) bool) ([]*allowMarker, []Diagnostic) {
+	var markers []*allowMarker
+	var diags []Diagnostic
+	for _, f := range u.Files {
+		if !u.ReportFiles[f] {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:allowance — not a marker
+				}
+				// An embedded "//" ends the marker (golden packages append
+				// `// want "..."` expectations to marker lines).
+				if i := strings.Index(rest, "//"); i >= 0 {
+					rest = rest[:i]
+				}
+				name, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				reason = strings.TrimSpace(reason)
+				switch {
+				case name == "":
+					diags = append(diags, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: markerDiag,
+						Message:  "bare //lint:allow marker: want //lint:allow <analyzer> <reason>",
+					})
+				case reason == "":
+					diags = append(diags, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: markerDiag,
+						Message:  "//lint:allow " + name + " has no reason; every exception must say why",
+					})
+				case known != nil && !known(name):
+					diags = append(diags, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: markerDiag,
+						Message:  "//lint:allow names unknown analyzer " + strconv.Quote(name),
+					})
+				default:
+					p := u.Fset.Position(c.Pos())
+					markers = append(markers, &allowMarker{
+						pos: c.Pos(), file: p.Filename, line: p.Line,
+						analyzer: name, reason: reason,
+					})
+				}
+			}
+		}
+	}
+	return markers, diags
+}
+
+// suppresses reports whether marker m excuses a diagnostic from analyzer at
+// position pos: same analyzer, same file, same line or the line below the
+// marker (a comment line annotates the statement under it).
+func (m *allowMarker) suppresses(analyzer string, pos token.Position) bool {
+	return m.analyzer == analyzer && m.file == pos.Filename &&
+		(m.line == pos.Line || m.line == pos.Line-1)
+}

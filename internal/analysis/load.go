@@ -1,0 +1,276 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// UnitKind distinguishes the three type-check units a package expands to.
+type UnitKind int
+
+// The three unit kinds: a package's base sources, the base sources augmented
+// with its in-package _test.go files, and its external _test package.
+const (
+	UnitBase UnitKind = iota
+	UnitInPackageTest
+	UnitExternalTest
+)
+
+// Unit is one type-checked body of code an analyzer runs over. A package
+// with test files expands into up to three units (base, in-package test,
+// external test) so analyzers see test code with full type information;
+// ReportFiles narrows each unit's diagnostics to the files the other units do
+// not own, so nothing is reported twice.
+type Unit struct {
+	// PkgPath is the unit's import path ("/path_test" suffix for external
+	// test packages, mirroring the compiler's package naming).
+	PkgPath string
+	// Kind says which of the package's three bodies this unit is.
+	Kind UnitKind
+	// Fset resolves positions for Files (shared across all units of a load).
+	Fset *token.FileSet
+	// Files are the parsed sources type-checked together for this unit.
+	Files []*ast.File
+	// ReportFiles marks the files this unit owns for reporting purposes.
+	ReportFiles map[*ast.File]bool
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info is the type-checker's fact table for Files.
+	Info *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath   string
+	Dir          string
+	Export       string
+	ForTest      string
+	DepOnly      bool
+	Standard     bool
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+}
+
+// Load type-checks the packages matching patterns (resolved relative to dir,
+// "" meaning the current directory) and expands each into analysis units.
+// Dependencies — including test-only and standard-library ones — are resolved
+// from the build cache's export data via `go list -deps -test -export`, so
+// loading needs no network and no third-party machinery; only the target
+// packages themselves are parsed from source.
+func Load(dir string, patterns ...string) ([]*Unit, error) {
+	args := append([]string{"list", "-deps", "-test", "-export", "-json", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	// testExports[forTest][path] is export data for the build of path linked
+	// into forTest's test binary. The package under test itself appears as
+	// "pkg [pkg.test]" (compiled with its in-package test files), and every
+	// dependency that transitively imports it is rebuilt against that variant
+	// as "dep [pkg.test]" — such deps may have NO plain entry at all when the
+	// pattern list doesn't reach them otherwise, so each variant is recorded,
+	// not just the package under test's own.
+	testExports := make(map[string]map[string]string)
+	var targets []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Export != "" {
+			if p.ForTest == "" {
+				exports[p.ImportPath] = p.Export
+			} else if i := strings.Index(p.ImportPath, " ["); i >= 0 {
+				m := testExports[p.ForTest]
+				if m == nil {
+					m = make(map[string]string)
+					testExports[p.ForTest] = m
+				}
+				m[p.ImportPath[:i]] = p.Export
+			}
+		}
+		// Targets are the pattern matches themselves: not dependency-only,
+		// not synthesized test binaries ("pkg.test"), not test variants
+		// ("pkg [pkg.test]" — their files are folded into the plain entry's
+		// TestGoFiles/XTestGoFiles already).
+		if !p.DepOnly && p.ForTest == "" && !strings.HasSuffix(p.ImportPath, ".test") && !p.Standard {
+			q := p
+			targets = append(targets, &q)
+		}
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("go list %s: no packages matched", strings.Join(patterns, " "))
+	}
+
+	fset := token.NewFileSet()
+	// newImporter builds an export-data importer. testPkg, when non-empty,
+	// resolves paths from that package's test-binary variants first: the
+	// package under test (compiled with its in-package test files) and any
+	// dependency rebuilt against it. External test units need the package
+	// under test and every dependency that mentions it to resolve to the
+	// same type identities, so they get a fresh importer (fresh cache) with
+	// the redirect instead of sharing the base importer.
+	newImporter := func(testPkg string) (types.ImporterFrom, error) {
+		gc := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+			e, ok := exports[path]
+			if te, tok := testExports[testPkg][path]; tok {
+				e, ok = te, true
+			}
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q (not a dependency of the loaded patterns)", path)
+			}
+			return os.Open(e)
+		})
+		from, ok := gc.(types.ImporterFrom)
+		if !ok {
+			return nil, errors.New("go/importer gc importer does not implement types.ImporterFrom")
+		}
+		return from, nil
+	}
+	base, err := newImporter("")
+	if err != nil {
+		return nil, err
+	}
+
+	var units []*Unit
+	for _, t := range targets {
+		parse := func(names []string) ([]*ast.File, error) {
+			var files []*ast.File
+			for _, name := range names {
+				f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+				if err != nil {
+					return nil, err
+				}
+				files = append(files, f)
+			}
+			return files, nil
+		}
+		baseFiles, err := parse(t.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		testFiles, err := parse(t.TestGoFiles)
+		if err != nil {
+			return nil, err
+		}
+		xtestFiles, err := parse(t.XTestGoFiles)
+		if err != nil {
+			return nil, err
+		}
+
+		check := func(path string, files []*ast.File, imp types.ImporterFrom) (*types.Package, *types.Info, error) {
+			info := &types.Info{
+				Types:      make(map[ast.Expr]types.TypeAndValue),
+				Defs:       make(map[*ast.Ident]types.Object),
+				Uses:       make(map[*ast.Ident]types.Object),
+				Selections: make(map[*ast.SelectorExpr]*types.Selection),
+				Implicits:  make(map[ast.Node]types.Object),
+				Scopes:     make(map[ast.Node]*types.Scope),
+			}
+			var errs []error
+			conf := types.Config{
+				Importer: &unsafeAwareImporter{base: imp},
+				Error:    func(err error) { errs = append(errs, err) },
+			}
+			pkg, _ := conf.Check(path, fset, files, info)
+			if len(errs) > 0 {
+				return nil, nil, fmt.Errorf("type-checking %s: %v", path, errors.Join(errs...))
+			}
+			return pkg, info, nil
+		}
+
+		if len(baseFiles) > 0 {
+			pkg, info, err := check(t.ImportPath, baseFiles, base)
+			if err != nil {
+				return nil, err
+			}
+			units = append(units, &Unit{
+				PkgPath: t.ImportPath, Kind: UnitBase, Fset: fset,
+				Files: baseFiles, ReportFiles: fileSet(baseFiles), Pkg: pkg, Info: info,
+			})
+		}
+		// The in-package test unit re-checks the base files together with the
+		// _test.go files (that is how the compiler builds them); only the
+		// test files are report-owned here, the base unit owns the rest.
+		if len(testFiles) > 0 {
+			all := append(append([]*ast.File{}, baseFiles...), testFiles...)
+			pkg, info, err := check(t.ImportPath, all, base)
+			if err != nil {
+				return nil, err
+			}
+			units = append(units, &Unit{
+				PkgPath: t.ImportPath, Kind: UnitInPackageTest, Fset: fset,
+				Files: all, ReportFiles: fileSet(testFiles), Pkg: pkg, Info: info,
+			})
+		}
+		if len(xtestFiles) > 0 {
+			// The external test package imports the package under test, and
+			// its dependencies reference that package by path; both must
+			// resolve to one set of type identities, so this unit gets its
+			// own importer redirecting the path to the test-variant export
+			// data (which also carries the in-package test files' exported
+			// helpers).
+			ximp, err := newImporter(t.ImportPath)
+			if err != nil {
+				return nil, err
+			}
+			pkg, info, err := check(t.ImportPath+"_test", xtestFiles, ximp)
+			if err != nil {
+				return nil, err
+			}
+			units = append(units, &Unit{
+				PkgPath: t.ImportPath + "_test", Kind: UnitExternalTest, Fset: fset,
+				Files: xtestFiles, ReportFiles: fileSet(xtestFiles), Pkg: pkg, Info: info,
+			})
+		}
+	}
+	return units, nil
+}
+
+// fileSet builds the report-ownership set for a unit.
+func fileSet(files []*ast.File) map[*ast.File]bool {
+	m := make(map[*ast.File]bool, len(files))
+	for _, f := range files {
+		m[f] = true
+	}
+	return m
+}
+
+// unsafeAwareImporter short-circuits "unsafe" (which has no export data) and
+// delegates everything else to the export-data importer.
+type unsafeAwareImporter struct {
+	base types.ImporterFrom
+}
+
+func (i *unsafeAwareImporter) Import(path string) (*types.Package, error) {
+	return i.ImportFrom(path, "", 0)
+}
+
+func (i *unsafeAwareImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return i.base.ImportFrom(path, dir, mode)
+}

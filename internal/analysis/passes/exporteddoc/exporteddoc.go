@@ -1,0 +1,123 @@
+// Package exporteddoc is cmd/doclint folded into the multichecker (one
+// static-analysis binary for CI): exported identifiers in the API-surface
+// packages must carry doc comments, because godoc there is the contract
+// users program against — an undocumented exported symbol is drift, not
+// style. Checked packages: internal/core, internal/recordmgr,
+// internal/kvservice, internal/kvwire and every data structure under
+// internal/ds/...; checked declarations: package-level types, functions,
+// methods on exported receivers, and each exported name in const/var
+// declarations (a doc comment on the enclosing declaration group covers its
+// members, matching godoc's rendering). Test files are exempt.
+package exporteddoc
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags undocumented exported symbols in API-surface packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "exporteddoc",
+	Doc:  "exported symbols in API-surface packages must have doc comments",
+	Run:  run,
+}
+
+// inScope lists the API-surface packages whose godoc is the user contract.
+func inScope(pkgPath string) bool {
+	return analysis.PathHasSuffix(pkgPath, "internal/core") ||
+		analysis.PathHasSuffix(pkgPath, "internal/recordmgr") ||
+		analysis.PathHasSuffix(pkgPath, "internal/kvservice") ||
+		analysis.PathHasSuffix(pkgPath, "internal/kvwire") ||
+		analysis.PathContains(pkgPath, "internal/ds")
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				lintFunc(pass, d)
+			case *ast.GenDecl:
+				lintGen(pass, d)
+			}
+		}
+	}
+	return nil
+}
+
+// lintFunc checks a function or method: exported name, and for methods an
+// exported receiver type (methods on unexported types are not API surface).
+func lintFunc(pass *analysis.Pass, d *ast.FuncDecl) {
+	if !d.Name.IsExported() || d.Doc != nil {
+		return
+	}
+	kind := "function"
+	name := d.Name.Name
+	if d.Recv != nil && len(d.Recv.List) == 1 {
+		recv := receiverName(d.Recv.List[0].Type)
+		if recv == "" || !ast.IsExported(recv) {
+			return
+		}
+		kind = "method"
+		name = recv + "." + name
+	}
+	pass.Report(d.Pos(), "exported %s %s has no doc comment", kind, name)
+}
+
+// lintGen checks a type/const/var declaration. godoc attaches a group's doc
+// comment to all its members, so a documented group excuses undocumented
+// specs inside it; an undocumented group requires per-spec comments.
+func lintGen(pass *analysis.Pass, d *ast.GenDecl) {
+	switch d.Tok.String() {
+	case "type":
+		for _, spec := range d.Specs {
+			ts := spec.(*ast.TypeSpec)
+			if ts.Name.IsExported() && d.Doc == nil && ts.Doc == nil {
+				pass.Report(ts.Pos(), "exported type %s has no doc comment", ts.Name.Name)
+			}
+		}
+	case "const", "var":
+		if d.Doc != nil {
+			return
+		}
+		for _, spec := range d.Specs {
+			vs := spec.(*ast.ValueSpec)
+			if vs.Doc != nil || vs.Comment != nil {
+				continue
+			}
+			for _, name := range vs.Names {
+				if name.IsExported() {
+					pass.Report(name.Pos(), "exported %s %s has no doc comment", d.Tok.String(), name.Name)
+				}
+			}
+		}
+	}
+}
+
+// receiverName unwraps a method receiver type expression to its type name,
+// looking through pointers and generic instantiations ([T any] receivers
+// parse as IndexExpr/IndexListExpr).
+func receiverName(expr ast.Expr) string {
+	for {
+		switch t := expr.(type) {
+		case *ast.StarExpr:
+			expr = t.X
+		case *ast.IndexExpr:
+			expr = t.X
+		case *ast.IndexListExpr:
+			expr = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,14 @@
+package exporteddoc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/exporteddoc"
+)
+
+// TestExportedDoc checks the seeded missing-doc violations, including the
+// group-doc exemption and generic-receiver methods.
+func TestExportedDoc(t *testing.T) {
+	analysistest.Run(t, analysistest.Dir(), exporteddoc.Analyzer, "./internal/ds/docgold")
+}

@@ -1,0 +1,278 @@
+// Package handlepair proves the slot-lifecycle half of the PR 5 contract:
+// every AcquireHandle/TryAcquireHandle must be paired with a ReleaseHandle.
+// A leaked handle is a leaked worker slot — the registry's capacity is
+// finite, so leaks starve later acquirers (the PR 7 idle-connection
+// starvation class), and the slot's announcement stays scanner-visible
+// forever, pinning reclamation for everyone.
+//
+// The analyzer is an escape-style check, not a full data-flow pass: the
+// acquired handle must either reach a ReleaseHandle/Release call in the
+// enclosing function (directly, deferred, or through a bound method value)
+// or demonstrably leave the function — returned, stored into a structure,
+// sent on a channel, or passed to another function, which transfers the
+// release obligation to the receiver. Two patterns are flagged outright:
+// discarding the result (the slot can never be released) and a deferred
+// release inside a loop (the deferred calls pile up until function exit, so
+// a long-lived loop holds every slot it ever acquired — the starvation bug
+// with extra steps).
+package handlepair
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags acquired handles that cannot reach a release.
+var Analyzer = &analysis.Analyzer{
+	Name: "handlepair",
+	Doc:  "AcquireHandle/TryAcquireHandle must reach ReleaseHandle on every non-panic path",
+	Run:  run,
+}
+
+// acquireNames and releaseNames delimit the slot lifecycle API (core's
+// RecordManager and the data structures' wrappers share the names).
+var (
+	acquireNames = map[string]bool{"AcquireHandle": true, "TryAcquireHandle": true}
+	releaseNames = map[string]bool{"ReleaseHandle": true, "Release": true}
+)
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// stackFunc reports whether call invokes a reclamation-stack method named in
+// names (declared under internal/core or internal/ds/...).
+func stackFunc(pass *analysis.Pass, call *ast.CallExpr, names map[string]bool) (*types.Func, bool) {
+	f := analysis.CalleeOf(pass.Info, call)
+	if f == nil || !names[f.Name()] {
+		return nil, false
+	}
+	p := analysis.FuncPkgPath(f)
+	if !analysis.PathHasSuffix(p, "internal/core") && !analysis.PathContains(p, "internal/ds") {
+		return nil, false
+	}
+	return f, true
+}
+
+// checkFunc inspects one function body. Function literals are part of the
+// body scan: a release inside a closure the function keeps counts as a
+// release (servers hand connections their own cleanup closures), and an
+// acquire inside a closure is checked against that closure's own body.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// Collect every acquire call with its enclosing function-like body.
+	type acquire struct {
+		call  *ast.CallExpr
+		fn    *types.Func
+		body  *ast.BlockStmt
+		loops []ast.Stmt // enclosing for/range statements, innermost last
+	}
+	var acquires []acquire
+
+	var visit func(n ast.Node, body *ast.BlockStmt, loops []ast.Stmt)
+	visit = func(n ast.Node, body *ast.BlockStmt, loops []ast.Stmt) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				visit(m.Body, m.Body, nil)
+				return false
+			case *ast.ForStmt:
+				visit(m.Body, body, append(loops, m))
+				return false
+			case *ast.RangeStmt:
+				visit(m.Body, body, append(loops, m))
+				return false
+			case *ast.CallExpr:
+				if f, ok := stackFunc(pass, m, acquireNames); ok {
+					acquires = append(acquires, acquire{call: m, fn: f, body: body, loops: append([]ast.Stmt{}, loops...)})
+				}
+			}
+			return true
+		})
+	}
+	visit(fd.Body, fd.Body, nil)
+
+	for _, acq := range acquires {
+		checkAcquire(pass, acq.call, acq.fn, acq.body, acq.loops)
+	}
+}
+
+// checkAcquire validates one acquire call site.
+func checkAcquire(pass *analysis.Pass, call *ast.CallExpr, fn *types.Func, body *ast.BlockStmt, loops []ast.Stmt) {
+	// Find how the result is bound by locating the acquire's parent
+	// statement in the body.
+	var handleVar *types.Var
+	bound := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if bound {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if n.X == call {
+				bound = true
+				pass.Report(call.Pos(),
+					"%s result discarded: the acquired slot can never be released (slot leak)", fn.Name())
+				return false
+			}
+		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 && n.Rhs[0] == call && len(n.Lhs) >= 1 {
+				bound = true
+				if id, ok := n.Lhs[0].(*ast.Ident); ok {
+					if id.Name == "_" {
+						pass.Report(call.Pos(),
+							"%s result assigned to _: the acquired slot can never be released (slot leak)", fn.Name())
+						return false
+					}
+					if v, ok := pass.Info.Defs[id].(*types.Var); ok {
+						handleVar = v
+					} else if v, ok := pass.Info.Uses[id].(*types.Var); ok {
+						handleVar = v
+					}
+				}
+				// Non-identifier targets (field, index) are stores — the
+				// handle escapes and the obligation moves with it.
+				return false
+			}
+		case *ast.ValueSpec:
+			for i, val := range n.Values {
+				if val == call && i < len(n.Names) {
+					bound = true
+					if v, ok := pass.Info.Defs[n.Names[i]].(*types.Var); ok {
+						handleVar = v
+					}
+					return false
+				}
+			}
+		}
+		return true
+	})
+	if !bound || handleVar == nil {
+		// Result used directly (returned, passed as an argument, stored):
+		// the handle escapes with its obligation.
+		return
+	}
+
+	released, escaped := false, false
+	deferRelease, deferReleaseInLoop := false, false
+
+	var scan func(n ast.Node, inDefer bool, loopDepth int)
+	scan = func(n ast.Node, inDefer bool, loopDepth int) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.DeferStmt:
+				scan(m.Call, true, loopDepth)
+				return false
+			case *ast.ForStmt:
+				scan(m.Body, inDefer, loopDepth+1)
+				return false
+			case *ast.RangeStmt:
+				scan(m.Body, inDefer, loopDepth+1)
+				return false
+			case *ast.CallExpr:
+				if _, ok := stackFunc(pass, m, releaseNames); ok {
+					// Release with the handle as argument (ReleaseHandle(h))
+					// or as receiver (h.Release()).
+					if usesVar(pass, m, handleVar) {
+						released = true
+						if inDefer {
+							deferRelease = true
+							if loopDepth > 0 {
+								deferReleaseInLoop = true
+							}
+						}
+						return false
+					}
+				}
+				// The handle passed to any other call transfers the
+				// obligation (helpers that release, maps that store, ...).
+				for _, a := range m.Args {
+					if isVar(pass, a, handleVar) {
+						escaped = true
+					}
+				}
+			case *ast.SelectorExpr:
+				// Method value bound to the handle (rel := h.Release;
+				// defer rel()): the release reaches the handle through the
+				// bound receiver.
+				if isVar(pass, m.X, handleVar) && releaseNames[m.Sel.Name] {
+					if _, isCallFun := pass.Info.Selections[m]; isCallFun {
+						released = true
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, r := range m.Results {
+					if isVar(pass, r, handleVar) {
+						escaped = true
+					}
+				}
+			case *ast.AssignStmt:
+				// Stored into a field/index/map or reassigned outward.
+				for i, rhs := range m.Rhs {
+					if isVar(pass, rhs, handleVar) && i < len(m.Lhs) {
+						if _, isIdent := m.Lhs[i].(*ast.Ident); !isIdent {
+							escaped = true
+						}
+					}
+				}
+			case *ast.SendStmt:
+				if isVar(pass, m.Value, handleVar) {
+					escaped = true
+				}
+			case *ast.CompositeLit:
+				for _, el := range m.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						el = kv.Value
+					}
+					if isVar(pass, el, handleVar) {
+						escaped = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	scan(body, false, 0)
+
+	acquireInLoop := len(loops) > 0
+	switch {
+	case deferReleaseInLoop, deferRelease && acquireInLoop:
+		pass.Report(call.Pos(),
+			"deferred release of the %s handle inside a loop runs only at function exit: every iteration holds another slot (slot starvation); release explicitly per iteration", fn.Name())
+	case !released && !escaped:
+		pass.Report(call.Pos(),
+			"handle from %s does not reach ReleaseHandle in this function and does not escape: the slot leaks and its announcement stays scanner-visible", fn.Name())
+	}
+}
+
+// isVar reports whether e is (parenthesised) use of v.
+func isVar(pass *analysis.Pass, e ast.Expr, v *types.Var) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return pass.Info.Uses[id] == v || pass.Info.Defs[id] == v
+}
+
+// usesVar reports whether v appears anywhere inside n (receiver or
+// argument).
+func usesVar(pass *analysis.Pass, n ast.Node, v *types.Var) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && (pass.Info.Uses[id] == v || pass.Info.Defs[id] == v) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,15 @@
+package handlepair_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/handlepair"
+)
+
+// TestHandlePair checks the seeded slot-lifecycle violations: leaks,
+// discarded results, defer-in-loop starvation, escapes, method-value and
+// receiver-form releases.
+func TestHandlePair(t *testing.T) {
+	analysistest.Run(t, analysistest.Dir(), handlepair.Analyzer, "./handlepair/...")
+}

@@ -1,0 +1,170 @@
+// Package noclock enforces the fake-clock discipline from PR 7: the
+// adaptive controller's Step path is a pure function of its inputs — tests
+// drive it step-by-step with synthetic signals and assert exact
+// trajectories, and the bench harness replays recorded signal sequences —
+// so nothing reachable from core.Controller.Step may read the wall clock.
+// A time.Now in a Step callee silently turns every controller unit test
+// into a flake and every recorded trajectory into a one-off.
+//
+// Two checks:
+//
+//  1. in internal/core, any function reachable from Controller.Step through
+//     the package's static call graph must not call time.Now, time.Since,
+//     time.Until, time.Sleep, time.After, time.Tick, time.NewTimer or
+//     time.NewTicker (the controller's run loop, which owns the ticker and
+//     calls Step, is the boundary — it is not reachable *from* Step);
+//  2. any _test.go file that drives Controller.Step directly must not call
+//     time.Now or time.Since: a Step-driven test that reads the wall clock
+//     is timing-dependent by construction.
+package noclock
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer bans wall-clock reads from Step paths and Step-driven tests.
+var Analyzer = &analysis.Analyzer{
+	Name: "noclock",
+	Doc:  "no wall clock in core.Controller Step paths or Step-driven tests (fake-clock discipline)",
+	Run:  run,
+}
+
+// bannedInStep are the time package entry points banned on the Step path.
+var bannedInStep = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+}
+
+// bannedInTests are the wall-clock reads banned in Step-driven test files.
+var bannedInTests = map[string]bool{"Now": true, "Since": true}
+
+func run(pass *analysis.Pass) error {
+	if analysis.PathHasSuffix(pass.Pkg.Path(), "internal/core") {
+		checkStepPaths(pass)
+	}
+	checkStepTests(pass)
+	return nil
+}
+
+// timeCall returns the name of the time-package function call c invokes, if
+// any.
+func timeCall(pass *analysis.Pass, c *ast.CallExpr) (string, bool) {
+	f := analysis.CalleeOf(pass.Info, c)
+	if f == nil || analysis.FuncPkgPath(f) != "time" {
+		return "", false
+	}
+	return f.Name(), true
+}
+
+// checkStepPaths builds the intra-package call graph and walks it from
+// Controller.Step, flagging banned time calls in every reachable function.
+func checkStepPaths(pass *analysis.Pass) {
+	type timeUse struct {
+		pos  ast.Node
+		name string
+	}
+	callees := map[*types.Func][]*types.Func{}
+	timeUses := map[*types.Func][]timeUse{}
+	var roots []*types.Func
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			def, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if fd.Name.Name == "Step" && analysis.RecvTypeName(def) == "Controller" {
+				roots = append(roots, def)
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name, ok := timeCall(pass, call); ok && bannedInStep[name] {
+					timeUses[def] = append(timeUses[def], timeUse{call, name})
+					return true
+				}
+				if callee := analysis.CalleeOf(pass.Info, call); callee != nil &&
+					callee.Pkg() == pass.Pkg {
+					callees[def] = append(callees[def], callee)
+				}
+				return true
+			})
+		}
+	}
+
+	reachable := map[*types.Func]bool{}
+	var visit func(f *types.Func)
+	visit = func(f *types.Func) {
+		if reachable[f] {
+			return
+		}
+		reachable[f] = true
+		for _, c := range callees[f] {
+			visit(c)
+		}
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+	for fn, uses := range timeUses {
+		if !reachable[fn] {
+			continue
+		}
+		for _, u := range uses {
+			name := fn.Name()
+			if recv := analysis.RecvTypeName(fn); recv != "" {
+				name = recv + "." + name
+			}
+			pass.Report(u.pos.Pos(),
+				"time.%s in %s, which is reachable from Controller.Step: Step must be a pure function of its inputs (fake-clock discipline; take timestamps outside and pass them in)", u.name, name)
+		}
+	}
+}
+
+// checkStepTests flags wall-clock reads in test files that drive
+// Controller.Step directly.
+func checkStepTests(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		filename := pass.Fset.Position(f.Pos()).Filename
+		if !strings.HasSuffix(filename, "_test.go") {
+			continue
+		}
+		drivesStep := false
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := analysis.CalleeOf(pass.Info, call); fn != nil &&
+				fn.Name() == "Step" && analysis.RecvTypeName(fn) == "Controller" &&
+				analysis.PathHasSuffix(analysis.FuncPkgPath(fn), "internal/core") {
+				drivesStep = true
+			}
+			return true
+		})
+		if !drivesStep {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := timeCall(pass, call); ok && bannedInTests[name] {
+				pass.Report(call.Pos(),
+					"time.%s in a test file that drives Controller.Step: Step-driven tests must be wall-clock free (assert on step counts and synthetic signals, not elapsed time)", name)
+			}
+			return true
+		})
+	}
+}

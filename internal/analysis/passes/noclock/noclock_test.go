@@ -1,0 +1,15 @@
+package noclock_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/noclock"
+)
+
+// TestNoClock checks the seeded wall-clock reads on the Step path and in
+// Step-driving test files (the rule is per file: the clock_other_test.go
+// golden reads the clock legitimately).
+func TestNoClock(t *testing.T) {
+	analysistest.Run(t, analysistest.Dir(), noclock.Analyzer, "./noclock/...")
+}

@@ -1,0 +1,14 @@
+package protectorder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/protectorder"
+)
+
+// TestProtectOrder checks the seeded hazard-pointer ordering violations:
+// missing re-validation after Protect and dereference after Unprotect.
+func TestProtectOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.Dir(), protectorder.Analyzer, "./internal/ds/po")
+}

@@ -1,0 +1,16 @@
+package retirepin_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/retirepin"
+)
+
+// TestRetirePin checks the seeded quiescent-retire violations, the
+// //lint:allow hygiene golden (bare marker, missing reason, unknown
+// analyzer, stale marker), and the forwarding exemption for stack-internal
+// retire-path entry points.
+func TestRetirePin(t *testing.T) {
+	analysistest.Run(t, analysistest.Dir(), retirepin.Analyzer, "./retirepin/...", "./internal/reclaim/fwd")
+}

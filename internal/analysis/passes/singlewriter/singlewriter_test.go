@@ -1,0 +1,14 @@
+package singlewriter_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/passes/singlewriter"
+)
+
+// TestSingleWriter checks the seeded stat-cell violations — the port of the
+// old internal/core/hotpathguard_test.go seeded-regression self-test.
+func TestSingleWriter(t *testing.T) {
+	analysistest.Run(t, analysistest.Dir(), singlewriter.Analyzer, "./internal/reclaim/swgold")
+}

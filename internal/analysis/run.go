@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RunUnit applies analyzers to one unit and returns the surviving
+// diagnostics: findings outside the unit's report-owned files are dropped,
+// findings excused by a reasoned //lint:allow marker are suppressed, and the
+// marker hygiene diagnostics (bare markers, missing reasons, unknown
+// analyzer names, markers that suppressed nothing) are appended. known
+// validates marker analyzer names; nil accepts any (the multichecker passes
+// its full suite, the golden-test runner passes just the analyzer under
+// test).
+func RunUnit(u *Unit, analyzers []*Analyzer, known func(string) bool) ([]Diagnostic, error) {
+	markers, diags := collectAllows(u, known)
+
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+		var raw []Diagnostic
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     u.Fset,
+			Files:    u.Files,
+			Pkg:      u.Pkg,
+			Info:     u.Info,
+			report: func(d Diagnostic) {
+				d.Analyzer = a.Name
+				raw = append(raw, d)
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	raws:
+		for _, d := range raw {
+			pos := u.Fset.Position(d.Pos)
+			if !ownsFile(u, pos.Filename) {
+				continue
+			}
+			for _, m := range markers {
+				if m.suppresses(a.Name, pos) {
+					m.used = true
+					continue raws
+				}
+			}
+			diags = append(diags, d)
+		}
+	}
+
+	// A reasoned marker whose analyzer ran and suppressed nothing is stale:
+	// either the contract violation it excused is gone (delete the marker) or
+	// the marker is on the wrong line (move it). Only judged when its
+	// analyzer actually ran, so running a single analyzer over a file with
+	// markers for others stays quiet.
+	for _, m := range markers {
+		if !m.used && ran[m.analyzer] {
+			diags = append(diags, Diagnostic{
+				Pos:      m.pos,
+				Analyzer: markerDiag,
+				Message:  fmt.Sprintf("//lint:allow %s suppresses nothing; delete the stale marker", m.analyzer),
+			})
+		}
+	}
+
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}
+
+// ownsFile reports whether filename is one of the unit's report-owned files.
+func ownsFile(u *Unit, filename string) bool {
+	for f := range u.ReportFiles {
+		if u.Fset.Position(f.Pos()).Filename == filename {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,113 @@
+// Package a seeds slot-lifecycle violations for the handlepair analyzer.
+package a
+
+import (
+	"vettest/internal/core"
+	"vettest/internal/ds/stub"
+)
+
+type node struct{ v int }
+
+func leak(m *core.RecordManager[node]) {
+	h := m.AcquireHandle() // want `does not reach ReleaseHandle`
+	_ = h
+}
+
+func discarded(m *core.RecordManager[node]) {
+	m.AcquireHandle() // want `result discarded`
+}
+
+func blank(m *core.RecordManager[node]) {
+	_ = m.AcquireHandle() // want `result assigned to _`
+}
+
+func deferredRelease(m *core.RecordManager[node], n *node) {
+	h := m.AcquireHandle()
+	defer m.ReleaseHandle(h)
+	h.Retire(n)
+}
+
+func explicitRelease(m *core.RecordManager[node], n *node) {
+	h := m.AcquireHandle()
+	h.Retire(n)
+	m.ReleaseHandle(h)
+}
+
+func tryAcquire(m *core.RecordManager[node], n *node) {
+	h, ok := m.TryAcquireHandle()
+	if !ok {
+		return
+	}
+	defer m.ReleaseHandle(h)
+	h.Retire(n)
+}
+
+func tryAcquireLeak(m *core.RecordManager[node]) {
+	h, ok := m.TryAcquireHandle() // want `does not reach ReleaseHandle`
+	if !ok {
+		return
+	}
+	_ = h
+}
+
+func deferInLoop(m *core.RecordManager[node], ns []*node) {
+	for _, n := range ns {
+		h := m.AcquireHandle() // want `deferred release of the AcquireHandle handle inside a loop`
+		defer m.ReleaseHandle(h)
+		h.Retire(n)
+	}
+}
+
+func perIterationRelease(m *core.RecordManager[node], ns []*node) {
+	for _, n := range ns {
+		h := m.AcquireHandle()
+		h.Retire(n)
+		m.ReleaseHandle(h)
+	}
+}
+
+func escapesByReturn(m *core.RecordManager[node]) *core.ThreadHandle[node] {
+	h := m.AcquireHandle()
+	return h // obligation transfers to the caller
+}
+
+type holder struct{ h *core.ThreadHandle[node] }
+
+func escapesByStore(m *core.RecordManager[node], s *holder) {
+	s.h = m.AcquireHandle() // stored: obligation moves with the handle
+}
+
+func escapesByField(m *core.RecordManager[node], s *holder) {
+	h := m.AcquireHandle()
+	s.h = h
+}
+
+func methodValueRelease(p *stub.Partitioned) {
+	h := p.AcquireHandle()
+	rel := h.Release // bound method value carries the release
+	defer rel()
+}
+
+func receiverRelease(p *stub.Partitioned) {
+	h := p.AcquireHandle()
+	defer h.Release()
+}
+
+func stubLeak(p *stub.Partitioned) {
+	h := p.AcquireHandle() // want `does not reach ReleaseHandle`
+	_ = h
+}
+
+func closureAcquire(m *core.RecordManager[node]) func() {
+	return func() {
+		h := m.AcquireHandle() // want `does not reach ReleaseHandle`
+		_ = h
+	}
+}
+
+func closureRelease(m *core.RecordManager[node]) func() {
+	h := m.AcquireHandle()
+	return func() {
+		m.ReleaseHandle(h) // release through the closure the function returns
+	}
+}

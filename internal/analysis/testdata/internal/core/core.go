@@ -1,0 +1,105 @@
+// Package core is a stub of the real repro/internal/core API surface, just
+// enough for the analyzer golden packages to type-check. The package path
+// ends in internal/core so the analyzers' path-suffix matching treats these
+// declarations exactly like the real stack's.
+package core
+
+// PadBytes mirrors the real cache-line pad constant.
+const PadBytes = 64
+
+// Counter is the single-writer stat cell the singlewriter analyzer demands.
+type Counter struct{ v int64 }
+
+// Load returns the cell value.
+func (c *Counter) Load() int64 { return c.v }
+
+// Store sets the cell value.
+func (c *Counter) Store(v int64) { c.v = v }
+
+// Inc bumps the cell by one.
+func (c *Counter) Inc() { c.v++ }
+
+// Reclaimer is the scheme-level reclamation interface (raw Retire requires a
+// pin).
+type Reclaimer[T any] interface {
+	LeaveQstate(tid int) bool
+	EnterQstate(tid int)
+	Retire(tid int, rec *T)
+	Protect(tid int, rec *T) bool
+	Unprotect(tid int, rec *T)
+}
+
+// BlockReclaimer is the block-granularity retire interface.
+type BlockReclaimer[T any] interface {
+	RetireBlock(tid int, blk *T)
+}
+
+// RetirePinner is the explicit retire-window pin interface.
+type RetirePinner interface {
+	PinRetire(tid int)
+	UnpinRetire(tid int)
+}
+
+// ReclaimerHandle is the per-thread fast-path view of a scheme (raw Retire,
+// still requires a pin).
+type ReclaimerHandle[T any] interface {
+	LeaveQstate() bool
+	EnterQstate()
+	Retire(rec *T)
+	Protect(rec *T) bool
+	Unprotect(rec *T)
+}
+
+// RetireChain hands a chain of records to the scheme (raw, requires a pin).
+func RetireChain[T any](r Reclaimer[T], tid int) {
+	_ = r
+	_ = tid
+}
+
+// RecordManager is the auto-pinning wrapper layer.
+type RecordManager[T any] struct{ _ int }
+
+// Retire auto-pins before handing the record to the scheme.
+func (m *RecordManager[T]) Retire(tid int, rec *T) {}
+
+// FlushRetired auto-pins before draining the retire buffer.
+func (m *RecordManager[T]) FlushRetired(tid int) {}
+
+// AcquireHandle binds a worker slot, blocking until one is free.
+func (m *RecordManager[T]) AcquireHandle() *ThreadHandle[T] { return &ThreadHandle[T]{} }
+
+// TryAcquireHandle binds a worker slot without blocking.
+func (m *RecordManager[T]) TryAcquireHandle() (*ThreadHandle[T], bool) {
+	return &ThreadHandle[T]{}, true
+}
+
+// ReleaseHandle returns a worker slot.
+func (m *RecordManager[T]) ReleaseHandle(h *ThreadHandle[T]) {}
+
+// ThreadHandle is the per-thread auto-pinning handle.
+type ThreadHandle[T any] struct{ _ int }
+
+// Retire auto-pins before handing the record to the scheme.
+func (h *ThreadHandle[T]) Retire(rec *T) {}
+
+// FlushRetired auto-pins before draining the retire buffer.
+func (h *ThreadHandle[T]) FlushRetired() {}
+
+// LeaveQstate announces the thread as active.
+func (h *ThreadHandle[T]) LeaveQstate() bool { return true }
+
+// EnterQstate announces the thread as quiescent.
+func (h *ThreadHandle[T]) EnterQstate() {}
+
+// Protect announces a hazard pointer for rec.
+func (h *ThreadHandle[T]) Protect(rec *T) bool { return true }
+
+// Unprotect withdraws the hazard announcement for rec.
+func (h *ThreadHandle[T]) Unprotect(rec *T) {}
+
+// Controller is the adaptive-runtime controller stub (its Step is the
+// noclock root; the stub itself is clock-free).
+type Controller struct{ steps int }
+
+// Step advances the controller one decision epoch.
+func (c *Controller) Step() { c.steps++ }

@@ -1,0 +1,45 @@
+// Package docgold seeds missing-doc violations for the exporteddoc analyzer.
+package docgold
+
+// Documented is documented.
+type Documented struct{}
+
+type Undocumented struct{} // want `exported type Undocumented has no doc comment`
+
+// M is documented.
+func (Documented) M() {}
+
+func (Documented) Bare() {} // want `exported method Documented\.Bare has no doc comment`
+
+func (u Undocumented) ok() { _ = u } // unexported method: not API surface
+
+type hidden struct{}
+
+func (hidden) Exposed() {} // method on an unexported type: not API surface
+
+// Exported is documented.
+func Exported() {}
+
+func AlsoExported() {} // want `exported function AlsoExported has no doc comment`
+
+func helper() {} // unexported: fine
+
+// Limits are documented as a group, which covers every member.
+const (
+	MaxThings = 8
+	MinThings = 1
+)
+
+const Loose = /* want `exported const Loose has no doc comment` */ 2
+
+var (
+	// V1 is documented.
+	V1 int
+
+	V2/* want `exported var V2 has no doc comment` */ int
+)
+
+// Box is a documented generic type.
+type Box[T any] struct{ v T }
+
+func (b *Box[T]) Get() T { return b.v } // want `exported method Box\.Get has no doc comment`

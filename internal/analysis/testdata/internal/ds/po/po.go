@@ -1,0 +1,98 @@
+// Package po seeds hazard-pointer ordering violations for the protectorder
+// analyzer.
+package po
+
+import (
+	"sync/atomic"
+
+	"vettest/internal/core"
+)
+
+type node struct {
+	next atomic.Pointer[node]
+	key  int64
+}
+
+type list struct {
+	head atomic.Pointer[node]
+}
+
+func good(l *list, h *core.ThreadHandle[node]) int64 {
+	for {
+		n := l.head.Load()
+		if n == nil {
+			return 0
+		}
+		if !h.Protect(n) || l.head.Load() != n {
+			h.Unprotect(n)
+			continue
+		}
+		return n.key
+	}
+}
+
+func badNoValidate(l *list, h *core.ThreadHandle[node]) int64 {
+	n := l.head.Load()
+	if n == nil {
+		return 0
+	}
+	h.Protect(n) // want `n is dereferenced at line \d+ without re-validation after Protect`
+	return n.key
+}
+
+func badUseAfterUnprotect(l *list, h *core.ThreadHandle[node]) int64 {
+	n := l.head.Load()
+	if n == nil {
+		return 0
+	}
+	if !h.Protect(n) || l.head.Load() != n {
+		h.Unprotect(n)
+		return 0
+	}
+	k := n.key
+	h.Unprotect(n)
+	return k + n.key // want `n is dereferenced after Unprotect`
+}
+
+func reprotect(l *list, h *core.ThreadHandle[node]) int64 {
+	n := l.head.Load()
+	if n == nil {
+		return 0
+	}
+	if !h.Protect(n) || l.head.Load() != n {
+		h.Unprotect(n)
+		return 0
+	}
+	h.Unprotect(n)
+	if !h.Protect(n) || l.head.Load() != n {
+		h.Unprotect(n)
+		return 0
+	}
+	return n.key
+}
+
+func loopRescan(l *list, h *core.ThreadHandle[node], ns []*node) {
+	for _, n := range ns {
+		if !h.Protect(n) || l.head.Load() != n {
+			h.Unprotect(n)
+			continue
+		}
+		_ = n.key
+		h.Unprotect(n)
+	}
+}
+
+func validateSeparately(l *list, h *core.ThreadHandle[node]) int64 {
+	n := l.head.Load()
+	if n == nil {
+		return 0
+	}
+	if !h.Protect(n) {
+		return 0
+	}
+	if l.head.Load() != n {
+		h.Unprotect(n)
+		return 0
+	}
+	return n.key
+}

@@ -1,0 +1,28 @@
+// Package fwd checks the retirepin forwarding exemption: inside a
+// reclamation-stack package, a function that is itself a retire-path entry
+// point may forward raw retires — the pin obligation belongs to its callers.
+package fwd
+
+import "vettest/internal/core"
+
+type rec struct{ v int }
+
+// Reclaimer is a scheme whose Retire forwards to its per-thread handles.
+type Reclaimer struct{ hs []core.ReclaimerHandle[rec] }
+
+// Retire implements the scheme entry point by forwarding (exempt: the
+// enclosing function is itself a retire-path method).
+func (r *Reclaimer) Retire(tid int, x *rec) { r.hs[tid].Retire(x) }
+
+// FlushRetired forwards a whole buffer (exempt for the same reason).
+func (r *Reclaimer) FlushRetired(tid int, xs []*rec) {
+	for _, x := range xs {
+		r.hs[tid].Retire(x)
+	}
+}
+
+// drain is not a retire-path entry point, so its raw retire is still
+// checked.
+func (r *Reclaimer) drain(tid int, x *rec) {
+	r.hs[tid].Retire(x) // want `raw ReclaimerHandle\.Retire is not dominated`
+}

@@ -1,0 +1,51 @@
+// Package swgold seeds single-writer stat-cell violations for the
+// singlewriter analyzer — the typed port of the old hotpathguard grep
+// guard's seeded-regression self-test.
+package swgold
+
+import (
+	"sync/atomic"
+
+	"vettest/internal/core"
+)
+
+type thread struct {
+	retired core.Counter
+	freed   atomic.Int64 // want `per-thread stat counter thread\.freed declared as sync/atomic\.Int64`
+	epoch   atomic.Uint64
+	_       [core.PadBytes]byte
+}
+
+type threadStats struct {
+	scans    atomic.Uint64 // want `per-thread stat counter threadStats\.scans declared as sync/atomic\.Uint64`
+	restarts core.Counter
+}
+
+type sidecar struct {
+	retired atomic.Int64 // not a carrier struct: atomics are fine here
+}
+
+func rmwMethod(t *thread) {
+	t.freed.Add(1) // want `thread\.freed\.Add is an atomic RMW on a per-thread stat field`
+	t.epoch.Add(1) // epoch is a multi-writer synchronisation word, not a stat
+	t.retired.Inc()
+}
+
+type poolThread struct {
+	reused int64
+	local  int64
+}
+
+func rmwFunc(p *poolThread) {
+	atomic.AddInt64(&p.reused, 1) // want `atomic\.AddInt64 targets per-thread stat field poolThread\.reused`
+	atomic.AddInt64(&p.local, 1)  // local is not a stat name
+	p.reused++                    // the single-writer plain increment is the point
+}
+
+func swapFunc(p *poolThread) {
+	atomic.SwapInt64(&p.reused, 0) // want `atomic\.SwapInt64 targets per-thread stat field poolThread\.reused`
+}
+
+func elsewhere(s *sidecar) {
+	s.retired.Add(1) // sidecar is not a carrier
+}

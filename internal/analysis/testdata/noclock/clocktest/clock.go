@@ -1,0 +1,12 @@
+// Package clocktest drives the controller stub from tests (noclock golden
+// for the Step-driven-test rule).
+package clocktest
+
+import "vettest/internal/core"
+
+// Drive advances the controller n steps.
+func Drive(c *core.Controller, n int) {
+	for i := 0; i < n; i++ {
+		c.Step()
+	}
+}

@@ -1,0 +1,13 @@
+package clocktest
+
+import (
+	"testing"
+	"time"
+)
+
+// This file never drives Controller.Step, so wall-clock reads are allowed:
+// the noclock test rule is per file.
+func TestNoStepHere(t *testing.T) {
+	start := time.Now()
+	_ = time.Since(start)
+}

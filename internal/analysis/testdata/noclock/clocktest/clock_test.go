@@ -1,0 +1,21 @@
+package clocktest
+
+import (
+	"testing"
+	"time"
+
+	"vettest/internal/core"
+)
+
+func TestStepDriven(t *testing.T) {
+	var c core.Controller
+	c.Step()
+	_ = time.Now() // want `time\.Now in a test file that drives Controller\.Step`
+}
+
+func TestElapsed(t *testing.T) {
+	start := time.Now() // want `time\.Now in a test file that drives Controller\.Step`
+	var c core.Controller
+	Drive(&c, 3)
+	_ = time.Since(start) // want `time\.Since in a test file that drives Controller\.Step`
+}

@@ -1,0 +1,33 @@
+// Package core stubs the adaptive controller with seeded wall-clock reads
+// for the noclock analyzer (the path ends in internal/core, so the analyzer
+// treats it as the real controller package).
+package core
+
+import "time"
+
+// Controller mirrors the adaptive controller's Step-rooted call graph.
+type Controller struct {
+	last  time.Time
+	steps int
+}
+
+// Step advances one decision epoch; it must stay wall-clock free.
+func (c *Controller) Step() {
+	c.steps++
+	c.observe()
+	_ = time.Now() // want `time\.Now in Controller\.Step, which is reachable from Controller\.Step`
+}
+
+func (c *Controller) observe() {
+	_ = time.Since(c.last) // want `time\.Since in Controller\.observe, which is reachable from Controller\.Step`
+}
+
+// Run owns the ticker and calls Step; it is not reachable *from* Step, so
+// its clock use is the legitimate boundary.
+func (c *Controller) Run() {
+	t := time.NewTicker(time.Millisecond)
+	defer t.Stop()
+	for range t.C {
+		c.Step()
+	}
+}

@@ -1,0 +1,108 @@
+// Package a seeds quiescent-retire contract violations for the retirepin
+// analyzer.
+package a
+
+import "vettest/internal/core"
+
+type node struct{ v int }
+
+func raw(r core.Reclaimer[node], tid int, n *node) {
+	r.Retire(tid, n) // want `raw Reclaimer\.Retire is not dominated by LeaveQstate/PinRetire`
+}
+
+func pinned(r core.Reclaimer[node], tid int, n *node) {
+	r.LeaveQstate(tid)
+	r.Retire(tid, n)
+	r.EnterQstate(tid)
+}
+
+func unpinnedAfterEnter(r core.Reclaimer[node], tid int, n *node) {
+	r.LeaveQstate(tid)
+	r.EnterQstate(tid)
+	r.Retire(tid, n) // want `raw Reclaimer\.Retire is not dominated`
+}
+
+func pinOnOneBranchOnly(r core.Reclaimer[node], tid int, n *node, cond bool) {
+	if cond {
+		r.LeaveQstate(tid)
+	}
+	r.Retire(tid, n) // want `raw Reclaimer\.Retire is not dominated`
+}
+
+func pinOnBothBranches(r core.Reclaimer[node], tid int, n *node, cond bool) {
+	if cond {
+		r.LeaveQstate(tid)
+	} else {
+		r.LeaveQstate(tid)
+	}
+	r.Retire(tid, n)
+}
+
+func pinOrBail(r core.Reclaimer[node], tid int, n *node) {
+	if !r.LeaveQstate(tid) {
+		return
+	}
+	r.Retire(tid, n)
+}
+
+func pinnedViaPinner(p core.RetirePinner, r core.Reclaimer[node], tid int, n *node) {
+	p.PinRetire(tid)
+	defer p.UnpinRetire(tid) // the deferred unpin must not clear the live pin
+	r.Retire(tid, n)
+}
+
+func autoPinManager(m *core.RecordManager[node], tid int, n *node) {
+	m.Retire(tid, n)    // auto-pinning wrapper: exempt
+	m.FlushRetired(tid) // auto-pinning wrapper: exempt
+}
+
+func autoPinHandle(h *core.ThreadHandle[node], n *node) {
+	h.Retire(n) // auto-pinning wrapper: exempt
+	h.FlushRetired()
+}
+
+func rawHandle(h core.ReclaimerHandle[node], n *node) {
+	h.Retire(n) // want `raw ReclaimerHandle\.Retire is not dominated`
+}
+
+func pinnedHandle(h core.ReclaimerHandle[node], n *node) {
+	h.LeaveQstate()
+	h.Retire(n)
+	h.EnterQstate()
+}
+
+func pinnedLoop(r core.Reclaimer[node], tid int, ns []*node) {
+	r.LeaveQstate(tid)
+	for _, n := range ns {
+		r.Retire(tid, n)
+	}
+	r.EnterQstate(tid)
+}
+
+func pinnedClosure(r core.Reclaimer[node], tid int, n *node, drain func(func())) {
+	r.LeaveQstate(tid)
+	drain(func() {
+		r.Retire(tid, n) // pinned at creation point (synchronous callback)
+	})
+	r.EnterQstate(tid)
+}
+
+func spawnedRetire(r core.Reclaimer[node], tid int, n *node) {
+	r.LeaveQstate(tid)
+	go r.Retire(tid, n) // want `raw Reclaimer\.Retire is not dominated`
+	r.EnterQstate(tid)
+}
+
+func rawBlock(b core.BlockReclaimer[node], tid int, blk *node) {
+	b.RetireBlock(tid, blk) // want `raw BlockReclaimer\.RetireBlock is not dominated`
+}
+
+func rawChain(r core.Reclaimer[node], tid int) {
+	core.RetireChain(r, tid) // want `raw RetireChain is not dominated`
+}
+
+func pinnedChain(p core.RetirePinner, r core.Reclaimer[node], tid int) {
+	p.PinRetire(tid)
+	core.RetireChain(r, tid)
+	p.UnpinRetire(tid)
+}

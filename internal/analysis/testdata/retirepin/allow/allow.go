@@ -1,0 +1,38 @@
+// Package allow exercises the //lint:allow escape hatch and its hygiene
+// diagnostics under the retirepin analyzer.
+package allow
+
+import "vettest/internal/core"
+
+type node struct{ v int }
+
+func suppressedAbove(r core.Reclaimer[node], tid int, n *node) {
+	//lint:allow retirepin golden: exercising line-above suppression
+	r.Retire(tid, n)
+}
+
+func suppressedTrailing(r core.Reclaimer[node], tid int, n *node) {
+	r.Retire(tid, n) //lint:allow retirepin golden: exercising same-line suppression
+}
+
+func bareMarker(r core.Reclaimer[node], tid int, n *node) {
+	//lint:allow // want `bare //lint:allow marker`
+	r.Retire(tid, n) // want `raw Reclaimer\.Retire is not dominated`
+}
+
+func missingReason(r core.Reclaimer[node], tid int, n *node) {
+	//lint:allow retirepin // want `has no reason`
+	r.Retire(tid, n) // want `raw Reclaimer\.Retire is not dominated`
+}
+
+func unknownAnalyzer(r core.Reclaimer[node], tid int, n *node) {
+	//lint:allow nosuchcheck the analyzer name is wrong // want `unknown analyzer "nosuchcheck"`
+	r.Retire(tid, n) // want `raw Reclaimer\.Retire is not dominated`
+}
+
+func staleMarker(r core.Reclaimer[node], tid int, n *node) {
+	//lint:allow retirepin nothing on the next line violates anything // want `suppresses nothing`
+	r.LeaveQstate(tid)
+	r.Retire(tid, n)
+	r.EnterQstate(tid)
+}

@@ -48,6 +48,7 @@ func TestQuiescentRetirePanics(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			// Fresh threads start quiescent; make it explicit anyway.
 			r.EnterQstate(0)
+			//lint:allow retirepin the unpinned Retire is the point: this test asserts the runtime panic the analyzer proves absent elsewhere
 			if !panics(func() { r.Retire(0, &rec{ID: 1}) }) {
 				t.Fatal("quiescent Retire did not panic")
 			}
@@ -57,6 +58,7 @@ func TestQuiescentRetirePanics(t *testing.T) {
 				bag.Add(&rec{ID: int64(i)})
 			}
 			blk := bag.DetachAllFullBlocks()
+			//lint:allow retirepin deliberate unpinned RetireBlock: asserts the quiescent-retire panic
 			if !panics(func() { br.RetireBlock(0, blk) }) {
 				t.Fatal("quiescent RetireBlock did not panic")
 			}

@@ -358,8 +358,10 @@ func (m *RecordManager[T]) flushBuf(tid int, b *retireBuf[T]) {
 		defer m.pinner.UnpinRetire(tid)
 	}
 	if chain := b.bag.DetachAllFullBlocks(); chain != nil {
+		//lint:allow retirepin flushBuf pins conditionally above: only a quiescent thread needs the PinRetire window
 		RetireChain(m.reclaimer, tid, chain, b.pool)
 	}
+	//lint:allow retirepin same conditional-pin window as the chain hand-off above
 	b.bag.Drain(func(rec *T) { m.reclaimer.Retire(tid, rec) })
 	b.pending.Store(0)
 }

@@ -188,6 +188,7 @@ func (t *Tree[V]) search(hd Handle[V], key int64) searchResult[V] {
 	var gpupdate, pupdate *UpdateCell[V]
 	l := t.root
 	if t.perRecord {
+		//lint:allow protectorder the root sentinel is never retired, so the announcement needs no re-validation
 		rm.Protect(l)
 	}
 	for !l.IsLeaf() {

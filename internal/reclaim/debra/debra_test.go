@@ -234,6 +234,7 @@ func TestNewValidation(t *testing.T) {
 	if !panics(func() { debra.New[reclaimtest.Record](1, nil) }) {
 		t.Fatal("expected panic for nil sink")
 	}
+	//lint:allow retirepin deliberate contract violation: asserts the Retire(nil) panic fires before any pin check matters
 	if !panics(func() { debra.New[reclaimtest.Record](1, reclaimtest.NewRecordingSink()).Retire(0, nil) }) {
 		t.Fatal("expected panic for Retire(nil)")
 	}

@@ -84,8 +84,10 @@ func TestProtectedRecordSurvivesScan(t *testing.T) {
 		t.Fatal("Protect failed")
 	}
 	// Thread 0 retires the victim plus enough records to trigger scans.
+	//lint:allow retirepin hp is a membership scheme with no quiescent state; Retire is legal from any context
 	r.Retire(0, victim)
 	for i := 0; i < 200; i++ {
+		//lint:allow retirepin hp is a membership scheme with no quiescent state; Retire is legal from any context
 		r.Retire(0, &reclaimtest.Record{ID: int64(i)})
 	}
 	if sink.Freed() == 0 {
@@ -98,6 +100,7 @@ func TestProtectedRecordSurvivesScan(t *testing.T) {
 	// may now free the victim.
 	r.Unprotect(1, victim)
 	for i := 0; i < 200; i++ {
+		//lint:allow retirepin hp is a membership scheme with no quiescent state; Retire is legal from any context
 		r.Retire(0, &reclaimtest.Record{ID: int64(1000 + i)})
 	}
 	if !sink.Contains(victim) {
@@ -112,6 +115,7 @@ func TestBoundedGarbage(t *testing.T) {
 	const threshold = 128
 	r := hp.New(2, sink, hp.WithRetireThreshold(threshold))
 	for i := 0; i < 10_000; i++ {
+		//lint:allow retirepin hp is a membership scheme with no quiescent state; Retire is legal from any context
 		r.Retire(0, &reclaimtest.Record{ID: int64(i)})
 		if limbo := r.Stats().Limbo; limbo > 2*threshold+512 {
 			t.Fatalf("limbo=%d exceeds bound at iteration %d", limbo, i)
@@ -123,6 +127,7 @@ func TestStatsConsistency(t *testing.T) {
 	sink := reclaimtest.NewRecordingSink()
 	r := hp.New(1, sink, hp.WithRetireThreshold(32))
 	for i := 0; i < 500; i++ {
+		//lint:allow retirepin hp is a membership scheme with no quiescent state; Retire is legal from any context
 		r.Retire(0, &reclaimtest.Record{ID: int64(i)})
 	}
 	s := r.Stats()

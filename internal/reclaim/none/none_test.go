@@ -43,6 +43,7 @@ func TestRetireNilPanics(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
+	//lint:allow retirepin deliberate Retire(nil): asserts the validation panic; the none scheme has no quiescent state
 	none.New[reclaimtest.Record](1).Retire(0, nil)
 }
 

@@ -98,6 +98,7 @@ func TestMaxThreadsDynamicBinding(t *testing.T) {
 						t.Fatalf("acquired tid %d outside the worker-slot range", tid)
 					}
 				}
+				//lint:allow handlepair exhaustion probe: ok is asserted false, so there is no handle to release
 				if _, ok := mgr.TryAcquireHandle(); ok {
 					t.Fatal("TryAcquireHandle succeeded beyond MaxThreads")
 				}
