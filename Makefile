@@ -55,7 +55,11 @@ race:
 ## runtime comparison (experiment 10: adaptive vs static-optimal vs
 ## static-worst on a phase-changing workload, controller trajectories as
 ## JSON columns, hard-failing on Retired != Freed with the controller
-## enabled) in one merged report.
+## enabled) and the fault-injection experiment (11: per-scheme
+## bounded/unbounded unreclaimed growth under an injected stalled thread,
+## plus a chaos-mode service panel whose rows carry the shed/retry
+## counters; fault rows are excluded from the bench-diff throughput gate
+## but rendered as their own tables) in one merged report.
 ## The thread sweep is pinned so the row set matches BENCH_baseline.json on
 ## any machine (the async reclaimer-count and churn sweeps are likewise
 ## fixed, not machine-derived). The sweep runs 3 times and every cell keeps
@@ -68,7 +72,7 @@ race:
 ## timestamp, so any two runs can be compared later (benchdiff takes two
 ## positional artifact paths).
 bench-smoke: build
-	$(GO) run ./cmd/reclaimbench -experiment hashmap,async,hotpath,churn,service,adaptive -quick -threads 4 -duration 75ms -repeat 3 -json > bench-smoke.json
+	$(GO) run ./cmd/reclaimbench -experiment hashmap,async,hotpath,churn,service,adaptive,faults -quick -threads 4 -duration 75ms -repeat 3 -json > bench-smoke.json
 	@grep -q '"row_count"' bench-smoke.json
 	@mkdir -p bench-history
 	@cp bench-smoke.json "bench-history/$$(date -u +%Y%m%dT%H%M%SZ).json"

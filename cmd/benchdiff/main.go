@@ -93,6 +93,13 @@ func main() {
 	if at := bench.RenderAdaptiveTrajectories(baseline, current); at != "" {
 		fmt.Print(at)
 	}
+	// And the fault-injection rows (experiment 11): the bounded/unbounded
+	// unreclaimed-growth classification per scheme under a stalled thread and
+	// the chaos-mode service resilience counters. Excluded from the gate,
+	// rendered here — a classification flip is the regression to look for.
+	if ft := bench.RenderFaults(baseline, current); ft != "" {
+		fmt.Print(ft)
+	}
 	if len(res.Regressions) > 0 {
 		fatal(fmt.Errorf("%d cells regressed more than %.0f%%", len(res.Regressions), *threshold*100))
 	}

@@ -17,6 +17,14 @@
 //	kvload -addr 127.0.0.1:7070 -conns 16 -duration 10s
 //	kvload -dist uniform -readpct 50 -delpct 25 -prefill 100000
 //	kvload -open -rate 50000 -duration 30s -json
+//	kvload -retries 4 -chaos-kill 500 -json     # chaos mode: random self-kills
+//
+// Transient failures — dial errors, broken connections, ERR_BUSY fast-fails
+// from an overloaded server — are retried with exponential backoff
+// (-retries, -backoff) instead of failing the run; the retry, reconnect and
+// give-up counts are part of the report. The -chaos-stall and -chaos-kill
+// cadences make the generator misbehave on purpose (stall mid-frame, kill
+// its own connections) to exercise the server's timeouts and reaper.
 package main
 
 import (
@@ -45,6 +53,12 @@ func main() {
 		seed     = flag.Int64("seed", 1, "workload random seed (connection c uses seed+c)")
 		prefill  = flag.Int64("prefill", 0, "PUT keys [0, prefill) before measuring, so GETs hit and DELs delete")
 		jsonOut  = flag.Bool("json", false, "emit the result as JSON instead of text")
+
+		retries    = flag.Int("retries", 0, "retry budget per operation for transient errors and ERR_BUSY (0 = library default, 8; negative = no retries)")
+		backoff    = flag.Duration("backoff", 0, "initial retry backoff, doubled per attempt with jitter (0 = library default, 1ms)")
+		chaosStall = flag.Int("chaos-stall", 0, "chaos: stall mid-frame roughly every N requests per connection (0 = never)")
+		chaosHold  = flag.Duration("chaos-hold", 0, "chaos: how long a mid-frame stall lasts (0 = library default, 5ms)")
+		chaosKill  = flag.Int("chaos-kill", 0, "chaos: kill the connection roughly every N requests per connection, forcing a reconnect (0 = never)")
 	)
 	flag.Parse()
 
@@ -62,6 +76,12 @@ func main() {
 		Rate:     *rate,
 		Seed:     *seed,
 		Prefill:  *prefill,
+
+		Retries:         *retries,
+		RetryBackoff:    *backoff,
+		ChaosStallEvery: *chaosStall,
+		ChaosStallFor:   *chaosHold,
+		ChaosKillEvery:  *chaosKill,
 	})
 	if err != nil {
 		fatal(err)
@@ -80,11 +100,20 @@ func main() {
 			P999Ns     int64   `json:"p999_ns"`
 			MaxNs      int64   `json:"max_ns"`
 			Discipline string  `json:"discipline"`
+
+			Busy        int64 `json:"busy"`
+			Retries     int64 `json:"retries"`
+			Reconnects  int64 `json:"reconnects"`
+			GaveUp      int64 `json:"gave_up"`
+			ChaosStalls int64 `json:"chaos_stalls,omitempty"`
+			ChaosKills  int64 `json:"chaos_kills,omitempty"`
 		}{
 			Ops: res.Ops, Gets: res.Gets, Puts: res.Puts, Dels: res.Dels,
 			Seconds: res.Elapsed.Seconds(), OpsPerSec: res.Throughput(),
 			P50Ns: int64(res.P50()), P99Ns: int64(res.P99()), P999Ns: int64(res.P999()),
 			MaxNs: res.Hist.Max(), Discipline: discipline(*open),
+			Busy: res.Busy, Retries: res.Retries, Reconnects: res.Reconnects,
+			GaveUp: res.GaveUp, ChaosStalls: res.ChaosStalls, ChaosKills: res.ChaosKills,
 		}
 		out, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
@@ -98,6 +127,10 @@ func main() {
 		res.Ops, res.Elapsed.Round(time.Millisecond), res.Throughput(), res.Gets, res.Puts, res.Dels)
 	fmt.Printf("latency (%s): p50 %v  p99 %v  p999 %v  max %v\n",
 		discipline(*open), res.P50(), res.P99(), res.P999(), time.Duration(res.Hist.Max()))
+	if res.Busy+res.Retries+res.Reconnects+res.GaveUp+res.ChaosStalls+res.ChaosKills > 0 {
+		fmt.Printf("resilience: %d busy, %d retries, %d reconnects, %d gave up (chaos: %d stalls, %d kills)\n",
+			res.Busy, res.Retries, res.Reconnects, res.GaveUp, res.ChaosStalls, res.ChaosKills)
+	}
 }
 
 func discipline(open bool) string {

@@ -10,6 +10,11 @@
 // after -idlehold instead), so the server admits any number of connections
 // while -maxconns bounds how many the reclamation schemes ever see at once.
 //
+// The service degrades gracefully under faults and overload: -readtimeout
+// and -writetimeout bound every frame, slot waits are bounded by
+// -acquirewait with an ERR_BUSY fast-fail past it, and a watchdog reaps
+// peers that complete no frame within -reapafter.
+//
 //	kvserver -addr :7070 -scheme debra -partitions 4 -maxconns 64
 //	kvserver -scheme hp -pool -shards 4 -reclaimers 1
 //
@@ -40,6 +45,10 @@ func main() {
 		maxConns    = flag.Int("maxconns", 8, "worker-slot capacity per partition: connections holding a burst concurrently")
 		burst       = flag.Int("burst", 64, "requests a connection serves per slot hold before releasing")
 		idleHold    = flag.Duration("idlehold", 0, "how long an idle connection may keep its slots mid-burst before releasing them (0 = library default)")
+		readTO      = flag.Duration("readtimeout", 0, "per-frame read deadline: a peer that delivers no complete request within it is dropped (0 = library default, 30s)")
+		writeTO     = flag.Duration("writetimeout", 0, "per-response write deadline: a peer that stops reading is dropped once it expires (0 = library default, 10s)")
+		acquireWait = flag.Duration("acquirewait", 0, "how long a request may wait for a worker slot before the ERR_BUSY fast-fail (0 = library default, 100ms)")
+		reapAfter   = flag.Duration("reapafter", 0, "slow-peer reaper threshold: connections completing no frame within it are closed (0 = library default, 2x readtimeout)")
 		pool        = flag.Bool("pool", false, "recycle reclaimed nodes through the record pool")
 		shards      = flag.Int("shards", 0, "sharded reclamation domains per partition (0/1 = one global domain)")
 		placement   = flag.String("placement", "", "tid->shard placement policy: block or stripe")
@@ -61,6 +70,10 @@ func main() {
 		MaxConns:         *maxConns,
 		Burst:            *burst,
 		IdleHold:         *idleHold,
+		ReadTimeout:      *readTO,
+		WriteTimeout:     *writeTO,
+		AcquireWait:      *acquireWait,
+		ReapAfter:        *reapAfter,
 		UsePool:          *pool,
 		Shards:           *shards,
 		Placement:        pl,

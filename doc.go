@@ -225,6 +225,40 @@
 // hard-failing any trial whose reclaiming scheme exits with
 // Retired != Freed.
 //
+// # Fault injection and graceful degradation
+//
+// The paper's motivating failure — one stalled thread making an epoch
+// scheme's unreclaimed memory grow without bound — is reproduced on
+// demand, not waited for. internal/faultinject is a deterministic fault
+// plane over the reclaimer: a Plan of seeded, replayable triggers (timed
+// stalls, gated "crash" parks that hold a victim mid-operation until
+// released, derived chaos schedules) fires at the scheme's operation
+// boundaries. recordmgr.Config.FaultPlan interposes it with
+// faultinject.Wrap, which forwards the block-retirement and sharding
+// capability interfaces so the wrapped stack behaves identically; with no
+// plan there is no wrapper and no cost. faultinject.Probe runs the
+// two-phase measurement — unreclaimed growth per operation with and
+// without a stalled thread — and classifies each scheme bounded or
+// unbounded by the slope delta: DEBRA+ (neutralization) and HP (bounded by
+// construction) stay flat, EBR/QSBR/DEBRA approach one record per
+// operation behind the stalled announcement. Experiment 11 of
+// cmd/reclaimbench ("faults") sweeps the probe over every scheme and
+// stall count and adds a chaos-mode KV service panel (client-side
+// mid-frame stalls and connection kills via internal/kvload's chaos
+// flags) that must still shut down with Retired == Freed; cmd/benchdiff
+// excludes the fault rows from the throughput gate and renders them as
+// classification and resilience tables instead.
+//
+// The service layer holds up its own end: every read and write carries a
+// deadline, slot acquisition is bounded in time and queue depth with an
+// ERR_BUSY fast-fail that leaves the connection usable, and a background
+// reaper closes peers that complete no frame — so a dead, stalled or
+// malicious peer can never park a handler goroutine or the worker slots
+// it would bind. internal/kvload retries transient failures with
+// exponential backoff and jitter, reconnects through connection loss, and
+// reports the recovery work (busy/retries/reconnects/gaveup) in its
+// results. docs/OPERATIONS.md ("Fault tolerance") is the operator's view.
+//
 // # Static analysis
 //
 // The contracts above are also proven at build time. cmd/reclaimvet is a

@@ -75,7 +75,9 @@ func forwarding(pass *analysis.Pass, fd *ast.FuncDecl) bool {
 		return false
 	}
 	p := pass.Pkg.Path()
-	return analysis.PathHasSuffix(p, "internal/core") || analysis.PathContains(p, "internal/reclaim")
+	return analysis.PathHasSuffix(p, "internal/core") ||
+		analysis.PathContains(p, "internal/reclaim") ||
+		analysis.PathContains(p, "internal/faultinject")
 }
 
 // inStack reports whether the called function belongs to the reclamation
@@ -86,7 +88,8 @@ func inStack(pass *analysis.Pass, call *ast.CallExpr) (fn string, recv string, o
 		return "", "", false
 	}
 	p := analysis.FuncPkgPath(f)
-	if !analysis.PathHasSuffix(p, "internal/core") && !analysis.PathContains(p, "internal/reclaim") {
+	if !analysis.PathHasSuffix(p, "internal/core") && !analysis.PathContains(p, "internal/reclaim") &&
+		!analysis.PathContains(p, "internal/faultinject") {
 		return "", "", false
 	}
 	return f.Name(), analysis.RecvTypeName(f), true

@@ -108,6 +108,17 @@ type Config struct {
 	// Duration/len(Phases) each, workers binding their slots dynamically per
 	// phase, and Threads is derived from the busiest phase.
 	Phases []Phase
+	// StallThreads configures the fault-probe trials (DataStructure ==
+	// DSFaultProbe): how many of the trial's threads are parked while pinned
+	// during the stalled measurement phase (see internal/faultinject.Probe).
+	// Must be < Threads; ignored by every other data structure.
+	StallThreads int
+	// ChaosStallEvery and ChaosKillEvery configure chaos-mode service trials
+	// (DataStructure == DSService): the load generator's mid-frame stall and
+	// connection-kill cadences (kvload.Config fields of the same names; 0 =
+	// no chaos). Ignored by every other data structure.
+	ChaosStallEvery int
+	ChaosKillEvery  int
 	// Adaptive enables the self-tuning runtime: the Record Manager's
 	// controller retunes effective shards, retire batches and active
 	// reclaimers from live load, with Shards/RetireBatch/Reclaimers as the
@@ -185,6 +196,31 @@ type Result struct {
 	// periods and applied lever changes over the whole trial.
 	ControllerSteps     int
 	ControllerDecisions int64
+	// FaultStalled is the number of threads parked while pinned during a
+	// fault-probe trial's stalled phase (0 elsewhere). FaultBaselineSlope and
+	// FaultStalledSlope are the Unreclaimed growth per operation measured
+	// without and with the stall; FaultSlopeDelta is their difference — the
+	// stall-induced growth — and FaultBounded is the classification
+	// (delta under the slack: a stalled thread does not make unreclaimed
+	// memory grow with continued operation). FaultMaxUnreclaimed is the
+	// largest Unreclaimed sample of the probe.
+	FaultStalled        int
+	FaultBaselineSlope  float64
+	FaultStalledSlope   float64
+	FaultSlopeDelta     float64
+	FaultBounded        bool
+	FaultMaxUnreclaimed int64
+	// ServiceBusy, ServiceRetries, ServiceReconnects and ServiceGaveUp are
+	// the load generator's resilience counters of a service trial (ERR_BUSY
+	// fast-fails absorbed, retry attempts, successful re-dials, connections
+	// that exhausted their retries); ChaosStalls and ChaosKills count the
+	// chaos injections that provoked them. All 0 outside service trials.
+	ServiceBusy       int64
+	ServiceRetries    int64
+	ServiceReconnects int64
+	ServiceGaveUp     int64
+	ChaosStalls       int64
+	ChaosKills        int64
 	// Elapsed is the measured duration of the timed phase.
 	Elapsed time.Duration
 }
@@ -488,6 +524,11 @@ func RunTrial(cfg Config) (Result, error) {
 		// RunTrial's validation and defaulting but none of the in-process
 		// worker machinery.
 		return runServiceTrial(cfg)
+	}
+	if cfg.DataStructure == DSFaultProbe {
+		// The fault-probe arm (experiment 11) runs the two-phase stalled
+		// unreclaimed-growth probe; op counts are fixed, not duration-scaled.
+		return runFaultProbeTrial(cfg)
 	}
 	if len(cfg.Phases) > 0 {
 		// The phase-changing arm (experiment 10) owns its worker lifecycle:

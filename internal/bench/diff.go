@@ -47,6 +47,7 @@ type DiffCell struct {
 type DiffResult struct {
 	Compared          int
 	Skipped           int // cells under the MinMops floor
+	FaultRows         int // fault-injection cells excluded from the gate
 	MissingInCurrent  int
 	MissingInBaseline int
 	MedianRatio       float64
@@ -65,6 +66,18 @@ type DiffResult struct {
 func rowKey(r JSONRow) string {
 	return fmt.Sprintf("%s | %s | threads=%d shards=%d/%s batch=%d async=%d churn=%d",
 		r.Title, r.Scheme, r.Threads, r.Shards, r.Placement, r.RetireBatch, r.Reclaimers, r.ChurnOps)
+}
+
+// faultRow reports whether a row belongs to the fault-injection experiment
+// (11): the stalled-thread probe rows and the chaos-mode service rows. Fault
+// rows are excluded from the throughput trend gate — a probe's op count is
+// fixed rather than duration-scaled and a chaos run's throughput depends on
+// how much chaos the schedule dealt it — but RenderFaults still reports
+// them. Identification is by row identity (data structure / title), not by
+// the chaos counters, so both sides of a diff filter identically even when a
+// run's chaos schedule happened to inject nothing.
+func faultRow(r JSONRow) bool {
+	return r.DataStructure == DSFaultProbe || strings.Contains(r.Title, DSService+"-chaos")
 }
 
 // ParseReport decodes a JSON report produced by reclaimbench -json.
@@ -89,16 +102,23 @@ func DiffReports(baseline, current JSONReport, opts DiffOptions) (DiffResult, er
 	if opts.Threshold <= 0 {
 		opts.Threshold = DefaultDiffOptions().Threshold
 	}
+	var res DiffResult
 	base := map[string]JSONRow{}
 	for _, r := range baseline.Rows {
+		if faultRow(r) {
+			continue
+		}
 		base[rowKey(r)] = r
 	}
 	cur := map[string]JSONRow{}
 	for _, r := range current.Rows {
+		if faultRow(r) {
+			res.FaultRows++
+			continue
+		}
 		cur[rowKey(r)] = r
 	}
 
-	var res DiffResult
 	for k := range base {
 		if _, ok := cur[k]; !ok {
 			res.MissingInCurrent++
@@ -417,6 +437,92 @@ func RenderAdaptiveTrajectories(baseline, current JSONReport) string {
 	return sb.String()
 }
 
+// RenderFaults renders the fault-injection rows (experiment 11) from both
+// reports. Probe rows show the bounded/unbounded classification and the
+// stall-induced Unreclaimed growth slope next to the baseline run's — the
+// robustness claim itself (one stalled thread: DEBRA+/HP bounded, EBR/QSBR/
+// DEBRA unbounded) rendered as data. Chaos service rows show the resilience
+// counters: ERR_BUSY fast-fails absorbed, retries, reconnects, give-ups and
+// the chaos injections that provoked them. Both are informational (fault
+// rows are excluded from the throughput gate); a probe row whose
+// classification CHANGED between baseline and current is flagged, since that
+// is a robustness regression no throughput gate would see. Reports recorded
+// before the fault experiment existed simply produce no table.
+func RenderFaults(baseline, current JSONReport) string {
+	type cell struct{ base, cur JSONRow }
+	collect := func(keep func(JSONRow) bool) (map[string]*cell, []string) {
+		cells := map[string]*cell{}
+		var keys []string
+		get := func(r JSONRow) *cell {
+			k := rowKey(r)
+			c, ok := cells[k]
+			if !ok {
+				c = &cell{}
+				cells[k] = c
+				keys = append(keys, k)
+			}
+			return c
+		}
+		for _, r := range baseline.Rows {
+			if keep(r) {
+				get(r).base = r
+			}
+		}
+		for _, r := range current.Rows {
+			if keep(r) {
+				get(r).cur = r
+			}
+		}
+		sort.Strings(keys)
+		return cells, keys
+	}
+	var sb strings.Builder
+	probeCells, probeKeys := collect(func(r JSONRow) bool { return r.DataStructure == DSFaultProbe })
+	if len(probeKeys) > 0 {
+		sb.WriteString("stalled-thread unreclaimed growth (experiment 11):\n")
+		fmt.Fprintf(&sb, "  %-72s %-10s %-10s %14s %14s\n", "cell", "base", "cur", "cur slope", "cur max unrecl")
+		for _, k := range probeKeys {
+			c := probeCells[k]
+			class := func(r JSONRow) string {
+				if r.FaultClass == "" {
+					return "-"
+				}
+				return r.FaultClass
+			}
+			flag := ""
+			if c.base.FaultClass != "" && c.cur.FaultClass != "" && c.base.FaultClass != c.cur.FaultClass {
+				flag = "  <-- CLASSIFICATION CHANGED"
+			}
+			slope := "-"
+			if c.cur.FaultClass != "" {
+				slope = fmt.Sprintf("%+.3f/op", c.cur.UnreclaimedSlopeDelta)
+			}
+			fmt.Fprintf(&sb, "  %-72s %-10s %-10s %14s %14d%s\n",
+				k, class(c.base), class(c.cur), slope, c.cur.FaultMaxUnreclaimed, flag)
+		}
+	}
+	chaosCells, chaosKeys := collect(func(r JSONRow) bool {
+		return r.DataStructure == DSService && strings.Contains(r.Title, DSService+"-chaos")
+	})
+	if len(chaosKeys) > 0 {
+		if sb.Len() > 0 {
+			sb.WriteString("\n")
+		}
+		sb.WriteString("chaos-mode KV service resilience counters (experiment 11):\n")
+		fmt.Fprintf(&sb, "  %-88s %28s %16s\n", "cell", "cur busy/retry/reconn/gaveup", "cur stalls/kills")
+		for _, k := range chaosKeys {
+			c := chaosCells[k]
+			counters, chaos := "-", "-"
+			if c.cur.Title != "" {
+				counters = fmt.Sprintf("%d/%d/%d/%d", c.cur.Busy, c.cur.Retries, c.cur.Reconnects, c.cur.GaveUp)
+				chaos = fmt.Sprintf("%d/%d", c.cur.ChaosStalls, c.cur.ChaosKills)
+			}
+			fmt.Fprintf(&sb, "  %-88s %28s %16s\n", k, counters, chaos)
+		}
+	}
+	return sb.String()
+}
+
 // RenderDiff renders the comparison for humans (and the CI log).
 func RenderDiff(res DiffResult, opts DiffOptions) string {
 	var sb strings.Builder
@@ -426,6 +532,9 @@ func RenderDiff(res DiffResult, opts DiffOptions) string {
 	}
 	fmt.Fprintf(&sb, "bench diff: %d cells compared, %d skipped (< %.2f Mops/s baseline), mode %s, threshold %.0f%%\n",
 		res.Compared, res.Skipped, opts.MinMops, mode, opts.Threshold*100)
+	if res.FaultRows > 0 {
+		fmt.Fprintf(&sb, "%d fault-injection cells excluded from the gate (probe op counts are fixed and chaos throughput is schedule noise; see the fault tables)\n", res.FaultRows)
+	}
 	fmt.Fprintf(&sb, "median current/baseline ratio: %.3f (machine-speed factor cancelled in relative mode)\n", res.MedianRatio)
 	if !opts.Absolute && res.MedianRatio > 0 && res.MedianRatio < 1-opts.Threshold {
 		// Relative mode cannot tell a slow machine from a uniform code-level

@@ -60,6 +60,14 @@ type Panel struct {
 	Phases           []Phase
 	Adaptive         bool
 	AdaptiveInterval time.Duration
+	// StallThreads, ChaosStallEvery and ChaosKillEvery configure the fault
+	// panels (experiment 11); see the Config fields of the same names. Like
+	// the service axes they are NOT part of the trend gate's row identity —
+	// the fault panels encode them in the Title, keeping every pre-fault
+	// baseline row's key stable.
+	StallThreads    int
+	ChaosStallEvery int
+	ChaosKillEvery  int
 }
 
 // PanelResult holds the measured cells of a panel.
@@ -210,6 +218,8 @@ func ExperimentPanels(experiment int, opts Options) ([]Panel, error) {
 		return ServicePanels(opts), nil
 	case ExperimentAdaptive:
 		return AdaptivePanels(opts), nil
+	case ExperimentFaults:
+		return FaultPanels(opts), nil
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %d", experiment)
 	}
@@ -479,6 +489,9 @@ func RunPanel(p Panel, opts Options) PanelResult {
 				Phases:           p.Phases,
 				Adaptive:         p.Adaptive,
 				AdaptiveInterval: p.AdaptiveInterval,
+				StallThreads:     p.StallThreads,
+				ChaosStallEvery:  p.ChaosStallEvery,
+				ChaosKillEvery:   p.ChaosKillEvery,
 			}
 			res, err := runSafely(cfg)
 			if err != nil {

@@ -75,6 +75,30 @@ type JSONRow struct {
 	TrajReclaimers      []int `json:"traj_reclaimers,omitempty"`
 	ControllerSteps     int   `json:"controller_steps,omitempty"`
 	ControllerDecisions int64 `json:"controller_decisions,omitempty"`
+	// StallThreads marks a fault-probe row (experiment 11): how many threads
+	// were parked while pinned during the stalled phase. The slope columns
+	// are the probe's Unreclaimed growth per operation without and with the
+	// stall; FaultClass is the classification from their delta ("bounded":
+	// a stalled thread does not make unreclaimed memory grow with continued
+	// operation; "unbounded": it does, as for the paper's EBR/QSBR/DEBRA).
+	// All omitted for non-fault rows.
+	StallThreads            int     `json:"stall_threads,omitempty"`
+	FaultClass              string  `json:"fault_class,omitempty"`
+	UnreclaimedSlopeBase    float64 `json:"unreclaimed_slope_base,omitempty"`
+	UnreclaimedSlopeStalled float64 `json:"unreclaimed_slope_stalled,omitempty"`
+	UnreclaimedSlopeDelta   float64 `json:"unreclaimed_slope_delta,omitempty"`
+	FaultMaxUnreclaimed     int64   `json:"fault_max_unreclaimed,omitempty"`
+	// Busy/Retries/Reconnects/GaveUp are the load generator's resilience
+	// counters of a service row (ERR_BUSY fast-fails absorbed, retry
+	// attempts, successful re-dials, connections that exhausted their
+	// retries); ChaosStalls and ChaosKills count the chaos injections of a
+	// chaos-mode row. All omitted when zero.
+	Busy        int64 `json:"busy,omitempty"`
+	Retries     int64 `json:"retries,omitempty"`
+	Reconnects  int64 `json:"reconnects,omitempty"`
+	GaveUp      int64 `json:"gave_up,omitempty"`
+	ChaosStalls int64 `json:"chaos_stalls,omitempty"`
+	ChaosKills  int64 `json:"chaos_kills,omitempty"`
 }
 
 // JSONReport is the top-level machine-readable result document.
@@ -105,48 +129,67 @@ func BuildJSONReport(results []PanelResult) JSONReport {
 				if r.ChurnCycles > 0 {
 					churnNsPerCycle = float64(r.ChurnNs) / float64(r.ChurnCycles)
 				}
+				faultClass := ""
+				if r.Config.DataStructure == DSFaultProbe {
+					faultClass = "unbounded"
+					if r.FaultBounded {
+						faultClass = "bounded"
+					}
+				}
 				rep.Rows = append(rep.Rows, JSONRow{
-					Figure:              pr.Panel.Figure,
-					Title:               pr.Panel.Title,
-					DataStructure:       pr.Panel.DataStructure,
-					Workload:            pr.Panel.Workload.String(),
-					Allocator:           allocName(pr.Panel.Allocator),
-					UsePool:             pr.Panel.UsePool,
-					Scheme:              scheme,
-					Threads:             threads,
-					Shards:              r.Config.Shards,
-					Placement:           r.Config.Placement,
-					RetireBatch:         r.Config.RetireBatch,
-					Reclaimers:          r.Config.Reclaimers,
-					ChurnOps:            r.Config.ChurnOps,
-					Ops:                 r.Ops,
-					MopsPerSec:          r.MopsPerSec,
-					NsPerOp:             nsPerOp,
-					ElapsedSeconds:      r.Elapsed.Seconds(),
-					AllocatedBytes:      r.AllocatedBytes,
-					AllocatedRecs:       r.AllocatedRecords,
-					PoolReused:          r.PoolReused,
-					Retired:             r.Reclaimer.Retired,
-					Freed:               r.Reclaimer.Freed,
-					Limbo:               r.Reclaimer.Limbo,
-					RetirePending:       r.RetirePending,
-					HandoffPending:      r.HandoffPending,
-					Unreclaimed:         r.Unreclaimed,
-					Neutralization:      r.Reclaimer.Neutralizations,
-					EpochAdvances:       r.Reclaimer.EpochAdvances,
-					Scans:               r.Reclaimer.Scans,
-					ChurnCycles:         r.ChurnCycles,
-					ChurnNsPerCycle:     churnNsPerCycle,
-					P50Ns:               r.P50Ns,
-					P99Ns:               r.P99Ns,
-					P999Ns:              r.P999Ns,
-					PhaseMops:           r.PhaseMops,
-					TrajLive:            r.TrajLive,
-					TrajShards:          r.TrajShards,
-					TrajBatch:           r.TrajBatch,
-					TrajReclaimers:      r.TrajReclaimers,
-					ControllerSteps:     r.ControllerSteps,
-					ControllerDecisions: r.ControllerDecisions,
+					Figure:                  pr.Panel.Figure,
+					Title:                   pr.Panel.Title,
+					DataStructure:           pr.Panel.DataStructure,
+					Workload:                pr.Panel.Workload.String(),
+					Allocator:               allocName(pr.Panel.Allocator),
+					UsePool:                 pr.Panel.UsePool,
+					Scheme:                  scheme,
+					Threads:                 threads,
+					Shards:                  r.Config.Shards,
+					Placement:               r.Config.Placement,
+					RetireBatch:             r.Config.RetireBatch,
+					Reclaimers:              r.Config.Reclaimers,
+					ChurnOps:                r.Config.ChurnOps,
+					Ops:                     r.Ops,
+					MopsPerSec:              r.MopsPerSec,
+					NsPerOp:                 nsPerOp,
+					ElapsedSeconds:          r.Elapsed.Seconds(),
+					AllocatedBytes:          r.AllocatedBytes,
+					AllocatedRecs:           r.AllocatedRecords,
+					PoolReused:              r.PoolReused,
+					Retired:                 r.Reclaimer.Retired,
+					Freed:                   r.Reclaimer.Freed,
+					Limbo:                   r.Reclaimer.Limbo,
+					RetirePending:           r.RetirePending,
+					HandoffPending:          r.HandoffPending,
+					Unreclaimed:             r.Unreclaimed,
+					Neutralization:          r.Reclaimer.Neutralizations,
+					EpochAdvances:           r.Reclaimer.EpochAdvances,
+					Scans:                   r.Reclaimer.Scans,
+					ChurnCycles:             r.ChurnCycles,
+					ChurnNsPerCycle:         churnNsPerCycle,
+					P50Ns:                   r.P50Ns,
+					P99Ns:                   r.P99Ns,
+					P999Ns:                  r.P999Ns,
+					PhaseMops:               r.PhaseMops,
+					TrajLive:                r.TrajLive,
+					TrajShards:              r.TrajShards,
+					TrajBatch:               r.TrajBatch,
+					TrajReclaimers:          r.TrajReclaimers,
+					ControllerSteps:         r.ControllerSteps,
+					ControllerDecisions:     r.ControllerDecisions,
+					StallThreads:            r.FaultStalled,
+					FaultClass:              faultClass,
+					UnreclaimedSlopeBase:    r.FaultBaselineSlope,
+					UnreclaimedSlopeStalled: r.FaultStalledSlope,
+					UnreclaimedSlopeDelta:   r.FaultSlopeDelta,
+					FaultMaxUnreclaimed:     r.FaultMaxUnreclaimed,
+					Busy:                    r.ServiceBusy,
+					Retries:                 r.ServiceRetries,
+					Reconnects:              r.ServiceReconnects,
+					GaveUp:                  r.ServiceGaveUp,
+					ChaosStalls:             r.ChaosStalls,
+					ChaosKills:              r.ChaosKills,
 				})
 			}
 		}

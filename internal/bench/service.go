@@ -115,15 +115,17 @@ func runServiceTrial(cfg Config) (Result, error) {
 	}
 	readPct := 100 - cfg.Workload.InsertPct - cfg.Workload.DeletePct
 	lres, lerr := kvload.Run(kvload.Config{
-		Addr:     addr.String(),
-		Conns:    cfg.Threads,
-		Duration: cfg.Duration,
-		Keys:     cfg.Workload.KeyRange,
-		Dist:     dist,
-		ReadPct:  readPct,
-		DelPct:   cfg.Workload.DeletePct,
-		Seed:     cfg.Seed,
-		Prefill:  int64(float64(cfg.Workload.KeyRange) * cfg.Workload.PrefillFraction),
+		Addr:            addr.String(),
+		Conns:           cfg.Threads,
+		Duration:        cfg.Duration,
+		Keys:            cfg.Workload.KeyRange,
+		Dist:            dist,
+		ReadPct:         readPct,
+		DelPct:          cfg.Workload.DeletePct,
+		Seed:            cfg.Seed,
+		Prefill:         int64(float64(cfg.Workload.KeyRange) * cfg.Workload.PrefillFraction),
+		ChaosStallEvery: cfg.ChaosStallEvery,
+		ChaosKillEvery:  cfg.ChaosKillEvery,
 	})
 	srv.Close()
 	if lerr != nil {
@@ -135,17 +137,23 @@ func runServiceTrial(cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("bench: service shutdown invariant violated: Retired=%d Freed=%d Unreclaimed=%d", m.Retired, m.Freed, m.Unreclaimed)
 	}
 	res := Result{
-		Config:           cfg,
-		Ops:              lres.Ops,
-		Throughput:       lres.Throughput(),
-		AllocatedBytes:   m.AllocatedBytes,
-		AllocatedRecords: m.Allocated,
-		PoolReused:       m.PoolReused,
-		Unreclaimed:      m.Unreclaimed,
-		Elapsed:          lres.Elapsed,
-		P50Ns:            int64(lres.P50()),
-		P99Ns:            int64(lres.P99()),
-		P999Ns:           int64(lres.P999()),
+		Config:            cfg,
+		Ops:               lres.Ops,
+		Throughput:        lres.Throughput(),
+		AllocatedBytes:    m.AllocatedBytes,
+		AllocatedRecords:  m.Allocated,
+		PoolReused:        m.PoolReused,
+		Unreclaimed:       m.Unreclaimed,
+		Elapsed:           lres.Elapsed,
+		P50Ns:             int64(lres.P50()),
+		P99Ns:             int64(lres.P99()),
+		P999Ns:            int64(lres.P999()),
+		ServiceBusy:       lres.Busy,
+		ServiceRetries:    lres.Retries,
+		ServiceReconnects: lres.Reconnects,
+		ServiceGaveUp:     lres.GaveUp,
+		ChaosStalls:       lres.ChaosStalls,
+		ChaosKills:        lres.ChaosKills,
 	}
 	res.Reclaimer.Retired = m.Retired
 	res.Reclaimer.Freed = m.Freed

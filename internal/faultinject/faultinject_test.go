@@ -1,0 +1,185 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+)
+
+// TestGatedTriggerParksUntilRelease covers the "crash" fault: a Hold == 0
+// trigger parks the crossing goroutine on its gate until Release, and the
+// gate never parks again afterwards (one crash per trigger).
+func TestGatedTriggerParksUntilRelease(t *testing.T) {
+	p := NewPlan()
+	a := p.Add(Trigger{Tid: 3, Point: PointPinned})
+	p.Arm()
+
+	done := make(chan struct{})
+	go func() {
+		p.hook(3, PointPinned)
+		close(done)
+	}()
+	if !a.AwaitStall(2 * time.Second) {
+		t.Fatal("goroutine never parked on the gate")
+	}
+	if !a.Stalled() {
+		t.Fatal("Stalled() false while a goroutine is parked")
+	}
+	select {
+	case <-done:
+		t.Fatal("goroutine continued past the gate before Release")
+	default:
+	}
+	a.Release()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("goroutine still parked after Release")
+	}
+	// A released gate is spent: further crossings pass straight through.
+	p.hook(3, PointPinned)
+	if got := a.Fired(); got != 1 {
+		t.Fatalf("Fired() = %d after a crossing past a spent one-shot gate, want 1", got)
+	}
+}
+
+// TestTimedStallRepeats covers the repeating timed stall: AfterOps crossings
+// pass untouched, then every Every-th crossing fires and sleeps.
+func TestTimedStallRepeats(t *testing.T) {
+	p := NewPlan()
+	a := p.Add(Trigger{Tid: 0, Point: PointRetire, AfterOps: 2, Every: 2, Hold: time.Microsecond})
+	p.Arm()
+	for i := 0; i < 8; i++ {
+		p.hook(0, PointRetire)
+	}
+	if got := a.Crossings(); got != 8 {
+		t.Fatalf("Crossings() = %d, want 8", got)
+	}
+	// Crossings 3, 5 and 7 fire (first past AfterOps=2, then every 2nd).
+	if got := a.Fired(); got != 3 {
+		t.Fatalf("Fired() = %d, want 3", got)
+	}
+}
+
+// TestOneShotFiresAtFirstEnabledCrossing covers the probe pattern: a trigger
+// added disabled counts crossings but never fires until Enable, and then
+// fires exactly once even though the AfterOps threshold passed long ago.
+func TestOneShotFiresAtFirstEnabledCrossing(t *testing.T) {
+	p := NewPlan()
+	a := p.AddDisabled(Trigger{Tid: 1, Point: PointBeforeUnpin, AfterOps: 1, Hold: time.Microsecond})
+	p.Arm()
+	for i := 0; i < 5; i++ {
+		p.hook(1, PointBeforeUnpin)
+	}
+	if got := a.Fired(); got != 0 {
+		t.Fatalf("disabled trigger fired %d times", got)
+	}
+	a.Enable()
+	p.hook(1, PointBeforeUnpin)
+	if got := a.Fired(); got != 1 {
+		t.Fatalf("Fired() = %d after first enabled crossing, want 1", got)
+	}
+	p.hook(1, PointBeforeUnpin)
+	if got := a.Fired(); got != 1 {
+		t.Fatalf("one-shot fired again: Fired() = %d", got)
+	}
+}
+
+// TestHooksInertUntilArmAndAfterClose: a plan injects nothing before Arm and
+// nothing after Close, so the fault plane is free when not in use.
+func TestHooksInertUntilArmAndAfterClose(t *testing.T) {
+	p := NewPlan()
+	a := p.Add(Trigger{Tid: 0, Point: PointPinned, Hold: time.Microsecond})
+	p.hook(0, PointPinned)
+	if got := a.Crossings(); got != 0 {
+		t.Fatalf("unarmed plan counted %d crossings", got)
+	}
+	p.Arm()
+	p.hook(0, PointPinned)
+	if a.Fired() != 1 {
+		t.Fatalf("armed plan did not fire: Fired() = %d", a.Fired())
+	}
+	p.Close()
+	p.hook(0, PointPinned)
+	if got := a.Crossings(); got != 1 {
+		t.Fatalf("closed plan still counting: Crossings() = %d, want 1", got)
+	}
+	if p.Armed() {
+		t.Fatal("Armed() true after Close")
+	}
+}
+
+// TestCloseReleasesParkedThreads: Close opens every gate, so a victim parked
+// mid-operation can quiesce before the Record Manager shuts down.
+func TestCloseReleasesParkedThreads(t *testing.T) {
+	p := NewPlan()
+	a := p.Add(Trigger{Tid: 0, Point: PointPinned})
+	p.Arm()
+	done := make(chan struct{})
+	go func() {
+		p.hook(0, PointPinned)
+		close(done)
+	}()
+	if !a.AwaitStall(2 * time.Second) {
+		t.Fatal("goroutine never parked")
+	}
+	if st := p.Stats(); st.Parked != 1 {
+		t.Fatalf("Stats().Parked = %d, want 1", st.Parked)
+	}
+	p.Close()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not release the parked goroutine")
+	}
+}
+
+// TestAddAfterArmPanics: the trigger map freezes at Arm; late additions are
+// programming errors, not silent no-ops.
+func TestAddAfterArmPanics(t *testing.T) {
+	p := NewPlan()
+	p.Arm()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add after Arm did not panic")
+		}
+	}()
+	p.Add(Trigger{Tid: 0, Point: PointPinned, Hold: time.Microsecond})
+}
+
+// TestRepeatingGatedTriggerPanics: a gate parks a thread once; asking it to
+// repeat is a schedule error.
+func TestRepeatingGatedTriggerPanics(t *testing.T) {
+	p := NewPlan()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("gated trigger with Every > 0 did not panic")
+		}
+	}()
+	p.Add(Trigger{Tid: 0, Point: PointPinned, Every: 4})
+}
+
+// TestAddChaosDeterministic: the same seed and knobs derive the same
+// schedule, trigger for trigger — the replay guarantee chaos runs rest on.
+func TestAddChaosDeterministic(t *testing.T) {
+	cfg := ChaosConfig{Seed: 42, Tids: []int{0, 1, 2, 3}, MeanEvery: 64, Hold: time.Millisecond}
+	a := AddChaos(NewPlan(), cfg)
+	b := AddChaos(NewPlan(), cfg)
+	if len(a) != len(b) {
+		t.Fatalf("schedule lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Trigger() != b[i].Trigger() {
+			t.Fatalf("trigger %d differs: %+v vs %+v", i, a[i].Trigger(), b[i].Trigger())
+		}
+	}
+	other := AddChaos(NewPlan(), ChaosConfig{Seed: 43, Tids: cfg.Tids, MeanEvery: 64, Hold: time.Millisecond})
+	same := true
+	for i := range a {
+		if a[i].Trigger() != other[i].Trigger() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds derived identical schedules")
+	}
+}

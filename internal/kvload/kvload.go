@@ -16,6 +16,7 @@ package kvload
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"sync"
@@ -71,6 +72,28 @@ type Config struct {
 	// GETs hit and DELs delete (issued round-robin over the connections,
 	// not measured).
 	Prefill int64
+
+	// Retries bounds the consecutive transient failures (ERR_BUSY, dial or
+	// IO errors) one operation may absorb — with exponential backoff and
+	// jitter between attempts — before its connection gives up. A given-up
+	// connection stops contributing but does not abort the run (see
+	// Result.GaveUp). Default 8; negative disables retrying entirely.
+	Retries int
+	// RetryBackoff is the first retry's backoff; it doubles per consecutive
+	// failure (±50% jitter, capped at 100x). Default 1ms.
+	RetryBackoff time.Duration
+	// ChaosStallEvery, when > 0, makes each connection stall mid-frame —
+	// write half a request, sleep ChaosStallFor, write the rest — with
+	// probability 1/ChaosStallEvery per operation, exercising the server's
+	// slow-peer handling. The stall may cost the connection (the server is
+	// entitled to drop a mid-frame staller); the retry path reconnects.
+	ChaosStallEvery int
+	// ChaosStallFor is the mid-frame stall length (default 5ms).
+	ChaosStallFor time.Duration
+	// ChaosKillEvery, when > 0, makes each connection close its own socket
+	// with probability 1/ChaosKillEvery per operation — a mid-burst crash
+	// the retry path recovers from by reconnecting.
+	ChaosKillEvery int
 }
 
 // withDefaults returns cfg with unset fields defaulted.
@@ -102,6 +125,18 @@ func (cfg Config) withDefaults() Config {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	if cfg.Retries == 0 {
+		cfg.Retries = 8
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = time.Millisecond
+	}
+	if cfg.ChaosStallFor == 0 {
+		cfg.ChaosStallFor = 5 * time.Millisecond
+	}
 	return cfg
 }
 
@@ -130,6 +165,12 @@ func (cfg Config) validate() error {
 	if cfg.OpenLoop && cfg.Rate <= 0 {
 		return fmt.Errorf("kvload: open loop requires Rate > 0, got %g", cfg.Rate)
 	}
+	if cfg.ChaosStallEvery < 0 || cfg.ChaosKillEvery < 0 {
+		return fmt.Errorf("kvload: ChaosStallEvery/ChaosKillEvery must be >= 0")
+	}
+	if cfg.RetryBackoff < 0 || cfg.ChaosStallFor < 0 {
+		return fmt.Errorf("kvload: RetryBackoff/ChaosStallFor must be >= 0")
+	}
 	return nil
 }
 
@@ -143,6 +184,20 @@ type Result struct {
 	// response times; open-loop latencies are measured from each request's
 	// intended send time.
 	Hist Histogram
+
+	// Busy counts ERR_BUSY responses (requests the server shed under
+	// overload; each is retried after backoff up to Config.Retries).
+	Busy int64
+	// Retries counts retry attempts across all causes (busy, IO, dial).
+	Retries int64
+	// Reconnects counts successful re-dials after a broken connection.
+	Reconnects int64
+	// GaveUp counts connections that exhausted Retries on one operation and
+	// stopped early (their completed work still counts; the run goes on).
+	GaveUp int64
+	// ChaosStalls and ChaosKills count injected mid-frame stalls and
+	// self-inflicted connection kills (Config.ChaosStallEvery/KillEvery).
+	ChaosStalls, ChaosKills int64
 }
 
 // Throughput returns completed operations per second.
@@ -193,8 +248,19 @@ type connState struct {
 	buf   []byte
 	hist  Histogram
 
-	gets, puts, dels int64
+	gets, puts, dels          int64
+	busy, retries, reconnects int64
+	chaosStalls, chaosKills   int64
+	gaveUp                    bool
 }
+
+// errBusy marks an ERR_BUSY response inside the retry loop: the server shed
+// the request but the connection (and its framing) is intact.
+var errBusy = errors.New("kvload: server busy")
+
+// ErrGaveUp marks a connection that exhausted Config.Retries on a single
+// operation. Run treats it as a per-connection stop, not a run failure.
+var ErrGaveUp = errors.New("kvload: connection gave up after retries")
 
 // step issues one operation and records its latency relative to intended
 // (the zero time means "now": closed-loop response time).
@@ -216,7 +282,13 @@ func (c *connState) step(cfg Config, intended time.Time) error {
 	if intended.IsZero() {
 		intended = start
 	}
-	if _, err := c.conn.Write(c.req); err != nil {
+	if cfg.ChaosKillEvery > 0 && c.gen.rng.Intn(cfg.ChaosKillEvery) == 0 {
+		// Self-inflicted crash: the write below fails and the retry path
+		// reconnects, exactly as if the network had cut us off mid-burst.
+		c.chaosKills++
+		c.conn.Close()
+	}
+	if err := c.writeReq(cfg); err != nil {
 		return err
 	}
 	payload, err := kvwire.ReadFrame(c.conn, c.buf)
@@ -227,6 +299,9 @@ func (c *connState) step(cfg Config, intended time.Time) error {
 	resp, err := kvwire.DecodeResponse(payload)
 	if err != nil {
 		return err
+	}
+	if resp.Status == kvwire.StatusBusy {
+		return errBusy
 	}
 	if resp.Status == kvwire.StatusErr {
 		return fmt.Errorf("kvload: server error: %s", resp.Body)
@@ -243,8 +318,92 @@ func (c *connState) step(cfg Config, intended time.Time) error {
 	return nil
 }
 
+// writeReq sends the encoded request, optionally stalling mid-frame (chaos
+// mode): half the frame, a sleep, the rest — a slow peer from the server's
+// point of view.
+func (c *connState) writeReq(cfg Config) error {
+	if cfg.ChaosStallEvery > 0 && len(c.req) > 1 && c.gen.rng.Intn(cfg.ChaosStallEvery) == 0 {
+		c.chaosStalls++
+		half := len(c.req) / 2
+		if _, err := c.conn.Write(c.req[:half]); err != nil {
+			return err
+		}
+		time.Sleep(cfg.ChaosStallFor)
+		_, err := c.conn.Write(c.req[half:])
+		return err
+	}
+	_, err := c.conn.Write(c.req)
+	return err
+}
+
+// stepRetry runs step under the retry policy: transient failures (busy, IO,
+// dial) back off exponentially with jitter and retry, reconnecting first
+// when the connection broke; past Config.Retries consecutive failures the
+// connection gives up (ErrGaveUp). Non-transient errors pass through.
+func (c *connState) stepRetry(cfg Config, intended time.Time) error {
+	backoff := cfg.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		err := c.step(cfg, intended)
+		if err == nil {
+			return nil
+		}
+		busy := errors.Is(err, errBusy)
+		if busy {
+			c.busy++
+		} else if !transient(err) {
+			return err
+		}
+		if attempt >= cfg.Retries {
+			c.gaveUp = true
+			return fmt.Errorf("%w: %v", ErrGaveUp, err)
+		}
+		c.retries++
+		c.sleepBackoff(&backoff)
+		if !busy {
+			// The connection's framing state is unknown after an IO error:
+			// drop it and re-dial. A failed dial is itself transient — the
+			// next attempt (if any remain) tries again.
+			c.conn.Close()
+			if conn, derr := net.Dial("tcp", cfg.Addr); derr == nil {
+				c.conn = conn
+				c.reconnects++
+			}
+		}
+	}
+}
+
+// sleepBackoff sleeps *backoff ±50% jitter and doubles it (capped at 100x
+// the configured base).
+func (c *connState) sleepBackoff(backoff *time.Duration) {
+	d := *backoff
+	if d <= 0 {
+		return
+	}
+	jittered := d/2 + time.Duration(c.gen.rng.Int63n(int64(d)+1))
+	time.Sleep(jittered)
+	*backoff = d * 2
+}
+
+// transient reports whether err is worth retrying: busy shedding, timeouts
+// and every networking failure (broken pipes, resets, refused dials, our own
+// chaos kills), plus torn frames from a connection cut mid-response.
+func transient(err error) bool {
+	if errors.Is(err, errBusy) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed)
+}
+
 // Run executes the configured load against the server and returns the merged
-// measurements. Any connection error aborts the run.
+// measurements. Transient failures — ERR_BUSY shedding, broken connections,
+// refused dials — are retried with backoff per Config.Retries; a connection
+// that exhausts its retries stops early and is counted in Result.GaveUp
+// without aborting the run. Only non-transient errors (protocol violations,
+// server-reported errors) abort.
 func Run(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
@@ -252,14 +411,15 @@ func Run(cfg Config) (*Result, error) {
 	}
 	states := make([]*connState, cfg.Conns)
 	for i := range states {
-		conn, err := net.Dial("tcp", cfg.Addr)
+		st := &connState{gen: newKeygen(cfg, cfg.Seed+int64(i)), value: make([]byte, cfg.ValueLen)}
+		conn, err := dialRetry(cfg, st)
 		if err != nil {
 			for _, s := range states[:i] {
 				s.conn.Close()
 			}
 			return nil, fmt.Errorf("kvload: %w", err)
 		}
-		st := &connState{conn: conn, gen: newKeygen(cfg, cfg.Seed+int64(i)), value: make([]byte, cfg.ValueLen)}
+		st.conn = conn
 		for b := range st.value {
 			st.value[b] = byte('a' + b%26)
 		}
@@ -295,22 +455,48 @@ func Run(cfg Config) (*Result, error) {
 	elapsed := time.Since(start)
 	res := &Result{Elapsed: elapsed}
 	for i, st := range states {
-		if errs[i] != nil {
+		if errs[i] != nil && !errors.Is(errs[i], ErrGaveUp) {
 			return nil, fmt.Errorf("kvload: connection %d: %w", i, errs[i])
 		}
 		res.Gets += st.gets
 		res.Puts += st.puts
 		res.Dels += st.dels
+		res.Busy += st.busy
+		res.Retries += st.retries
+		res.Reconnects += st.reconnects
+		res.ChaosStalls += st.chaosStalls
+		res.ChaosKills += st.chaosKills
+		if st.gaveUp {
+			res.GaveUp++
+		}
 		res.Hist.Merge(&st.hist)
 	}
 	res.Ops = res.Gets + res.Puts + res.Dels
 	return res, nil
 }
 
+// dialRetry dials cfg.Addr under the retry policy (st's rng supplies the
+// jitter and st's counters record the attempts), so a server still binding
+// its listener — or refusing briefly under overload — does not fail the run.
+func dialRetry(cfg Config, st *connState) (net.Conn, error) {
+	backoff := cfg.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		conn, err := net.Dial("tcp", cfg.Addr)
+		if err == nil {
+			return conn, nil
+		}
+		if attempt >= cfg.Retries {
+			return nil, err
+		}
+		st.retries++
+		st.sleepBackoff(&backoff)
+	}
+}
+
 // runClosed issues back-to-back requests until the deadline.
 func runClosed(cfg Config, st *connState, deadline time.Time) error {
 	for time.Now().Before(deadline) {
-		if err := st.step(cfg, time.Time{}); err != nil {
+		if err := st.stepRetry(cfg, time.Time{}); err != nil {
 			return err
 		}
 	}
@@ -331,7 +517,7 @@ func runOpen(cfg Config, st *connState, start, deadline time.Time) error {
 		}
 		// When behind schedule we send immediately but still measure from
 		// intended — the queueing delay is part of the latency.
-		if err := st.step(cfg, intended); err != nil {
+		if err := st.stepRetry(cfg, intended); err != nil {
 			return err
 		}
 	}
@@ -348,23 +534,33 @@ func prefill(cfg Config, states []*connState) error {
 			defer wg.Done()
 			var req, buf []byte
 			for k := int64(i); k < cfg.Prefill; k += int64(len(states)) {
-				req = kvwire.AppendPut(req[:0], k, st.value)
-				if _, err := st.conn.Write(req); err != nil {
-					errs[i] = err
-					return
-				}
-				payload, err := kvwire.ReadFrame(st.conn, buf)
-				if err != nil {
-					errs[i] = err
-					return
-				}
-				buf = payload
-				if resp, err := kvwire.DecodeResponse(payload); err != nil {
-					errs[i] = err
-					return
-				} else if resp.Status != kvwire.StatusOK {
-					errs[i] = fmt.Errorf("prefill PUT: status %v", resp.Status)
-					return
+				for attempt := 0; ; attempt++ {
+					req = kvwire.AppendPut(req[:0], k, st.value)
+					if _, err := st.conn.Write(req); err != nil {
+						errs[i] = err
+						return
+					}
+					payload, err := kvwire.ReadFrame(st.conn, buf)
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					buf = payload
+					resp, err := kvwire.DecodeResponse(payload)
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					if resp.Status == kvwire.StatusBusy && attempt < cfg.Retries {
+						// The unmeasured prefill just waits overload out.
+						time.Sleep(cfg.RetryBackoff)
+						continue
+					}
+					if resp.Status != kvwire.StatusOK {
+						errs[i] = fmt.Errorf("prefill PUT: status %v", resp.Status)
+						return
+					}
+					break
 				}
 			}
 		}(i, st)

@@ -1,10 +1,13 @@
 package kvload
 
 import (
+	"net"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/kvservice"
+	"repro/internal/kvwire"
 	"repro/internal/recordmgr"
 )
 
@@ -162,5 +165,166 @@ func TestOpenLoopAgainstServer(t *testing.T) {
 	want := 2000 * 0.2
 	if float64(res.Ops) > want*1.5 {
 		t.Fatalf("open loop issued %d ops, schedule allows ~%g", res.Ops, want)
+	}
+}
+
+// fakeKV is a scriptable kvwire endpoint for driving the client-side retry
+// machinery deterministically: respond receives the global request ordinal
+// and the decoded request and returns the response frame to send — or nil to
+// close the connection in the peer's face (a scripted server crash).
+func fakeKV(t *testing.T, respond func(n int64, req kvwire.Request) []byte) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	var n atomic.Int64
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				var buf []byte
+				for {
+					payload, err := kvwire.ReadFrame(conn, buf)
+					if err != nil {
+						return
+					}
+					buf = payload
+					req, err := kvwire.DecodeRequest(payload)
+					if err != nil {
+						return
+					}
+					out := respond(n.Add(1)-1, req)
+					if out == nil {
+						return
+					}
+					if _, err := conn.Write(out); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// okFrame is a minimally correct success response for req (a miss for GETs,
+// an unreplaced/unfound flag for PUTs and DELs).
+func okFrame(req kvwire.Request) []byte {
+	if req.Op == kvwire.OpGet {
+		return kvwire.AppendResponse(nil, kvwire.StatusNotFound, nil)
+	}
+	return kvwire.AppendResponse(nil, kvwire.StatusOK, []byte{0})
+}
+
+// TestRetryAfterBusy: ERR_BUSY is absorbed by backoff-and-retry on the same
+// connection — every other request is shed, yet the run completes every
+// operation and counts the shedding.
+func TestRetryAfterBusy(t *testing.T) {
+	addr := fakeKV(t, func(n int64, req kvwire.Request) []byte {
+		if n%2 == 0 {
+			return kvwire.AppendResponse(nil, kvwire.StatusBusy, nil)
+		}
+		return okFrame(req)
+	})
+	res, err := Run(Config{Addr: addr, Conns: 1, Duration: 40 * time.Millisecond, Keys: 64, Dist: DistUniform})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("no operation completed against an alternating-busy server")
+	}
+	if res.Busy == 0 || res.Retries < res.Busy {
+		t.Fatalf("Busy = %d, Retries = %d; every other request was shed", res.Busy, res.Retries)
+	}
+	if res.GaveUp != 0 {
+		t.Fatalf("GaveUp = %d with the default retry budget against single shed responses", res.GaveUp)
+	}
+}
+
+// TestReconnectAfterPeerCrash: a connection cut mid-conversation is transient
+// — the client re-dials and the operation retries on the fresh connection.
+func TestReconnectAfterPeerCrash(t *testing.T) {
+	addr := fakeKV(t, func(n int64, req kvwire.Request) []byte {
+		if n%4 == 3 {
+			return nil // crash: drop the connection instead of answering
+		}
+		return okFrame(req)
+	})
+	res, err := Run(Config{Addr: addr, Conns: 2, Duration: 60 * time.Millisecond, Keys: 64, Dist: DistUniform})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Reconnects == 0 {
+		t.Fatal("no reconnect after scripted connection drops")
+	}
+	if res.Ops == 0 {
+		t.Fatal("no operation completed across the drops")
+	}
+	if res.GaveUp != 0 {
+		t.Fatalf("GaveUp = %d; isolated drops must not exhaust the retry budget", res.GaveUp)
+	}
+}
+
+// TestGiveUpKeepsRunAlive: a connection that exhausts its retry budget stops
+// and is counted — it does not abort the run (Run tolerates ErrGaveUp).
+func TestGiveUpKeepsRunAlive(t *testing.T) {
+	addr := fakeKV(t, func(int64, kvwire.Request) []byte {
+		return kvwire.AppendResponse(nil, kvwire.StatusBusy, nil)
+	})
+	res, err := Run(Config{
+		Addr: addr, Conns: 2, Duration: 50 * time.Millisecond, Keys: 8, Dist: DistUniform,
+		Retries: 2, RetryBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Run must tolerate given-up connections: %v", err)
+	}
+	if res.GaveUp != 2 {
+		t.Fatalf("GaveUp = %d, want 2 (every connection)", res.GaveUp)
+	}
+	if res.Ops != 0 {
+		t.Fatalf("Ops = %d against an always-busy server", res.Ops)
+	}
+	// Each connection burns its full budget on its first operation: the
+	// initial attempt plus Retries retries, all shed.
+	if res.Busy != 6 || res.Retries != 4 {
+		t.Fatalf("Busy = %d, Retries = %d; want 3 shed responses and 2 retries per connection", res.Busy, res.Retries)
+	}
+}
+
+// TestChaosRunAgainstServer is the end-to-end graceful-degradation loop:
+// chaos-mode clients (mid-frame stalls longer than the server's IdleHold —
+// which cost the stalled connection its slots but, being inside ReadTimeout,
+// not its life — plus self-inflicted kills) against a real server, with the
+// retry path keeping the run alive and the server's shutdown invariant
+// intact afterwards.
+func TestChaosRunAgainstServer(t *testing.T) {
+	addr, srv := startServer(t, recordmgr.SchemeDEBRA)
+	res, err := Run(Config{
+		Addr: addr, Conns: 4, Duration: 150 * time.Millisecond, Keys: 1 << 10,
+		Dist: DistUniform, ReadPct: 40, DelPct: 30, Prefill: 256,
+		ChaosStallEvery: 4, ChaosStallFor: 10 * time.Millisecond, ChaosKillEvery: 8,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.ChaosStalls == 0 || res.ChaosKills == 0 {
+		t.Fatalf("chaos injection inactive: %d stalls, %d kills", res.ChaosStalls, res.ChaosKills)
+	}
+	if res.Reconnects == 0 {
+		t.Fatal("connection kills produced no reconnects")
+	}
+	if res.Ops == 0 {
+		t.Fatal("no operation survived chaos")
+	}
+	srv.Close()
+	snap := srv.Stats()
+	if snap.Manager.Retired != snap.Manager.Freed {
+		t.Fatalf("after Close under chaos: Retired=%d Freed=%d", snap.Manager.Retired, snap.Manager.Freed)
 	}
 }

@@ -1,0 +1,188 @@
+package kvservice_test
+
+// Fault-plane regression tests for the server's graceful-degradation
+// contracts: a dead peer that goes silent mid-frame must not hold a handler
+// goroutine or its worker slots, overload must fast-fail with ERR_BUSY while
+// leaving the connection usable, and the slow-peer watchdog must reap
+// connections that never complete a frame even under a patient ReadTimeout.
+
+import (
+	"encoding/json"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/kvservice"
+	"repro/internal/kvwire"
+	"repro/internal/recordmgr"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out after %v waiting for %s", d, what)
+}
+
+// assertDropped waits for the server to close conn: the read must fail with a
+// real connection error (EOF, reset), not this probe's own deadline.
+func assertDropped(t *testing.T, conn net.Conn, within time.Duration) {
+	t.Helper()
+	conn.SetReadDeadline(time.Now().Add(within))
+	var b [1]byte
+	if _, err := conn.Read(b[:]); err == nil {
+		t.Fatal("read got data on a connection the server should have dropped")
+	} else {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			t.Fatalf("server did not drop the dead peer within %v", within)
+		}
+	}
+}
+
+// TestServerDropsDeadPeerMidFrame is the regression test for the fault the
+// read deadlines exist to kill: a peer that stops sending in the middle of a
+// request frame. Both phases are covered — a connection that dies mid-frame
+// while holding worker slots (bound: the slots come back after IdleHold, the
+// connection itself is dropped when the frame's absolute ReadTimeout expires)
+// and one that dies mid-frame before ever completing a request (unbound:
+// only the ReadTimeout applies). In both cases the handler goroutine must
+// unwind, the slots must return to the registries, and the server must keep
+// serving fresh connections and Close cleanly.
+func TestServerDropsDeadPeerMidFrame(t *testing.T) {
+	srv, addr := startServer(t, kvservice.Config{
+		Scheme:      recordmgr.SchemeDEBRA,
+		MaxConns:    2,
+		Burst:       8,
+		IdleHold:    20 * time.Millisecond,
+		ReadTimeout: 100 * time.Millisecond,
+		UsePool:     true,
+	})
+	defer srv.Close()
+
+	partial := kvwire.AppendPut(nil, 2, []byte("dead"))
+
+	// Bound case: complete one request (binding slots mid-burst), then write
+	// part of the next frame and go silent with the slots still held.
+	bound := dial(t, addr)
+	if resp := bound.put(1, "live"); resp.Status != kvwire.StatusOK {
+		t.Fatalf("PUT: status %v", resp.Status)
+	}
+	if _, err := bound.conn.Write(partial[:len(partial)-2]); err != nil {
+		t.Fatalf("partial write: %v", err)
+	}
+
+	// Unbound case: a fresh connection sends one byte of a frame and dies
+	// without ever binding a slot.
+	unbound := dial(t, addr)
+	if _, err := unbound.conn.Write(partial[:1]); err != nil {
+		t.Fatalf("partial write: %v", err)
+	}
+
+	assertDropped(t, bound.conn, 5*time.Second)
+	assertDropped(t, unbound.conn, 5*time.Second)
+	waitFor(t, 5*time.Second, "slots released and handlers unwound", func() bool {
+		snap := srv.Stats()
+		return snap.SlotsLive == 0 && snap.OpenConns == 0
+	})
+
+	// The dead peers held nothing back: a fresh connection is served at once.
+	fresh := dial(t, addr)
+	if resp := fresh.put(3, "after"); resp.Status != kvwire.StatusOK {
+		t.Fatalf("PUT after dead peers dropped: status %v", resp.Status)
+	}
+
+	srv.Close()
+	snap := srv.Stats()
+	if snap.Manager.Retired != snap.Manager.Freed {
+		t.Fatalf("after Close: Retired=%d Freed=%d", snap.Manager.Retired, snap.Manager.Freed)
+	}
+}
+
+// TestServerBusyFastFailLeavesConnectionUsable: with every worker slot held,
+// a request fast-fails with ERR_BUSY inside the acquire bound instead of
+// waiting — and because the framing stayed intact, the same connection's
+// retries succeed the moment the holder's IdleHold returns the slot.
+func TestServerBusyFastFailLeavesConnectionUsable(t *testing.T) {
+	srv, addr := startServer(t, kvservice.Config{
+		Scheme:       recordmgr.SchemeDEBRA,
+		MaxConns:     1,
+		Burst:        64,
+		IdleHold:     time.Second,
+		AcquireWait:  5 * time.Millisecond,
+		AcquireQueue: 2,
+		UsePool:      true,
+	})
+	defer srv.Close()
+
+	holder := dial(t, addr)
+	if resp := holder.put(1, "hold"); resp.Status != kvwire.StatusOK {
+		t.Fatalf("PUT: status %v", resp.Status)
+	}
+
+	// holder keeps the only slot bound until its IdleHold expires; a second
+	// connection's request must be shed within ~AcquireWait, not queued.
+	other := dial(t, addr)
+	frame := kvwire.AppendPut(nil, 2, []byte("want"))
+	if resp := other.roundTrip(frame); resp.Status != kvwire.StatusBusy {
+		t.Fatalf("request against a held slot: status %v, want StatusBusy", resp.Status)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp := other.roundTrip(frame)
+		if resp.Status == kvwire.StatusOK {
+			break
+		}
+		if resp.Status != kvwire.StatusBusy {
+			t.Fatalf("retry after ERR_BUSY: status %v", resp.Status)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("slot never became available to the shed connection")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The STATS inline snapshot includes this connection's unmerged tally, so
+	// the fast-fails it absorbed are visible without a burst boundary.
+	resp := other.stats()
+	if resp.Status != kvwire.StatusOK {
+		t.Fatalf("STATS: status %v", resp.Status)
+	}
+	var snap kvservice.Snapshot
+	if err := json.Unmarshal(resp.Body, &snap); err != nil {
+		t.Fatalf("decode STATS body: %v", err)
+	}
+	if snap.Busy < 1 {
+		t.Fatalf("Snapshot.Busy = %d after observed ERR_BUSY fast-fails", snap.Busy)
+	}
+}
+
+// TestServerReapsSilentPeer: the watchdog is defense in depth under a patient
+// ReadTimeout — a connection that completes no frame within ReapAfter is
+// closed by the reaper long before the 10s read deadline could fire.
+func TestServerReapsSilentPeer(t *testing.T) {
+	srv, addr := startServer(t, kvservice.Config{
+		Scheme:      recordmgr.SchemeDEBRA,
+		MaxConns:    2,
+		ReadTimeout: 10 * time.Second,
+		ReapAfter:   40 * time.Millisecond,
+		UsePool:     true,
+	})
+	defer srv.Close()
+
+	silent := dial(t, addr) // admitted, never sends a byte
+	waitFor(t, 5*time.Second, "watchdog reap", func() bool {
+		return srv.Stats().ReapedConns >= 1
+	})
+	assertDropped(t, silent.conn, 5*time.Second)
+	waitFor(t, 5*time.Second, "handler unwound", func() bool {
+		return srv.Stats().OpenConns == 0
+	})
+}

@@ -12,18 +12,27 @@
 // connection that stops sending mid-burst gives its slots back too. A server
 // can therefore admit far more connections over its lifetime than it has
 // worker slots: an idle or slow connection holds nothing and cannot stall
-// reclamation (or starve the slot-waiting connections) for the others. See
-// docs/ARCHITECTURE.md for where this sits in the Record Manager stack and
-// docs/OPERATIONS.md for operating guidance.
+// reclamation (or starve the slot-waiting connections) for the others.
+//
+// The server degrades gracefully under faults and overload: every read and
+// write carries a deadline (Config.ReadTimeout/WriteTimeout), slot
+// acquisition is bounded (Config.AcquireWait, Config.AcquireQueue) with an
+// ERR_BUSY fast-fail instead of an unbounded wait, and a background reaper
+// closes peers that complete no frame within Config.ReapAfter — so a dead,
+// stalled or malicious peer can never park a handler goroutine or the
+// worker slots it would bind. See docs/ARCHITECTURE.md for where this sits
+// in the Record Manager stack and docs/OPERATIONS.md ("Fault tolerance")
+// for operating guidance.
 package kvservice
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -49,13 +58,15 @@ type Config struct {
 	// Burst is how many requests a connection serves per slot hold before
 	// releasing its handles back to the registries (defaults to 64).
 	Burst int
-	// IdleHold bounds how long a connection may sit idle (no inbound byte)
-	// while holding worker slots mid-burst: past it the handles are released
-	// and reacquired when the next request arrives (defaults to 5ms). The
-	// bound is a liveness requirement, not a tuning knob: slots are a
-	// multiplexed resource, and a connection that parks between requests
-	// with its handles bound would starve every connection waiting in
-	// acquire — forever, since nothing else frees a slot.
+	// IdleHold bounds how long a connection may stall (no inbound byte)
+	// while holding worker slots mid-burst — idle between frames or stuck in
+	// the middle of one, either way the handles are released past it and
+	// reacquired when the frame completes (defaults to 5ms). The bound is a
+	// liveness requirement, not a tuning knob: slots are a multiplexed
+	// resource, and a connection that parks with its handles bound would
+	// starve every connection waiting in acquire — forever, since nothing
+	// else frees a slot. It bounds only slot tenure: the connection itself,
+	// and any frame in flight, live under ReadTimeout.
 	IdleHold time.Duration
 	// UsePool recycles reclaimed nodes through the record pool (default
 	// false; set it for steady-state serving).
@@ -75,6 +86,34 @@ type Config struct {
 	AdaptiveInterval time.Duration
 	// InitialBuckets sizes each partition's bucket table (0 = map default).
 	InitialBuckets int
+
+	// ReadTimeout bounds how long a connection may take to deliver one
+	// complete request frame, absolute from the frame's first byte, and also
+	// how long an unbound connection may sit silent between frames. A peer
+	// that stalls mid-frame — or trickles bytes — is dropped once it
+	// expires, so a dead peer can never park a handler goroutine forever
+	// (its worker slots were already released after IdleHold); a slow but
+	// live peer inside the budget is served. Defaults to 30s.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each response write, so a peer that stops reading
+	// cannot wedge a handler behind a full TCP window. Defaults to 10s.
+	WriteTimeout time.Duration
+	// AcquireWait bounds how long a request may wait for a worker slot
+	// before the server fast-fails it with ERR_BUSY (kvwire.StatusBusy).
+	// The connection stays open — framing is intact — and the client is
+	// expected to back off and retry. Defaults to 100ms.
+	AcquireWait time.Duration
+	// AcquireQueue bounds how many connections may wait for slots at once:
+	// past it a request is shed with ERR_BUSY immediately, without waiting,
+	// so overload degrades to fast rejections instead of an unbounded
+	// convoy of spinning handlers. Defaults to 4*MaxConns.
+	AcquireQueue int
+	// ReapAfter is the slow-peer reaper's threshold: a connection that
+	// completes no request frame for this long is closed by a background
+	// watchdog, independently of the per-read deadlines above (defense in
+	// depth: it bounds handler lifetime even under a ReadTimeout tuned for
+	// patient clients). Defaults to 2*ReadTimeout.
+	ReapAfter time.Duration
 }
 
 // withDefaults returns cfg with unset fields defaulted.
@@ -94,6 +133,21 @@ func (cfg Config) withDefaults() Config {
 	if cfg.IdleHold == 0 {
 		cfg.IdleHold = 5 * time.Millisecond
 	}
+	if cfg.ReadTimeout == 0 {
+		cfg.ReadTimeout = 30 * time.Second
+	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = 10 * time.Second
+	}
+	if cfg.AcquireWait == 0 {
+		cfg.AcquireWait = 100 * time.Millisecond
+	}
+	if cfg.AcquireQueue == 0 {
+		cfg.AcquireQueue = 4 * cfg.MaxConns
+	}
+	if cfg.ReapAfter == 0 {
+		cfg.ReapAfter = 2 * cfg.ReadTimeout
+	}
 	return cfg
 }
 
@@ -105,6 +159,7 @@ type tally struct {
 	puts, putReplaced int64
 	dels, delHits     int64
 	statsReqs         int64
+	busy, shed        int64
 }
 
 func (t *tally) add(o tally) {
@@ -115,6 +170,8 @@ func (t *tally) add(o tally) {
 	t.dels += o.dels
 	t.delHits += o.delHits
 	t.statsReqs += o.statsReqs
+	t.busy += o.busy
+	t.shed += o.shed
 }
 
 // Server is a running KV service. Construct with New, start with Serve or
@@ -123,14 +180,24 @@ type Server struct {
 	cfg Config
 	pm  *hashmap.Partitioned[[]byte]
 
-	mu     sync.Mutex
-	ln     net.Listener
-	conns  map[net.Conn]struct{}
-	totals tally
-	closed bool
+	mu      sync.Mutex
+	ln      net.Listener
+	conns   map[net.Conn]*connInfo
+	totals  tally
+	waiters int
+	reaped  int64
+	closed  bool
 
+	stopReap chan struct{}
 	handlers sync.WaitGroup
 	acceptWG sync.WaitGroup
+}
+
+// connInfo is the server's per-connection watchdog state.
+type connInfo struct {
+	// lastFrame is the UnixNano timestamp of the connection's last completed
+	// request frame (its admit time before the first), read by the reaper.
+	lastFrame atomic.Int64
 }
 
 // New builds a server: Partitions independent maps, each on its own Record
@@ -148,6 +215,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.IdleHold < 0 {
 		return nil, fmt.Errorf("kvservice: IdleHold must be >= 0, got %v", cfg.IdleHold)
+	}
+	if cfg.ReadTimeout <= 0 || cfg.WriteTimeout <= 0 || cfg.AcquireWait <= 0 || cfg.ReapAfter <= 0 {
+		return nil, fmt.Errorf("kvservice: ReadTimeout/WriteTimeout/AcquireWait/ReapAfter must be > 0")
+	}
+	if cfg.AcquireQueue < 1 {
+		return nil, fmt.Errorf("kvservice: AcquireQueue must be >= 1, got %d", cfg.AcquireQueue)
 	}
 	// Build partition 0's manager first so configuration errors surface as
 	// errors rather than panics out of the builder callback.
@@ -179,7 +252,12 @@ func New(cfg Config) (*Server, error) {
 	pm := hashmap.NewPartitioned(cfg.Partitions, func(int) *hashmap.Manager[[]byte] {
 		return recordmgr.MustBuild[hashmap.Node[[]byte]](mcfg)
 	}, cfg.MaxConns, opts...)
-	return &Server{cfg: cfg, pm: pm, conns: make(map[net.Conn]struct{})}, nil
+	return &Server{
+		cfg:      cfg,
+		pm:       pm,
+		conns:    make(map[net.Conn]*connInfo),
+		stopReap: make(chan struct{}),
+	}, nil
 }
 
 // Config returns the server's effective configuration (defaults applied).
@@ -206,8 +284,9 @@ func (s *Server) Start(addr string) (net.Addr, error) {
 	}
 	s.ln = ln
 	s.mu.Unlock()
-	s.acceptWG.Add(1)
+	s.acceptWG.Add(2)
 	go s.acceptLoop(ln)
+	go s.reapLoop()
 	return ln.Addr(), nil
 }
 
@@ -225,10 +304,47 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			conn.Close()
 			return
 		}
-		s.conns[conn] = struct{}{}
+		info := &connInfo{}
+		info.lastFrame.Store(time.Now().UnixNano())
+		s.conns[conn] = info
 		s.handlers.Add(1)
 		s.mu.Unlock()
-		go s.serveConn(conn)
+		go s.serveConn(conn, info)
+	}
+}
+
+// reapLoop is the slow-peer watchdog: it periodically closes connections
+// that have not completed a request frame within ReapAfter. Closing the
+// socket fails the handler's blocked read, which unwinds it through the
+// normal exit path (slots released, counters merged) — a reaped peer can
+// therefore never hold a handler goroutine or its worker slots forever.
+func (s *Server) reapLoop() {
+	defer s.acceptWG.Done()
+	interval := s.cfg.ReapAfter / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stopReap:
+			return
+		case <-ticker.C:
+		}
+		cutoff := time.Now().Add(-s.cfg.ReapAfter).UnixNano()
+		var doomed []net.Conn
+		s.mu.Lock()
+		for conn, info := range s.conns {
+			if info.lastFrame.Load() < cutoff {
+				doomed = append(doomed, conn)
+			}
+		}
+		s.reaped += int64(len(doomed))
+		s.mu.Unlock()
+		for _, conn := range doomed {
+			conn.Close()
+		}
 	}
 }
 
@@ -251,6 +367,7 @@ func (s *Server) Close() {
 		conn.Close()
 	}
 	s.mu.Unlock()
+	close(s.stopReap)
 	if ln != nil {
 		ln.Close()
 	}
@@ -261,17 +378,27 @@ func (s *Server) Close() {
 
 // serveConn runs one connection: decode a frame, serve it under the bound
 // burst handles, answer, and release the handles every Burst requests — or
-// sooner, when the peer goes quiet mid-burst (IdleHold).
-func (s *Server) serveConn(conn net.Conn) {
+// sooner, when the peer goes quiet mid-burst (IdleHold). Every read and
+// write carries a deadline (ReadTimeout/WriteTimeout), so a dead or wedged
+// peer cannot park this goroutine — or slots it would bind — forever.
+func (s *Server) serveConn(conn net.Conn, info *connInfo) {
 	defer s.handlers.Done()
 	h := s.pm.NewHandle()
-	cr := &countingReader{r: conn}
+	fr := &frameReader{}
 	var (
 		local  tally
 		buf    []byte // frame read buffer, reused
 		out    []byte // response write buffer, reused
 		served int    // requests under the current hold
 	)
+	releaseSlots := func() {
+		h.Release()
+		served = 0
+		s.mu.Lock()
+		s.totals.add(local)
+		s.mu.Unlock()
+		local = tally{}
+	}
 	defer func() {
 		if h.Bound() {
 			h.Release()
@@ -283,53 +410,93 @@ func (s *Server) serveConn(conn net.Conn) {
 		conn.Close()
 	}()
 	for {
-		// A bound read carries the IdleHold deadline; an unbound connection
-		// holds nothing and may idle forever, so its read blocks cleanly
-		// (clearing any deadline a bound iteration armed).
-		if h.Bound() {
-			conn.SetReadDeadline(time.Now().Add(s.cfg.IdleHold))
-		} else {
-			conn.SetReadDeadline(time.Time{})
-		}
-		cr.n = 0
-		payload, err := kvwire.ReadFrame(cr, buf)
-		if err != nil {
-			var ne net.Error
-			if errors.As(err, &ne) && ne.Timeout() && h.Bound() && cr.n == 0 {
-				// Idle between requests with slots held: give them back and
-				// wait for the next frame without a deadline. A timeout with
-				// bytes consumed is NOT recoverable — ReadFrame's partial
-				// state is lost, so a peer that stalls mid-frame for a whole
-				// IdleHold falls through and is dropped like any dead
-				// connection.
-				h.Release()
-				served = 0
-				s.mu.Lock()
-				s.totals.add(local)
-				s.mu.Unlock()
-				local = tally{}
-				continue
+		// Read one frame under the two liveness bounds. IdleHold bounds slot
+		// tenure alone: while the connection is bound, read attempts run in
+		// IdleHold slices, and the first expiry — idle at a frame boundary or
+		// stalled mid-frame alike — releases the slots (frameReader keeps the
+		// partial state) and drops to the patient regime. ReadTimeout bounds
+		// the frame: absolute from its first byte, so a peer that goes silent
+		// or trickles bytes mid-frame is dropped when it expires instead of
+		// pinning the handler goroutine forever, while a merely slow-but-live
+		// peer inside the budget is served. An unbound connection with no
+		// frame in flight gets ReadTimeout of patience before it is dropped
+		// as dead.
+		fr.reset()
+		var (
+			payload    []byte
+			frameStart time.Time
+		)
+		for {
+			switch {
+			case !fr.started():
+				if h.Bound() {
+					conn.SetReadDeadline(time.Now().Add(s.cfg.IdleHold))
+				} else {
+					conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+				}
+			case h.Bound():
+				// Mid-frame with slots held: the next stall releases them,
+				// but never stretch past the frame's absolute budget.
+				d := time.Now().Add(s.cfg.IdleHold)
+				if abs := frameStart.Add(s.cfg.ReadTimeout); abs.Before(d) {
+					d = abs
+				}
+				conn.SetReadDeadline(d)
+			default:
+				conn.SetReadDeadline(frameStart.Add(s.cfg.ReadTimeout))
 			}
-			// Clean EOF, peer reset, or a frame-level protocol violation:
-			// either way the conversation is over. For protocol violations we
-			// owe the peer a diagnostic before dropping them.
-			if errors.Is(err, kvwire.ErrFrameTooLarge) || errors.Is(err, kvwire.ErrEmptyFrame) {
-				conn.Write(kvwire.AppendResponse(nil, kvwire.StatusErr, []byte(err.Error())))
+			var done bool
+			var err error
+			payload, done, err = fr.step(conn, &buf)
+			if frameStart.IsZero() && fr.started() {
+				frameStart = time.Now()
 			}
-			return
+			if done {
+				break
+			}
+			if err != nil {
+				var ne net.Error
+				if errors.As(err, &ne) && ne.Timeout() && h.Bound() {
+					releaseSlots()
+					continue
+				}
+				// Clean EOF, peer reset, read timeout, or a frame-level
+				// protocol violation: either way the conversation is over.
+				// For protocol violations we owe the peer a diagnostic
+				// before dropping them.
+				if errors.Is(err, kvwire.ErrFrameTooLarge) || errors.Is(err, kvwire.ErrEmptyFrame) {
+					conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+					conn.Write(kvwire.AppendResponse(nil, kvwire.StatusErr, []byte(err.Error())))
+				}
+				return
+			}
 		}
-		buf = payload
+		info.lastFrame.Store(time.Now().UnixNano())
 		req, err := kvwire.DecodeRequest(payload)
 		if err != nil {
+			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 			conn.Write(kvwire.AppendResponse(nil, kvwire.StatusErr, []byte(err.Error())))
 			return
 		}
 		if !h.Bound() {
-			if !s.acquire(h) {
-				return // server closing
+			switch s.acquire(h, &local) {
+			case acquireOK:
+			case acquireBusy:
+				// Overload fast-fail: no slot within the bound. The framing
+				// is intact and the request was simply not executed, so the
+				// connection survives — answer ERR_BUSY and read on.
+				out = kvwire.AppendResponse(out[:0], kvwire.StatusBusy, nil)
+				conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+				if _, err := conn.Write(out); err != nil {
+					return
+				}
+				continue
+			case acquireClosing:
+				return
 			}
 		}
 		out = s.serveRequest(out[:0], h, req, &local)
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 		if _, err := conn.Write(out); err != nil {
 			return
 		}
@@ -346,35 +513,123 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// countingReader counts the bytes delivered since the last reset, letting
-// serveConn distinguish "idle between frames" on a deadline expiry (nothing
-// read — the slots can be released and the read retried) from "stalled
-// mid-frame" (bytes consumed and lost with ReadFrame's partial state — the
-// connection is unrecoverable).
-type countingReader struct {
-	r io.Reader
-	n int
+// frameReader accumulates one length-prefixed kvwire frame across read
+// attempts, so serveConn can change deadline regimes — and release the
+// connection's worker slots — mid-frame without losing partial state. This
+// is what lets the idle bound (IdleHold) apply to slot tenure alone: a peer
+// that stalls, whether between frames or in the middle of one, costs the
+// multiplexed slots nothing, while the frame itself keeps its absolute
+// ReadTimeout budget and completes whenever the bytes arrive.
+type frameReader struct {
+	hdr  [4]byte
+	n    int    // header bytes read
+	body []byte // payload buffer, sized once the header is complete
+	m    int    // payload bytes read
 }
 
-func (c *countingReader) Read(p []byte) (int, error) {
-	n, err := c.r.Read(p)
-	c.n += n
-	return n, err
+// reset discards the partial state ahead of the next frame.
+func (f *frameReader) reset() { f.n, f.m, f.body = 0, 0, nil }
+
+// started reports whether any byte of the current frame has arrived.
+func (f *frameReader) started() bool { return f.n > 0 }
+
+// step runs one read attempt. done reports a complete frame, with the
+// payload aliasing *buf (grown as needed and retained for reuse). A read
+// error with the frame incomplete is returned as-is — including deadline
+// expiries, which leave the partial state intact for a later attempt; frame-
+// level protocol violations surface as kvwire.ErrEmptyFrame/ErrFrameTooLarge
+// exactly as kvwire.ReadFrame reports them.
+func (f *frameReader) step(conn net.Conn, buf *[]byte) (payload []byte, done bool, err error) {
+	for f.n < len(f.hdr) {
+		n, err := conn.Read(f.hdr[f.n:])
+		f.n += n
+		if f.n == len(f.hdr) {
+			break
+		}
+		if err != nil {
+			return nil, false, err
+		}
+	}
+	if f.body == nil {
+		size := binary.BigEndian.Uint32(f.hdr[:])
+		if size == 0 {
+			return nil, false, kvwire.ErrEmptyFrame
+		}
+		if size > kvwire.MaxPayload {
+			return nil, false, fmt.Errorf("%w: %d bytes", kvwire.ErrFrameTooLarge, size)
+		}
+		if cap(*buf) < int(size) {
+			*buf = make([]byte, size)
+		}
+		f.body = (*buf)[:size]
+	}
+	for f.m < len(f.body) {
+		n, err := conn.Read(f.body[f.m:])
+		f.m += n
+		if f.m == len(f.body) {
+			break
+		}
+		if err != nil {
+			return nil, false, err
+		}
+	}
+	return f.body, true, nil
 }
+
+// acquireResult is acquire's outcome.
+type acquireResult int
+
+const (
+	// acquireOK: the handle is bound.
+	acquireOK acquireResult = iota
+	// acquireBusy: no slot within the policy bounds — answer ERR_BUSY.
+	acquireBusy
+	// acquireClosing: the server is shutting down — drop the connection.
+	acquireClosing
+)
 
 // acquire binds h with backoff, waiting out transient slot exhaustion
-// (connections beyond MaxConns queue here between bursts). Returns false
-// when the server is closing.
-func (s *Server) acquire(h *hashmap.PartitionedHandle[[]byte]) bool {
+// (connections beyond MaxConns queue here between bursts) — but only within
+// the overload policy's bounds: at most AcquireWait of waiting, and at most
+// AcquireQueue connections waiting at once (past it the request is shed
+// immediately). Both overload outcomes return acquireBusy and count into
+// local (busy for every fast-fail, shed for the queue-bound subset).
+func (s *Server) acquire(h *hashmap.PartitionedHandle[[]byte], local *tally) acquireResult {
+	if h.TryAcquire() {
+		return acquireOK
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return acquireClosing
+	}
+	if s.waiters >= s.cfg.AcquireQueue {
+		s.mu.Unlock()
+		local.busy++
+		local.shed++
+		return acquireBusy
+	}
+	s.waiters++
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.waiters--
+		s.mu.Unlock()
+	}()
+	deadline := time.Now().Add(s.cfg.AcquireWait)
 	for wait := time.Microsecond; ; {
 		if h.TryAcquire() {
-			return true
+			return acquireOK
 		}
 		s.mu.Lock()
 		closed := s.closed
 		s.mu.Unlock()
 		if closed {
-			return false
+			return acquireClosing
+		}
+		if !time.Now().Before(deadline) {
+			local.busy++
+			return acquireBusy
 		}
 		time.Sleep(wait)
 		if wait < time.Millisecond {
@@ -448,6 +703,14 @@ type Snapshot struct {
 	DelHits     int64 `json:"del_hits"`
 	StatsReqs   int64 `json:"stats_reqs"`
 
+	// Busy counts ERR_BUSY fast-fail responses (no worker slot within the
+	// overload policy's bounds); Shed is the subset rejected immediately
+	// because the acquire queue was already at AcquireQueue waiters.
+	// ReapedConns counts connections the slow-peer watchdog closed.
+	Busy        int64 `json:"busy"`
+	Shed        int64 `json:"shed"`
+	ReapedConns int64 `json:"reaped_conns"`
+
 	Manager ManagerSnapshot `json:"manager"`
 
 	// Adaptive holds one entry per partition's self-tuning controller
@@ -501,6 +764,7 @@ func (s *Server) snapshotLocked(inline *tally) Snapshot {
 	s.mu.Lock()
 	t := s.totals
 	open := len(s.conns)
+	reaped := s.reaped
 	s.mu.Unlock()
 	if inline != nil {
 		t.add(*inline)
@@ -539,6 +803,9 @@ func (s *Server) snapshotLocked(inline *tally) Snapshot {
 		Dels:         t.dels,
 		DelHits:      t.delHits,
 		StatsReqs:    t.statsReqs,
+		Busy:         t.busy,
+		Shed:         t.shed,
+		ReapedConns:  reaped,
 		Adaptive:     adaptive,
 		Manager: ManagerSnapshot{
 			Retired:         ms.Reclaimer.Retired,

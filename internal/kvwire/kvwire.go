@@ -83,6 +83,11 @@ const (
 	StatusOK Status = 0x00
 	// StatusNotFound: GET on an absent key; empty body.
 	StatusNotFound Status = 0x01
+	// StatusBusy: the server is overloaded and fast-failed the request
+	// without executing it (no handler slot within the configured bound);
+	// empty body. Unlike StatusErr the framing is intact and the connection
+	// stays open — the client should back off and retry.
+	StatusBusy Status = 0x02
 	// StatusErr: the request was malformed or could not be served; the body
 	// is a UTF-8 diagnostic message. The server drops the connection after
 	// sending it, since framing can no longer be trusted.
@@ -96,6 +101,8 @@ func (s Status) String() string {
 		return "OK"
 	case StatusNotFound:
 		return "NOT_FOUND"
+	case StatusBusy:
+		return "ERR_BUSY"
 	case StatusErr:
 		return "ERR"
 	default:

@@ -13,6 +13,7 @@ import (
 	"repro/internal/arena"
 	"repro/internal/blockbag"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/neutralize"
 	"repro/internal/pool"
 	"repro/internal/raceenabled"
@@ -116,6 +117,12 @@ type Config struct {
 	// controller attach.
 	MinRetireBatch int
 	MaxRetireBatch int
+	// FaultPlan, when non-nil, interposes the deterministic fault plane on
+	// the reclaimer (faultinject.Wrap): the plan's triggers inject stalls
+	// and crashes at the scheme's operation boundaries, per tid, exactly as
+	// scheduled. Nil (the default, and every production configuration)
+	// adds nothing to any path. See internal/faultinject.
+	FaultPlan *faultinject.Plan
 }
 
 // Build assembles a Record Manager for record type T according to cfg.
@@ -185,6 +192,13 @@ func Build[T any](cfg Config) (*core.RecordManager[T], error) {
 	rec, err := NewShardedReclaimer[T](cfg.Scheme, participants, sink, cfg.Domain, spec)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.FaultPlan != nil {
+		// Interpose the fault plane between the manager and the scheme: the
+		// wrapper forwards the whole extended reclaimer surface (blocks,
+		// retire pins, limbo draining, shard map, per-thread handles), so
+		// every construction decision below sees the same capabilities.
+		rec = faultinject.Wrap(rec, cfg.FaultPlan)
 	}
 	var mopts []core.ManagerOption
 	if cfg.RetireBatch > 0 {
