@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check vet-reclaim test race bench-smoke bench-diff bench-baseline bench check
+.PHONY: all build vet fmt fmt-check vet-reclaim test race fuzz-smoke bench-smoke bench-diff bench-baseline bench check
 
 all: check
 
@@ -45,6 +45,18 @@ test:
 race:
 	$(GO) test -race -short ./...
 
+## fuzz-smoke: short fuzzing pass over the kvwire frame and request decoders.
+## go test accepts one -fuzz target per invocation, so the targets run back to
+## back; the anchored patterns keep FuzzDecodeRequest from also matching
+## FuzzDecodeRequests (the batch decoder, which additionally cross-checks
+## itself against the sequential ReadFrame+DecodeRequest path). The committed
+## seed corpora plus a few seconds of mutation per target catch frame-parsing
+## regressions without turning CI into a fuzz farm.
+fuzz-smoke:
+	$(GO) test ./internal/kvwire -run='^$$' -fuzz='^FuzzReadFrame$$' -fuzztime=5s
+	$(GO) test ./internal/kvwire -run='^$$' -fuzz='^FuzzDecodeRequest$$' -fuzztime=5s
+	$(GO) test ./internal/kvwire -run='^$$' -fuzz='^FuzzDecodeRequests$$' -fuzztime=5s
+
 ## bench-smoke: tiny experiment run, JSON report to bench-smoke.json (CI artifact).
 ## Covers the hash map panels (experiment 4), the async-reclamation sweep
 ## (experiment 6), the hot-path per-op microcost probes (experiment 7), the
@@ -59,7 +71,12 @@ race:
 ## bounded/unbounded unreclaimed growth under an injected stalled thread,
 ## plus a chaos-mode service panel whose rows carry the shed/retry
 ## counters; fault rows are excluded from the bench-diff throughput gate
-## but rendered as their own tables) in one merged report.
+## but rendered as their own tables) and the pipelined-service experiment
+## (12: the service shapes repeated at pipeline depths 1/8/64 — the load
+## generator keeps a window in flight, the server batch-executes it — with
+## the depth-1 lockstep baseline making the batching amortisation visible
+## and an allocs_per_op column tracking the request path's zero-alloc steady
+## state) in one merged report.
 ## The thread sweep is pinned so the row set matches BENCH_baseline.json on
 ## any machine (the async reclaimer-count and churn sweeps are likewise
 ## fixed, not machine-derived). The sweep runs 3 times and every cell keeps
@@ -72,7 +89,7 @@ race:
 ## timestamp, so any two runs can be compared later (benchdiff takes two
 ## positional artifact paths).
 bench-smoke: build
-	$(GO) run ./cmd/reclaimbench -experiment hashmap,async,hotpath,churn,service,adaptive,faults -quick -threads 4 -duration 75ms -repeat 3 -json > bench-smoke.json
+	$(GO) run ./cmd/reclaimbench -experiment hashmap,async,hotpath,churn,service,adaptive,faults,pipeline -quick -threads 4 -duration 75ms -repeat 3 -json > bench-smoke.json
 	@grep -q '"row_count"' bench-smoke.json
 	@mkdir -p bench-history
 	@cp bench-smoke.json "bench-history/$$(date -u +%Y%m%dT%H%M%SZ).json"

@@ -87,6 +87,12 @@ func main() {
 	if sl := bench.RenderServiceLatencies(baseline, current); sl != "" {
 		fmt.Print(sl)
 	}
+	// And the pipelined service rows (experiment 12): the batching
+	// amortisation across the depth sweep and the allocs/op the zero-alloc
+	// request path is supposed to hold near zero.
+	if pl := bench.RenderPipeline(baseline, current); pl != "" {
+		fmt.Print(pl)
+	}
 	// And the per-phase throughput and controller-lever trajectories of the
 	// self-tuning rows (experiment 10) — where adaptive-vs-static lives and
 	// where a controller that stopped making decisions is visible.

@@ -17,7 +17,14 @@
 //	kvload -addr 127.0.0.1:7070 -conns 16 -duration 10s
 //	kvload -dist uniform -readpct 50 -delpct 25 -prefill 100000
 //	kvload -open -rate 50000 -duration 30s -json
+//	kvload -pipeline 64 -conns 4              # 64 requests in flight per conn
 //	kvload -retries 4 -chaos-kill 500 -json     # chaos mode: random self-kills
+//
+// With -pipeline N each connection keeps N requests in flight, sending the
+// window with one write and matching responses back in order; this is what
+// saturates a batch-executing server (kvserver -pipeline-depth). Open-loop
+// intended-send-time accounting stays coordinated-omission-free: a window
+// shares its scheduling step's intended time.
 //
 // Transient failures — dial errors, broken connections, ERR_BUSY fast-fails
 // from an overloaded server — are retried with exponential backoff
@@ -48,6 +55,7 @@ func main() {
 		readPct  = flag.Int("readpct", 80, "percentage of operations that are GETs")
 		delPct   = flag.Int("delpct", 0, "percentage that are DELs (0 = half the non-read share); PUTs take the rest")
 		valueLen = flag.Int("valuelen", 16, "PUT value size in bytes")
+		pipeline = flag.Int("pipeline", 1, "requests kept in flight per connection (1 = request/response lockstep)")
 		open     = flag.Bool("open", false, "open-loop discipline: fixed schedule, latency from intended send time")
 		rate     = flag.Float64("rate", 0, "open loop's total target requests/second across all connections")
 		seed     = flag.Int64("seed", 1, "workload random seed (connection c uses seed+c)")
@@ -72,6 +80,7 @@ func main() {
 		ReadPct:  *readPct,
 		DelPct:   *delPct,
 		ValueLen: *valueLen,
+		Pipeline: *pipeline,
 		OpenLoop: *open,
 		Rate:     *rate,
 		Seed:     *seed,

@@ -15,8 +15,14 @@
 // -acquirewait with an ERR_BUSY fast-fail past it, and a watchdog reaps
 // peers that complete no frame within -reapafter.
 //
+// The request path is batch-oriented: every complete frame already buffered
+// on a connection (up to -pipeline-depth) executes as one batch under a
+// single slot acquisition and is answered with a single write, so pipelining
+// clients (kvload -pipeline) amortise the per-request syscall cost.
+//
 //	kvserver -addr :7070 -scheme debra -partitions 4 -maxconns 64
 //	kvserver -scheme hp -pool -shards 4 -reclaimers 1
+//	kvserver -pprof 127.0.0.1:6060     # live CPU/alloc profiles during load
 //
 // On SIGINT/SIGTERM the server drains connections, closes every partition's
 // Record Manager and prints a final stats snapshot (the same JSON document a
@@ -28,6 +34,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // -pprof registers the profiling handlers
 	"os"
 	"os/signal"
 	"syscall"
@@ -44,6 +53,7 @@ func main() {
 		partitions  = flag.Int("partitions", 1, "independent map namespaces, each with its own Record Manager")
 		maxConns    = flag.Int("maxconns", 8, "worker-slot capacity per partition: connections holding a burst concurrently")
 		burst       = flag.Int("burst", 64, "requests a connection serves per slot hold before releasing")
+		pipeDepth   = flag.Int("pipeline-depth", 0, "max buffered request frames executed as one batch per connection (0 = library default, 32)")
 		idleHold    = flag.Duration("idlehold", 0, "how long an idle connection may keep its slots mid-burst before releasing them (0 = library default)")
 		readTO      = flag.Duration("readtimeout", 0, "per-frame read deadline: a peer that delivers no complete request within it is dropped (0 = library default, 30s)")
 		writeTO     = flag.Duration("writetimeout", 0, "per-response write deadline: a peer that stops reading is dropped once it expires (0 = library default, 10s)")
@@ -57,8 +67,24 @@ func main() {
 		buckets     = flag.Int("buckets", 0, "initial bucket count per partition (0 = map default)")
 		adaptive    = flag.Bool("adaptive", false, "self-tuning runtime: a controller retunes effective shards, retire batches and active reclaimers from live load (shards/retirebatch/reclaimers become starting points)")
 		adaptiveInt = flag.Duration("adaptive-interval", 0, "adaptive controller decision period (0 = library default)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (host:port; empty = disabled)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// Surface bind errors synchronously; the profiling server itself
+		// runs in the background for the process lifetime.
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fatal(fmt.Errorf("pprof listen: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "kvserver: pprof on http://%s/debug/pprof/\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "kvserver: pprof server:", err)
+			}
+		}()
+	}
 
 	pl, err := core.ParsePlacement(*placement)
 	if err != nil {
@@ -69,6 +95,7 @@ func main() {
 		Partitions:       *partitions,
 		MaxConns:         *maxConns,
 		Burst:            *burst,
+		PipelineDepth:    *pipeDepth,
 		IdleHold:         *idleHold,
 		ReadTimeout:      *readTO,
 		WriteTimeout:     *writeTO,

@@ -1,10 +1,10 @@
 // Command reclaimbench regenerates the paper's evaluation: it runs the
 // requested experiment (1, 2 or 3), the hash map panels (4), the sharding
 // (5) and async-reclamation (6) ablations, the hot-path microcosts (7), the
-// goroutine-churn (8), KV-service (9), self-tuning-runtime (10) and
-// fault-injection (11) experiments, the Figure 9 memory-footprint
-// measurement, or the headline summary, and prints one throughput table per
-// figure panel.
+// goroutine-churn (8), KV-service (9), self-tuning-runtime (10),
+// fault-injection (11) and pipelined-service (12) experiments, the Figure 9
+// memory-footprint measurement, or the headline summary, and prints one
+// throughput table per figure panel.
 //
 // Examples:
 //
@@ -21,6 +21,7 @@
 //	reclaimbench -experiment service           # KV service over loopback TCP (p50/p99/p999)
 //	reclaimbench -experiment adaptive          # self-tuning runtime vs static configs
 //	reclaimbench -experiment faults            # stalled threads + chaos service panel
+//	reclaimbench -experiment pipeline          # pipelined KV service, depth sweep + allocs/op
 //	reclaimbench -experiment hashmap -churn 256  # ... any experiment under slot churn
 //	reclaimbench -experiment hashmap -cpuprofile cpu.pprof  # profile the trials
 //	reclaimbench -experiment memory            # Figure 9 (right)
@@ -59,7 +60,7 @@ import (
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "2", "experiment(s) to run, comma-separated: 1, 2, 3, 4|hashmap, 5|shards, 6|async, 7|hotpath, 8|churn, 9|service, 10|adaptive, 11|faults, memory, or summary")
+		experiment  = flag.String("experiment", "2", "experiment(s) to run, comma-separated: 1, 2, 3, 4|hashmap, 5|shards, 6|async, 7|hotpath, 8|churn, 9|service, 10|adaptive, 11|faults, 12|pipeline, memory, or summary")
 		duration    = flag.Duration("duration", 500*time.Millisecond, "duration of each trial")
 		maxThreads  = flag.Int("threads", 0, "maximum thread count of the sweep (0 = 2 x NumCPU)")
 		quick       = flag.Bool("quick", false, "shrink key ranges and the thread sweep for a fast smoke run")
@@ -144,7 +145,7 @@ func main() {
 	}
 
 	switch names[0] {
-	case "1", "2", "3", "4", "hashmap", "5", "shards", "6", "async", "7", "hotpath", "8", "churn", "9", "service", "10", "adaptive", "11", "faults":
+	case "1", "2", "3", "4", "hashmap", "5", "shards", "6", "async", "7", "hotpath", "8", "churn", "9", "service", "10", "adaptive", "11", "faults", "12", "pipeline":
 		var exps []int
 		tabular := false
 		seen := map[int]bool{}
@@ -167,6 +168,8 @@ func main() {
 				exp = bench.ExperimentAdaptive
 			case "faults", "11":
 				exp = bench.ExperimentFaults
+			case "pipeline", "12":
+				exp = bench.ExperimentPipeline
 			case "1", "2", "3", "4", "5", "6", "7", "8", "9":
 				exp = int(name[0] - '0')
 			default:
@@ -182,7 +185,8 @@ func main() {
 			if exp != bench.ExperimentHashMap && exp != bench.ExperimentSharding &&
 				exp != bench.ExperimentAsync && exp != bench.ExperimentHotPath &&
 				exp != bench.ExperimentChurn && exp != bench.ExperimentService &&
-				exp != bench.ExperimentAdaptive && exp != bench.ExperimentFaults {
+				exp != bench.ExperimentAdaptive && exp != bench.ExperimentFaults &&
+				exp != bench.ExperimentPipeline {
 				tabular = true
 			}
 			exps = append(exps, exp)
@@ -248,7 +252,7 @@ func main() {
 		}
 		fmt.Println(bench.RenderSummary(bench.Summarize(results)))
 	default:
-		fatal(fmt.Errorf("unknown experiment %q (want 1, 2, 3, 4, hashmap, 5, shards, 6, async, 7, hotpath, 8, churn, 9, service, 10, adaptive, 11, faults, memory or summary)", *experiment))
+		fatal(fmt.Errorf("unknown experiment %q (want 1, 2, 3, 4, hashmap, 5, shards, 6, async, 7, hotpath, 8, churn, 9, service, 10, adaptive, 11, faults, 12, pipeline, memory or summary)", *experiment))
 	}
 }
 

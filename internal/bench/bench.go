@@ -103,6 +103,13 @@ type Config struct {
 	Partitions   int
 	ServiceBurst int
 	ServiceDist  string
+	// PipelineDepth configures a pipelined service trial (experiment 12) on
+	// both sides of the wire: the server's maximum frames per batch
+	// (kvservice.Config.PipelineDepth) and the load generator's in-flight
+	// window per connection (kvload.Config.Pipeline). 0 leaves the load
+	// generator in request/response lockstep against the server's default
+	// batching, which is the experiment-9 configuration.
+	PipelineDepth int
 	// Phases, when non-empty, switches the trial to the phase-changing style
 	// of experiment 10 (runPhasedTrial): the phases run back-to-back for
 	// Duration/len(Phases) each, workers binding their slots dynamically per
@@ -173,6 +180,13 @@ type Result struct {
 	// release+acquire cycles; ChurnNs/ChurnCycles is the per-cycle cost the
 	// churn experiment reports.
 	ChurnNs int64
+	// AllocsPerOp is the process-wide heap allocations per completed request
+	// of a service trial: the runtime.MemStats.Mallocs delta over the measured
+	// phase (prefill excluded) divided by Ops. Server and in-process load
+	// generator share the count, so it is an upper bound on the server's
+	// per-request allocations — the hard per-path guarantees live in
+	// kvservice's AllocsPerRun tests. 0 outside service trials.
+	AllocsPerOp float64
 	// P50Ns, P99Ns and P999Ns are request-latency quantiles in nanoseconds
 	// (service trials only; 0 elsewhere). The tail quantiles are what
 	// reclamation stalls move and what throughput averages hide.

@@ -356,6 +356,66 @@ func RenderServiceLatencies(baseline, current JSONReport) string {
 	return sb.String()
 }
 
+// RenderPipeline renders the pipelined KV service rows (experiment 12) from
+// both reports: cell identity (the Title carries the pipeline depth),
+// baseline and current Mops/s with their ratio, and the current process-wide
+// allocations per request. The depth sweep shares the trend gate with every
+// other row — this table adds the two columns the gate does not compare: the
+// batching amortisation visible across the depths of one scheme, and the
+// allocs/op figure the zero-alloc request path is supposed to hold near zero.
+// Rows missing from one side print a dash; reports recorded before the
+// pipeline experiment existed simply produce no table.
+func RenderPipeline(baseline, current JSONReport) string {
+	type cell struct{ base, cur JSONRow }
+	cells := map[string]*cell{}
+	var keys []string
+	get := func(r JSONRow) *cell {
+		k := rowKey(r)
+		c, ok := cells[k]
+		if !ok {
+			c = &cell{}
+			cells[k] = c
+			keys = append(keys, k)
+		}
+		return c
+	}
+	for _, r := range baseline.Rows {
+		if r.PipelineDepth > 0 {
+			get(r).base = r
+		}
+	}
+	for _, r := range current.Rows {
+		if r.PipelineDepth > 0 {
+			get(r).cur = r
+		}
+	}
+	if len(cells) == 0 {
+		return ""
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteString("pipelined KV service throughput and allocations (experiment 12):\n")
+	fmt.Fprintf(&sb, "  %-96s %10s %10s %8s %12s\n", "cell", "base Mops", "cur Mops", "ratio", "cur allocs/op")
+	for _, k := range keys {
+		c := cells[k]
+		base, cur, ratio, allocs := "-", "-", "-", "-"
+		if c.base.MopsPerSec > 0 {
+			base = fmt.Sprintf("%.3f", c.base.MopsPerSec)
+		}
+		if c.cur.MopsPerSec > 0 {
+			cur = fmt.Sprintf("%.3f", c.cur.MopsPerSec)
+		}
+		if c.base.MopsPerSec > 0 && c.cur.MopsPerSec > 0 {
+			ratio = fmt.Sprintf("%.2f", c.cur.MopsPerSec/c.base.MopsPerSec)
+		}
+		if c.cur.Title != "" {
+			allocs = fmt.Sprintf("%.2f", c.cur.AllocsPerOp)
+		}
+		fmt.Fprintf(&sb, "  %-96s %10s %10s %8s %12s\n", k, base, cur, ratio, allocs)
+	}
+	return sb.String()
+}
+
 // RenderAdaptiveTrajectories renders the phase-changing rows of the
 // self-tuning runtime experiment (experiment 10) from both reports: cell
 // identity, baseline and current per-phase Mops/s, and — for adaptive rows —

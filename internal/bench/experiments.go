@@ -52,6 +52,12 @@ type Panel struct {
 	Partitions   int
 	ServiceBurst int
 	ServiceDist  string
+	// PipelineDepth configures the pipelined service panels (experiment 12);
+	// see the Config field of the same name. Like the other service axes it is
+	// deliberately NOT part of the trend gate's row identity — the pipeline
+	// panels encode the depth in the Title instead, keeping every pre-pipeline
+	// baseline row's key stable.
+	PipelineDepth int
 	// Phases, Adaptive and AdaptiveInterval configure the phase-changing
 	// adaptive panels (experiment 10); see the Config fields of the same
 	// names. Like the service axes they are NOT part of the trend gate's row
@@ -220,6 +226,8 @@ func ExperimentPanels(experiment int, opts Options) ([]Panel, error) {
 		return AdaptivePanels(opts), nil
 	case ExperimentFaults:
 		return FaultPanels(opts), nil
+	case ExperimentPipeline:
+		return PipelinePanels(opts), nil
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %d", experiment)
 	}
@@ -486,6 +494,7 @@ func RunPanel(p Panel, opts Options) PanelResult {
 				Partitions:       p.Partitions,
 				ServiceBurst:     p.ServiceBurst,
 				ServiceDist:      p.ServiceDist,
+				PipelineDepth:    p.PipelineDepth,
 				Phases:           p.Phases,
 				Adaptive:         p.Adaptive,
 				AdaptiveInterval: p.AdaptiveInterval,

@@ -59,6 +59,15 @@ type JSONRow struct {
 	P50Ns  int64 `json:"p50_ns,omitempty"`
 	P99Ns  int64 `json:"p99_ns,omitempty"`
 	P999Ns int64 `json:"p999_ns,omitempty"`
+	// PipelineDepth marks a pipelined service row (experiment 12): the load
+	// generator's in-flight window per connection, which is also the server's
+	// frames-per-batch cap for the trial. Omitted for lockstep service rows
+	// and every in-process experiment. AllocsPerOp is the trial's process-wide
+	// heap allocations per completed request (MemStats.Mallocs delta over the
+	// measured phase / ops) — server and in-process load generator combined,
+	// an upper bound on the server's per-request allocations.
+	PipelineDepth int     `json:"pipeline_depth,omitempty"`
+	AllocsPerOp   float64 `json:"allocs_per_op,omitempty"`
 	// PhaseMops is the per-phase throughput of the phase-changing rows
 	// (experiment 10), in phase order — the columns the adaptive-vs-static
 	// comparison reads; omitted for single-phase trials.
@@ -171,6 +180,8 @@ func BuildJSONReport(results []PanelResult) JSONReport {
 					P50Ns:                   r.P50Ns,
 					P99Ns:                   r.P99Ns,
 					P999Ns:                  r.P999Ns,
+					PipelineDepth:           r.Config.PipelineDepth,
+					AllocsPerOp:             r.AllocsPerOp,
 					PhaseMops:               r.PhaseMops,
 					TrajLive:                r.TrajLive,
 					TrajShards:              r.TrajShards,

@@ -95,6 +95,7 @@ func runServiceTrial(cfg Config) (Result, error) {
 		Partitions:     partitions,
 		MaxConns:       cfg.Threads,
 		Burst:          cfg.ServiceBurst,
+		PipelineDepth:  cfg.PipelineDepth,
 		UsePool:        cfg.UsePool,
 		Shards:         cfg.Shards,
 		Placement:      core.ShardPlacement(cfg.Placement),
@@ -122,6 +123,7 @@ func runServiceTrial(cfg Config) (Result, error) {
 		Dist:            dist,
 		ReadPct:         readPct,
 		DelPct:          cfg.Workload.DeletePct,
+		Pipeline:        cfg.PipelineDepth,
 		Seed:            cfg.Seed,
 		Prefill:         int64(float64(cfg.Workload.KeyRange) * cfg.Workload.PrefillFraction),
 		ChaosStallEvery: cfg.ChaosStallEvery,
@@ -154,6 +156,9 @@ func runServiceTrial(cfg Config) (Result, error) {
 		ServiceGaveUp:     lres.GaveUp,
 		ChaosStalls:       lres.ChaosStalls,
 		ChaosKills:        lres.ChaosKills,
+	}
+	if lres.Ops > 0 {
+		res.AllocsPerOp = float64(lres.Mallocs) / float64(lres.Ops)
 	}
 	res.Reclaimer.Retired = m.Retired
 	res.Reclaimer.Freed = m.Freed

@@ -233,6 +233,12 @@ func (h *PartitionedHandle[V]) part(key int64) *Handle[V] {
 	return h.hs[h.pm.PartitionFor(key)]
 }
 
+// Part returns the bound handle for partition p (from PartitionFor). Batch
+// executors that group requests by partition resolve each partition's handle
+// once per batch through this instead of re-routing per request; the handle
+// is only valid while h remains bound.
+func (h *PartitionedHandle[V]) Part(p int) *Handle[V] { return h.hs[p] }
+
 // Get returns the value associated with key and whether it is present.
 func (h *PartitionedHandle[V]) Get(key int64) (V, bool) { return h.part(key).Get(key) }
 

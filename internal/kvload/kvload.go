@@ -14,11 +14,13 @@
 package kvload
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"net"
+	"runtime"
 	"sync"
 	"time"
 
@@ -60,6 +62,17 @@ type Config struct {
 	DelPct int
 	// ValueLen is the PUT value size in bytes (default 16).
 	ValueLen int
+	// Pipeline is the number of requests each connection keeps in flight
+	// (default 1: strict request/response lockstep). Depths > 1 encode the
+	// whole window into one buffer, send it with a single write, and match
+	// the responses back in order — the kvwire protocol answers strictly one
+	// response per request, in request order (docs/PROTOCOL.md,
+	// "Pipelining") — so the generator can saturate a batch-executing server
+	// instead of paying one network round trip per request. Each response's
+	// latency is measured from the window's send time (closed loop) or
+	// intended send time (open loop), so in-window queueing is charged to
+	// the requests that experience it.
+	Pipeline int
 	// OpenLoop selects the open-loop discipline; Rate must be set.
 	OpenLoop bool
 	// Rate is the open loop's total target request rate per second across
@@ -122,6 +135,9 @@ func (cfg Config) withDefaults() Config {
 	if cfg.ValueLen == 0 {
 		cfg.ValueLen = 16
 	}
+	if cfg.Pipeline == 0 {
+		cfg.Pipeline = 1
+	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
@@ -162,6 +178,9 @@ func (cfg Config) validate() error {
 	if cfg.ValueLen < 0 || cfg.ValueLen > kvwire.MaxValueLen {
 		return fmt.Errorf("kvload: ValueLen must be in [0, %d], got %d", kvwire.MaxValueLen, cfg.ValueLen)
 	}
+	if cfg.Pipeline < 1 {
+		return fmt.Errorf("kvload: Pipeline must be >= 1, got %d", cfg.Pipeline)
+	}
 	if cfg.OpenLoop && cfg.Rate <= 0 {
 		return fmt.Errorf("kvload: open loop requires Rate > 0, got %g", cfg.Rate)
 	}
@@ -198,6 +217,14 @@ type Result struct {
 	// ChaosStalls and ChaosKills count injected mid-frame stalls and
 	// self-inflicted connection kills (Config.ChaosStallEvery/KillEvery).
 	ChaosStalls, ChaosKills int64
+
+	// Mallocs is the process-wide heap allocation count over the measured
+	// phase (runtime.MemStats.Mallocs delta, prefill excluded). Divided by
+	// Ops it approximates allocations per request across client and server
+	// together — an upper bound on the server's own per-request allocations
+	// when both run in one process, as in the bench harness. The hard
+	// per-path guarantees live in kvservice's AllocsPerRun tests.
+	Mallocs uint64
 }
 
 // Throughput returns completed operations per second.
@@ -242,10 +269,12 @@ func (g *keygen) next() int64 {
 // connState is one connection's workload state and tallies.
 type connState struct {
 	conn  net.Conn
+	rd    *bufio.Reader // buffered response reader (reset on reconnect)
 	gen   *keygen
 	value []byte
 	req   []byte
 	buf   []byte
+	kinds []int8 // per-request op kind of the in-flight pipeline window
 	hist  Histogram
 
 	gets, puts, dels          int64
@@ -262,22 +291,60 @@ var errBusy = errors.New("kvload: server busy")
 // operation. Run treats it as a per-connection stop, not a run failure.
 var ErrGaveUp = errors.New("kvload: connection gave up after retries")
 
-// step issues one operation and records its latency relative to intended
+// step issues one scheduling unit — a single operation, or a whole pipeline
+// window when Config.Pipeline > 1 — recording latencies relative to intended
 // (the zero time means "now": closed-loop response time).
 func (c *connState) step(cfg Config, intended time.Time) error {
+	if cfg.Pipeline > 1 {
+		return c.stepBatch(cfg, intended)
+	}
+	return c.stepOne(cfg, intended)
+}
+
+// appendOp encodes one randomly drawn operation onto c.req and records its
+// kind (0 GET, 1 PUT, 2 DEL) in c.kinds.
+func (c *connState) appendOp(cfg Config) {
 	k := c.gen.next()
-	var kind int64
 	switch p := c.gen.rng.Intn(100); {
 	case p < cfg.ReadPct:
-		c.req = kvwire.AppendGet(c.req[:0], k)
-		kind = 0
+		c.req = kvwire.AppendGet(c.req, k)
+		c.kinds = append(c.kinds, 0)
 	case p < cfg.ReadPct+cfg.DelPct:
-		c.req = kvwire.AppendDel(c.req[:0], k)
-		kind = 2
+		c.req = kvwire.AppendDel(c.req, k)
+		c.kinds = append(c.kinds, 2)
 	default:
-		c.req = kvwire.AppendPut(c.req[:0], k, c.value)
-		kind = 1
+		c.req = kvwire.AppendPut(c.req, k, c.value)
+		c.kinds = append(c.kinds, 1)
 	}
+}
+
+// readResp reads and decodes the next response frame.
+func (c *connState) readResp() (kvwire.Response, error) {
+	payload, err := kvwire.ReadFrame(c.rd, c.buf)
+	if err != nil {
+		return kvwire.Response{}, err
+	}
+	c.buf = payload
+	return kvwire.DecodeResponse(payload)
+}
+
+// countOp credits one completed operation of the given kind.
+func (c *connState) countOp(kind int8) {
+	switch kind {
+	case 0:
+		c.gets++
+	case 1:
+		c.puts++
+	default:
+		c.dels++
+	}
+}
+
+// stepOne issues one operation in request/response lockstep.
+func (c *connState) stepOne(cfg Config, intended time.Time) error {
+	c.req = c.req[:0]
+	c.kinds = c.kinds[:0]
+	c.appendOp(cfg)
 	start := time.Now()
 	if intended.IsZero() {
 		intended = start
@@ -291,29 +358,66 @@ func (c *connState) step(cfg Config, intended time.Time) error {
 	if err := c.writeReq(cfg); err != nil {
 		return err
 	}
-	payload, err := kvwire.ReadFrame(c.conn, c.buf)
-	if err != nil {
-		return err
-	}
-	c.buf = payload
-	resp, err := kvwire.DecodeResponse(payload)
+	resp, err := c.readResp()
 	if err != nil {
 		return err
 	}
 	if resp.Status == kvwire.StatusBusy {
+		c.busy++
 		return errBusy
 	}
 	if resp.Status == kvwire.StatusErr {
 		return fmt.Errorf("kvload: server error: %s", resp.Body)
 	}
 	c.hist.Record(int64(time.Since(intended)))
-	switch kind {
-	case 0:
-		c.gets++
-	case 1:
-		c.puts++
-	default:
-		c.dels++
+	c.countOp(c.kinds[0])
+	return nil
+}
+
+// stepBatch issues Config.Pipeline operations as one in-flight window: the
+// whole window is encoded into one buffer and sent with a single write, then
+// the responses are matched back strictly in request order. Each completed
+// response records its latency from intended, so queueing behind earlier
+// responses of the same window is charged to the requests that experience
+// it. Requests the server shed with ERR_BUSY are counted but not credited;
+// only a window shed in its entirety surfaces as errBusy (retried with
+// backoff by stepRetry like a lockstep busy).
+func (c *connState) stepBatch(cfg Config, intended time.Time) error {
+	c.req = c.req[:0]
+	c.kinds = c.kinds[:0]
+	for i := 0; i < cfg.Pipeline; i++ {
+		c.appendOp(cfg)
+	}
+	start := time.Now()
+	if intended.IsZero() {
+		intended = start
+	}
+	if cfg.ChaosKillEvery > 0 && c.gen.rng.Intn(cfg.ChaosKillEvery) == 0 {
+		c.chaosKills++
+		c.conn.Close()
+	}
+	if err := c.writeReq(cfg); err != nil {
+		return err
+	}
+	busy := 0
+	for i := range c.kinds {
+		resp, err := c.readResp()
+		if err != nil {
+			return err
+		}
+		switch resp.Status {
+		case kvwire.StatusBusy:
+			c.busy++
+			busy++
+			continue
+		case kvwire.StatusErr:
+			return fmt.Errorf("kvload: server error: %s", resp.Body)
+		}
+		c.hist.Record(int64(time.Since(intended)))
+		c.countOp(c.kinds[i])
+	}
+	if busy == len(c.kinds) {
+		return errBusy
 	}
 	return nil
 }
@@ -348,9 +452,7 @@ func (c *connState) stepRetry(cfg Config, intended time.Time) error {
 			return nil
 		}
 		busy := errors.Is(err, errBusy)
-		if busy {
-			c.busy++
-		} else if !transient(err) {
+		if !busy && !transient(err) {
 			return err
 		}
 		if attempt >= cfg.Retries {
@@ -366,6 +468,7 @@ func (c *connState) stepRetry(cfg Config, intended time.Time) error {
 			c.conn.Close()
 			if conn, derr := net.Dial("tcp", cfg.Addr); derr == nil {
 				c.conn = conn
+				c.rd.Reset(conn)
 				c.reconnects++
 			}
 		}
@@ -420,6 +523,7 @@ func Run(cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("kvload: %w", err)
 		}
 		st.conn = conn
+		st.rd = bufio.NewReaderSize(conn, 32<<10)
 		for b := range st.value {
 			st.value[b] = byte('a' + b%26)
 		}
@@ -438,6 +542,11 @@ func Run(cfg Config) (*Result, error) {
 
 	errs := make([]error, cfg.Conns)
 	var wg sync.WaitGroup
+	// The measured phase is bracketed with MemStats reads so Result.Mallocs
+	// covers exactly the steady-state request traffic (prefill and dialing
+	// excluded).
+	var memStart runtime.MemStats
+	runtime.ReadMemStats(&memStart)
 	start := time.Now()
 	deadline := start.Add(cfg.Duration)
 	for i, st := range states {
@@ -453,7 +562,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	res := &Result{Elapsed: elapsed}
+	var memEnd runtime.MemStats
+	runtime.ReadMemStats(&memEnd)
+	res := &Result{Elapsed: elapsed, Mallocs: memEnd.Mallocs - memStart.Mallocs}
 	for i, st := range states {
 		if errs[i] != nil && !errors.Is(errs[i], ErrGaveUp) {
 			return nil, fmt.Errorf("kvload: connection %d: %w", i, errs[i])
@@ -505,9 +616,12 @@ func runClosed(cfg Config, st *connState, deadline time.Time) error {
 
 // runOpen issues requests on a fixed schedule, measuring from each request's
 // intended send time so server stalls are charged to every request they
-// delay (no coordinated omission).
+// delay (no coordinated omission). With pipelining each scheduling step is a
+// whole window of Config.Pipeline requests sharing that step's intended
+// time, so the interval stretches by the depth and the aggregate rate stays
+// Config.Rate.
 func runOpen(cfg Config, st *connState, start, deadline time.Time) error {
-	interval := time.Duration(float64(time.Second) * float64(cfg.Conns) / cfg.Rate)
+	interval := time.Duration(float64(time.Second) * float64(cfg.Conns) * float64(cfg.Pipeline) / cfg.Rate)
 	if interval <= 0 {
 		interval = time.Nanosecond
 	}
@@ -540,7 +654,7 @@ func prefill(cfg Config, states []*connState) error {
 						errs[i] = err
 						return
 					}
-					payload, err := kvwire.ReadFrame(st.conn, buf)
+					payload, err := kvwire.ReadFrame(st.rd, buf)
 					if err != nil {
 						errs[i] = err
 						return

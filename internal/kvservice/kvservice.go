@@ -3,6 +3,15 @@
 // partition with its own Record Manager, speaking the internal/kvwire
 // protocol (GET/PUT/DEL/STATS; docs/PROTOCOL.md).
 //
+// The request path is batch-oriented: every complete frame already buffered
+// on a connection (up to Config.PipelineDepth) is decoded into one batch,
+// executed under a single slot acquisition with each partition's handle
+// entered once, and answered with a single flushed write — so a pipelining
+// client amortises the per-request syscall and framing cost, and the
+// steady-state GET/PUT path performs no per-request heap allocation
+// (per-connection reusable buffers plus an arena for stored values; see
+// alloc_test.go for the enforced bounds).
+//
 // The server is the library's deployment story made concrete (the paper
 // pitches epoch-based reclamation exactly at long-running services, where
 // reclamation stalls surface as tail latency). Every connection goroutine
@@ -26,7 +35,6 @@
 package kvservice
 
 import (
-	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -56,8 +64,17 @@ type Config struct {
 	// reclamation's visible thread count, not the accept rate. Defaults to 8.
 	MaxConns int
 	// Burst is how many requests a connection serves per slot hold before
-	// releasing its handles back to the registries (defaults to 64).
+	// releasing its handles back to the registries (defaults to 64). A
+	// pipelined batch is never split across the boundary, so a hold may
+	// overshoot by at most PipelineDepth-1 requests.
 	Burst int
+	// PipelineDepth caps how many complete request frames already buffered
+	// on a connection the server decodes and executes as one batch: one slot
+	// acquisition, one handle resolution per partition and one response
+	// write for the whole batch (docs/PROTOCOL.md, "Pipelining"). Clients
+	// that do not pipeline always see batches of one; the cap only bounds
+	// how much a pipelining client can amortise per syscall. Defaults to 32.
+	PipelineDepth int
 	// IdleHold bounds how long a connection may stall (no inbound byte)
 	// while holding worker slots mid-burst — idle between frames or stuck in
 	// the middle of one, either way the handles are released past it and
@@ -130,6 +147,9 @@ func (cfg Config) withDefaults() Config {
 	if cfg.Burst == 0 {
 		cfg.Burst = 64
 	}
+	if cfg.PipelineDepth == 0 {
+		cfg.PipelineDepth = 32
+	}
 	if cfg.IdleHold == 0 {
 		cfg.IdleHold = 5 * time.Millisecond
 	}
@@ -160,6 +180,8 @@ type tally struct {
 	dels, delHits     int64
 	statsReqs         int64
 	busy, shed        int64
+	batches           int64
+	writeErrs         int64
 }
 
 func (t *tally) add(o tally) {
@@ -172,6 +194,8 @@ func (t *tally) add(o tally) {
 	t.statsReqs += o.statsReqs
 	t.busy += o.busy
 	t.shed += o.shed
+	t.batches += o.batches
+	t.writeErrs += o.writeErrs
 }
 
 // Server is a running KV service. Construct with New, start with Serve or
@@ -212,6 +236,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.Burst < 1 {
 		return nil, fmt.Errorf("kvservice: Burst must be >= 1, got %d", cfg.Burst)
+	}
+	if cfg.PipelineDepth < 1 {
+		return nil, fmt.Errorf("kvservice: PipelineDepth must be >= 1, got %d", cfg.PipelineDepth)
 	}
 	if cfg.IdleHold < 0 {
 		return nil, fmt.Errorf("kvservice: IdleHold must be >= 0, got %v", cfg.IdleHold)
@@ -376,20 +403,94 @@ func (s *Server) Close() {
 	s.pm.Close()
 }
 
-// serveConn runs one connection: decode a frame, serve it under the bound
-// burst handles, answer, and release the handles every Burst requests — or
-// sooner, when the peer goes quiet mid-burst (IdleHold). Every read and
-// write carries a deadline (ReadTimeout/WriteTimeout), so a dead or wedged
-// peer cannot park this goroutine — or slots it would bind — forever.
+// connState is one connection's reusable I/O state: the inbound
+// accumulation buffer the batch decoder drains, the decoded request batch,
+// its execution results, and the staged response bytes. Everything here is
+// recycled across batches, which is what makes the steady-state GET/PUT path
+// allocation-free (enforced by the AllocsPerRun tests in alloc_test.go).
+type connState struct {
+	in   []byte // inbound byte accumulator; [r,w) holds unconsumed bytes
+	r, w int
+
+	reqs    []kvwire.Request // decoded batch (values alias in)
+	parts   []int            // reqs[i]'s partition, when grouping
+	results []reqResult      // reqs[i]'s outcome, emitted in request order
+
+	out   []byte   // staged response bytes, flushed once per batch
+	big   [][]byte // large bodies spliced into the write vector uncopied
+	marks []int    // out offsets where big[i] splices in
+	vecs  [][]byte // write-vector assembly scratch (net.Buffers)
+
+	flagByte [1]byte    // scratch for 1-byte PUT/DEL flag bodies
+	arena    valueArena // owns the memory of stored PUT values
+}
+
+// reqResult is one request's outcome, buffered so a partition-grouped batch
+// can execute out of request order but respond in it.
+type reqResult struct {
+	status kvwire.Status
+	body   []byte // GET hit value (aliases the stored value); nil otherwise
+	flag   byte   // PUT replaced / DEL existed flag
+	isFlag bool   // the response body is the single flag byte
+}
+
+// bigBodyMin is the response-body size past which flush splices the body
+// into the write vector (net.Buffers) instead of copying it through the
+// staging buffer.
+const bigBodyMin = 2048
+
+// valueArena carves stored map values out of large chunks, so a steady-state
+// PUT costs one bulk allocation per ~64 KiB of value bytes instead of one
+// allocation per request. Carved regions are never reused: a chunk's memory
+// is owned by the values cut from it and reclaimed by the garbage collector
+// when the map no longer references them.
+type valueArena struct {
+	chunk []byte
+}
+
+// arenaChunkSize is the arena's allocation granule.
+const arenaChunkSize = 64 << 10
+
+// emptyValue is the shared backing for zero-length PUT values.
+var emptyValue = []byte{}
+
+// copyOf returns a stable copy of v carved from the arena.
+func (a *valueArena) copyOf(v []byte) []byte {
+	n := len(v)
+	if n == 0 {
+		return emptyValue
+	}
+	if n > len(a.chunk) {
+		size := arenaChunkSize
+		if n > size {
+			size = n
+		}
+		a.chunk = make([]byte, size)
+	}
+	dst := a.chunk[:n:n]
+	a.chunk = a.chunk[n:]
+	copy(dst, v)
+	return dst
+}
+
+// serveConn runs one connection batch-at-a-time: decode every complete
+// request frame already buffered (up to PipelineDepth), execute the batch
+// under one slot acquisition — entering each partition's handle once, not
+// once per request — and flush every response with a single write. Handles
+// go back to the registries every Burst requests, or sooner when the peer
+// goes quiet mid-burst (IdleHold). Every read and write carries a deadline
+// (ReadTimeout/WriteTimeout), so a dead or wedged peer cannot park this
+// goroutine — or slots it would bind — forever. Clients that do not
+// pipeline see batches of one and exactly the PR 6 request-per-round-trip
+// behaviour.
 func (s *Server) serveConn(conn net.Conn, info *connInfo) {
 	defer s.handlers.Done()
 	h := s.pm.NewHandle()
-	fr := &frameReader{}
+	cs := &connState{in: make([]byte, 4096)}
 	var (
-		local  tally
-		buf    []byte // frame read buffer, reused
-		out    []byte // response write buffer, reused
-		served int    // requests under the current hold
+		local      tally
+		served     int       // requests under the current slot hold
+		frameStart time.Time // first byte of the oldest incomplete frame
 	)
 	releaseSlots := func() {
 		h.Release()
@@ -410,170 +511,283 @@ func (s *Server) serveConn(conn net.Conn, info *connInfo) {
 		conn.Close()
 	}()
 	for {
-		// Read one frame under the two liveness bounds. IdleHold bounds slot
-		// tenure alone: while the connection is bound, read attempts run in
-		// IdleHold slices, and the first expiry — idle at a frame boundary or
-		// stalled mid-frame alike — releases the slots (frameReader keeps the
-		// partial state) and drops to the patient regime. ReadTimeout bounds
-		// the frame: absolute from its first byte, so a peer that goes silent
-		// or trickles bytes mid-frame is dropped when it expires instead of
-		// pinning the handler goroutine forever, while a merely slow-but-live
-		// peer inside the budget is served. An unbound connection with no
-		// frame in flight gets ReadTimeout of patience before it is dropped
-		// as dead.
-		fr.reset()
-		var (
-			payload    []byte
-			frameStart time.Time
-		)
-		for {
-			switch {
-			case !fr.started():
-				if h.Bound() {
-					conn.SetReadDeadline(time.Now().Add(s.cfg.IdleHold))
-				} else {
-					conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
-				}
-			case h.Bound():
-				// Mid-frame with slots held: the next stall releases them,
-				// but never stretch past the frame's absolute budget.
-				d := time.Now().Add(s.cfg.IdleHold)
-				if abs := frameStart.Add(s.cfg.ReadTimeout); abs.Before(d) {
-					d = abs
-				}
-				conn.SetReadDeadline(d)
-			default:
-				conn.SetReadDeadline(frameStart.Add(s.cfg.ReadTimeout))
-			}
-			var done bool
-			var err error
-			payload, done, err = fr.step(conn, &buf)
-			if frameStart.IsZero() && fr.started() {
-				frameStart = time.Now()
-			}
-			if done {
-				break
-			}
-			if err != nil {
-				var ne net.Error
-				if errors.As(err, &ne) && ne.Timeout() && h.Bound() {
-					releaseSlots()
-					continue
-				}
-				// Clean EOF, peer reset, read timeout, or a frame-level
-				// protocol violation: either way the conversation is over.
-				// For protocol violations we owe the peer a diagnostic
-				// before dropping them.
-				if errors.Is(err, kvwire.ErrFrameTooLarge) || errors.Is(err, kvwire.ErrEmptyFrame) {
-					conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-					conn.Write(kvwire.AppendResponse(nil, kvwire.StatusErr, []byte(err.Error())))
-				}
+		// Drain the accumulator: every complete frame already buffered
+		// becomes one batch. The decoded values alias cs.in, which is not
+		// touched again until the batch has executed and flushed.
+		var consumed int
+		var decErr error
+		cs.reqs, consumed, decErr = kvwire.DecodeRequests(cs.reqs[:0], cs.in[cs.r:cs.w], s.cfg.PipelineDepth)
+		if len(cs.reqs) == 0 && decErr == nil {
+			// No complete frame buffered: read more bytes under the two
+			// liveness bounds. IdleHold bounds slot tenure alone — while the
+			// connection is bound, read attempts run in IdleHold slices, and
+			// the first expiry (idle at a frame boundary or stalled mid-frame
+			// alike) releases the slots and drops to the patient regime.
+			// ReadTimeout bounds the frame, absolute from its first byte, so
+			// a peer that goes silent or trickles bytes mid-frame is dropped
+			// when it expires; an unbound connection with no frame in flight
+			// gets ReadTimeout of patience before it is dropped as dead.
+			if err := s.fill(conn, cs, h.Bound(), &frameStart, releaseSlots); err != nil {
 				return
 			}
+			continue
 		}
-		info.lastFrame.Store(time.Now().UnixNano())
-		req, err := kvwire.DecodeRequest(payload)
-		if err != nil {
-			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-			conn.Write(kvwire.AppendResponse(nil, kvwire.StatusErr, []byte(err.Error())))
-			return
-		}
-		if !h.Bound() {
-			switch s.acquire(h, &local) {
-			case acquireOK:
-			case acquireBusy:
-				// Overload fast-fail: no slot within the bound. The framing
-				// is intact and the request was simply not executed, so the
-				// connection survives — answer ERR_BUSY and read on.
-				out = kvwire.AppendResponse(out[:0], kvwire.StatusBusy, nil)
-				conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-				if _, err := conn.Write(out); err != nil {
+		cs.r += consumed
+		if len(cs.reqs) > 0 {
+			info.lastFrame.Store(time.Now().UnixNano())
+			if !h.Bound() {
+				res, shed := s.acquire(h)
+				switch res {
+				case acquireOK:
+				case acquireBusy:
+					// Overload fast-fail: no slot within the bound. The
+					// framing is intact and the batch was simply not
+					// executed, so the connection survives — answer ERR_BUSY
+					// for every request in it and read on.
+					local.busy += int64(len(cs.reqs))
+					if shed {
+						local.shed += int64(len(cs.reqs))
+					}
+					for range cs.reqs {
+						cs.out = kvwire.AppendResponse(cs.out, kvwire.StatusBusy, nil)
+					}
+				case acquireClosing:
 					return
 				}
-				continue
-			case acquireClosing:
+			}
+			if h.Bound() {
+				local.batches++
+				s.executeBatch(cs, h, &local)
+				served += len(cs.reqs)
+			}
+			if err := cs.flush(conn, s.cfg.WriteTimeout); err != nil {
+				local.writeErrs++
 				return
 			}
+			if served >= s.cfg.Burst && h.Bound() {
+				// Burst boundary: give the slots back and surface this
+				// connection's counters (the only synchronised stats touch).
+				releaseSlots()
+			}
 		}
-		out = s.serveRequest(out[:0], h, req, &local)
-		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-		if _, err := conn.Write(out); err != nil {
+		if decErr != nil {
+			// Protocol violation mid-stream. The responses for the frames
+			// before the bad one were flushed above; the peer is owed the
+			// diagnostic as the last frame on the wire before the drop.
+			cs.out = kvwire.AppendResponse(cs.out[:0], kvwire.StatusErr, []byte(decErr.Error()))
+			if err := cs.flush(conn, s.cfg.WriteTimeout); err != nil {
+				local.writeErrs++
+			}
 			return
 		}
-		if served++; served >= s.cfg.Burst {
-			// Burst boundary: give the slots back and surface this
-			// connection's counters (the only synchronised stats touch).
-			h.Release()
-			served = 0
-			s.mu.Lock()
-			s.totals.add(local)
-			s.mu.Unlock()
-			local = tally{}
+		if cs.r == cs.w {
+			// Fully drained: rewind the accumulator and clear the
+			// frame-in-flight clock.
+			cs.r, cs.w = 0, 0
+			frameStart = time.Time{}
+		} else if len(cs.reqs) > 0 {
+			// A partial frame trails the batch we just served; its budget
+			// runs from now (its bytes arrived with the batch, so this is
+			// within a batch's service time of the true first-byte time).
+			frameStart = time.Now()
 		}
 	}
 }
 
-// frameReader accumulates one length-prefixed kvwire frame across read
-// attempts, so serveConn can change deadline regimes — and release the
-// connection's worker slots — mid-frame without losing partial state. This
-// is what lets the idle bound (IdleHold) apply to slot tenure alone: a peer
-// that stalls, whether between frames or in the middle of one, costs the
-// multiplexed slots nothing, while the frame itself keeps its absolute
-// ReadTimeout budget and completes whenever the bytes arrive.
-type frameReader struct {
-	hdr  [4]byte
-	n    int    // header bytes read
-	body []byte // payload buffer, sized once the header is complete
-	m    int    // payload bytes read
+// fill runs one read attempt into cs.in under the deadline regime the
+// connection is in (see serveConn). A timeout while bound releases the slots
+// via releaseSlots and returns nil so the caller retries under the patient
+// regime; any other failure with no bytes delivered is fatal. frameStart is
+// maintained as the arrival time of the oldest incomplete frame's first
+// byte.
+func (s *Server) fill(conn net.Conn, cs *connState, bound bool, frameStart *time.Time, releaseSlots func()) error {
+	started := cs.r < cs.w
+	switch {
+	case !started && bound:
+		conn.SetReadDeadline(time.Now().Add(s.cfg.IdleHold))
+	case !started:
+		conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+	case bound:
+		// Mid-frame with slots held: the next stall releases them, but
+		// never stretch past the frame's absolute budget.
+		d := time.Now().Add(s.cfg.IdleHold)
+		if abs := frameStart.Add(s.cfg.ReadTimeout); abs.Before(d) {
+			d = abs
+		}
+		conn.SetReadDeadline(d)
+	default:
+		conn.SetReadDeadline(frameStart.Add(s.cfg.ReadTimeout))
+	}
+	if cs.w == len(cs.in) {
+		if cs.r > 0 {
+			// Reclaim the consumed prefix. Nothing aliases it here: fill
+			// only runs when no complete frame is buffered, so [r,w) is at
+			// most one partial frame and the previous batch's requests are
+			// dead.
+			cs.w = copy(cs.in, cs.in[cs.r:cs.w])
+			cs.r = 0
+		} else {
+			// One frame outgrew the accumulator (bounded by the kvwire
+			// frame cap, prefix + MaxPayload).
+			grown := make([]byte, 2*len(cs.in))
+			copy(grown, cs.in[:cs.w])
+			cs.in = grown
+		}
+	}
+	n, err := conn.Read(cs.in[cs.w:])
+	cs.w += n
+	if n > 0 {
+		if frameStart.IsZero() {
+			*frameStart = time.Now()
+		}
+		// Deliver what arrived; a real error sticks and resurfaces on the
+		// next read attempt.
+		return nil
+	}
+	if err == nil {
+		return nil
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() && bound {
+		releaseSlots()
+		return nil
+	}
+	// Clean EOF, peer reset, or a liveness deadline on an unbound
+	// connection: the conversation is over.
+	return err
 }
 
-// reset discards the partial state ahead of the next frame.
-func (f *frameReader) reset() { f.n, f.m, f.body = 0, 0, nil }
+// executeBatch executes cs.reqs under the bound handle and stages every
+// response, in request order, for one flush. Batches of pure data-plane
+// operations (GET/PUT/DEL) on a multi-partition map execute grouped by
+// partition — each partition's handle is resolved once per batch — which
+// reorders execution across partitions but never within one; since a key
+// always routes to the same partition, per-key operation order is exactly
+// request order. A batch containing STATS (whose inline snapshot must see
+// the requests before it) falls back to strict request-order execution.
+func (s *Server) executeBatch(cs *connState, h *hashmap.PartitionedHandle[[]byte], local *tally) {
+	for i := range cs.reqs {
+		if op := cs.reqs[i].Op; op != kvwire.OpGet && op != kvwire.OpPut && op != kvwire.OpDel {
+			for j := range cs.reqs {
+				cs.out = s.serveRequest(cs.out, h, cs.reqs[j], local, &cs.arena)
+			}
+			return
+		}
+	}
+	if cap(cs.results) < len(cs.reqs) {
+		cs.results = make([]reqResult, len(cs.reqs))
+	}
+	cs.results = cs.results[:len(cs.reqs)]
+	if s.cfg.Partitions > 1 && len(cs.reqs) > 1 {
+		// Route every request once, then enter each partition exactly once
+		// and run its requests in arrival order.
+		cs.parts = cs.parts[:0]
+		for i := range cs.reqs {
+			cs.parts = append(cs.parts, s.pm.PartitionFor(cs.reqs[i].Key))
+		}
+		for p := 0; p < s.cfg.Partitions; p++ {
+			hd := h.Part(p)
+			for i := range cs.reqs {
+				if cs.parts[i] == p {
+					cs.results[i] = executeOne(hd, cs.reqs[i], &cs.arena, local)
+				}
+			}
+		}
+	} else {
+		for i := range cs.reqs {
+			hd := h.Part(s.pm.PartitionFor(cs.reqs[i].Key))
+			cs.results[i] = executeOne(hd, cs.reqs[i], &cs.arena, local)
+		}
+	}
+	for i := range cs.results {
+		cs.emit(&cs.results[i])
+	}
+}
 
-// started reports whether any byte of the current frame has arrived.
-func (f *frameReader) started() bool { return f.n > 0 }
+// executeOne runs one data-plane request against its partition's handle.
+func executeOne(hd *hashmap.Handle[[]byte], req kvwire.Request, arena *valueArena, local *tally) reqResult {
+	switch req.Op {
+	case kvwire.OpGet:
+		local.gets++
+		if v, ok := hd.Get(req.Key); ok {
+			local.getHits++
+			return reqResult{status: kvwire.StatusOK, body: v}
+		}
+		return reqResult{status: kvwire.StatusNotFound}
+	case kvwire.OpPut:
+		local.puts++
+		_, replaced := hd.Upsert(req.Key, arena.copyOf(req.Value))
+		r := reqResult{status: kvwire.StatusOK, isFlag: true}
+		if replaced {
+			local.putReplaced++
+			r.flag = 1
+		}
+		return r
+	default: // kvwire.OpDel — executeBatch admits no other opcode
+		local.dels++
+		r := reqResult{status: kvwire.StatusOK, isFlag: true}
+		if hd.Delete(req.Key) {
+			local.delHits++
+			r.flag = 1
+		}
+		return r
+	}
+}
 
-// step runs one read attempt. done reports a complete frame, with the
-// payload aliasing *buf (grown as needed and retained for reuse). A read
-// error with the frame incomplete is returned as-is — including deadline
-// expiries, which leave the partial state intact for a later attempt; frame-
-// level protocol violations surface as kvwire.ErrEmptyFrame/ErrFrameTooLarge
-// exactly as kvwire.ReadFrame reports them.
-func (f *frameReader) step(conn net.Conn, buf *[]byte) (payload []byte, done bool, err error) {
-	for f.n < len(f.hdr) {
-		n, err := conn.Read(f.hdr[f.n:])
-		f.n += n
-		if f.n == len(f.hdr) {
-			break
-		}
-		if err != nil {
-			return nil, false, err
-		}
+// emit stages one response. Small bodies are copied into the staging buffer;
+// bodies past bigBodyMin are framed there but spliced into the write vector
+// uncopied (flush turns the splice points into a net.Buffers vectored
+// write).
+func (cs *connState) emit(r *reqResult) {
+	switch {
+	case r.isFlag:
+		cs.flagByte[0] = r.flag
+		cs.out = kvwire.AppendResponse(cs.out, r.status, cs.flagByte[:])
+	case len(r.body) >= bigBodyMin:
+		cs.out = kvwire.AppendResponseHeader(cs.out, r.status, len(r.body))
+		cs.marks = append(cs.marks, len(cs.out))
+		cs.big = append(cs.big, r.body)
+	default:
+		cs.out = kvwire.AppendResponse(cs.out, r.status, r.body)
 	}
-	if f.body == nil {
-		size := binary.BigEndian.Uint32(f.hdr[:])
-		if size == 0 {
-			return nil, false, kvwire.ErrEmptyFrame
-		}
-		if size > kvwire.MaxPayload {
-			return nil, false, fmt.Errorf("%w: %d bytes", kvwire.ErrFrameTooLarge, size)
-		}
-		if cap(*buf) < int(size) {
-			*buf = make([]byte, size)
-		}
-		f.body = (*buf)[:size]
+}
+
+// flush writes every staged response in one call: a plain Write when all
+// bodies were copied into the staging buffer, a net.Buffers vectored write
+// when large bodies were spliced in. The whole batch shares one
+// WriteTimeout, like the single response it replaces on the wire.
+func (cs *connState) flush(conn net.Conn, timeout time.Duration) error {
+	if len(cs.out) == 0 && len(cs.big) == 0 {
+		return nil
 	}
-	for f.m < len(f.body) {
-		n, err := conn.Read(f.body[f.m:])
-		f.m += n
-		if f.m == len(f.body) {
-			break
+	conn.SetWriteDeadline(time.Now().Add(timeout))
+	var err error
+	if len(cs.big) == 0 {
+		_, err = conn.Write(cs.out)
+	} else {
+		vecs := cs.vecs[:0]
+		prev := 0
+		for i, m := range cs.marks {
+			if m > prev {
+				vecs = append(vecs, cs.out[prev:m])
+			}
+			vecs = append(vecs, cs.big[i])
+			prev = m
 		}
-		if err != nil {
-			return nil, false, err
+		if prev < len(cs.out) {
+			vecs = append(vecs, cs.out[prev:])
 		}
+		bufs := net.Buffers(vecs)
+		_, err = bufs.WriteTo(conn)
+		cs.vecs = vecs[:0]
+		for i := range cs.big {
+			cs.big[i] = nil // drop the stored-value references
+		}
+		cs.big = cs.big[:0]
+		cs.marks = cs.marks[:0]
 	}
-	return f.body, true, nil
+	cs.out = cs.out[:0]
+	return err
 }
 
 // acquireResult is acquire's outcome.
@@ -591,23 +805,22 @@ const (
 // acquire binds h with backoff, waiting out transient slot exhaustion
 // (connections beyond MaxConns queue here between bursts) — but only within
 // the overload policy's bounds: at most AcquireWait of waiting, and at most
-// AcquireQueue connections waiting at once (past it the request is shed
-// immediately). Both overload outcomes return acquireBusy and count into
-// local (busy for every fast-fail, shed for the queue-bound subset).
-func (s *Server) acquire(h *hashmap.PartitionedHandle[[]byte], local *tally) acquireResult {
+// AcquireQueue connections waiting at once (past it the batch is shed
+// immediately; shed reports that subset). The caller counts the overload
+// outcomes per request — one ERR_BUSY response per request in the rejected
+// batch — so the busy/shed counters keep meaning "responses sent".
+func (s *Server) acquire(h *hashmap.PartitionedHandle[[]byte]) (res acquireResult, shed bool) {
 	if h.TryAcquire() {
-		return acquireOK
+		return acquireOK, false
 	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return acquireClosing
+		return acquireClosing, false
 	}
 	if s.waiters >= s.cfg.AcquireQueue {
 		s.mu.Unlock()
-		local.busy++
-		local.shed++
-		return acquireBusy
+		return acquireBusy, true
 	}
 	s.waiters++
 	s.mu.Unlock()
@@ -619,17 +832,16 @@ func (s *Server) acquire(h *hashmap.PartitionedHandle[[]byte], local *tally) acq
 	deadline := time.Now().Add(s.cfg.AcquireWait)
 	for wait := time.Microsecond; ; {
 		if h.TryAcquire() {
-			return acquireOK
+			return acquireOK, false
 		}
 		s.mu.Lock()
 		closed := s.closed
 		s.mu.Unlock()
 		if closed {
-			return acquireClosing
+			return acquireClosing, false
 		}
 		if !time.Now().Before(deadline) {
-			local.busy++
-			return acquireBusy
+			return acquireBusy, false
 		}
 		time.Sleep(wait)
 		if wait < time.Millisecond {
@@ -638,10 +850,13 @@ func (s *Server) acquire(h *hashmap.PartitionedHandle[[]byte], local *tally) acq
 	}
 }
 
-// serveRequest appends req's response frame to out. Mutating requests copy
-// their value bytes out of the read buffer before the map sees them (the
-// buffer is reused for the next frame; stored values must own their memory).
-func (s *Server) serveRequest(out []byte, h *hashmap.PartitionedHandle[[]byte], req kvwire.Request, local *tally) []byte {
+// serveRequest appends req's response frame to out: the strict
+// request-order execution path, used for batches that carry a STATS request
+// (whose inline snapshot must observe the operations before it in the same
+// batch). Mutating requests copy their value bytes into the arena before the
+// map sees them (the inbound buffer is reused; stored values must own their
+// memory).
+func (s *Server) serveRequest(out []byte, h *hashmap.PartitionedHandle[[]byte], req kvwire.Request, local *tally, arena *valueArena) []byte {
 	switch req.Op {
 	case kvwire.OpGet:
 		local.gets++
@@ -652,8 +867,7 @@ func (s *Server) serveRequest(out []byte, h *hashmap.PartitionedHandle[[]byte], 
 		return kvwire.AppendResponse(out, kvwire.StatusNotFound, nil)
 	case kvwire.OpPut:
 		local.puts++
-		v := append(make([]byte, 0, len(req.Value)), req.Value...)
-		_, replaced := h.Upsert(req.Key, v)
+		_, replaced := h.Upsert(req.Key, arena.copyOf(req.Value))
 		flag := byte(0)
 		if replaced {
 			local.putReplaced++
@@ -710,6 +924,13 @@ type Snapshot struct {
 	Busy        int64 `json:"busy"`
 	Shed        int64 `json:"shed"`
 	ReapedConns int64 `json:"reaped_conns"`
+
+	// Batches counts executed request batches (one slot hold, one response
+	// flush each): (gets+puts+dels+stats_reqs)/batches is the mean pipelined
+	// batch size. WriteErrors counts response writes that failed, each of
+	// which dropped its connection.
+	Batches     int64 `json:"batches"`
+	WriteErrors int64 `json:"write_errors"`
 
 	Manager ManagerSnapshot `json:"manager"`
 
@@ -806,6 +1027,8 @@ func (s *Server) snapshotLocked(inline *tally) Snapshot {
 		Busy:         t.busy,
 		Shed:         t.shed,
 		ReapedConns:  reaped,
+		Batches:      t.batches,
+		WriteErrors:  t.writeErrs,
 		Adaptive:     adaptive,
 		Manager: ManagerSnapshot{
 			Retired:         ms.Reclaimer.Retired,

@@ -210,6 +210,21 @@ func AppendResponse(dst []byte, status Status, body []byte) []byte {
 	return patchLen(dst, off)
 }
 
+// AppendResponseHeader appends a response frame's length prefix and status
+// byte for a body of bodyLen bytes the caller will put on the wire itself
+// (vectored writes: a large body is framed here but not copied through the
+// staging buffer — see net.Buffers). Panics for bodies too long to frame, as
+// for AppendResponse.
+func AppendResponseHeader(dst []byte, status Status, bodyLen int) []byte {
+	if bodyLen > MaxPayload-1 {
+		panic(ErrFrameTooLarge)
+	}
+	dst, off := appendPrefix(dst)
+	dst = append(dst, byte(status))
+	binary.BigEndian.PutUint32(dst[off:], uint32(bodyLen+1))
+	return dst
+}
+
 // ReadFrame reads one frame from r and returns its payload, reusing buf when
 // it is large enough. It returns ErrFrameTooLarge for a length prefix above
 // MaxPayload and ErrEmptyFrame for a zero length — both before consuming any
@@ -217,7 +232,13 @@ func AppendResponse(dst []byte, status Status, body []byte) []byte {
 // read. io.EOF is returned untouched when the stream ends cleanly between
 // frames (a partial prefix or payload becomes io.ErrUnexpectedEOF).
 func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
-	var prefix [lenPrefix]byte
+	if cap(buf) < lenPrefix {
+		// The prefix is staged in the caller's buffer (grown once here when
+		// too small) rather than a local array: a local escapes through the
+		// io.Reader interface calls and would cost an allocation per frame.
+		buf = make([]byte, 64)
+	}
+	prefix := buf[:lenPrefix]
 	if _, err := io.ReadFull(r, prefix[:1]); err != nil {
 		return nil, err // clean EOF between frames stays io.EOF
 	}
@@ -227,7 +248,7 @@ func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
 		}
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(prefix[:])
+	n := binary.BigEndian.Uint32(prefix)
 	if n > MaxPayload {
 		return nil, ErrFrameTooLarge
 	}
@@ -277,6 +298,46 @@ func DecodeRequest(payload []byte) (Request, error) {
 	default:
 		return Request{}, fmt.Errorf("%w: 0x%02x", ErrUnknownOp, payload[0])
 	}
+}
+
+// DecodeRequests decodes every complete request frame at the front of buf,
+// appending the decoded requests to dst (append-style: steady-state batch
+// decoding performs no allocation once dst has grown to the pipeline depth).
+// It stops at the first incomplete frame, after max requests (max <= 0 means
+// no cap), or at the first protocol error. It returns the extended slice, the
+// number of bytes consumed through the last cleanly decoded frame, and the
+// error, if any. A trailing partial frame is not an error — the caller reads
+// more bytes and calls again. Decoded Values alias buf and are only valid
+// until buf is overwritten.
+//
+// On error the returned requests and consumed count cover the frames decoded
+// before the bad one, so a server can still execute and flush those responses
+// before dropping the connection (docs/PROTOCOL.md, "Pipelining").
+func DecodeRequests(dst []Request, buf []byte, max int) ([]Request, int, error) {
+	consumed := 0
+	for max <= 0 || len(dst) < max {
+		rest := buf[consumed:]
+		if len(rest) < lenPrefix {
+			break // partial length prefix: wait for more bytes
+		}
+		n := binary.BigEndian.Uint32(rest)
+		if n > MaxPayload {
+			return dst, consumed, ErrFrameTooLarge
+		}
+		if n == 0 {
+			return dst, consumed, ErrEmptyFrame
+		}
+		if uint32(len(rest)-lenPrefix) < n {
+			break // partial payload: wait for more bytes
+		}
+		req, err := DecodeRequest(rest[lenPrefix : lenPrefix+int(n)])
+		if err != nil {
+			return dst, consumed, err
+		}
+		dst = append(dst, req)
+		consumed += lenPrefix + int(n)
+	}
+	return dst, consumed, nil
 }
 
 // DecodeResponse parses a response payload. The returned Body aliases

@@ -198,6 +198,115 @@ func TestOpAndStatusStrings(t *testing.T) {
 	}
 }
 
+func TestDecodeRequestsBatch(t *testing.T) {
+	var wire []byte
+	wire = AppendGet(wire, 1)
+	wire = AppendPut(wire, 2, []byte("two"))
+	wire = AppendDel(wire, 3)
+	wire = AppendStats(wire)
+	want := []Request{
+		{Op: OpGet, Key: 1},
+		{Op: OpPut, Key: 2, Value: []byte("two")},
+		{Op: OpDel, Key: 3},
+		{Op: OpStats},
+	}
+
+	// Whole buffer at once, no cap: every frame decodes, all bytes consumed.
+	reqs, consumed, err := DecodeRequests(nil, wire, 0)
+	if err != nil {
+		t.Fatalf("DecodeRequests: %v", err)
+	}
+	if consumed != len(wire) {
+		t.Fatalf("consumed %d of %d bytes", consumed, len(wire))
+	}
+	if len(reqs) != len(want) {
+		t.Fatalf("decoded %d requests, want %d", len(reqs), len(want))
+	}
+	for i, w := range want {
+		if reqs[i].Op != w.Op || reqs[i].Key != w.Key || !bytes.Equal(reqs[i].Value, w.Value) {
+			t.Fatalf("request %d: got %+v, want %+v", i, reqs[i], w)
+		}
+	}
+
+	// Capped: stops after max requests, consuming exactly their frames.
+	reqs, consumed, err = DecodeRequests(reqs[:0], wire, 2)
+	if err != nil || len(reqs) != 2 {
+		t.Fatalf("capped decode: %d requests, err %v", len(reqs), err)
+	}
+	rest, consumed2, err := DecodeRequests(nil, wire[consumed:], 0)
+	if err != nil || len(rest) != 2 || consumed+consumed2 != len(wire) {
+		t.Fatalf("resume after cap: %d requests, consumed %d+%d of %d, err %v",
+			len(rest), consumed, consumed2, len(wire), err)
+	}
+}
+
+func TestDecodeRequestsPartialFrames(t *testing.T) {
+	var wire []byte
+	wire = AppendGet(wire, 7)
+	wire = AppendPut(wire, 8, []byte("value"))
+	// Every cut point: complete frames before the cut decode, the partial
+	// tail is left unconsumed without error.
+	for cut := 0; cut <= len(wire); cut++ {
+		reqs, consumed, err := DecodeRequests(nil, wire[:cut], 0)
+		if err != nil {
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		if consumed > cut {
+			t.Fatalf("cut at %d: consumed %d bytes past the cut", cut, consumed)
+		}
+		wantN := 0
+		first := len(AppendGet(nil, 7))
+		if cut >= first {
+			wantN = 1
+		}
+		if cut == len(wire) {
+			wantN = 2
+		}
+		if len(reqs) != wantN {
+			t.Fatalf("cut at %d: decoded %d requests, want %d", cut, len(reqs), wantN)
+		}
+	}
+}
+
+func TestDecodeRequestsErrorsKeepPrefix(t *testing.T) {
+	good := AppendGet(nil, 1)
+	cases := []struct {
+		name string
+		tail []byte
+		want error
+	}{
+		{"empty-frame", make([]byte, lenPrefix), ErrEmptyFrame},
+		{"oversized", []byte{0xff, 0xff, 0xff, 0xff}, ErrFrameTooLarge},
+		{"unknown-op", func() []byte {
+			b := []byte{0, 0, 0, 9, 0xee, 0, 0, 0, 0, 0, 0, 0, 0}
+			return b
+		}(), ErrUnknownOp},
+		{"trailing-bytes", func() []byte {
+			b := AppendGet(nil, 2)
+			b = append(b, 0xff)
+			binary.BigEndian.PutUint32(b, uint32(len(b)-lenPrefix))
+			return b
+		}(), ErrTrailingBytes},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wire := append(append([]byte(nil), good...), tc.tail...)
+			reqs, consumed, err := DecodeRequests(nil, wire, 0)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+			// The good frame before the bad one still decodes and is
+			// consumed, so its response can be flushed before the drop.
+			if len(reqs) != 1 || reqs[0].Op != OpGet || reqs[0].Key != 1 {
+				t.Fatalf("requests before the bad frame: %+v", reqs)
+			}
+			if consumed != len(good) {
+				t.Fatalf("consumed %d bytes, want %d (up to the bad frame)", consumed, len(good))
+			}
+		})
+	}
+}
+
 // FuzzDecodeRequest feeds arbitrary payloads through the request decoder:
 // it must never panic, and whatever it accepts must re-encode to an
 // equivalent request (decode/encode/decode agreement).
@@ -236,6 +345,55 @@ func FuzzDecodeRequest(f *testing.F) {
 		}
 		if again.Op != req.Op || again.Key != req.Key || !bytes.Equal(again.Value, req.Value) {
 			t.Fatalf("decode/encode/decode mismatch: %+v vs %+v", req, again)
+		}
+	})
+}
+
+// FuzzDecodeRequests feeds arbitrary byte streams through the batch decoder:
+// it must never panic, never consume past the buffer, and must agree with
+// the sequential ReadFrame + DecodeRequest path on the same stream
+// (differential check — the two decoders cannot drift apart).
+func FuzzDecodeRequests(f *testing.F) {
+	f.Add(AppendGet(nil, 1))
+	f.Add(append(AppendPut(nil, 2, []byte("two")), AppendDel(nil, 3)...))
+	f.Add(append(AppendStats(nil), AppendGet(nil, 4)...))
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{0, 0, 0, 1, 0xee})
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		reqs, consumed, batchErr := DecodeRequests(nil, stream, 0)
+		if consumed < 0 || consumed > len(stream) {
+			t.Fatalf("consumed %d of %d bytes", consumed, len(stream))
+		}
+		// Replay the same stream through the sequential path: it must
+		// yield the same requests, then fail iff the batch decoder failed.
+		r := bytes.NewReader(stream)
+		var buf []byte
+		for i, want := range reqs {
+			payload, err := ReadFrame(r, buf)
+			if err != nil {
+				t.Fatalf("frame %d: batch decoded it but ReadFrame failed: %v", i, err)
+			}
+			buf = payload
+			got, err := DecodeRequest(payload)
+			if err != nil {
+				t.Fatalf("frame %d: batch decoded it but DecodeRequest failed: %v", i, err)
+			}
+			if got.Op != want.Op || got.Key != want.Key || !bytes.Equal(got.Value, want.Value) {
+				t.Fatalf("frame %d: sequential %+v vs batch %+v", i, got, want)
+			}
+		}
+		if batchErr != nil {
+			// The next sequential step must also reject the stream (the
+			// exact error can differ: ReadFrame sees a truncated bad frame
+			// as ErrUnexpectedEOF where the batch decoder already knows the
+			// prefix is invalid).
+			payload, err := ReadFrame(r, buf)
+			if err == nil {
+				if _, err = DecodeRequest(payload); err == nil {
+					t.Fatalf("batch decoder failed (%v) but sequential path accepted the next frame", batchErr)
+				}
+			}
 		}
 	})
 }
